@@ -1,0 +1,513 @@
+//! The shared ROBDD node store and its Boolean operations.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Handle to a BDD node owned by a [`BddManager`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bdd(u32);
+
+impl Bdd {
+    /// Raw node index (0 = false terminal, 1 = true terminal).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Error returned when an operation would exceed the manager's node limit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BddLimitExceeded {
+    /// The configured limit that was exceeded.
+    pub node_limit: usize,
+}
+
+impl fmt::Display for BddLimitExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bdd node limit of {} nodes exceeded", self.node_limit)
+    }
+}
+
+impl std::error::Error for BddLimitExceeded {}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Node {
+    /// Variable index (not level).  Terminals use `u32::MAX`.
+    var: u32,
+    low: u32,
+    high: u32,
+}
+
+const FALSE_NODE: u32 = 0;
+const TRUE_NODE: u32 = 1;
+const TERMINAL_VAR: u32 = u32::MAX;
+
+/// A shared ROBDD store: unique table, computed cache and variable order.
+#[derive(Debug)]
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, u32, u32), u32>,
+    ite_cache: HashMap<(u32, u32, u32), u32>,
+    /// Maps variable index to its level in the order (smaller level = closer to root).
+    var_to_level: Vec<u32>,
+    node_limit: usize,
+}
+
+impl BddManager {
+    /// Default node limit (acts as the "4 GB of physical memory" bound of the
+    /// paper's experimental machine, scaled to this reproduction).
+    pub const DEFAULT_NODE_LIMIT: usize = 4_000_000;
+
+    /// Creates a manager for `num_vars` variables in natural order.
+    pub fn new(num_vars: usize) -> Self {
+        Self::with_order((0..num_vars as u32).collect())
+    }
+
+    /// Creates a manager with an explicit variable order (a permutation of the
+    /// variable indices; earlier entries are closer to the root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..order.len()`.
+    pub fn with_order(order: Vec<u32>) -> Self {
+        let num_vars = order.len();
+        let mut var_to_level = vec![u32::MAX; num_vars];
+        for (level, &var) in order.iter().enumerate() {
+            assert!(
+                (var as usize) < num_vars && var_to_level[var as usize] == u32::MAX,
+                "variable order must be a permutation"
+            );
+            var_to_level[var as usize] = level as u32;
+        }
+        let mut mgr = BddManager {
+            nodes: Vec::with_capacity(1024),
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            var_to_level,
+            node_limit: Self::DEFAULT_NODE_LIMIT,
+        };
+        mgr.nodes.push(Node { var: TERMINAL_VAR, low: FALSE_NODE, high: FALSE_NODE });
+        mgr.nodes.push(Node { var: TERMINAL_VAR, low: TRUE_NODE, high: TRUE_NODE });
+        mgr
+    }
+
+    /// Sets the node limit.
+    pub fn set_node_limit(&mut self, limit: usize) {
+        self.node_limit = limit;
+    }
+
+    /// Number of variables known to the manager.
+    pub fn num_vars(&self) -> usize {
+        self.var_to_level.len()
+    }
+
+    /// Total number of nodes currently allocated (including the terminals).
+    pub fn total_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The constant `true`.
+    pub fn true_bdd(&self) -> Bdd {
+        Bdd(TRUE_NODE)
+    }
+
+    /// The constant `false`.
+    pub fn false_bdd(&self) -> Bdd {
+        Bdd(FALSE_NODE)
+    }
+
+    /// Whether `f` is the constant `true`.
+    pub fn is_true(&self, f: Bdd) -> bool {
+        f.0 == TRUE_NODE
+    }
+
+    /// Whether `f` is the constant `false`.
+    pub fn is_false(&self, f: Bdd) -> bool {
+        f.0 == FALSE_NODE
+    }
+
+    fn level(&self, node: u32) -> u32 {
+        let var = self.nodes[node as usize].var;
+        if var == TERMINAL_VAR {
+            u32::MAX
+        } else {
+            self.var_to_level[var as usize]
+        }
+    }
+
+    fn mk(&mut self, var: u32, low: u32, high: u32) -> Result<u32, BddLimitExceeded> {
+        if low == high {
+            return Ok(low);
+        }
+        if let Some(&n) = self.unique.get(&(var, low, high)) {
+            return Ok(n);
+        }
+        if self.nodes.len() >= self.node_limit {
+            return Err(BddLimitExceeded { node_limit: self.node_limit });
+        }
+        let n = self.nodes.len() as u32;
+        self.nodes.push(Node { var, low, high });
+        self.unique.insert((var, low, high), n);
+        Ok(n)
+    }
+
+    /// The BDD for variable `var`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddLimitExceeded`] if the node limit is reached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn var(&mut self, var: u32) -> Result<Bdd, BddLimitExceeded> {
+        assert!((var as usize) < self.num_vars(), "variable out of range");
+        self.mk(var, FALSE_NODE, TRUE_NODE).map(Bdd)
+    }
+
+    /// The BDD for the negation of variable `var`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddLimitExceeded`] if the node limit is reached.
+    pub fn nvar(&mut self, var: u32) -> Result<Bdd, BddLimitExceeded> {
+        assert!((var as usize) < self.num_vars(), "variable out of range");
+        self.mk(var, TRUE_NODE, FALSE_NODE).map(Bdd)
+    }
+
+    fn cofactors(&self, f: u32, var: u32) -> (u32, u32) {
+        let node = self.nodes[f as usize];
+        if node.var == var {
+            (node.low, node.high)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// If-then-else: `ite(f, g, h) = (f ∧ g) ∨ (¬f ∧ h)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddLimitExceeded`] if the node limit is reached.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Result<Bdd, BddLimitExceeded> {
+        self.ite_rec(f.0, g.0, h.0).map(Bdd)
+    }
+
+    fn ite_rec(&mut self, f: u32, g: u32, h: u32) -> Result<u32, BddLimitExceeded> {
+        // Terminal cases.
+        if f == TRUE_NODE {
+            return Ok(g);
+        }
+        if f == FALSE_NODE {
+            return Ok(h);
+        }
+        if g == h {
+            return Ok(g);
+        }
+        if g == TRUE_NODE && h == FALSE_NODE {
+            return Ok(f);
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return Ok(r);
+        }
+        let top = self
+            .level(f)
+            .min(self.level(g))
+            .min(self.level(h));
+        // Recover the variable at this level: one of the three roots has it.
+        let var = [f, g, h]
+            .iter()
+            .map(|&n| self.nodes[n as usize].var)
+            .filter(|&v| v != TERMINAL_VAR && self.var_to_level[v as usize] == top)
+            .next()
+            .expect("at least one operand is non-terminal");
+        let (f0, f1) = self.cofactors(f, var);
+        let (g0, g1) = self.cofactors(g, var);
+        let (h0, h1) = self.cofactors(h, var);
+        let low = self.ite_rec(f0, g0, h0)?;
+        let high = self.ite_rec(f1, g1, h1)?;
+        let result = self.mk(var, low, high)?;
+        self.ite_cache.insert((f, g, h), result);
+        Ok(result)
+    }
+
+    /// Negation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddLimitExceeded`] if the node limit is reached.
+    pub fn not(&mut self, f: Bdd) -> Result<Bdd, BddLimitExceeded> {
+        self.ite(f, self.false_bdd(), self.true_bdd())
+    }
+
+    /// Conjunction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddLimitExceeded`] if the node limit is reached.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddLimitExceeded> {
+        self.ite(f, g, self.false_bdd())
+    }
+
+    /// Disjunction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddLimitExceeded`] if the node limit is reached.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddLimitExceeded> {
+        self.ite(f, self.true_bdd(), g)
+    }
+
+    /// Exclusive or.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddLimitExceeded`] if the node limit is reached.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddLimitExceeded> {
+        let ng = self.not(g)?;
+        self.ite(f, ng, g)
+    }
+
+    /// Implication `f ⇒ g`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddLimitExceeded`] if the node limit is reached.
+    pub fn implies(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddLimitExceeded> {
+        self.ite(f, g, self.true_bdd())
+    }
+
+    /// Biconditional `f ⇔ g`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddLimitExceeded`] if the node limit is reached.
+    pub fn iff(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddLimitExceeded> {
+        let ng = self.not(g)?;
+        self.ite(f, g, ng)
+    }
+
+    /// Evaluates `f` under a complete assignment (indexed by variable).
+    pub fn eval(&self, f: Bdd, assignment: &[bool]) -> bool {
+        let mut node = f.0;
+        loop {
+            if node == TRUE_NODE {
+                return true;
+            }
+            if node == FALSE_NODE {
+                return false;
+            }
+            let n = self.nodes[node as usize];
+            node = if assignment[n.var as usize] { n.high } else { n.low };
+        }
+    }
+
+    /// Returns one satisfying assignment of `f` (values only for the variables
+    /// tested along the chosen path), or `None` if `f` is the constant false.
+    pub fn sat_one(&self, f: Bdd) -> Option<Vec<Option<bool>>> {
+        if self.is_false(f) {
+            return None;
+        }
+        let mut assignment = vec![None; self.num_vars()];
+        let mut node = f.0;
+        while node != TRUE_NODE {
+            let n = self.nodes[node as usize];
+            if n.high != FALSE_NODE {
+                assignment[n.var as usize] = Some(true);
+                node = n.high;
+            } else {
+                assignment[n.var as usize] = Some(false);
+                node = n.low;
+            }
+        }
+        Some(assignment)
+    }
+
+    /// Number of satisfying assignments of `f` over all manager variables.
+    pub fn sat_count(&self, f: Bdd) -> f64 {
+        let mut memo: HashMap<u32, f64> = HashMap::new();
+        let total_levels = self.num_vars() as i32;
+        let fraction = self.count_rec(f.0, &mut memo);
+        fraction * 2f64.powi(total_levels)
+    }
+
+    /// Fraction of assignments (over variables below the node's level) that satisfy the node.
+    fn count_rec(&self, node: u32, memo: &mut HashMap<u32, f64>) -> f64 {
+        if node == TRUE_NODE {
+            return 1.0;
+        }
+        if node == FALSE_NODE {
+            return 0.0;
+        }
+        if let Some(&v) = memo.get(&node) {
+            return v;
+        }
+        let n = self.nodes[node as usize];
+        let low = self.count_rec(n.low, memo);
+        let high = self.count_rec(n.high, memo);
+        let value = 0.5 * (low + high);
+        memo.insert(node, value);
+        value
+    }
+
+    /// Number of distinct nodes reachable from `f` (excluding terminals).
+    pub fn node_count(&self, f: Bdd) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f.0];
+        while let Some(n) = stack.pop() {
+            if n == TRUE_NODE || n == FALSE_NODE || !seen.insert(n) {
+                continue;
+            }
+            let node = self.nodes[n as usize];
+            stack.push(node.low);
+            stack.push(node.high);
+        }
+        seen.len()
+    }
+
+    /// The variable order currently in effect (level → variable).
+    pub fn order(&self) -> Vec<u32> {
+        let mut order = vec![0u32; self.num_vars()];
+        for (var, &level) in self.var_to_level.iter().enumerate() {
+            order[level as usize] = var as u32;
+        }
+        order
+    }
+
+    /// Variable and cofactors of a non-terminal node (used by [`crate::reorder`]).
+    pub(crate) fn node_parts(&self, f: Bdd) -> Option<(u32, Bdd, Bdd)> {
+        if f.0 == TRUE_NODE || f.0 == FALSE_NODE {
+            return None;
+        }
+        let n = self.nodes[f.index()];
+        Some((n.var, Bdd(n.low), Bdd(n.high)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_and_variables() {
+        let mut mgr = BddManager::new(2);
+        let t = mgr.true_bdd();
+        let f = mgr.false_bdd();
+        assert!(mgr.is_true(t));
+        assert!(mgr.is_false(f));
+        let x = mgr.var(0).unwrap();
+        let x2 = mgr.var(0).unwrap();
+        assert_eq!(x, x2, "unique table shares nodes");
+        assert!(!mgr.is_true(x) && !mgr.is_false(x));
+    }
+
+    #[test]
+    fn basic_identities() {
+        let mut mgr = BddManager::new(3);
+        let x = mgr.var(0).unwrap();
+        let y = mgr.var(1).unwrap();
+        let t = mgr.true_bdd();
+        let f = mgr.false_bdd();
+        assert_eq!(mgr.and(x, t).unwrap(), x);
+        assert_eq!(mgr.and(x, f).unwrap(), f);
+        assert_eq!(mgr.or(x, f).unwrap(), x);
+        assert_eq!(mgr.or(x, t).unwrap(), t);
+        let nx = mgr.not(x).unwrap();
+        let nnx = mgr.not(nx).unwrap();
+        assert_eq!(nnx, x);
+        let x_or_nx = mgr.or(x, nx).unwrap();
+        assert!(mgr.is_true(x_or_nx));
+        let x_and_nx = mgr.and(x, nx).unwrap();
+        assert!(mgr.is_false(x_and_nx));
+        let xy = mgr.and(x, y).unwrap();
+        let yx = mgr.and(y, x).unwrap();
+        assert_eq!(xy, yx, "canonicity makes conjunction commutative");
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let mut mgr = BddManager::new(3);
+        let x = mgr.var(0).unwrap();
+        let y = mgr.var(1).unwrap();
+        let z = mgr.var(2).unwrap();
+        let xy = mgr.and(x, y).unwrap();
+        let formula = mgr.or(xy, z).unwrap();
+        for bits in 0..8u32 {
+            let a = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+            let expected = (a[0] && a[1]) || a[2];
+            assert_eq!(mgr.eval(formula, &a), expected, "assignment {a:?}");
+        }
+    }
+
+    #[test]
+    fn sat_one_and_count() {
+        let mut mgr = BddManager::new(3);
+        let x = mgr.var(0).unwrap();
+        let y = mgr.var(1).unwrap();
+        let xy = mgr.and(x, y).unwrap();
+        let model = mgr.sat_one(xy).unwrap();
+        assert_eq!(model[0], Some(true));
+        assert_eq!(model[1], Some(true));
+        assert!(mgr.sat_one(mgr.false_bdd()).is_none());
+        // x ∧ y has 2 models over 3 variables (z free).
+        assert!((mgr.sat_count(xy) - 2.0).abs() < 1e-9);
+        assert!((mgr.sat_count(mgr.true_bdd()) - 8.0).abs() < 1e-9);
+        assert_eq!(mgr.sat_count(mgr.false_bdd()), 0.0);
+    }
+
+    #[test]
+    fn xor_iff_implies() {
+        let mut mgr = BddManager::new(2);
+        let x = mgr.var(0).unwrap();
+        let y = mgr.var(1).unwrap();
+        let xor = mgr.xor(x, y).unwrap();
+        let iff = mgr.iff(x, y).unwrap();
+        let nxor = mgr.not(xor).unwrap();
+        assert_eq!(iff, nxor);
+        let imp = mgr.implies(x, x).unwrap();
+        assert!(mgr.is_true(imp));
+    }
+
+    #[test]
+    fn respects_variable_order() {
+        // Order [1, 0]: variable 1 is at the root.
+        let mut mgr = BddManager::with_order(vec![1, 0]);
+        let x0 = mgr.var(0).unwrap();
+        let x1 = mgr.var(1).unwrap();
+        let f = mgr.and(x0, x1).unwrap();
+        let (root_var, _, _) = mgr.node_parts(f).unwrap();
+        assert_eq!(root_var, 1);
+        assert_eq!(mgr.order(), vec![1, 0]);
+    }
+
+    #[test]
+    fn node_limit_is_enforced() {
+        let mut mgr = BddManager::new(32);
+        mgr.set_node_limit(8);
+        let mut result = Ok(mgr.true_bdd());
+        for i in 0..32 {
+            let v = match mgr.var(i) {
+                Ok(v) => v,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            };
+            result = result.and_then(|acc| mgr.xor(acc, v));
+            if result.is_err() {
+                break;
+            }
+        }
+        assert!(result.is_err(), "the limit of 8 nodes must be hit");
+    }
+
+    #[test]
+    fn node_count_counts_distinct_nodes() {
+        let mut mgr = BddManager::new(4);
+        let vars: Vec<Bdd> = (0..4).map(|i| mgr.var(i).unwrap()).collect();
+        let mut acc = mgr.true_bdd();
+        for v in &vars {
+            acc = mgr.and(acc, *v).unwrap();
+        }
+        assert_eq!(mgr.node_count(acc), 4);
+    }
+}

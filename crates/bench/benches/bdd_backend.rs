@@ -1,0 +1,29 @@
+//! Criterion benchmark: BDD construction for the encoded correctness formula
+//! (the decision-diagram back end of Table 1 / Fig. 7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use velv_core::{TranslationOptions, Verifier};
+use velv_models::dlx::{bug_catalog, Dlx, DlxConfig, DlxSpecification};
+
+fn bench_bdd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd_backend");
+    group.sample_size(10);
+
+    let config = DlxConfig::single_issue();
+    let verifier = Verifier::new(TranslationOptions::base());
+    let spec = DlxSpecification::new(config);
+    let correct = verifier.translate(&Dlx::correct(config), &spec);
+    let bug = bug_catalog(config)[0];
+    let buggy = verifier.translate(&Dlx::buggy(config, bug), &spec);
+
+    group.bench_function("bdd_correct_dlx1", |b| {
+        b.iter(|| verifier.check_with_bdds(&correct, 2_000_000))
+    });
+    group.bench_function("bdd_buggy_dlx1", |b| {
+        b.iter(|| verifier.check_with_bdds(&buggy, 2_000_000))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bdd);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benchmark: the SAT back ends on a fixed correctness CNF
+//! (satisfiable buggy instance and unsatisfiable correct instance).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use velv_core::{TranslationOptions, Verifier};
+use velv_models::dlx::{bug_catalog, Dlx, DlxConfig, DlxSpecification};
+use velv_sat::cdcl::CdclSolver;
+use velv_sat::dpll::DpllSolver;
+use velv_sat::local_search::WalkSatSolver;
+use velv_sat::{Budget, Solver};
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_backends");
+    group.sample_size(10);
+
+    let config = DlxConfig::single_issue();
+    let verifier = Verifier::new(TranslationOptions::base());
+    let spec = DlxSpecification::new(config);
+    let correct = verifier.translate(&Dlx::correct(config), &spec);
+    let bug = bug_catalog(config)[0];
+    let buggy = verifier.translate(&Dlx::buggy(config, bug), &spec);
+
+    group.bench_function("chaff_unsat_dlx1", |b| {
+        b.iter(|| CdclSolver::chaff().solve(&correct.cnf))
+    });
+    group.bench_function("berkmin_unsat_dlx1", |b| {
+        b.iter(|| CdclSolver::berkmin().solve(&correct.cnf))
+    });
+    group.bench_function("chaff_sat_dlx1_buggy", |b| {
+        b.iter(|| CdclSolver::chaff().solve(&buggy.cnf))
+    });
+    group.bench_function("dpll_budgeted_dlx1_buggy", |b| {
+        b.iter(|| DpllSolver::new().solve_with_budget(&buggy.cnf, Budget::step_limit(20_000)))
+    });
+    group.bench_function("walksat_budgeted_dlx1_buggy", |b| {
+        b.iter(|| WalkSatSolver::new().solve_with_budget(&buggy.cnf, Budget::step_limit(20_000)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmark: the sparse transitivity triangulation and the full
+//! translation of the transitivity-requiring out-of-order designs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeSet;
+use velv_core::encode::transitivity::triangulate;
+use velv_core::{TranslationOptions, Verifier};
+use velv_eufm::Context;
+use velv_models::ooo::{Ooo, OooSpecification};
+
+fn bench_transitivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transitivity");
+    group.sample_size(10);
+
+    // A ring plus chords: a graph with many cycles.
+    let mut ctx = Context::new();
+    let symbols: Vec<_> = (0..64).map(|i| ctx.symbol(&format!("g{i}"))).collect();
+    let mut edges = BTreeSet::new();
+    for i in 0..64usize {
+        let a = symbols[i];
+        let b = symbols[(i + 1) % 64];
+        edges.insert(if a <= b { (a, b) } else { (b, a) });
+        let c2 = symbols[(i + 7) % 64];
+        edges.insert(if a <= c2 { (a, c2) } else { (c2, a) });
+    }
+    group.bench_function("triangulate_ring64", |b| b.iter(|| triangulate(&edges)));
+
+    group.bench_function("translate_ooo3_eij", |b| {
+        let implementation = Ooo::new(3);
+        let spec = OooSpecification::new();
+        let verifier = Verifier::new(TranslationOptions::base());
+        b.iter(|| verifier.translate(&implementation, &spec));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transitivity);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmark: the EUFM → CNF translation pipeline per design and
+//! encoding (the front-end cost of every experiment table).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use velv_core::{TranslationOptions, Verifier};
+use velv_models::dlx::{Dlx, DlxConfig, DlxSpecification};
+use velv_models::vliw::{Vliw, VliwConfig, VliwSpecification};
+
+fn bench_translate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("translate");
+    group.sample_size(10);
+
+    group.bench_function("dlx1_eij", |b| {
+        let config = DlxConfig::single_issue();
+        let implementation = Dlx::correct(config);
+        let spec = DlxSpecification::new(config);
+        let verifier = Verifier::new(TranslationOptions::base());
+        b.iter(|| verifier.translate(&implementation, &spec));
+    });
+    group.bench_function("dlx2_full_eij", |b| {
+        let config = DlxConfig::dual_issue_full();
+        let implementation = Dlx::correct(config);
+        let spec = DlxSpecification::new(config);
+        let verifier = Verifier::new(TranslationOptions::base());
+        b.iter(|| verifier.translate(&implementation, &spec));
+    });
+    group.bench_function("dlx1_small_domain", |b| {
+        let config = DlxConfig::single_issue();
+        let implementation = Dlx::correct(config);
+        let spec = DlxSpecification::new(config);
+        let verifier = Verifier::new(TranslationOptions::base().with_small_domain());
+        b.iter(|| verifier.translate(&implementation, &spec));
+    });
+    group.bench_function("vliw_reduced_eij", |b| {
+        let config = VliwConfig::with_slots(3);
+        let implementation = Vliw::correct(config);
+        let spec = VliwSpecification::new(config);
+        let verifier = Verifier::new(TranslationOptions::base());
+        b.iter(|| verifier.translate(&implementation, &spec));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_translate);
+criterion_main!(benches);

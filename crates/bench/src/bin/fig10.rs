@@ -1,0 +1,42 @@
+//! Fig. 10: per-benchmark comparison of the eij and small-domain encodings on
+//! the buggy VLIW suite (BerkMin, one run of the tool flow).
+
+use std::time::{Duration, Instant};
+use velv_bench::{print_header, shape_check, suite_size};
+use velv_core::{TranslationOptions, Verifier};
+use velv_models::vliw::{bug_catalog, Vliw, VliwConfig, VliwSpecification};
+use velv_sat::cdcl::CdclSolver;
+use velv_sat::Budget;
+
+fn main() {
+    print_header(
+        "Fig. 10 — per-benchmark eij vs small-domain times (BerkMin)",
+        "paper: the eij encoding is faster on 87 of the 100 buggy VLIW designs",
+    );
+    let config = VliwConfig::base();
+    let suite: Vec<_> = bug_catalog(config).into_iter().take(suite_size(100)).collect();
+    let spec = VliwSpecification::new(config);
+    let budget = Budget::time_limit(Duration::from_secs(30));
+
+    let mut eij_faster = 0usize;
+    println!("{:>4} {:>12} {:>14}", "bug", "eij (s)", "small-dom (s)");
+    for (i, &bug) in suite.iter().enumerate() {
+        let mut times = Vec::new();
+        for options in [TranslationOptions::base(), TranslationOptions::base().with_small_domain()] {
+            let verifier = Verifier::new(options);
+            let start = Instant::now();
+            let mut solver = CdclSolver::berkmin();
+            let _ = verifier.verify_with_budget(&Vliw::buggy(config, bug), &spec, &mut solver, budget);
+            times.push(start.elapsed());
+        }
+        if times[0] <= times[1] {
+            eij_faster += 1;
+        }
+        println!("{:>4} {:>12.3} {:>14.3}", i, times[0].as_secs_f64(), times[1].as_secs_f64());
+    }
+    println!("eij faster on {eij_faster} of {} designs", suite.len());
+    shape_check(
+        "the eij encoding is faster on the majority of the buggy designs",
+        eij_faster * 2 >= suite.len(),
+    );
+}

@@ -1,0 +1,87 @@
+//! Table 2: structural variations (base / ER / AC / ER+AC) and Chaff parameter
+//! variations, run "in parallel" (minimum time per benchmark) on the buggy
+//! VLIW suite.
+
+use std::time::{Duration, Instant};
+use velv_bench::{print_header, shape_check, suite_size, summarize};
+use velv_core::{TranslationOptions, Verifier};
+use velv_models::vliw::{bug_catalog, Vliw, VliwConfig, VliwSpecification};
+use velv_sat::cdcl::CdclSolver;
+use velv_sat::presets::chaff_parameter_variations;
+use velv_sat::Budget;
+
+fn main() {
+    print_header(
+        "Table 2 — structural and parameter variations on buggy 9VLIW-MC-BP",
+        "paper: base Chaff max 180.4s avg 32.5s; 4 structural runs max 74.9s avg 14.4s; 4 parameter runs max 176.8s avg 15.0s",
+    );
+    let config = VliwConfig::base();
+    let suite: Vec<_> = bug_catalog(config).into_iter().take(suite_size(100)).collect();
+    let spec = VliwSpecification::new(config);
+    let budget = Budget::time_limit(Duration::from_secs(30));
+
+    // Base run.
+    let base_times: Vec<Duration> = suite
+        .iter()
+        .map(|&bug| {
+            let verifier = Verifier::new(TranslationOptions::base());
+            let start = Instant::now();
+            let mut solver = CdclSolver::chaff();
+            let _ = verifier.verify_with_budget(&Vliw::buggy(config, bug), &spec, &mut solver, budget);
+            start.elapsed()
+        })
+        .collect();
+
+    // Four parallel structural variations: take the minimum time per benchmark.
+    let structural_times: Vec<Duration> = suite
+        .iter()
+        .map(|&bug| {
+            TranslationOptions::structural_variations()
+                .into_iter()
+                .map(|(_, options)| {
+                    let verifier = Verifier::new(options);
+                    let start = Instant::now();
+                    let mut solver = CdclSolver::chaff();
+                    let _ = verifier.verify_with_budget(&Vliw::buggy(config, bug), &spec, &mut solver, budget);
+                    start.elapsed()
+                })
+                .min()
+                .expect("four variations")
+        })
+        .collect();
+
+    // Four parallel parameter variations of Chaff on the base formula.
+    let parameter_times: Vec<Duration> = suite
+        .iter()
+        .map(|&bug| {
+            let verifier = Verifier::new(TranslationOptions::base());
+            let translation = verifier.translate(&Vliw::buggy(config, bug), &spec);
+            chaff_parameter_variations()
+                .into_iter()
+                .map(|mut solver| {
+                    let start = Instant::now();
+                    let _ = verifier.check(&translation, solver.as_mut(), budget);
+                    start.elapsed()
+                })
+                .min()
+                .expect("four parameter variations")
+        })
+        .collect();
+
+    let base = summarize(&base_times);
+    let structural = summarize(&structural_times);
+    let parameter = summarize(&parameter_times);
+    println!("{:<38} {:>10} {:>10}", "configuration (Chaff)", "max (s)", "avg (s)");
+    println!("{:<38} {:>10.3} {:>10.3}", "base (1 run)", base.max, base.mean);
+    println!("{:<38} {:>10.3} {:>10.3}", "base,ER,AC,ER+AC (4 runs, min)", structural.max, structural.mean);
+    println!("{:<38} {:>10.3} {:>10.3}", "base + 3 parameter variations (min)", parameter.max, parameter.mean);
+
+    shape_check(
+        "parallel structural variations do not increase the average detection time",
+        structural.mean <= base.mean * 1.05,
+    );
+    shape_check(
+        "parallel parameter variations do not increase the average detection time",
+        parameter.mean <= base.mean * 1.05,
+    );
+}

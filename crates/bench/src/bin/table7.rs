@@ -1,0 +1,61 @@
+//! Table 7: the four "actual design bugs" made while extending the VLIW with
+//! exceptions (9VLIW-MC-BP-EX), detected with a monolithic criterion and with
+//! ~20 weak criteria evaluated in parallel.
+
+use std::time::{Duration, Instant};
+use velv_bench::{print_header, shape_check};
+use velv_core::{TranslationOptions, Verifier};
+use velv_models::vliw::{Vliw, VliwBug, VliwConfig, VliwSpecification};
+use velv_sat::cdcl::CdclSolver;
+use velv_sat::Budget;
+
+fn main() {
+    print_header(
+        "Table 7 — four design bugs of 9VLIW-MC-BP-EX, monolithic vs decomposed",
+        "paper: Chaff detects them in 12.2–108.4 s monolithically; ~20 weak criteria reduce the times roughly 2x",
+    );
+    let config = VliwConfig::with_exceptions();
+    let spec = VliwSpecification::new(config);
+    let verifier = Verifier::new(TranslationOptions::base());
+    let budget = Budget::time_limit(Duration::from_secs(60));
+    let bugs = [
+        VliwBug::EpcNotSaved,
+        VliwBug::ExceptionIgnoredByWrite { slot: 0 },
+        VliwBug::CfmUpdatedSpeculatively,
+        VliwBug::NoSquashOnMispredict,
+    ];
+
+    println!("{:<34} {:>16} {:>16} {:>14}", "bug", "monolithic (s)", "decomposed (s)", "primary vars");
+    let mut all_detected = true;
+    for (i, &bug) in bugs.iter().enumerate() {
+        let implementation = Vliw::buggy(config, bug);
+        let translation = verifier.translate(&implementation, &spec);
+        let mut solver = CdclSolver::chaff();
+        let start = Instant::now();
+        let mono_verdict = verifier.check(&translation, &mut solver, budget);
+        let mono_time = start.elapsed();
+
+        let problem = verifier.build_problem(&implementation, &spec);
+        let obligations = verifier.translate_obligations(&problem, 20);
+        let decomposed_time = obligations
+            .iter()
+            .filter_map(|t| {
+                let mut solver = CdclSolver::chaff();
+                let start = Instant::now();
+                let verdict = verifier.check(t, &mut solver, budget);
+                verdict.is_buggy().then(|| start.elapsed())
+            })
+            .min()
+            .unwrap_or(Duration::from_secs(60));
+
+        all_detected &= mono_verdict.is_buggy();
+        println!(
+            "{:<34} {:>16.3} {:>16.3} {:>14}",
+            format!("Bug{} ({bug:?})", i + 1),
+            mono_time.as_secs_f64(),
+            decomposed_time.as_secs_f64(),
+            translation.stats.primary_bool_vars
+        );
+    }
+    shape_check("all four design bugs are detected", all_detected);
+}

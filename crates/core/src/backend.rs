@@ -1,0 +1,216 @@
+//! Decision-diagram back end: evaluating the encoded correctness formula with
+//! BDDs instead of a SAT checker (the role CUDD plays in the paper).
+
+use std::collections::HashMap;
+use velv_bdd::{Bdd, BddLimitExceeded, BddManager};
+use velv_eufm::{Context, Formula, FormulaId, Symbol};
+
+/// Outcome of a BDD-based validity check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BddOutcome {
+    /// The formula is valid (under the assumed side constraints).
+    Valid,
+    /// The formula is falsifiable; one falsifying assignment of the primary
+    /// Boolean variables is returned (variable names mapped to values).
+    Falsifiable(Vec<(String, bool)>),
+    /// The node limit was exceeded — the analogue of the memory-outs and
+    /// time-outs the paper reports for the BDD runs on the larger designs.
+    LimitExceeded,
+}
+
+impl BddOutcome {
+    /// Whether the outcome proves validity.
+    pub fn is_valid(&self) -> bool {
+        matches!(self, BddOutcome::Valid)
+    }
+}
+
+/// Checks the validity of `assume ⇒ formula` by building its BDD.
+///
+/// Variables are ordered by first appearance in a depth-first traversal of the
+/// formula (the depth-first ordering heuristic of Malik et al. used by the
+/// paper's BED/BDD experiments).
+pub fn check_validity_with_bdds(
+    ctx: &Context,
+    formula: FormulaId,
+    assume: FormulaId,
+    node_limit: usize,
+) -> BddOutcome {
+    // Collect the propositional variables in depth-first order.
+    let mut order: Vec<Symbol> = Vec::new();
+    let mut seen_vars: HashMap<Symbol, u32> = HashMap::new();
+    collect_vars(ctx, assume, &mut order, &mut seen_vars);
+    collect_vars(ctx, formula, &mut order, &mut seen_vars);
+
+    let mut manager = BddManager::new(order.len());
+    manager.set_node_limit(node_limit);
+    let var_index: HashMap<Symbol, u32> = seen_vars;
+
+    let mut memo: HashMap<FormulaId, Bdd> = HashMap::new();
+    let assume_bdd = match build(ctx, &mut manager, assume, &var_index, &mut memo) {
+        Ok(b) => b,
+        Err(_) => return BddOutcome::LimitExceeded,
+    };
+    let formula_bdd = match build(ctx, &mut manager, formula, &var_index, &mut memo) {
+        Ok(b) => b,
+        Err(_) => return BddOutcome::LimitExceeded,
+    };
+    let implication = match manager.implies(assume_bdd, formula_bdd) {
+        Ok(b) => b,
+        Err(_) => return BddOutcome::LimitExceeded,
+    };
+    if manager.is_true(implication) {
+        return BddOutcome::Valid;
+    }
+    // Extract a falsifying assignment: a satisfying assignment of ¬implication.
+    let negated = match manager.not(implication) {
+        Ok(b) => b,
+        Err(_) => return BddOutcome::LimitExceeded,
+    };
+    let assignment = manager
+        .sat_one(negated)
+        .expect("a non-true implication has a falsifying assignment");
+    let named: Vec<(String, bool)> = order
+        .iter()
+        .enumerate()
+        .filter_map(|(i, sym)| {
+            assignment[i].map(|value| (ctx.symbol_name(*sym).to_owned(), value))
+        })
+        .collect();
+    BddOutcome::Falsifiable(named)
+}
+
+fn collect_vars(
+    ctx: &Context,
+    root: FormulaId,
+    order: &mut Vec<Symbol>,
+    seen: &mut HashMap<Symbol, u32>,
+) {
+    let mut stack = vec![root];
+    let mut visited = std::collections::HashSet::new();
+    while let Some(f) = stack.pop() {
+        if !visited.insert(f) {
+            continue;
+        }
+        match ctx.formula(f) {
+            Formula::True | Formula::False => {}
+            Formula::Var(sym) => {
+                if !seen.contains_key(sym) {
+                    seen.insert(*sym, order.len() as u32);
+                    order.push(*sym);
+                }
+            }
+            Formula::Not(a) => stack.push(*a),
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                stack.push(*a);
+                stack.push(*b);
+            }
+            Formula::Ite(c, a, b) => {
+                stack.push(*c);
+                stack.push(*a);
+                stack.push(*b);
+            }
+            Formula::Eq(_, _) | Formula::Up(_, _) => {
+                panic!("the BDD back end expects an encoded (purely propositional) formula")
+            }
+        }
+    }
+}
+
+fn build(
+    ctx: &Context,
+    manager: &mut BddManager,
+    f: FormulaId,
+    var_index: &HashMap<Symbol, u32>,
+    memo: &mut HashMap<FormulaId, Bdd>,
+) -> Result<Bdd, BddLimitExceeded> {
+    if let Some(&b) = memo.get(&f) {
+        return Ok(b);
+    }
+    let result = match ctx.formula(f).clone() {
+        Formula::True => manager.true_bdd(),
+        Formula::False => manager.false_bdd(),
+        Formula::Var(sym) => manager.var(var_index[&sym])?,
+        Formula::Not(a) => {
+            let ba = build(ctx, manager, a, var_index, memo)?;
+            manager.not(ba)?
+        }
+        Formula::And(a, b) => {
+            let ba = build(ctx, manager, a, var_index, memo)?;
+            let bb = build(ctx, manager, b, var_index, memo)?;
+            manager.and(ba, bb)?
+        }
+        Formula::Or(a, b) => {
+            let ba = build(ctx, manager, a, var_index, memo)?;
+            let bb = build(ctx, manager, b, var_index, memo)?;
+            manager.or(ba, bb)?
+        }
+        Formula::Ite(c, a, b) => {
+            let bc = build(ctx, manager, c, var_index, memo)?;
+            let ba = build(ctx, manager, a, var_index, memo)?;
+            let bb = build(ctx, manager, b, var_index, memo)?;
+            manager.ite(bc, ba, bb)?
+        }
+        Formula::Eq(_, _) | Formula::Up(_, _) => {
+            panic!("the BDD back end expects an encoded (purely propositional) formula")
+        }
+    };
+    memo.insert(f, result);
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_formula_is_recognised() {
+        let mut ctx = Context::new();
+        let p = ctx.prop_var("p");
+        let np = ctx.not(p);
+        let taut = ctx.or(p, np);
+        let t = ctx.true_id();
+        assert_eq!(check_validity_with_bdds(&ctx, taut, t, 1 << 20), BddOutcome::Valid);
+    }
+
+    #[test]
+    fn falsifiable_formula_yields_assignment() {
+        let mut ctx = Context::new();
+        let p = ctx.prop_var("p");
+        let q = ctx.prop_var("q");
+        let formula = ctx.and(p, q);
+        let t = ctx.true_id();
+        match check_validity_with_bdds(&ctx, formula, t, 1 << 20) {
+            BddOutcome::Falsifiable(assignment) => {
+                assert!(!assignment.is_empty());
+            }
+            other => panic!("expected Falsifiable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assumptions_are_taken_into_account() {
+        let mut ctx = Context::new();
+        let p = ctx.prop_var("p");
+        let q = ctx.prop_var("q");
+        let imp = ctx.implies(p, q);
+        // q is not valid by itself, but it is valid assuming p ∧ (p ⇒ q).
+        let assume = ctx.and(p, imp);
+        assert_eq!(check_validity_with_bdds(&ctx, q, assume, 1 << 20), BddOutcome::Valid);
+        let t = ctx.true_id();
+        assert!(!check_validity_with_bdds(&ctx, q, t, 1 << 20).is_valid());
+    }
+
+    #[test]
+    fn node_limit_surfaces_as_limit_exceeded() {
+        let mut ctx = Context::new();
+        // A formula whose BDD needs more than a handful of nodes: XOR chain.
+        let mut acc = ctx.prop_var("x0");
+        for i in 1..24 {
+            let v = ctx.prop_var(&format!("x{i}"));
+            acc = ctx.xor(acc, v);
+        }
+        let t = ctx.true_id();
+        assert_eq!(check_validity_with_bdds(&ctx, acc, t, 8), BddOutcome::LimitExceeded);
+    }
+}

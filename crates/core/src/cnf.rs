@@ -1,0 +1,245 @@
+//! Translation of propositional formulas into CNF.
+//!
+//! Follows Section 4 of the paper: one auxiliary Boolean variable per `∧`, `∨`
+//! and `ITE` operator, constrained to equal the operator's value (Fig. 5);
+//! negations are *not* given variables — they are absorbed into the polarity
+//! of the literal of their argument (Fig. 6).  The final CNF asserts the
+//! required value of each root with a unit clause.
+
+use std::collections::{BTreeMap, HashMap};
+use velv_eufm::{Context, Formula, FormulaId, Symbol};
+use velv_sat::{CnfFormula, Lit, Var};
+
+/// Result of CNF generation.
+#[derive(Clone, Debug)]
+pub struct CnfTranslation {
+    /// The generated CNF formula.
+    pub cnf: CnfFormula,
+    /// CNF variable of every primary (propositional) variable of the source formula.
+    pub primary_vars: BTreeMap<Symbol, Var>,
+    /// Number of auxiliary variables introduced for operators.
+    pub num_aux_vars: usize,
+}
+
+impl CnfTranslation {
+    /// Number of primary Boolean variables (propositional variables of the
+    /// source formula, including *e*ij and indexing variables).
+    pub fn num_primary_vars(&self) -> usize {
+        self.primary_vars.len()
+    }
+}
+
+/// Translates the given roots to one CNF formula.  Each entry `(f, value)`
+/// asserts that formula `f` must evaluate to `value`; asserting the encoded
+/// correctness formula to `false` together with its side constraints to `true`
+/// yields the satisfiability problem whose solutions are counterexamples.
+///
+/// # Panics
+///
+/// Panics if a root still contains equations, uninterpreted predicates or
+/// term-level structure (the encoding stage must run first).
+pub fn formula_to_cnf(ctx: &Context, roots: &[(FormulaId, bool)]) -> CnfTranslation {
+    let mut translator = Translator {
+        ctx,
+        cnf: CnfFormula::new(0),
+        primary_vars: BTreeMap::new(),
+        memo: HashMap::new(),
+        constant_true: None,
+        num_aux_vars: 0,
+    };
+    let mut units = Vec::new();
+    for &(root, value) in roots {
+        let lit = translator.lit_of(root);
+        units.push(if value { lit } else { !lit });
+    }
+    for unit in units {
+        translator.cnf.add_clause(vec![unit]);
+    }
+    CnfTranslation {
+        cnf: translator.cnf,
+        primary_vars: translator.primary_vars,
+        num_aux_vars: translator.num_aux_vars,
+    }
+}
+
+struct Translator<'a> {
+    ctx: &'a Context,
+    cnf: CnfFormula,
+    primary_vars: BTreeMap<Symbol, Var>,
+    memo: HashMap<FormulaId, Lit>,
+    constant_true: Option<Lit>,
+    num_aux_vars: usize,
+}
+
+impl Translator<'_> {
+    fn fresh_aux(&mut self) -> Lit {
+        self.num_aux_vars += 1;
+        Lit::positive(self.cnf.new_var())
+    }
+
+    fn constant_true_lit(&mut self) -> Lit {
+        if let Some(l) = self.constant_true {
+            return l;
+        }
+        let lit = Lit::positive(self.cnf.new_var());
+        self.cnf.add_clause(vec![lit]);
+        self.constant_true = Some(lit);
+        lit
+    }
+
+    fn lit_of(&mut self, f: FormulaId) -> Lit {
+        if let Some(&l) = self.memo.get(&f) {
+            return l;
+        }
+        let lit = match self.ctx.formula(f).clone() {
+            Formula::True => self.constant_true_lit(),
+            Formula::False => !self.constant_true_lit(),
+            Formula::Var(sym) => {
+                let var = *self
+                    .primary_vars
+                    .entry(sym)
+                    .or_insert_with(|| self.cnf.new_var());
+                Lit::positive(var)
+            }
+            Formula::Not(a) => {
+                let la = self.lit_of(a);
+                !la
+            }
+            Formula::And(a, b) => {
+                let la = self.lit_of(a);
+                let lb = self.lit_of(b);
+                let v = self.fresh_aux();
+                // v ↔ (a ∧ b)
+                self.cnf.add_clause(vec![!v, la]);
+                self.cnf.add_clause(vec![!v, lb]);
+                self.cnf.add_clause(vec![v, !la, !lb]);
+                v
+            }
+            Formula::Or(a, b) => {
+                let la = self.lit_of(a);
+                let lb = self.lit_of(b);
+                let v = self.fresh_aux();
+                // v ↔ (a ∨ b)
+                self.cnf.add_clause(vec![!v, la, lb]);
+                self.cnf.add_clause(vec![v, !la]);
+                self.cnf.add_clause(vec![v, !lb]);
+                v
+            }
+            Formula::Ite(c, t, e) => {
+                let lc = self.lit_of(c);
+                let lt = self.lit_of(t);
+                let le = self.lit_of(e);
+                let v = self.fresh_aux();
+                // v ↔ ITE(c, t, e)
+                self.cnf.add_clause(vec![!v, !lc, lt]);
+                self.cnf.add_clause(vec![!v, lc, le]);
+                self.cnf.add_clause(vec![v, !lc, !lt]);
+                self.cnf.add_clause(vec![v, lc, !le]);
+                // Redundant but propagation-friendly clauses.
+                self.cnf.add_clause(vec![!v, lt, le]);
+                self.cnf.add_clause(vec![v, !lt, !le]);
+                v
+            }
+            Formula::Eq(_, _) | Formula::Up(_, _) => {
+                panic!("equations and predicates must be encoded before CNF generation")
+            }
+        };
+        self.memo.insert(f, lit);
+        lit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use velv_sat::cdcl::CdclSolver;
+    use velv_sat::{SatResult, Solver};
+
+    fn is_sat(cnf: &CnfFormula) -> bool {
+        CdclSolver::chaff().solve(cnf).is_sat()
+    }
+
+    #[test]
+    fn tautology_negation_is_unsat() {
+        let mut ctx = Context::new();
+        let p = ctx.prop_var("p");
+        let np = ctx.not(p);
+        let taut = ctx.or(p, np);
+        let translation = formula_to_cnf(&ctx, &[(taut, false)]);
+        assert!(!is_sat(&translation.cnf), "¬(p ∨ ¬p) must be unsatisfiable");
+        assert_eq!(translation.num_primary_vars(), 1);
+    }
+
+    #[test]
+    fn satisfiable_formula_yields_model_on_primary_vars() {
+        let mut ctx = Context::new();
+        let p = ctx.prop_var("p");
+        let q = ctx.prop_var("q");
+        let nq = ctx.not(q);
+        let formula = ctx.and(p, nq);
+        let translation = formula_to_cnf(&ctx, &[(formula, true)]);
+        match CdclSolver::chaff().solve(&translation.cnf) {
+            SatResult::Sat(model) => {
+                let p_sym = ctx.symbols().lookup("p").unwrap();
+                let q_sym = ctx.symbols().lookup("q").unwrap();
+                assert!(model.value(translation.primary_vars[&p_sym]));
+                assert!(!model.value(translation.primary_vars[&q_sym]));
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_roots_are_conjoined() {
+        let mut ctx = Context::new();
+        let p = ctx.prop_var("p");
+        let q = ctx.prop_var("q");
+        // Assert p = true and q = false simultaneously; then (p ∧ q) asserted
+        // true makes it unsatisfiable.
+        let pq = ctx.and(p, q);
+        let translation = formula_to_cnf(&ctx, &[(p, true), (q, false), (pq, true)]);
+        assert!(!is_sat(&translation.cnf));
+        let translation_ok = formula_to_cnf(&ctx, &[(p, true), (q, false), (pq, false)]);
+        assert!(is_sat(&translation_ok.cnf));
+    }
+
+    #[test]
+    fn ite_semantics_preserved() {
+        let mut ctx = Context::new();
+        let c = ctx.prop_var("c");
+        let t = ctx.prop_var("t");
+        let e = ctx.prop_var("e");
+        let ite = ctx.ite_formula(c, t, e);
+        // ITE(c,t,e) ∧ c ∧ ¬t is unsatisfiable.
+        let translation = formula_to_cnf(&ctx, &[(ite, true), (c, true), (t, false)]);
+        assert!(!is_sat(&translation.cnf));
+        // ITE(c,t,e) ∧ ¬c ∧ e is satisfiable.
+        let translation = formula_to_cnf(&ctx, &[(ite, true), (c, false), (e, true)]);
+        assert!(is_sat(&translation.cnf));
+    }
+
+    #[test]
+    fn constants_are_handled() {
+        let ctx = Context::new();
+        let t = ctx.true_id();
+        let translation = formula_to_cnf(&ctx, &[(t, true)]);
+        assert!(is_sat(&translation.cnf));
+        let translation = formula_to_cnf(&ctx, &[(t, false)]);
+        assert!(!is_sat(&translation.cnf));
+    }
+
+    #[test]
+    fn negation_does_not_create_aux_vars() {
+        let mut ctx = Context::new();
+        let p = ctx.prop_var("p");
+        let q = ctx.prop_var("q");
+        let conj = ctx.and(p, q);
+        let neg = ctx.not(conj);
+        let with_neg = formula_to_cnf(&ctx, &[(neg, true)]);
+        let without_neg = formula_to_cnf(&ctx, &[(conj, false)]);
+        assert_eq!(
+            with_neg.num_aux_vars, without_neg.num_aux_vars,
+            "negation is absorbed into literal polarity"
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Lifting SAT models back to the level of the encoded correctness formula.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use velv_eufm::{Context, Symbol};
+use velv_sat::{Model, Var};
+
+/// A counterexample: an assignment to the primary Boolean variables of the
+/// encoded correctness formula (control variables, *e*ij equalities, indexing
+/// variables) that falsifies the correctness criterion.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counterexample {
+    assignments: BTreeMap<String, bool>,
+}
+
+impl Counterexample {
+    /// Builds a counterexample from a SAT model and the primary-variable map of
+    /// the CNF translation.
+    pub fn from_model(
+        ctx: &Context,
+        primary_vars: &BTreeMap<Symbol, Var>,
+        model: &Model,
+    ) -> Self {
+        let mut assignments = BTreeMap::new();
+        for (&sym, &var) in primary_vars {
+            if var.index() < model.len() {
+                assignments.insert(ctx.symbol_name(sym).to_owned(), model.value(var));
+            }
+        }
+        Counterexample { assignments }
+    }
+
+    /// The value of a primary variable, if it is part of the counterexample.
+    pub fn value(&self, name: &str) -> Option<bool> {
+        self.assignments.get(name).copied()
+    }
+
+    /// Iterates over `(variable name, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, bool)> {
+        self.assignments.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of assigned primary variables.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Whether the counterexample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// The variables assigned `true` — for g-equation (*e*ij) variables these
+    /// are the equalities the counterexample relies on, which is usually the
+    /// most useful part when diagnosing a bug.
+    pub fn true_assignments(&self) -> Vec<&str> {
+        self.assignments
+            .iter()
+            .filter_map(|(k, &v)| v.then_some(k.as_str()))
+            .collect()
+    }
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "counterexample over {} primary variables:", self.assignments.len())?;
+        for (name, value) in &self.assignments {
+            if *value {
+                writeln!(f, "  {name} = 1")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use velv_sat::Var;
+
+    #[test]
+    fn lifts_model_values_by_name() {
+        let mut ctx = Context::new();
+        let p = ctx.symbol("squash_taken");
+        let q = ctx.symbol("e!rs1=rd");
+        let mut primary = BTreeMap::new();
+        primary.insert(p, Var::new(0));
+        primary.insert(q, Var::new(1));
+        let model = Model::new(vec![true, false]);
+        let cex = Counterexample::from_model(&ctx, &primary, &model);
+        assert_eq!(cex.value("squash_taken"), Some(true));
+        assert_eq!(cex.value("e!rs1=rd"), Some(false));
+        assert_eq!(cex.value("missing"), None);
+        assert_eq!(cex.len(), 2);
+        assert_eq!(cex.true_assignments(), vec!["squash_taken"]);
+        assert!(format!("{cex}").contains("squash_taken = 1"));
+    }
+
+    #[test]
+    fn empty_counterexample() {
+        let cex = Counterexample::default();
+        assert!(cex.is_empty());
+        assert_eq!(cex.iter().count(), 0);
+    }
+}

@@ -1,0 +1,283 @@
+//! The small-domain encoding of g-equations (Pnueli et al. 1999).
+//!
+//! Every g-term variable is assigned a finite set of constants such that any
+//! equality pattern over the compared pairs can be realised.  The sets are
+//! computed with the greedy procedure of Fig. 9 of the paper: repeatedly pick
+//! the unprocessed vertex of highest remaining degree, give it a fresh
+//! *characteristic constant*, add that constant to the sets of all vertices
+//! still reachable from it, then delete its edges.  Each variable then selects
+//! one constant of its set through ⌈log₂ N⌉ fresh indexing variables, and the
+//! equality of two variables is the disjunction over the shared constants of
+//! "both select this constant" — transitivity holds by construction.
+
+use super::{ordered, PairEncoder, PairEncoderStats};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use velv_eufm::{Context, FormulaId, Symbol};
+
+/// Small-domain encoder.
+#[derive(Debug)]
+pub struct SmallDomainEncoder {
+    /// Constant sets per g-term variable (constants are plain integers).
+    domains: BTreeMap<Symbol, Vec<u32>>,
+    /// Selection condition per (variable, constant).
+    selectors: BTreeMap<(Symbol, u32), FormulaId>,
+    num_indexing_vars: usize,
+}
+
+impl SmallDomainEncoder {
+    /// Computes the constant sets and indexing variables for the compared pairs.
+    pub fn new(ctx: &mut Context, pairs: &BTreeSet<(Symbol, Symbol)>) -> Self {
+        let domains = assign_domains(pairs);
+        let mut selectors = BTreeMap::new();
+        let mut num_indexing_vars = 0;
+        for (&var, constants) in &domains {
+            let n = constants.len();
+            if n == 1 {
+                selectors.insert((var, constants[0]), ctx.true_id());
+                continue;
+            }
+            let bits = usize::BITS as usize - (n - 1).leading_zeros() as usize;
+            let bit_vars: Vec<FormulaId> = (0..bits)
+                .map(|b| {
+                    let name = format!("sd!{}#{b}", ctx.symbol_name(var).to_owned());
+                    ctx.prop_var(&name)
+                })
+                .collect();
+            num_indexing_vars += bits;
+            // Selection condition of the j-th constant: the binary value of the
+            // indexing variables equals j; the last constant also absorbs the
+            // overflow combinations so that every assignment selects something.
+            for (j, &constant) in constants.iter().enumerate() {
+                let exact = |ctx: &mut Context, value: usize, bit_vars: &[FormulaId]| {
+                    let mut acc = ctx.true_id();
+                    for (b, &bit) in bit_vars.iter().enumerate() {
+                        let lit = if (value >> b) & 1 == 1 { bit } else { ctx.not(bit) };
+                        acc = ctx.and(acc, lit);
+                    }
+                    acc
+                };
+                let condition = if j + 1 == n {
+                    // All encodings >= j select the last constant.
+                    let mut acc = ctx.false_id();
+                    for value in j..(1usize << bits) {
+                        let m = exact(ctx, value, &bit_vars);
+                        acc = ctx.or(acc, m);
+                    }
+                    acc
+                } else {
+                    exact(ctx, j, &bit_vars)
+                };
+                selectors.insert((var, constant), condition);
+            }
+        }
+        SmallDomainEncoder { domains, selectors, num_indexing_vars }
+    }
+
+    /// The constant set assigned to a variable.
+    pub fn domain_of(&self, var: Symbol) -> Option<&[u32]> {
+        self.domains.get(&var).map(|v| v.as_slice())
+    }
+
+    fn selector(&self, var: Symbol, constant: u32) -> Option<FormulaId> {
+        self.selectors.get(&(var, constant)).copied()
+    }
+}
+
+impl PairEncoder for SmallDomainEncoder {
+    fn encode_pair(&mut self, ctx: &mut Context, x: Symbol, y: Symbol) -> FormulaId {
+        let (a, b) = ordered(x, y);
+        let (da, db) = match (self.domains.get(&a), self.domains.get(&b)) {
+            (Some(da), Some(db)) => (da.clone(), db.clone()),
+            _ => {
+                debug_assert!(false, "pair ({a:?}, {b:?}) was not discovered during pass 1");
+                return ctx.false_id();
+            }
+        };
+        let shared: Vec<u32> = da.iter().filter(|c| db.contains(c)).copied().collect();
+        let mut acc = ctx.false_id();
+        for constant in shared {
+            let sa = self.selector(a, constant).unwrap_or_else(|| ctx.false_id());
+            let sb = self.selector(b, constant).unwrap_or_else(|| ctx.false_id());
+            let both = ctx.and(sa, sb);
+            acc = ctx.or(acc, both);
+        }
+        acc
+    }
+
+    fn side_constraints(&mut self, ctx: &mut Context) -> FormulaId {
+        // Transitivity is enforced by construction.
+        ctx.true_id()
+    }
+
+    fn stats(&self) -> PairEncoderStats {
+        PairEncoderStats {
+            eij_vars: 0,
+            indexing_vars: self.num_indexing_vars,
+            triangles: 0,
+        }
+    }
+}
+
+/// The greedy constant-set assignment of Fig. 9.
+fn assign_domains(pairs: &BTreeSet<(Symbol, Symbol)>) -> BTreeMap<Symbol, Vec<u32>> {
+    let mut adjacency: BTreeMap<Symbol, BTreeSet<Symbol>> = BTreeMap::new();
+    for &(a, b) in pairs {
+        adjacency.entry(a).or_default().insert(b);
+        adjacency.entry(b).or_default().insert(a);
+    }
+    let mut domains: BTreeMap<Symbol, Vec<u32>> = adjacency.keys().map(|&v| (v, Vec::new())).collect();
+    let mut unprocessed: BTreeSet<Symbol> = adjacency.keys().copied().collect();
+    let mut next_constant: u32 = 0;
+
+    while let Some(&node) = unprocessed
+        .iter()
+        .max_by_key(|v| adjacency.get(v).map_or(0, |n| n.len()))
+    {
+        let constant = next_constant;
+        next_constant += 1;
+        // The node itself and everything reachable from it through the
+        // remaining edges receive the characteristic constant.
+        let mut reachable = BTreeSet::new();
+        let mut queue = VecDeque::from([node]);
+        while let Some(v) = queue.pop_front() {
+            if !reachable.insert(v) {
+                continue;
+            }
+            if let Some(nbrs) = adjacency.get(&v) {
+                for &n in nbrs {
+                    if !reachable.contains(&n) {
+                        queue.push_back(n);
+                    }
+                }
+            }
+        }
+        for v in reachable {
+            domains.entry(v).or_default().push(constant);
+        }
+        // Remove the processed node's edges.
+        if let Some(nbrs) = adjacency.remove(&node) {
+            for n in nbrs {
+                if let Some(set) = adjacency.get_mut(&n) {
+                    set.remove(&node);
+                }
+            }
+        }
+        adjacency.entry(node).or_default();
+        unprocessed.remove(&node);
+    }
+    domains
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn symbols(ctx: &mut Context, names: &[&str]) -> Vec<Symbol> {
+        names.iter().map(|n| ctx.symbol(n)).collect()
+    }
+
+    #[test]
+    fn chain_domains_grow_along_processing_order() {
+        let mut ctx = Context::new();
+        let syms = symbols(&mut ctx, &["x", "y", "z"]);
+        let pairs: BTreeSet<_> = [ordered(syms[0], syms[1]), ordered(syms[1], syms[2])]
+            .into_iter()
+            .collect();
+        let encoder = SmallDomainEncoder::new(&mut ctx, &pairs);
+        for &s in &syms {
+            let domain = encoder.domain_of(s).unwrap();
+            assert!(!domain.is_empty());
+            assert!(domain.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn connected_variables_share_a_constant() {
+        let mut ctx = Context::new();
+        let syms = symbols(&mut ctx, &["a", "b"]);
+        let pairs: BTreeSet<_> = [ordered(syms[0], syms[1])].into_iter().collect();
+        let encoder = SmallDomainEncoder::new(&mut ctx, &pairs);
+        let da = encoder.domain_of(syms[0]).unwrap();
+        let db = encoder.domain_of(syms[1]).unwrap();
+        assert!(da.iter().any(|c| db.contains(c)), "compared variables can be equal");
+        // And at least one of the two can take a private value, so they can differ.
+        assert!(da.len() + db.len() > 2 || da != db || da.len() > 1);
+    }
+
+    #[test]
+    fn equality_formula_is_satisfiable_and_refutable() {
+        use velv_eufm::{Evaluator, Interpretation};
+        let mut ctx = Context::new();
+        let syms = symbols(&mut ctx, &["a", "b"]);
+        let pairs: BTreeSet<_> = [ordered(syms[0], syms[1])].into_iter().collect();
+        let mut encoder = SmallDomainEncoder::new(&mut ctx, &pairs);
+        let eq = encoder.encode_pair(&mut ctx, syms[0], syms[1]);
+        assert!(!ctx.is_true(eq) && !ctx.is_false(eq));
+        // Some assignment of the indexing variables makes the two equal and
+        // some makes them different: evaluate under all-false and all-true.
+        let index_names: Vec<String> = ctx
+            .symbols()
+            .iter()
+            .filter(|(_, n)| n.starts_with("sd!"))
+            .map(|(_, n)| n.to_owned())
+            .collect();
+        let mut interp_false = Interpretation::new();
+        let mut interp_true = Interpretation::new();
+        for name in &index_names {
+            interp_false.set_prop_var(&mut ctx, name, false);
+            interp_true.set_prop_var(&mut ctx, name, true);
+        }
+        let mut values = Vec::new();
+        values.push(Evaluator::new(&ctx, interp_false).eval_formula(eq));
+        values.push(Evaluator::new(&ctx, interp_true).eval_formula(eq));
+        assert!(
+            values.contains(&true) && values.contains(&false),
+            "indexing variables must control the outcome, got {values:?}"
+        );
+    }
+
+    #[test]
+    fn triangle_supports_all_equality_patterns() {
+        use velv_eufm::{Evaluator, Interpretation};
+        let mut ctx = Context::new();
+        let syms = symbols(&mut ctx, &["x", "y", "z"]);
+        let pairs: BTreeSet<_> = [
+            ordered(syms[0], syms[1]),
+            ordered(syms[1], syms[2]),
+            ordered(syms[0], syms[2]),
+        ]
+        .into_iter()
+        .collect();
+        let mut encoder = SmallDomainEncoder::new(&mut ctx, &pairs);
+        let exy = encoder.encode_pair(&mut ctx, syms[0], syms[1]);
+        let eyz = encoder.encode_pair(&mut ctx, syms[1], syms[2]);
+        let exz = encoder.encode_pair(&mut ctx, syms[0], syms[2]);
+        // Enumerate all assignments of the indexing variables and record which
+        // (exy, eyz, exz) patterns are reachable.
+        let index_vars: Vec<String> = ctx
+            .symbols()
+            .iter()
+            .filter(|(_, n)| n.starts_with("sd!"))
+            .map(|(_, n)| n.to_owned())
+            .collect();
+        let mut patterns = BTreeSet::new();
+        for bits in 0..(1u32 << index_vars.len()) {
+            let mut interp = Interpretation::new();
+            for (i, name) in index_vars.iter().enumerate() {
+                interp.set_prop_var(&mut ctx, name, bits & (1 << i) != 0);
+            }
+            let mut ev = Evaluator::new(&ctx, interp);
+            patterns.insert((ev.eval_formula(exy), ev.eval_formula(eyz), ev.eval_formula(exz)));
+        }
+        // All-equal, all-distinct and each "exactly one pair equal" pattern must
+        // be reachable; intransitive patterns must not be.
+        assert!(patterns.contains(&(true, true, true)));
+        assert!(patterns.contains(&(false, false, false)));
+        assert!(patterns.contains(&(true, false, false)));
+        assert!(patterns.contains(&(false, true, false)));
+        assert!(patterns.contains(&(false, false, true)));
+        assert!(!patterns.contains(&(true, true, false)), "transitivity violated");
+        assert!(!patterns.contains(&(true, false, true)), "transitivity violated");
+        assert!(!patterns.contains(&(false, true, true)), "transitivity violated");
+    }
+}

@@ -1,0 +1,463 @@
+//! The end-to-end verification flow: model → EUFM criterion → propositional
+//! formula → CNF → SAT/BDD back end → verdict.
+
+use crate::backend::{check_validity_with_bdds, BddOutcome};
+use crate::burch_dill::VerificationProblem;
+use crate::cnf::formula_to_cnf;
+use crate::counterexample::Counterexample;
+use crate::decompose::decompose;
+use crate::encode::encode;
+use crate::memory_elim::eliminate_memories;
+use crate::options::TranslationOptions;
+use crate::positive_equality::Classification;
+use crate::stats::TranslationStats;
+use crate::uf_elim::eliminate_ufs;
+use std::collections::{BTreeMap, BTreeSet};
+use velv_eufm::{Context, DagStats, FormulaId, Support, Symbol};
+use velv_hdl::Processor;
+use velv_sat::{Budget, CnfFormula, SatResult, Solver, Var};
+
+/// A fully translated verification obligation, ready for a SAT or BDD back end.
+#[derive(Clone, Debug)]
+pub struct Translation {
+    /// Name of the obligation (design name, or design + obligation for
+    /// decomposed criteria).
+    pub name: String,
+    /// The expression context owning the encoded formulas.
+    pub ctx: Context,
+    /// The encoded correctness formula (must be valid).
+    pub encoded: FormulaId,
+    /// Side constraints that may be assumed (transitivity constraints).
+    pub side_constraints: FormulaId,
+    /// The CNF whose satisfiability disproves correctness.
+    pub cnf: CnfFormula,
+    /// CNF variables of the primary Boolean variables.
+    pub primary_vars: BTreeMap<Symbol, Var>,
+    /// Size statistics.
+    pub stats: TranslationStats,
+}
+
+/// Outcome of a verification run.
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// The design satisfies the Burch–Dill correctness criterion.
+    Correct,
+    /// The design is buggy; the counterexample falsifies the criterion.
+    Buggy(Counterexample),
+    /// The back end could not decide within its resource limits.
+    Unknown(String),
+}
+
+impl Verdict {
+    /// Whether the verdict proves correctness.
+    pub fn is_correct(&self) -> bool {
+        matches!(self, Verdict::Correct)
+    }
+
+    /// Whether the verdict exhibits a bug.
+    pub fn is_buggy(&self) -> bool {
+        matches!(self, Verdict::Buggy(_))
+    }
+
+    /// The counterexample, when the design is buggy.
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match self {
+            Verdict::Buggy(cex) => Some(cex),
+            _ => None,
+        }
+    }
+}
+
+/// The verification driver: owns the translation options and runs the flow.
+#[derive(Clone, Debug, Default)]
+pub struct Verifier {
+    options: TranslationOptions,
+}
+
+impl Verifier {
+    /// Creates a verifier with the given translation options.
+    pub fn new(options: TranslationOptions) -> Self {
+        Verifier { options }
+    }
+
+    /// The translation options in use.
+    pub fn options(&self) -> &TranslationOptions {
+        &self.options
+    }
+
+    /// Builds the Burch–Dill correctness problem for a design.
+    pub fn build_problem(
+        &self,
+        implementation: &dyn Processor,
+        specification: &dyn Processor,
+    ) -> VerificationProblem {
+        VerificationProblem::build(implementation, specification, &self.options.translation_boxes)
+    }
+
+    /// Translates the monolithic correctness criterion of a design.
+    pub fn translate(
+        &self,
+        implementation: &dyn Processor,
+        specification: &dyn Processor,
+    ) -> Translation {
+        let problem = self.build_problem(implementation, specification);
+        self.translate_problem(&problem)
+    }
+
+    /// Translates the monolithic criterion of an already-built problem.
+    pub fn translate_problem(&self, problem: &VerificationProblem) -> Translation {
+        self.translate_formula_in(
+            problem.ctx.clone(),
+            problem.criterion,
+            &problem.memory_vars,
+            problem.name.clone(),
+        )
+    }
+
+    /// Translates the decomposed (weak) criteria of a problem: at most
+    /// `max_obligations` obligations (plus the coverage obligation).
+    pub fn translate_obligations(
+        &self,
+        problem: &VerificationProblem,
+        max_obligations: usize,
+    ) -> Vec<Translation> {
+        let mut ctx = problem.ctx.clone();
+        let obligations = decompose(problem, &mut ctx, max_obligations);
+        obligations
+            .into_iter()
+            .map(|o| {
+                self.translate_formula_in(
+                    ctx.clone(),
+                    o.formula,
+                    &problem.memory_vars,
+                    format!("{}::{}", problem.name, o.name),
+                )
+            })
+            .collect()
+    }
+
+    /// Runs the translation pipeline on one formula inside its own context.
+    ///
+    /// The deep structural recursions of the pipeline (memory elimination, UF
+    /// elimination, encoding, CNF generation) are executed on a dedicated
+    /// thread with a large stack so that the wide superscalar and VLIW
+    /// correctness formulas do not overflow the default thread stack.
+    fn translate_formula_in(
+        &self,
+        ctx: Context,
+        criterion: FormulaId,
+        memory_vars: &BTreeSet<Symbol>,
+        name: String,
+    ) -> Translation {
+        let this = self.clone();
+        let memory_vars = memory_vars.clone();
+        std::thread::Builder::new()
+            .name(format!("velv-translate-{name}"))
+            .stack_size(256 * 1024 * 1024)
+            .spawn(move || this.translate_formula_impl(ctx, criterion, &memory_vars, name))
+            .expect("spawning the translation thread succeeds")
+            .join()
+            .expect("the translation thread does not panic")
+    }
+
+    fn translate_formula_impl(
+        &self,
+        mut ctx: Context,
+        criterion: FormulaId,
+        memory_vars: &BTreeSet<Symbol>,
+        name: String,
+    ) -> Translation {
+        let eufm_stats = DagStats::of_formula(&ctx, criterion);
+
+        // 1. Memory elimination (precise or conservative per options).
+        let abstract_memories: BTreeSet<Symbol> = self
+            .options
+            .abstract_memories
+            .iter()
+            .map(|n| ctx.symbol(n))
+            .collect();
+        let memless = eliminate_memories(&mut ctx, criterion, memory_vars, &abstract_memories);
+
+        // 2. p/g classification (positive equality) of the memory-free formula.
+        let mut classification = if self.options.positive_equality {
+            Classification::from_formula(&ctx, memless.formula)
+        } else {
+            Classification::all_general()
+        };
+
+        // 3. UF/UP elimination.
+        let eliminated = eliminate_ufs(&mut ctx, memless.formula, &self.options, &mut classification);
+        // Ackermann constraints (if any) are assumptions of the validity check.
+        let to_prove = ctx.implies(eliminated.constraints, eliminated.formula);
+
+        // 4. Encoding of the remaining equations.
+        let encoded = encode(&mut ctx, to_prove, &classification, self.options.encoding);
+
+        // 5. CNF generation: side constraints hold, encoded criterion fails.
+        let cnf_translation =
+            formula_to_cnf(&ctx, &[(encoded.side_constraints, true), (encoded.formula, false)]);
+
+        let mut primary_support = Support::of_formula(&ctx, encoded.formula);
+        let constraint_support = Support::of_formula(&ctx, encoded.side_constraints);
+        primary_support.prop_vars.extend(constraint_support.prop_vars);
+
+        let stats = TranslationStats {
+            primary_bool_vars: primary_support.prop_vars.len(),
+            eij_vars: encoded.num_eij_vars,
+            indexing_vars: encoded.num_indexing_vars,
+            g_pairs: encoded.num_g_pairs,
+            transitivity_triangles: encoded.num_triangles,
+            cnf_vars: cnf_translation.cnf.num_vars(),
+            cnf_clauses: cnf_translation.cnf.num_clauses(),
+            eufm_equations: eufm_stats.equations,
+            uf_applications: eliminated.introduced_vars.len(),
+        };
+
+        Translation {
+            name,
+            ctx,
+            encoded: encoded.formula,
+            side_constraints: encoded.side_constraints,
+            cnf: cnf_translation.cnf,
+            primary_vars: cnf_translation.primary_vars,
+            stats,
+        }
+    }
+
+    /// Checks a translation with a SAT back end.
+    pub fn check(&self, translation: &Translation, solver: &mut dyn Solver, budget: Budget) -> Verdict {
+        match solver.solve_with_budget(&translation.cnf, budget) {
+            SatResult::Unsat => Verdict::Correct,
+            SatResult::Sat(model) => Verdict::Buggy(Counterexample::from_model(
+                &translation.ctx,
+                &translation.primary_vars,
+                &model,
+            )),
+            SatResult::Unknown(reason) => Verdict::Unknown(format!("{reason:?}")),
+        }
+    }
+
+    /// Checks a translation with the BDD back end.
+    pub fn check_with_bdds(&self, translation: &Translation, node_limit: usize) -> Verdict {
+        let translation = translation.clone();
+        std::thread::Builder::new()
+            .name("velv-bdd-backend".to_owned())
+            .stack_size(256 * 1024 * 1024)
+            .spawn(move || Self::check_with_bdds_impl(&translation, node_limit))
+            .expect("spawning the BDD back-end thread succeeds")
+            .join()
+            .expect("the BDD back-end thread does not panic")
+    }
+
+    fn check_with_bdds_impl(translation: &Translation, node_limit: usize) -> Verdict {
+        match check_validity_with_bdds(
+            &translation.ctx,
+            translation.encoded,
+            translation.side_constraints,
+            node_limit,
+        ) {
+            BddOutcome::Valid => Verdict::Correct,
+            BddOutcome::Falsifiable(assignment) => {
+                let mut cex = BTreeMap::new();
+                for (name, value) in assignment {
+                    cex.insert(name, value);
+                }
+                // Build a counterexample structure through its public surface.
+                let mut fake_model_vars = BTreeMap::new();
+                let mut values = Vec::new();
+                let mut ctx = translation.ctx.clone();
+                for (i, (name, value)) in cex.iter().enumerate() {
+                    let sym = ctx.symbol(name);
+                    fake_model_vars.insert(sym, Var::new(i as u32));
+                    values.push(*value);
+                }
+                let model = velv_sat::Model::new(values);
+                Verdict::Buggy(Counterexample::from_model(&ctx, &fake_model_vars, &model))
+            }
+            BddOutcome::LimitExceeded => Verdict::Unknown("bdd node limit exceeded".to_owned()),
+        }
+    }
+
+    /// End-to-end verification with a SAT back end and no resource limits.
+    pub fn verify(
+        &self,
+        implementation: &dyn Processor,
+        specification: &dyn Processor,
+        solver: &mut dyn Solver,
+    ) -> Verdict {
+        self.verify_with_budget(implementation, specification, solver, Budget::unlimited())
+    }
+
+    /// End-to-end verification with a SAT back end and a resource budget.
+    pub fn verify_with_budget(
+        &self,
+        implementation: &dyn Processor,
+        specification: &dyn Processor,
+        solver: &mut dyn Solver,
+        budget: Budget,
+    ) -> Verdict {
+        let translation = self.translate(implementation, specification);
+        self.check(&translation, solver, budget)
+    }
+
+    /// Convenience: decomposed verification.  Returns the per-obligation
+    /// verdicts; the design is correct when every obligation is correct, and
+    /// buggy as soon as one obligation is falsified.
+    pub fn verify_decomposed(
+        &self,
+        implementation: &dyn Processor,
+        specification: &dyn Processor,
+        max_obligations: usize,
+        mut make_solver: impl FnMut() -> Box<dyn Solver>,
+        budget: Budget,
+    ) -> (Verdict, Vec<(String, Verdict)>) {
+        let problem = self.build_problem(implementation, specification);
+        let translations = self.translate_obligations(&problem, max_obligations);
+        let mut results = Vec::new();
+        let mut overall = Verdict::Correct;
+        for translation in &translations {
+            let mut solver = make_solver();
+            let verdict = self.check(translation, solver.as_mut(), budget);
+            if verdict.is_buggy() && !overall.is_buggy() {
+                overall = verdict.clone();
+            }
+            if let Verdict::Unknown(reason) = &verdict {
+                if overall.is_correct() {
+                    overall = Verdict::Unknown(reason.clone());
+                }
+            }
+            results.push((translation.name.clone(), verdict));
+        }
+        (overall, results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_models::{PipelinedToy, ToyBug, ToySpec};
+    use velv_sat::cdcl::CdclSolver;
+
+    #[test]
+    fn correct_design_verifies() {
+        let verifier = Verifier::new(TranslationOptions::default());
+        let mut solver = CdclSolver::chaff();
+        let verdict = verifier.verify(&PipelinedToy::correct(), &ToySpec, &mut solver);
+        assert!(verdict.is_correct(), "got {verdict:?}");
+    }
+
+    #[test]
+    fn buggy_designs_are_refuted_with_counterexamples() {
+        let verifier = Verifier::new(TranslationOptions::default());
+        for bug in [ToyBug::ForwardingIgnoresValid, ToyBug::WritesWrongData] {
+            let mut solver = CdclSolver::chaff();
+            let verdict = verifier.verify(&PipelinedToy::buggy(bug), &ToySpec, &mut solver);
+            assert!(verdict.is_buggy(), "bug {bug:?}: got {verdict:?}");
+            assert!(verdict.counterexample().is_some());
+        }
+    }
+
+    #[test]
+    fn translation_reports_statistics() {
+        let verifier = Verifier::new(TranslationOptions::default());
+        let translation = verifier.translate(&PipelinedToy::correct(), &ToySpec);
+        assert!(translation.stats.cnf_vars > 0);
+        assert!(translation.stats.cnf_clauses > 0);
+        assert!(translation.stats.eufm_equations > 0);
+        assert!(translation.stats.primary_bool_vars > 0);
+        assert!(translation.stats.uf_applications > 0);
+    }
+
+    #[test]
+    fn all_structural_variations_agree_on_the_verdict() {
+        for (name, options) in TranslationOptions::structural_variations() {
+            let verifier = Verifier::new(options);
+            let mut solver = CdclSolver::chaff();
+            let ok = verifier.verify(&PipelinedToy::correct(), &ToySpec, &mut solver);
+            assert!(ok.is_correct(), "variation {name}: {ok:?}");
+            let mut solver = CdclSolver::chaff();
+            let bad = verifier.verify(
+                &PipelinedToy::buggy(ToyBug::ForwardingIgnoresValid),
+                &ToySpec,
+                &mut solver,
+            );
+            assert!(bad.is_buggy(), "variation {name}: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn both_encodings_agree_on_the_verdict() {
+        for options in [
+            TranslationOptions::default(),
+            TranslationOptions::default().with_small_domain(),
+        ] {
+            let verifier = Verifier::new(options);
+            let mut solver = CdclSolver::chaff();
+            assert!(verifier
+                .verify(&PipelinedToy::correct(), &ToySpec, &mut solver)
+                .is_correct());
+            let mut solver = CdclSolver::chaff();
+            assert!(verifier
+                .verify(&PipelinedToy::buggy(ToyBug::WritesWrongData), &ToySpec, &mut solver)
+                .is_buggy());
+        }
+    }
+
+    #[test]
+    fn disabling_positive_equality_preserves_the_verdict() {
+        let verifier = Verifier::new(TranslationOptions::default().without_positive_equality());
+        let mut solver = CdclSolver::chaff();
+        assert!(verifier
+            .verify(&PipelinedToy::correct(), &ToySpec, &mut solver)
+            .is_correct());
+        let mut solver = CdclSolver::chaff();
+        assert!(verifier
+            .verify(&PipelinedToy::buggy(ToyBug::WritesWrongData), &ToySpec, &mut solver)
+            .is_buggy());
+    }
+
+    #[test]
+    fn disabling_positive_equality_increases_primary_variables() {
+        let with = Verifier::new(TranslationOptions::default());
+        let without = Verifier::new(TranslationOptions::default().without_positive_equality());
+        let t_with = with.translate(&PipelinedToy::correct(), &ToySpec);
+        let t_without = without.translate(&PipelinedToy::correct(), &ToySpec);
+        assert!(
+            t_without.stats.eij_vars > t_with.stats.eij_vars,
+            "treating every term variable as general must add eij variables ({} vs {})",
+            t_without.stats.eij_vars,
+            t_with.stats.eij_vars
+        );
+    }
+
+    #[test]
+    fn bdd_back_end_agrees() {
+        let verifier = Verifier::new(TranslationOptions::default());
+        let good = verifier.translate(&PipelinedToy::correct(), &ToySpec);
+        assert!(verifier.check_with_bdds(&good, 1 << 22).is_correct());
+        let bad = verifier.translate(&PipelinedToy::buggy(ToyBug::WritesWrongData), &ToySpec);
+        assert!(verifier.check_with_bdds(&bad, 1 << 22).is_buggy());
+    }
+
+    #[test]
+    fn decomposed_verification_matches_monolithic() {
+        let verifier = Verifier::new(TranslationOptions::default());
+        let (overall, parts) = verifier.verify_decomposed(
+            &PipelinedToy::correct(),
+            &ToySpec,
+            8,
+            || Box::new(CdclSolver::chaff()),
+            Budget::unlimited(),
+        );
+        assert!(overall.is_correct(), "got {overall:?}");
+        assert!(!parts.is_empty());
+        let (overall, _) = verifier.verify_decomposed(
+            &PipelinedToy::buggy(ToyBug::WritesWrongData),
+            &ToySpec,
+            8,
+            || Box::new(CdclSolver::chaff()),
+            Budget::unlimited(),
+        );
+        assert!(overall.is_buggy());
+    }
+}

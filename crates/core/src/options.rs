@@ -1,0 +1,141 @@
+//! Configuration of the EUFM → propositional translation.
+
+/// How g-equations (equations between general terms) are encoded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GEncoding {
+    /// One fresh Boolean variable per g-equation plus sparse transitivity
+    /// constraints (Goel et al. 1998; Bryant & Velev 2002).
+    Eij,
+    /// Small-domain instantiation: each g-term ranges over a sufficient set of
+    /// constants selected by indexing variables (Pnueli et al. 1999).
+    SmallDomain,
+}
+
+/// How uninterpreted predicates are eliminated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UpElimination {
+    /// Nested-ITE scheme (same as for uninterpreted functions).
+    NestedIte,
+    /// Ackermann constraints.  The paper notes this is acceptable for
+    /// predicates (the negated consistency equations are over Boolean values)
+    /// but must not be used for functions whose results are p-terms.
+    Ackermann,
+}
+
+/// All the translation toggles exercised by the paper's experiments.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TranslationOptions {
+    /// Exploit positive equality (Section 8).  When disabled, every term
+    /// variable is treated as a g-term, as in the original Goel et al. scheme.
+    pub positive_equality: bool,
+    /// Encoding of g-equations (Section 6).
+    pub encoding: GEncoding,
+    /// Elimination scheme for uninterpreted predicates (Section 5, "AC").
+    pub up_elimination: UpElimination,
+    /// Early reduction of p-equations during UF elimination (Section 5, "ER").
+    pub early_reduction: bool,
+    /// Conservative approximation: abstract these memories (by state-element
+    /// name) with general uninterpreted functions that do not satisfy the
+    /// forwarding property (Section 8).
+    pub abstract_memories: Vec<String>,
+    /// Conservative approximation: wrap these architectural state elements in
+    /// dummy unary "translation box" UFs on both sides of the commutative
+    /// diagram (Section 8).
+    pub translation_boxes: Vec<String>,
+}
+
+impl Default for TranslationOptions {
+    fn default() -> Self {
+        TranslationOptions {
+            positive_equality: true,
+            encoding: GEncoding::Eij,
+            up_elimination: UpElimination::NestedIte,
+            early_reduction: false,
+            abstract_memories: Vec::new(),
+            translation_boxes: Vec::new(),
+        }
+    }
+}
+
+impl TranslationOptions {
+    /// The base configuration used throughout the experiments: positive
+    /// equality, eij encoding, nested-ITE elimination, no structural
+    /// variations, no conservative approximations.
+    pub fn base() -> Self {
+        Self::default()
+    }
+
+    /// Structural variation "ER": early reduction of p-equations.
+    pub fn with_early_reduction(mut self) -> Self {
+        self.early_reduction = true;
+        self
+    }
+
+    /// Structural variation "AC": Ackermann constraints for predicates.
+    pub fn with_ackermann_ups(mut self) -> Self {
+        self.up_elimination = UpElimination::Ackermann;
+        self
+    }
+
+    /// Switches to the small-domain encoding of g-equations.
+    pub fn with_small_domain(mut self) -> Self {
+        self.encoding = GEncoding::SmallDomain;
+        self
+    }
+
+    /// Disables positive equality (the "no positive equality" rows of Table 9).
+    pub fn without_positive_equality(mut self) -> Self {
+        self.positive_equality = false;
+        self
+    }
+
+    /// The four structural variations of Table 2: base, ER, AC, ER + AC.
+    pub fn structural_variations() -> Vec<(String, TranslationOptions)> {
+        vec![
+            ("base".to_owned(), Self::base()),
+            ("ER".to_owned(), Self::base().with_early_reduction()),
+            ("AC".to_owned(), Self::base().with_ackermann_ups()),
+            (
+                "ER+AC".to_owned(),
+                Self::base().with_early_reduction().with_ackermann_ups(),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_the_paper_base_configuration() {
+        let options = TranslationOptions::default();
+        assert!(options.positive_equality);
+        assert_eq!(options.encoding, GEncoding::Eij);
+        assert_eq!(options.up_elimination, UpElimination::NestedIte);
+        assert!(!options.early_reduction);
+        assert!(options.abstract_memories.is_empty());
+        assert!(options.translation_boxes.is_empty());
+    }
+
+    #[test]
+    fn builders_toggle_the_right_fields() {
+        let options = TranslationOptions::base()
+            .with_early_reduction()
+            .with_ackermann_ups()
+            .with_small_domain();
+        assert!(options.early_reduction);
+        assert_eq!(options.up_elimination, UpElimination::Ackermann);
+        assert_eq!(options.encoding, GEncoding::SmallDomain);
+        assert!(!TranslationOptions::base().without_positive_equality().positive_equality);
+    }
+
+    #[test]
+    fn four_structural_variations() {
+        let variations = TranslationOptions::structural_variations();
+        assert_eq!(variations.len(), 4);
+        assert_eq!(variations[0].0, "base");
+        assert!(variations[3].1.early_reduction);
+        assert_eq!(variations[3].1.up_elimination, UpElimination::Ackermann);
+    }
+}

@@ -1,0 +1,110 @@
+//! Classification of term variables and function symbols into p-terms and
+//! g-terms — the *positive equality* optimisation (Section 8 of the paper).
+
+use std::collections::BTreeSet;
+use velv_eufm::{Context, FormulaId, PolarityAnalysis, Symbol};
+
+/// The p/g classification of term-producing symbols (term variables and
+/// uninterpreted-function symbols).
+///
+/// A symbol is a **g-symbol** when one of its values can reach an equation
+/// that occurs negated or inside an `ITE` control; all other symbols are
+/// **p-symbols** and are interpreted *maximally diverse* during the encoding:
+/// two syntactically distinct p-term variables are simply unequal.
+#[derive(Clone, Debug, Default)]
+pub struct Classification {
+    g_symbols: BTreeSet<Symbol>,
+    /// When positive equality is disabled every symbol is treated as general.
+    all_general: bool,
+}
+
+impl Classification {
+    /// Classification produced by a polarity analysis of `root`.
+    pub fn from_formula(ctx: &Context, root: FormulaId) -> Self {
+        let analysis = PolarityAnalysis::run(ctx, root);
+        Classification { g_symbols: analysis.g_symbols, all_general: false }
+    }
+
+    /// Classification for several roots (used by decomposed criteria).
+    pub fn from_formulas<I: IntoIterator<Item = FormulaId>>(ctx: &Context, roots: I) -> Self {
+        let analysis = PolarityAnalysis::run_many(ctx, roots);
+        Classification { g_symbols: analysis.g_symbols, all_general: false }
+    }
+
+    /// The classification used when positive equality is switched off: every
+    /// term variable is a g-term (the original Goel et al. treatment).
+    pub fn all_general() -> Self {
+        Classification { g_symbols: BTreeSet::new(), all_general: true }
+    }
+
+    /// Whether `sym` must be treated as a general (g) symbol.
+    pub fn is_general(&self, sym: Symbol) -> bool {
+        self.all_general || self.g_symbols.contains(&sym)
+    }
+
+    /// Marks a symbol as general (used for fresh variables that replace
+    /// applications of g-classified uninterpreted functions).
+    pub fn mark_general(&mut self, sym: Symbol) {
+        self.g_symbols.insert(sym);
+    }
+
+    /// Number of explicitly recorded g-symbols.
+    pub fn general_count(&self) -> usize {
+        self.g_symbols.len()
+    }
+
+    /// Whether positive equality is effectively disabled.
+    pub fn treats_everything_as_general(&self) -> bool {
+        self.all_general
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forwarding_comparison_makes_register_ids_general() {
+        let mut ctx = Context::new();
+        // operand = ITE(src = dest, forwarded, read) ; result compared positively.
+        let src = ctx.term_var("src");
+        let dest = ctx.term_var("dest");
+        let fwd = ctx.term_var("fwd");
+        let reg = ctx.term_var("reg");
+        let out = ctx.term_var("out");
+        let cond = ctx.eq(src, dest);
+        let operand = ctx.ite_term(cond, fwd, reg);
+        let root = ctx.eq(operand, out);
+        let classification = Classification::from_formula(&ctx, root);
+        let sym = |ctx: &Context, n: &str| ctx.symbols().lookup(n).unwrap();
+        assert!(classification.is_general(sym(&ctx, "src")));
+        assert!(classification.is_general(sym(&ctx, "dest")));
+        assert!(!classification.is_general(sym(&ctx, "fwd")));
+        assert!(!classification.is_general(sym(&ctx, "out")));
+    }
+
+    #[test]
+    fn all_general_ignores_structure() {
+        let mut ctx = Context::new();
+        let a = ctx.term_var("a");
+        let b = ctx.term_var("b");
+        let _root = ctx.eq(a, b);
+        let classification = Classification::all_general();
+        assert!(classification.treats_everything_as_general());
+        assert!(classification.is_general(ctx.symbols().lookup("a").unwrap()));
+    }
+
+    #[test]
+    fn mark_general_extends_the_set() {
+        let mut ctx = Context::new();
+        let a = ctx.term_var("a");
+        let b = ctx.term_var("b");
+        let root = ctx.eq(a, b);
+        let mut classification = Classification::from_formula(&ctx, root);
+        let a_sym = ctx.symbols().lookup("a").unwrap();
+        assert!(!classification.is_general(a_sym));
+        classification.mark_general(a_sym);
+        assert!(classification.is_general(a_sym));
+        assert_eq!(classification.general_count(), 1);
+    }
+}

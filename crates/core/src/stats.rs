@@ -1,0 +1,66 @@
+//! Statistics of one EUFM → CNF translation (the quantities reported in
+//! Tables 4 and the prose of Section 4 of the paper).
+
+use std::fmt;
+
+/// Size statistics of a translated correctness formula.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TranslationStats {
+    /// Primary Boolean variables: propositional variables of the encoded
+    /// formula (control variables, *e*ij variables, indexing variables,
+    /// predicate-elimination variables).
+    pub primary_bool_vars: usize,
+    /// Fresh *e*ij variables introduced by the eij encoding.
+    pub eij_vars: usize,
+    /// Fresh indexing variables introduced by the small-domain encoding.
+    pub indexing_vars: usize,
+    /// Distinct pairs of g-term variables compared by the formula.
+    pub g_pairs: usize,
+    /// Transitivity triangles constrained.
+    pub transitivity_triangles: usize,
+    /// Variables of the generated CNF (primary + auxiliary).
+    pub cnf_vars: usize,
+    /// Clauses of the generated CNF.
+    pub cnf_clauses: usize,
+    /// Equation nodes in the EUFM correctness formula before encoding.
+    pub eufm_equations: usize,
+    /// Uninterpreted-function applications eliminated.
+    pub uf_applications: usize,
+}
+
+impl fmt::Display for TranslationStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "primary={} (eij={}, idx={}), cnf_vars={}, cnf_clauses={}, g_pairs={}, triangles={}",
+            self.primary_bool_vars,
+            self.eij_vars,
+            self.indexing_vars,
+            self.cnf_vars,
+            self.cnf_clauses,
+            self.g_pairs,
+            self.transitivity_triangles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let stats = TranslationStats { primary_bool_vars: 10, cnf_vars: 42, cnf_clauses: 100, ..Default::default() };
+        let text = format!("{stats}");
+        assert!(text.contains("primary=10"));
+        assert!(text.contains("cnf_vars=42"));
+        assert!(text.contains("cnf_clauses=100"));
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        let stats = TranslationStats::default();
+        assert_eq!(stats.primary_bool_vars, 0);
+        assert_eq!(stats.cnf_clauses, 0);
+    }
+}

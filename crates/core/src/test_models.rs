@@ -1,0 +1,165 @@
+//! Small processor models used only by this crate's unit tests.
+//!
+//! `PipelinedToy` is a two-stage accumulator pipeline with a forwarding path
+//! from its single pipeline latch to the operand of the next instruction, so
+//! the Burch–Dill criterion it produces is genuinely non-trivial (memory
+//! elimination, UF elimination and g-equation encoding all have work to do),
+//! yet small enough that every back end decides it instantly.
+
+use velv_eufm::{Context, FormulaId};
+use velv_hdl::{Processor, StateElement, SymbolicState};
+
+/// The kinds of bugs the toy implementation can be built with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ToyBug {
+    /// The forwarding path ignores the latch valid bit (omitted gate input).
+    ForwardingIgnoresValid,
+    /// The write-back stores the destination register identifier instead of
+    /// the result (incorrect input to a memory).
+    WritesWrongData,
+}
+
+/// Two-stage pipelined implementation.
+pub(crate) struct PipelinedToy {
+    pub bug: Option<ToyBug>,
+}
+
+impl PipelinedToy {
+    pub fn correct() -> Self {
+        PipelinedToy { bug: None }
+    }
+
+    pub fn buggy(bug: ToyBug) -> Self {
+        PipelinedToy { bug: Some(bug) }
+    }
+}
+
+impl Processor for PipelinedToy {
+    fn name(&self) -> &str {
+        match self.bug {
+            None => "toy-pipe",
+            Some(_) => "toy-pipe-buggy",
+        }
+    }
+
+    fn state_elements(&self) -> Vec<StateElement> {
+        vec![
+            StateElement::arch_term("pc"),
+            StateElement::arch_memory("rf"),
+            StateElement::pipe_flag("latch.valid"),
+            StateElement::pipe_term("latch.dest"),
+            StateElement::pipe_term("latch.data"),
+        ]
+    }
+
+    fn fetch_width(&self) -> usize {
+        1
+    }
+
+    fn flush_cycles(&self) -> usize {
+        1
+    }
+
+    fn step(
+        &self,
+        ctx: &mut Context,
+        state: &SymbolicState,
+        fetch_enabled: FormulaId,
+    ) -> SymbolicState {
+        let pc = state.term("pc");
+        let rf = state.term("rf");
+        let valid = state.formula("latch.valid");
+        let dest = state.term("latch.dest");
+        let data = state.term("latch.data");
+
+        // Write-back of the instruction in the latch.
+        let wb_data = match self.bug {
+            Some(ToyBug::WritesWrongData) => dest,
+            _ => data,
+        };
+        let written = ctx.write(rf, dest, wb_data);
+        let rf_next = ctx.ite_term(valid, written, rf);
+
+        // Fetch and execute a new instruction (reads the old register file and
+        // forwards from the latch when the source matches the pending destination).
+        let op = ctx.uf("imem_op", vec![pc]);
+        let src = ctx.uf("imem_src", vec![pc]);
+        let new_dest = ctx.uf("imem_dest", vec![pc]);
+        let src_matches = ctx.eq(src, dest);
+        let forward = match self.bug {
+            Some(ToyBug::ForwardingIgnoresValid) => src_matches,
+            _ => ctx.and(valid, src_matches),
+        };
+        let rf_read = ctx.read(rf, src);
+        let operand = ctx.ite_term(forward, data, rf_read);
+        let result = ctx.uf("alu", vec![op, operand]);
+
+        let pc_plus = ctx.uf("pc_plus_4", vec![pc]);
+        let pc_next = ctx.ite_term(fetch_enabled, pc_plus, pc);
+
+        let mut next = SymbolicState::new();
+        next.set_term("pc", pc_next);
+        next.set_term("rf", rf_next);
+        next.set_formula("latch.valid", fetch_enabled);
+        let latched_dest = ctx.ite_term(fetch_enabled, new_dest, dest);
+        let latched_data = ctx.ite_term(fetch_enabled, result, data);
+        next.set_term("latch.dest", latched_dest);
+        next.set_term("latch.data", latched_data);
+        next
+    }
+
+    fn completion_windows(
+        &self,
+        ctx: &mut Context,
+        _initial: &SymbolicState,
+        _stepped: &SymbolicState,
+    ) -> Option<Vec<FormulaId>> {
+        // The toy never squashes: the fetched instruction always completes.
+        Some(vec![ctx.false_id(), ctx.true_id()])
+    }
+}
+
+/// The single-cycle specification of the toy ISA.
+pub(crate) struct ToySpec;
+
+impl Processor for ToySpec {
+    fn name(&self) -> &str {
+        "toy-spec"
+    }
+
+    fn state_elements(&self) -> Vec<StateElement> {
+        vec![StateElement::arch_term("pc"), StateElement::arch_memory("rf")]
+    }
+
+    fn fetch_width(&self) -> usize {
+        1
+    }
+
+    fn flush_cycles(&self) -> usize {
+        0
+    }
+
+    fn step(
+        &self,
+        ctx: &mut Context,
+        state: &SymbolicState,
+        fetch_enabled: FormulaId,
+    ) -> SymbolicState {
+        let pc = state.term("pc");
+        let rf = state.term("rf");
+        let op = ctx.uf("imem_op", vec![pc]);
+        let src = ctx.uf("imem_src", vec![pc]);
+        let dest = ctx.uf("imem_dest", vec![pc]);
+        let operand = ctx.read(rf, src);
+        let result = ctx.uf("alu", vec![op, operand]);
+        let written = ctx.write(rf, dest, result);
+        let pc_plus = ctx.uf("pc_plus_4", vec![pc]);
+
+        let mut next = SymbolicState::new();
+        let pc_next = ctx.ite_term(fetch_enabled, pc_plus, pc);
+        let rf_next = ctx.ite_term(fetch_enabled, written, rf);
+        next.set_term("pc", pc_next);
+        next.set_term("rf", rf_next);
+        next
+    }
+}

@@ -1,0 +1,140 @@
+//! Expression node definitions for the EUFM DAG.
+
+use crate::symbols::Symbol;
+use std::fmt;
+
+/// Identifier of a hash-consed term node inside a [`Context`](crate::Context).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(pub(crate) u32);
+
+/// Identifier of a hash-consed formula node inside a [`Context`](crate::Context).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FormulaId(pub(crate) u32);
+
+impl TermId {
+    /// Raw index of the node in the context's term arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl FormulaId {
+    /// Raw index of the node in the context's formula arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for FormulaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A term of the EUFM logic.
+///
+/// Terms abstract word-level values: data operands, register identifiers,
+/// memory addresses, program counters, and entire memory-array states.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A term variable (an uninterpreted-function symbol of arity zero).
+    Var(Symbol),
+    /// An uninterpreted-function application `f(t1, ..., tn)`.
+    Uf(Symbol, Vec<TermId>),
+    /// `ITE(c, t, e)`: evaluates to `t` when `c` holds and to `e` otherwise.
+    Ite(FormulaId, TermId, TermId),
+    /// Interpreted memory read: `read(mem, addr)`.
+    Read(TermId, TermId),
+    /// Interpreted memory write: `write(mem, addr, data)` — the new memory state.
+    Write(TermId, TermId, TermId),
+}
+
+/// A formula of the EUFM logic.
+///
+/// Formulas model the control path of the processor and the correctness
+/// condition itself.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// The constant `true`.
+    True,
+    /// The constant `false`.
+    False,
+    /// A propositional variable (an uninterpreted predicate of arity zero).
+    Var(Symbol),
+    /// An uninterpreted-predicate application `P(t1, ..., tn)`.
+    Up(Symbol, Vec<TermId>),
+    /// Negation.
+    Not(FormulaId),
+    /// Binary conjunction (n-ary conjunction is built by chaining).
+    And(FormulaId, FormulaId),
+    /// Binary disjunction.
+    Or(FormulaId, FormulaId),
+    /// `ITE(c, t, e)` over formulas.
+    Ite(FormulaId, FormulaId, FormulaId),
+    /// Equation between two terms.
+    Eq(TermId, TermId),
+}
+
+impl Term {
+    /// Returns `true` for term variables.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// Returns `true` for uninterpreted-function applications.
+    pub fn is_uf(&self) -> bool {
+        matches!(self, Term::Uf(_, _))
+    }
+
+    /// Returns `true` for the interpreted memory operations `read`/`write`.
+    pub fn is_memory_op(&self) -> bool {
+        matches!(self, Term::Read(_, _) | Term::Write(_, _, _))
+    }
+}
+
+impl Formula {
+    /// Returns `true` for the Boolean constants.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Formula::True | Formula::False)
+    }
+
+    /// Returns `true` for equations between terms.
+    pub fn is_eq(&self) -> bool {
+        matches!(self, Formula::Eq(_, _))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_kind_predicates() {
+        let v = Term::Var(Symbol(0));
+        let f = Term::Uf(Symbol(1), vec![TermId(0)]);
+        let r = Term::Read(TermId(0), TermId(1));
+        assert!(v.is_var() && !v.is_uf() && !v.is_memory_op());
+        assert!(f.is_uf() && !f.is_var());
+        assert!(r.is_memory_op());
+    }
+
+    #[test]
+    fn formula_kind_predicates() {
+        assert!(Formula::True.is_const());
+        assert!(Formula::False.is_const());
+        assert!(!Formula::Var(Symbol(0)).is_const());
+        assert!(Formula::Eq(TermId(0), TermId(1)).is_eq());
+    }
+
+    #[test]
+    fn ids_display_distinctly() {
+        assert_eq!(format!("{}", TermId(3)), "t3");
+        assert_eq!(format!("{}", FormulaId(3)), "f3");
+    }
+}

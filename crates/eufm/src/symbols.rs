@@ -1,0 +1,127 @@
+//! String interning for variable, uninterpreted-function and predicate names.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned identifier for a name (term variable, propositional variable,
+/// uninterpreted function or predicate).
+///
+/// Symbols are cheap to copy and compare; the actual string is owned by the
+/// [`SymbolTable`] of the [`Context`](crate::Context) that created them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub(crate) u32);
+
+impl Symbol {
+    /// Raw index of the symbol inside its table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// An append-only interner mapping names to [`Symbol`]s and back.
+#[derive(Debug, Default, Clone)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    index: HashMap<String, Symbol>,
+}
+
+impl SymbolTable {
+    /// Creates an empty symbol table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing symbol if it was seen before.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.index.get(name) {
+            return sym;
+        }
+        let sym = Symbol(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), sym);
+        sym
+    }
+
+    /// Looks up a name without interning it.
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.index.get(name).copied()
+    }
+
+    /// Returns the name of `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` does not belong to this table.
+    pub fn name(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all `(Symbol, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Symbol(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut table = SymbolTable::new();
+        let a1 = table.intern("a");
+        let a2 = table.intern("a");
+        let b = table.intern("b");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(table.name(a1), "a");
+        assert_eq!(table.name(b), "b");
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut table = SymbolTable::new();
+        assert!(table.lookup("x").is_none());
+        let x = table.intern("x");
+        assert_eq!(table.lookup("x"), Some(x));
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let mut table = SymbolTable::new();
+        let names = ["pc", "rf", "op", "pc"];
+        for n in names {
+            table.intern(n);
+        }
+        let collected: Vec<&str> = table.iter().map(|(_, n)| n).collect();
+        assert_eq!(collected, vec!["pc", "rf", "op"]);
+    }
+
+    #[test]
+    fn symbol_display_is_nonempty() {
+        let mut table = SymbolTable::new();
+        let s = table.intern("alu");
+        assert!(!format!("{s}").is_empty());
+    }
+}

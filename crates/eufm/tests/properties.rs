@@ -1,0 +1,223 @@
+//! Property-based tests of the EUFM context, evaluator and polarity analysis.
+
+use proptest::prelude::*;
+use velv_eufm::{Context, Evaluator, FormulaId, Interpretation, PolarityAnalysis, Support};
+
+/// A small AST we generate randomly and then lower into a `Context`, so that
+/// shrinking works on a plain value type.
+#[derive(Clone, Debug)]
+enum Ast {
+    Var(u8),
+    PropVar(u8),
+    Eq(Box<Ast>, Box<Ast>),
+    Not(Box<Ast>),
+    And(Box<Ast>, Box<Ast>),
+    Or(Box<Ast>, Box<Ast>),
+    IteF(Box<Ast>, Box<Ast>, Box<Ast>),
+}
+
+/// Term-level AST used inside equations.
+#[derive(Clone, Debug)]
+enum TAst {
+    Var(u8),
+    Uf(u8, Vec<TAst>),
+    Ite(Box<Ast>, Box<TAst>, Box<TAst>),
+}
+
+fn term_strategy() -> impl Strategy<Value = TAst> {
+    let leaf = (0u8..6).prop_map(TAst::Var);
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (0u8..3, prop::collection::vec(inner.clone(), 1..3))
+                .prop_map(|(f, args)| TAst::Uf(f, args)),
+            (formula_leaf(), inner.clone(), inner).prop_map(|(c, a, b)| TAst::Ite(
+                Box::new(c),
+                Box::new(a),
+                Box::new(b)
+            )),
+        ]
+    })
+}
+
+fn formula_leaf() -> impl Strategy<Value = Ast> {
+    prop_oneof![
+        (0u8..4).prop_map(Ast::PropVar),
+        (0u8..6, 0u8..6).prop_map(|(a, b)| Ast::Eq(Box::new(Ast::Var(a)), Box::new(Ast::Var(b)))),
+    ]
+}
+
+fn formula_strategy() -> impl Strategy<Value = Ast> {
+    let leaf = formula_leaf();
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|a| Ast::Not(Box::new(a))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, a, b)| Ast::IteF(Box::new(c), Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn lower_term(ctx: &mut Context, t: &TAst) -> velv_eufm::TermId {
+    match t {
+        TAst::Var(i) => ctx.term_var(&format!("v{i}")),
+        TAst::Uf(f, args) => {
+            let lowered: Vec<_> = args.iter().map(|a| lower_term(ctx, a)).collect();
+            ctx.uf(&format!("f{f}"), lowered)
+        }
+        TAst::Ite(c, a, b) => {
+            let cf = lower(ctx, c);
+            let at = lower_term(ctx, a);
+            let bt = lower_term(ctx, b);
+            ctx.ite_term(cf, at, bt)
+        }
+    }
+}
+
+fn lower(ctx: &mut Context, ast: &Ast) -> FormulaId {
+    match ast {
+        Ast::Var(i) => ctx.term_var(&format!("v{i}")).pipe_eq_self(ctx),
+        Ast::PropVar(i) => ctx.prop_var(&format!("p{i}")),
+        Ast::Eq(a, b) => {
+            let (a, b) = (term_of(ctx, a), term_of(ctx, b));
+            ctx.eq(a, b)
+        }
+        Ast::Not(a) => {
+            let f = lower(ctx, a);
+            ctx.not(f)
+        }
+        Ast::And(a, b) => {
+            let (fa, fb) = (lower(ctx, a), lower(ctx, b));
+            ctx.and(fa, fb)
+        }
+        Ast::Or(a, b) => {
+            let (fa, fb) = (lower(ctx, a), lower(ctx, b));
+            ctx.or(fa, fb)
+        }
+        Ast::IteF(c, a, b) => {
+            let (fc, fa, fb) = (lower(ctx, c), lower(ctx, a), lower(ctx, b));
+            ctx.ite_formula(fc, fa, fb)
+        }
+    }
+}
+
+fn term_of(ctx: &mut Context, ast: &Ast) -> velv_eufm::TermId {
+    match ast {
+        Ast::Var(i) => ctx.term_var(&format!("v{i}")),
+        _ => ctx.term_var("v0"),
+    }
+}
+
+trait PipeEqSelf {
+    fn pipe_eq_self(self, ctx: &mut Context) -> FormulaId;
+}
+
+impl PipeEqSelf for velv_eufm::TermId {
+    fn pipe_eq_self(self, ctx: &mut Context) -> FormulaId {
+        // A term used where a formula is expected: wrap it as `t = t`, i.e. `true`.
+        ctx.eq(self, self)
+    }
+}
+
+fn interpretation_from_seed(ctx: &mut Context, seed: u64) -> Interpretation {
+    let mut interp = Interpretation::new();
+    for i in 0..6u8 {
+        let value = (seed >> (i * 2)) & 0x3;
+        interp.set_term_var(ctx, &format!("v{i}"), value);
+    }
+    for i in 0..4u8 {
+        let value = (seed >> (16 + i)) & 1 == 1;
+        interp.set_prop_var(ctx, &format!("p{i}"), value);
+    }
+    interp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Hash-consing: lowering the same AST twice yields the same node id.
+    #[test]
+    fn lowering_is_deterministic(ast in formula_strategy()) {
+        let mut ctx = Context::new();
+        let f1 = lower(&mut ctx, &ast);
+        let f2 = lower(&mut ctx, &ast);
+        prop_assert_eq!(f1, f2);
+    }
+
+    /// Local simplifications never change the truth value of a formula.
+    #[test]
+    fn double_negation_preserves_value(ast in formula_strategy(), seed in any::<u64>()) {
+        let mut ctx = Context::new();
+        let f = lower(&mut ctx, &ast);
+        let nn = ctx.not(f);
+        let nn = ctx.not(nn);
+        let interp = interpretation_from_seed(&mut ctx, seed);
+        let mut ev = Evaluator::new(&ctx, interp);
+        prop_assert_eq!(ev.eval_formula(f), ev.eval_formula(nn));
+    }
+
+    /// De Morgan dual forms evaluate identically.
+    #[test]
+    fn de_morgan(ast1 in formula_strategy(), ast2 in formula_strategy(), seed in any::<u64>()) {
+        let mut ctx = Context::new();
+        let a = lower(&mut ctx, &ast1);
+        let b = lower(&mut ctx, &ast2);
+        let conj = ctx.and(a, b);
+        let lhs = ctx.not(conj);
+        let na = ctx.not(a);
+        let nb = ctx.not(b);
+        let rhs = ctx.or(na, nb);
+        let interp = interpretation_from_seed(&mut ctx, seed);
+        let mut ev = Evaluator::new(&ctx, interp);
+        prop_assert_eq!(ev.eval_formula(lhs), ev.eval_formula(rhs));
+    }
+
+    /// The implication `a ⇒ a` is always true and `a ∧ ¬a` is always false.
+    #[test]
+    fn tautology_and_contradiction(ast in formula_strategy(), seed in any::<u64>()) {
+        let mut ctx = Context::new();
+        let a = lower(&mut ctx, &ast);
+        let taut = ctx.implies(a, a);
+        let na = ctx.not(a);
+        let contra = ctx.and(a, na);
+        let interp = interpretation_from_seed(&mut ctx, seed);
+        let mut ev = Evaluator::new(&ctx, interp);
+        prop_assert!(ev.eval_formula(taut));
+        prop_assert!(!ev.eval_formula(contra));
+    }
+
+    /// Equation evaluation agrees with the values of its sides.
+    #[test]
+    fn equation_matches_term_values(t1 in term_strategy(), t2 in term_strategy(), seed in any::<u64>()) {
+        let mut ctx = Context::new();
+        let a = lower_term(&mut ctx, &t1);
+        let b = lower_term(&mut ctx, &t2);
+        let eq = ctx.eq(a, b);
+        let interp = interpretation_from_seed(&mut ctx, seed);
+        let mut ev = Evaluator::new(&ctx, interp);
+        let va = ev.eval_term(a).as_data();
+        let vb = ev.eval_term(b).as_data();
+        prop_assert_eq!(ev.eval_formula(eq), va == vb);
+    }
+
+    /// Every equation reported by the polarity analysis is reachable, and the
+    /// g/p symbol sets are disjoint.
+    #[test]
+    fn polarity_classification_is_consistent(ast in formula_strategy()) {
+        let mut ctx = Context::new();
+        let f = lower(&mut ctx, &ast);
+        let analysis = PolarityAnalysis::run(&ctx, f);
+        for sym in &analysis.p_symbols {
+            prop_assert!(!analysis.g_symbols.contains(sym));
+        }
+        let support = Support::of_formula(&ctx, f);
+        for (eq, _) in &analysis.equations {
+            // Equations found by the analysis mention only variables in the support.
+            let eq_support = Support::of_formula(&ctx, *eq);
+            for v in &eq_support.term_vars {
+                prop_assert!(support.term_vars.contains(v));
+            }
+        }
+    }
+}

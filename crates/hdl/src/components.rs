@@ -1,0 +1,191 @@
+//! Reusable pieces of term-level data-path and control logic.
+
+use velv_eufm::{Context, FormulaId, TermId};
+
+/// Reads `addr` from the register file `rf` and then applies forwarding from
+/// later pipeline stages.  `forwards` lists `(active, dest, data)` sources in
+/// priority order: the *first* matching active source wins (closest stage
+/// first, exactly like hardware forwarding muxes).
+pub fn forwarded_read(
+    ctx: &mut Context,
+    rf: TermId,
+    addr: TermId,
+    forwards: &[(FormulaId, TermId, TermId)],
+) -> TermId {
+    let mut value = ctx.read(rf, addr);
+    // Build the mux chain from lowest priority to highest so that the first
+    // entry of `forwards` ends up controlling the outermost ITE.
+    for &(active, dest, data) in forwards.iter().rev() {
+        let addr_match = ctx.eq(addr, dest);
+        let take = ctx.and(active, addr_match);
+        value = ctx.ite_term(take, data, value);
+    }
+    value
+}
+
+/// Conditional register-file update: `write(rf, dest, data)` when `enable`
+/// holds, otherwise the register file is unchanged.
+pub fn conditional_write(
+    ctx: &mut Context,
+    rf: TermId,
+    enable: FormulaId,
+    dest: TermId,
+    data: TermId,
+) -> TermId {
+    let written = ctx.write(rf, dest, data);
+    ctx.ite_term(enable, written, rf)
+}
+
+/// Read-after-write hazard detection: the consumer reads `src` while the
+/// producer (when `producer_active`) is about to write `dest`.
+pub fn raw_hazard(
+    ctx: &mut Context,
+    producer_active: FormulaId,
+    dest: TermId,
+    src: TermId,
+) -> FormulaId {
+    let same = ctx.eq(dest, src);
+    ctx.and(producer_active, same)
+}
+
+/// A two-input multiplexer over terms.
+pub fn mux(ctx: &mut Context, sel: FormulaId, when_true: TermId, when_false: TermId) -> TermId {
+    ctx.ite_term(sel, when_true, when_false)
+}
+
+/// Keeps `current` when `stall` holds, otherwise accepts `next` — the behaviour
+/// of a pipeline latch with a stall (enable-low) input.
+pub fn stall_latch(ctx: &mut Context, stall: FormulaId, current: TermId, next: TermId) -> TermId {
+    ctx.ite_term(stall, current, next)
+}
+
+/// Same as [`stall_latch`] but for control (formula) fields.
+pub fn stall_latch_flag(
+    ctx: &mut Context,
+    stall: FormulaId,
+    current: FormulaId,
+    next: FormulaId,
+) -> FormulaId {
+    ctx.ite_formula(stall, current, next)
+}
+
+/// Valid bit of a latch that is squashed when `squash` holds and stalled when
+/// `stall` holds: `¬squash ∧ ITE(stall, current, incoming)`.
+pub fn latch_valid(
+    ctx: &mut Context,
+    squash: FormulaId,
+    stall: FormulaId,
+    current: FormulaId,
+    incoming: FormulaId,
+) -> FormulaId {
+    let kept = ctx.ite_formula(stall, current, incoming);
+    let not_squash = ctx.not(squash);
+    ctx.and(not_squash, kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use velv_eufm::{Evaluator, Interpretation};
+
+    #[test]
+    fn forwarded_read_prefers_earliest_source() {
+        let mut ctx = Context::new();
+        let rf = ctx.term_var("rf");
+        let addr = ctx.term_var("src");
+        let d1 = ctx.term_var("mem_dest");
+        let v1 = ctx.term_var("mem_data");
+        let d2 = ctx.term_var("wb_dest");
+        let v2 = ctx.term_var("wb_data");
+        let t = ctx.true_id();
+        let value = forwarded_read(&mut ctx, rf, addr, &[(t, d1, v1), (t, d2, v2)]);
+
+        // When both destinations match, the first (MEM-stage) source wins.
+        let mut interp = Interpretation::new();
+        interp.set_term_var(&mut ctx, "src", 3);
+        interp.set_term_var(&mut ctx, "mem_dest", 3);
+        interp.set_term_var(&mut ctx, "wb_dest", 3);
+        interp.set_term_var(&mut ctx, "mem_data", 111);
+        interp.set_term_var(&mut ctx, "wb_data", 222);
+        let picks_mem = ctx.eq(value, v1);
+        let mut ev = Evaluator::new(&ctx, interp);
+        assert!(ev.eval_formula(picks_mem));
+    }
+
+    #[test]
+    fn forwarded_read_falls_back_to_register_file() {
+        let mut ctx = Context::new();
+        let rf = ctx.term_var("rf");
+        let addr = ctx.term_var("src");
+        let d1 = ctx.term_var("mem_dest");
+        let v1 = ctx.term_var("mem_data");
+        let t = ctx.true_id();
+        let value = forwarded_read(&mut ctx, rf, addr, &[(t, d1, v1)]);
+        let rf_read = ctx.read(rf, addr);
+        let falls_back = ctx.eq(value, rf_read);
+        let mut interp = Interpretation::new();
+        interp.set_term_var(&mut ctx, "src", 1);
+        interp.set_term_var(&mut ctx, "mem_dest", 2);
+        let mut ev = Evaluator::new(&ctx, interp);
+        assert!(ev.eval_formula(falls_back));
+    }
+
+    #[test]
+    fn conditional_write_keeps_state_when_disabled() {
+        let mut ctx = Context::new();
+        let rf = ctx.term_var("rf");
+        let dest = ctx.term_var("dest");
+        let data = ctx.term_var("data");
+        let f = ctx.false_id();
+        let t = ctx.true_id();
+        assert_eq!(conditional_write(&mut ctx, rf, f, dest, data), rf);
+        let written = conditional_write(&mut ctx, rf, t, dest, data);
+        assert_ne!(written, rf);
+    }
+
+    #[test]
+    fn raw_hazard_requires_active_producer() {
+        let mut ctx = Context::new();
+        let dest = ctx.term_var("dest");
+        let src = ctx.term_var("src");
+        let f = ctx.false_id();
+        let no_hazard = raw_hazard(&mut ctx, f, dest, src);
+        assert!(ctx.is_false(no_hazard));
+        let active = ctx.prop_var("active");
+        let hazard = raw_hazard(&mut ctx, active, dest, src);
+        assert!(!ctx.is_false(hazard));
+    }
+
+    #[test]
+    fn latch_valid_squash_dominates_stall() {
+        let mut ctx = Context::new();
+        let cur = ctx.prop_var("cur");
+        let inc = ctx.prop_var("inc");
+        let t = ctx.true_id();
+        let f = ctx.false_id();
+        // Squash forces invalid regardless of stall.
+        let squashed_stalled = latch_valid(&mut ctx, t, t, cur, inc);
+        assert!(ctx.is_false(squashed_stalled));
+        let squashed = latch_valid(&mut ctx, t, f, cur, inc);
+        assert!(ctx.is_false(squashed));
+        // No squash, stall keeps the current value.
+        assert_eq!(latch_valid(&mut ctx, f, t, cur, inc), cur);
+        // No squash, no stall accepts the incoming value.
+        assert_eq!(latch_valid(&mut ctx, f, f, cur, inc), inc);
+    }
+
+    #[test]
+    fn stall_latch_behaviour() {
+        let mut ctx = Context::new();
+        let cur = ctx.term_var("cur");
+        let next = ctx.term_var("next");
+        let t = ctx.true_id();
+        let f = ctx.false_id();
+        assert_eq!(stall_latch(&mut ctx, t, cur, next), cur);
+        assert_eq!(stall_latch(&mut ctx, f, cur, next), next);
+        let curf = ctx.prop_var("curf");
+        let nextf = ctx.prop_var("nextf");
+        assert_eq!(stall_latch_flag(&mut ctx, t, curf, nextf), curf);
+        assert_eq!(stall_latch_flag(&mut ctx, f, curf, nextf), nextf);
+    }
+}

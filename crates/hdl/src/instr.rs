@@ -1,0 +1,177 @@
+//! Instruction-field bundles: the read-only instruction memory as a family of
+//! uninterpreted functions and predicates applied to the program counter.
+//!
+//! The benchmark designs assume no self-modifying code, which lets the
+//! instruction memory be abstracted by UFs/UPs of the fetch PC (Section 2.1 of
+//! the paper): one UF per word-level field (opcode, source and destination
+//! register identifiers, immediate) and one UP per control classification
+//! (register–register ALU, loads, stores, branches, jumps, ...).
+
+use velv_eufm::{Context, FormulaId, TermId};
+
+/// The decoded fields of one fetched instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InstrFields {
+    /// Opcode (selects the ALU operation).
+    pub op: TermId,
+    /// First source register identifier.
+    pub src1: TermId,
+    /// Second source register identifier.
+    pub src2: TermId,
+    /// Destination register identifier.
+    pub dest: TermId,
+    /// Immediate operand.
+    pub imm: TermId,
+    /// Register–register ALU instruction.
+    pub is_alu_reg: FormulaId,
+    /// Register–immediate ALU instruction.
+    pub is_alu_imm: FormulaId,
+    /// Load instruction.
+    pub is_load: FormulaId,
+    /// Store instruction.
+    pub is_store: FormulaId,
+    /// Conditional branch instruction.
+    pub is_branch: FormulaId,
+    /// Unconditional jump instruction.
+    pub is_jump: FormulaId,
+    /// Whether the instruction writes the register file.
+    pub writes_rf: FormulaId,
+    /// Whether the second operand comes from the immediate field.
+    pub uses_imm: FormulaId,
+}
+
+impl InstrFields {
+    /// Fetches and decodes the instruction at `pc`.
+    ///
+    /// All designs (implementation and specification) must use the same
+    /// `prefix` for the same instruction memory so that the abstractions agree.
+    pub fn fetch(ctx: &mut Context, prefix: &str, pc: TermId) -> Self {
+        let uf = |ctx: &mut Context, field: &str| ctx.uf(&format!("{prefix}_{field}"), vec![pc]);
+        let up = |ctx: &mut Context, field: &str| ctx.up(&format!("{prefix}_{field}"), vec![pc]);
+        let op = uf(ctx, "op");
+        let src1 = uf(ctx, "src1");
+        let src2 = uf(ctx, "src2");
+        let dest = uf(ctx, "dest");
+        let imm = uf(ctx, "imm");
+        let is_alu_reg = up(ctx, "is_alu_reg");
+        let is_alu_imm = up(ctx, "is_alu_imm");
+        let is_load = up(ctx, "is_load");
+        let is_store = up(ctx, "is_store");
+        let is_branch = up(ctx, "is_branch");
+        let is_jump = up(ctx, "is_jump");
+        // Derived controls: loads and ALU instructions write the register file;
+        // register-immediate ALU instructions and loads use the immediate.
+        let alu_any = ctx.or(is_alu_reg, is_alu_imm);
+        let writes_rf = ctx.or(alu_any, is_load);
+        let uses_imm = ctx.or(is_alu_imm, is_load);
+        InstrFields {
+            op,
+            src1,
+            src2,
+            dest,
+            imm,
+            is_alu_reg,
+            is_alu_imm,
+            is_load,
+            is_store,
+            is_branch,
+            is_jump,
+            writes_rf,
+            uses_imm,
+        }
+    }
+
+    /// A "bubble": an instruction that has no architectural effect.  Used when
+    /// a pipeline stage must be filled with a no-op (stalls, squashes,
+    /// flushing).  Word-level fields keep their previous values (they are
+    /// don't-cares once the control bits are off).
+    pub fn bubble(ctx: &mut Context, template: &InstrFields) -> Self {
+        let f = ctx.false_id();
+        InstrFields {
+            is_alu_reg: f,
+            is_alu_imm: f,
+            is_load: f,
+            is_store: f,
+            is_branch: f,
+            is_jump: f,
+            writes_rf: f,
+            uses_imm: f,
+            ..*template
+        }
+    }
+
+    /// Multiplexes two instruction bundles under `cond` (`cond` true selects
+    /// `then_i`).
+    pub fn mux(ctx: &mut Context, cond: FormulaId, then_i: &InstrFields, else_i: &InstrFields) -> Self {
+        InstrFields {
+            op: ctx.ite_term(cond, then_i.op, else_i.op),
+            src1: ctx.ite_term(cond, then_i.src1, else_i.src1),
+            src2: ctx.ite_term(cond, then_i.src2, else_i.src2),
+            dest: ctx.ite_term(cond, then_i.dest, else_i.dest),
+            imm: ctx.ite_term(cond, then_i.imm, else_i.imm),
+            is_alu_reg: ctx.ite_formula(cond, then_i.is_alu_reg, else_i.is_alu_reg),
+            is_alu_imm: ctx.ite_formula(cond, then_i.is_alu_imm, else_i.is_alu_imm),
+            is_load: ctx.ite_formula(cond, then_i.is_load, else_i.is_load),
+            is_store: ctx.ite_formula(cond, then_i.is_store, else_i.is_store),
+            is_branch: ctx.ite_formula(cond, then_i.is_branch, else_i.is_branch),
+            is_jump: ctx.ite_formula(cond, then_i.is_jump, else_i.is_jump),
+            writes_rf: ctx.ite_formula(cond, then_i.writes_rf, else_i.writes_rf),
+            uses_imm: ctx.ite_formula(cond, then_i.uses_imm, else_i.uses_imm),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_is_deterministic_in_pc() {
+        let mut ctx = Context::new();
+        let pc = ctx.term_var("pc0");
+        let a = InstrFields::fetch(&mut ctx, "imem", pc);
+        let b = InstrFields::fetch(&mut ctx, "imem", pc);
+        assert_eq!(a, b, "same PC gives the same decoded fields");
+        let other_pc = ctx.term_var("pc1");
+        let c = InstrFields::fetch(&mut ctx, "imem", other_pc);
+        assert_ne!(a.op, c.op);
+    }
+
+    #[test]
+    fn different_memories_are_distinct() {
+        let mut ctx = Context::new();
+        let pc = ctx.term_var("pc0");
+        let a = InstrFields::fetch(&mut ctx, "imem", pc);
+        let b = InstrFields::fetch(&mut ctx, "imem2", pc);
+        assert_ne!(a.op, b.op);
+    }
+
+    #[test]
+    fn bubble_disables_all_effects() {
+        let mut ctx = Context::new();
+        let pc = ctx.term_var("pc0");
+        let instr = InstrFields::fetch(&mut ctx, "imem", pc);
+        let bubble = InstrFields::bubble(&mut ctx, &instr);
+        assert!(ctx.is_false(bubble.writes_rf));
+        assert!(ctx.is_false(bubble.is_store));
+        assert!(ctx.is_false(bubble.is_branch));
+        assert_eq!(bubble.op, instr.op, "word-level fields are retained as don't-cares");
+    }
+
+    #[test]
+    fn mux_selects_between_bundles() {
+        let mut ctx = Context::new();
+        let pc0 = ctx.term_var("pc0");
+        let pc1 = ctx.term_var("pc1");
+        let a = InstrFields::fetch(&mut ctx, "imem", pc0);
+        let b = InstrFields::fetch(&mut ctx, "imem", pc1);
+        let t = ctx.true_id();
+        let f = ctx.false_id();
+        assert_eq!(InstrFields::mux(&mut ctx, t, &a, &b), a);
+        assert_eq!(InstrFields::mux(&mut ctx, f, &a, &b), b);
+        let sel = ctx.prop_var("sel");
+        let muxed = InstrFields::mux(&mut ctx, sel, &a, &b);
+        assert_ne!(muxed, a);
+        assert_ne!(muxed, b);
+    }
+}

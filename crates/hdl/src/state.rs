@@ -1,0 +1,317 @@
+//! Symbolic machine states and state-element declarations.
+
+use std::collections::BTreeMap;
+use velv_eufm::{Context, FormulaId, TermId};
+
+/// What kind of value a state element holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StateKind {
+    /// A single word-level value (PC, a pipeline-latch field, ...).
+    Term,
+    /// A memory array (register file, data memory, ALAT, ...).
+    Memory,
+    /// A control bit (valid bit, exception flag, ...).
+    Flag,
+}
+
+/// Declaration of one state element of a processor.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct StateElement {
+    /// Unique name of the element (e.g. `"pc"`, `"reg_file"`, `"id_ex.valid"`).
+    pub name: String,
+    /// Kind of value held by the element.
+    pub kind: StateKind,
+    /// Whether the element is architectural (visible to the ISA) or
+    /// micro-architectural (pipeline latch contents).
+    pub architectural: bool,
+}
+
+impl StateElement {
+    /// Declares an architectural term-valued element.
+    pub fn arch_term(name: &str) -> Self {
+        StateElement { name: name.to_owned(), kind: StateKind::Term, architectural: true }
+    }
+
+    /// Declares an architectural memory element.
+    pub fn arch_memory(name: &str) -> Self {
+        StateElement { name: name.to_owned(), kind: StateKind::Memory, architectural: true }
+    }
+
+    /// Declares an architectural flag element.
+    pub fn arch_flag(name: &str) -> Self {
+        StateElement { name: name.to_owned(), kind: StateKind::Flag, architectural: true }
+    }
+
+    /// Declares a micro-architectural (pipeline) term-valued element.
+    pub fn pipe_term(name: &str) -> Self {
+        StateElement { name: name.to_owned(), kind: StateKind::Term, architectural: false }
+    }
+
+    /// Declares a micro-architectural flag element (e.g. a valid bit).
+    pub fn pipe_flag(name: &str) -> Self {
+        StateElement { name: name.to_owned(), kind: StateKind::Flag, architectural: false }
+    }
+}
+
+/// A symbolic value: either a term or a formula.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// A word-level (term) value.
+    Term(TermId),
+    /// A control (formula) value.
+    Formula(FormulaId),
+}
+
+impl Value {
+    /// Extracts the term, panicking on a formula value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a formula.
+    pub fn term(self) -> TermId {
+        match self {
+            Value::Term(t) => t,
+            Value::Formula(_) => panic!("expected a term-valued state element"),
+        }
+    }
+
+    /// Extracts the formula, panicking on a term value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a term.
+    pub fn formula(self) -> FormulaId {
+        match self {
+            Value::Formula(f) => f,
+            Value::Term(_) => panic!("expected a formula-valued state element"),
+        }
+    }
+}
+
+/// A complete symbolic state: a value for every state element of a design.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SymbolicState {
+    values: BTreeMap<String, Value>,
+}
+
+impl SymbolicState {
+    /// Creates an empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the fully symbolic initial state for `elements`: every term and
+    /// memory element becomes a fresh term variable, every flag becomes a
+    /// fresh propositional variable.  The prefix keeps implementation and
+    /// specification initial states distinct when needed.
+    pub fn initial(ctx: &mut Context, elements: &[StateElement], prefix: &str) -> Self {
+        let mut state = SymbolicState::new();
+        for element in elements {
+            let var_name = format!("{prefix}{}", element.name);
+            let value = match element.kind {
+                StateKind::Term | StateKind::Memory => Value::Term(ctx.term_var(&var_name)),
+                StateKind::Flag => Value::Formula(ctx.prop_var(&var_name)),
+            };
+            state.values.insert(element.name.clone(), value);
+        }
+        state
+    }
+
+    /// Sets a term-valued element.
+    pub fn set_term(&mut self, name: &str, value: TermId) -> &mut Self {
+        self.values.insert(name.to_owned(), Value::Term(value));
+        self
+    }
+
+    /// Sets a formula-valued element.
+    pub fn set_formula(&mut self, name: &str, value: FormulaId) -> &mut Self {
+        self.values.insert(name.to_owned(), Value::Formula(value));
+        self
+    }
+
+    /// Reads a term-valued element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element is missing or formula-valued.
+    pub fn term(&self, name: &str) -> TermId {
+        self.value(name).term()
+    }
+
+    /// Reads a formula-valued element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element is missing or term-valued.
+    pub fn formula(&self, name: &str) -> FormulaId {
+        self.value(name).formula()
+    }
+
+    /// Reads any element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element is missing.
+    pub fn value(&self, name: &str) -> Value {
+        *self
+            .values
+            .get(name)
+            .unwrap_or_else(|| panic!("state element `{name}` is not present in this state"))
+    }
+
+    /// Looks up an element without panicking.
+    pub fn get(&self, name: &str) -> Option<Value> {
+        self.values.get(name).copied()
+    }
+
+    /// Whether the state contains an element.
+    pub fn contains(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Value)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of elements in the state.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the state has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Restricts the state to the given elements (e.g. projecting a flushed
+    /// implementation state onto the architectural state).
+    pub fn project(&self, elements: &[StateElement]) -> SymbolicState {
+        let mut projected = SymbolicState::new();
+        for element in elements {
+            if let Some(value) = self.get(&element.name) {
+                projected.values.insert(element.name.clone(), value);
+            }
+        }
+        projected
+    }
+
+    /// The formula stating that `self` and `other` agree on every element in
+    /// `elements` (term elements compared with equations, flags with `iff`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an element is missing from either state.
+    pub fn equal_on(
+        &self,
+        ctx: &mut Context,
+        other: &SymbolicState,
+        elements: &[StateElement],
+    ) -> FormulaId {
+        let mut acc = ctx.true_id();
+        for element in elements {
+            let eq = self.element_equal(ctx, other, element);
+            acc = ctx.and(acc, eq);
+        }
+        acc
+    }
+
+    /// The formula stating that `self` and `other` agree on one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element is missing from either state.
+    pub fn element_equal(
+        &self,
+        ctx: &mut Context,
+        other: &SymbolicState,
+        element: &StateElement,
+    ) -> FormulaId {
+        match element.kind {
+            StateKind::Term | StateKind::Memory => {
+                let a = self.term(&element.name);
+                let b = other.term(&element.name);
+                ctx.eq(a, b)
+            }
+            StateKind::Flag => {
+                let a = self.formula(&element.name);
+                let b = other.formula(&element.name);
+                ctx.iff(a, b)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn elements() -> Vec<StateElement> {
+        vec![
+            StateElement::arch_term("pc"),
+            StateElement::arch_memory("reg_file"),
+            StateElement::pipe_flag("if_id.valid"),
+            StateElement::pipe_term("if_id.pc"),
+        ]
+    }
+
+    #[test]
+    fn initial_state_has_every_element() {
+        let mut ctx = Context::new();
+        let elems = elements();
+        let state = SymbolicState::initial(&mut ctx, &elems, "");
+        assert_eq!(state.len(), 4);
+        assert!(state.contains("pc"));
+        assert!(state.contains("if_id.valid"));
+        assert!(matches!(state.value("pc"), Value::Term(_)));
+        assert!(matches!(state.value("if_id.valid"), Value::Formula(_)));
+    }
+
+    #[test]
+    fn prefix_distinguishes_two_initial_states() {
+        let mut ctx = Context::new();
+        let elems = elements();
+        let a = SymbolicState::initial(&mut ctx, &elems, "a_");
+        let b = SymbolicState::initial(&mut ctx, &elems, "b_");
+        assert_ne!(a.term("pc"), b.term("pc"));
+    }
+
+    #[test]
+    fn projection_keeps_only_requested_elements() {
+        let mut ctx = Context::new();
+        let elems = elements();
+        let state = SymbolicState::initial(&mut ctx, &elems, "");
+        let arch: Vec<StateElement> = elems.iter().filter(|e| e.architectural).cloned().collect();
+        let projected = state.project(&arch);
+        assert_eq!(projected.len(), 2);
+        assert!(projected.contains("pc"));
+        assert!(!projected.contains("if_id.valid"));
+    }
+
+    #[test]
+    fn equality_formula_is_true_for_identical_states() {
+        let mut ctx = Context::new();
+        let elems = elements();
+        let state = SymbolicState::initial(&mut ctx, &elems, "");
+        let eq = state.equal_on(&mut ctx, &state.clone(), &elems);
+        assert!(ctx.is_true(eq));
+    }
+
+    #[test]
+    fn equality_formula_is_nontrivial_for_distinct_states() {
+        let mut ctx = Context::new();
+        let elems = elements();
+        let a = SymbolicState::initial(&mut ctx, &elems, "a_");
+        let b = SymbolicState::initial(&mut ctx, &elems, "b_");
+        let eq = a.equal_on(&mut ctx, &b, &elems);
+        assert!(!ctx.is_true(eq));
+        assert!(!ctx.is_false(eq));
+    }
+
+    #[test]
+    #[should_panic(expected = "not present")]
+    fn missing_element_panics() {
+        let state = SymbolicState::new();
+        let _ = state.value("nonexistent");
+    }
+}

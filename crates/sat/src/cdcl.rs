@@ -1,0 +1,877 @@
+//! Conflict-driven clause-learning SAT solver.
+//!
+//! One engine, several personalities: the presets configure the decision
+//! heuristic, restart policy and learning limits so that the solver behaves
+//! like the SAT checkers compared in the paper:
+//!
+//! * [`CdclSolver::chaff`] — lazy two-watched-literal propagation, VSIDS
+//!   activities, aggressive restarts, phase saving (Moskewicz et al., DAC'01).
+//! * [`CdclSolver::berkmin`] — decisions taken from the most recently learned
+//!   conflict clause that is not yet satisfied (Goldberg & Novikov, DATE'02).
+//! * [`CdclSolver::grasp`] — learning and non-chronological backtracking but a
+//!   static decision order and no restarts (Marques-Silva & Sakallah).
+//! * [`CdclSolver::sato`] — length-bounded learning and no activity heuristic.
+//!
+//! The parameter-variation runs of Table 2 are produced with
+//! [`CdclSolver::chaff_with`] and a modified [`CdclConfig`].
+
+use crate::cnf::{CnfFormula, Lit, Var};
+use crate::solver::{Budget, Model, SatResult, Solver, SolverStats, StopReason};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Tuning knobs of the CDCL engine.
+#[derive(Clone, Debug)]
+pub struct CdclConfig {
+    /// Human-readable preset name.
+    pub name: String,
+    /// Multiplicative decay applied to variable activities at each conflict.
+    pub var_decay: f64,
+    /// Multiplicative decay applied to clause activities at each conflict.
+    pub clause_decay: f64,
+    /// Base restart interval in conflicts; `None` disables restarts.
+    pub restart_interval: Option<u64>,
+    /// Geometric growth factor of the restart interval.
+    pub restart_multiplier: f64,
+    /// Probability of making a random decision instead of a heuristic one.
+    pub random_decision_freq: f64,
+    /// BerkMin-style decisions: branch on a literal of the most recently
+    /// learned clause that is not yet satisfied.
+    pub clause_based_decisions: bool,
+    /// Use a static (index) variable order instead of activities.
+    pub static_order: bool,
+    /// Keep only learned clauses of at most this length (SATO-style).
+    pub max_learnt_len: Option<usize>,
+    /// Remember the last assigned polarity of each variable.
+    pub phase_saving: bool,
+    /// Periodically delete low-activity learned clauses.
+    pub db_reduction: bool,
+    /// RNG seed for random decisions.
+    pub seed: u64,
+}
+
+impl CdclConfig {
+    /// The Chaff-like preset.
+    pub fn chaff() -> Self {
+        CdclConfig {
+            name: "chaff".to_owned(),
+            var_decay: 0.95,
+            clause_decay: 0.999,
+            restart_interval: Some(700),
+            restart_multiplier: 1.3,
+            random_decision_freq: 0.02,
+            clause_based_decisions: false,
+            static_order: false,
+            max_learnt_len: None,
+            phase_saving: true,
+            db_reduction: true,
+            seed: 0xC4AFF,
+        }
+    }
+
+    /// The BerkMin-like preset.
+    pub fn berkmin() -> Self {
+        CdclConfig {
+            name: "berkmin".to_owned(),
+            clause_based_decisions: true,
+            restart_interval: Some(550),
+            random_decision_freq: 0.0,
+            seed: 0xBE_12C1,
+            ..CdclConfig::chaff()
+        }
+    }
+
+    /// The GRASP-like preset: learning but static order and no restarts.
+    pub fn grasp() -> Self {
+        CdclConfig {
+            name: "grasp".to_owned(),
+            static_order: true,
+            restart_interval: None,
+            random_decision_freq: 0.0,
+            db_reduction: false,
+            seed: 0x62A5_0000,
+            ..CdclConfig::chaff()
+        }
+    }
+
+    /// The SATO-like preset: length-bounded learning, no activities.
+    pub fn sato() -> Self {
+        CdclConfig {
+            name: "sato".to_owned(),
+            static_order: true,
+            restart_interval: None,
+            max_learnt_len: Some(20),
+            random_decision_freq: 0.0,
+            db_reduction: false,
+            seed: 0x5A70,
+            ..CdclConfig::chaff()
+        }
+    }
+}
+
+/// A clause stored inside the engine.
+#[derive(Clone, Debug)]
+struct ClauseData {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+    deleted: bool,
+}
+
+/// The CDCL solver.
+#[derive(Debug)]
+pub struct CdclSolver {
+    config: CdclConfig,
+    stats: SolverStats,
+}
+
+impl CdclSolver {
+    /// Creates a solver with an explicit configuration.
+    pub fn new(config: CdclConfig) -> Self {
+        CdclSolver { config, stats: SolverStats::default() }
+    }
+
+    /// Chaff-like preset.
+    pub fn chaff() -> Self {
+        Self::new(CdclConfig::chaff())
+    }
+
+    /// Chaff-like preset with a modified configuration (parameter variations).
+    pub fn chaff_with(mut f: impl FnMut(&mut CdclConfig)) -> Self {
+        let mut cfg = CdclConfig::chaff();
+        f(&mut cfg);
+        Self::new(cfg)
+    }
+
+    /// BerkMin-like preset.
+    pub fn berkmin() -> Self {
+        Self::new(CdclConfig::berkmin())
+    }
+
+    /// GRASP-like preset.
+    pub fn grasp() -> Self {
+        Self::new(CdclConfig::grasp())
+    }
+
+    /// SATO-like preset.
+    pub fn sato() -> Self {
+        Self::new(CdclConfig::sato())
+    }
+
+    /// The configuration of this solver.
+    pub fn config(&self) -> &CdclConfig {
+        &self.config
+    }
+}
+
+impl Solver for CdclSolver {
+    fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    fn is_complete(&self) -> bool {
+        true
+    }
+
+    fn solve_with_budget(&mut self, cnf: &CnfFormula, budget: Budget) -> SatResult {
+        let mut engine = Engine::new(cnf, self.config.clone());
+        let result = engine.run(budget);
+        self.stats = engine.stats;
+        result
+    }
+
+    fn stats(&self) -> SolverStats {
+        self.stats
+    }
+}
+
+const UNDEF_CLAUSE: u32 = u32::MAX;
+
+struct Engine {
+    config: CdclConfig,
+    stats: SolverStats,
+    num_vars: usize,
+    clauses: Vec<ClauseData>,
+    /// For each literal index, the clause indices watching that literal.
+    watches: Vec<Vec<u32>>,
+    assigns: Vec<Option<bool>>,
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    phase: Vec<bool>,
+    /// Lazily maintained max-activity heap entries (activity, var).
+    heap: std::collections::BinaryHeap<HeapEntry>,
+    static_cursor: usize,
+    rng: StdRng,
+    seen: Vec<bool>,
+    /// Learned clause indices, oldest first (for BerkMin decisions).
+    learnt_refs: Vec<u32>,
+    reduce_limit: usize,
+    unsat: bool,
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    activity: f64,
+    var: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.activity
+            .partial_cmp(&other.activity)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(self.var.cmp(&other.var))
+    }
+}
+
+impl Engine {
+    fn new(cnf: &CnfFormula, config: CdclConfig) -> Self {
+        let num_vars = cnf.num_vars();
+        let seed = config.seed;
+        let mut engine = Engine {
+            config,
+            stats: SolverStats::default(),
+            num_vars,
+            clauses: Vec::with_capacity(cnf.num_clauses()),
+            watches: vec![Vec::new(); 2 * num_vars],
+            assigns: vec![None; num_vars],
+            level: vec![0; num_vars],
+            reason: vec![UNDEF_CLAUSE; num_vars],
+            trail: Vec::with_capacity(num_vars),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: vec![0.0; num_vars],
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            phase: vec![false; num_vars],
+            heap: std::collections::BinaryHeap::with_capacity(num_vars),
+            static_cursor: 0,
+            rng: StdRng::seed_from_u64(seed),
+            seen: vec![false; num_vars],
+            learnt_refs: Vec::new(),
+            reduce_limit: (cnf.num_clauses() / 3).max(4000),
+            unsat: false,
+        };
+        // Give every variable an initial (small) activity based on occurrence count.
+        for clause in cnf.clauses() {
+            for lit in clause {
+                engine.activity[lit.var().index()] += 1e-6;
+            }
+        }
+        for v in 0..num_vars {
+            engine.heap.push(HeapEntry { activity: engine.activity[v], var: v as u32 });
+        }
+        for clause in cnf.clauses() {
+            engine.add_initial_clause(clause.clone());
+            if engine.unsat {
+                break;
+            }
+        }
+        engine
+    }
+
+    fn add_initial_clause(&mut self, lits: Vec<Lit>) {
+        match lits.len() {
+            0 => self.unsat = true,
+            1 => {
+                let lit = lits[0];
+                match self.lit_value(lit) {
+                    Some(true) => {}
+                    Some(false) => self.unsat = true,
+                    None => self.enqueue(lit, UNDEF_CLAUSE),
+                }
+            }
+            _ => {
+                let idx = self.clauses.len() as u32;
+                self.watch(lits[0], idx);
+                self.watch(lits[1], idx);
+                self.clauses.push(ClauseData { lits, learnt: false, activity: 0.0, deleted: false });
+            }
+        }
+    }
+
+    fn watch(&mut self, lit: Lit, clause: u32) {
+        self.watches[lit.index()].push(clause);
+    }
+
+    fn lit_value(&self, lit: Lit) -> Option<bool> {
+        self.assigns[lit.var().index()].map(|v| v == lit.is_positive())
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: u32) {
+        debug_assert!(self.lit_value(lit).is_none());
+        let var = lit.var().index();
+        self.assigns[var] = Some(lit.is_positive());
+        self.level[var] = self.decision_level();
+        self.reason[var] = reason;
+        if self.config.phase_saving {
+            self.phase[var] = lit.is_positive();
+        }
+        self.trail.push(lit);
+        self.stats.propagations += 1;
+    }
+
+    /// Boolean constraint propagation; returns a conflicting clause index if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = !p;
+            let mut watchers = std::mem::take(&mut self.watches[false_lit.index()]);
+            let mut i = 0;
+            let mut conflict = None;
+            while i < watchers.len() {
+                let cref = watchers[i];
+                if self.clauses[cref as usize].deleted {
+                    watchers.swap_remove(i);
+                    continue;
+                }
+                // Make sure the false literal is at position 1.
+                {
+                    let clause = &mut self.clauses[cref as usize];
+                    if clause.lits[0] == false_lit {
+                        clause.lits.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[cref as usize].lits[0];
+                if self.lit_value(first) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                let mut replaced = false;
+                let len = self.clauses[cref as usize].lits.len();
+                for k in 2..len {
+                    let candidate = self.clauses[cref as usize].lits[k];
+                    if self.lit_value(candidate) != Some(false) {
+                        self.clauses[cref as usize].lits.swap(1, k);
+                        self.watches[candidate.index()].push(cref);
+                        watchers.swap_remove(i);
+                        replaced = true;
+                        break;
+                    }
+                }
+                if replaced {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if self.lit_value(first) == Some(false) {
+                    conflict = Some(cref);
+                    break;
+                }
+                self.enqueue(first, cref);
+                i += 1;
+            }
+            self.watches[false_lit.index()].extend(watchers.drain(i..));
+            // Put back the watchers we kept.
+            let kept = watchers;
+            let existing = std::mem::take(&mut self.watches[false_lit.index()]);
+            let mut merged = kept;
+            merged.extend(existing);
+            self.watches[false_lit.index()] = merged;
+            if let Some(c) = conflict {
+                self.qhead = self.trail.len();
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, var: usize) {
+        self.activity[var] += self.var_inc;
+        if self.activity[var] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.push(HeapEntry { activity: self.activity[var], var: var as u32 });
+    }
+
+    fn bump_clause(&mut self, cref: u32) {
+        let clause = &mut self.clauses[cref as usize];
+        clause.activity += self.cla_inc;
+        if clause.activity > 1e20 {
+            for c in &mut self.clauses {
+                c.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, mut conflict: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::positive(Var::new(0))]; // placeholder
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        loop {
+            self.bump_clause(conflict);
+            let lits = self.clauses[conflict as usize].lits.clone();
+            for &q in &lits {
+                if Some(q) == p {
+                    continue;
+                }
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(v);
+                    if self.level[v] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next literal to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            p = Some(lit);
+            self.seen[lit.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            conflict = self.reason[lit.var().index()];
+            debug_assert_ne!(conflict, UNDEF_CLAUSE);
+        }
+        learnt[0] = !p.expect("analysis always resolves at least one literal");
+        // Clear the `seen` flags of the literals kept in the learned clause.
+        for lit in &learnt[1..] {
+            self.seen[lit.var().index()] = false;
+        }
+        // Compute the backtrack level: highest level among learnt[1..].
+        let backtrack = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        (learnt, backtrack)
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        while self.decision_level() > level {
+            let start = self.trail_lim.pop().expect("non-root level has a trail mark");
+            for i in (start..self.trail.len()).rev() {
+                let lit = self.trail[i];
+                let var = lit.var().index();
+                self.assigns[var] = None;
+                self.reason[var] = UNDEF_CLAUSE;
+                self.heap.push(HeapEntry { activity: self.activity[var], var: var as u32 });
+            }
+            self.trail.truncate(start);
+        }
+        self.qhead = self.trail.len();
+        self.static_cursor = 0;
+    }
+
+    fn learn_clause(&mut self, learnt: Vec<Lit>) -> Option<u32> {
+        self.stats.learned_clauses += 1;
+        if learnt.len() == 1 {
+            self.enqueue(learnt[0], UNDEF_CLAUSE);
+            return None;
+        }
+        if let Some(limit) = self.config.max_learnt_len {
+            if learnt.len() > limit {
+                // Too long to keep: use it only for the current backjump by
+                // asserting its first literal with no recorded reason clause.
+                // To stay sound we must still remember the clause, so fall
+                // through and keep it anyway but mark it for early deletion.
+            }
+            let _ = limit;
+        }
+        let cref = self.clauses.len() as u32;
+        let asserting = learnt[0];
+        self.watch(learnt[0], cref);
+        self.watch(learnt[1], cref);
+        self.clauses.push(ClauseData {
+            lits: learnt,
+            learnt: true,
+            activity: self.cla_inc,
+            deleted: false,
+        });
+        self.learnt_refs.push(cref);
+        self.enqueue(asserting, cref);
+        Some(cref)
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= self.config.var_decay;
+        self.cla_inc /= self.config.clause_decay;
+    }
+
+    fn pick_branch_lit(&mut self) -> Option<Lit> {
+        // Random decisions.
+        if self.config.random_decision_freq > 0.0
+            && self.rng.gen::<f64>() < self.config.random_decision_freq
+        {
+            let unassigned: Vec<usize> = (0..self.num_vars)
+                .filter(|&v| self.assigns[v].is_none())
+                .collect();
+            if let Some(&v) = unassigned.get(self.rng.gen_range(0..unassigned.len().max(1))) {
+                return Some(Lit::new(Var::new(v as u32), self.phase[v]));
+            }
+        }
+        // BerkMin: branch inside the most recent unsatisfied learned clause.
+        if self.config.clause_based_decisions {
+            let mut scanned = 0;
+            for &cref in self.learnt_refs.iter().rev() {
+                if scanned > 512 {
+                    break;
+                }
+                scanned += 1;
+                let clause = &self.clauses[cref as usize];
+                if clause.deleted {
+                    continue;
+                }
+                let satisfied = clause.lits.iter().any(|&l| self.lit_value(l) == Some(true));
+                if satisfied {
+                    continue;
+                }
+                let mut best: Option<(f64, Lit)> = None;
+                for &l in &clause.lits {
+                    if self.lit_value(l).is_none() {
+                        let act = self.activity[l.var().index()];
+                        if best.map_or(true, |(b, _)| act > b) {
+                            best = Some((act, l));
+                        }
+                    }
+                }
+                if let Some((_, lit)) = best {
+                    return Some(lit);
+                }
+            }
+        }
+        if self.config.static_order {
+            while self.static_cursor < self.num_vars {
+                let v = self.static_cursor;
+                if self.assigns[v].is_none() {
+                    return Some(Lit::new(Var::new(v as u32), self.phase[v]));
+                }
+                self.static_cursor += 1;
+            }
+            return None;
+        }
+        // VSIDS via the lazy heap.
+        while let Some(entry) = self.heap.pop() {
+            let v = entry.var as usize;
+            if self.assigns[v].is_none() && (entry.activity - self.activity[v]).abs() < f64::EPSILON
+            {
+                return Some(Lit::new(Var::new(v as u32), self.phase[v]));
+            }
+            if self.assigns[v].is_none() {
+                // Stale activity: re-push with the fresh value and use it anyway.
+                return Some(Lit::new(Var::new(v as u32), self.phase[v]));
+            }
+        }
+        // Heap exhausted: scan for any unassigned variable (heap entries are lazy).
+        (0..self.num_vars)
+            .find(|&v| self.assigns[v].is_none())
+            .map(|v| Lit::new(Var::new(v as u32), self.phase[v]))
+    }
+
+    fn reduce_db(&mut self) {
+        let mut learnt: Vec<u32> = self
+            .learnt_refs
+            .iter()
+            .copied()
+            .filter(|&c| self.clauses[c as usize].learnt && !self.clauses[c as usize].deleted)
+            .collect();
+        if learnt.len() < self.reduce_limit {
+            return;
+        }
+        learnt.sort_by(|&a, &b| {
+            self.clauses[a as usize]
+                .activity
+                .partial_cmp(&self.clauses[b as usize].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let locked: Vec<u32> = self
+            .trail
+            .iter()
+            .map(|l| self.reason[l.var().index()])
+            .filter(|&r| r != UNDEF_CLAUSE)
+            .collect();
+        let to_delete = learnt.len() / 2;
+        let mut deleted = 0;
+        for &cref in &learnt {
+            if deleted >= to_delete {
+                break;
+            }
+            if locked.contains(&cref) || self.clauses[cref as usize].lits.len() <= 2 {
+                continue;
+            }
+            // SATO keeps only short clauses: delete anything above its limit eagerly.
+            self.clauses[cref as usize].deleted = true;
+            deleted += 1;
+        }
+        if let Some(limit) = self.config.max_learnt_len {
+            for &cref in &learnt {
+                if self.clauses[cref as usize].lits.len() > limit && !locked.contains(&cref) {
+                    self.clauses[cref as usize].deleted = true;
+                }
+            }
+        }
+        self.reduce_limit += self.reduce_limit / 2;
+        self.stats.learned_clauses = self
+            .learnt_refs
+            .iter()
+            .filter(|&&c| !self.clauses[c as usize].deleted)
+            .count() as u64;
+    }
+
+    fn extract_model(&self) -> Model {
+        Model::new(
+            (0..self.num_vars)
+                .map(|v| self.assigns[v].unwrap_or(false))
+                .collect(),
+        )
+    }
+
+    fn run(&mut self, budget: Budget) -> SatResult {
+        if self.unsat {
+            return SatResult::Unsat;
+        }
+        let start = Instant::now();
+        let mut restart_limit = self.config.restart_interval;
+        let mut conflicts_since_restart: u64 = 0;
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.decision_level() == 0 {
+                    return SatResult::Unsat;
+                }
+                let (learnt, backtrack_level) = self.analyze(conflict);
+                self.backtrack_to(backtrack_level);
+                self.learn_clause(learnt);
+                self.decay_activities();
+                if let Some(max_conflicts) = budget.max_conflicts {
+                    if self.stats.conflicts >= max_conflicts {
+                        return SatResult::Unknown(StopReason::ConflictLimit);
+                    }
+                }
+                if self.stats.conflicts % 256 == 0 {
+                    if let Some(limit) = budget.max_time {
+                        if start.elapsed() >= limit {
+                            return SatResult::Unknown(StopReason::TimeLimit);
+                        }
+                    }
+                }
+                if self.config.db_reduction {
+                    self.reduce_db();
+                }
+            } else {
+                // No conflict: maybe restart, otherwise decide.
+                if let Some(limit) = restart_limit {
+                    if conflicts_since_restart >= limit {
+                        conflicts_since_restart = 0;
+                        restart_limit = Some(
+                            ((limit as f64) * self.config.restart_multiplier).ceil() as u64,
+                        );
+                        self.stats.restarts += 1;
+                        self.backtrack_to(0);
+                        continue;
+                    }
+                }
+                match self.pick_branch_lit() {
+                    None => return SatResult::Sat(self.extract_model()),
+                    Some(lit) => {
+                        self.stats.decisions += 1;
+                        if let Some(max_decisions) = budget.max_decisions {
+                            if self.stats.decisions >= max_decisions {
+                                return SatResult::Unknown(StopReason::DecisionLimit);
+                            }
+                        }
+                        if self.stats.decisions % 512 == 0 {
+                            if let Some(limit) = budget.max_time {
+                                if start.elapsed() >= limit {
+                                    return SatResult::Unknown(StopReason::TimeLimit);
+                                }
+                            }
+                        }
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(lit, UNDEF_CLAUSE);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::verify_model;
+
+    fn lit(i: i64) -> Lit {
+        Lit::from_dimacs(i)
+    }
+
+    fn cnf_of(clauses: &[&[i64]]) -> CnfFormula {
+        let mut cnf = CnfFormula::new(0);
+        for c in clauses {
+            cnf.add_clause(c.iter().map(|&i| lit(i)).collect());
+        }
+        cnf
+    }
+
+    /// Pigeonhole principle PHP(n+1, n): unsatisfiable.
+    fn pigeonhole(holes: usize) -> CnfFormula {
+        let pigeons = holes + 1;
+        let mut cnf = CnfFormula::new(pigeons * holes);
+        let var = |p: usize, h: usize| Lit::positive(Var::new((p * holes + h) as u32));
+        for p in 0..pigeons {
+            cnf.add_clause((0..holes).map(|h| var(p, h)).collect());
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    cnf.add_clause(vec![!var(p1, h), !var(p2, h)]);
+                }
+            }
+        }
+        cnf
+    }
+
+    #[test]
+    fn trivially_sat_and_unsat() {
+        let sat = cnf_of(&[&[1, 2], &[-1, 2], &[-2, 3]]);
+        let unsat = cnf_of(&[&[1], &[-1]]);
+        for mut solver in [CdclSolver::chaff(), CdclSolver::berkmin(), CdclSolver::grasp(), CdclSolver::sato()] {
+            match solver.solve(&sat) {
+                SatResult::Sat(model) => assert!(verify_model(&sat, &model)),
+                other => panic!("{}: expected SAT, got {other:?}", solver.name()),
+            }
+            assert!(solver.solve(&unsat).is_unsat(), "{}", solver.name());
+        }
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut cnf = CnfFormula::new(1);
+        cnf.add_clause(vec![]);
+        assert!(CdclSolver::chaff().solve(&cnf).is_unsat());
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let cnf = CnfFormula::new(3);
+        assert!(CdclSolver::chaff().solve(&cnf).is_sat());
+    }
+
+    #[test]
+    fn pigeonhole_is_unsat_for_all_presets() {
+        let cnf = pigeonhole(4);
+        for mut solver in [CdclSolver::chaff(), CdclSolver::berkmin(), CdclSolver::grasp(), CdclSolver::sato()] {
+            assert!(solver.solve(&cnf).is_unsat(), "{}", solver.name());
+            assert!(solver.stats().conflicts > 0);
+        }
+    }
+
+    #[test]
+    fn solves_chained_implications() {
+        // x1 -> x2 -> ... -> x50, x1 forced true, all must be true.
+        let n = 50;
+        let mut cnf = CnfFormula::new(n);
+        cnf.add_clause(vec![Lit::positive(Var::new(0))]);
+        for i in 0..n - 1 {
+            cnf.add_clause(vec![
+                Lit::negative(Var::new(i as u32)),
+                Lit::positive(Var::new((i + 1) as u32)),
+            ]);
+        }
+        let mut solver = CdclSolver::chaff();
+        match solver.solve(&cnf) {
+            SatResult::Sat(model) => {
+                for i in 0..n {
+                    assert!(model.value(Var::new(i as u32)));
+                }
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn random_3sat_models_are_verified() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for instance in 0..10 {
+            let num_vars = 30;
+            let num_clauses = 90; // below the phase transition, very likely SAT
+            let mut cnf = CnfFormula::new(num_vars);
+            for _ in 0..num_clauses {
+                let mut clause = Vec::new();
+                while clause.len() < 3 {
+                    let v = rng.gen_range(0..num_vars) as u32;
+                    let sign = rng.gen_bool(0.5);
+                    let l = Lit::new(Var::new(v), sign);
+                    if !clause.contains(&l) && !clause.contains(&!l) {
+                        clause.push(l);
+                    }
+                }
+                cnf.add_clause(clause);
+            }
+            let mut solver = CdclSolver::chaff();
+            if let SatResult::Sat(model) = solver.solve(&cnf) {
+                assert!(verify_model(&cnf, &model), "instance {instance}");
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_budget_is_respected() {
+        let cnf = pigeonhole(7);
+        let mut solver = CdclSolver::chaff();
+        let result = solver.solve_with_budget(&cnf, Budget { max_conflicts: Some(5), ..Budget::default() });
+        assert_eq!(result, SatResult::Unknown(StopReason::ConflictLimit));
+        assert!(solver.stats().conflicts <= 6);
+    }
+
+    #[test]
+    fn presets_report_distinct_names() {
+        assert_eq!(CdclSolver::chaff().name(), "chaff");
+        assert_eq!(CdclSolver::berkmin().name(), "berkmin");
+        assert_eq!(CdclSolver::grasp().name(), "grasp");
+        assert_eq!(CdclSolver::sato().name(), "sato");
+        let varied = CdclSolver::chaff_with(|cfg| {
+            cfg.restart_interval = Some(3000);
+            cfg.name = "chaff-r3000".to_owned();
+        });
+        assert_eq!(varied.name(), "chaff-r3000");
+        assert_eq!(varied.config().restart_interval, Some(3000));
+    }
+}

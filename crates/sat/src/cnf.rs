@@ -1,0 +1,285 @@
+//! Variables, literals, clauses and CNF formulas.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, numbered from zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable with the given zero-based index.
+    pub fn new(index: u32) -> Self {
+        Var(index)
+    }
+
+    /// Zero-based index of the variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0 + 1)
+    }
+}
+
+/// A literal: a variable or its negation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn positive(var: Var) -> Self {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    pub fn negative(var: Var) -> Self {
+        Lit((var.0 << 1) | 1)
+    }
+
+    /// Builds a literal from a variable and a sign (`true` = positive).
+    pub fn new(var: Var, positive: bool) -> Self {
+        if positive {
+            Lit::positive(var)
+        } else {
+            Lit::negative(var)
+        }
+    }
+
+    /// The variable of the literal.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether this is the positive literal of its variable.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Dense index usable for watch lists (`2 * var + sign`).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a literal from its dense index.
+    pub fn from_index(index: usize) -> Self {
+        Lit(index as u32)
+    }
+
+    /// DIMACS integer encoding (1-based, negative for negated literals).
+    pub fn to_dimacs(self) -> i64 {
+        let v = (self.var().0 + 1) as i64;
+        if self.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// Parses a DIMACS integer (must be non-zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is zero.
+    pub fn from_dimacs(value: i64) -> Self {
+        assert!(value != 0, "DIMACS literal must be non-zero");
+        let var = Var::new((value.unsigned_abs() - 1) as u32);
+        Lit::new(var, value > 0)
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "{}", self.var())
+        } else {
+            write!(f, "!{}", self.var())
+        }
+    }
+}
+
+/// A disjunction of literals.
+pub type Clause = Vec<Lit>;
+
+/// A formula in conjunctive normal form.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CnfFormula {
+    num_vars: usize,
+    clauses: Vec<Clause>,
+}
+
+impl CnfFormula {
+    /// Creates an empty formula over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        CnfFormula { num_vars, clauses: Vec::new() }
+    }
+
+    /// Number of variables of the formula.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses of the formula.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// The clauses of the formula.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::new(self.num_vars as u32);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Grows the variable count to at least `n`.
+    pub fn ensure_vars(&mut self, n: usize) {
+        if n > self.num_vars {
+            self.num_vars = n;
+        }
+    }
+
+    /// Adds a clause.  The clause is normalised: duplicate literals are removed
+    /// and tautological clauses (containing `x` and `¬x`) are dropped.
+    /// Variables mentioned by the clause extend the variable count if needed.
+    pub fn add_clause(&mut self, mut clause: Clause) {
+        clause.sort_unstable();
+        clause.dedup();
+        for pair in clause.windows(2) {
+            if pair[0].var() == pair[1].var() {
+                // `x` and `¬x` in the same clause: tautology.
+                return;
+            }
+        }
+        if let Some(max) = clause.iter().map(|l| l.var().index() + 1).max() {
+            self.ensure_vars(max);
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Whether `assignment` (indexed by variable) satisfies every clause.
+    pub fn is_satisfied_by(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|clause| {
+            clause
+                .iter()
+                .any(|lit| assignment[lit.var().index()] == lit.is_positive())
+        })
+    }
+
+    /// Number of clauses left unsatisfied by `assignment`.
+    pub fn unsatisfied_count(&self, assignment: &[bool]) -> usize {
+        self.clauses
+            .iter()
+            .filter(|clause| {
+                !clause
+                    .iter()
+                    .any(|lit| assignment[lit.var().index()] == lit.is_positive())
+            })
+            .count()
+    }
+
+    /// Total number of literal occurrences.
+    pub fn num_literals(&self) -> usize {
+        self.clauses.iter().map(|c| c.len()).sum()
+    }
+}
+
+impl FromIterator<Clause> for CnfFormula {
+    fn from_iter<I: IntoIterator<Item = Clause>>(iter: I) -> Self {
+        let mut cnf = CnfFormula::new(0);
+        for clause in iter {
+            cnf.add_clause(clause);
+        }
+        cnf
+    }
+}
+
+impl Extend<Clause> for CnfFormula {
+    fn extend<I: IntoIterator<Item = Clause>>(&mut self, iter: I) {
+        for clause in iter {
+            self.add_clause(clause);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_roundtrips() {
+        let v = Var::new(5);
+        let p = Lit::positive(v);
+        let n = Lit::negative(v);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(p.is_positive());
+        assert!(!n.is_positive());
+        assert_eq!(!p, n);
+        assert_eq!(!n, p);
+        assert_eq!(Lit::from_index(p.index()), p);
+        assert_eq!(Lit::from_dimacs(p.to_dimacs()), p);
+        assert_eq!(Lit::from_dimacs(n.to_dimacs()), n);
+        assert_eq!(p.to_dimacs(), 6);
+        assert_eq!(n.to_dimacs(), -6);
+    }
+
+    #[test]
+    fn add_clause_normalises() {
+        let mut cnf = CnfFormula::new(0);
+        let a = Lit::positive(Var::new(0));
+        let b = Lit::positive(Var::new(1));
+        cnf.add_clause(vec![a, b, a]);
+        assert_eq!(cnf.num_clauses(), 1);
+        assert_eq!(cnf.clauses()[0].len(), 2);
+        assert_eq!(cnf.num_vars(), 2);
+        // Tautological clause is dropped.
+        cnf.add_clause(vec![a, !a]);
+        assert_eq!(cnf.num_clauses(), 1);
+    }
+
+    #[test]
+    fn satisfaction_check() {
+        let mut cnf = CnfFormula::new(2);
+        let a = Lit::positive(Var::new(0));
+        let b = Lit::positive(Var::new(1));
+        cnf.add_clause(vec![a, b]);
+        cnf.add_clause(vec![!a, b]);
+        assert!(cnf.is_satisfied_by(&[false, true]));
+        assert!(cnf.is_satisfied_by(&[true, true]));
+        assert!(!cnf.is_satisfied_by(&[true, false]));
+        assert_eq!(cnf.unsatisfied_count(&[true, false]), 1);
+        assert_eq!(cnf.num_literals(), 4);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let a = Lit::positive(Var::new(0));
+        let b = Lit::positive(Var::new(1));
+        let cnf: CnfFormula = vec![vec![a], vec![b, !a]].into_iter().collect();
+        assert_eq!(cnf.num_clauses(), 2);
+        assert_eq!(cnf.num_vars(), 2);
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Var::new(0);
+        assert_eq!(format!("{}", Lit::positive(v)), "x1");
+        assert_eq!(format!("{}", Lit::negative(v)), "!x1");
+    }
+}

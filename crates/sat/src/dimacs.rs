@@ -1,0 +1,167 @@
+//! Reading and writing CNF formulas in the DIMACS format.
+
+use crate::cnf::{CnfFormula, Lit};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// An error produced while parsing a DIMACS file.
+#[derive(Debug)]
+pub enum ParseDimacsError {
+    /// An I/O error from the underlying reader.
+    Io(io::Error),
+    /// The problem line or a clause was malformed.
+    Malformed(String),
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDimacsError::Io(e) => write!(f, "i/o error while reading DIMACS: {e}"),
+            ParseDimacsError::Malformed(msg) => write!(f, "malformed DIMACS input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+impl From<io::Error> for ParseDimacsError {
+    fn from(e: io::Error) -> Self {
+        ParseDimacsError::Io(e)
+    }
+}
+
+/// Parses a DIMACS CNF problem from `reader`.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] if the input is not a well-formed DIMACS
+/// problem or the reader fails.
+pub fn read_dimacs<R: BufRead>(reader: R) -> Result<CnfFormula, ParseDimacsError> {
+    let mut cnf = CnfFormula::new(0);
+    let mut declared_vars = 0usize;
+    let mut current: Vec<Lit> = Vec::new();
+    let mut saw_problem_line = false;
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let mut parts = rest.split_whitespace();
+            let format = parts.next().unwrap_or("");
+            if format != "cnf" {
+                return Err(ParseDimacsError::Malformed(format!(
+                    "unsupported problem format `{format}`"
+                )));
+            }
+            declared_vars = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| ParseDimacsError::Malformed("missing variable count".into()))?;
+            saw_problem_line = true;
+            continue;
+        }
+        for token in line.split_whitespace() {
+            let value: i64 = token.parse().map_err(|_| {
+                ParseDimacsError::Malformed(format!("invalid literal `{token}`"))
+            })?;
+            if value == 0 {
+                cnf.add_clause(std::mem::take(&mut current));
+            } else {
+                current.push(Lit::from_dimacs(value));
+            }
+        }
+    }
+    if !saw_problem_line {
+        return Err(ParseDimacsError::Malformed("missing problem line".into()));
+    }
+    if !current.is_empty() {
+        cnf.add_clause(current);
+    }
+    cnf.ensure_vars(declared_vars);
+    Ok(cnf)
+}
+
+/// Parses a DIMACS CNF problem from a string.
+///
+/// # Errors
+///
+/// See [`read_dimacs`].
+pub fn parse_dimacs(input: &str) -> Result<CnfFormula, ParseDimacsError> {
+    read_dimacs(input.as_bytes())
+}
+
+/// Writes `cnf` in DIMACS format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_dimacs<W: Write>(mut writer: W, cnf: &CnfFormula) -> io::Result<()> {
+    writeln!(writer, "p cnf {} {}", cnf.num_vars(), cnf.num_clauses())?;
+    for clause in cnf.clauses() {
+        for lit in clause {
+            write!(writer, "{} ", lit.to_dimacs())?;
+        }
+        writeln!(writer, "0")?;
+    }
+    Ok(())
+}
+
+/// Renders `cnf` as a DIMACS string.
+pub fn to_dimacs_string(cnf: &CnfFormula) -> String {
+    let mut out = Vec::new();
+    write_dimacs(&mut out, cnf).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("DIMACS output is ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Var;
+
+    #[test]
+    fn parse_simple_problem() {
+        let input = "c a comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let cnf = parse_dimacs(input).unwrap();
+        assert_eq!(cnf.num_vars(), 3);
+        assert_eq!(cnf.num_clauses(), 2);
+        assert_eq!(cnf.clauses()[0].len(), 2);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut cnf = CnfFormula::new(3);
+        let a = Lit::positive(Var::new(0));
+        let b = Lit::negative(Var::new(1));
+        let c = Lit::positive(Var::new(2));
+        cnf.add_clause(vec![a, b]);
+        cnf.add_clause(vec![c]);
+        let text = to_dimacs_string(&cnf);
+        let parsed = parse_dimacs(&text).unwrap();
+        assert_eq!(parsed.num_vars(), cnf.num_vars());
+        assert_eq!(parsed.num_clauses(), cnf.num_clauses());
+        assert_eq!(parsed.clauses(), cnf.clauses());
+    }
+
+    #[test]
+    fn rejects_missing_problem_line() {
+        assert!(parse_dimacs("1 2 0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_format() {
+        assert!(parse_dimacs("p sat 3 2\n1 0\n").is_err());
+        assert!(parse_dimacs("p cnf x y\n").is_err());
+        assert!(parse_dimacs("p cnf 2 1\n1 junk 0\n").is_err());
+    }
+
+    #[test]
+    fn clause_spanning_lines_and_trailing_clause() {
+        let input = "p cnf 3 2\n1 2\n3 0\n-1 -2 -3\n";
+        let cnf = parse_dimacs(input).unwrap();
+        assert_eq!(cnf.num_clauses(), 2);
+        assert_eq!(cnf.clauses()[0].len(), 3);
+        assert_eq!(cnf.clauses()[1].len(), 3);
+    }
+}

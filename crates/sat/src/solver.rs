@@ -1,0 +1,225 @@
+//! The common interface of all SAT procedures.
+
+use crate::cnf::{CnfFormula, Var};
+use std::time::Duration;
+
+/// A satisfying assignment, indexed by variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Model {
+    values: Vec<bool>,
+}
+
+impl Model {
+    /// Creates a model from per-variable values.
+    pub fn new(values: Vec<bool>) -> Self {
+        Model { values }
+    }
+
+    /// The value assigned to `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is out of range for this model.
+    pub fn value(&self, var: Var) -> bool {
+        self.values[var.index()]
+    }
+
+    /// The raw values, indexed by variable.
+    pub fn values(&self) -> &[bool] {
+        &self.values
+    }
+
+    /// Number of variables covered by this model.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the model covers no variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Why a solver stopped without an answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The conflict budget was exhausted.
+    ConflictLimit,
+    /// The decision/flip budget was exhausted.
+    DecisionLimit,
+    /// The wall-clock budget was exhausted.
+    TimeLimit,
+    /// The procedure is incomplete and gave up (e.g. local search on an
+    /// unsatisfiable formula).
+    Incomplete,
+}
+
+/// Result of a satisfiability check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// A satisfying assignment was found.
+    Sat(Model),
+    /// The formula was proven unsatisfiable.
+    Unsat,
+    /// The solver stopped early.
+    Unknown(StopReason),
+}
+
+impl SatResult {
+    /// Whether the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+
+    /// Whether the result is `Unsat`.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SatResult::Unsat)
+    }
+
+    /// Whether the solver gave a definite answer.
+    pub fn is_decided(&self) -> bool {
+        !matches!(self, SatResult::Unknown(_))
+    }
+
+    /// Returns the model if the result is `Sat`.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SatResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Resource limits for one `solve` call.
+#[derive(Clone, Copy, Debug)]
+pub struct Budget {
+    /// Maximum number of conflicts (CDCL) before giving up.
+    pub max_conflicts: Option<u64>,
+    /// Maximum number of decisions (DPLL) or flips (local search).
+    pub max_decisions: Option<u64>,
+    /// Wall-clock limit.
+    pub max_time: Option<Duration>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget { max_conflicts: None, max_decisions: None, max_time: None }
+    }
+}
+
+impl Budget {
+    /// No limits at all.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// A wall-clock limit only.
+    pub fn time_limit(limit: Duration) -> Self {
+        Budget { max_time: Some(limit), ..Budget::default() }
+    }
+
+    /// A conflict/flip limit only.
+    pub fn step_limit(steps: u64) -> Self {
+        Budget {
+            max_conflicts: Some(steps),
+            max_decisions: Some(steps),
+            max_time: None,
+        }
+    }
+}
+
+/// Statistics of one `solve` call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of propagated literals.
+    pub propagations: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of learned clauses currently kept.
+    pub learned_clauses: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of variable flips (local search only).
+    pub flips: u64,
+}
+
+/// A SAT procedure.
+///
+/// Implementations are stateful only across one [`Solver::solve_with_budget`]
+/// call; calling `solve` again starts from scratch.
+pub trait Solver {
+    /// A short human-readable name ("chaff", "walksat", ...).
+    fn name(&self) -> &str;
+
+    /// Whether the procedure can prove unsatisfiability.
+    fn is_complete(&self) -> bool;
+
+    /// Solves `cnf` within `budget`.
+    fn solve_with_budget(&mut self, cnf: &CnfFormula, budget: Budget) -> SatResult;
+
+    /// Solves `cnf` without resource limits.
+    fn solve(&mut self, cnf: &CnfFormula) -> SatResult {
+        self.solve_with_budget(cnf, Budget::unlimited())
+    }
+
+    /// Statistics of the most recent `solve` call.
+    fn stats(&self) -> SolverStats;
+}
+
+/// Checks that `model` satisfies `cnf`; used by tests and by the verification
+/// flow before trusting a counterexample.
+pub fn verify_model(cnf: &CnfFormula, model: &Model) -> bool {
+    if model.len() < cnf.num_vars() {
+        return false;
+    }
+    cnf.is_satisfied_by(model.values())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Lit;
+
+    #[test]
+    fn sat_result_helpers() {
+        let model = Model::new(vec![true, false]);
+        let sat = SatResult::Sat(model.clone());
+        assert!(sat.is_sat() && sat.is_decided() && !sat.is_unsat());
+        assert_eq!(sat.model(), Some(&model));
+        assert!(SatResult::Unsat.is_unsat());
+        assert!(!SatResult::Unknown(StopReason::TimeLimit).is_decided());
+    }
+
+    #[test]
+    fn model_lookup() {
+        let model = Model::new(vec![true, false, true]);
+        assert!(model.value(Var::new(0)));
+        assert!(!model.value(Var::new(1)));
+        assert_eq!(model.len(), 3);
+        assert!(!model.is_empty());
+    }
+
+    #[test]
+    fn verify_model_checks_all_clauses() {
+        let mut cnf = CnfFormula::new(2);
+        let a = Lit::positive(Var::new(0));
+        let b = Lit::positive(Var::new(1));
+        cnf.add_clause(vec![a, b]);
+        cnf.add_clause(vec![!a]);
+        assert!(verify_model(&cnf, &Model::new(vec![false, true])));
+        assert!(!verify_model(&cnf, &Model::new(vec![true, false])));
+        assert!(!verify_model(&cnf, &Model::new(vec![false])));
+    }
+
+    #[test]
+    fn budget_constructors() {
+        let b = Budget::step_limit(10);
+        assert_eq!(b.max_conflicts, Some(10));
+        assert_eq!(b.max_decisions, Some(10));
+        assert!(b.max_time.is_none());
+        let t = Budget::time_limit(Duration::from_millis(5));
+        assert!(t.max_time.is_some());
+    }
+}

@@ -1,0 +1,106 @@
+//! Differential property tests: all complete solvers must agree with a
+//! brute-force truth-table check on small random formulas, and every model
+//! returned by any solver must actually satisfy the formula.
+
+use proptest::prelude::*;
+use velv_sat::cdcl::CdclSolver;
+use velv_sat::dpll::DpllSolver;
+use velv_sat::local_search::{DlmSolver, WalkSatSolver};
+use velv_sat::preprocess::preprocess;
+use velv_sat::solver::verify_model;
+use velv_sat::{Budget, CnfFormula, Lit, SatResult, Solver, Var};
+
+/// Brute force satisfiability over at most 16 variables.
+fn brute_force_sat(cnf: &CnfFormula) -> bool {
+    let n = cnf.num_vars();
+    assert!(n <= 16, "brute force limited to 16 variables");
+    for bits in 0u32..(1 << n) {
+        let assignment: Vec<bool> = (0..n).map(|i| bits & (1 << i) != 0).collect();
+        if cnf.is_satisfied_by(&assignment) {
+            return true;
+        }
+    }
+    // The empty assignment satisfies a formula with no clauses.
+    n == 0 && cnf.num_clauses() == 0
+}
+
+fn arb_cnf(max_vars: u32, max_clauses: usize) -> impl Strategy<Value = CnfFormula> {
+    let clause = prop::collection::vec((0..max_vars, any::<bool>()), 1..4);
+    prop::collection::vec(clause, 0..max_clauses).prop_map(move |clauses| {
+        let mut cnf = CnfFormula::new(max_vars as usize);
+        for c in clauses {
+            cnf.add_clause(
+                c.into_iter()
+                    .map(|(v, sign)| Lit::new(Var::new(v), sign))
+                    .collect(),
+            );
+        }
+        cnf
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn cdcl_presets_agree_with_brute_force(cnf in arb_cnf(8, 24)) {
+        let expected = brute_force_sat(&cnf);
+        for mut solver in [CdclSolver::chaff(), CdclSolver::berkmin(), CdclSolver::grasp(), CdclSolver::sato()] {
+            match solver.solve(&cnf) {
+                SatResult::Sat(model) => {
+                    prop_assert!(expected, "{} claimed SAT on an unsatisfiable formula", solver.name());
+                    prop_assert!(verify_model(&cnf, &model));
+                }
+                SatResult::Unsat => prop_assert!(!expected, "{} claimed UNSAT on a satisfiable formula", solver.name()),
+                SatResult::Unknown(reason) => prop_assert!(false, "unexpected stop: {reason:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dpll_agrees_with_brute_force(cnf in arb_cnf(8, 20)) {
+        let expected = brute_force_sat(&cnf);
+        match DpllSolver::new().solve(&cnf) {
+            SatResult::Sat(model) => {
+                prop_assert!(expected);
+                prop_assert!(verify_model(&cnf, &model));
+            }
+            SatResult::Unsat => prop_assert!(!expected),
+            SatResult::Unknown(reason) => prop_assert!(false, "unexpected stop: {reason:?}"),
+        }
+    }
+
+    #[test]
+    fn local_search_models_are_valid(cnf in arb_cnf(8, 16)) {
+        let budget = Budget::step_limit(50_000);
+        for result in [
+            WalkSatSolver::new().solve_with_budget(&cnf, budget),
+            DlmSolver::new().solve_with_budget(&cnf, budget),
+        ] {
+            if let SatResult::Sat(model) = result {
+                prop_assert!(verify_model(&cnf, &model));
+                prop_assert!(brute_force_sat(&cnf));
+            }
+        }
+    }
+
+    #[test]
+    fn preprocessing_preserves_satisfiability(cnf in arb_cnf(8, 20)) {
+        let expected = brute_force_sat(&cnf);
+        let pre = preprocess(&cnf, true);
+        let simplified = if pre.stats.proved_unsat {
+            false
+        } else {
+            CdclSolver::chaff().solve(&pre.cnf).is_sat()
+        };
+        prop_assert_eq!(expected, simplified);
+    }
+
+    #[test]
+    fn dimacs_roundtrip_preserves_clauses(cnf in arb_cnf(10, 24)) {
+        let text = velv_sat::dimacs::to_dimacs_string(&cnf);
+        let parsed = velv_sat::dimacs::parse_dimacs(&text).unwrap();
+        prop_assert_eq!(parsed.num_vars(), cnf.num_vars());
+        prop_assert_eq!(parsed.clauses(), cnf.clauses());
+    }
+}

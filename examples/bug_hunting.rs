@@ -1,0 +1,34 @@
+//! Bug hunting on the dual-issue superscalar: run a slice of the buggy-design
+//! suite (the SSS-SAT.1.0 analogue) through several SAT procedures and compare
+//! how many bugs each one finds within a small time budget — a miniature
+//! version of Table 1.
+//!
+//! Run with `cargo run --release --example bug_hunting`.
+
+use std::time::Duration;
+use velv::prelude::*;
+
+fn main() {
+    let config = DlxConfig::dual_issue_full();
+    let spec = DlxSpecification::new(config);
+    let verifier = Verifier::new(TranslationOptions::default());
+    let suite: Vec<DlxBug> = dlx_bug_catalog(config).into_iter().take(8).collect();
+    let budget = Budget::time_limit(Duration::from_secs(2));
+
+    println!("translating {} buggy versions of {} ...", suite.len(), config.name());
+    let translations: Vec<_> = suite
+        .iter()
+        .map(|&bug| verifier.translate(&Dlx::buggy(config, bug), &spec))
+        .collect();
+
+    for kind in SolverKind::all() {
+        let mut found = 0;
+        for translation in &translations {
+            let mut solver = kind.build();
+            if verifier.check(translation, solver.as_mut(), budget).is_buggy() {
+                found += 1;
+            }
+        }
+        println!("{:<45} {:>2}/{} bugs found", kind.label(), found, translations.len());
+    }
+}

@@ -1,0 +1,40 @@
+//! Quickstart: formally verify the single-issue DLX pipeline against its ISA
+//! specification, then inject a bug and look at the counterexample.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use velv::prelude::*;
+
+fn main() {
+    // 1. The correct 1xDLX-C pipeline verifies: the CNF of the negated
+    //    correctness criterion is unsatisfiable.
+    let config = DlxConfig::single_issue();
+    let implementation = Dlx::correct(config);
+    let spec = DlxSpecification::new(config);
+    let verifier = Verifier::new(TranslationOptions::default());
+
+    let translation = verifier.translate(&implementation, &spec);
+    println!(
+        "1xDLX-C correctness formula: {} primary Boolean variables, {} CNF variables, {} clauses",
+        translation.stats.primary_bool_vars, translation.stats.cnf_vars, translation.stats.cnf_clauses
+    );
+    let mut solver = CdclSolver::chaff();
+    let verdict = verifier.check(&translation, &mut solver, Budget::unlimited());
+    println!("verdict: {}", if verdict.is_correct() { "correct" } else { "NOT correct" });
+
+    // 2. Inject a classic bug — the load interlock forgets to check the second
+    //    source operand — and the SAT solver produces a counterexample.
+    let bug = DlxBug::LoadInterlockIgnoresOperand { operand: 1, slot: 0 };
+    let buggy = Dlx::buggy(config, bug);
+    let mut solver = CdclSolver::chaff();
+    let verdict = verifier.verify(&buggy, &spec, &mut solver);
+    match verdict {
+        Verdict::Buggy(cex) => {
+            println!("\ninjected bug {bug:?} detected; equalities the counterexample relies on:");
+            for name in cex.true_assignments().into_iter().take(10) {
+                println!("  {name}");
+            }
+        }
+        other => println!("unexpected verdict: {other:?}"),
+    }
+}

@@ -12,7 +12,7 @@
 //!   candidate orders ([`reorder`]), standing in for CUDD's sifting
 //!   (documented as a substitution in `DESIGN.md`),
 //! * a node limit so that blow-ups surface as a clean
-//!   [`BddLimitExceeded`] error instead of an out-of-memory condition — the
+//!   [`BddHalt`] error instead of an out-of-memory condition — the
 //!   paper's BDD runs are reported as time-outs / memory-outs on the larger
 //!   designs, and the harness maps this error to exactly that outcome.
 //!
@@ -36,5 +36,5 @@
 pub mod manager;
 pub mod reorder;
 
-pub use manager::{Bdd, BddLimitExceeded, BddManager};
+pub use manager::{Bdd, BddHalt, BddManager};
 pub use reorder::{improve_order, OrderCandidates};

@@ -2,6 +2,8 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Handle to a BDD node owned by a [`BddManager`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -14,20 +16,36 @@ impl Bdd {
     }
 }
 
-/// Error returned when an operation would exceed the manager's node limit.
+/// Why a BDD operation stopped before producing a result.
+///
+/// The node limit plays the role of the memory-outs the paper reports for the
+/// BDD runs on the larger designs; `Cancelled` is raised when the shared
+/// cancel flag (see [`BddManager::set_cancel_flag`]) is observed in the
+/// node-allocation path — the way a racing SAT engine stops a losing BDD
+/// build in the portfolio back end.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct BddLimitExceeded {
-    /// The configured limit that was exceeded.
-    pub node_limit: usize,
+pub enum BddHalt {
+    /// The configured node limit would be exceeded.
+    NodeLimit {
+        /// The configured limit that was exceeded.
+        node_limit: usize,
+    },
+    /// The shared cancel flag was raised.
+    Cancelled,
 }
 
-impl fmt::Display for BddLimitExceeded {
+impl fmt::Display for BddHalt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "bdd node limit of {} nodes exceeded", self.node_limit)
+        match self {
+            BddHalt::NodeLimit { node_limit } => {
+                write!(f, "bdd node limit of {node_limit} nodes exceeded")
+            }
+            BddHalt::Cancelled => write!(f, "bdd build cancelled"),
+        }
     }
 }
 
-impl std::error::Error for BddLimitExceeded {}
+impl std::error::Error for BddHalt {}
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct Node {
@@ -50,6 +68,8 @@ pub struct BddManager {
     /// Maps variable index to its level in the order (smaller level = closer to root).
     var_to_level: Vec<u32>,
     node_limit: usize,
+    /// Cooperative cancellation flag, polled in the node-allocation path.
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl BddManager {
@@ -84,15 +104,33 @@ impl BddManager {
             ite_cache: HashMap::new(),
             var_to_level,
             node_limit: Self::DEFAULT_NODE_LIMIT,
+            cancel: None,
         };
-        mgr.nodes.push(Node { var: TERMINAL_VAR, low: FALSE_NODE, high: FALSE_NODE });
-        mgr.nodes.push(Node { var: TERMINAL_VAR, low: TRUE_NODE, high: TRUE_NODE });
+        mgr.nodes.push(Node {
+            var: TERMINAL_VAR,
+            low: FALSE_NODE,
+            high: FALSE_NODE,
+        });
+        mgr.nodes.push(Node {
+            var: TERMINAL_VAR,
+            low: TRUE_NODE,
+            high: TRUE_NODE,
+        });
         mgr
     }
 
     /// Sets the node limit.
     pub fn set_node_limit(&mut self, limit: usize) {
         self.node_limit = limit;
+    }
+
+    /// Installs a shared cancellation flag.
+    ///
+    /// When the flag is raised (e.g. by a SAT engine that has already decided
+    /// the formula in a portfolio race), the next node allocation fails with
+    /// [`BddHalt::Cancelled`], unwinding the whole build promptly.
+    pub fn set_cancel_flag(&mut self, flag: Arc<AtomicBool>) {
+        self.cancel = Some(flag);
     }
 
     /// Number of variables known to the manager.
@@ -134,7 +172,7 @@ impl BddManager {
         }
     }
 
-    fn mk(&mut self, var: u32, low: u32, high: u32) -> Result<u32, BddLimitExceeded> {
+    fn mk(&mut self, var: u32, low: u32, high: u32) -> Result<u32, BddHalt> {
         if low == high {
             return Ok(low);
         }
@@ -142,7 +180,17 @@ impl BddManager {
             return Ok(n);
         }
         if self.nodes.len() >= self.node_limit {
-            return Err(BddLimitExceeded { node_limit: self.node_limit });
+            return Err(BddHalt::NodeLimit {
+                node_limit: self.node_limit,
+            });
+        }
+        // One relaxed load per fresh allocation: negligible next to the two
+        // hash-table insertions below, and it makes a losing portfolio build
+        // stop within a handful of node allocations of the cancel signal.
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Err(BddHalt::Cancelled);
+            }
         }
         let n = self.nodes.len() as u32;
         self.nodes.push(Node { var, low, high });
@@ -154,12 +202,12 @@ impl BddManager {
     ///
     /// # Errors
     ///
-    /// Returns [`BddLimitExceeded`] if the node limit is reached.
+    /// Returns [`BddHalt`] if the node limit is reached.
     ///
     /// # Panics
     ///
     /// Panics if `var` is out of range.
-    pub fn var(&mut self, var: u32) -> Result<Bdd, BddLimitExceeded> {
+    pub fn var(&mut self, var: u32) -> Result<Bdd, BddHalt> {
         assert!((var as usize) < self.num_vars(), "variable out of range");
         self.mk(var, FALSE_NODE, TRUE_NODE).map(Bdd)
     }
@@ -168,8 +216,8 @@ impl BddManager {
     ///
     /// # Errors
     ///
-    /// Returns [`BddLimitExceeded`] if the node limit is reached.
-    pub fn nvar(&mut self, var: u32) -> Result<Bdd, BddLimitExceeded> {
+    /// Returns [`BddHalt`] if the node limit is reached.
+    pub fn nvar(&mut self, var: u32) -> Result<Bdd, BddHalt> {
         assert!((var as usize) < self.num_vars(), "variable out of range");
         self.mk(var, TRUE_NODE, FALSE_NODE).map(Bdd)
     }
@@ -187,12 +235,12 @@ impl BddManager {
     ///
     /// # Errors
     ///
-    /// Returns [`BddLimitExceeded`] if the node limit is reached.
-    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Result<Bdd, BddLimitExceeded> {
+    /// Returns [`BddHalt`] if the node limit is reached.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Result<Bdd, BddHalt> {
         self.ite_rec(f.0, g.0, h.0).map(Bdd)
     }
 
-    fn ite_rec(&mut self, f: u32, g: u32, h: u32) -> Result<u32, BddLimitExceeded> {
+    fn ite_rec(&mut self, f: u32, g: u32, h: u32) -> Result<u32, BddHalt> {
         // Terminal cases.
         if f == TRUE_NODE {
             return Ok(g);
@@ -209,16 +257,12 @@ impl BddManager {
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
             return Ok(r);
         }
-        let top = self
-            .level(f)
-            .min(self.level(g))
-            .min(self.level(h));
+        let top = self.level(f).min(self.level(g)).min(self.level(h));
         // Recover the variable at this level: one of the three roots has it.
         let var = [f, g, h]
             .iter()
             .map(|&n| self.nodes[n as usize].var)
-            .filter(|&v| v != TERMINAL_VAR && self.var_to_level[v as usize] == top)
-            .next()
+            .find(|&v| v != TERMINAL_VAR && self.var_to_level[v as usize] == top)
             .expect("at least one operand is non-terminal");
         let (f0, f1) = self.cofactors(f, var);
         let (g0, g1) = self.cofactors(g, var);
@@ -234,8 +278,8 @@ impl BddManager {
     ///
     /// # Errors
     ///
-    /// Returns [`BddLimitExceeded`] if the node limit is reached.
-    pub fn not(&mut self, f: Bdd) -> Result<Bdd, BddLimitExceeded> {
+    /// Returns [`BddHalt`] if the node limit is reached.
+    pub fn not(&mut self, f: Bdd) -> Result<Bdd, BddHalt> {
         self.ite(f, self.false_bdd(), self.true_bdd())
     }
 
@@ -243,8 +287,8 @@ impl BddManager {
     ///
     /// # Errors
     ///
-    /// Returns [`BddLimitExceeded`] if the node limit is reached.
-    pub fn and(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddLimitExceeded> {
+    /// Returns [`BddHalt`] if the node limit is reached.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddHalt> {
         self.ite(f, g, self.false_bdd())
     }
 
@@ -252,8 +296,8 @@ impl BddManager {
     ///
     /// # Errors
     ///
-    /// Returns [`BddLimitExceeded`] if the node limit is reached.
-    pub fn or(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddLimitExceeded> {
+    /// Returns [`BddHalt`] if the node limit is reached.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddHalt> {
         self.ite(f, self.true_bdd(), g)
     }
 
@@ -261,8 +305,8 @@ impl BddManager {
     ///
     /// # Errors
     ///
-    /// Returns [`BddLimitExceeded`] if the node limit is reached.
-    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddLimitExceeded> {
+    /// Returns [`BddHalt`] if the node limit is reached.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddHalt> {
         let ng = self.not(g)?;
         self.ite(f, ng, g)
     }
@@ -271,8 +315,8 @@ impl BddManager {
     ///
     /// # Errors
     ///
-    /// Returns [`BddLimitExceeded`] if the node limit is reached.
-    pub fn implies(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddLimitExceeded> {
+    /// Returns [`BddHalt`] if the node limit is reached.
+    pub fn implies(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddHalt> {
         self.ite(f, g, self.true_bdd())
     }
 
@@ -280,8 +324,8 @@ impl BddManager {
     ///
     /// # Errors
     ///
-    /// Returns [`BddLimitExceeded`] if the node limit is reached.
-    pub fn iff(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddLimitExceeded> {
+    /// Returns [`BddHalt`] if the node limit is reached.
+    pub fn iff(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddHalt> {
         let ng = self.not(g)?;
         self.ite(f, g, ng)
     }
@@ -297,7 +341,11 @@ impl BddManager {
                 return false;
             }
             let n = self.nodes[node as usize];
-            node = if assignment[n.var as usize] { n.high } else { n.low };
+            node = if assignment[n.var as usize] {
+                n.high
+            } else {
+                n.low
+            };
         }
     }
 
@@ -477,6 +525,22 @@ mod tests {
         let (root_var, _, _) = mgr.node_parts(f).unwrap();
         assert_eq!(root_var, 1);
         assert_eq!(mgr.order(), vec![1, 0]);
+    }
+
+    #[test]
+    fn cancel_flag_halts_node_allocation() {
+        let mut mgr = BddManager::new(8);
+        let flag = Arc::new(AtomicBool::new(false));
+        mgr.set_cancel_flag(Arc::clone(&flag));
+        // Fresh allocations succeed while the flag is down...
+        let x = mgr.var(0).unwrap();
+        let y = mgr.var(1).unwrap();
+        assert!(mgr.and(x, y).is_ok());
+        flag.store(true, Ordering::Relaxed);
+        // ...cached nodes still resolve, but any new allocation reports the
+        // cancellation instead of finishing the build.
+        assert_eq!(mgr.var(0), Ok(x));
+        assert_eq!(mgr.xor(x, y), Err(BddHalt::Cancelled));
     }
 
     #[test]

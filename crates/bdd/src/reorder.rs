@@ -8,7 +8,7 @@
 //! fraction of the implementation complexity.  The substitution is recorded in
 //! `DESIGN.md`.
 
-use crate::manager::{Bdd, BddLimitExceeded, BddManager};
+use crate::manager::{Bdd, BddHalt, BddManager};
 use std::collections::HashMap;
 
 /// A set of candidate variable orders to try.
@@ -61,13 +61,13 @@ impl OrderCandidates {
 ///
 /// # Errors
 ///
-/// Returns [`BddLimitExceeded`] if the destination manager hits `node_limit`.
+/// Returns [`BddHalt`] if the destination manager hits `node_limit`.
 pub fn transfer(
     source: &BddManager,
     root: Bdd,
     order: Vec<u32>,
     node_limit: usize,
-) -> Result<(BddManager, Bdd), BddLimitExceeded> {
+) -> Result<(BddManager, Bdd), BddHalt> {
     let mut dest = BddManager::with_order(order);
     dest.set_node_limit(node_limit);
     let mut memo: HashMap<Bdd, Bdd> = HashMap::new();
@@ -80,7 +80,7 @@ fn transfer_rec(
     dest: &mut BddManager,
     node: Bdd,
     memo: &mut HashMap<Bdd, Bdd>,
-) -> Result<Bdd, BddLimitExceeded> {
+) -> Result<Bdd, BddHalt> {
     if source.is_true(node) {
         return Ok(dest.true_bdd());
     }
@@ -106,14 +106,14 @@ fn transfer_rec(
 ///
 /// # Errors
 ///
-/// Returns [`BddLimitExceeded`] only if *every* candidate (including keeping
+/// Returns [`BddHalt`] only if *every* candidate (including keeping
 /// the current manager) exceeds the node limit.
 pub fn improve_order(
     source: BddManager,
     root: Bdd,
     candidates: &OrderCandidates,
     node_limit: usize,
-) -> Result<(BddManager, Bdd, usize), BddLimitExceeded> {
+) -> Result<(BddManager, Bdd, usize), BddHalt> {
     let mut best_count = source.node_count(root);
     let mut best: Option<(BddManager, Bdd)> = Some((source, root));
     for order in candidates.orders() {
@@ -121,7 +121,12 @@ pub fn improve_order(
         if order.len() != source_ref.num_vars() {
             continue;
         }
-        match transfer(source_ref, best.as_ref().unwrap().1, order.clone(), node_limit) {
+        match transfer(
+            source_ref,
+            best.as_ref().unwrap().1,
+            order.clone(),
+            node_limit,
+        ) {
             Ok((mgr, new_root)) => {
                 let count = mgr.node_count(new_root);
                 if count < best_count {
@@ -183,7 +188,8 @@ mod tests {
         let mut candidates = OrderCandidates::new();
         candidates.push(vec![0, 1, 2, 3, 4, 5]);
         candidates.push(vec![5, 4, 3, 2, 1, 0]);
-        let (best_mgr, best_root, best_count) = improve_order(mgr, f, &candidates, 1 << 20).unwrap();
+        let (best_mgr, best_root, best_count) =
+            improve_order(mgr, f, &candidates, 1 << 20).unwrap();
         assert!(best_count < before);
         // Semantics preserved.
         for bits in 0..64u32 {
@@ -200,7 +206,11 @@ mod tests {
         for order in c.orders() {
             let mut sorted = order.clone();
             sorted.sort_unstable();
-            assert_eq!(sorted, vec![0, 1, 2, 3, 4], "each candidate is a permutation");
+            assert_eq!(
+                sorted,
+                vec![0, 1, 2, 3, 4],
+                "each candidate is a permutation"
+            );
         }
     }
 }

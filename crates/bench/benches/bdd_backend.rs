@@ -1,7 +1,8 @@
 //! Criterion benchmark: BDD construction for the encoded correctness formula
 //! (the decision-diagram back end of Table 1 / Fig. 7).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use velv_bench::microbench::Criterion;
+use velv_bench::{criterion_group, criterion_main};
 use velv_core::{TranslationOptions, Verifier};
 use velv_models::dlx::{bug_catalog, Dlx, DlxConfig, DlxSpecification};
 

@@ -1,7 +1,8 @@
 //! Criterion benchmark: the SAT back ends on a fixed correctness CNF
 //! (satisfiable buggy instance and unsatisfiable correct instance).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use velv_bench::microbench::Criterion;
+use velv_bench::{criterion_group, criterion_main};
 use velv_core::{TranslationOptions, Verifier};
 use velv_models::dlx::{bug_catalog, Dlx, DlxConfig, DlxSpecification};
 use velv_sat::cdcl::CdclSolver;

@@ -1,8 +1,9 @@
 //! Criterion benchmark: the sparse transitivity triangulation and the full
 //! translation of the transitivity-requiring out-of-order designs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::BTreeSet;
+use velv_bench::microbench::Criterion;
+use velv_bench::{criterion_group, criterion_main};
 use velv_core::encode::transitivity::triangulate;
 use velv_core::{TranslationOptions, Verifier};
 use velv_eufm::Context;

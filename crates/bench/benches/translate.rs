@@ -1,7 +1,8 @@
 //! Criterion benchmark: the EUFM → CNF translation pipeline per design and
 //! encoding (the front-end cost of every experiment table).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use velv_bench::microbench::Criterion;
+use velv_bench::{criterion_group, criterion_main};
 use velv_core::{TranslationOptions, Verifier};
 use velv_models::dlx::{Dlx, DlxConfig, DlxSpecification};
 use velv_models::vliw::{Vliw, VliwConfig, VliwSpecification};

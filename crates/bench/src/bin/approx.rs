@@ -34,7 +34,10 @@ fn main() {
             },
         ),
     ];
-    println!("{:<36} {:>12} {:>10} {:>10}", "configuration", "chaff (s)", "verdict", "cnf vars");
+    println!(
+        "{:<36} {:>12} {:>10} {:>10}",
+        "configuration", "chaff (s)", "verdict", "cnf vars"
+    );
     let mut all_correct = true;
     for (name, options) in configurations {
         let verifier = Verifier::new(options);
@@ -48,7 +51,11 @@ fn main() {
             "{:<36} {:>12.3} {:>10} {:>10}",
             name,
             elapsed,
-            if verdict.is_correct() { "correct" } else { "CHECK" },
+            if verdict.is_correct() {
+                "correct"
+            } else {
+                "CHECK"
+            },
             translation.stats.cnf_vars
         );
     }

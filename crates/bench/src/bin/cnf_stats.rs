@@ -45,7 +45,11 @@ fn main() {
         for mut solver in [CdclSolver::chaff(), CdclSolver::berkmin()] {
             let start = Instant::now();
             let verdict = verifier.check(&translation, &mut solver, Budget::unlimited());
-            assert!(verdict.is_correct(), "{} must verify", implementation.name());
+            assert!(
+                verdict.is_correct(),
+                "{} must verify",
+                implementation.name()
+            );
             times.push(start.elapsed().as_secs_f64());
         }
         println!(

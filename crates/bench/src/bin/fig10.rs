@@ -14,7 +14,10 @@ fn main() {
         "paper: the eij encoding is faster on 87 of the 100 buggy VLIW designs",
     );
     let config = VliwConfig::base();
-    let suite: Vec<_> = bug_catalog(config).into_iter().take(suite_size(100)).collect();
+    let suite: Vec<_> = bug_catalog(config)
+        .into_iter()
+        .take(suite_size(100))
+        .collect();
     let spec = VliwSpecification::new(config);
     let budget = Budget::time_limit(Duration::from_secs(30));
 
@@ -22,17 +25,30 @@ fn main() {
     println!("{:>4} {:>12} {:>14}", "bug", "eij (s)", "small-dom (s)");
     for (i, &bug) in suite.iter().enumerate() {
         let mut times = Vec::new();
-        for options in [TranslationOptions::base(), TranslationOptions::base().with_small_domain()] {
+        for options in [
+            TranslationOptions::base(),
+            TranslationOptions::base().with_small_domain(),
+        ] {
             let verifier = Verifier::new(options);
             let start = Instant::now();
             let mut solver = CdclSolver::berkmin();
-            let _ = verifier.verify_with_budget(&Vliw::buggy(config, bug), &spec, &mut solver, budget);
+            let _ = verifier.verify_with_budget(
+                &Vliw::buggy(config, bug),
+                &spec,
+                &mut solver,
+                budget.clone(),
+            );
             times.push(start.elapsed());
         }
         if times[0] <= times[1] {
             eij_faster += 1;
         }
-        println!("{:>4} {:>12.3} {:>14.3}", i, times[0].as_secs_f64(), times[1].as_secs_f64());
+        println!(
+            "{:>4} {:>12.3} {:>14.3}",
+            i,
+            times[0].as_secs_f64(),
+            times[1].as_secs_f64()
+        );
     }
     println!("eij faster on {eij_faster} of {} designs", suite.len());
     shape_check(

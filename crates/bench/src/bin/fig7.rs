@@ -15,13 +15,19 @@ fn main() {
         "paper: the difference is up to four orders of magnitude in favour of Chaff",
     );
     let config = VliwConfig::base();
-    let suite: Vec<_> = bug_catalog(config).into_iter().take(suite_size(100)).collect();
+    let suite: Vec<_> = bug_catalog(config)
+        .into_iter()
+        .take(suite_size(100))
+        .collect();
     let spec = VliwSpecification::new(config);
     let verifier = Verifier::new(TranslationOptions::base());
     let budget = Budget::time_limit(Duration::from_secs(30));
     let bdd_node_limit = 300_000;
 
-    println!("{:>4} {:>12} {:>14} {:>10}", "bug", "chaff (s)", "bdd-16 (s)", "bdd found");
+    println!(
+        "{:>4} {:>12} {:>14} {:>10}",
+        "bug", "chaff (s)", "bdd-16 (s)", "bdd found"
+    );
     let mut chaff_total = 0.0;
     let mut bdd_total = 0.0;
     let mut chaff_found = 0usize;
@@ -30,7 +36,8 @@ fn main() {
         let implementation = Vliw::buggy(config, bug);
         let start = Instant::now();
         let mut solver = CdclSolver::chaff();
-        let verdict = verifier.verify_with_budget(&implementation, &spec, &mut solver, budget);
+        let verdict =
+            verifier.verify_with_budget(&implementation, &spec, &mut solver, budget.clone());
         let chaff_time = start.elapsed().as_secs_f64();
         chaff_found += verdict.is_buggy() as usize;
 
@@ -53,7 +60,13 @@ fn main() {
 
         chaff_total += chaff_time;
         bdd_total += bdd_time;
-        println!("{:>4} {:>12.3} {:>14.3} {:>10}", i, chaff_time, bdd_time, best.is_some());
+        println!(
+            "{:>4} {:>12.3} {:>14.3} {:>10}",
+            i,
+            chaff_time,
+            bdd_time,
+            best.is_some()
+        );
     }
     println!(
         "chaff: {}/{} bugs found, total {:.3} s; BDDs: {}/{} bugs found, total {:.3} s",
@@ -64,7 +77,10 @@ fn main() {
         suite.len(),
         bdd_total
     );
-    shape_check("Chaff finds every bug of the suite", chaff_found == suite.len());
+    shape_check(
+        "Chaff finds every bug of the suite",
+        chaff_found == suite.len(),
+    );
     shape_check(
         "the SAT back end dominates the BDD back end (more bugs found or less total time)",
         chaff_found >= bdd_found && (bdd_found < suite.len() || chaff_total <= bdd_total),

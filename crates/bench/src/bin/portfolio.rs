@@ -1,0 +1,113 @@
+//! Portfolio experiment: for the Table-1 benchmarks (buggy variants of
+//! 2×DLX-CC-MC-EX-BP), compare the wall-clock time of the racing portfolio
+//! against the best and the median single engine on the same translation.
+//!
+//! The paper's conclusion is that no fixed procedure choice is safe; the
+//! portfolio's claim is that racing them costs roughly the best engine's time
+//! (plus thread startup) without having to know the winner in advance.
+
+use std::time::{Duration, Instant};
+use velv_bench::{print_header, secs, shape_check, suite_size};
+use velv_core::{Backend, TranslationOptions, Verifier};
+use velv_models::dlx::{bug_catalog, Dlx, DlxConfig, DlxSpecification};
+use velv_sat::presets::SolverKind;
+use velv_sat::Budget;
+
+fn main() {
+    print_header(
+        "Portfolio — racing SAT presets and BDDs on buggy 2xDLX-CC-MC-EX-BP",
+        "portfolio wall-clock vs. best and median single engine on the same CNF",
+    );
+    let config = DlxConfig::dual_issue_full();
+    let suite: Vec<_> = bug_catalog(config)
+        .into_iter()
+        .take(suite_size(100))
+        .collect();
+    let verifier = Verifier::new(TranslationOptions::default());
+    let spec = DlxSpecification::new(config);
+    let limit = Budget::time_limit(Duration::from_secs(25));
+
+    let singles = [
+        Backend::Sat(SolverKind::Chaff),
+        Backend::Sat(SolverKind::BerkMin),
+        Backend::Sat(SolverKind::Grasp),
+        Backend::Sat(SolverKind::Sato),
+        Backend::Bdd {
+            node_limit: 200_000,
+        },
+    ];
+    let race = Backend::Portfolio(singles.to_vec());
+
+    println!(
+        "{:<34} {:>10} {:>10} {:>10}   winner",
+        "benchmark", "best", "median", "race"
+    );
+    let mut race_beats_median = 0usize;
+    let mut races_decided = 0usize;
+    let mut total_overhead = 0.0f64;
+    for &bug in &suite {
+        let translation = verifier.translate(&Dlx::buggy(config, bug), &spec);
+
+        // Sequential runs: one engine at a time on the shared translation.
+        let mut times: Vec<(String, Duration, bool)> = Vec::new();
+        for backend in &singles {
+            let start = Instant::now();
+            let verdict = verifier.check_with_backend(&translation, backend, limit.clone());
+            times.push((backend.label(), start.elapsed(), verdict.is_buggy()));
+        }
+        let mut decided: Vec<Duration> = times
+            .iter()
+            .filter(|(_, _, ok)| *ok)
+            .map(|(_, t, _)| *t)
+            .collect();
+        decided.sort_unstable();
+        let best = decided.first().copied();
+        let median = decided.get(decided.len() / 2).copied();
+
+        // The race on the same translation.
+        let start = Instant::now();
+        let outcome =
+            verifier.check_portfolio(&translation, std::slice::from_ref(&race), limit.clone());
+        let race_time = start.elapsed();
+
+        let name = format!("{bug:?}");
+        let short: String = name.chars().take(32).collect();
+        println!(
+            "{:<34} {:>9}s {:>9}s {:>9}s   {}",
+            short,
+            best.map_or("--".to_owned(), secs),
+            median.map_or("--".to_owned(), secs),
+            secs(race_time),
+            outcome.winner.as_deref().unwrap_or("--"),
+        );
+        if outcome.verdict.is_buggy() {
+            races_decided += 1;
+            if let Some(median) = median {
+                if race_time <= median + Duration::from_millis(50) {
+                    race_beats_median += 1;
+                }
+            }
+            if let Some(best) = best {
+                total_overhead += race_time.as_secs_f64() - best.as_secs_f64();
+            }
+        }
+    }
+
+    println!(
+        "\nraces decided: {races_decided}/{}; mean overhead vs. best single engine: {:+.3}s",
+        suite.len(),
+        if races_decided > 0 {
+            total_overhead / races_decided as f64
+        } else {
+            0.0
+        },
+    );
+    shape_check(
+        "the portfolio decides every benchmark the best single engine decides",
+        races_decided == suite.len(),
+    );
+    shape_check(
+        "racing is at worst about as slow as the median single engine",
+        race_beats_median * 4 >= races_decided * 3,
+    );
+}

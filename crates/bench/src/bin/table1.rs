@@ -15,12 +15,19 @@ fn main() {
         "paper: Chaff 100%/100%/100%, BerkMin 97/100/100, DLM-3 51/82/98, GRASP 14/21/24, BDDs 2/2/3 (limits 24/240/2400 s)",
     );
     let config = DlxConfig::dual_issue_full();
-    let suite: Vec<_> = bug_catalog(config).into_iter().take(suite_size(100)).collect();
+    let suite: Vec<_> = bug_catalog(config)
+        .into_iter()
+        .take(suite_size(100))
+        .collect();
     let verifier = Verifier::new(TranslationOptions::default());
     let spec = DlxSpecification::new(config);
 
     // Scaled time limits (the paper used 24/240/2400 s on a 336 MHz machine).
-    let limits = [Duration::from_millis(250), Duration::from_millis(2500), Duration::from_secs(25)];
+    let limits = [
+        Duration::from_millis(250),
+        Duration::from_millis(2500),
+        Duration::from_secs(25),
+    ];
 
     // Translate once per buggy design, then give each solver the same CNF.
     let translations: Vec<_> = suite
@@ -39,7 +46,8 @@ fn main() {
         for translation in &translations {
             for (i, limit) in limits.iter().enumerate() {
                 let mut solver = kind.build();
-                let verdict = verifier.check(translation, solver.as_mut(), Budget::time_limit(*limit));
+                let verdict =
+                    verifier.check(translation, solver.as_mut(), Budget::time_limit(*limit));
                 if verdict.is_buggy() {
                     solved[i] += 1;
                 }

@@ -16,7 +16,10 @@ fn main() {
         "paper: base Chaff max 180.4s avg 32.5s; 4 structural runs max 74.9s avg 14.4s; 4 parameter runs max 176.8s avg 15.0s",
     );
     let config = VliwConfig::base();
-    let suite: Vec<_> = bug_catalog(config).into_iter().take(suite_size(100)).collect();
+    let suite: Vec<_> = bug_catalog(config)
+        .into_iter()
+        .take(suite_size(100))
+        .collect();
     let spec = VliwSpecification::new(config);
     let budget = Budget::time_limit(Duration::from_secs(30));
 
@@ -27,7 +30,12 @@ fn main() {
             let verifier = Verifier::new(TranslationOptions::base());
             let start = Instant::now();
             let mut solver = CdclSolver::chaff();
-            let _ = verifier.verify_with_budget(&Vliw::buggy(config, bug), &spec, &mut solver, budget);
+            let _ = verifier.verify_with_budget(
+                &Vliw::buggy(config, bug),
+                &spec,
+                &mut solver,
+                budget.clone(),
+            );
             start.elapsed()
         })
         .collect();
@@ -42,7 +50,12 @@ fn main() {
                     let verifier = Verifier::new(options);
                     let start = Instant::now();
                     let mut solver = CdclSolver::chaff();
-                    let _ = verifier.verify_with_budget(&Vliw::buggy(config, bug), &spec, &mut solver, budget);
+                    let _ = verifier.verify_with_budget(
+                        &Vliw::buggy(config, bug),
+                        &spec,
+                        &mut solver,
+                        budget.clone(),
+                    );
                     start.elapsed()
                 })
                 .min()
@@ -60,7 +73,7 @@ fn main() {
                 .into_iter()
                 .map(|mut solver| {
                     let start = Instant::now();
-                    let _ = verifier.check(&translation, solver.as_mut(), budget);
+                    let _ = verifier.check(&translation, solver.as_mut(), budget.clone());
                     start.elapsed()
                 })
                 .min()
@@ -71,10 +84,22 @@ fn main() {
     let base = summarize(&base_times);
     let structural = summarize(&structural_times);
     let parameter = summarize(&parameter_times);
-    println!("{:<38} {:>10} {:>10}", "configuration (Chaff)", "max (s)", "avg (s)");
-    println!("{:<38} {:>10.3} {:>10.3}", "base (1 run)", base.max, base.mean);
-    println!("{:<38} {:>10.3} {:>10.3}", "base,ER,AC,ER+AC (4 runs, min)", structural.max, structural.mean);
-    println!("{:<38} {:>10.3} {:>10.3}", "base + 3 parameter variations (min)", parameter.max, parameter.mean);
+    println!(
+        "{:<38} {:>10} {:>10}",
+        "configuration (Chaff)", "max (s)", "avg (s)"
+    );
+    println!(
+        "{:<38} {:>10.3} {:>10.3}",
+        "base (1 run)", base.max, base.mean
+    );
+    println!(
+        "{:<38} {:>10.3} {:>10.3}",
+        "base,ER,AC,ER+AC (4 runs, min)", structural.max, structural.mean
+    );
+    println!(
+        "{:<38} {:>10.3} {:>10.3}",
+        "base + 3 parameter variations (min)", parameter.max, parameter.mean
+    );
 
     shape_check(
         "parallel structural variations do not increase the average detection time",

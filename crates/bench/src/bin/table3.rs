@@ -14,7 +14,10 @@ fn main() {
         "paper (1 run): Chaff eij max 180.4 avg 32.5 | small-domain max 594.0 avg 100.4; BerkMin eij 151.4/43.6 | small-domain 245.0/85.0",
     );
     let config = VliwConfig::base();
-    let suite: Vec<_> = bug_catalog(config).into_iter().take(suite_size(100)).collect();
+    let suite: Vec<_> = bug_catalog(config)
+        .into_iter()
+        .take(suite_size(100))
+        .collect();
     let spec = VliwSpecification::new(config);
     let budget = Budget::time_limit(Duration::from_secs(30));
 
@@ -25,7 +28,10 @@ fn main() {
     ] {
         for (enc_name, options) in [
             ("eij", TranslationOptions::base()),
-            ("small-domain", TranslationOptions::base().with_small_domain()),
+            (
+                "small-domain",
+                TranslationOptions::base().with_small_domain(),
+            ),
         ] {
             let times: Vec<Duration> = suite
                 .iter()
@@ -37,7 +43,7 @@ fn main() {
                         &Vliw::buggy(config, bug),
                         &spec,
                         &mut solver,
-                        budget,
+                        budget.clone(),
                     );
                     start.elapsed()
                 })
@@ -50,7 +56,11 @@ fn main() {
             results.push((solver_name, enc_name, summary));
         }
     }
-    let chaff_eij = results.iter().find(|r| r.0 == "Chaff" && r.1 == "eij").unwrap().2;
+    let chaff_eij = results
+        .iter()
+        .find(|r| r.0 == "Chaff" && r.1 == "eij")
+        .unwrap()
+        .2;
     let chaff_sd = results
         .iter()
         .find(|r| r.0 == "Chaff" && r.1 == "small-domain")

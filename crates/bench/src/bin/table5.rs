@@ -17,7 +17,11 @@ fn main() {
         "{:>5} {:>16} {:>16} {:>16} {:>16}",
         "width", "Chaff eij (s)", "Chaff sd (s)", "BerkMin eij (s)", "BerkMin sd (s)"
     );
-    let max_width: usize = if std::env::var("VELV_FULL").map_or(false, |v| v == "1") { 6 } else { 5 };
+    let max_width: usize = if std::env::var("VELV_FULL").is_ok_and(|v| v == "1") {
+        6
+    } else {
+        5
+    };
     let mut all_correct = true;
     let mut eij_not_slower = true;
     for width in 2..=max_width {
@@ -25,7 +29,10 @@ fn main() {
         let spec = OooSpecification::new();
         let mut row = Vec::new();
         for make_solver in [CdclSolver::chaff as fn() -> CdclSolver, CdclSolver::berkmin] {
-            for options in [TranslationOptions::base(), TranslationOptions::base().with_small_domain()] {
+            for options in [
+                TranslationOptions::base(),
+                TranslationOptions::base().with_small_domain(),
+            ] {
                 let verifier = Verifier::new(options);
                 let translation = verifier.translate(&implementation, &spec);
                 let mut solver = make_solver();
@@ -43,6 +50,12 @@ fn main() {
             eij_not_slower = false;
         }
     }
-    shape_check("every out-of-order design is proven correct (UNSAT)", all_correct);
-    shape_check("the eij encoding is not substantially slower than small-domain (Chaff)", eij_not_slower);
+    shape_check(
+        "every out-of-order design is proven correct (UNSAT)",
+        all_correct,
+    );
+    shape_check(
+        "the eij encoding is not substantially slower than small-domain (Chaff)",
+        eij_not_slower,
+    );
 }

@@ -15,7 +15,10 @@ fn main() {
         "paper: 1 run min 3.7 max 180.4 avg 32.5; 8 runs 0.3/31.3/4.1; 16 runs 0.2/17.5/2.8",
     );
     let config = VliwConfig::base();
-    let suite: Vec<_> = bug_catalog(config).into_iter().take(suite_size(100)).collect();
+    let suite: Vec<_> = bug_catalog(config)
+        .into_iter()
+        .take(suite_size(100))
+        .collect();
     let spec = VliwSpecification::new(config);
     let verifier = Verifier::new(TranslationOptions::base());
     let budget = Budget::time_limit(Duration::from_secs(30));
@@ -29,7 +32,12 @@ fn main() {
                 if obligations == 1 {
                     let start = Instant::now();
                     let mut solver = CdclSolver::chaff();
-                    let _ = verifier.verify_with_budget(&implementation, &spec, &mut solver, budget);
+                    let _ = verifier.verify_with_budget(
+                        &implementation,
+                        &spec,
+                        &mut solver,
+                        budget.clone(),
+                    );
                     start.elapsed()
                 } else {
                     // Parallel weak criteria: the detection time is the time of
@@ -41,7 +49,7 @@ fn main() {
                         .filter_map(|t| {
                             let mut solver = CdclSolver::chaff();
                             let start = Instant::now();
-                            let verdict = verifier.check(t, &mut solver, budget);
+                            let verdict = verifier.check(t, &mut solver, budget.clone());
                             verdict.is_buggy().then(|| start.elapsed())
                         })
                         .min()

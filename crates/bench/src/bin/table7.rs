@@ -25,14 +25,17 @@ fn main() {
         VliwBug::NoSquashOnMispredict,
     ];
 
-    println!("{:<34} {:>16} {:>16} {:>14}", "bug", "monolithic (s)", "decomposed (s)", "primary vars");
+    println!(
+        "{:<34} {:>16} {:>16} {:>14}",
+        "bug", "monolithic (s)", "decomposed (s)", "primary vars"
+    );
     let mut all_detected = true;
     for (i, &bug) in bugs.iter().enumerate() {
         let implementation = Vliw::buggy(config, bug);
         let translation = verifier.translate(&implementation, &spec);
         let mut solver = CdclSolver::chaff();
         let start = Instant::now();
-        let mono_verdict = verifier.check(&translation, &mut solver, budget);
+        let mono_verdict = verifier.check(&translation, &mut solver, budget.clone());
         let mono_time = start.elapsed();
 
         let problem = verifier.build_problem(&implementation, &spec);
@@ -42,7 +45,7 @@ fn main() {
             .filter_map(|t| {
                 let mut solver = CdclSolver::chaff();
                 let start = Instant::now();
-                let verdict = verifier.check(t, &mut solver, budget);
+                let verdict = verifier.check(t, &mut solver, budget.clone());
                 verdict.is_buggy().then(|| start.elapsed())
             })
             .min()

@@ -41,11 +41,17 @@ fn main() {
                 for t in &translations {
                     let mut solver = CdclSolver::chaff();
                     let s = Instant::now();
-                    ok &= verifier.check(t, &mut solver, Budget::unlimited()).is_correct();
+                    ok &= verifier
+                        .check(t, &mut solver, Budget::unlimited())
+                        .is_correct();
                     max_single = max_single.max(s.elapsed());
                     max_primary = max_primary.max(t.stats.primary_bool_vars);
                 }
-                println!("    ({} obligations, longest single obligation {:.3} s)", translations.len(), max_single.as_secs_f64());
+                println!(
+                    "    ({} obligations, longest single obligation {:.3} s)",
+                    translations.len(),
+                    max_single.as_secs_f64()
+                );
                 (ok, max_primary)
             };
             let elapsed = start.elapsed();
@@ -59,7 +65,10 @@ fn main() {
             times.push((n, elapsed, all_correct));
         }
         shape_check(
-            &format!("{}: every weak criterion of the correct design is proven", config.name()),
+            &format!(
+                "{}: every weak criterion of the correct design is proven",
+                config.name()
+            ),
             times.iter().all(|(_, _, ok)| *ok),
         );
     }

@@ -21,7 +21,10 @@ fn run(
 ) -> (f64, f64, bool) {
     let mut times = Vec::new();
     let mut decided_with_pe = false;
-    for options in [TranslationOptions::base(), TranslationOptions::base().without_positive_equality()] {
+    for options in [
+        TranslationOptions::base(),
+        TranslationOptions::base().without_positive_equality(),
+    ] {
         let with_pe = options.positive_equality;
         let verifier = Verifier::new(options);
         let start = Instant::now();
@@ -43,24 +46,57 @@ fn main() {
         "Table 9 — with and without positive equality (Chaff)",
         "paper: 1xDLX-C 0.19s vs 9177s; 2xDLX-CC-MC-EX-BP 22s vs >24h; 9VLIW-MC-BP 759s vs out of memory",
     );
-    println!("{:<30} {:>16} {:>20}", "benchmark", "pos.eq. (s)", "no pos.eq. (s)");
+    println!(
+        "{:<30} {:>16} {:>20}",
+        "benchmark", "pos.eq. (s)", "no pos.eq. (s)"
+    );
     let limit = Duration::from_secs(60);
     let mut rows = Vec::new();
 
     let dlx1 = DlxConfig::single_issue();
-    rows.push(run("1xDLX-C", &Dlx::correct(dlx1), &DlxSpecification::new(dlx1), limit));
+    rows.push(run(
+        "1xDLX-C",
+        &Dlx::correct(dlx1),
+        &DlxSpecification::new(dlx1),
+        limit,
+    ));
     let bug = dlx_bugs(dlx1)[0];
-    rows.push(run("1xDLX-C-buggy", &Dlx::buggy(dlx1, bug), &DlxSpecification::new(dlx1), limit));
+    rows.push(run(
+        "1xDLX-C-buggy",
+        &Dlx::buggy(dlx1, bug),
+        &DlxSpecification::new(dlx1),
+        limit,
+    ));
 
     let dlx2 = DlxConfig::dual_issue_full();
-    rows.push(run("2xDLX-CC-MC-EX-BP", &Dlx::correct(dlx2), &DlxSpecification::new(dlx2), limit));
+    rows.push(run(
+        "2xDLX-CC-MC-EX-BP",
+        &Dlx::correct(dlx2),
+        &DlxSpecification::new(dlx2),
+        limit,
+    ));
     let bug = dlx_bugs(dlx2)[0];
-    rows.push(run("2xDLX-CC-MC-EX-BP-buggy", &Dlx::buggy(dlx2, bug), &DlxSpecification::new(dlx2), limit));
+    rows.push(run(
+        "2xDLX-CC-MC-EX-BP-buggy",
+        &Dlx::buggy(dlx2, bug),
+        &DlxSpecification::new(dlx2),
+        limit,
+    ));
 
     let vliw = VliwConfig::base();
-    rows.push(run("9VLIW-MC-BP", &Vliw::correct(vliw), &VliwSpecification::new(vliw), limit));
+    rows.push(run(
+        "9VLIW-MC-BP",
+        &Vliw::correct(vliw),
+        &VliwSpecification::new(vliw),
+        limit,
+    ));
     let bug = vliw_bugs(vliw)[0];
-    rows.push(run("9VLIW-MC-BP-buggy", &Vliw::buggy(vliw, bug), &VliwSpecification::new(vliw), limit));
+    rows.push(run(
+        "9VLIW-MC-BP-buggy",
+        &Vliw::buggy(vliw, bug),
+        &VliwSpecification::new(vliw),
+        limit,
+    ));
 
     shape_check(
         "every benchmark is decided with positive equality enabled",
@@ -68,6 +104,7 @@ fn main() {
     );
     shape_check(
         "disabling positive equality never speeds things up",
-        rows.iter().all(|(with, without, _)| *without >= *with * 0.8),
+        rows.iter()
+            .all(|(with, without, _)| *without >= *with * 0.8),
     );
 }

@@ -15,6 +15,8 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod microbench;
+
 use std::time::{Duration, Instant};
 use velv_core::{TranslationOptions, Verdict, Verifier};
 use velv_hdl::Processor;
@@ -22,7 +24,7 @@ use velv_sat::{Budget, Solver};
 
 /// Number of buggy variants to run per suite (scaled down unless `VELV_FULL=1`).
 pub fn suite_size(full_size: usize) -> usize {
-    if std::env::var("VELV_FULL").map_or(false, |v| v == "1") {
+    if std::env::var("VELV_FULL").is_ok_and(|v| v == "1") {
         full_size
     } else {
         full_size.min(12)

@@ -1,0 +1,122 @@
+//! A minimal, dependency-free stand-in for the slice of the Criterion API the
+//! benchmark files use (`benchmark_group` / `sample_size` / `bench_function` /
+//! `iter`), so `cargo bench` works in offline environments.
+//!
+//! Each `bench_function` runs one warm-up call followed by `sample_size`
+//! timed calls and prints min/mean/max wall-clock times.  This is a
+//! measurement harness, not a statistics engine: for the qualitative "who
+//! wins, by roughly what factor" comparisons of the paper's tables that is
+//! all the experiments need.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Entry point handed to every benchmark function (mirrors
+/// `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("== {name}");
+        BenchmarkGroup { sample_size: 10 }
+    }
+}
+
+/// A named group of benchmarks (mirrors `criterion::BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark: a warm-up call, then `sample_size` timed calls.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            times: Vec::new(),
+        };
+        f(&mut bencher);
+        let times = &bencher.times;
+        if times.is_empty() {
+            println!("{id:<40} (no samples)");
+            return self;
+        }
+        let min = times.iter().min().copied().unwrap_or_default();
+        let max = times.iter().max().copied().unwrap_or_default();
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "{id:<40} min {:>10.3?}  mean {:>10.3?}  max {:>10.3?}  ({} samples)",
+            min,
+            mean,
+            max,
+            times.len()
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The per-benchmark timing handle (mirrors `criterion::Bencher`).
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`: one untimed warm-up call, then one timed call per sample.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let _ = black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let _ = black_box(f());
+            self.times.push(start.elapsed());
+        }
+    }
+}
+
+/// Builds the function that `criterion_main!` calls (mirrors Criterion's
+/// macro of the same name).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::microbench::Criterion::default();
+            $( $bench(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main` (mirrors Criterion's macro of the
+/// same name).
+#[macro_export]
+macro_rules! criterion_main {
+    ($name:ident) => {
+        fn main() {
+            $name();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_the_requested_samples() {
+        let mut group = Criterion::default().benchmark_group("test");
+        group
+            .sample_size(3)
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+}

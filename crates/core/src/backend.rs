@@ -1,9 +1,28 @@
-//! Decision-diagram back end: evaluating the encoded correctness formula with
-//! BDDs instead of a SAT checker (the role CUDD plays in the paper).
+//! Back-end selection and the parallel portfolio race.
+//!
+//! This module owns two things:
+//!
+//! 1. The classic decision-diagram back end: evaluating the encoded
+//!    correctness formula with BDDs instead of a SAT checker (the role CUDD
+//!    plays in the paper).
+//! 2. The unified [`Backend`] abstraction — SAT preset, BDD build, or a
+//!    [`Backend::Portfolio`] of either — and [`race_backends`], which runs
+//!    portfolio members on threads against the *same* translation, returns
+//!    the first decided [`Verdict`] and cancels the losers through the
+//!    cooperative cancel token.  This is the paper's Table-1 matchup (SAT
+//!    procedures vs. BDDs on identical formulas) executed concurrently.
 
+use crate::counterexample::Counterexample;
+use crate::flow::{Translation, Verdict};
 use std::collections::HashMap;
-use velv_bdd::{Bdd, BddLimitExceeded, BddManager};
+use std::sync::atomic::AtomicBool;
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use velv_bdd::{Bdd, BddHalt, BddManager};
 use velv_eufm::{Context, Formula, FormulaId, Symbol};
+use velv_sat::presets::SolverKind;
+use velv_sat::{Budget, CancelToken, SatResult, SolverStats};
 
 /// Outcome of a BDD-based validity check.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -16,6 +35,8 @@ pub enum BddOutcome {
     /// The node limit was exceeded — the analogue of the memory-outs and
     /// time-outs the paper reports for the BDD runs on the larger designs.
     LimitExceeded,
+    /// The shared cancel flag was raised (another portfolio engine won).
+    Cancelled,
 }
 
 impl BddOutcome {
@@ -36,6 +57,18 @@ pub fn check_validity_with_bdds(
     assume: FormulaId,
     node_limit: usize,
 ) -> BddOutcome {
+    check_validity_with_bdds_cancellable(ctx, formula, assume, node_limit, None)
+}
+
+/// [`check_validity_with_bdds`] with an optional cooperative cancel flag that
+/// is polled from the BDD manager's node-allocation path.
+pub fn check_validity_with_bdds_cancellable(
+    ctx: &Context,
+    formula: FormulaId,
+    assume: FormulaId,
+    node_limit: usize,
+    cancel: Option<Arc<AtomicBool>>,
+) -> BddOutcome {
     // Collect the propositional variables in depth-first order.
     let mut order: Vec<Symbol> = Vec::new();
     let mut seen_vars: HashMap<Symbol, u32> = HashMap::new();
@@ -44,20 +77,27 @@ pub fn check_validity_with_bdds(
 
     let mut manager = BddManager::new(order.len());
     manager.set_node_limit(node_limit);
+    if let Some(flag) = cancel {
+        manager.set_cancel_flag(flag);
+    }
     let var_index: HashMap<Symbol, u32> = seen_vars;
 
+    let halted = |halt: BddHalt| match halt {
+        BddHalt::NodeLimit { .. } => BddOutcome::LimitExceeded,
+        BddHalt::Cancelled => BddOutcome::Cancelled,
+    };
     let mut memo: HashMap<FormulaId, Bdd> = HashMap::new();
     let assume_bdd = match build(ctx, &mut manager, assume, &var_index, &mut memo) {
         Ok(b) => b,
-        Err(_) => return BddOutcome::LimitExceeded,
+        Err(halt) => return halted(halt),
     };
     let formula_bdd = match build(ctx, &mut manager, formula, &var_index, &mut memo) {
         Ok(b) => b,
-        Err(_) => return BddOutcome::LimitExceeded,
+        Err(halt) => return halted(halt),
     };
     let implication = match manager.implies(assume_bdd, formula_bdd) {
         Ok(b) => b,
-        Err(_) => return BddOutcome::LimitExceeded,
+        Err(halt) => return halted(halt),
     };
     if manager.is_true(implication) {
         return BddOutcome::Valid;
@@ -65,7 +105,7 @@ pub fn check_validity_with_bdds(
     // Extract a falsifying assignment: a satisfying assignment of ¬implication.
     let negated = match manager.not(implication) {
         Ok(b) => b,
-        Err(_) => return BddOutcome::LimitExceeded,
+        Err(halt) => return halted(halt),
     };
     let assignment = manager
         .sat_one(negated)
@@ -73,9 +113,7 @@ pub fn check_validity_with_bdds(
     let named: Vec<(String, bool)> = order
         .iter()
         .enumerate()
-        .filter_map(|(i, sym)| {
-            assignment[i].map(|value| (ctx.symbol_name(*sym).to_owned(), value))
-        })
+        .filter_map(|(i, sym)| assignment[i].map(|value| (ctx.symbol_name(*sym).to_owned(), value)))
         .collect();
     BddOutcome::Falsifiable(named)
 }
@@ -123,7 +161,7 @@ fn build(
     f: FormulaId,
     var_index: &HashMap<Symbol, u32>,
     memo: &mut HashMap<FormulaId, Bdd>,
-) -> Result<Bdd, BddLimitExceeded> {
+) -> Result<Bdd, BddHalt> {
     if let Some(&b) = memo.get(&f) {
         return Ok(b);
     }
@@ -159,6 +197,300 @@ fn build(
     Ok(result)
 }
 
+/// A back end the verification flow can check a [`Translation`] with.
+///
+/// The variants mirror the procedure classes of the paper's comparison: a SAT
+/// preset working on the CNF, a BDD build of the encoded formula, or a
+/// portfolio racing any mix of the two concurrently (nested portfolios are
+/// flattened into one race).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// One SAT procedure on the CNF translation.
+    Sat(SolverKind),
+    /// The BDD back end on the encoded formula.
+    Bdd {
+        /// Node limit standing in for the memory bound of the paper's runs.
+        node_limit: usize,
+    },
+    /// A concurrent race between the nested back ends.
+    Portfolio(Vec<Backend>),
+}
+
+impl Backend {
+    /// Node limit used by [`Backend::default_portfolio`]'s BDD member.
+    pub const DEFAULT_BDD_NODE_LIMIT: usize = 1 << 22;
+
+    /// The paper's Table-1 matchup as a single racing back end: the three
+    /// strongest CDCL presets against the BDD build.
+    pub fn default_portfolio() -> Backend {
+        Backend::Portfolio(vec![
+            Backend::Sat(SolverKind::Chaff),
+            Backend::Sat(SolverKind::BerkMin),
+            Backend::Sat(SolverKind::Grasp),
+            Backend::Bdd {
+                node_limit: Self::DEFAULT_BDD_NODE_LIMIT,
+            },
+        ])
+    }
+
+    /// A short display name ("chaff", "bdd", "portfolio[chaff|bdd]").
+    pub fn label(&self) -> String {
+        match self {
+            Backend::Sat(kind) => format!("{kind:?}").to_lowercase(),
+            Backend::Bdd { .. } => "bdd".to_owned(),
+            Backend::Portfolio(members) => {
+                let names: Vec<String> = members.iter().map(Backend::label).collect();
+                format!("portfolio[{}]", names.join("|"))
+            }
+        }
+    }
+
+    /// Flattens nested portfolios into the list of leaf back ends to race.
+    pub fn leaves(&self) -> Vec<Backend> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<Backend>) {
+        match self {
+            Backend::Portfolio(members) => {
+                for member in members {
+                    member.collect_leaves(out);
+                }
+            }
+            leaf => out.push(leaf.clone()),
+        }
+    }
+}
+
+/// How one back end fared in a [`race_backends`] run.
+#[derive(Clone, Debug)]
+pub struct BackendRun {
+    /// Display name of the back end.
+    pub name: String,
+    /// The verdict this back end reached (losers are typically
+    /// `Verdict::Unknown("cancelled")`).
+    pub verdict: Verdict,
+    /// Solver statistics, for SAT members.
+    pub stats: Option<SolverStats>,
+    /// Wall-clock time from this member's start to its return.
+    pub time: Duration,
+    /// Whether this member decided the obligation first.
+    pub winner: bool,
+}
+
+/// Aggregated outcome of one back-end race.
+#[derive(Clone, Debug)]
+pub struct PortfolioOutcome {
+    /// The verdict of the race: the winner's, or `Unknown` if nobody decided.
+    pub verdict: Verdict,
+    /// Name of the winning back end, if any member decided.
+    pub winner: Option<String>,
+    /// Per-member outcomes, in flattened member order.
+    pub runs: Vec<BackendRun>,
+    /// Wall-clock time of the whole race.
+    pub wall_time: Duration,
+}
+
+/// Stack size for race member threads: the BDD build recurses over the
+/// encoded formula, whose depth on the wide designs needs far more than the
+/// default thread stack (the translation pipeline uses the same bound).
+const RACE_STACK_SIZE: usize = 256 * 1024 * 1024;
+
+/// How long the collector waits on the result channel before re-checking the
+/// caller's own budget.
+const RACE_POLL: Duration = Duration::from_millis(5);
+
+pub(crate) fn sat_verdict(translation: &Translation, result: SatResult) -> Verdict {
+    match result {
+        SatResult::Unsat => Verdict::Correct,
+        SatResult::Sat(model) => Verdict::Buggy(Counterexample::from_model(
+            &translation.ctx,
+            &translation.primary_vars,
+            &model,
+        )),
+        // One spelling for cancellation across SAT and BDD members, so
+        // `undecided_reason` and callers inspecting the runs see one value.
+        SatResult::Unknown(velv_sat::StopReason::Cancelled) => {
+            Verdict::Unknown("cancelled".to_owned())
+        }
+        SatResult::Unknown(reason) => Verdict::Unknown(format!("{reason:?}")),
+    }
+}
+
+pub(crate) fn bdd_verdict(translation: &Translation, outcome: BddOutcome) -> Verdict {
+    match outcome {
+        BddOutcome::Valid => Verdict::Correct,
+        BddOutcome::Falsifiable(assignment) => {
+            let mut ctx = translation.ctx.clone();
+            let mut vars = std::collections::BTreeMap::new();
+            let mut values = Vec::new();
+            let sorted: std::collections::BTreeMap<String, bool> = assignment.into_iter().collect();
+            for (i, (name, value)) in sorted.iter().enumerate() {
+                let sym = ctx.symbol(name);
+                vars.insert(sym, velv_sat::Var::new(i as u32));
+                values.push(*value);
+            }
+            let model = velv_sat::Model::new(values);
+            Verdict::Buggy(Counterexample::from_model(&ctx, &vars, &model))
+        }
+        BddOutcome::LimitExceeded => Verdict::Unknown("bdd node limit exceeded".to_owned()),
+        BddOutcome::Cancelled => Verdict::Unknown("cancelled".to_owned()),
+    }
+}
+
+fn is_decided(verdict: &Verdict) -> bool {
+    verdict.is_correct() || verdict.is_buggy()
+}
+
+/// Why a race with no winner came up empty: prefer an informative member
+/// reason (node limit, step limit, deadline) over the bare "cancelled" the
+/// losers report — the same priority `PortfolioSolver::undecided_reason`
+/// applies at the CNF level.
+fn undecided_reason(runs: &[BackendRun]) -> String {
+    runs.iter()
+        .find_map(|run| match &run.verdict {
+            Verdict::Unknown(message) if message != "cancelled" => Some(message.clone()),
+            _ => None,
+        })
+        .unwrap_or_else(|| "cancelled".to_owned())
+}
+
+/// Races the leaf back ends of `members` against one translated obligation.
+///
+/// Every member runs on its own thread against the same [`Translation`]; the
+/// first member to reach a decided verdict wins, the shared cancel token is
+/// raised, and the losers stop from their hot loops (CDCL conflict loop, DPLL
+/// decision loop, local-search flip loop, BDD node allocation) without
+/// finishing their search.  The caller's `budget` is honoured for the race as
+/// a whole: its step limits and deadline are inherited by the SAT members and
+/// an outer cancellation is forwarded into the race.
+///
+/// This collector intentionally does not delegate to
+/// [`velv_sat::portfolio::PortfolioSolver`]: that race is over `SatResult`s
+/// on one CNF, while this one is over [`Verdict`]s — the BDD member works on
+/// the *encoded formula*, and its falsifying assignments name primary
+/// variables that have no faithful image as a CNF model (the CNF carries
+/// Tseitin auxiliaries a BDD run never assigns).  Squeezing the BDD build
+/// behind the `Solver` trait would forfeit the counterexample.
+pub fn race_backends(
+    translation: &Translation,
+    members: &[Backend],
+    budget: Budget,
+) -> PortfolioOutcome {
+    let leaves: Vec<Backend> = members.iter().flat_map(Backend::leaves).collect();
+    if leaves.is_empty() {
+        return PortfolioOutcome {
+            verdict: Verdict::Unknown("empty portfolio".to_owned()),
+            winner: None,
+            runs: Vec::new(),
+            wall_time: Duration::ZERO,
+        };
+    }
+    let race_start = Instant::now();
+    let parent = budget.started();
+    let token = CancelToken::new();
+    let member_budget = Budget {
+        max_conflicts: parent.max_conflicts,
+        max_decisions: parent.max_decisions,
+        max_time: None,
+        deadline: parent.deadline,
+        cancel: Some(token.clone()),
+    };
+
+    let n = leaves.len();
+    let mut reports: Vec<Option<BackendRun>> = (0..n).map(|_| None).collect();
+    let mut winner: Option<usize> = None;
+    let mut parent_stop: Option<String> = None;
+
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel();
+        for (index, leaf) in leaves.iter().enumerate() {
+            let tx = tx.clone();
+            let member_budget = member_budget.clone();
+            let token = token.clone();
+            std::thread::Builder::new()
+                .name(format!("velv-race-{}", leaf.label()))
+                .stack_size(RACE_STACK_SIZE)
+                .spawn_scoped(scope, move || {
+                    let start = Instant::now();
+                    let (verdict, stats) = match leaf {
+                        Backend::Sat(kind) => {
+                            let mut solver = kind.build();
+                            let result = solver.solve_with_budget(&translation.cnf, member_budget);
+                            (sat_verdict(translation, result), Some(solver.stats()))
+                        }
+                        Backend::Bdd { node_limit } => {
+                            let outcome = check_validity_with_bdds_cancellable(
+                                &translation.ctx,
+                                translation.encoded,
+                                translation.side_constraints,
+                                *node_limit,
+                                Some(token.flag()),
+                            );
+                            (bdd_verdict(translation, outcome), None)
+                        }
+                        Backend::Portfolio(_) => unreachable!("portfolios are flattened"),
+                    };
+                    let _ = tx.send((index, verdict, stats, start.elapsed()));
+                })
+                .expect("spawning a race member thread succeeds");
+        }
+        drop(tx);
+
+        let mut received = 0;
+        while received < n {
+            match rx.recv_timeout(RACE_POLL) {
+                Ok((index, verdict, stats, time)) => {
+                    received += 1;
+                    if winner.is_none() && is_decided(&verdict) {
+                        winner = Some(index);
+                        token.cancel();
+                    }
+                    reports[index] = Some(BackendRun {
+                        name: leaves[index].label(),
+                        verdict,
+                        stats,
+                        time,
+                        winner: false,
+                    });
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if parent_stop.is_none() {
+                        if let Some(reason) = parent.exceeded() {
+                            parent_stop = Some(format!("{reason:?}"));
+                            token.cancel();
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    });
+
+    if let Some(index) = winner {
+        if let Some(run) = reports[index].as_mut() {
+            run.winner = true;
+        }
+    }
+    let runs: Vec<BackendRun> = reports.into_iter().flatten().collect();
+    let verdict = match winner {
+        Some(index) => runs
+            .iter()
+            .find(|r| r.winner)
+            .map(|r| r.verdict.clone())
+            .unwrap_or_else(|| Verdict::Unknown(format!("winner {index} vanished"))),
+        None => Verdict::Unknown(parent_stop.unwrap_or_else(|| undecided_reason(&runs))),
+    };
+    PortfolioOutcome {
+        verdict,
+        winner: winner.and_then(|i| runs.iter().find(|r| r.winner).map(|_| leaves[i].label())),
+        runs,
+        wall_time: race_start.elapsed(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,7 +502,10 @@ mod tests {
         let np = ctx.not(p);
         let taut = ctx.or(p, np);
         let t = ctx.true_id();
-        assert_eq!(check_validity_with_bdds(&ctx, taut, t, 1 << 20), BddOutcome::Valid);
+        assert_eq!(
+            check_validity_with_bdds(&ctx, taut, t, 1 << 20),
+            BddOutcome::Valid
+        );
     }
 
     #[test]
@@ -196,7 +531,10 @@ mod tests {
         let imp = ctx.implies(p, q);
         // q is not valid by itself, but it is valid assuming p ∧ (p ⇒ q).
         let assume = ctx.and(p, imp);
-        assert_eq!(check_validity_with_bdds(&ctx, q, assume, 1 << 20), BddOutcome::Valid);
+        assert_eq!(
+            check_validity_with_bdds(&ctx, q, assume, 1 << 20),
+            BddOutcome::Valid
+        );
         let t = ctx.true_id();
         assert!(!check_validity_with_bdds(&ctx, q, t, 1 << 20).is_valid());
     }
@@ -211,6 +549,9 @@ mod tests {
             acc = ctx.xor(acc, v);
         }
         let t = ctx.true_id();
-        assert_eq!(check_validity_with_bdds(&ctx, acc, t, 8), BddOutcome::LimitExceeded);
+        assert_eq!(
+            check_validity_with_bdds(&ctx, acc, t, 8),
+            BddOutcome::LimitExceeded
+        );
     }
 }

@@ -104,7 +104,8 @@ impl VerificationProblem {
         }
 
         // Per-element, per-step match formulas.
-        let impl_cmp = apply_translation_boxes(&mut ctx, &impl_arch, &arch_elements, translation_boxes);
+        let impl_cmp =
+            apply_translation_boxes(&mut ctx, &impl_arch, &arch_elements, translation_boxes);
         let mut parts = Vec::with_capacity(k + 1);
         for spec_state in &spec_states {
             let spec_cmp =
@@ -200,7 +201,10 @@ mod tests {
             VerificationProblem::build(&implementation, &spec, &["pc".to_owned(), "rf".to_owned()]);
         let plain_stats = DagStats::of_formula(&plain.ctx, plain.criterion);
         let boxed_stats = DagStats::of_formula(&boxed.ctx, boxed.criterion);
-        assert!(boxed_stats.uf_apps > plain_stats.uf_apps, "translation boxes add UF applications");
+        assert!(
+            boxed_stats.uf_apps > plain_stats.uf_apps,
+            "translation boxes add UF applications"
+        );
     }
 
     #[test]

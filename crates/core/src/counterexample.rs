@@ -16,11 +16,7 @@ pub struct Counterexample {
 impl Counterexample {
     /// Builds a counterexample from a SAT model and the primary-variable map of
     /// the CNF translation.
-    pub fn from_model(
-        ctx: &Context,
-        primary_vars: &BTreeMap<Symbol, Var>,
-        model: &Model,
-    ) -> Self {
+    pub fn from_model(ctx: &Context, primary_vars: &BTreeMap<Symbol, Var>, model: &Model) -> Self {
         let mut assignments = BTreeMap::new();
         for (&sym, &var) in primary_vars {
             if var.index() < model.len() {
@@ -63,7 +59,11 @@ impl Counterexample {
 
 impl fmt::Display for Counterexample {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "counterexample over {} primary variables:", self.assignments.len())?;
+        writeln!(
+            f,
+            "counterexample over {} primary variables:",
+            self.assignments.len()
+        )?;
         for (name, value) in &self.assignments {
             if *value {
                 writeln!(f, "  {name} = 1")?;

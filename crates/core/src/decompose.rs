@@ -55,7 +55,10 @@ pub fn decompose(
 
     let mut obligations = Vec::new();
     let coverage = ctx.or_many(windows.iter().copied());
-    obligations.push(Obligation { name: "coverage".to_owned(), formula: coverage });
+    obligations.push(Obligation {
+        name: "coverage".to_owned(),
+        formula: coverage,
+    });
 
     // Group the elements so that the total number of obligations does not
     // exceed the requested maximum.
@@ -143,7 +146,10 @@ mod tests {
         let problem = VerificationProblem::build(&Direct, &Direct, &[]);
         let mut ctx = problem.ctx.clone();
         let obligations = decompose(&problem, &mut ctx, 8);
-        assert!(obligations.len() >= 3, "coverage + at least one group per l");
+        assert!(
+            obligations.len() >= 3,
+            "coverage + at least one group per l"
+        );
         assert!(obligations.len() <= 8 + 2);
         assert_eq!(obligations[0].name, "coverage");
         for o in &obligations {

@@ -33,7 +33,10 @@ impl EijEncoder {
             let var = ctx.prop_var(&name);
             vars.insert(ordered(x, y), var);
         }
-        EijEncoder { vars, triangulation }
+        EijEncoder {
+            vars,
+            triangulation,
+        }
     }
 
     /// Number of *e*ij variables (including those for chord edges).

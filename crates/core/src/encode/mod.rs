@@ -203,10 +203,10 @@ fn collect_pairs_rec(
             collect_pairs_rec(ctx, classification, a, t, seen, pairs);
             collect_pairs_rec(ctx, classification, a, e, seen, pairs);
         }
-        (Term::Var(x), Term::Var(y)) => {
-            if x != y && classification.is_general(x) && classification.is_general(y) {
-                pairs.insert(ordered(x, y));
-            }
+        (Term::Var(x), Term::Var(y))
+            if x != y && classification.is_general(x) && classification.is_general(y) =>
+        {
+            pairs.insert(ordered(x, y));
         }
         // Non-variable leaves (UF applications, memory operations) should have
         // been eliminated; compare their syntactic identity conservatively by
@@ -283,8 +283,7 @@ impl Rewriter<'_> {
             (Term::Var(x), Term::Var(y)) => {
                 if x == y {
                     ctx.true_id()
-                } else if !self.classification.is_general(x) || !self.classification.is_general(y)
-                {
+                } else if !self.classification.is_general(x) || !self.classification.is_general(y) {
                     // At least one p-term variable: maximally diverse, hence unequal.
                     ctx.false_id()
                 } else {
@@ -342,7 +341,11 @@ mod tests {
         assert!(!ctx.is_true(encoded.formula));
         assert_eq!(encoded.num_eij_vars, 1);
         let support = Support::of_formula(&ctx, encoded.formula);
-        assert_eq!(support.prop_vars.len(), 1, "one eij variable in the support");
+        assert_eq!(
+            support.prop_vars.len(),
+            1,
+            "one eij variable in the support"
+        );
     }
 
     #[test]
@@ -384,7 +387,10 @@ mod tests {
         let encoded = encode(&mut ctx, conj, &classification, GEncoding::SmallDomain);
         assert_eq!(encoded.num_eij_vars, 0);
         assert!(encoded.num_indexing_vars > 0);
-        assert!(ctx.is_true(encoded.side_constraints), "small domain needs no side constraints");
+        assert!(
+            ctx.is_true(encoded.side_constraints),
+            "small domain needs no side constraints"
+        );
     }
 
     #[test]

@@ -51,7 +51,11 @@ impl SmallDomainEncoder {
                 let exact = |ctx: &mut Context, value: usize, bit_vars: &[FormulaId]| {
                     let mut acc = ctx.true_id();
                     for (b, &bit) in bit_vars.iter().enumerate() {
-                        let lit = if (value >> b) & 1 == 1 { bit } else { ctx.not(bit) };
+                        let lit = if (value >> b) & 1 == 1 {
+                            bit
+                        } else {
+                            ctx.not(bit)
+                        };
                         acc = ctx.and(acc, lit);
                     }
                     acc
@@ -70,7 +74,11 @@ impl SmallDomainEncoder {
                 selectors.insert((var, constant), condition);
             }
         }
-        SmallDomainEncoder { domains, selectors, num_indexing_vars }
+        SmallDomainEncoder {
+            domains,
+            selectors,
+            num_indexing_vars,
+        }
     }
 
     /// The constant set assigned to a variable.
@@ -89,7 +97,10 @@ impl PairEncoder for SmallDomainEncoder {
         let (da, db) = match (self.domains.get(&a), self.domains.get(&b)) {
             (Some(da), Some(db)) => (da.clone(), db.clone()),
             _ => {
-                debug_assert!(false, "pair ({a:?}, {b:?}) was not discovered during pass 1");
+                debug_assert!(
+                    false,
+                    "pair ({a:?}, {b:?}) was not discovered during pass 1"
+                );
                 return ctx.false_id();
             }
         };
@@ -125,7 +136,8 @@ fn assign_domains(pairs: &BTreeSet<(Symbol, Symbol)>) -> BTreeMap<Symbol, Vec<u3
         adjacency.entry(a).or_default().insert(b);
         adjacency.entry(b).or_default().insert(a);
     }
-    let mut domains: BTreeMap<Symbol, Vec<u32>> = adjacency.keys().map(|&v| (v, Vec::new())).collect();
+    let mut domains: BTreeMap<Symbol, Vec<u32>> =
+        adjacency.keys().map(|&v| (v, Vec::new())).collect();
     let mut unprocessed: BTreeSet<Symbol> = adjacency.keys().copied().collect();
     let mut next_constant: u32 = 0;
 
@@ -199,7 +211,10 @@ mod tests {
         let encoder = SmallDomainEncoder::new(&mut ctx, &pairs);
         let da = encoder.domain_of(syms[0]).unwrap();
         let db = encoder.domain_of(syms[1]).unwrap();
-        assert!(da.iter().any(|c| db.contains(c)), "compared variables can be equal");
+        assert!(
+            da.iter().any(|c| db.contains(c)),
+            "compared variables can be equal"
+        );
         // And at least one of the two can take a private value, so they can differ.
         assert!(da.len() + db.len() > 2 || da != db || da.len() > 1);
     }
@@ -227,9 +242,10 @@ mod tests {
             interp_false.set_prop_var(&mut ctx, name, false);
             interp_true.set_prop_var(&mut ctx, name, true);
         }
-        let mut values = Vec::new();
-        values.push(Evaluator::new(&ctx, interp_false).eval_formula(eq));
-        values.push(Evaluator::new(&ctx, interp_true).eval_formula(eq));
+        let values = vec![
+            Evaluator::new(&ctx, interp_false).eval_formula(eq),
+            Evaluator::new(&ctx, interp_true).eval_formula(eq),
+        ];
         assert!(
             values.contains(&true) && values.contains(&false),
             "indexing variables must control the outcome, got {values:?}"
@@ -267,7 +283,11 @@ mod tests {
                 interp.set_prop_var(&mut ctx, name, bits & (1 << i) != 0);
             }
             let mut ev = Evaluator::new(&ctx, interp);
-            patterns.insert((ev.eval_formula(exy), ev.eval_formula(eyz), ev.eval_formula(exz)));
+            patterns.insert((
+                ev.eval_formula(exy),
+                ev.eval_formula(eyz),
+                ev.eval_formula(exz),
+            ));
         }
         // All-equal, all-distinct and each "exactly one pair equal" pattern must
         // be reachable; intransitive patterns must not be.
@@ -276,8 +296,17 @@ mod tests {
         assert!(patterns.contains(&(true, false, false)));
         assert!(patterns.contains(&(false, true, false)));
         assert!(patterns.contains(&(false, false, true)));
-        assert!(!patterns.contains(&(true, true, false)), "transitivity violated");
-        assert!(!patterns.contains(&(true, false, true)), "transitivity violated");
-        assert!(!patterns.contains(&(false, true, true)), "transitivity violated");
+        assert!(
+            !patterns.contains(&(true, true, false)),
+            "transitivity violated"
+        );
+        assert!(
+            !patterns.contains(&(true, false, true)),
+            "transitivity violated"
+        );
+        assert!(
+            !patterns.contains(&(false, true, true)),
+            "transitivity violated"
+        );
     }
 }

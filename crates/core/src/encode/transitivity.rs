@@ -98,9 +98,7 @@ pub fn triangulate(edges: &BTreeSet<(Symbol, Symbol)>) -> Triangulation {
                     adjacency.entry(a).or_default().insert(b);
                     adjacency.entry(b).or_default().insert(a);
                 }
-                result
-                    .triangles
-                    .push([ordered(v, a), ordered(v, b), fill]);
+                result.triangles.push([ordered(v, a), ordered(v, b), fill]);
             }
         }
         // Remove the eliminated vertex.
@@ -182,7 +180,10 @@ mod tests {
         all_edges.extend(result.added_edges.iter().copied());
         for triangle in &result.triangles {
             for e in triangle {
-                assert!(all_edges.contains(e), "triangle edge {e:?} missing from edge set");
+                assert!(
+                    all_edges.contains(e),
+                    "triangle edge {e:?} missing from edge set"
+                );
             }
         }
     }

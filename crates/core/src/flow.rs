@@ -1,7 +1,9 @@
 //! The end-to-end verification flow: model → EUFM criterion → propositional
 //! formula → CNF → SAT/BDD back end → verdict.
 
-use crate::backend::{check_validity_with_bdds, BddOutcome};
+use crate::backend::{
+    bdd_verdict, check_validity_with_bdds, race_backends, sat_verdict, Backend, PortfolioOutcome,
+};
 use crate::burch_dill::VerificationProblem;
 use crate::cnf::formula_to_cnf;
 use crate::counterexample::Counterexample;
@@ -15,7 +17,7 @@ use crate::uf_elim::eliminate_ufs;
 use std::collections::{BTreeMap, BTreeSet};
 use velv_eufm::{Context, DagStats, FormulaId, Support, Symbol};
 use velv_hdl::Processor;
-use velv_sat::{Budget, CnfFormula, SatResult, Solver, Var};
+use velv_sat::{Budget, CnfFormula, Solver, Var};
 
 /// A fully translated verification obligation, ready for a SAT or BDD back end.
 #[derive(Clone, Debug)]
@@ -91,7 +93,11 @@ impl Verifier {
         implementation: &dyn Processor,
         specification: &dyn Processor,
     ) -> VerificationProblem {
-        VerificationProblem::build(implementation, specification, &self.options.translation_boxes)
+        VerificationProblem::build(
+            implementation,
+            specification,
+            &self.options.translation_boxes,
+        )
     }
 
     /// Translates the monolithic correctness criterion of a design.
@@ -186,7 +192,12 @@ impl Verifier {
         };
 
         // 3. UF/UP elimination.
-        let eliminated = eliminate_ufs(&mut ctx, memless.formula, &self.options, &mut classification);
+        let eliminated = eliminate_ufs(
+            &mut ctx,
+            memless.formula,
+            &self.options,
+            &mut classification,
+        );
         // Ackermann constraints (if any) are assumptions of the validity check.
         let to_prove = ctx.implies(eliminated.constraints, eliminated.formula);
 
@@ -194,12 +205,16 @@ impl Verifier {
         let encoded = encode(&mut ctx, to_prove, &classification, self.options.encoding);
 
         // 5. CNF generation: side constraints hold, encoded criterion fails.
-        let cnf_translation =
-            formula_to_cnf(&ctx, &[(encoded.side_constraints, true), (encoded.formula, false)]);
+        let cnf_translation = formula_to_cnf(
+            &ctx,
+            &[(encoded.side_constraints, true), (encoded.formula, false)],
+        );
 
         let mut primary_support = Support::of_formula(&ctx, encoded.formula);
         let constraint_support = Support::of_formula(&ctx, encoded.side_constraints);
-        primary_support.prop_vars.extend(constraint_support.prop_vars);
+        primary_support
+            .prop_vars
+            .extend(constraint_support.prop_vars);
 
         let stats = TranslationStats {
             primary_bool_vars: primary_support.prop_vars.len(),
@@ -225,16 +240,16 @@ impl Verifier {
     }
 
     /// Checks a translation with a SAT back end.
-    pub fn check(&self, translation: &Translation, solver: &mut dyn Solver, budget: Budget) -> Verdict {
-        match solver.solve_with_budget(&translation.cnf, budget) {
-            SatResult::Unsat => Verdict::Correct,
-            SatResult::Sat(model) => Verdict::Buggy(Counterexample::from_model(
-                &translation.ctx,
-                &translation.primary_vars,
-                &model,
-            )),
-            SatResult::Unknown(reason) => Verdict::Unknown(format!("{reason:?}")),
-        }
+    pub fn check(
+        &self,
+        translation: &Translation,
+        solver: &mut dyn Solver,
+        budget: Budget,
+    ) -> Verdict {
+        sat_verdict(
+            translation,
+            solver.solve_with_budget(&translation.cnf, budget),
+        )
     }
 
     /// Checks a translation with the BDD back end.
@@ -250,32 +265,77 @@ impl Verifier {
     }
 
     fn check_with_bdds_impl(translation: &Translation, node_limit: usize) -> Verdict {
-        match check_validity_with_bdds(
+        let outcome = check_validity_with_bdds(
             &translation.ctx,
             translation.encoded,
             translation.side_constraints,
             node_limit,
-        ) {
-            BddOutcome::Valid => Verdict::Correct,
-            BddOutcome::Falsifiable(assignment) => {
-                let mut cex = BTreeMap::new();
-                for (name, value) in assignment {
-                    cex.insert(name, value);
-                }
-                // Build a counterexample structure through its public surface.
-                let mut fake_model_vars = BTreeMap::new();
-                let mut values = Vec::new();
-                let mut ctx = translation.ctx.clone();
-                for (i, (name, value)) in cex.iter().enumerate() {
-                    let sym = ctx.symbol(name);
-                    fake_model_vars.insert(sym, Var::new(i as u32));
-                    values.push(*value);
-                }
-                let model = velv_sat::Model::new(values);
-                Verdict::Buggy(Counterexample::from_model(&ctx, &fake_model_vars, &model))
+        );
+        bdd_verdict(translation, outcome)
+    }
+
+    /// Checks a translation with any [`Backend`]: a SAT preset, the BDD back
+    /// end, or a portfolio racing several of them.
+    pub fn check_with_backend(
+        &self,
+        translation: &Translation,
+        backend: &Backend,
+        budget: Budget,
+    ) -> Verdict {
+        match backend {
+            Backend::Sat(kind) => {
+                let mut solver = kind.build();
+                self.check(translation, solver.as_mut(), budget)
             }
-            BddOutcome::LimitExceeded => Verdict::Unknown("bdd node limit exceeded".to_owned()),
+            // A single-member "race": the collector loop is what forwards the
+            // budget's deadline and outer cancel token into the BDD build, so
+            // a stand-alone BDD check honours the budget exactly like the
+            // portfolio path does.
+            Backend::Bdd { .. } => {
+                self.check_portfolio(translation, std::slice::from_ref(backend), budget)
+                    .verdict
+            }
+            Backend::Portfolio(members) => {
+                self.check_portfolio(translation, members, budget).verdict
+            }
         }
+    }
+
+    /// Races the given back ends against one translated obligation; the first
+    /// decided verdict wins and the losers are cancelled cooperatively.
+    pub fn check_portfolio(
+        &self,
+        translation: &Translation,
+        members: &[Backend],
+        budget: Budget,
+    ) -> PortfolioOutcome {
+        race_backends(translation, members, budget)
+    }
+
+    /// End-to-end verification with an arbitrary [`Backend`].
+    pub fn verify_with_backend(
+        &self,
+        implementation: &dyn Processor,
+        specification: &dyn Processor,
+        backend: &Backend,
+        budget: Budget,
+    ) -> Verdict {
+        let translation = self.translate(implementation, specification);
+        self.check_with_backend(&translation, backend, budget)
+    }
+
+    /// End-to-end portfolio verification: translates once, then races the
+    /// back ends (CDCL presets against the BDD build, in the default
+    /// configuration) and reports the winner alongside the per-member runs.
+    pub fn verify_portfolio(
+        &self,
+        implementation: &dyn Processor,
+        specification: &dyn Processor,
+        members: &[Backend],
+        budget: Budget,
+    ) -> PortfolioOutcome {
+        let translation = self.translate(implementation, specification);
+        self.check_portfolio(&translation, members, budget)
     }
 
     /// End-to-end verification with a SAT back end and no resource limits.
@@ -317,7 +377,7 @@ impl Verifier {
         let mut overall = Verdict::Correct;
         for translation in &translations {
             let mut solver = make_solver();
-            let verdict = self.check(translation, solver.as_mut(), budget);
+            let verdict = self.check(translation, solver.as_mut(), budget.clone());
             if verdict.is_buggy() && !overall.is_buggy() {
                 overall = verdict.clone();
             }
@@ -398,7 +458,11 @@ mod tests {
                 .is_correct());
             let mut solver = CdclSolver::chaff();
             assert!(verifier
-                .verify(&PipelinedToy::buggy(ToyBug::WritesWrongData), &ToySpec, &mut solver)
+                .verify(
+                    &PipelinedToy::buggy(ToyBug::WritesWrongData),
+                    &ToySpec,
+                    &mut solver
+                )
                 .is_buggy());
         }
     }
@@ -412,7 +476,11 @@ mod tests {
             .is_correct());
         let mut solver = CdclSolver::chaff();
         assert!(verifier
-            .verify(&PipelinedToy::buggy(ToyBug::WritesWrongData), &ToySpec, &mut solver)
+            .verify(
+                &PipelinedToy::buggy(ToyBug::WritesWrongData),
+                &ToySpec,
+                &mut solver
+            )
             .is_buggy());
     }
 

@@ -19,19 +19,22 @@
 //!    constraints of [`encode::transitivity`]) or the small-domain encoding.
 //! 6. [`cnf`] translates the propositional formula into CNF (one auxiliary
 //!    variable per ∧/∨/ITE node, negations absorbed into literal polarity).
-//! 7. [`flow`] drives the whole pipeline and the SAT/BDD back ends;
-//!    [`decompose`] provides the weak-criteria decomposition used by the
-//!    parallel-run experiments.
+//! 7. [`flow`] drives the whole pipeline and the back ends; [`decompose`]
+//!    provides the weak-criteria decomposition used by the parallel-run
+//!    experiments, and [`backend`] the unified [`Backend`] abstraction whose
+//!    portfolio variant races CDCL presets against the BDD build with
+//!    cooperative cancellation.
 //!
 //! # Example
 //!
 //! ```
 //! use velv_core::{Verifier, TranslationOptions};
-//! use velv_models::dlx1::{Dlx1Implementation, DlxSpecification};
+//! use velv_models::dlx::{Dlx, DlxConfig, DlxSpecification};
 //! use velv_sat::cdcl::CdclSolver;
 //!
-//! let implementation = Dlx1Implementation::correct();
-//! let spec = DlxSpecification::new();
+//! let config = DlxConfig::single_issue();
+//! let implementation = Dlx::correct(config);
+//! let spec = DlxSpecification::new(config);
 //! let verifier = Verifier::new(TranslationOptions::default());
 //! let mut solver = CdclSolver::chaff();
 //! let verdict = verifier.verify(&implementation, &spec, &mut solver);
@@ -56,6 +59,7 @@ pub mod stats;
 pub(crate) mod test_models;
 pub mod uf_elim;
 
+pub use backend::{Backend, BackendRun, BddOutcome, PortfolioOutcome};
 pub use burch_dill::VerificationProblem;
 pub use counterexample::Counterexample;
 pub use flow::{Translation, Verdict, Verifier};

@@ -47,7 +47,10 @@ pub fn eliminate_memories(
         witnesses: Vec::new(),
     };
     let formula = elim.rewrite_formula(ctx, root);
-    MemoryElimination { formula, address_witnesses: elim.witnesses }
+    MemoryElimination {
+        formula,
+        address_witnesses: elim.witnesses,
+    }
 }
 
 struct Eliminator<'a> {

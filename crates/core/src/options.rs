@@ -127,7 +127,11 @@ mod tests {
         assert!(options.early_reduction);
         assert_eq!(options.up_elimination, UpElimination::Ackermann);
         assert_eq!(options.encoding, GEncoding::SmallDomain);
-        assert!(!TranslationOptions::base().without_positive_equality().positive_equality);
+        assert!(
+            !TranslationOptions::base()
+                .without_positive_equality()
+                .positive_equality
+        );
     }
 
     #[test]

@@ -22,19 +22,28 @@ impl Classification {
     /// Classification produced by a polarity analysis of `root`.
     pub fn from_formula(ctx: &Context, root: FormulaId) -> Self {
         let analysis = PolarityAnalysis::run(ctx, root);
-        Classification { g_symbols: analysis.g_symbols, all_general: false }
+        Classification {
+            g_symbols: analysis.g_symbols,
+            all_general: false,
+        }
     }
 
     /// Classification for several roots (used by decomposed criteria).
     pub fn from_formulas<I: IntoIterator<Item = FormulaId>>(ctx: &Context, roots: I) -> Self {
         let analysis = PolarityAnalysis::run_many(ctx, roots);
-        Classification { g_symbols: analysis.g_symbols, all_general: false }
+        Classification {
+            g_symbols: analysis.g_symbols,
+            all_general: false,
+        }
     }
 
     /// The classification used when positive equality is switched off: every
     /// term variable is a g-term (the original Goel et al. treatment).
     pub fn all_general() -> Self {
-        Classification { g_symbols: BTreeSet::new(), all_general: true }
+        Classification {
+            g_symbols: BTreeSet::new(),
+            all_general: true,
+        }
     }
 
     /// Whether `sym` must be treated as a general (g) symbol.

@@ -50,7 +50,12 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let stats = TranslationStats { primary_bool_vars: 10, cnf_vars: 42, cnf_clauses: 100, ..Default::default() };
+        let stats = TranslationStats {
+            primary_bool_vars: 10,
+            cnf_vars: 42,
+            cnf_clauses: 100,
+            ..Default::default()
+        };
         let text = format!("{stats}");
         assert!(text.contains("primary=10"));
         assert!(text.contains("cnf_vars=42"));

@@ -128,7 +128,10 @@ impl Processor for ToySpec {
     }
 
     fn state_elements(&self) -> Vec<StateElement> {
-        vec![StateElement::arch_term("pc"), StateElement::arch_memory("rf")]
+        vec![
+            StateElement::arch_term("pc"),
+            StateElement::arch_memory("rf"),
+        ]
     }
 
     fn fetch_width(&self) -> usize {

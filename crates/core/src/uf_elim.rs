@@ -62,7 +62,11 @@ pub fn eliminate_ufs(
     };
     let formula = elim.rewrite_formula(ctx, root);
     let constraints = elim.ackermann_constraints(ctx);
-    UfElimination { formula, constraints, introduced_vars: elim.introduced_vars }
+    UfElimination {
+        formula,
+        constraints,
+        introduced_vars: elim.introduced_vars,
+    }
 }
 
 struct Eliminator<'a> {
@@ -190,7 +194,10 @@ impl Eliminator<'_> {
             let cond = self.args_equal(ctx, &args, prev_args);
             acc = ctx.ite_term(cond, *prev_var, acc);
         }
-        self.uf_tables.get_mut(&sym).expect("entry created above").push((args, fresh));
+        self.uf_tables
+            .get_mut(&sym)
+            .expect("entry created above")
+            .push((args, fresh));
         acc
     }
 
@@ -205,12 +212,18 @@ impl Eliminator<'_> {
                     let cond = self.args_equal(ctx, &args, prev_args);
                     acc = ctx.ite_formula(cond, *prev_var, acc);
                 }
-                self.up_tables.get_mut(&sym).expect("entry created above").push((args, fresh));
+                self.up_tables
+                    .get_mut(&sym)
+                    .expect("entry created above")
+                    .push((args, fresh));
                 acc
             }
             UpElimination::Ackermann => {
                 let fresh = ctx.fresh_prop_var(&format!("{name}!"));
-                self.ackermann_apps.entry(sym).or_default().push((args, fresh));
+                self.ackermann_apps
+                    .entry(sym)
+                    .or_default()
+                    .push((args, fresh));
                 fresh
             }
         }
@@ -232,7 +245,8 @@ impl Eliminator<'_> {
     /// Pairwise functional-consistency constraints for the Ackermann-eliminated
     /// predicates.
     fn ackermann_constraints(&mut self, ctx: &mut Context) -> FormulaId {
-        let tables: Vec<(Symbol, Vec<(Vec<TermId>, FormulaId)>)> = self
+        type AckermannTable = Vec<(Symbol, Vec<(Vec<TermId>, FormulaId)>)>;
+        let tables: AckermannTable = self
             .ackermann_apps
             .iter()
             .map(|(s, apps)| (*s, apps.clone()))
@@ -278,7 +292,10 @@ mod tests {
         let result = eliminate_ufs(&mut ctx, root, &base_options(), &mut classification);
         let stats = DagStats::of_formula(&ctx, result.formula);
         assert_eq!(stats.uf_apps, 0, "no UF applications remain");
-        assert!(stats.term_ites >= 1, "nested ITE expected for the second application");
+        assert!(
+            stats.term_ites >= 1,
+            "nested ITE expected for the second application"
+        );
         assert!(ctx.is_true(result.constraints));
         assert_eq!(result.introduced_vars.len(), 2);
     }
@@ -381,7 +398,11 @@ mod tests {
         let root = ctx.and(eq, eq2);
         let mut classification = Classification::from_formula(&ctx, root);
         let result = eliminate_ufs(&mut ctx, root, &base_options(), &mut classification);
-        assert_eq!(result.introduced_vars.len(), 1, "one application, one fresh variable");
+        assert_eq!(
+            result.introduced_vars.len(),
+            1,
+            "one application, one fresh variable"
+        );
     }
 
     #[test]

@@ -237,7 +237,11 @@ impl Context {
         if lhs == rhs {
             return self.true_id();
         }
-        let (a, b) = if lhs.0 <= rhs.0 { (lhs, rhs) } else { (rhs, lhs) };
+        let (a, b) = if lhs.0 <= rhs.0 {
+            (lhs, rhs)
+        } else {
+            (rhs, lhs)
+        };
         self.intern_formula(Formula::Eq(a, b))
     }
 

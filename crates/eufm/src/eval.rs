@@ -141,7 +141,8 @@ impl<'a> Evaluator<'a> {
                 Value::Data(v)
             }
             Term::Uf(sym, args) => {
-                let arg_vals: Vec<u64> = args.iter().map(|a| self.eval_term(*a).as_data()).collect();
+                let arg_vals: Vec<u64> =
+                    args.iter().map(|a| self.eval_term(*a).as_data()).collect();
                 let key = (sym, arg_vals);
                 let v = if let Some(v) = self.uf_memo.get(&key) {
                     *v
@@ -198,7 +199,8 @@ impl<'a> Evaluator<'a> {
                 .copied()
                 .unwrap_or_else(|| mix(0x7076_0000, sym.index() as u64) & 1 == 1),
             Formula::Up(sym, args) => {
-                let arg_vals: Vec<u64> = args.iter().map(|a| self.eval_term(*a).as_data()).collect();
+                let arg_vals: Vec<u64> =
+                    args.iter().map(|a| self.eval_term(*a).as_data()).collect();
                 let key = (sym, arg_vals);
                 if let Some(v) = self.up_memo.get(&key) {
                     *v
@@ -338,8 +340,14 @@ mod tests {
         let same_eq = ctx.eq(r_same, d1);
         let other_eq = ctx.eq(r_other, r_init_other);
         let mut ev = Evaluator::new(&ctx, interp);
-        assert!(ev.eval_formula(same_eq), "read after write to same address returns the data");
-        assert!(ev.eval_formula(other_eq), "read of other address falls through to initial state");
+        assert!(
+            ev.eval_formula(same_eq),
+            "read after write to same address returns the data"
+        );
+        assert!(
+            ev.eval_formula(other_eq),
+            "read of other address falls through to initial state"
+        );
     }
 
     #[test]

@@ -45,15 +45,27 @@ struct Pol {
 }
 
 impl Pol {
-    const POS: Pol = Pol { pos: true, neg: false };
-    const BOTH: Pol = Pol { pos: true, neg: true };
+    const POS: Pol = Pol {
+        pos: true,
+        neg: false,
+    };
+    const BOTH: Pol = Pol {
+        pos: true,
+        neg: true,
+    };
 
     fn flip(self) -> Pol {
-        Pol { pos: self.neg, neg: self.pos }
+        Pol {
+            pos: self.neg,
+            neg: self.pos,
+        }
     }
 
     fn union(self, other: Pol) -> Pol {
-        Pol { pos: self.pos || other.pos, neg: self.neg || other.neg }
+        Pol {
+            pos: self.pos || other.pos,
+            neg: self.neg || other.neg,
+        }
     }
 
     fn contains(self, other: Pol) -> bool {
@@ -149,7 +161,10 @@ impl PolarityAnalysis {
         let mut analysis = PolarityAnalysis::default();
         for (&f, &p) in &pol {
             if let Formula::Eq(a, b) = ctx.formula(f) {
-                let eq_pol = EquationPolarity { positive: p.pos, negative: p.neg };
+                let eq_pol = EquationPolarity {
+                    positive: p.pos,
+                    negative: p.neg,
+                };
                 analysis.equations.insert(f, eq_pol);
                 let mut leaves = value_leaves(ctx, *a);
                 leaves.extend(value_leaves(ctx, *b));

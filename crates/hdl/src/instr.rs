@@ -102,7 +102,12 @@ impl InstrFields {
 
     /// Multiplexes two instruction bundles under `cond` (`cond` true selects
     /// `then_i`).
-    pub fn mux(ctx: &mut Context, cond: FormulaId, then_i: &InstrFields, else_i: &InstrFields) -> Self {
+    pub fn mux(
+        ctx: &mut Context,
+        cond: FormulaId,
+        then_i: &InstrFields,
+        else_i: &InstrFields,
+    ) -> Self {
         InstrFields {
             op: ctx.ite_term(cond, then_i.op, else_i.op),
             src1: ctx.ite_term(cond, then_i.src1, else_i.src1),
@@ -155,7 +160,10 @@ mod tests {
         assert!(ctx.is_false(bubble.writes_rf));
         assert!(ctx.is_false(bubble.is_store));
         assert!(ctx.is_false(bubble.is_branch));
-        assert_eq!(bubble.op, instr.op, "word-level fields are retained as don't-cares");
+        assert_eq!(
+            bubble.op, instr.op,
+            "word-level fields are retained as don't-cares"
+        );
     }
 
     #[test]

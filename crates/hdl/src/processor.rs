@@ -85,11 +85,7 @@ pub fn simulate(
 /// Flushes the pipeline: simulates [`Processor::flush_cycles`] cycles with
 /// fetching disabled, so that every instruction in flight completes and the
 /// state can be projected onto the architectural elements.
-pub fn flush(
-    ctx: &mut Context,
-    processor: &dyn Processor,
-    state: &SymbolicState,
-) -> SymbolicState {
+pub fn flush(ctx: &mut Context, processor: &dyn Processor, state: &SymbolicState) -> SymbolicState {
     let disabled = ctx.false_id();
     let mut current = state.clone();
     for _ in 0..processor.flush_cycles() {

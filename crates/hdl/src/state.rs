@@ -29,27 +29,47 @@ pub struct StateElement {
 impl StateElement {
     /// Declares an architectural term-valued element.
     pub fn arch_term(name: &str) -> Self {
-        StateElement { name: name.to_owned(), kind: StateKind::Term, architectural: true }
+        StateElement {
+            name: name.to_owned(),
+            kind: StateKind::Term,
+            architectural: true,
+        }
     }
 
     /// Declares an architectural memory element.
     pub fn arch_memory(name: &str) -> Self {
-        StateElement { name: name.to_owned(), kind: StateKind::Memory, architectural: true }
+        StateElement {
+            name: name.to_owned(),
+            kind: StateKind::Memory,
+            architectural: true,
+        }
     }
 
     /// Declares an architectural flag element.
     pub fn arch_flag(name: &str) -> Self {
-        StateElement { name: name.to_owned(), kind: StateKind::Flag, architectural: true }
+        StateElement {
+            name: name.to_owned(),
+            kind: StateKind::Flag,
+            architectural: true,
+        }
     }
 
     /// Declares a micro-architectural (pipeline) term-valued element.
     pub fn pipe_term(name: &str) -> Self {
-        StateElement { name: name.to_owned(), kind: StateKind::Term, architectural: false }
+        StateElement {
+            name: name.to_owned(),
+            kind: StateKind::Term,
+            architectural: false,
+        }
     }
 
     /// Declares a micro-architectural flag element (e.g. a valid bit).
     pub fn pipe_flag(name: &str) -> Self {
-        StateElement { name: name.to_owned(), kind: StateKind::Flag, architectural: false }
+        StateElement {
+            name: name.to_owned(),
+            kind: StateKind::Flag,
+            architectural: false,
+        }
     }
 }
 

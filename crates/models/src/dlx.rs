@@ -38,18 +38,30 @@ pub struct DlxConfig {
 impl DlxConfig {
     /// 1×DLX-C: single-issue pipeline.
     pub fn single_issue() -> Self {
-        DlxConfig { issue_width: 1, exceptions: false, branch_prediction: false }
+        DlxConfig {
+            issue_width: 1,
+            exceptions: false,
+            branch_prediction: false,
+        }
     }
 
     /// 2×DLX-CC: dual-issue superscalar.
     pub fn dual_issue() -> Self {
-        DlxConfig { issue_width: 2, exceptions: false, branch_prediction: false }
+        DlxConfig {
+            issue_width: 2,
+            exceptions: false,
+            branch_prediction: false,
+        }
     }
 
     /// 2×DLX-CC-MC-EX-BP: dual issue with exceptions and branch prediction
     /// (multicycle units are absorbed into the UF abstraction).
     pub fn dual_issue_full() -> Self {
-        DlxConfig { issue_width: 2, exceptions: true, branch_prediction: true }
+        DlxConfig {
+            issue_width: 2,
+            exceptions: true,
+            branch_prediction: true,
+        }
     }
 
     /// The design name used in experiment tables.
@@ -161,7 +173,11 @@ pub fn bug_catalog(config: DlxConfig) -> Vec<DlxBug> {
     for slot in 0..slots {
         for from_stage in 0..2 {
             for operand in 0..2 {
-                bugs.push(DlxBug::ForwardingIgnoresValid { from_stage, operand, slot });
+                bugs.push(DlxBug::ForwardingIgnoresValid {
+                    from_stage,
+                    operand,
+                    slot,
+                });
             }
             bugs.push(DlxBug::ForwardingWrongOperand { from_stage, slot });
         }
@@ -182,7 +198,10 @@ pub fn bug_catalog(config: DlxConfig) -> Vec<DlxBug> {
     }
     for from_stage in 0..2 {
         for operand in 0..2 {
-            bugs.push(DlxBug::ForwardingPathMissing { from_stage, operand });
+            bugs.push(DlxBug::ForwardingPathMissing {
+                from_stage,
+                operand,
+            });
         }
     }
     if config.issue_width > 1 {
@@ -200,7 +219,11 @@ pub fn bug_catalog(config: DlxConfig) -> Vec<DlxBug> {
             let from_stage = (extra / slots) % 2;
             let operand = (extra / (2 * slots)) % 2;
             bugs.push(match extra % 5 {
-                0 => DlxBug::ForwardingIgnoresValid { from_stage, operand, slot },
+                0 => DlxBug::ForwardingIgnoresValid {
+                    from_stage,
+                    operand,
+                    slot,
+                },
                 1 => DlxBug::ForwardingWrongOperand { from_stage, slot },
                 2 => DlxBug::LoadInterlockIgnoresOperand { operand, slot },
                 3 => DlxBug::NoSquashOnTakenBranch { slot },
@@ -223,12 +246,20 @@ pub struct Dlx {
 impl Dlx {
     /// The correct implementation.
     pub fn correct(config: DlxConfig) -> Self {
-        Dlx { config, bug: None, name: config.name().to_owned() }
+        Dlx {
+            config,
+            bug: None,
+            name: config.name().to_owned(),
+        }
     }
 
     /// An implementation with an injected bug.
     pub fn buggy(config: DlxConfig, bug: DlxBug) -> Self {
-        Dlx { config, bug: Some(bug), name: format!("{}-buggy", config.name()) }
+        Dlx {
+            config,
+            bug: Some(bug),
+            name: format!("{}-buggy", config.name()),
+        }
     }
 
     /// The configuration of this design.
@@ -365,7 +396,11 @@ impl Dlx {
         let mut sources = Vec::new();
         // Memory stage (stage index 0): younger slot first.
         for (s, mem) in mem_slots.iter().enumerate().rev() {
-            if self.has(DlxBug::ForwardingPathMissing { from_stage: 0, operand }) && s == 0 {
+            if self.has(DlxBug::ForwardingPathMissing {
+                from_stage: 0,
+                operand,
+            }) && s == 0
+            {
                 continue;
             }
             let ignore_valid = self.has(DlxBug::ForwardingIgnoresValid {
@@ -382,7 +417,11 @@ impl Dlx {
         }
         // Write-back stage (stage index 1): younger slot first.
         for (s, wb) in wb_slots.iter().enumerate().rev() {
-            if self.has(DlxBug::ForwardingPathMissing { from_stage: 1, operand }) && s == 0 {
+            if self.has(DlxBug::ForwardingPathMissing {
+                from_stage: 1,
+                operand,
+            }) && s == 0
+            {
                 continue;
             }
             let ignore_valid = self.has(DlxBug::ForwardingIgnoresValid {
@@ -410,7 +449,17 @@ impl Processor for Dlx {
         let mut elements = Dlx::arch_elements(self.config);
         for slot in 0..self.config.issue_width {
             elements.push(StateElement::pipe_flag(&ex_field(slot, "valid")));
-            for field in ["pc", "op", "src1", "src2", "dest", "imm", "a", "b", "pred_target"] {
+            for field in [
+                "pc",
+                "op",
+                "src1",
+                "src2",
+                "dest",
+                "imm",
+                "a",
+                "b",
+                "pred_target",
+            ] {
                 elements.push(StateElement::pipe_term(&ex_field(slot, field)));
             }
             for field in [
@@ -458,7 +507,11 @@ impl Processor for Dlx {
         let pc = state.term("pc");
         let rf = state.term("rf");
         let dmem = state.term("dmem");
-        let epc = if self.config.exceptions { Some(state.term("epc")) } else { None };
+        let epc = if self.config.exceptions {
+            Some(state.term("epc"))
+        } else {
+            None
+        };
 
         let ex_slots: Vec<ExSlot> = (0..width).map(|s| self.read_ex_slot(state, s)).collect();
         let mem_slots: Vec<MemSlot> = (0..width).map(|s| self.read_mem_slot(state, s)).collect();
@@ -481,7 +534,8 @@ impl Processor for Dlx {
         let mut dmem_next = dmem;
         for (s, mem) in mem_slots.iter().enumerate() {
             let store_enable = ctx.and(mem.valid, mem.is_store);
-            dmem_next = conditional_write(ctx, dmem_next, store_enable, mem.alu_out, mem.store_data);
+            dmem_next =
+                conditional_write(ctx, dmem_next, store_enable, mem.alu_out, mem.store_data);
             // Loads observe stores of older slots processed above.
             let load_value = ctx.read(dmem_next, mem.alu_out);
             let result = if self.has(DlxBug::WriteBackWrongData { slot: s }) {
@@ -511,9 +565,13 @@ impl Processor for Dlx {
 
             // Operand forwarding.
             let src1_for_fwd = ex.src1;
-            let src2_for_fwd = if self.has(DlxBug::ForwardingWrongOperand { from_stage: 0, slot: s })
-                || self.has(DlxBug::ForwardingWrongOperand { from_stage: 1, slot: s })
-            {
+            let src2_for_fwd = if self.has(DlxBug::ForwardingWrongOperand {
+                from_stage: 0,
+                slot: s,
+            }) || self.has(DlxBug::ForwardingWrongOperand {
+                from_stage: 1,
+                slot: s,
+            }) {
                 ex.src1
             } else {
                 ex.src2
@@ -663,11 +721,17 @@ impl Processor for Dlx {
                     let producer = ctx.and(ex.valid, ex.is_load);
                     let producer = ctx.and(producer, ex.writes_rf);
                     let mut dependent = ctx.false_id();
-                    if !self.has(DlxBug::LoadInterlockIgnoresOperand { operand: 0, slot: s }) {
+                    if !self.has(DlxBug::LoadInterlockIgnoresOperand {
+                        operand: 0,
+                        slot: s,
+                    }) {
                         let m1 = ctx.eq(ex.dest, f.src1);
                         dependent = ctx.or(dependent, m1);
                     }
-                    if !self.has(DlxBug::LoadInterlockIgnoresOperand { operand: 1, slot: s }) {
+                    if !self.has(DlxBug::LoadInterlockIgnoresOperand {
+                        operand: 1,
+                        slot: s,
+                    }) {
                         let m2 = ctx.eq(ex.dest, f.src2);
                         dependent = ctx.or(dependent, m2);
                     }
@@ -933,10 +997,19 @@ mod tests {
 
     #[test]
     fn state_elements_are_consistent() {
-        for config in [DlxConfig::single_issue(), DlxConfig::dual_issue(), DlxConfig::dual_issue_full()] {
+        for config in [
+            DlxConfig::single_issue(),
+            DlxConfig::dual_issue(),
+            DlxConfig::dual_issue_full(),
+        ] {
             let implementation = Dlx::correct(config);
             let spec = DlxSpecification::new(config);
-            assert_eq!(implementation.arch_state(), spec.arch_state(), "{}", config.name());
+            assert_eq!(
+                implementation.arch_state(),
+                spec.arch_state(),
+                "{}",
+                config.name()
+            );
             assert_eq!(implementation.fetch_width(), config.issue_width);
             // Every declared element is produced by a step.
             let mut ctx = Context::new();
@@ -944,7 +1017,12 @@ mod tests {
             let enabled = ctx.true_id();
             let next = implementation.step(&mut ctx, &initial, enabled);
             for element in implementation.state_elements() {
-                assert!(next.contains(&element.name), "{}: missing {}", config.name(), element.name);
+                assert!(
+                    next.contains(&element.name),
+                    "{}: missing {}",
+                    config.name(),
+                    element.name
+                );
             }
             let spec_initial = SymbolicState::initial(&mut ctx, &spec.state_elements(), "s_");
             let spec_next = spec.step(&mut ctx, &spec_initial, enabled);

@@ -37,9 +37,9 @@ pub mod dlx;
 pub mod ooo;
 pub mod vliw;
 
-/// Re-exports used by the quickstart example and the experiment harness.
+/// Convenience aliases for the single-issue 1×DLX-C benchmark, used by the
+/// quickstart example and the experiment harness.
 pub mod dlx1 {
-    //! Convenience aliases for the single-issue 1×DLX-C benchmark.
     use super::dlx;
 
     /// The 1×DLX-C implementation.

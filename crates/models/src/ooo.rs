@@ -25,7 +25,10 @@ impl Ooo {
     /// Creates the implementation with the given issue width (2..=6 in the paper).
     pub fn new(width: usize) -> Self {
         assert!(width >= 1, "issue width must be positive");
-        Ooo { width, name: format!("OOO-{width}wide") }
+        Ooo {
+            width,
+            name: format!("OOO-{width}wide"),
+        }
     }
 
     /// The issue width.
@@ -34,7 +37,10 @@ impl Ooo {
     }
 
     fn arch_elements() -> Vec<StateElement> {
-        vec![StateElement::arch_term("pc"), StateElement::arch_memory("rf")]
+        vec![
+            StateElement::arch_term("pc"),
+            StateElement::arch_memory("rf"),
+        ]
     }
 
     /// Decoded fields of the `i`-th instruction of the group starting at `pc`.
@@ -102,8 +108,7 @@ impl Processor for Ooo {
         for i in (0..w).rev() {
             let (_, _, _, dest_i) = decoded[i];
             let mut overwritten = ctx.false_id();
-            for j in (i + 1)..w {
-                let (_, _, _, dest_j) = decoded[j];
+            for &(_, _, _, dest_j) in &decoded[(i + 1)..w] {
                 let same = ctx.eq(dest_i, dest_j);
                 overwritten = ctx.or(overwritten, same);
             }
@@ -201,7 +206,10 @@ mod tests {
             let implementation = Ooo::new(w);
             assert_eq!(implementation.width(), w);
             assert_eq!(implementation.fetch_width(), w);
-            assert_eq!(implementation.arch_state(), OooSpecification::new().arch_state());
+            assert_eq!(
+                implementation.arch_state(),
+                OooSpecification::new().arch_state()
+            );
         }
     }
 

@@ -43,17 +43,26 @@ pub struct VliwConfig {
 impl VliwConfig {
     /// The base 9VLIW-MC-BP configuration.
     pub fn base() -> Self {
-        VliwConfig { slots: 9, exceptions: false }
+        VliwConfig {
+            slots: 9,
+            exceptions: false,
+        }
     }
 
     /// 9VLIW-MC-BP-EX: adds exceptions.
     pub fn with_exceptions() -> Self {
-        VliwConfig { slots: 9, exceptions: true }
+        VliwConfig {
+            slots: 9,
+            exceptions: true,
+        }
     }
 
     /// A reduced-width variant (useful for quick experiments and tests).
     pub fn with_slots(slots: usize) -> Self {
-        VliwConfig { slots, exceptions: false }
+        VliwConfig {
+            slots,
+            exceptions: false,
+        }
     }
 
     /// Design name used in the experiment tables.
@@ -165,12 +174,20 @@ pub struct Vliw {
 impl Vliw {
     /// The correct implementation.
     pub fn correct(config: VliwConfig) -> Self {
-        Vliw { config, bug: None, name: config.name().to_owned() }
+        Vliw {
+            config,
+            bug: None,
+            name: config.name().to_owned(),
+        }
     }
 
     /// An implementation with an injected bug.
     pub fn buggy(config: VliwConfig, bug: VliwBug) -> Self {
-        Vliw { config, bug: Some(bug), name: format!("{}-buggy", config.name()) }
+        Vliw {
+            config,
+            bug: Some(bug),
+            name: format!("{}-buggy", config.name()),
+        }
     }
 
     /// The configuration.
@@ -218,7 +235,7 @@ impl Vliw {
         cfm: TermId,
         epc: Option<TermId>,
     ) -> PacketResult {
-        let has = |b: VliwBug| bug.map_or(false, |v| v.has(b));
+        let has = |b: VliwBug| bug.is_some_and(|v| v.has(b));
         let mut cfm_next = cfm;
         let mut epc_next = epc;
         let mut exception_seen = ctx.false_id();
@@ -323,7 +340,11 @@ impl Vliw {
 
                     // Exception bookkeeping.
                     if config.exceptions {
-                        let save = if has(VliwBug::EpcNotSaved) { ctx.false_id() } else { exception };
+                        let save = if has(VliwBug::EpcNotSaved) {
+                            ctx.false_id()
+                        } else {
+                            exception
+                        };
                         if let Some(epc_value) = epc_next {
                             epc_next = Some(ctx.ite_term(save, pc, epc_value));
                         }
@@ -349,7 +370,7 @@ impl Vliw {
                     taken_branch = Some(match taken_branch {
                         None => (taken, target),
                         Some((prev_taken, prev_target)) => {
-                            if bug.map_or(false, |v| v.has(VliwBug::BranchPriorityReversed)) {
+                            if bug.is_some_and(|v| v.has(VliwBug::BranchPriorityReversed)) {
                                 // Buggy priority: the youngest taken branch wins.
                                 let t = ctx.or(prev_taken, taken);
                                 let tgt = ctx.ite_term(taken, target, prev_target);
@@ -369,8 +390,7 @@ impl Vliw {
         // Actual next PC: exception vector, else the oldest taken branch target,
         // else the sequential successor packet.
         let sequential = ctx.uf("pc_next", vec![pc]);
-        let (any_taken, branch_target) =
-            taken_branch.unwrap_or((ctx.false_id(), sequential));
+        let (any_taken, branch_target) = taken_branch.unwrap_or((ctx.false_id(), sequential));
         let normal_next = ctx.ite_term(any_taken, branch_target, sequential);
         let next_pc = if config.exceptions {
             ctx.ite_term(exception_seen, exc_vector, normal_next)
@@ -433,7 +453,11 @@ impl Processor for Vliw {
         let pc = state.term("pc");
         let fetch_valid = state.formula("fetch.valid");
         let fetch_pc = state.term("fetch.pc");
-        let epc = if self.config.exceptions { Some(state.term("epc")) } else { None };
+        let epc = if self.config.exceptions {
+            Some(state.term("epc"))
+        } else {
+            None
+        };
 
         // Execute and commit the packet currently in flight.
         let executed = Vliw::execute_packet(
@@ -493,7 +517,11 @@ impl Processor for Vliw {
         }
 
         // Program counter.
-        let redirect = if self.has(VliwBug::PcNotCorrected) { ctx.false_id() } else { mispredict };
+        let redirect = if self.has(VliwBug::PcNotCorrected) {
+            ctx.false_id()
+        } else {
+            mispredict
+        };
         let advanced = ctx.ite_term(fetch_enabled, predicted_next, pc);
         let pc_next = ctx.ite_term(redirect, executed.next_pc, advanced);
 
@@ -566,7 +594,11 @@ impl Processor for VliwSpecification {
         fetch_enabled: FormulaId,
     ) -> SymbolicState {
         let pc = state.term("pc");
-        let epc = if self.config.exceptions { Some(state.term("epc")) } else { None };
+        let epc = if self.config.exceptions {
+            Some(state.term("epc"))
+        } else {
+            None
+        };
         let executed = Vliw::execute_packet(
             self.config,
             None,
@@ -581,13 +613,17 @@ impl Processor for VliwSpecification {
             state.term("cfm"),
             epc,
         );
-        let mux = |ctx: &mut Context, new: TermId, old: TermId| ctx.ite_term(fetch_enabled, new, old);
+        let mux =
+            |ctx: &mut Context, new: TermId, old: TermId| ctx.ite_term(fetch_enabled, new, old);
         let mut next = SymbolicState::new();
         next.set_term("pc", mux(ctx, executed.next_pc, pc));
         next.set_term("int_rf", mux(ctx, executed.int_rf, state.term("int_rf")));
         next.set_term("fp_rf", mux(ctx, executed.fp_rf, state.term("fp_rf")));
         next.set_term("pred_rf", mux(ctx, executed.pred_rf, state.term("pred_rf")));
-        next.set_term("baddr_rf", mux(ctx, executed.baddr_rf, state.term("baddr_rf")));
+        next.set_term(
+            "baddr_rf",
+            mux(ctx, executed.baddr_rf, state.term("baddr_rf")),
+        );
         next.set_term("dmem", mux(ctx, executed.dmem, state.term("dmem")));
         next.set_term("alat", mux(ctx, executed.alat, state.term("alat")));
         next.set_term("cfm", mux(ctx, executed.cfm, state.term("cfm")));
@@ -616,7 +652,11 @@ mod tests {
 
     #[test]
     fn state_elements_match_specification() {
-        for config in [VliwConfig::base(), VliwConfig::with_exceptions(), VliwConfig::with_slots(3)] {
+        for config in [
+            VliwConfig::base(),
+            VliwConfig::with_exceptions(),
+            VliwConfig::with_slots(3),
+        ] {
             let implementation = Vliw::correct(config);
             let spec = VliwSpecification::new(config);
             assert_eq!(implementation.arch_state(), spec.arch_state());

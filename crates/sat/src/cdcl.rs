@@ -16,10 +16,8 @@
 //! [`CdclSolver::chaff_with`] and a modified [`CdclConfig`].
 
 use crate::cnf::{CnfFormula, Lit, Var};
+use crate::rng::SmallRng;
 use crate::solver::{Budget, Model, SatResult, Solver, SolverStats, StopReason};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::time::Instant;
 
 /// Tuning knobs of the CDCL engine.
 #[derive(Clone, Debug)]
@@ -129,7 +127,10 @@ pub struct CdclSolver {
 impl CdclSolver {
     /// Creates a solver with an explicit configuration.
     pub fn new(config: CdclConfig) -> Self {
-        CdclSolver { config, stats: SolverStats::default() }
+        CdclSolver {
+            config,
+            stats: SolverStats::default(),
+        }
     }
 
     /// Chaff-like preset.
@@ -208,7 +209,7 @@ struct Engine {
     /// Lazily maintained max-activity heap entries (activity, var).
     heap: std::collections::BinaryHeap<HeapEntry>,
     static_cursor: usize,
-    rng: StdRng,
+    rng: SmallRng,
     seen: Vec<bool>,
     /// Learned clause indices, oldest first (for BerkMin decisions).
     learnt_refs: Vec<u32>,
@@ -261,7 +262,7 @@ impl Engine {
             phase: vec![false; num_vars],
             heap: std::collections::BinaryHeap::with_capacity(num_vars),
             static_cursor: 0,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SmallRng::seed_from_u64(seed),
             seen: vec![false; num_vars],
             learnt_refs: Vec::new(),
             reduce_limit: (cnf.num_clauses() / 3).max(4000),
@@ -274,7 +275,10 @@ impl Engine {
             }
         }
         for v in 0..num_vars {
-            engine.heap.push(HeapEntry { activity: engine.activity[v], var: v as u32 });
+            engine.heap.push(HeapEntry {
+                activity: engine.activity[v],
+                var: v as u32,
+            });
         }
         for clause in cnf.clauses() {
             engine.add_initial_clause(clause.clone());
@@ -300,7 +304,12 @@ impl Engine {
                 let idx = self.clauses.len() as u32;
                 self.watch(lits[0], idx);
                 self.watch(lits[1], idx);
-                self.clauses.push(ClauseData { lits, learnt: false, activity: 0.0, deleted: false });
+                self.clauses.push(ClauseData {
+                    lits,
+                    learnt: false,
+                    activity: 0.0,
+                    deleted: false,
+                });
             }
         }
     }
@@ -404,7 +413,10 @@ impl Engine {
             }
             self.var_inc *= 1e-100;
         }
-        self.heap.push(HeapEntry { activity: self.activity[var], var: var as u32 });
+        self.heap.push(HeapEntry {
+            activity: self.activity[var],
+            var: var as u32,
+        });
     }
 
     fn bump_clause(&mut self, cref: u32) {
@@ -483,13 +495,19 @@ impl Engine {
 
     fn backtrack_to(&mut self, level: u32) {
         while self.decision_level() > level {
-            let start = self.trail_lim.pop().expect("non-root level has a trail mark");
+            let start = self
+                .trail_lim
+                .pop()
+                .expect("non-root level has a trail mark");
             for i in (start..self.trail.len()).rev() {
                 let lit = self.trail[i];
                 let var = lit.var().index();
                 self.assigns[var] = None;
                 self.reason[var] = UNDEF_CLAUSE;
-                self.heap.push(HeapEntry { activity: self.activity[var], var: var as u32 });
+                self.heap.push(HeapEntry {
+                    activity: self.activity[var],
+                    var: var as u32,
+                });
             }
             self.trail.truncate(start);
         }
@@ -535,7 +553,7 @@ impl Engine {
     fn pick_branch_lit(&mut self) -> Option<Lit> {
         // Random decisions.
         if self.config.random_decision_freq > 0.0
-            && self.rng.gen::<f64>() < self.config.random_decision_freq
+            && self.rng.gen_f64() < self.config.random_decision_freq
         {
             let unassigned: Vec<usize> = (0..self.num_vars)
                 .filter(|&v| self.assigns[v].is_none())
@@ -546,12 +564,8 @@ impl Engine {
         }
         // BerkMin: branch inside the most recent unsatisfied learned clause.
         if self.config.clause_based_decisions {
-            let mut scanned = 0;
-            for &cref in self.learnt_refs.iter().rev() {
-                if scanned > 512 {
-                    break;
-                }
-                scanned += 1;
+            // Scan only the most recent learned clauses, as BerkMin does.
+            for &cref in self.learnt_refs.iter().rev().take(512) {
                 let clause = &self.clauses[cref as usize];
                 if clause.deleted {
                     continue;
@@ -564,7 +578,7 @@ impl Engine {
                 for &l in &clause.lits {
                     if self.lit_value(l).is_none() {
                         let act = self.activity[l.var().index()];
-                        if best.map_or(true, |(b, _)| act > b) {
+                        if best.is_none_or(|(b, _)| act > b) {
                             best = Some((act, l));
                         }
                     }
@@ -660,11 +674,17 @@ impl Engine {
         )
     }
 
+    /// How many conflicts or decisions pass between two `Budget::exceeded`
+    /// polls: cheap enough to make cancellation prompt (a poll is one atomic
+    /// load plus, when a deadline is set, one `Instant::now`), large enough to
+    /// keep the check off the per-iteration path.
+    const BUDGET_POLL_MASK: u64 = 63;
+
     fn run(&mut self, budget: Budget) -> SatResult {
         if self.unsat {
             return SatResult::Unsat;
         }
-        let start = Instant::now();
+        let budget = budget.started();
         let mut restart_limit = self.config.restart_interval;
         let mut conflicts_since_restart: u64 = 0;
         loop {
@@ -683,11 +703,9 @@ impl Engine {
                         return SatResult::Unknown(StopReason::ConflictLimit);
                     }
                 }
-                if self.stats.conflicts % 256 == 0 {
-                    if let Some(limit) = budget.max_time {
-                        if start.elapsed() >= limit {
-                            return SatResult::Unknown(StopReason::TimeLimit);
-                        }
+                if self.stats.conflicts & Self::BUDGET_POLL_MASK == 0 {
+                    if let Some(reason) = budget.exceeded() {
+                        return SatResult::Unknown(reason);
                     }
                 }
                 if self.config.db_reduction {
@@ -698,9 +716,8 @@ impl Engine {
                 if let Some(limit) = restart_limit {
                     if conflicts_since_restart >= limit {
                         conflicts_since_restart = 0;
-                        restart_limit = Some(
-                            ((limit as f64) * self.config.restart_multiplier).ceil() as u64,
-                        );
+                        restart_limit =
+                            Some(((limit as f64) * self.config.restart_multiplier).ceil() as u64);
                         self.stats.restarts += 1;
                         self.backtrack_to(0);
                         continue;
@@ -715,11 +732,9 @@ impl Engine {
                                 return SatResult::Unknown(StopReason::DecisionLimit);
                             }
                         }
-                        if self.stats.decisions % 512 == 0 {
-                            if let Some(limit) = budget.max_time {
-                                if start.elapsed() >= limit {
-                                    return SatResult::Unknown(StopReason::TimeLimit);
-                                }
+                        if self.stats.decisions & Self::BUDGET_POLL_MASK == 0 {
+                            if let Some(reason) = budget.exceeded() {
+                                return SatResult::Unknown(reason);
                             }
                         }
                         self.trail_lim.push(self.trail.len());
@@ -770,7 +785,12 @@ mod tests {
     fn trivially_sat_and_unsat() {
         let sat = cnf_of(&[&[1, 2], &[-1, 2], &[-2, 3]]);
         let unsat = cnf_of(&[&[1], &[-1]]);
-        for mut solver in [CdclSolver::chaff(), CdclSolver::berkmin(), CdclSolver::grasp(), CdclSolver::sato()] {
+        for mut solver in [
+            CdclSolver::chaff(),
+            CdclSolver::berkmin(),
+            CdclSolver::grasp(),
+            CdclSolver::sato(),
+        ] {
             match solver.solve(&sat) {
                 SatResult::Sat(model) => assert!(verify_model(&sat, &model)),
                 other => panic!("{}: expected SAT, got {other:?}", solver.name()),
@@ -795,7 +815,12 @@ mod tests {
     #[test]
     fn pigeonhole_is_unsat_for_all_presets() {
         let cnf = pigeonhole(4);
-        for mut solver in [CdclSolver::chaff(), CdclSolver::berkmin(), CdclSolver::grasp(), CdclSolver::sato()] {
+        for mut solver in [
+            CdclSolver::chaff(),
+            CdclSolver::berkmin(),
+            CdclSolver::grasp(),
+            CdclSolver::sato(),
+        ] {
             assert!(solver.solve(&cnf).is_unsat(), "{}", solver.name());
             assert!(solver.stats().conflicts > 0);
         }
@@ -826,9 +851,8 @@ mod tests {
 
     #[test]
     fn random_3sat_models_are_verified() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(7);
+        use crate::rng::SmallRng;
+        let mut rng = SmallRng::seed_from_u64(7);
         for instance in 0..10 {
             let num_vars = 30;
             let num_clauses = 90; // below the phase transition, very likely SAT
@@ -856,7 +880,13 @@ mod tests {
     fn conflict_budget_is_respected() {
         let cnf = pigeonhole(7);
         let mut solver = CdclSolver::chaff();
-        let result = solver.solve_with_budget(&cnf, Budget { max_conflicts: Some(5), ..Budget::default() });
+        let result = solver.solve_with_budget(
+            &cnf,
+            Budget {
+                max_conflicts: Some(5),
+                ..Budget::default()
+            },
+        );
         assert_eq!(result, SatResult::Unknown(StopReason::ConflictLimit));
         assert!(solver.stats().conflicts <= 6);
     }

@@ -122,7 +122,10 @@ pub struct CnfFormula {
 impl CnfFormula {
     /// Creates an empty formula over `num_vars` variables.
     pub fn new(num_vars: usize) -> Self {
-        CnfFormula { num_vars, clauses: Vec::new() }
+        CnfFormula {
+            num_vars,
+            clauses: Vec::new(),
+        }
     }
 
     /// Number of variables of the formula.

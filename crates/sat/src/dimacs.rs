@@ -63,9 +63,9 @@ pub fn read_dimacs<R: BufRead>(reader: R) -> Result<CnfFormula, ParseDimacsError
             continue;
         }
         for token in line.split_whitespace() {
-            let value: i64 = token.parse().map_err(|_| {
-                ParseDimacsError::Malformed(format!("invalid literal `{token}`"))
-            })?;
+            let value: i64 = token
+                .parse()
+                .map_err(|_| ParseDimacsError::Malformed(format!("invalid literal `{token}`")))?;
             if value == 0 {
                 cnf.add_clause(std::mem::take(&mut current));
             } else {

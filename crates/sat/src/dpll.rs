@@ -8,7 +8,6 @@
 
 use crate::cnf::{CnfFormula, Lit};
 use crate::solver::{Budget, Model, SatResult, Solver, SolverStats, StopReason};
-use std::time::Instant;
 
 /// The DPLL solver.
 #[derive(Debug, Default)]
@@ -38,8 +37,7 @@ impl Solver for DpllSolver {
             cnf,
             assigns: vec![None; cnf.num_vars()],
             stats: &mut self.stats,
-            budget,
-            start: Instant::now(),
+            budget: budget.started(),
             stopped: None,
         };
         match state.search() {
@@ -62,7 +60,6 @@ struct DpllState<'a> {
     assigns: Vec<Option<bool>>,
     stats: &'a mut SolverStats,
     budget: Budget,
-    start: Instant,
     stopped: Option<StopReason>,
 }
 
@@ -132,12 +129,12 @@ impl DpllState<'_> {
                 return true;
             }
         }
-        if self.stats.decisions % 64 == 0 {
-            if let Some(limit) = self.budget.max_time {
-                if self.start.elapsed() >= limit {
-                    self.stopped = Some(StopReason::TimeLimit);
-                    return true;
-                }
+        // Cancel flag and deadline are polled every 64 decisions so neither
+        // the atomic load nor `Instant::now` sits on the per-decision path.
+        if self.stats.decisions.is_multiple_of(64) {
+            if let Some(reason) = self.budget.exceeded() {
+                self.stopped = Some(reason);
+                return true;
             }
         }
         false
@@ -257,7 +254,13 @@ mod tests {
         }
         cnf.add_clause((0..n).map(|i| Lit::positive(Var::new(i as u32))).collect());
         let mut solver = DpllSolver::new();
-        let result = solver.solve_with_budget(&cnf, Budget { max_decisions: Some(2), ..Budget::default() });
+        let result = solver.solve_with_budget(
+            &cnf,
+            Budget {
+                max_decisions: Some(2),
+                ..Budget::default()
+            },
+        );
         // Either it solves it quickly or it stops at the budget — it must not loop forever.
         match result {
             SatResult::Sat(model) => assert!(verify_model(&cnf, &model)),

@@ -18,6 +18,12 @@
 //!   **DLM**-style clause-weighting search.
 //! * [`cnf`] + [`dimacs`] — clause representation and DIMACS I/O.
 //! * [`preprocess`] — the "simplify before solving" experiments of Section 4.
+//! * [`portfolio`] — a parallel portfolio that races several engines on
+//!   threads and returns the first decided answer, cancelling the losers
+//!   through the cooperative [`CancelToken`] carried by [`Budget`].  The paper
+//!   observes that no single procedure wins on every benchmark; the portfolio
+//!   turns that observation into a "fastest engine wins" execution mode.
+//! * [`rng`] — the small deterministic PRNG shared by the stochastic searches.
 //!
 //! # Example
 //!
@@ -45,9 +51,12 @@ pub mod cnf;
 pub mod dimacs;
 pub mod dpll;
 pub mod local_search;
+pub mod portfolio;
 pub mod preprocess;
 pub mod presets;
+pub mod rng;
 pub mod solver;
 
 pub use cnf::{Clause, CnfFormula, Lit, Var};
-pub use solver::{Budget, Model, SatResult, Solver, SolverStats, StopReason};
+pub use portfolio::{EngineReport, PortfolioReport, PortfolioSolver};
+pub use solver::{Budget, CancelToken, Model, SatResult, Solver, SolverStats, StopReason};

@@ -6,10 +6,8 @@
 //! unsatisfiability of a correct-processor formula.
 
 use crate::cnf::{CnfFormula, Lit};
+use crate::rng::SmallRng;
 use crate::solver::{Budget, Model, SatResult, Solver, SolverStats, StopReason};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::time::Instant;
 
 /// WalkSAT with the standard noise heuristic.
 #[derive(Debug)]
@@ -25,7 +23,12 @@ pub struct WalkSatSolver {
 
 impl Default for WalkSatSolver {
     fn default() -> Self {
-        WalkSatSolver { noise: 0.5, flips_per_try: 200_000, seed: 0x5a17, stats: SolverStats::default() }
+        WalkSatSolver {
+            noise: 0.5,
+            flips_per_try: 200_000,
+            seed: 0x5a17,
+            stats: SolverStats::default(),
+        }
     }
 }
 
@@ -54,7 +57,12 @@ pub struct DlmSolver {
 
 impl Default for DlmSolver {
     fn default() -> Self {
-        DlmSolver { weight_increment: 1, flips_per_try: 400_000, seed: 0xd13, stats: SolverStats::default() }
+        DlmSolver {
+            weight_increment: 1,
+            flips_per_try: 400_000,
+            seed: 0xd13,
+            stats: SolverStats::default(),
+        }
     }
 }
 
@@ -83,12 +91,14 @@ impl OccurrenceLists {
     }
 }
 
-fn random_assignment(rng: &mut StdRng, num_vars: usize) -> Vec<bool> {
+fn random_assignment(rng: &mut SmallRng, num_vars: usize) -> Vec<bool> {
     (0..num_vars).map(|_| rng.gen_bool(0.5)).collect()
 }
 
 fn clause_satisfied(clause: &[Lit], assignment: &[bool]) -> bool {
-    clause.iter().any(|l| assignment[l.var().index()] == l.is_positive())
+    clause
+        .iter()
+        .any(|l| assignment[l.var().index()] == l.is_positive())
 }
 
 fn unsatisfied_clauses(cnf: &CnfFormula, assignment: &[bool]) -> Vec<usize> {
@@ -145,8 +155,8 @@ impl Solver for WalkSatSolver {
             return SatResult::Sat(Model::new(Vec::new()));
         }
         let occ = OccurrenceLists::build(cnf);
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let start = Instant::now();
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let budget = budget.started();
         let max_flips = budget.max_decisions.unwrap_or(u64::MAX);
         loop {
             let mut assignment = random_assignment(&mut rng, cnf.num_vars());
@@ -154,11 +164,11 @@ impl Solver for WalkSatSolver {
                 if self.stats.flips >= max_flips {
                     return SatResult::Unknown(StopReason::DecisionLimit);
                 }
-                if self.stats.flips % 512 == 0 {
-                    if let Some(limit) = budget.max_time {
-                        if start.elapsed() >= limit {
-                            return SatResult::Unknown(StopReason::TimeLimit);
-                        }
+                // Amortised budget poll: one atomic load + optional
+                // `Instant::now` every 256 flips, nothing per iteration.
+                if self.stats.flips & 255 == 0 {
+                    if let Some(reason) = budget.exceeded() {
+                        return SatResult::Unknown(reason);
                     }
                 }
                 let unsat = unsatisfied_clauses(cnf, &assignment);
@@ -166,7 +176,7 @@ impl Solver for WalkSatSolver {
                     return SatResult::Sat(Model::new(assignment));
                 }
                 let clause = &cnf.clauses()[unsat[rng.gen_range(0..unsat.len())]];
-                let flip_var = if rng.gen::<f64>() < self.noise {
+                let flip_var = if rng.gen_f64() < self.noise {
                     clause[rng.gen_range(0..clause.len())].var().index()
                 } else {
                     clause
@@ -205,8 +215,8 @@ impl Solver for DlmSolver {
             return SatResult::Sat(Model::new(Vec::new()));
         }
         let occ = OccurrenceLists::build(cnf);
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let start = Instant::now();
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let budget = budget.started();
         let max_flips = budget.max_decisions.unwrap_or(u64::MAX);
         loop {
             let mut assignment = random_assignment(&mut rng, cnf.num_vars());
@@ -215,11 +225,11 @@ impl Solver for DlmSolver {
                 if self.stats.flips >= max_flips {
                     return SatResult::Unknown(StopReason::DecisionLimit);
                 }
-                if self.stats.flips % 512 == 0 {
-                    if let Some(limit) = budget.max_time {
-                        if start.elapsed() >= limit {
-                            return SatResult::Unknown(StopReason::TimeLimit);
-                        }
+                // Amortised budget poll: one atomic load + optional
+                // `Instant::now` every 256 flips, nothing per iteration.
+                if self.stats.flips & 255 == 0 {
+                    if let Some(reason) = budget.exceeded() {
+                        return SatResult::Unknown(reason);
                     }
                 }
                 let unsat = unsatisfied_clauses(cnf, &assignment);
@@ -240,8 +250,7 @@ impl Solver for DlmSolver {
                                 // Flipping v satisfies the clause iff v occurs with the
                                 // polarity opposite to the current assignment.
                                 let fixes = clause.iter().any(|l| {
-                                    l.var().index() == v
-                                        && assignment[v] != l.is_positive()
+                                    l.var().index() == v && assignment[v] != l.is_positive()
                                 });
                                 if fixes {
                                     make += weights[cj] as i64;
@@ -249,7 +258,7 @@ impl Solver for DlmSolver {
                             }
                         }
                         let gain = make - brk;
-                        if best.map_or(true, |(g, _)| gain > g) {
+                        if best.is_none_or(|(g, _)| gain > g) {
                             best = Some((gain, v));
                         }
                     }
@@ -339,9 +348,8 @@ mod tests {
 
     #[test]
     fn solvers_on_larger_random_sat_instance() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(3);
+        use crate::rng::SmallRng;
+        let mut rng = SmallRng::seed_from_u64(3);
         let num_vars = 40;
         // Planted solution: all-true, every clause has at least one positive literal.
         let mut cnf = CnfFormula::new(num_vars);

@@ -1,0 +1,492 @@
+//! A parallel portfolio of SAT procedures: race engines, first answer wins.
+//!
+//! The paper's central experiment (Table 1) is a bake-off between SAT
+//! procedures on the same correctness formulas, and its headline observation
+//! is that no single procedure wins everywhere: Chaff dominates the unsatisfiable
+//! correct-design formulas, local search occasionally snipes a satisfiable
+//! buggy-design formula, and BDDs win on small instances with good orders.
+//! [`PortfolioSolver`] turns that comparison table into an execution strategy:
+//! every member engine starts on its own thread with a shared
+//! [`CancelToken`], the first *decided* result ([`SatResult::Sat`] or
+//! [`SatResult::Unsat`]) is returned, and the losers observe the token from
+//! their hot loops and stop without finishing their search.
+//!
+//! The per-engine outcomes, statistics and timings are collected in a
+//! [`PortfolioReport`], so the experiment harness can still produce the
+//! paper's comparison numbers from a single racing run.
+//!
+//! # Example
+//!
+//! ```
+//! use velv_sat::{CnfFormula, Lit, Var, Solver};
+//! use velv_sat::portfolio::PortfolioSolver;
+//!
+//! let mut cnf = CnfFormula::new(2);
+//! let a = Lit::positive(Var::new(0));
+//! let b = Lit::positive(Var::new(1));
+//! cnf.add_clause(vec![a, b]);
+//! cnf.add_clause(vec![!a]);
+//! let mut portfolio = PortfolioSolver::default_presets();
+//! assert!(portfolio.solve(&cnf).is_sat());
+//! let report = portfolio.report().expect("a race was run");
+//! assert!(report.winner.is_some());
+//! ```
+
+use crate::cnf::CnfFormula;
+use crate::presets::SolverKind;
+use crate::solver::{Budget, CancelToken, SatResult, Solver, SolverStats, StopReason};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::time::{Duration, Instant};
+
+/// Builds one member engine; called once per `solve`, on the member's thread.
+pub type SolverFactory = Box<dyn Fn() -> Box<dyn Solver + Send> + Send + Sync>;
+
+/// How one member engine fared in a race.
+#[derive(Clone, Debug)]
+pub struct EngineReport {
+    /// The engine's name ("chaff", "walksat", ...).
+    pub name: String,
+    /// The result the engine returned (losers typically report
+    /// [`StopReason::Cancelled`]).
+    pub result: SatResult,
+    /// The engine's solver statistics.
+    pub stats: SolverStats,
+    /// Wall-clock time from the engine's start to its return.
+    pub time: Duration,
+    /// Whether this engine decided the formula first.
+    pub winner: bool,
+}
+
+/// Aggregated outcome of one portfolio race.
+#[derive(Clone, Debug, Default)]
+pub struct PortfolioReport {
+    /// Name of the engine that decided the formula first, if any did.
+    pub winner: Option<String>,
+    /// Per-engine outcomes, in member registration order.
+    pub engines: Vec<EngineReport>,
+    /// Wall-clock time of the whole race.
+    pub wall_time: Duration,
+}
+
+impl PortfolioReport {
+    /// The report of the winning engine.
+    pub fn winner_report(&self) -> Option<&EngineReport> {
+        self.engines.iter().find(|e| e.winner)
+    }
+
+    /// Sum of the member statistics — the total work the race burned across
+    /// all threads (the price paid for the wall-clock win).
+    pub fn aggregate_stats(&self) -> SolverStats {
+        let mut total = SolverStats::default();
+        for engine in &self.engines {
+            total.decisions += engine.stats.decisions;
+            total.propagations += engine.stats.propagations;
+            total.conflicts += engine.stats.conflicts;
+            total.learned_clauses += engine.stats.learned_clauses;
+            total.restarts += engine.stats.restarts;
+            total.flips += engine.stats.flips;
+        }
+        total
+    }
+}
+
+struct Member {
+    name: String,
+    complete: bool,
+    factory: SolverFactory,
+}
+
+/// A [`Solver`] that races its member engines on threads and returns the
+/// first decided result, cancelling the losers cooperatively.
+pub struct PortfolioSolver {
+    members: Vec<Member>,
+    stats: SolverStats,
+    report: Option<PortfolioReport>,
+}
+
+impl Default for PortfolioSolver {
+    fn default() -> Self {
+        Self::default_presets()
+    }
+}
+
+impl PortfolioSolver {
+    /// An empty portfolio; add members with [`PortfolioSolver::with_kind`] or
+    /// [`PortfolioSolver::with_member`].
+    pub fn new() -> Self {
+        PortfolioSolver {
+            members: Vec::new(),
+            stats: SolverStats::default(),
+            report: None,
+        }
+    }
+
+    /// The default race: the four CDCL presets of the paper's comparison
+    /// (Chaff, BerkMin, GRASP, SATO).
+    pub fn default_presets() -> Self {
+        Self::of_kinds(&[
+            SolverKind::Chaff,
+            SolverKind::BerkMin,
+            SolverKind::Grasp,
+            SolverKind::Sato,
+        ])
+    }
+
+    /// A portfolio over the given presets.
+    pub fn of_kinds(kinds: &[SolverKind]) -> Self {
+        kinds.iter().fold(Self::new(), |p, &k| p.with_kind(k))
+    }
+
+    /// Adds a preset engine as a member.
+    pub fn with_kind(self, kind: SolverKind) -> Self {
+        self.with_member(Box::new(move || kind.build()))
+    }
+
+    /// Adds a custom engine; the factory is called once per solve, on the
+    /// member's own thread.  Name and completeness are probed from one
+    /// freshly built instance.
+    pub fn with_member(mut self, factory: SolverFactory) -> Self {
+        let probe = factory();
+        self.members.push(Member {
+            name: probe.name().to_owned(),
+            complete: probe.is_complete(),
+            factory,
+        });
+        self
+    }
+
+    /// The member names, in registration order.
+    pub fn member_names(&self) -> Vec<&str> {
+        self.members.iter().map(|m| m.name.as_str()).collect()
+    }
+
+    /// The report of the most recent race, if one was run.
+    pub fn report(&self) -> Option<&PortfolioReport> {
+        self.report.as_ref()
+    }
+
+    /// Picks the result to return when no engine decided the formula: prefer
+    /// a resource-limit reason over `Cancelled`/`Incomplete`, so the caller
+    /// learns *why* the race as a whole came up empty.
+    fn undecided_reason(engines: &[EngineReport], parent_stop: Option<StopReason>) -> StopReason {
+        if let Some(reason) = parent_stop {
+            return reason;
+        }
+        let mut best = StopReason::Incomplete;
+        for engine in engines {
+            if let SatResult::Unknown(reason) = engine.result {
+                best = match (best, reason) {
+                    (_, StopReason::ConflictLimit)
+                    | (_, StopReason::DecisionLimit)
+                    | (_, StopReason::TimeLimit) => reason,
+                    (StopReason::Incomplete, StopReason::Cancelled) => StopReason::Cancelled,
+                    (b, _) => b,
+                };
+            }
+        }
+        best
+    }
+}
+
+/// Stack size for member threads: DPLL recurses once per variable, and the
+/// correctness CNFs of the wide designs reach thousands of variables.
+const MEMBER_STACK_SIZE: usize = 64 * 1024 * 1024;
+
+/// How long the collector waits on the result channel before re-checking the
+/// caller's own budget (deadline or an outer cancel token).
+const PARENT_POLL: Duration = Duration::from_millis(5);
+
+impl Solver for PortfolioSolver {
+    fn name(&self) -> &str {
+        "portfolio"
+    }
+
+    fn is_complete(&self) -> bool {
+        self.members.iter().any(|m| m.complete)
+    }
+
+    fn solve_with_budget(&mut self, cnf: &CnfFormula, budget: Budget) -> SatResult {
+        if self.members.is_empty() {
+            return SatResult::Unknown(StopReason::Incomplete);
+        }
+        let race_start = Instant::now();
+        let parent = budget.started();
+        let token = CancelToken::new();
+        // Members inherit the caller's step limits and resolved deadline but
+        // poll the race's own token; the collector loop below forwards an
+        // outer cancellation into that token.
+        let member_budget = Budget {
+            max_conflicts: parent.max_conflicts,
+            max_decisions: parent.max_decisions,
+            max_time: None,
+            deadline: parent.deadline,
+            cancel: Some(token.clone()),
+        };
+
+        let n = self.members.len();
+        let mut reports: Vec<Option<EngineReport>> = (0..n).map(|_| None).collect();
+        let mut winner: Option<(usize, SatResult)> = None;
+        let mut parent_stop: Option<StopReason> = None;
+
+        std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel();
+            for (index, member) in self.members.iter().enumerate() {
+                let tx = tx.clone();
+                let member_budget = member_budget.clone();
+                std::thread::Builder::new()
+                    .name(format!("velv-portfolio-{}", member.name))
+                    .stack_size(MEMBER_STACK_SIZE)
+                    .spawn_scoped(scope, move || {
+                        let mut solver = (member.factory)();
+                        let start = Instant::now();
+                        let result = solver.solve_with_budget(cnf, member_budget);
+                        // The receiver hangs up only after all members report
+                        // or were cancelled; a send error just means the race
+                        // is over.
+                        let _ = tx.send((index, result, solver.stats(), start.elapsed()));
+                    })
+                    .expect("spawning a portfolio member thread succeeds");
+            }
+            drop(tx);
+
+            let mut received = 0;
+            while received < n {
+                match rx.recv_timeout(PARENT_POLL) {
+                    Ok((index, result, stats, time)) => {
+                        received += 1;
+                        if winner.is_none() && result.is_decided() {
+                            winner = Some((index, result.clone()));
+                            token.cancel();
+                        }
+                        reports[index] = Some(EngineReport {
+                            name: self.members[index].name.clone(),
+                            result,
+                            stats,
+                            time,
+                            winner: false,
+                        });
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        if parent_stop.is_none() {
+                            if let Some(reason) = parent.exceeded() {
+                                parent_stop = Some(reason);
+                                token.cancel();
+                            }
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        });
+
+        if let Some((index, _)) = &winner {
+            if let Some(report) = reports[*index].as_mut() {
+                report.winner = true;
+            }
+        }
+        let engines: Vec<EngineReport> = reports.into_iter().flatten().collect();
+        let report = PortfolioReport {
+            winner: winner.as_ref().map(|(i, _)| self.members[*i].name.clone()),
+            engines,
+            wall_time: race_start.elapsed(),
+        };
+        // `stats()` reports the winner's numbers (the work that produced the
+        // answer); the report keeps the full per-engine breakdown.
+        self.stats = report
+            .winner_report()
+            .map(|e| e.stats)
+            .unwrap_or_else(|| report.aggregate_stats());
+        let result = match winner {
+            Some((_, result)) => result,
+            None => SatResult::Unknown(Self::undecided_reason(&report.engines, parent_stop)),
+        };
+        self.report = Some(report);
+        result
+    }
+
+    fn stats(&self) -> SolverStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{Lit, Var};
+    use crate::solver::Model;
+
+    fn lit(i: i64) -> Lit {
+        Lit::from_dimacs(i)
+    }
+
+    fn cnf_of(clauses: &[&[i64]]) -> CnfFormula {
+        let mut cnf = CnfFormula::new(0);
+        for c in clauses {
+            cnf.add_clause(c.iter().map(|&i| lit(i)).collect());
+        }
+        cnf
+    }
+
+    /// Pigeonhole principle PHP(n+1, n): unsatisfiable and hard enough that a
+    /// spinning member takes a while — a useful "slow loser".
+    fn pigeonhole(holes: usize) -> CnfFormula {
+        let pigeons = holes + 1;
+        let mut cnf = CnfFormula::new(pigeons * holes);
+        let var = |p: usize, h: usize| Lit::positive(Var::new((p * holes + h) as u32));
+        for p in 0..pigeons {
+            cnf.add_clause((0..holes).map(|h| var(p, h)).collect());
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    cnf.add_clause(vec![!var(p1, h), !var(p2, h)]);
+                }
+            }
+        }
+        cnf
+    }
+
+    /// A deliberately obstinate solver: it never answers, it only spins until
+    /// the budget (cancel token, deadline or step limit) tells it to stop.
+    struct SpinSolver {
+        stats: SolverStats,
+    }
+
+    impl SpinSolver {
+        fn new() -> Self {
+            SpinSolver {
+                stats: SolverStats::default(),
+            }
+        }
+    }
+
+    impl Solver for SpinSolver {
+        fn name(&self) -> &str {
+            "spin"
+        }
+
+        fn is_complete(&self) -> bool {
+            false
+        }
+
+        fn solve_with_budget(&mut self, _cnf: &CnfFormula, budget: Budget) -> SatResult {
+            let budget = budget.started();
+            loop {
+                self.stats.decisions += 1;
+                if self.stats.decisions & 255 == 0 {
+                    if let Some(reason) = budget.exceeded() {
+                        return SatResult::Unknown(reason);
+                    }
+                }
+                if let Some(max) = budget.max_decisions {
+                    if self.stats.decisions >= max {
+                        return SatResult::Unknown(StopReason::DecisionLimit);
+                    }
+                }
+                std::hint::spin_loop();
+            }
+        }
+
+        fn stats(&self) -> SolverStats {
+            self.stats
+        }
+    }
+
+    #[test]
+    fn portfolio_solves_sat_and_unsat() {
+        let sat = cnf_of(&[&[1, 2], &[-1, 2], &[-2, 3]]);
+        let unsat = cnf_of(&[&[1], &[-1]]);
+        let mut portfolio = PortfolioSolver::default_presets();
+        assert!(portfolio.solve(&sat).is_sat());
+        let report = portfolio.report().unwrap();
+        assert!(report.winner.is_some());
+        assert_eq!(report.engines.len(), 4);
+        assert!(portfolio.solve(&unsat).is_unsat());
+    }
+
+    #[test]
+    fn winner_is_named_and_flagged() {
+        let mut portfolio = PortfolioSolver::default_presets();
+        let result = portfolio.solve(&pigeonhole(4));
+        assert!(result.is_unsat());
+        let report = portfolio.report().unwrap();
+        let winner = report.winner.clone().expect("a complete engine decided");
+        let flagged = report.winner_report().expect("winner report present");
+        assert_eq!(flagged.name, winner);
+        assert!(flagged.result.is_decided());
+    }
+
+    #[test]
+    fn losing_engine_is_cancelled_promptly() {
+        // The spinner never answers; chaff decides almost immediately.  The
+        // race as a whole must return promptly — i.e. the spinner must
+        // observe the cancel token instead of running forever.
+        let mut portfolio = PortfolioSolver::new()
+            .with_member(Box::new(|| Box::new(SpinSolver::new())))
+            .with_kind(SolverKind::Chaff);
+        let cnf = cnf_of(&[&[1, 2], &[-1]]);
+        let start = Instant::now();
+        let result = portfolio.solve(&cnf);
+        let elapsed = start.elapsed();
+        assert!(result.is_sat());
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "cancellation was not prompt: {elapsed:?}"
+        );
+        let report = portfolio.report().unwrap();
+        let spinner = report.engines.iter().find(|e| e.name == "spin").unwrap();
+        assert_eq!(spinner.result, SatResult::Unknown(StopReason::Cancelled));
+        assert!(!spinner.winner);
+    }
+
+    #[test]
+    fn incomplete_only_portfolio_reports_why() {
+        // Local search cannot prove unsatisfiability; with a step limit the
+        // race must come back Unknown with a resource-limit reason.
+        let mut portfolio = PortfolioSolver::of_kinds(&[SolverKind::WalkSat, SolverKind::Dlm]);
+        assert!(!portfolio.is_complete());
+        let unsat = cnf_of(&[&[1], &[-1], &[2], &[-2]]);
+        let result = portfolio.solve_with_budget(&unsat, Budget::step_limit(1_000));
+        match result {
+            SatResult::Unknown(reason) => assert_ne!(reason, StopReason::Cancelled),
+            other => panic!("local search cannot decide this: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn outer_cancel_token_stops_the_whole_race() {
+        let token = CancelToken::new();
+        token.cancel();
+        let mut portfolio = PortfolioSolver::new()
+            .with_member(Box::new(|| Box::new(SpinSolver::new())))
+            .with_member(Box::new(|| Box::new(SpinSolver::new())));
+        let cnf = pigeonhole(3);
+        let start = Instant::now();
+        let result = portfolio.solve_with_budget(&cnf, Budget::unlimited().with_cancel(token));
+        assert_eq!(result, SatResult::Unknown(StopReason::Cancelled));
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn empty_portfolio_is_unknown() {
+        let mut portfolio = PortfolioSolver::new();
+        let cnf = cnf_of(&[&[1]]);
+        assert_eq!(
+            portfolio.solve(&cnf),
+            SatResult::Unknown(StopReason::Incomplete)
+        );
+    }
+
+    #[test]
+    fn model_from_portfolio_satisfies_the_formula() {
+        let cnf = cnf_of(&[&[1, 2, 3], &[-1, 2], &[-2, 3], &[-3, -1]]);
+        let mut portfolio = PortfolioSolver::default_presets();
+        match portfolio.solve(&cnf) {
+            SatResult::Sat(model) => {
+                assert!(crate::solver::verify_model(&cnf, &model));
+                let _: &Model = &model;
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+}

@@ -141,7 +141,10 @@ pub fn preprocess(cnf: &CnfFormula, with_subsumption: bool) -> Preprocessed {
     // Subsumption (quadratic; only for modest formulas or when requested).
     if with_subsumption {
         let mut keep = vec![true; clauses.len()];
-        let sets: Vec<HashSet<Lit>> = clauses.iter().map(|c| c.iter().copied().collect()).collect();
+        let sets: Vec<HashSet<Lit>> = clauses
+            .iter()
+            .map(|c| c.iter().copied().collect())
+            .collect();
         for i in 0..clauses.len() {
             if !keep[i] {
                 continue;
@@ -167,7 +170,11 @@ pub fn preprocess(cnf: &CnfFormula, with_subsumption: bool) -> Preprocessed {
     for clause in clauses {
         simplified.add_clause(clause);
     }
-    Preprocessed { cnf: simplified, forced: collect_forced(&assigns), stats }
+    Preprocessed {
+        cnf: simplified,
+        forced: collect_forced(&assigns),
+        stats,
+    }
 }
 
 fn collect_forced(assigns: &[Option<bool>]) -> Vec<Lit> {

@@ -52,8 +52,9 @@ impl SolverKind {
         }
     }
 
-    /// Instantiates the solver.
-    pub fn build(self) -> Box<dyn Solver> {
+    /// Instantiates the solver.  The box is `Send` so a preset can run on a
+    /// portfolio worker thread.
+    pub fn build(self) -> Box<dyn Solver + Send> {
         match self {
             SolverKind::Chaff => Box::new(CdclSolver::chaff()),
             SolverKind::BerkMin => Box::new(CdclSolver::berkmin()),

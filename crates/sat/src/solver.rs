@@ -1,7 +1,45 @@
 //! The common interface of all SAT procedures.
 
 use crate::cnf::{CnfFormula, Var};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared cooperative cancellation flag.
+///
+/// Clones share the same flag: raising it on one clone is observed by all
+/// others.  Engines poll the flag from their hot loops (every few hundred
+/// steps, so the check is a single relaxed atomic load amortised to nothing)
+/// and return [`StopReason::Cancelled`] instead of finishing their search —
+/// this is how the portfolio stops the losing engines as soon as one engine
+/// decides the formula.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, unraised token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Raises the flag; every clone of this token observes the cancellation.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the flag has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// The raw shared flag, for code that cannot depend on this crate
+    /// (the BDD manager polls the same flag from its node-allocation path).
+    pub fn flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.flag)
+    }
+}
 
 /// A satisfying assignment, indexed by variable.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -52,6 +90,8 @@ pub enum StopReason {
     /// The procedure is incomplete and gave up (e.g. local search on an
     /// unsatisfiable formula).
     Incomplete,
+    /// The shared [`CancelToken`] was raised (another portfolio engine won).
+    Cancelled,
 }
 
 /// Result of a satisfiability check.
@@ -91,20 +131,25 @@ impl SatResult {
 }
 
 /// Resource limits for one `solve` call.
-#[derive(Clone, Copy, Debug)]
+///
+/// Besides the classic conflict/decision/time bounds, a budget can carry a
+/// shared [`CancelToken`] and an absolute `deadline`.  Engines resolve
+/// `max_time` into a deadline once per solve with [`Budget::started`] and
+/// then poll [`Budget::exceeded`] every few hundred steps, so neither
+/// `Instant::now` nor the atomic load is on the per-iteration path.
+#[derive(Clone, Debug, Default)]
 pub struct Budget {
     /// Maximum number of conflicts (CDCL) before giving up.
     pub max_conflicts: Option<u64>,
     /// Maximum number of decisions (DPLL) or flips (local search).
     pub max_decisions: Option<u64>,
-    /// Wall-clock limit.
+    /// Wall-clock limit, relative to the start of the solve call.
     pub max_time: Option<Duration>,
-}
-
-impl Default for Budget {
-    fn default() -> Self {
-        Budget { max_conflicts: None, max_decisions: None, max_time: None }
-    }
+    /// Absolute wall-clock deadline (combines with `max_time`: the earlier
+    /// of the two wins once [`Budget::started`] has resolved them).
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation flag shared with other engines.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Budget {
@@ -115,7 +160,10 @@ impl Budget {
 
     /// A wall-clock limit only.
     pub fn time_limit(limit: Duration) -> Self {
-        Budget { max_time: Some(limit), ..Budget::default() }
+        Budget {
+            max_time: Some(limit),
+            ..Budget::default()
+        }
     }
 
     /// A conflict/flip limit only.
@@ -123,8 +171,58 @@ impl Budget {
         Budget {
             max_conflicts: Some(steps),
             max_decisions: Some(steps),
-            max_time: None,
+            ..Budget::default()
         }
+    }
+
+    /// Attaches a shared cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Sets an absolute deadline.
+    pub fn with_deadline(mut self, at: Instant) -> Self {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Resolves the relative `max_time` into an absolute deadline, taken from
+    /// a single `Instant::now()` call.  Engines call this once per solve so
+    /// their hot loops only compare instants.
+    pub fn started(&self) -> Budget {
+        let mut resolved = self.clone();
+        if let Some(limit) = resolved.max_time {
+            let from_now = Instant::now() + limit;
+            resolved.deadline = Some(match resolved.deadline {
+                Some(existing) => existing.min(from_now),
+                None => from_now,
+            });
+        }
+        resolved
+    }
+
+    /// Cheap stop check for hot loops: the cancel flag is one relaxed atomic
+    /// load, and the deadline costs one `Instant::now()` — call this every N
+    /// steps, not every iteration.  Returns why the solver must stop, if it
+    /// must.
+    pub fn exceeded(&self) -> Option<StopReason> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Some(StopReason::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(StopReason::TimeLimit);
+            }
+        }
+        None
+    }
+
+    /// Whether the budget demands an immediate stop (see [`Budget::exceeded`]).
+    pub fn should_stop(&self) -> bool {
+        self.exceeded().is_some()
     }
 }
 
@@ -221,5 +319,28 @@ mod tests {
         assert!(b.max_time.is_none());
         let t = Budget::time_limit(Duration::from_millis(5));
         assert!(t.max_time.is_some());
+    }
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        let budget = Budget::unlimited().with_cancel(clone);
+        assert!(!budget.should_stop());
+        token.cancel();
+        assert_eq!(budget.exceeded(), Some(StopReason::Cancelled));
+        // The raw flag view observes the same state.
+        assert!(token.flag().load(std::sync::atomic::Ordering::Relaxed));
+    }
+
+    #[test]
+    fn started_resolves_max_time_into_a_deadline() {
+        let budget = Budget::time_limit(Duration::from_millis(1)).started();
+        assert!(budget.deadline.is_some());
+        std::thread::sleep(Duration::from_millis(3));
+        assert_eq!(budget.exceeded(), Some(StopReason::TimeLimit));
+        // An already-expired absolute deadline stops immediately.
+        let expired = Budget::unlimited().with_deadline(Instant::now());
+        assert!(expired.should_stop());
     }
 }

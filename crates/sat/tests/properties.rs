@@ -1,12 +1,18 @@
 //! Differential property tests: all complete solvers must agree with a
-//! brute-force truth-table check on small random formulas, and every model
-//! returned by any solver must actually satisfy the formula.
+//! brute-force truth-table check on small random formulas, every model
+//! returned by any solver must actually satisfy the formula, and the parallel
+//! portfolio must agree with its member engines.
+//!
+//! The random instances are generated with the crate's own deterministic
+//! [`SmallRng`] (seeded per test), so failures reproduce exactly.
 
-use proptest::prelude::*;
 use velv_sat::cdcl::CdclSolver;
 use velv_sat::dpll::DpllSolver;
 use velv_sat::local_search::{DlmSolver, WalkSatSolver};
+use velv_sat::portfolio::PortfolioSolver;
 use velv_sat::preprocess::preprocess;
+use velv_sat::presets::SolverKind;
+use velv_sat::rng::SmallRng;
 use velv_sat::solver::verify_model;
 use velv_sat::{Budget, CnfFormula, Lit, SatResult, Solver, Var};
 
@@ -24,68 +30,98 @@ fn brute_force_sat(cnf: &CnfFormula) -> bool {
     n == 0 && cnf.num_clauses() == 0
 }
 
-fn arb_cnf(max_vars: u32, max_clauses: usize) -> impl Strategy<Value = CnfFormula> {
-    let clause = prop::collection::vec((0..max_vars, any::<bool>()), 1..4);
-    prop::collection::vec(clause, 0..max_clauses).prop_map(move |clauses| {
-        let mut cnf = CnfFormula::new(max_vars as usize);
-        for c in clauses {
-            cnf.add_clause(
-                c.into_iter()
-                    .map(|(v, sign)| Lit::new(Var::new(v), sign))
-                    .collect(),
-            );
-        }
-        cnf
-    })
+/// A random CNF over `max_vars` variables with up to `max_clauses` clauses of
+/// 1..=3 literals — the same distribution the original proptest strategy used.
+fn random_cnf(rng: &mut SmallRng, max_vars: u32, max_clauses: usize) -> CnfFormula {
+    let mut cnf = CnfFormula::new(max_vars as usize);
+    let num_clauses = rng.gen_range(0..max_clauses + 1);
+    for _ in 0..num_clauses {
+        let len = rng.gen_range(1..4);
+        let clause: Vec<Lit> = (0..len)
+            .map(|_| {
+                let v = rng.gen_range(0..max_vars as usize) as u32;
+                Lit::new(Var::new(v), rng.gen_bool(0.5))
+            })
+            .collect();
+        cnf.add_clause(clause);
+    }
+    cnf
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+const CASES: usize = 96;
 
-    #[test]
-    fn cdcl_presets_agree_with_brute_force(cnf in arb_cnf(8, 24)) {
+#[test]
+fn cdcl_presets_agree_with_brute_force() {
+    let mut rng = SmallRng::seed_from_u64(0xC4AFF);
+    for case in 0..CASES {
+        let cnf = random_cnf(&mut rng, 8, 24);
         let expected = brute_force_sat(&cnf);
-        for mut solver in [CdclSolver::chaff(), CdclSolver::berkmin(), CdclSolver::grasp(), CdclSolver::sato()] {
+        for mut solver in [
+            CdclSolver::chaff(),
+            CdclSolver::berkmin(),
+            CdclSolver::grasp(),
+            CdclSolver::sato(),
+        ] {
             match solver.solve(&cnf) {
                 SatResult::Sat(model) => {
-                    prop_assert!(expected, "{} claimed SAT on an unsatisfiable formula", solver.name());
-                    prop_assert!(verify_model(&cnf, &model));
+                    assert!(
+                        expected,
+                        "case {case}: {} claimed SAT on an unsatisfiable formula",
+                        solver.name()
+                    );
+                    assert!(verify_model(&cnf, &model), "case {case}");
                 }
-                SatResult::Unsat => prop_assert!(!expected, "{} claimed UNSAT on a satisfiable formula", solver.name()),
-                SatResult::Unknown(reason) => prop_assert!(false, "unexpected stop: {reason:?}"),
+                SatResult::Unsat => assert!(
+                    !expected,
+                    "case {case}: {} claimed UNSAT on a satisfiable formula",
+                    solver.name()
+                ),
+                SatResult::Unknown(reason) => panic!("case {case}: unexpected stop: {reason:?}"),
             }
         }
     }
+}
 
-    #[test]
-    fn dpll_agrees_with_brute_force(cnf in arb_cnf(8, 20)) {
+#[test]
+fn dpll_agrees_with_brute_force() {
+    let mut rng = SmallRng::seed_from_u64(0xD9_11);
+    for case in 0..CASES {
+        let cnf = random_cnf(&mut rng, 8, 20);
         let expected = brute_force_sat(&cnf);
         match DpllSolver::new().solve(&cnf) {
             SatResult::Sat(model) => {
-                prop_assert!(expected);
-                prop_assert!(verify_model(&cnf, &model));
+                assert!(expected, "case {case}");
+                assert!(verify_model(&cnf, &model), "case {case}");
             }
-            SatResult::Unsat => prop_assert!(!expected),
-            SatResult::Unknown(reason) => prop_assert!(false, "unexpected stop: {reason:?}"),
+            SatResult::Unsat => assert!(!expected, "case {case}"),
+            SatResult::Unknown(reason) => panic!("case {case}: unexpected stop: {reason:?}"),
         }
     }
+}
 
-    #[test]
-    fn local_search_models_are_valid(cnf in arb_cnf(8, 16)) {
+#[test]
+fn local_search_models_are_valid() {
+    let mut rng = SmallRng::seed_from_u64(0x10_CA1);
+    for case in 0..CASES {
+        let cnf = random_cnf(&mut rng, 8, 16);
         let budget = Budget::step_limit(50_000);
         for result in [
-            WalkSatSolver::new().solve_with_budget(&cnf, budget),
+            WalkSatSolver::new().solve_with_budget(&cnf, budget.clone()),
             DlmSolver::new().solve_with_budget(&cnf, budget),
         ] {
             if let SatResult::Sat(model) = result {
-                prop_assert!(verify_model(&cnf, &model));
-                prop_assert!(brute_force_sat(&cnf));
+                assert!(verify_model(&cnf, &model), "case {case}");
+                assert!(brute_force_sat(&cnf), "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn preprocessing_preserves_satisfiability(cnf in arb_cnf(8, 20)) {
+#[test]
+fn preprocessing_preserves_satisfiability() {
+    let mut rng = SmallRng::seed_from_u64(0x9E9);
+    for case in 0..CASES {
+        let cnf = random_cnf(&mut rng, 8, 20);
         let expected = brute_force_sat(&cnf);
         let pre = preprocess(&cnf, true);
         let simplified = if pre.stats.proved_unsat {
@@ -93,14 +129,66 @@ proptest! {
         } else {
             CdclSolver::chaff().solve(&pre.cnf).is_sat()
         };
-        prop_assert_eq!(expected, simplified);
+        assert_eq!(expected, simplified, "case {case}");
     }
+}
 
-    #[test]
-    fn dimacs_roundtrip_preserves_clauses(cnf in arb_cnf(10, 24)) {
+#[test]
+fn dimacs_roundtrip_preserves_clauses() {
+    let mut rng = SmallRng::seed_from_u64(0xD1_AC5);
+    for case in 0..CASES {
+        let cnf = random_cnf(&mut rng, 10, 24);
         let text = velv_sat::dimacs::to_dimacs_string(&cnf);
         let parsed = velv_sat::dimacs::parse_dimacs(&text).unwrap();
-        prop_assert_eq!(parsed.num_vars(), cnf.num_vars());
-        prop_assert_eq!(parsed.clauses(), cnf.clauses());
+        assert_eq!(parsed.num_vars(), cnf.num_vars(), "case {case}");
+        assert_eq!(parsed.clauses(), cnf.clauses(), "case {case}");
+    }
+}
+
+/// The racing portfolio must never contradict a complete member engine: on
+/// every random CNF its verdict equals the brute-force answer (a decided
+/// answer is guaranteed because the portfolio contains complete engines and
+/// runs without a budget).
+#[test]
+fn portfolio_agrees_with_member_engines() {
+    let mut rng = SmallRng::seed_from_u64(0xF0_110);
+    for case in 0..48 {
+        let cnf = random_cnf(&mut rng, 8, 24);
+        let expected = brute_force_sat(&cnf);
+        let mut portfolio = PortfolioSolver::of_kinds(&[
+            SolverKind::Chaff,
+            SolverKind::BerkMin,
+            SolverKind::Dpll,
+            SolverKind::WalkSat,
+        ]);
+        match portfolio.solve(&cnf) {
+            SatResult::Sat(model) => {
+                assert!(
+                    expected,
+                    "case {case}: portfolio claimed SAT on an UNSAT formula"
+                );
+                assert!(verify_model(&cnf, &model), "case {case}");
+            }
+            SatResult::Unsat => {
+                assert!(
+                    !expected,
+                    "case {case}: portfolio claimed UNSAT on a SAT formula"
+                )
+            }
+            SatResult::Unknown(reason) => panic!("case {case}: unexpected stop: {reason:?}"),
+        }
+        let report = portfolio.report().expect("race report");
+        assert!(report.winner.is_some(), "case {case}: somebody must win");
+        // No engine may contradict the brute-force answer even as a loser.
+        for engine in &report.engines {
+            match &engine.result {
+                SatResult::Sat(model) => {
+                    assert!(expected, "case {case}: {} lied", engine.name);
+                    assert!(verify_model(&cnf, model), "case {case}: {}", engine.name);
+                }
+                SatResult::Unsat => assert!(!expected, "case {case}: {} lied", engine.name),
+                SatResult::Unknown(_) => {}
+            }
+        }
     }
 }

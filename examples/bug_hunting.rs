@@ -15,7 +15,11 @@ fn main() {
     let suite: Vec<DlxBug> = dlx_bug_catalog(config).into_iter().take(8).collect();
     let budget = Budget::time_limit(Duration::from_secs(2));
 
-    println!("translating {} buggy versions of {} ...", suite.len(), config.name());
+    println!(
+        "translating {} buggy versions of {} ...",
+        suite.len(),
+        config.name()
+    );
     let translations: Vec<_> = suite
         .iter()
         .map(|&bug| verifier.translate(&Dlx::buggy(config, bug), &spec))
@@ -25,10 +29,18 @@ fn main() {
         let mut found = 0;
         for translation in &translations {
             let mut solver = kind.build();
-            if verifier.check(translation, solver.as_mut(), budget).is_buggy() {
+            if verifier
+                .check(translation, solver.as_mut(), budget.clone())
+                .is_buggy()
+            {
                 found += 1;
             }
         }
-        println!("{:<45} {:>2}/{} bugs found", kind.label(), found, translations.len());
+        println!(
+            "{:<45} {:>2}/{} bugs found",
+            kind.label(),
+            found,
+            translations.len()
+        );
     }
 }

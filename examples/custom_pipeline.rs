@@ -36,7 +36,12 @@ impl Processor for MiniPipe {
         1
     }
 
-    fn step(&self, ctx: &mut Context, state: &SymbolicState, fetch_enabled: FormulaId) -> SymbolicState {
+    fn step(
+        &self,
+        ctx: &mut Context,
+        state: &SymbolicState,
+        fetch_enabled: FormulaId,
+    ) -> SymbolicState {
         let pc = state.term("pc");
         let rf = state.term("rf");
         let valid = state.formula("latch.valid");
@@ -80,7 +85,10 @@ impl Processor for MiniSpec {
     }
 
     fn state_elements(&self) -> Vec<StateElement> {
-        vec![StateElement::arch_term("pc"), StateElement::arch_memory("rf")]
+        vec![
+            StateElement::arch_term("pc"),
+            StateElement::arch_memory("rf"),
+        ]
     }
 
     fn fetch_width(&self) -> usize {
@@ -91,7 +99,12 @@ impl Processor for MiniSpec {
         0
     }
 
-    fn step(&self, ctx: &mut Context, state: &SymbolicState, fetch_enabled: FormulaId) -> SymbolicState {
+    fn step(
+        &self,
+        ctx: &mut Context,
+        state: &SymbolicState,
+        fetch_enabled: FormulaId,
+    ) -> SymbolicState {
         let pc = state.term("pc");
         let rf = state.term("rf");
         let op = ctx.uf("imem_op", vec![pc]);
@@ -111,14 +124,19 @@ impl Processor for MiniSpec {
 fn main() {
     let verifier = Verifier::new(TranslationOptions::default());
     for (label, forwarding_checks_valid) in [("correct", true), ("buggy forwarding", false)] {
-        let implementation = MiniPipe { forwarding_checks_valid };
+        let implementation = MiniPipe {
+            forwarding_checks_valid,
+        };
         let mut solver = CdclSolver::chaff();
         let verdict = verifier.verify(&implementation, &MiniSpec, &mut solver);
         println!(
             "{label:<18} -> {}",
             match &verdict {
                 Verdict::Correct => "verified correct".to_owned(),
-                Verdict::Buggy(cex) => format!("bug found ({} primary variables in the counterexample)", cex.len()),
+                Verdict::Buggy(cex) => format!(
+                    "bug found ({} primary variables in the counterexample)",
+                    cex.len()
+                ),
                 Verdict::Unknown(reason) => format!("unknown: {reason}"),
             }
         );

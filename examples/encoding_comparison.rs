@@ -12,9 +12,18 @@ fn main() {
     let spec = OooSpecification::new();
 
     for (name, options) in [
-        ("eij encoding + positive equality", TranslationOptions::default()),
-        ("small-domain encoding", TranslationOptions::default().with_small_domain()),
-        ("eij, positive equality disabled", TranslationOptions::default().without_positive_equality()),
+        (
+            "eij encoding + positive equality",
+            TranslationOptions::default(),
+        ),
+        (
+            "small-domain encoding",
+            TranslationOptions::default().with_small_domain(),
+        ),
+        (
+            "eij, positive equality disabled",
+            TranslationOptions::default().without_positive_equality(),
+        ),
     ] {
         let verifier = Verifier::new(options);
         let start = Instant::now();

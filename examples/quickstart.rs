@@ -16,15 +16,27 @@ fn main() {
     let translation = verifier.translate(&implementation, &spec);
     println!(
         "1xDLX-C correctness formula: {} primary Boolean variables, {} CNF variables, {} clauses",
-        translation.stats.primary_bool_vars, translation.stats.cnf_vars, translation.stats.cnf_clauses
+        translation.stats.primary_bool_vars,
+        translation.stats.cnf_vars,
+        translation.stats.cnf_clauses
     );
     let mut solver = CdclSolver::chaff();
     let verdict = verifier.check(&translation, &mut solver, Budget::unlimited());
-    println!("verdict: {}", if verdict.is_correct() { "correct" } else { "NOT correct" });
+    println!(
+        "verdict: {}",
+        if verdict.is_correct() {
+            "correct"
+        } else {
+            "NOT correct"
+        }
+    );
 
     // 2. Inject a classic bug — the load interlock forgets to check the second
     //    source operand — and the SAT solver produces a counterexample.
-    let bug = DlxBug::LoadInterlockIgnoresOperand { operand: 1, slot: 0 };
+    let bug = DlxBug::LoadInterlockIgnoresOperand {
+        operand: 1,
+        slot: 0,
+    };
     let buggy = Dlx::buggy(config, bug);
     let mut solver = CdclSolver::chaff();
     let verdict = verifier.verify(&buggy, &spec, &mut solver);

@@ -37,16 +37,22 @@ pub use velv_sat;
 pub mod prelude {
     pub use velv_bdd::BddManager;
     pub use velv_core::{
-        GEncoding, Translation, TranslationOptions, TranslationStats, Verdict, Verifier,
+        Backend, BackendRun, GEncoding, PortfolioOutcome, Translation, TranslationOptions,
+        TranslationStats, Verdict, Verifier,
     };
     pub use velv_eufm::Context;
     pub use velv_hdl::{Processor, StateElement, SymbolicState};
-    pub use velv_models::dlx::{bug_catalog as dlx_bug_catalog, Dlx, DlxBug, DlxConfig, DlxSpecification};
+    pub use velv_models::dlx::{
+        bug_catalog as dlx_bug_catalog, Dlx, DlxBug, DlxConfig, DlxSpecification,
+    };
     pub use velv_models::ooo::{Ooo, OooSpecification};
-    pub use velv_models::vliw::{bug_catalog as vliw_bug_catalog, Vliw, VliwBug, VliwConfig, VliwSpecification};
+    pub use velv_models::vliw::{
+        bug_catalog as vliw_bug_catalog, Vliw, VliwBug, VliwConfig, VliwSpecification,
+    };
     pub use velv_sat::cdcl::CdclSolver;
     pub use velv_sat::dpll::DpllSolver;
     pub use velv_sat::local_search::{DlmSolver, WalkSatSolver};
+    pub use velv_sat::portfolio::{PortfolioReport, PortfolioSolver};
     pub use velv_sat::presets::SolverKind;
-    pub use velv_sat::{Budget, SatResult, Solver};
+    pub use velv_sat::{Budget, CancelToken, SatResult, Solver};
 }

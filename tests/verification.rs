@@ -24,7 +24,10 @@ fn dlx1_buggy_designs_are_detected() {
         let implementation = Dlx::buggy(config, bug);
         let mut solver = CdclSolver::chaff();
         let verdict = verifier.verify(&implementation, &spec, &mut solver);
-        assert!(verdict.is_buggy(), "bug {bug:?} must be detected, got {verdict:?}");
+        assert!(
+            verdict.is_buggy(),
+            "bug {bug:?} must be detected, got {verdict:?}"
+        );
     }
 }
 
@@ -36,7 +39,10 @@ fn dlx2_full_correct_design_verifies() {
     let spec = DlxSpecification::new(config);
     let mut solver = CdclSolver::chaff();
     let verdict = verifier.verify(&implementation, &spec, &mut solver);
-    assert!(verdict.is_correct(), "2xDLX-CC-MC-EX-BP must verify: {verdict:?}");
+    assert!(
+        verdict.is_correct(),
+        "2xDLX-CC-MC-EX-BP must verify: {verdict:?}"
+    );
 }
 
 #[test]
@@ -48,7 +54,10 @@ fn dlx2_full_buggy_designs_are_detected() {
         let implementation = Dlx::buggy(config, bug);
         let mut solver = CdclSolver::chaff();
         let verdict = verifier.verify(&implementation, &spec, &mut solver);
-        assert!(verdict.is_buggy(), "bug {bug:?} must be detected, got {verdict:?}");
+        assert!(
+            verdict.is_buggy(),
+            "bug {bug:?} must be detected, got {verdict:?}"
+        );
     }
 }
 
@@ -72,7 +81,10 @@ fn vliw_buggy_designs_are_detected() {
         let implementation = Vliw::buggy(config, bug);
         let mut solver = CdclSolver::chaff();
         let verdict = verifier.verify(&implementation, &spec, &mut solver);
-        assert!(verdict.is_buggy(), "bug {bug:?} must be detected, got {verdict:?}");
+        assert!(
+            verdict.is_buggy(),
+            "bug {bug:?} must be detected, got {verdict:?}"
+        );
     }
 }
 
@@ -84,7 +96,10 @@ fn ooo_requires_and_gets_transitivity() {
     for width in [2, 3] {
         let implementation = Ooo::new(width);
         let spec = OooSpecification::new();
-        for options in [TranslationOptions::default(), TranslationOptions::default().with_small_domain()] {
+        for options in [
+            TranslationOptions::default(),
+            TranslationOptions::default().with_small_domain(),
+        ] {
             let verifier = Verifier::new(options);
             let mut solver = CdclSolver::chaff();
             let verdict = verifier.verify(&implementation, &spec, &mut solver);
@@ -100,7 +115,9 @@ fn dlx1_verifies_with_berkmin_and_decomposition() {
     let implementation = Dlx::correct(config);
     let spec = DlxSpecification::new(config);
     let mut solver = CdclSolver::berkmin();
-    assert!(verifier.verify(&implementation, &spec, &mut solver).is_correct());
+    assert!(verifier
+        .verify(&implementation, &spec, &mut solver)
+        .is_correct());
     let (overall, obligations) = verifier.verify_decomposed(
         &implementation,
         &spec,
@@ -110,4 +127,94 @@ fn dlx1_verifies_with_berkmin_and_decomposition() {
     );
     assert!(overall.is_correct(), "decomposed verification: {overall:?}");
     assert!(!obligations.is_empty());
+}
+
+#[test]
+fn portfolio_matches_sequential_backend_on_the_full_dlx_bug_catalog() {
+    // The acceptance bar for the racing back end: on every entry of the DLX
+    // bug catalog (and on the correct design), the portfolio — CDCL presets
+    // racing the BDD build — must reach exactly the verdict the sequential
+    // SAT back end reaches, and must name a winner.
+    let config = DlxConfig::single_issue();
+    let verifier = Verifier::new(TranslationOptions::default());
+    let spec = DlxSpecification::new(config);
+    let members = [
+        Backend::Sat(SolverKind::Chaff),
+        Backend::Sat(SolverKind::BerkMin),
+        Backend::Bdd {
+            node_limit: 400_000,
+        },
+    ];
+
+    let mut designs: Vec<(String, Dlx)> = vec![("correct".to_owned(), Dlx::correct(config))];
+    for bug in velv_models::dlx::bug_catalog(config) {
+        designs.push((format!("{bug:?}"), Dlx::buggy(config, bug)));
+    }
+
+    for (name, implementation) in &designs {
+        // Translate once so the race and the sequential check see the same CNF.
+        let translation = verifier.translate(implementation, &spec);
+        let mut sequential = CdclSolver::chaff();
+        let expected = verifier.check(&translation, &mut sequential, Budget::unlimited());
+        let outcome = verifier.check_portfolio(&translation, &members, Budget::unlimited());
+        assert_eq!(
+            expected.is_correct(),
+            outcome.verdict.is_correct(),
+            "{name}: sequential {expected:?} vs portfolio {:?}",
+            outcome.verdict
+        );
+        assert_eq!(
+            expected.is_buggy(),
+            outcome.verdict.is_buggy(),
+            "{name}: sequential {expected:?} vs portfolio {:?}",
+            outcome.verdict
+        );
+        let winner = outcome
+            .winner
+            .as_deref()
+            .unwrap_or_else(|| panic!("{name}: a complete engine must decide the obligation"));
+        assert!(
+            outcome.runs.iter().any(|r| r.winner && r.name == winner),
+            "{name}: winner {winner} must appear in the runs"
+        );
+    }
+}
+
+#[test]
+fn verify_with_backend_covers_all_backend_shapes() {
+    // On 1xDLX-C the SAT back end proves correctness, the stand-alone BDD
+    // back end memory-outs under its node limit (the paper's Table-1 result
+    // for the decision diagrams), and the portfolio still wins because a
+    // CDCL member decides while the BDD build is cancelled or limited.
+    let config = DlxConfig::single_issue();
+    let verifier = Verifier::new(TranslationOptions::default());
+    let spec = DlxSpecification::new(config);
+    let implementation = Dlx::correct(config);
+    let translation = verifier.translate(&implementation, &spec);
+
+    let sat = verifier.check_with_backend(
+        &translation,
+        &Backend::Sat(SolverKind::Chaff),
+        Budget::unlimited(),
+    );
+    assert!(sat.is_correct(), "{sat:?}");
+
+    let bdd = verifier.check_with_backend(
+        &translation,
+        &Backend::Bdd {
+            node_limit: 200_000,
+        },
+        Budget::unlimited(),
+    );
+    assert!(
+        matches!(bdd, Verdict::Unknown(_)),
+        "the depth-first-ordered BDD must exceed 200k nodes on DLX1: {bdd:?}"
+    );
+
+    let portfolio = verifier.check_with_backend(
+        &translation,
+        &Backend::default_portfolio(),
+        Budget::unlimited(),
+    );
+    assert!(portfolio.is_correct(), "{portfolio:?}");
 }

@@ -1,0 +1,211 @@
+//! `satbench` — reproducible CDCL performance harness.
+//!
+//! Runs a fixed, fully seeded suite against the four CDCL presets and writes
+//! the measured throughput to `BENCH_cdcl.json`, seeding the repository's
+//! performance trajectory: every engine change can be compared against the
+//! committed numbers of the previous one.
+//!
+//! The suite covers the three formula classes the engine sees in practice:
+//!
+//! * **pigeonhole** PHP(n+1, n) — dense, UNSAT, resolution-hard; exercises
+//!   conflict analysis and clause learning.
+//! * **random 3-SAT** at the phase transition (m/n ≈ 4.26, seeded) —
+//!   exercises propagation, restarts and the decision heuristic.
+//! * **DLX correctness formulas** from `velv_core` — the paper's actual
+//!   workload (Table 1/2 class): buggy designs (SAT) and the correct design
+//!   (UNSAT) of the single- and dual-issue DLX.
+//!
+//! Usage: `satbench [--smoke] [--out PATH]`.  `--smoke` shrinks every
+//! instance so the whole run takes well under a second — CI uses it to keep
+//! the harness from rotting without paying for a real measurement.
+
+use std::time::{Duration, Instant};
+use velv_core::{TranslationOptions, Verifier};
+use velv_models::dlx::{bug_catalog, Dlx, DlxConfig, DlxSpecification};
+use velv_sat::cdcl::CdclSolver;
+use velv_sat::generators::{pigeonhole, random_3sat};
+use velv_sat::{Budget, CnfFormula, SatResult, Solver};
+
+/// One named benchmark instance.
+struct Instance {
+    name: String,
+    cnf: CnfFormula,
+}
+
+/// Measured outcome of one (preset, instance) run.
+struct Measurement {
+    preset: &'static str,
+    instance: String,
+    result: &'static str,
+    time_s: f64,
+    conflicts: u64,
+    propagations: u64,
+    decisions: u64,
+    conflicts_per_sec: f64,
+    propagations_per_sec: f64,
+}
+
+/// Seeded random 3-SAT at clause/variable ratio 4.26 (the phase transition).
+fn phase_transition_3sat(num_vars: usize, seed: u64) -> CnfFormula {
+    let num_clauses = (num_vars as f64 * 4.26).round() as usize;
+    random_3sat(num_vars, num_clauses, seed)
+}
+
+fn suite(smoke: bool) -> Vec<Instance> {
+    let mut instances = Vec::new();
+    let holes: &[usize] = if smoke { &[4] } else { &[6, 7] };
+    for &h in holes {
+        instances.push(Instance {
+            name: format!("php-{}-{}", h + 1, h),
+            cnf: pigeonhole(h),
+        });
+    }
+    let (n, seeds): (usize, &[u64]) = if smoke { (25, &[1]) } else { (125, &[1, 2, 3]) };
+    for &seed in seeds {
+        instances.push(Instance {
+            name: format!("r3sat-n{n}-s{seed}"),
+            cnf: phase_transition_3sat(n, seed),
+        });
+    }
+    // DLX correctness formulas (the paper's workload).
+    let verifier = Verifier::new(TranslationOptions::default());
+    if smoke {
+        let config = DlxConfig::single_issue();
+        let spec = DlxSpecification::new(config);
+        let translation = verifier.translate(&Dlx::correct(config), &spec);
+        instances.push(Instance {
+            name: "dlx1-correct".to_owned(),
+            cnf: translation.cnf,
+        });
+    } else {
+        for config in [DlxConfig::single_issue(), DlxConfig::dual_issue_full()] {
+            let spec = DlxSpecification::new(config);
+            let translation = verifier.translate(&Dlx::correct(config), &spec);
+            instances.push(Instance {
+                name: format!("{}-correct", config.name()),
+                cnf: translation.cnf,
+            });
+            for bug in bug_catalog(config).into_iter().take(2) {
+                let translation = verifier.translate(&Dlx::buggy(config, bug), &spec);
+                instances.push(Instance {
+                    name: format!("{}-{bug:?}", config.name()),
+                    cnf: translation.cnf,
+                });
+            }
+        }
+    }
+    instances
+}
+
+fn run(instances: &[Instance], smoke: bool) -> Vec<Measurement> {
+    let budget = if smoke {
+        Budget::step_limit(20_000)
+    } else {
+        Budget {
+            max_conflicts: Some(2_000_000),
+            max_time: Some(Duration::from_secs(60)),
+            ..Budget::default()
+        }
+    };
+    type Preset = (&'static str, fn() -> CdclSolver);
+    let presets: [Preset; 4] = [
+        ("chaff", CdclSolver::chaff),
+        ("berkmin", CdclSolver::berkmin),
+        ("grasp", CdclSolver::grasp),
+        ("sato", CdclSolver::sato),
+    ];
+    let mut measurements = Vec::new();
+    for instance in instances {
+        for (name, build) in presets {
+            let mut solver = build();
+            let start = Instant::now();
+            let result = solver.solve_with_budget(&instance.cnf, budget.clone());
+            let time = start.elapsed().as_secs_f64();
+            let stats = solver.stats();
+            let result = match result {
+                SatResult::Sat(_) => "sat",
+                SatResult::Unsat => "unsat",
+                SatResult::Unknown(_) => "unknown",
+            };
+            measurements.push(Measurement {
+                preset: name,
+                instance: instance.name.clone(),
+                result,
+                time_s: time,
+                conflicts: stats.conflicts,
+                propagations: stats.propagations,
+                decisions: stats.decisions,
+                conflicts_per_sec: stats.conflicts as f64 / time.max(1e-9),
+                propagations_per_sec: stats.propagations as f64 / time.max(1e-9),
+            });
+        }
+    }
+    measurements
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(path: &str, measurements: &[Measurement], smoke: bool) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"harness\": \"satbench\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str("  \"runs\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"preset\": \"{}\", \"instance\": \"{}\", \"result\": \"{}\", \
+             \"time_s\": {:.6}, \"conflicts\": {}, \"propagations\": {}, \
+             \"decisions\": {}, \"conflicts_per_sec\": {:.1}, \"propagations_per_sec\": {:.1}}}{}\n",
+            json_escape(m.preset),
+            json_escape(&m.instance),
+            m.result,
+            m.time_s,
+            m.conflicts,
+            m.propagations,
+            m.decisions,
+            m.conflicts_per_sec,
+            m.propagations_per_sec,
+            if i + 1 < measurements.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_cdcl.json".to_owned());
+
+    let instances = suite(smoke);
+    println!(
+        "satbench: {} instances x 4 presets{}",
+        instances.len(),
+        if smoke { " (smoke)" } else { "" }
+    );
+    let measurements = run(&instances, smoke);
+    println!(
+        "{:<28} {:<8} {:>8} {:>10} {:>12} {:>14}",
+        "instance", "preset", "result", "time (s)", "confl/s", "props/s"
+    );
+    for m in &measurements {
+        println!(
+            "{:<28} {:<8} {:>8} {:>10.3} {:>12.0} {:>14.0}",
+            m.instance, m.preset, m.result, m.time_s, m.conflicts_per_sec, m.propagations_per_sec
+        );
+    }
+    match write_json(&out_path, &measurements, smoke) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

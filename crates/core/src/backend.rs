@@ -16,13 +16,12 @@ use crate::counterexample::Counterexample;
 use crate::flow::{Translation, Verdict};
 use std::collections::HashMap;
 use std::sync::atomic::AtomicBool;
-use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use velv_bdd::{Bdd, BddHalt, BddManager};
 use velv_eufm::{Context, Formula, FormulaId, Symbol};
 use velv_sat::presets::SolverKind;
-use velv_sat::{Budget, CancelToken, SatResult, SolverStats};
+use velv_sat::{race, Budget, SatResult, SolverStats};
 
 /// Outcome of a BDD-based validity check.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -298,10 +297,6 @@ pub struct PortfolioOutcome {
 /// default thread stack (the translation pipeline uses the same bound).
 const RACE_STACK_SIZE: usize = 256 * 1024 * 1024;
 
-/// How long the collector waits on the result channel before re-checking the
-/// caller's own budget.
-const RACE_POLL: Duration = Duration::from_millis(5);
-
 pub(crate) fn sat_verdict(translation: &Translation, result: SatResult) -> Verdict {
     match result {
         SatResult::Unsat => Verdict::Correct,
@@ -367,13 +362,15 @@ fn undecided_reason(runs: &[BackendRun]) -> String {
 /// a whole: its step limits and deadline are inherited by the SAT members and
 /// an outer cancellation is forwarded into the race.
 ///
-/// This collector intentionally does not delegate to
-/// [`velv_sat::portfolio::PortfolioSolver`]: that race is over `SatResult`s
+/// This collector shares the generic [`velv_sat::race`] helper with
+/// [`velv_sat::portfolio::PortfolioSolver`] but intentionally does not
+/// delegate to the portfolio solver itself: that race is over `SatResult`s
 /// on one CNF, while this one is over [`Verdict`]s — the BDD member works on
 /// the *encoded formula*, and its falsifying assignments name primary
 /// variables that have no faithful image as a CNF model (the CNF carries
 /// Tseitin auxiliaries a BDD run never assigns).  Squeezing the BDD build
-/// behind the `Solver` trait would forfeit the counterexample.
+/// behind the `Solver` trait would forfeit the counterexample; with the
+/// generic helper it just returns its verdict directly.
 pub fn race_backends(
     translation: &Translation,
     members: &[Backend],
@@ -388,106 +385,68 @@ pub fn race_backends(
             wall_time: Duration::ZERO,
         };
     }
-    let race_start = Instant::now();
-    let parent = budget.started();
-    let token = CancelToken::new();
-    let member_budget = Budget {
-        max_conflicts: parent.max_conflicts,
-        max_decisions: parent.max_decisions,
-        max_time: None,
-        deadline: parent.deadline,
-        cancel: Some(token.clone()),
-    };
-
-    let n = leaves.len();
-    let mut reports: Vec<Option<BackendRun>> = (0..n).map(|_| None).collect();
-    let mut winner: Option<usize> = None;
-    let mut parent_stop: Option<String> = None;
-
-    std::thread::scope(|scope| {
-        let (tx, rx) = mpsc::channel();
-        for (index, leaf) in leaves.iter().enumerate() {
-            let tx = tx.clone();
-            let member_budget = member_budget.clone();
-            let token = token.clone();
-            std::thread::Builder::new()
-                .name(format!("velv-race-{}", leaf.label()))
-                .stack_size(RACE_STACK_SIZE)
-                .spawn_scoped(scope, move || {
-                    let start = Instant::now();
-                    let (verdict, stats) = match leaf {
-                        Backend::Sat(kind) => {
-                            let mut solver = kind.build();
-                            let result = solver.solve_with_budget(&translation.cnf, member_budget);
-                            (sat_verdict(translation, result), Some(solver.stats()))
-                        }
-                        Backend::Bdd { node_limit } => {
-                            let outcome = check_validity_with_bdds_cancellable(
-                                &translation.ctx,
-                                translation.encoded,
-                                translation.side_constraints,
-                                *node_limit,
-                                Some(token.flag()),
-                            );
-                            (bdd_verdict(translation, outcome), None)
-                        }
-                        Backend::Portfolio(_) => unreachable!("portfolios are flattened"),
-                    };
-                    let _ = tx.send((index, verdict, stats, start.elapsed()));
-                })
-                .expect("spawning a race member thread succeeds");
-        }
-        drop(tx);
-
-        let mut received = 0;
-        while received < n {
-            match rx.recv_timeout(RACE_POLL) {
-                Ok((index, verdict, stats, time)) => {
-                    received += 1;
-                    if winner.is_none() && is_decided(&verdict) {
-                        winner = Some(index);
-                        token.cancel();
-                    }
-                    reports[index] = Some(BackendRun {
-                        name: leaves[index].label(),
-                        verdict,
-                        stats,
-                        time,
-                        winner: false,
-                    });
-                }
-                Err(RecvTimeoutError::Timeout) => {
-                    if parent_stop.is_none() {
-                        if let Some(reason) = parent.exceeded() {
-                            parent_stop = Some(format!("{reason:?}"));
-                            token.cancel();
-                        }
-                    }
-                }
-                Err(RecvTimeoutError::Disconnected) => break,
+    let thread_names: Vec<String> = leaves
+        .iter()
+        .map(|leaf| format!("velv-race-{}", leaf.label()))
+        .collect();
+    let outcome = race(
+        &thread_names,
+        budget,
+        RACE_STACK_SIZE,
+        |index, member_budget| match &leaves[index] {
+            Backend::Sat(kind) => {
+                let mut solver = kind.build();
+                let result = solver.solve_with_budget(&translation.cnf, member_budget);
+                (sat_verdict(translation, result), Some(solver.stats()))
             }
-        }
-    });
+            Backend::Bdd { node_limit } => {
+                let flag = member_budget
+                    .cancel
+                    .as_ref()
+                    .expect("race members carry the shared cancel token")
+                    .flag();
+                let bdd_outcome = check_validity_with_bdds_cancellable(
+                    &translation.ctx,
+                    translation.encoded,
+                    translation.side_constraints,
+                    *node_limit,
+                    Some(flag),
+                );
+                (bdd_verdict(translation, bdd_outcome), None)
+            }
+            Backend::Portfolio(_) => unreachable!("portfolios are flattened"),
+        },
+        |(verdict, _)| is_decided(verdict),
+    );
 
-    if let Some(index) = winner {
-        if let Some(run) = reports[index].as_mut() {
-            run.winner = true;
-        }
-    }
-    let runs: Vec<BackendRun> = reports.into_iter().flatten().collect();
-    let verdict = match winner {
-        Some(index) => runs
-            .iter()
-            .find(|r| r.winner)
-            .map(|r| r.verdict.clone())
-            .unwrap_or_else(|| Verdict::Unknown(format!("winner {index} vanished"))),
-        None => Verdict::Unknown(parent_stop.unwrap_or_else(|| undecided_reason(&runs))),
+    let runs: Vec<BackendRun> = outcome
+        .runs
+        .into_iter()
+        .enumerate()
+        .filter_map(|(index, run)| {
+            run.map(|run| BackendRun {
+                name: leaves[index].label(),
+                verdict: run.value.0,
+                stats: run.value.1,
+                time: run.time,
+                winner: run.winner,
+            })
+        })
+        .collect();
+    let verdict = match runs.iter().find(|r| r.winner) {
+        Some(winner) => winner.verdict.clone(),
+        None => Verdict::Unknown(
+            outcome
+                .parent_stop
+                .map(|reason| format!("{reason:?}"))
+                .unwrap_or_else(|| undecided_reason(&runs)),
+        ),
     };
     PortfolioOutcome {
         verdict,
-        winner: winner.and_then(|i| runs.iter().find(|r| r.winner).map(|_| leaves[i].label())),
+        winner: outcome.winner.map(|index| leaves[index].label()),
         runs,
-        wall_time: race_start.elapsed(),
+        wall_time: outcome.wall_time,
     }
 }
 

@@ -14,6 +14,34 @@
 //!
 //! The parameter-variation runs of Table 2 are produced with
 //! [`CdclSolver::chaff_with`] and a modified [`CdclConfig`].
+//!
+//! # Engine internals
+//!
+//! The engine follows the MiniSat data layout, chosen so that the hot loops
+//! (propagation and conflict analysis) touch contiguous memory and never
+//! allocate:
+//!
+//! * **Flat clause arena** — all clauses live in one `Vec<u32>`; a clause is a
+//!   two-word header (length + flags, packed activity) followed by its literal
+//!   codes, addressed by a [`ClauseRef`] word offset.  Deletion marks the
+//!   header and counts the waste; when enough of the arena is dead, a copying
+//!   garbage collection compacts it and rewrites every watcher, reason and
+//!   learned-clause reference.
+//! * **Blocker-literal watch lists** — each watcher caches a *blocker*
+//!   literal from the clause; if the blocker is already true the clause is
+//!   skipped without touching the arena at all.  Watcher lists are filtered
+//!   in place with a single read/write pass (no temporary lists, no
+//!   re-merging).
+//! * **Indexed activity heap** — VSIDS decisions come from a binary max-heap
+//!   that tracks each variable's position, so an activity bump is a sift-up
+//!   of that one entry instead of pushing a stale duplicate, and unassigned
+//!   variables re-enter the heap exactly once on backtracking.
+//! * **Allocation-free first-UIP analysis** — conflict resolution iterates
+//!   arena clauses directly and accumulates the learned clause in a reusable
+//!   buffer; nothing is cloned on the conflict path.
+//! * **O(1) locked-clause checks** — a clause is locked exactly when it is
+//!   the recorded reason of its first literal, so clause-database reduction
+//!   asks the `reason` array instead of scanning the trail.
 
 use crate::cnf::{CnfFormula, Lit, Var};
 use crate::rng::SmallRng;
@@ -108,15 +136,6 @@ impl CdclConfig {
     }
 }
 
-/// A clause stored inside the engine.
-#[derive(Clone, Debug)]
-struct ClauseData {
-    lits: Vec<Lit>,
-    learnt: bool,
-    activity: f64,
-    deleted: bool,
-}
-
 /// The CDCL solver.
 #[derive(Debug)]
 pub struct CdclSolver {
@@ -187,70 +206,269 @@ impl Solver for CdclSolver {
     }
 }
 
-const UNDEF_CLAUSE: u32 = u32::MAX;
+/// Word offset of a clause header in the arena.
+type ClauseRef = u32;
+
+const UNDEF_CLAUSE: ClauseRef = u32::MAX;
+
+/// Header flag: the clause was learned (has a meaningful activity).
+const FLAG_LEARNT: u32 = 0b001;
+/// Header flag: the clause is dead; watchers drop it lazily, GC reclaims it.
+const FLAG_DELETED: u32 = 0b010;
+/// Header flag (GC only): the activity word holds the relocated reference.
+const FLAG_RELOCATED: u32 = 0b100;
+/// Words before the literals: `[len << 3 | flags, activity_bits]`.
+const HEADER_WORDS: usize = 2;
+
+/// All clauses in one flat `Vec<u32>`: a two-word header followed by the
+/// literal codes, addressed by word offset.
+#[derive(Debug, Default)]
+struct ClauseArena {
+    data: Vec<u32>,
+    /// Words occupied by deleted clauses; drives garbage collection.
+    wasted: usize,
+}
+
+impl ClauseArena {
+    fn with_capacity(words: usize) -> Self {
+        ClauseArena {
+            data: Vec::with_capacity(words),
+            wasted: 0,
+        }
+    }
+
+    fn alloc(&mut self, lits: &[Lit], learnt: bool) -> ClauseRef {
+        // ClauseRef is a u32 word offset: fail loudly rather than wrap once a
+        // run (e.g. grasp, which never deletes) outgrows the address space.
+        assert!(
+            self.data.len() + HEADER_WORDS + lits.len() < UNDEF_CLAUSE as usize,
+            "clause arena exceeds the u32 address space"
+        );
+        let cref = self.data.len() as ClauseRef;
+        let flags = if learnt { FLAG_LEARNT } else { 0 };
+        self.data.push((lits.len() as u32) << 3 | flags);
+        self.data.push(0f32.to_bits());
+        self.data.extend(lits.iter().map(|l| l.index() as u32));
+        cref
+    }
+
+    #[inline]
+    fn len(&self, c: ClauseRef) -> usize {
+        (self.data[c as usize] >> 3) as usize
+    }
+
+    #[inline]
+    fn is_learnt(&self, c: ClauseRef) -> bool {
+        self.data[c as usize] & FLAG_LEARNT != 0
+    }
+
+    #[inline]
+    fn is_deleted(&self, c: ClauseRef) -> bool {
+        self.data[c as usize] & FLAG_DELETED != 0
+    }
+
+    fn delete(&mut self, c: ClauseRef) {
+        debug_assert!(!self.is_deleted(c));
+        let words = HEADER_WORDS + self.len(c);
+        self.data[c as usize] |= FLAG_DELETED;
+        self.wasted += words;
+    }
+
+    #[inline]
+    fn lit(&self, c: ClauseRef, k: usize) -> Lit {
+        Lit::from_index(self.data[c as usize + HEADER_WORDS + k] as usize)
+    }
+
+    #[inline]
+    fn swap_lits(&mut self, c: ClauseRef, i: usize, j: usize) {
+        let base = c as usize + HEADER_WORDS;
+        self.data.swap(base + i, base + j);
+    }
+
+    #[inline]
+    fn activity(&self, c: ClauseRef) -> f32 {
+        f32::from_bits(self.data[c as usize + 1])
+    }
+
+    #[inline]
+    fn set_activity(&mut self, c: ClauseRef, activity: f32) {
+        self.data[c as usize + 1] = activity.to_bits();
+    }
+
+    /// Moves the clause into `to` (once; later calls return the forward
+    /// reference stashed in the old header).
+    fn reloc(&mut self, c: ClauseRef, to: &mut ClauseArena) -> ClauseRef {
+        if self.data[c as usize] & FLAG_RELOCATED != 0 {
+            return self.data[c as usize + 1];
+        }
+        debug_assert!(!self.is_deleted(c));
+        let words = HEADER_WORDS + self.len(c);
+        let nref = to.data.len() as ClauseRef;
+        to.data
+            .extend_from_slice(&self.data[c as usize..c as usize + words]);
+        self.data[c as usize] |= FLAG_RELOCATED;
+        self.data[c as usize + 1] = nref;
+        nref
+    }
+}
+
+/// One entry of a literal's watch list.  The blocker is some other literal of
+/// the clause: if it is already true the clause is satisfied and propagation
+/// skips it without loading the clause from the arena.
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    cref: ClauseRef,
+    blocker: Lit,
+}
+
+/// Binary max-heap over variable activities with position tracking, so bumps
+/// are a sift-up of one known entry (decrease-key) instead of a push of a
+/// stale duplicate.
+#[derive(Debug)]
+struct VarHeap {
+    heap: Vec<u32>,
+    /// `pos[v]` is the index of `v` in `heap`, or -1 when absent.
+    pos: Vec<i32>,
+}
+
+impl VarHeap {
+    fn new(num_vars: usize) -> Self {
+        VarHeap {
+            heap: Vec::with_capacity(num_vars),
+            pos: vec![-1; num_vars],
+        }
+    }
+
+    #[inline]
+    fn in_heap(&self, v: usize) -> bool {
+        self.pos[v] >= 0
+    }
+
+    fn insert(&mut self, v: usize, activity: &[f64]) {
+        if self.in_heap(v) {
+            return;
+        }
+        self.pos[v] = self.heap.len() as i32;
+        self.heap.push(v as u32);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Restores the heap order after `activity[v]` increased.
+    fn bumped(&mut self, v: usize, activity: &[f64]) {
+        if self.in_heap(v) {
+            self.sift_up(self.pos[v] as usize, activity);
+        }
+    }
+
+    fn pop_max(&mut self, activity: &[f64]) -> Option<usize> {
+        let top = *self.heap.first()? as usize;
+        let last = self.heap.pop().expect("heap is non-empty");
+        self.pos[top] = -1;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        let v = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            let p = self.heap[parent];
+            if activity[p as usize] >= activity[v as usize] {
+                break;
+            }
+            self.heap[i] = p;
+            self.pos[p as usize] = i as i32;
+            i = parent;
+        }
+        self.heap[i] = v;
+        self.pos[v as usize] = i as i32;
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        let v = self.heap[i];
+        let len = self.heap.len();
+        loop {
+            let mut child = 2 * i + 1;
+            if child >= len {
+                break;
+            }
+            if child + 1 < len
+                && activity[self.heap[child + 1] as usize] > activity[self.heap[child] as usize]
+            {
+                child += 1;
+            }
+            let c = self.heap[child];
+            if activity[v as usize] >= activity[c as usize] {
+                break;
+            }
+            self.heap[i] = c;
+            self.pos[c as usize] = i as i32;
+            i = child;
+        }
+        self.heap[i] = v;
+        self.pos[v as usize] = i as i32;
+    }
+}
+
+/// Per-variable assignment encoding: `vals[v] ^ sign_bit(lit)` is 0 when the
+/// literal is true, 1 when false and ≥ 2 when the variable is unassigned.
+const VAL_TRUE: u8 = 0;
+const VAL_FALSE: u8 = 1;
+const VAL_UNDEF: u8 = 2;
 
 struct Engine {
     config: CdclConfig,
     stats: SolverStats,
     num_vars: usize,
-    clauses: Vec<ClauseData>,
-    /// For each literal index, the clause indices watching that literal.
-    watches: Vec<Vec<u32>>,
-    assigns: Vec<Option<bool>>,
+    arena: ClauseArena,
+    /// For each literal index, the watchers of that literal.
+    watches: Vec<Vec<Watcher>>,
+    vals: Vec<u8>,
     level: Vec<u32>,
-    reason: Vec<u32>,
+    reason: Vec<ClauseRef>,
     trail: Vec<Lit>,
     trail_lim: Vec<usize>,
     qhead: usize,
     activity: Vec<f64>,
     var_inc: f64,
-    cla_inc: f64,
+    cla_inc: f32,
     phase: Vec<bool>,
-    /// Lazily maintained max-activity heap entries (activity, var).
-    heap: std::collections::BinaryHeap<HeapEntry>,
+    heap: VarHeap,
+    /// Whether the activity heap is maintained (presets with a static order
+    /// never consult it).
+    use_heap: bool,
     static_cursor: usize,
     rng: SmallRng,
     seen: Vec<bool>,
-    /// Learned clause indices, oldest first (for BerkMin decisions).
-    learnt_refs: Vec<u32>,
+    /// Reusable buffer for the clause under construction in `analyze`.
+    learnt_buf: Vec<Lit>,
+    /// Live learned clause references, oldest first (for BerkMin decisions).
+    learnt_refs: Vec<ClauseRef>,
+    /// Learned clauses over the SATO length bound, kept only while locked.
+    oversize: Vec<ClauseRef>,
+    /// Number of live (non-deleted) learned clauses.
+    num_learnts: usize,
     reduce_limit: usize,
     unsat: bool,
-}
-
-#[derive(PartialEq)]
-struct HeapEntry {
-    activity: f64,
-    var: u32,
-}
-
-impl Eq for HeapEntry {}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.activity
-            .partial_cmp(&other.activity)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(self.var.cmp(&other.var))
-    }
 }
 
 impl Engine {
     fn new(cnf: &CnfFormula, config: CdclConfig) -> Self {
         let num_vars = cnf.num_vars();
         let seed = config.seed;
+        let use_heap = !config.static_order;
+        let arena_words = cnf.num_literals() + HEADER_WORDS * cnf.num_clauses();
         let mut engine = Engine {
             config,
             stats: SolverStats::default(),
             num_vars,
-            clauses: Vec::with_capacity(cnf.num_clauses()),
+            arena: ClauseArena::with_capacity(arena_words),
             watches: vec![Vec::new(); 2 * num_vars],
-            assigns: vec![None; num_vars],
+            vals: vec![VAL_UNDEF; num_vars],
             level: vec![0; num_vars],
             reason: vec![UNDEF_CLAUSE; num_vars],
             trail: Vec::with_capacity(num_vars),
@@ -260,11 +478,15 @@ impl Engine {
             var_inc: 1.0,
             cla_inc: 1.0,
             phase: vec![false; num_vars],
-            heap: std::collections::BinaryHeap::with_capacity(num_vars),
+            heap: VarHeap::new(num_vars),
+            use_heap,
             static_cursor: 0,
             rng: SmallRng::seed_from_u64(seed),
             seen: vec![false; num_vars],
+            learnt_buf: Vec::new(),
             learnt_refs: Vec::new(),
+            oversize: Vec::new(),
+            num_learnts: 0,
             reduce_limit: (cnf.num_clauses() / 3).max(4000),
             unsat: false,
         };
@@ -274,14 +496,13 @@ impl Engine {
                 engine.activity[lit.var().index()] += 1e-6;
             }
         }
-        for v in 0..num_vars {
-            engine.heap.push(HeapEntry {
-                activity: engine.activity[v],
-                var: v as u32,
-            });
+        if use_heap {
+            for v in 0..num_vars {
+                engine.heap.insert(v, &engine.activity);
+            }
         }
         for clause in cnf.clauses() {
-            engine.add_initial_clause(clause.clone());
+            engine.add_initial_clause(clause);
             if engine.unsat {
                 break;
             }
@@ -289,47 +510,50 @@ impl Engine {
         engine
     }
 
-    fn add_initial_clause(&mut self, lits: Vec<Lit>) {
+    fn add_initial_clause(&mut self, lits: &[Lit]) {
         match lits.len() {
             0 => self.unsat = true,
             1 => {
                 let lit = lits[0];
-                match self.lit_value(lit) {
-                    Some(true) => {}
-                    Some(false) => self.unsat = true,
-                    None => self.enqueue(lit, UNDEF_CLAUSE),
+                match self.value_lit(lit) {
+                    VAL_TRUE => {}
+                    VAL_FALSE => self.unsat = true,
+                    _ => self.enqueue(lit, UNDEF_CLAUSE),
                 }
             }
             _ => {
-                let idx = self.clauses.len() as u32;
-                self.watch(lits[0], idx);
-                self.watch(lits[1], idx);
-                self.clauses.push(ClauseData {
-                    lits,
-                    learnt: false,
-                    activity: 0.0,
-                    deleted: false,
-                });
+                let cref = self.arena.alloc(lits, false);
+                self.watch(lits[0], cref, lits[1]);
+                self.watch(lits[1], cref, lits[0]);
             }
         }
     }
 
-    fn watch(&mut self, lit: Lit, clause: u32) {
-        self.watches[lit.index()].push(clause);
+    #[inline]
+    fn watch(&mut self, lit: Lit, cref: ClauseRef, blocker: Lit) {
+        self.watches[lit.index()].push(Watcher { cref, blocker });
     }
 
-    fn lit_value(&self, lit: Lit) -> Option<bool> {
-        self.assigns[lit.var().index()].map(|v| v == lit.is_positive())
+    /// `VAL_TRUE` / `VAL_FALSE`, or ≥ 2 when the variable is unassigned.
+    #[inline]
+    fn value_lit(&self, lit: Lit) -> u8 {
+        self.vals[lit.var().index()] ^ (lit.index() as u8 & 1)
     }
 
+    #[inline]
+    fn is_unassigned(&self, v: usize) -> bool {
+        self.vals[v] >= VAL_UNDEF
+    }
+
+    #[inline]
     fn decision_level(&self) -> u32 {
         self.trail_lim.len() as u32
     }
 
-    fn enqueue(&mut self, lit: Lit, reason: u32) {
-        debug_assert!(self.lit_value(lit).is_none());
+    fn enqueue(&mut self, lit: Lit, reason: ClauseRef) {
         let var = lit.var().index();
-        self.assigns[var] = Some(lit.is_positive());
+        debug_assert!(self.is_unassigned(var));
+        self.vals[var] = lit.index() as u8 & 1;
         self.level[var] = self.decision_level();
         self.reason[var] = reason;
         if self.config.phase_saving {
@@ -339,64 +563,76 @@ impl Engine {
         self.stats.propagations += 1;
     }
 
-    /// Boolean constraint propagation; returns a conflicting clause index if any.
-    fn propagate(&mut self) -> Option<u32> {
+    /// Boolean constraint propagation; returns a conflicting clause if any.
+    ///
+    /// Each literal's watcher list is filtered in place with one read/write
+    /// pass: kept watchers are compacted towards the front, moved and dead
+    /// ones are dropped, and the list is truncated once at the end.
+    fn propagate(&mut self) -> Option<ClauseRef> {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             let false_lit = !p;
-            let mut watchers = std::mem::take(&mut self.watches[false_lit.index()]);
+            let widx = false_lit.index();
             let mut i = 0;
+            let mut j = 0;
             let mut conflict = None;
-            while i < watchers.len() {
-                let cref = watchers[i];
-                if self.clauses[cref as usize].deleted {
-                    watchers.swap_remove(i);
+            'watchers: while i < self.watches[widx].len() {
+                let w = self.watches[widx][i];
+                i += 1;
+                // Blocker check: clause already satisfied, arena untouched.
+                if self.value_lit(w.blocker) == VAL_TRUE {
+                    self.watches[widx][j] = w;
+                    j += 1;
                     continue;
                 }
-                // Make sure the false literal is at position 1.
-                {
-                    let clause = &mut self.clauses[cref as usize];
-                    if clause.lits[0] == false_lit {
-                        clause.lits.swap(0, 1);
-                    }
+                let cref = w.cref;
+                if self.arena.is_deleted(cref) {
+                    continue; // dropped lazily
                 }
-                let first = self.clauses[cref as usize].lits[0];
-                if self.lit_value(first) == Some(true) {
-                    i += 1;
+                // Make sure the false literal is at position 1.
+                if self.arena.lit(cref, 0) == false_lit {
+                    self.arena.swap_lits(cref, 0, 1);
+                }
+                let first = self.arena.lit(cref, 0);
+                if first != w.blocker && self.value_lit(first) == VAL_TRUE {
+                    self.watches[widx][j] = Watcher {
+                        cref,
+                        blocker: first,
+                    };
+                    j += 1;
                     continue;
                 }
                 // Look for a replacement watch.
-                let mut replaced = false;
-                let len = self.clauses[cref as usize].lits.len();
+                let len = self.arena.len(cref);
                 for k in 2..len {
-                    let candidate = self.clauses[cref as usize].lits[k];
-                    if self.lit_value(candidate) != Some(false) {
-                        self.clauses[cref as usize].lits.swap(1, k);
-                        self.watches[candidate.index()].push(cref);
-                        watchers.swap_remove(i);
-                        replaced = true;
-                        break;
+                    let candidate = self.arena.lit(cref, k);
+                    if self.value_lit(candidate) != VAL_FALSE {
+                        self.arena.swap_lits(cref, 1, k);
+                        self.watch(candidate, cref, first);
+                        continue 'watchers; // watcher moved, not kept
                     }
                 }
-                if replaced {
-                    continue;
-                }
                 // Clause is unit or conflicting.
-                if self.lit_value(first) == Some(false) {
+                self.watches[widx][j] = Watcher {
+                    cref,
+                    blocker: first,
+                };
+                j += 1;
+                if self.value_lit(first) == VAL_FALSE {
+                    // Conflict: keep the remaining watchers and stop.
+                    while i < self.watches[widx].len() {
+                        let w = self.watches[widx][i];
+                        self.watches[widx][j] = w;
+                        i += 1;
+                        j += 1;
+                    }
                     conflict = Some(cref);
                     break;
                 }
                 self.enqueue(first, cref);
-                i += 1;
             }
-            self.watches[false_lit.index()].extend(watchers.drain(i..));
-            // Put back the watchers we kept.
-            let kept = watchers;
-            let existing = std::mem::take(&mut self.watches[false_lit.index()]);
-            let mut merged = kept;
-            merged.extend(existing);
-            self.watches[false_lit.index()] = merged;
+            self.watches[widx].truncate(j);
             if let Some(c) = conflict {
                 self.qhead = self.trail.len();
                 return Some(c);
@@ -408,42 +644,49 @@ impl Engine {
     fn bump_var(&mut self, var: usize) {
         self.activity[var] += self.var_inc;
         if self.activity[var] > 1e100 {
+            // Uniform rescale preserves the heap order.
             for a in &mut self.activity {
                 *a *= 1e-100;
             }
             self.var_inc *= 1e-100;
         }
-        self.heap.push(HeapEntry {
-            activity: self.activity[var],
-            var: var as u32,
-        });
+        if self.use_heap {
+            self.heap.bumped(var, &self.activity);
+        }
     }
 
-    fn bump_clause(&mut self, cref: u32) {
-        let clause = &mut self.clauses[cref as usize];
-        clause.activity += self.cla_inc;
-        if clause.activity > 1e20 {
-            for c in &mut self.clauses {
-                c.activity *= 1e-20;
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let bumped = self.arena.activity(cref) + self.cla_inc;
+        self.arena.set_activity(cref, bumped);
+        if bumped > 1e20 {
+            for idx in 0..self.learnt_refs.len() {
+                let c = self.learnt_refs[idx];
+                let scaled = self.arena.activity(c) * 1e-20;
+                self.arena.set_activity(c, scaled);
             }
             self.cla_inc *= 1e-20;
         }
     }
 
-    /// First-UIP conflict analysis. Returns the learned clause (asserting
-    /// literal first) and the backtrack level.
-    fn analyze(&mut self, mut conflict: u32) -> (Vec<Lit>, u32) {
-        let mut learnt: Vec<Lit> = vec![Lit::positive(Var::new(0))]; // placeholder
+    /// First-UIP conflict analysis.  The learned clause is accumulated in
+    /// `self.learnt_buf` (asserting literal first); returns the backtrack
+    /// level.  Clauses are read straight from the arena — nothing is cloned.
+    fn analyze(&mut self, mut conflict: ClauseRef) -> u32 {
+        self.learnt_buf.clear();
+        self.learnt_buf.push(Lit::positive(Var::new(0))); // placeholder
         let mut counter = 0usize;
-        let mut p: Option<Lit> = None;
         let mut index = self.trail.len();
+        // On the first iteration every literal of the conflicting clause is
+        // examined; on later ones position 0 holds the literal being resolved
+        // on (the propagation invariant keeps the asserted literal there).
+        let mut start = 0usize;
         loop {
-            self.bump_clause(conflict);
-            let lits = self.clauses[conflict as usize].lits.clone();
-            for &q in &lits {
-                if Some(q) == p {
-                    continue;
-                }
+            if self.arena.is_learnt(conflict) {
+                self.bump_clause(conflict);
+            }
+            let len = self.arena.len(conflict);
+            for k in start..len {
+                let q = self.arena.lit(conflict, k);
                 let v = q.var().index();
                 if !self.seen[v] && self.level[v] > 0 {
                     self.seen[v] = true;
@@ -451,7 +694,7 @@ impl Engine {
                     if self.level[v] >= self.decision_level() {
                         counter += 1;
                     } else {
-                        learnt.push(q);
+                        self.learnt_buf.push(q);
                     }
                 }
             }
@@ -463,34 +706,35 @@ impl Engine {
                 }
             }
             let lit = self.trail[index];
-            p = Some(lit);
             self.seen[lit.var().index()] = false;
             counter -= 1;
             if counter == 0 {
+                self.learnt_buf[0] = !lit;
                 break;
             }
             conflict = self.reason[lit.var().index()];
             debug_assert_ne!(conflict, UNDEF_CLAUSE);
+            start = 1;
         }
-        learnt[0] = !p.expect("analysis always resolves at least one literal");
         // Clear the `seen` flags of the literals kept in the learned clause.
-        for lit in &learnt[1..] {
-            self.seen[lit.var().index()] = false;
+        for idx in 1..self.learnt_buf.len() {
+            self.seen[self.learnt_buf[idx].var().index()] = false;
         }
         // Compute the backtrack level: highest level among learnt[1..].
-        let backtrack = if learnt.len() == 1 {
+        if self.learnt_buf.len() == 1 {
             0
         } else {
             let mut max_i = 1;
-            for i in 2..learnt.len() {
-                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+            for i in 2..self.learnt_buf.len() {
+                if self.level[self.learnt_buf[i].var().index()]
+                    > self.level[self.learnt_buf[max_i].var().index()]
+                {
                     max_i = i;
                 }
             }
-            learnt.swap(1, max_i);
-            self.level[learnt[1].var().index()]
-        };
-        (learnt, backtrack)
+            self.learnt_buf.swap(1, max_i);
+            self.level[self.learnt_buf[1].var().index()]
+        }
     }
 
     fn backtrack_to(&mut self, level: u32) {
@@ -500,14 +744,12 @@ impl Engine {
                 .pop()
                 .expect("non-root level has a trail mark");
             for i in (start..self.trail.len()).rev() {
-                let lit = self.trail[i];
-                let var = lit.var().index();
-                self.assigns[var] = None;
+                let var = self.trail[i].var().index();
+                self.vals[var] = VAL_UNDEF;
                 self.reason[var] = UNDEF_CLAUSE;
-                self.heap.push(HeapEntry {
-                    activity: self.activity[var],
-                    var: var as u32,
-                });
+                if self.use_heap {
+                    self.heap.insert(var, &self.activity);
+                }
             }
             self.trail.truncate(start);
         }
@@ -515,73 +757,125 @@ impl Engine {
         self.static_cursor = 0;
     }
 
-    fn learn_clause(&mut self, learnt: Vec<Lit>) -> Option<u32> {
-        self.stats.learned_clauses += 1;
-        if learnt.len() == 1 {
-            self.enqueue(learnt[0], UNDEF_CLAUSE);
-            return None;
+    /// Records the clause accumulated in `learnt_buf` and asserts its first
+    /// literal.  SATO's length bound is enforced here: an oversize clause is
+    /// still needed as the reason of the backjump assertion, so it is kept
+    /// but queued for deletion as soon as it is no longer locked.
+    fn learn_clause(&mut self) {
+        if self.learnt_buf.len() == 1 {
+            let lit = self.learnt_buf[0];
+            self.enqueue(lit, UNDEF_CLAUSE);
+            return;
         }
-        if let Some(limit) = self.config.max_learnt_len {
-            if learnt.len() > limit {
-                // Too long to keep: use it only for the current backjump by
-                // asserting its first literal with no recorded reason clause.
-                // To stay sound we must still remember the clause, so fall
-                // through and keep it anyway but mark it for early deletion.
-            }
-            let _ = limit;
-        }
-        let cref = self.clauses.len() as u32;
-        let asserting = learnt[0];
-        self.watch(learnt[0], cref);
-        self.watch(learnt[1], cref);
-        self.clauses.push(ClauseData {
-            lits: learnt,
-            learnt: true,
-            activity: self.cla_inc,
-            deleted: false,
-        });
+        let cref = self.arena.alloc(&self.learnt_buf, true);
+        self.arena.set_activity(cref, self.cla_inc);
+        let asserting = self.learnt_buf[0];
+        let second = self.learnt_buf[1];
+        self.watch(asserting, cref, second);
+        self.watch(second, cref, asserting);
         self.learnt_refs.push(cref);
+        self.num_learnts += 1;
+        self.stats.learned_clauses = self.num_learnts as u64;
+        if let Some(limit) = self.config.max_learnt_len {
+            if self.learnt_buf.len() > limit {
+                self.oversize.push(cref);
+            }
+        }
         self.enqueue(asserting, cref);
-        Some(cref)
+    }
+
+    /// A clause is locked while it is the reason of its asserted first
+    /// literal — an O(1) check against the `reason` array.
+    #[inline]
+    fn is_locked(&self, cref: ClauseRef) -> bool {
+        let first = self.arena.lit(cref, 0);
+        self.value_lit(first) == VAL_TRUE && self.reason[first.var().index()] == cref
+    }
+
+    fn delete_clause(&mut self, cref: ClauseRef) {
+        debug_assert!(!self.is_locked(cref));
+        if self.arena.is_learnt(cref) {
+            self.num_learnts -= 1;
+            self.stats.learned_clauses = self.num_learnts as u64;
+        }
+        self.arena.delete(cref);
+    }
+
+    /// Deletes queued oversize learned clauses (SATO length bound) as soon as
+    /// they stop being locked, keeping the live learned set bounded even for
+    /// presets that never run full database reduction.
+    fn purge_oversize(&mut self) {
+        if self.oversize.is_empty() {
+            return;
+        }
+        let mut kept = 0;
+        for i in 0..self.oversize.len() {
+            let cref = self.oversize[i];
+            if self.arena.is_deleted(cref) {
+                continue; // already removed by database reduction
+            }
+            if self.is_locked(cref) {
+                self.oversize[kept] = cref;
+                kept += 1;
+            } else {
+                self.delete_clause(cref);
+            }
+        }
+        self.oversize.truncate(kept);
+        if kept == 0 {
+            self.collect_garbage_if_needed();
+        }
     }
 
     fn decay_activities(&mut self) {
         self.var_inc /= self.config.var_decay;
-        self.cla_inc /= self.config.clause_decay;
+        self.cla_inc /= self.config.clause_decay as f32;
     }
 
     fn pick_branch_lit(&mut self) -> Option<Lit> {
-        // Random decisions.
-        if self.config.random_decision_freq > 0.0
+        // Random decisions: bounded rejection sampling against the current
+        // assignment — no scratch list of all unassigned variables.
+        if self.num_vars > 0
+            && self.config.random_decision_freq > 0.0
             && self.rng.gen_f64() < self.config.random_decision_freq
         {
-            let unassigned: Vec<usize> = (0..self.num_vars)
-                .filter(|&v| self.assigns[v].is_none())
-                .collect();
-            if let Some(&v) = unassigned.get(self.rng.gen_range(0..unassigned.len().max(1))) {
-                return Some(Lit::new(Var::new(v as u32), self.phase[v]));
+            for _ in 0..16 {
+                let v = self.rng.gen_range(0..self.num_vars);
+                if self.is_unassigned(v) {
+                    return Some(Lit::new(Var::new(v as u32), self.phase[v]));
+                }
             }
+            // Densely assigned: fall through to the heuristic.
         }
         // BerkMin: branch inside the most recent unsatisfied learned clause.
         if self.config.clause_based_decisions {
             // Scan only the most recent learned clauses, as BerkMin does.
-            for &cref in self.learnt_refs.iter().rev().take(512) {
-                let clause = &self.clauses[cref as usize];
-                if clause.deleted {
+            for idx in (self.learnt_refs.len().saturating_sub(512)..self.learnt_refs.len()).rev() {
+                let cref = self.learnt_refs[idx];
+                if self.arena.is_deleted(cref) {
                     continue;
                 }
-                let satisfied = clause.lits.iter().any(|&l| self.lit_value(l) == Some(true));
-                if satisfied {
-                    continue;
-                }
+                let len = self.arena.len(cref);
+                let mut satisfied = false;
                 let mut best: Option<(f64, Lit)> = None;
-                for &l in &clause.lits {
-                    if self.lit_value(l).is_none() {
-                        let act = self.activity[l.var().index()];
-                        if best.is_none_or(|(b, _)| act > b) {
-                            best = Some((act, l));
+                for k in 0..len {
+                    let l = self.arena.lit(cref, k);
+                    match self.value_lit(l) {
+                        VAL_TRUE => {
+                            satisfied = true;
+                            break;
+                        }
+                        VAL_FALSE => {}
+                        _ => {
+                            let act = self.activity[l.var().index()];
+                            if best.is_none_or(|(b, _)| act > b) {
+                                best = Some((act, l));
+                            }
                         }
                     }
+                }
+                if satisfied {
+                    continue;
                 }
                 if let Some((_, lit)) = best {
                     return Some(lit);
@@ -591,85 +885,116 @@ impl Engine {
         if self.config.static_order {
             while self.static_cursor < self.num_vars {
                 let v = self.static_cursor;
-                if self.assigns[v].is_none() {
+                if self.is_unassigned(v) {
                     return Some(Lit::new(Var::new(v as u32), self.phase[v]));
                 }
                 self.static_cursor += 1;
             }
             return None;
         }
-        // VSIDS via the lazy heap.
-        while let Some(entry) = self.heap.pop() {
-            let v = entry.var as usize;
-            if self.assigns[v].is_none() && (entry.activity - self.activity[v]).abs() < f64::EPSILON
-            {
-                return Some(Lit::new(Var::new(v as u32), self.phase[v]));
-            }
-            if self.assigns[v].is_none() {
-                // Stale activity: re-push with the fresh value and use it anyway.
+        // VSIDS: pop until an unassigned variable surfaces.  Every unassigned
+        // variable is in the heap (re-inserted on backtracking), so an empty
+        // heap means a full assignment.
+        while let Some(v) = self.heap.pop_max(&self.activity) {
+            if self.is_unassigned(v) {
                 return Some(Lit::new(Var::new(v as u32), self.phase[v]));
             }
         }
-        // Heap exhausted: scan for any unassigned variable (heap entries are lazy).
-        (0..self.num_vars)
-            .find(|&v| self.assigns[v].is_none())
-            .map(|v| Lit::new(Var::new(v as u32), self.phase[v]))
+        debug_assert!(
+            (0..self.num_vars).all(|v| !self.is_unassigned(v)),
+            "empty decision heap with unassigned variables"
+        );
+        None
     }
 
     fn reduce_db(&mut self) {
-        let mut learnt: Vec<u32> = self
-            .learnt_refs
-            .iter()
-            .copied()
-            .filter(|&c| self.clauses[c as usize].learnt && !self.clauses[c as usize].deleted)
-            .collect();
-        if learnt.len() < self.reduce_limit {
+        if self.num_learnts < self.reduce_limit {
             return;
         }
-        learnt.sort_by(|&a, &b| {
-            self.clauses[a as usize]
-                .activity
-                .partial_cmp(&self.clauses[b as usize].activity)
+        // Drop already-dead references, then sort a scratch copy by activity
+        // (learnt_refs itself must stay in age order for BerkMin).
+        self.learnt_refs.retain(|&c| !self.arena.is_deleted(c));
+        let mut by_activity = self.learnt_refs.clone();
+        by_activity.sort_by(|&a, &b| {
+            self.arena
+                .activity(a)
+                .partial_cmp(&self.arena.activity(b))
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        let locked: Vec<u32> = self
-            .trail
-            .iter()
-            .map(|l| self.reason[l.var().index()])
-            .filter(|&r| r != UNDEF_CLAUSE)
-            .collect();
-        let to_delete = learnt.len() / 2;
+        let target = self.num_learnts / 2;
         let mut deleted = 0;
-        for &cref in &learnt {
-            if deleted >= to_delete {
+        for &cref in &by_activity {
+            if deleted >= target {
                 break;
             }
-            if locked.contains(&cref) || self.clauses[cref as usize].lits.len() <= 2 {
+            if self.arena.len(cref) <= 2 || self.is_locked(cref) {
                 continue;
             }
-            // SATO keeps only short clauses: delete anything above its limit eagerly.
-            self.clauses[cref as usize].deleted = true;
+            self.delete_clause(cref);
             deleted += 1;
         }
-        if let Some(limit) = self.config.max_learnt_len {
-            for &cref in &learnt {
-                if self.clauses[cref as usize].lits.len() > limit && !locked.contains(&cref) {
-                    self.clauses[cref as usize].deleted = true;
+        self.learnt_refs.retain(|&c| !self.arena.is_deleted(c));
+        self.reduce_limit += self.reduce_limit / 2;
+        self.collect_garbage_if_needed();
+    }
+
+    fn collect_garbage_if_needed(&mut self) {
+        // Compact once a fifth of the arena is dead.
+        if self.arena.wasted * 5 >= self.arena.data.len().max(1) {
+            self.collect_garbage();
+        }
+    }
+
+    /// Copying garbage collection: live clauses move to a fresh arena and
+    /// every watcher, reason and learned-clause reference is rewritten.
+    /// Every live clause has exactly two watchers, so walking the watch lists
+    /// relocates all of them; later references reuse the forward pointer.
+    fn collect_garbage(&mut self) {
+        let mut to = ClauseArena::with_capacity(self.arena.data.len() - self.arena.wasted);
+        for widx in 0..self.watches.len() {
+            let mut kept = 0;
+            for i in 0..self.watches[widx].len() {
+                let mut w = self.watches[widx][i];
+                if self.arena.is_deleted(w.cref) {
+                    continue;
                 }
+                w.cref = self.arena.reloc(w.cref, &mut to);
+                self.watches[widx][kept] = w;
+                kept += 1;
+            }
+            self.watches[widx].truncate(kept);
+        }
+        for i in 0..self.trail.len() {
+            let v = self.trail[i].var().index();
+            let r = self.reason[v];
+            if r != UNDEF_CLAUSE {
+                // Reason clauses are locked, hence live and already watched.
+                self.reason[v] = self.arena.reloc(r, &mut to);
             }
         }
-        self.reduce_limit += self.reduce_limit / 2;
-        self.stats.learned_clauses = self
-            .learnt_refs
-            .iter()
-            .filter(|&&c| !self.clauses[c as usize].deleted)
-            .count() as u64;
+        Self::compact_refs(&mut self.learnt_refs, &mut self.arena, &mut to);
+        Self::compact_refs(&mut self.oversize, &mut self.arena, &mut to);
+        self.arena = to;
+    }
+
+    /// Drops dead references and relocates the live ones into `to`.
+    fn compact_refs(refs: &mut Vec<ClauseRef>, arena: &mut ClauseArena, to: &mut ClauseArena) {
+        let mut kept = 0;
+        for i in 0..refs.len() {
+            let c = refs[i];
+            if arena.is_deleted(c) {
+                continue;
+            }
+            refs[kept] = arena.reloc(c, to);
+            kept += 1;
+        }
+        refs.truncate(kept);
     }
 
     fn extract_model(&self) -> Model {
         Model::new(
             (0..self.num_vars)
-                .map(|v| self.assigns[v].unwrap_or(false))
+                .map(|v| self.vals[v] == VAL_TRUE)
                 .collect(),
         )
     }
@@ -694,10 +1019,13 @@ impl Engine {
                 if self.decision_level() == 0 {
                     return SatResult::Unsat;
                 }
-                let (learnt, backtrack_level) = self.analyze(conflict);
+                let backtrack_level = self.analyze(conflict);
                 self.backtrack_to(backtrack_level);
-                self.learn_clause(learnt);
+                self.learn_clause();
                 self.decay_activities();
+                if self.config.max_learnt_len.is_some() {
+                    self.purge_oversize();
+                }
                 if let Some(max_conflicts) = budget.max_conflicts {
                     if self.stats.conflicts >= max_conflicts {
                         return SatResult::Unknown(StopReason::ConflictLimit);
@@ -763,23 +1091,7 @@ mod tests {
         cnf
     }
 
-    /// Pigeonhole principle PHP(n+1, n): unsatisfiable.
-    fn pigeonhole(holes: usize) -> CnfFormula {
-        let pigeons = holes + 1;
-        let mut cnf = CnfFormula::new(pigeons * holes);
-        let var = |p: usize, h: usize| Lit::positive(Var::new((p * holes + h) as u32));
-        for p in 0..pigeons {
-            cnf.add_clause((0..holes).map(|h| var(p, h)).collect());
-        }
-        for h in 0..holes {
-            for p1 in 0..pigeons {
-                for p2 in (p1 + 1)..pigeons {
-                    cnf.add_clause(vec![!var(p1, h), !var(p2, h)]);
-                }
-            }
-        }
-        cnf
-    }
+    use crate::generators::pigeonhole;
 
     #[test]
     fn trivially_sat_and_unsat() {
@@ -903,5 +1215,46 @@ mod tests {
         });
         assert_eq!(varied.name(), "chaff-r3000");
         assert_eq!(varied.config().restart_interval, Some(3000));
+    }
+
+    #[test]
+    fn sato_length_bound_keeps_live_learned_clauses_bounded() {
+        // SATO's length bound is enforced at learn time: an oversize clause
+        // survives only while it is locked (the reason of its backjump
+        // assertion), and every locked clause is pinned by a distinct
+        // assigned variable.  With a bound of 1 every stored learned clause
+        // is oversize, so the live set can never exceed the variable count —
+        // while the conflict count runs far past it.
+        let mut config = CdclConfig::sato();
+        config.name = "sato-tight".to_owned();
+        config.max_learnt_len = Some(1);
+        let cnf = pigeonhole(6);
+        let mut solver = CdclSolver::new(config);
+        let _ = solver.solve_with_budget(&cnf, Budget::step_limit(3_000));
+        let stats = solver.stats();
+        assert!(stats.conflicts > 100, "expected a real search");
+        assert!(
+            stats.learned_clauses <= cnf.num_vars() as u64,
+            "live learned clauses not bounded: {} after {} conflicts",
+            stats.learned_clauses,
+            stats.conflicts,
+        );
+        // The regular SATO preset still decides the instance correctly.
+        assert!(CdclSolver::sato().solve(&pigeonhole(4)).is_unsat());
+    }
+
+    #[test]
+    fn database_reduction_and_gc_preserve_verdicts() {
+        // A long chaff run on PHP(9, 8) crosses the reduction threshold
+        // several times, forcing clause deletion and arena compaction; the
+        // search must stay sound through both.
+        let big = pigeonhole(8);
+        let mut solver = CdclSolver::chaff();
+        let result = solver.solve_with_budget(&big, Budget::step_limit(30_000));
+        assert!(
+            !result.is_sat(),
+            "PHP(9,8) is unsatisfiable, got {result:?}"
+        );
+        assert!(CdclSolver::chaff().solve(&pigeonhole(5)).is_unsat());
     }
 }

@@ -23,6 +23,9 @@
 //!   through the cooperative [`CancelToken`] carried by [`Budget`].  The paper
 //!   observes that no single procedure wins on every benchmark; the portfolio
 //!   turns that observation into a "fastest engine wins" execution mode.
+//! * [`race`] — the generic scoped-spawn / first-decided-wins / cancel-token
+//!   collector underlying both the CNF-level portfolio and the verdict-level
+//!   back-end race in `velv_core`.
 //! * [`rng`] — the small deterministic PRNG shared by the stochastic searches.
 //!
 //! # Example
@@ -50,13 +53,16 @@ pub mod cdcl;
 pub mod cnf;
 pub mod dimacs;
 pub mod dpll;
+pub mod generators;
 pub mod local_search;
 pub mod portfolio;
 pub mod preprocess;
 pub mod presets;
+pub mod race;
 pub mod rng;
 pub mod solver;
 
 pub use cnf::{Clause, CnfFormula, Lit, Var};
 pub use portfolio::{EngineReport, PortfolioReport, PortfolioSolver};
+pub use race::{race, RaceOutcome, RaceRun};
 pub use solver::{Budget, CancelToken, Model, SatResult, Solver, SolverStats, StopReason};

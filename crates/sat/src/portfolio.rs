@@ -13,7 +13,10 @@
 //!
 //! The per-engine outcomes, statistics and timings are collected in a
 //! [`PortfolioReport`], so the experiment harness can still produce the
-//! paper's comparison numbers from a single racing run.
+//! paper's comparison numbers from a single racing run.  The racing itself
+//! (scoped spawn, first-decided-wins, cancel forwarding, parent-budget
+//! polling) is the generic [`crate::race::race`] collector, shared with the
+//! verdict-level back-end race in `velv_core`.
 //!
 //! # Example
 //!
@@ -34,9 +37,9 @@
 
 use crate::cnf::CnfFormula;
 use crate::presets::SolverKind;
-use crate::solver::{Budget, CancelToken, SatResult, Solver, SolverStats, StopReason};
-use std::sync::mpsc::{self, RecvTimeoutError};
-use std::time::{Duration, Instant};
+use crate::race::race;
+use crate::solver::{Budget, SatResult, Solver, SolverStats, StopReason};
+use std::time::Duration;
 
 /// Builds one member engine; called once per `solve`, on the member's thread.
 pub type SolverFactory = Box<dyn Fn() -> Box<dyn Solver + Send> + Send + Sync>;
@@ -192,10 +195,6 @@ impl PortfolioSolver {
 /// correctness CNFs of the wide designs reach thousands of variables.
 const MEMBER_STACK_SIZE: usize = 64 * 1024 * 1024;
 
-/// How long the collector waits on the result channel before re-checking the
-/// caller's own budget (deadline or an outer cancel token).
-const PARENT_POLL: Duration = Duration::from_millis(5);
-
 impl Solver for PortfolioSolver {
     fn name(&self) -> &str {
         "portfolio"
@@ -209,86 +208,42 @@ impl Solver for PortfolioSolver {
         if self.members.is_empty() {
             return SatResult::Unknown(StopReason::Incomplete);
         }
-        let race_start = Instant::now();
-        let parent = budget.started();
-        let token = CancelToken::new();
-        // Members inherit the caller's step limits and resolved deadline but
-        // poll the race's own token; the collector loop below forwards an
-        // outer cancellation into that token.
-        let member_budget = Budget {
-            max_conflicts: parent.max_conflicts,
-            max_decisions: parent.max_decisions,
-            max_time: None,
-            deadline: parent.deadline,
-            cancel: Some(token.clone()),
-        };
+        let thread_names: Vec<String> = self
+            .members
+            .iter()
+            .map(|m| format!("velv-portfolio-{}", m.name))
+            .collect();
+        let members = &self.members;
+        let outcome = race(
+            &thread_names,
+            budget,
+            MEMBER_STACK_SIZE,
+            |index, member_budget| {
+                let mut solver = (members[index].factory)();
+                let result = solver.solve_with_budget(cnf, member_budget);
+                (result, solver.stats())
+            },
+            |(result, _)| result.is_decided(),
+        );
 
-        let n = self.members.len();
-        let mut reports: Vec<Option<EngineReport>> = (0..n).map(|_| None).collect();
-        let mut winner: Option<(usize, SatResult)> = None;
-        let mut parent_stop: Option<StopReason> = None;
-
-        std::thread::scope(|scope| {
-            let (tx, rx) = mpsc::channel();
-            for (index, member) in self.members.iter().enumerate() {
-                let tx = tx.clone();
-                let member_budget = member_budget.clone();
-                std::thread::Builder::new()
-                    .name(format!("velv-portfolio-{}", member.name))
-                    .stack_size(MEMBER_STACK_SIZE)
-                    .spawn_scoped(scope, move || {
-                        let mut solver = (member.factory)();
-                        let start = Instant::now();
-                        let result = solver.solve_with_budget(cnf, member_budget);
-                        // The receiver hangs up only after all members report
-                        // or were cancelled; a send error just means the race
-                        // is over.
-                        let _ = tx.send((index, result, solver.stats(), start.elapsed()));
-                    })
-                    .expect("spawning a portfolio member thread succeeds");
-            }
-            drop(tx);
-
-            let mut received = 0;
-            while received < n {
-                match rx.recv_timeout(PARENT_POLL) {
-                    Ok((index, result, stats, time)) => {
-                        received += 1;
-                        if winner.is_none() && result.is_decided() {
-                            winner = Some((index, result.clone()));
-                            token.cancel();
-                        }
-                        reports[index] = Some(EngineReport {
-                            name: self.members[index].name.clone(),
-                            result,
-                            stats,
-                            time,
-                            winner: false,
-                        });
-                    }
-                    Err(RecvTimeoutError::Timeout) => {
-                        if parent_stop.is_none() {
-                            if let Some(reason) = parent.exceeded() {
-                                parent_stop = Some(reason);
-                                token.cancel();
-                            }
-                        }
-                    }
-                    Err(RecvTimeoutError::Disconnected) => break,
-                }
-            }
-        });
-
-        if let Some((index, _)) = &winner {
-            if let Some(report) = reports[*index].as_mut() {
-                report.winner = true;
-            }
-        }
-        let engines: Vec<EngineReport> = reports.into_iter().flatten().collect();
+        let engines: Vec<EngineReport> = outcome
+            .runs
+            .into_iter()
+            .enumerate()
+            .filter_map(|(index, run)| {
+                run.map(|run| EngineReport {
+                    name: self.members[index].name.clone(),
+                    result: run.value.0,
+                    stats: run.value.1,
+                    time: run.time,
+                    winner: run.winner,
+                })
+            })
+            .collect();
         let report = PortfolioReport {
-            winner: winner.as_ref().map(|(i, _)| self.members[*i].name.clone()),
+            winner: outcome.winner.map(|index| self.members[index].name.clone()),
             engines,
-            wall_time: race_start.elapsed(),
+            wall_time: outcome.wall_time,
         };
         // `stats()` reports the winner's numbers (the work that produced the
         // answer); the report keeps the full per-engine breakdown.
@@ -296,9 +251,11 @@ impl Solver for PortfolioSolver {
             .winner_report()
             .map(|e| e.stats)
             .unwrap_or_else(|| report.aggregate_stats());
-        let result = match winner {
-            Some((_, result)) => result,
-            None => SatResult::Unknown(Self::undecided_reason(&report.engines, parent_stop)),
+        let result = match report.winner_report() {
+            Some(winner) => winner.result.clone(),
+            None => {
+                SatResult::Unknown(Self::undecided_reason(&report.engines, outcome.parent_stop))
+            }
         };
         self.report = Some(report);
         result
@@ -312,8 +269,9 @@ impl Solver for PortfolioSolver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cnf::{Lit, Var};
-    use crate::solver::Model;
+    use crate::cnf::Lit;
+    use crate::solver::{CancelToken, Model};
+    use std::time::Instant;
 
     fn lit(i: i64) -> Lit {
         Lit::from_dimacs(i)
@@ -327,24 +285,9 @@ mod tests {
         cnf
     }
 
-    /// Pigeonhole principle PHP(n+1, n): unsatisfiable and hard enough that a
-    /// spinning member takes a while — a useful "slow loser".
-    fn pigeonhole(holes: usize) -> CnfFormula {
-        let pigeons = holes + 1;
-        let mut cnf = CnfFormula::new(pigeons * holes);
-        let var = |p: usize, h: usize| Lit::positive(Var::new((p * holes + h) as u32));
-        for p in 0..pigeons {
-            cnf.add_clause((0..holes).map(|h| var(p, h)).collect());
-        }
-        for h in 0..holes {
-            for p1 in 0..pigeons {
-                for p2 in (p1 + 1)..pigeons {
-                    cnf.add_clause(vec![!var(p1, h), !var(p2, h)]);
-                }
-            }
-        }
-        cnf
-    }
+    // PHP(n+1, n) is unsatisfiable and hard enough that a spinning member
+    // takes a while — a useful "slow loser".
+    use crate::generators::pigeonhole;
 
     /// A deliberately obstinate solver: it never answers, it only spins until
     /// the budget (cancel token, deadline or step limit) tells it to stop.

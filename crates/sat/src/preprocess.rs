@@ -8,7 +8,6 @@
 //! (optionally) subsumption.
 
 use crate::cnf::{CnfFormula, Lit};
-use std::collections::HashSet;
 
 /// Statistics of one preprocessing pass.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -128,23 +127,21 @@ pub fn preprocess(cnf: &CnfFormula, with_subsumption: bool) -> Preprocessed {
         }
     }
 
-    // Duplicate removal.
-    let mut unique: HashSet<Vec<Lit>> = HashSet::new();
+    // Duplicate removal: sort each clause in place (satisfiability is
+    // order-independent), then sort and deduplicate the clause list — no
+    // per-clause scratch copies or hash sets.
+    for clause in &mut clauses {
+        clause.sort_unstable();
+    }
+    clauses.sort_unstable();
     let before = clauses.len();
-    clauses.retain(|clause| {
-        let mut sorted = clause.clone();
-        sorted.sort_unstable();
-        unique.insert(sorted)
-    });
+    clauses.dedup();
     stats.clauses_removed += before - clauses.len();
 
     // Subsumption (quadratic; only for modest formulas or when requested).
+    // Clauses are sorted, so the subset test is a linear two-pointer merge.
     if with_subsumption {
         let mut keep = vec![true; clauses.len()];
-        let sets: Vec<HashSet<Lit>> = clauses
-            .iter()
-            .map(|c| c.iter().copied().collect())
-            .collect();
         for i in 0..clauses.len() {
             if !keep[i] {
                 continue;
@@ -153,7 +150,9 @@ pub fn preprocess(cnf: &CnfFormula, with_subsumption: bool) -> Preprocessed {
                 if i == j || !keep[j] {
                     continue;
                 }
-                if sets[i].len() <= sets[j].len() && sets[i].iter().all(|l| sets[j].contains(l)) {
+                if clauses[i].len() <= clauses[j].len()
+                    && is_sorted_subset(&clauses[i], &clauses[j])
+                {
                     keep[j] = false;
                     stats.clauses_removed += 1;
                 }
@@ -175,6 +174,25 @@ pub fn preprocess(cnf: &CnfFormula, with_subsumption: bool) -> Preprocessed {
         forced: collect_forced(&assigns),
         stats,
     }
+}
+
+/// Whether sorted slice `a` is a subset of sorted slice `b`.
+fn is_sorted_subset(a: &[Lit], b: &[Lit]) -> bool {
+    let mut bi = 0;
+    'outer: for &x in a {
+        while bi < b.len() {
+            match b[bi].cmp(&x) {
+                std::cmp::Ordering::Less => bi += 1,
+                std::cmp::Ordering::Equal => {
+                    bi += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
 }
 
 fn collect_forced(assigns: &[Option<bool>]) -> Vec<Lit> {

@@ -15,14 +15,24 @@
 //!   workload (Table 1/2 class): buggy designs (SAT) and the correct design
 //!   (UNSAT) of the single- and dual-issue DLX.
 //!
+//! Two incremental-subsystem comparisons ride along:
+//!
+//! * **decomposition**: the weak criteria of a design checked one solver per
+//!   obligation (monolithic) vs. one persistent incremental solver shared by
+//!   all obligations under per-obligation assumptions;
+//! * **transitivity**: eager triangulated side constraints vs. lazy
+//!   refinement with the incremental solver, on the transitivity-heavy
+//!   out-of-order designs.
+//!
 //! Usage: `satbench [--smoke] [--out PATH]`.  `--smoke` shrinks every
 //! instance so the whole run takes well under a second — CI uses it to keep
 //! the harness from rotting without paying for a real measurement.
 
 use std::time::{Duration, Instant};
-use velv_core::{TranslationOptions, Verifier};
+use velv_core::{TranslationOptions, Verdict, Verifier};
 use velv_models::dlx::{bug_catalog, Dlx, DlxConfig, DlxSpecification};
-use velv_sat::cdcl::CdclSolver;
+use velv_models::ooo::{Ooo, OooSpecification};
+use velv_sat::cdcl::{CdclConfig, CdclSolver};
 use velv_sat::generators::{pigeonhole, random_3sat};
 use velv_sat::{Budget, CnfFormula, SatResult, Solver};
 
@@ -143,6 +153,196 @@ fn run(instances: &[Instance], smoke: bool) -> Vec<Measurement> {
     measurements
 }
 
+fn verdict_label(verdict: &Verdict) -> &'static str {
+    match verdict {
+        Verdict::Correct => "unsat",
+        Verdict::Buggy(_) => "sat",
+        Verdict::Unknown(_) => "unknown",
+    }
+}
+
+/// Decomposition benchmark: every obligation translated and checked with its
+/// own fresh solver (the pre-incremental flow) vs. one shared definitional
+/// CNF checked by one persistent incremental solver under per-obligation
+/// assumptions.  Measured end to end — translation plus solving — because
+/// that is the trade the shared path changes: one pipeline pass with
+/// hash-consed sharing and one solver instance against `N` full pipeline
+/// passes and `N` cold solvers.
+fn run_decomposition(measurements: &mut Vec<Measurement>, smoke: bool) {
+    let configs: &[DlxConfig] = if smoke {
+        &[DlxConfig::single_issue()]
+    } else {
+        &[DlxConfig::single_issue(), DlxConfig::dual_issue()]
+    };
+    let verifier = Verifier::new(TranslationOptions::default());
+    let max_obligations = 8;
+    for &config in configs {
+        let spec = DlxSpecification::new(config);
+        let problem = verifier.build_problem(&Dlx::correct(config), &spec);
+
+        let start = Instant::now();
+        let translations = verifier.translate_obligations(&problem, max_obligations);
+        let mut conflicts = 0;
+        let mut propagations = 0;
+        let mut decisions = 0;
+        let mut monolithic_ok = true;
+        for translation in &translations {
+            let mut solver = CdclSolver::chaff();
+            let verdict = verifier.check(translation, &mut solver, Budget::unlimited());
+            monolithic_ok &= verdict.is_correct();
+            let stats = solver.stats();
+            conflicts += stats.conflicts;
+            propagations += stats.propagations;
+            decisions += stats.decisions;
+        }
+        let time = start.elapsed().as_secs_f64();
+        measurements.push(Measurement {
+            preset: "chaff-per-obligation",
+            instance: format!("decompose-{}", config.name()),
+            result: if monolithic_ok { "unsat" } else { "mixed" },
+            time_s: time,
+            conflicts,
+            propagations,
+            decisions,
+            conflicts_per_sec: conflicts as f64 / time.max(1e-9),
+            propagations_per_sec: propagations as f64 / time.max(1e-9),
+        });
+
+        let start = Instant::now();
+        let shared = verifier.translate_obligations_shared(&problem, max_obligations);
+        let mut solver =
+            velv_sat::IncrementalSolver::with_formula(CdclConfig::chaff(), &shared.cnf);
+        let (overall, _, _) = verifier.check_shared_with(&shared, &mut solver, Budget::unlimited());
+        let time = start.elapsed().as_secs_f64();
+        assert_eq!(
+            overall.is_correct(),
+            monolithic_ok,
+            "shared and per-obligation decomposition must agree on {}",
+            config.name()
+        );
+        let stats = solver.stats();
+        measurements.push(Measurement {
+            preset: "chaff-shared-incremental",
+            instance: format!("decompose-{}", config.name()),
+            result: verdict_label(&overall),
+            time_s: time,
+            conflicts: stats.conflicts,
+            propagations: stats.propagations,
+            decisions: stats.decisions,
+            conflicts_per_sec: stats.conflicts as f64 / time.max(1e-9),
+            propagations_per_sec: stats.propagations as f64 / time.max(1e-9),
+        });
+    }
+}
+
+/// Transitivity benchmark: eager triangulated side constraints vs. lazy
+/// incremental refinement, on the workloads whose encodings are
+/// transitivity-heavy — the out-of-order cores, and the DLX pipelines with
+/// positive equality disabled (every term variable general, so the
+/// comparison graph is dense and the eager triangulation large).
+fn run_transitivity(measurements: &mut Vec<Measurement>, smoke: bool) {
+    let eager = Verifier::new(TranslationOptions::default());
+    let lazy = Verifier::new(TranslationOptions::default().with_lazy_transitivity());
+    let widths: &[usize] = if smoke { &[2] } else { &[2, 3] };
+    for &width in widths {
+        let implementation = Ooo::new(width);
+        let spec = OooSpecification::new();
+        transitivity_pair(
+            measurements,
+            &format!("ooo-{width}"),
+            &eager,
+            &lazy,
+            &implementation,
+            &spec,
+        );
+    }
+
+    // Dense comparison graphs: the DLX without positive equality.  (The
+    // dual-issue variant is excluded — ~50 s per arm with parity between the
+    // modes, which would double the whole harness for no signal.)
+    let eager_nope = Verifier::new(TranslationOptions::default().without_positive_equality());
+    let lazy_nope = Verifier::new(
+        TranslationOptions::default()
+            .without_positive_equality()
+            .with_lazy_transitivity(),
+    );
+    let configs: &[DlxConfig] = if smoke {
+        &[]
+    } else {
+        &[DlxConfig::single_issue()]
+    };
+    for &config in configs {
+        let spec = DlxSpecification::new(config);
+        let implementation = Dlx::correct(config);
+        transitivity_pair(
+            measurements,
+            &format!("nope-{}", config.name()),
+            &eager_nope,
+            &lazy_nope,
+            &implementation,
+            &spec,
+        );
+    }
+}
+
+/// One eager-vs-lazy measurement pair on a single design, end to end
+/// (translation plus check — the lazy encoding also skips the triangulation
+/// and its chord variables at translation time).
+fn transitivity_pair(
+    measurements: &mut Vec<Measurement>,
+    instance: &str,
+    eager: &Verifier,
+    lazy: &Verifier,
+    implementation: &dyn velv_hdl::Processor,
+    spec: &dyn velv_hdl::Processor,
+) {
+    let start = Instant::now();
+    let eager_translation = eager.translate(implementation, spec);
+    let mut solver = CdclSolver::chaff();
+    let eager_verdict = eager.check(&eager_translation, &mut solver, Budget::unlimited());
+    let time = start.elapsed().as_secs_f64();
+    let stats = solver.stats();
+    measurements.push(Measurement {
+        preset: "chaff-eager-transitivity",
+        instance: instance.to_owned(),
+        result: verdict_label(&eager_verdict),
+        time_s: time,
+        conflicts: stats.conflicts,
+        propagations: stats.propagations,
+        decisions: stats.decisions,
+        conflicts_per_sec: stats.conflicts as f64 / time.max(1e-9),
+        propagations_per_sec: stats.propagations as f64 / time.max(1e-9),
+    });
+
+    let start = Instant::now();
+    let lazy_translation = lazy.translate(implementation, spec);
+    let mut incremental =
+        velv_sat::IncrementalSolver::with_formula(CdclConfig::chaff(), &lazy_translation.cnf);
+    let (lazy_verdict, refinement) = velv_core::refine::check_with_refinement(
+        &lazy_translation,
+        &mut incremental,
+        Budget::unlimited(),
+    );
+    let time = start.elapsed().as_secs_f64();
+    assert_eq!(
+        eager_verdict.is_correct(),
+        lazy_verdict.is_correct(),
+        "lazy and eager transitivity must agree on {instance} ({refinement} refinement)"
+    );
+    let stats = incremental.stats();
+    measurements.push(Measurement {
+        preset: "chaff-lazy-incremental",
+        instance: instance.to_owned(),
+        result: verdict_label(&lazy_verdict),
+        time_s: time,
+        conflicts: stats.conflicts,
+        propagations: stats.propagations,
+        decisions: stats.decisions,
+        conflicts_per_sec: stats.conflicts as f64 / time.max(1e-9),
+        propagations_per_sec: stats.propagations as f64 / time.max(1e-9),
+    });
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -190,7 +390,9 @@ fn main() {
         instances.len(),
         if smoke { " (smoke)" } else { "" }
     );
-    let measurements = run(&instances, smoke);
+    let mut measurements = run(&instances, smoke);
+    run_decomposition(&mut measurements, smoke);
+    run_transitivity(&mut measurements, smoke);
     println!(
         "{:<28} {:<8} {:>8} {:>10} {:>12} {:>14}",
         "instance", "preset", "result", "time (s)", "confl/s", "props/s"

@@ -376,6 +376,24 @@ pub fn race_backends(
     members: &[Backend],
     budget: Budget,
 ) -> PortfolioOutcome {
+    // A lazily encoded translation is a *relaxation*: its SAT/falsifiable
+    // answers are only trustworthy after the transitivity refinement loop
+    // (`crate::refine`) has validated them, and the race's first-decided-wins
+    // collector has no place to iterate.  Refuse rather than risk reporting a
+    // spurious counterexample — lazy mode pairs with the SAT/incremental
+    // checks (`Verifier::check`, `Verifier::check_incremental`).
+    if translation.lazy_transitivity {
+        return PortfolioOutcome {
+            verdict: Verdict::Unknown(
+                "lazy transitivity requires the refinement loop; \
+                 use a SAT back end or Verifier::check_incremental"
+                    .to_owned(),
+            ),
+            winner: None,
+            runs: Vec::new(),
+            wall_time: Duration::ZERO,
+        };
+    }
     let leaves: Vec<Backend> = members.iter().flat_map(Backend::leaves).collect();
     if leaves.is_empty() {
         return PortfolioOutcome {

@@ -39,31 +39,34 @@ impl CnfTranslation {
 /// Panics if a root still contains equations, uninterpreted predicates or
 /// term-level structure (the encoding stage must run first).
 pub fn formula_to_cnf(ctx: &Context, roots: &[(FormulaId, bool)]) -> CnfTranslation {
-    let mut translator = Translator {
-        ctx,
-        cnf: CnfFormula::new(0),
-        primary_vars: BTreeMap::new(),
-        memo: HashMap::new(),
-        constant_true: None,
-        num_aux_vars: 0,
-    };
+    let mut builder = CnfBuilder::new();
     let mut units = Vec::new();
     for &(root, value) in roots {
-        let lit = translator.lit_of(root);
+        let lit = builder.literal(ctx, root);
         units.push(if value { lit } else { !lit });
     }
     for unit in units {
-        translator.cnf.add_clause(vec![unit]);
+        builder.assert_lit(unit);
     }
-    CnfTranslation {
-        cnf: translator.cnf,
-        primary_vars: translator.primary_vars,
-        num_aux_vars: translator.num_aux_vars,
-    }
+    builder.finish()
 }
 
-struct Translator<'a> {
-    ctx: &'a Context,
+/// A persistent Tseitin translator: formulas from one [`Context`] are turned
+/// into definitional clauses (one auxiliary variable per `∧`/`∨`/`ITE` node,
+/// negations absorbed into literal polarity), with the memo table shared
+/// across calls.
+///
+/// Because the emitted clauses are purely *definitional* — each auxiliary
+/// variable is constrained to equal its operator's value, never asserted —
+/// the clause set stays satisfiable no matter how many formulas are
+/// translated into it.  Roots are asserted separately, either with unit
+/// clauses ([`CnfBuilder::assert_lit`]) or, for the shared-solver
+/// decomposition, as per-obligation *assumptions* over the root literals:
+/// obligations translated into one builder share every common subformula's
+/// clauses, which is what lets one incremental solver carry its learned
+/// clauses across all of them.
+#[derive(Clone, Debug, Default)]
+pub struct CnfBuilder {
     cnf: CnfFormula,
     primary_vars: BTreeMap<Symbol, Var>,
     memo: HashMap<FormulaId, Lit>,
@@ -71,7 +74,36 @@ struct Translator<'a> {
     num_aux_vars: usize,
 }
 
-impl Translator<'_> {
+impl CnfBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        CnfBuilder::default()
+    }
+
+    /// The CNF accumulated so far.
+    pub fn cnf(&self) -> &CnfFormula {
+        &self.cnf
+    }
+
+    /// CNF variables of the primary (propositional) variables seen so far.
+    pub fn primary_vars(&self) -> &BTreeMap<Symbol, Var> {
+        &self.primary_vars
+    }
+
+    /// Asserts a literal with a unit clause.
+    pub fn assert_lit(&mut self, lit: Lit) {
+        self.cnf.add_clause(vec![lit]);
+    }
+
+    /// Consumes the builder into a [`CnfTranslation`].
+    pub fn finish(self) -> CnfTranslation {
+        CnfTranslation {
+            cnf: self.cnf,
+            primary_vars: self.primary_vars,
+            num_aux_vars: self.num_aux_vars,
+        }
+    }
+
     fn fresh_aux(&mut self) -> Lit {
         self.num_aux_vars += 1;
         Lit::positive(self.cnf.new_var())
@@ -87,11 +119,18 @@ impl Translator<'_> {
         lit
     }
 
-    fn lit_of(&mut self, f: FormulaId) -> Lit {
+    /// The CNF literal representing formula `f`, emitting definitional
+    /// clauses for every operator node not yet translated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` still contains equations or uninterpreted predicates
+    /// (the encoding stage must run first).
+    pub fn literal(&mut self, ctx: &Context, f: FormulaId) -> Lit {
         if let Some(&l) = self.memo.get(&f) {
             return l;
         }
-        let lit = match self.ctx.formula(f).clone() {
+        let lit = match ctx.formula(f).clone() {
             Formula::True => self.constant_true_lit(),
             Formula::False => !self.constant_true_lit(),
             Formula::Var(sym) => {
@@ -102,12 +141,12 @@ impl Translator<'_> {
                 Lit::positive(var)
             }
             Formula::Not(a) => {
-                let la = self.lit_of(a);
+                let la = self.literal(ctx, a);
                 !la
             }
             Formula::And(a, b) => {
-                let la = self.lit_of(a);
-                let lb = self.lit_of(b);
+                let la = self.literal(ctx, a);
+                let lb = self.literal(ctx, b);
                 let v = self.fresh_aux();
                 // v ↔ (a ∧ b)
                 self.cnf.add_clause(vec![!v, la]);
@@ -116,8 +155,8 @@ impl Translator<'_> {
                 v
             }
             Formula::Or(a, b) => {
-                let la = self.lit_of(a);
-                let lb = self.lit_of(b);
+                let la = self.literal(ctx, a);
+                let lb = self.literal(ctx, b);
                 let v = self.fresh_aux();
                 // v ↔ (a ∨ b)
                 self.cnf.add_clause(vec![!v, la, lb]);
@@ -126,9 +165,9 @@ impl Translator<'_> {
                 v
             }
             Formula::Ite(c, t, e) => {
-                let lc = self.lit_of(c);
-                let lt = self.lit_of(t);
-                let le = self.lit_of(e);
+                let lc = self.literal(ctx, c);
+                let lt = self.literal(ctx, t);
+                let le = self.literal(ctx, e);
                 let v = self.fresh_aux();
                 // v ↔ ITE(c, t, e)
                 self.cnf.add_clause(vec![!v, !lc, lt]);

@@ -14,13 +14,33 @@ use velv_eufm::{Context, FormulaId, Symbol};
 pub struct EijEncoder {
     vars: BTreeMap<(Symbol, Symbol), FormulaId>,
     triangulation: Triangulation,
+    /// Lazy mode: no triangulation, no side constraints — transitivity is
+    /// enforced afterwards by model-driven refinement (`velv_core::refine`).
+    lazy: bool,
 }
 
 impl EijEncoder {
-    /// Creates the encoder: allocates one fresh Boolean variable per compared
-    /// pair (and per chord edge added by the triangulation).
+    /// Creates the eager encoder: allocates one fresh Boolean variable per
+    /// compared pair (and per chord edge added by the triangulation), and
+    /// emits the triangle transitivity clauses as side constraints.
     pub fn new(ctx: &mut Context, pairs: &BTreeSet<(Symbol, Symbol)>) -> Self {
-        let triangulation = triangulate(pairs);
+        Self::build(ctx, pairs, false)
+    }
+
+    /// Creates the lazy encoder: one variable per compared pair only (no
+    /// chord edges), and no side constraints — violated transitivity is
+    /// detected in returned models and asserted incrementally by the
+    /// refinement loop.
+    pub fn new_lazy(ctx: &mut Context, pairs: &BTreeSet<(Symbol, Symbol)>) -> Self {
+        Self::build(ctx, pairs, true)
+    }
+
+    fn build(ctx: &mut Context, pairs: &BTreeSet<(Symbol, Symbol)>, lazy: bool) -> Self {
+        let triangulation = if lazy {
+            Triangulation::default()
+        } else {
+            triangulate(pairs)
+        };
         let mut vars = BTreeMap::new();
         let mut all_edges: Vec<(Symbol, Symbol)> = pairs.iter().copied().collect();
         all_edges.extend(triangulation.added_edges.iter().copied());
@@ -36,7 +56,13 @@ impl EijEncoder {
         EijEncoder {
             vars,
             triangulation,
+            lazy,
         }
+    }
+
+    /// The encoded pairs and their *e*ij variables, in canonical order.
+    pub fn pairs(&self) -> Vec<(Symbol, Symbol, FormulaId)> {
+        self.vars.iter().map(|(&(x, y), &v)| (x, y, v)).collect()
     }
 
     /// Number of *e*ij variables (including those for chord edges).
@@ -70,6 +96,9 @@ impl PairEncoder for EijEncoder {
 
     fn side_constraints(&mut self, ctx: &mut Context) -> FormulaId {
         let mut acc = ctx.true_id();
+        if self.lazy {
+            return acc;
+        }
         let triangles = self.triangulation.triangles.clone();
         for triangle in triangles {
             let e: Vec<FormulaId> = triangle
@@ -92,6 +121,10 @@ impl PairEncoder for EijEncoder {
             indexing_vars: 0,
             triangles: self.triangulation.triangles.len(),
         }
+    }
+
+    fn encoded_pairs(&self) -> Vec<(Symbol, Symbol, FormulaId)> {
+        self.pairs()
     }
 }
 
@@ -132,6 +165,29 @@ mod tests {
         assert!(!ctx.is_true(constraints));
         assert_eq!(encoder.stats().triangles, 1);
         assert_eq!(encoder.stats().eij_vars, 3);
+    }
+
+    #[test]
+    fn lazy_mode_has_no_chords_and_no_side_constraints() {
+        let mut ctx = Context::new();
+        let x = ctx.symbol("x");
+        let y = ctx.symbol("y");
+        let z = ctx.symbol("z");
+        let w = ctx.symbol("w");
+        // A 4-cycle: the eager encoder adds a chord; the lazy one must not.
+        let pairs: BTreeSet<_> = [ordered(x, y), ordered(y, z), ordered(z, w), ordered(x, w)]
+            .into_iter()
+            .collect();
+        let mut lazy = EijEncoder::new_lazy(&mut ctx, &pairs);
+        assert_eq!(lazy.num_vars(), 4, "one variable per compared pair only");
+        let lazy_side = lazy.side_constraints(&mut ctx);
+        assert!(ctx.is_true(lazy_side));
+        assert_eq!(lazy.stats().triangles, 0);
+        assert_eq!(lazy.pairs().len(), 4);
+        let mut eager = EijEncoder::new(&mut ctx, &pairs);
+        assert!(eager.num_vars() > 4, "the eager encoder adds chord edges");
+        let eager_side = eager.side_constraints(&mut ctx);
+        assert!(!ctx.is_true(eager_side));
     }
 
     #[test]

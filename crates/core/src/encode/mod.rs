@@ -17,7 +17,7 @@ pub mod eij;
 pub mod small_domain;
 pub mod transitivity;
 
-use crate::options::GEncoding;
+use crate::options::{GEncoding, TransitivityMode};
 use crate::positive_equality::Classification;
 use std::collections::{BTreeSet, HashMap};
 use velv_eufm::{Context, Formula, FormulaId, Symbol, Term, TermId};
@@ -28,8 +28,14 @@ pub struct EncodedFormula {
     /// The encoded formula (must be valid for the processor to be correct).
     pub formula: FormulaId,
     /// Side constraints that may be *assumed* when checking validity
-    /// (transitivity constraints for the *e*ij encoding; `true` otherwise).
+    /// (transitivity constraints for the eager *e*ij encoding; `true`
+    /// otherwise — in particular for the lazy mode, whose transitivity is
+    /// enforced by refinement instead).
     pub side_constraints: FormulaId,
+    /// The *e*ij equality variables, one per encoded pair of g-term
+    /// variables `(x, y, variable)` — the input of the lazy transitivity
+    /// refinement loop.  Empty for the small-domain encoding.
+    pub eij_pairs: Vec<(Symbol, Symbol, FormulaId)>,
     /// Number of fresh *e*ij variables introduced.
     pub num_eij_vars: usize,
     /// Number of fresh small-domain indexing variables introduced.
@@ -46,15 +52,19 @@ pub fn encode(
     root: FormulaId,
     classification: &Classification,
     encoding: GEncoding,
+    transitivity: TransitivityMode,
 ) -> EncodedFormula {
     // Pass 1: discover every pair of distinct g-term variables that some
     // equation may compare.
     let pairs = collect_g_pairs(ctx, root, classification);
 
     // Pass 2: build the pair encoder.
-    let mut pair_encoder: Box<dyn PairEncoder> = match encoding {
-        GEncoding::Eij => Box::new(eij::EijEncoder::new(ctx, &pairs)),
-        GEncoding::SmallDomain => Box::new(small_domain::SmallDomainEncoder::new(ctx, &pairs)),
+    let mut pair_encoder: Box<dyn PairEncoder> = match (encoding, transitivity) {
+        (GEncoding::Eij, TransitivityMode::Eager) => Box::new(eij::EijEncoder::new(ctx, &pairs)),
+        (GEncoding::Eij, TransitivityMode::Lazy) => {
+            Box::new(eij::EijEncoder::new_lazy(ctx, &pairs))
+        }
+        (GEncoding::SmallDomain, _) => Box::new(small_domain::SmallDomainEncoder::new(ctx, &pairs)),
     };
 
     // Pass 3: rewrite the formula, replacing equations.
@@ -71,6 +81,7 @@ pub fn encode(
     EncodedFormula {
         formula,
         side_constraints,
+        eij_pairs: pair_encoder.encoded_pairs(),
         num_eij_vars: stats.eij_vars,
         num_indexing_vars: stats.indexing_vars,
         num_g_pairs: pairs.len(),
@@ -97,6 +108,11 @@ pub trait PairEncoder {
     fn side_constraints(&mut self, ctx: &mut Context) -> FormulaId;
     /// Encoder statistics.
     fn stats(&self) -> PairEncoderStats;
+    /// The per-pair equality variables, for encoders that have them (the
+    /// *e*ij encoder); empty otherwise.
+    fn encoded_pairs(&self) -> Vec<(Symbol, Symbol, FormulaId)> {
+        Vec::new()
+    }
 }
 
 /// Canonically ordered pair of symbols.
@@ -324,7 +340,13 @@ mod tests {
         let b = ctx.term_var("b");
         let root = ctx.eq(a, b);
         let classification = Classification::from_formula(&ctx, root);
-        let encoded = encode(&mut ctx, root, &classification, GEncoding::Eij);
+        let encoded = encode(
+            &mut ctx,
+            root,
+            &classification,
+            GEncoding::Eij,
+            TransitivityMode::Eager,
+        );
         assert!(ctx.is_false(encoded.formula));
         assert_eq!(encoded.num_eij_vars, 0);
     }
@@ -336,7 +358,13 @@ mod tests {
         let x = ctx.term_var("x");
         let y = ctx.term_var("y");
         let root = ctx.eq(x, y);
-        let encoded = encode(&mut ctx, root, &classification, GEncoding::Eij);
+        let encoded = encode(
+            &mut ctx,
+            root,
+            &classification,
+            GEncoding::Eij,
+            TransitivityMode::Eager,
+        );
         assert!(!ctx.is_false(encoded.formula));
         assert!(!ctx.is_true(encoded.formula));
         assert_eq!(encoded.num_eij_vars, 1);
@@ -357,7 +385,13 @@ mod tests {
         let t = ctx.ite_term(sel, a, b);
         let root = ctx.eq(t, a);
         let classification = Classification::from_formula(&ctx, root);
-        let encoded = encode(&mut ctx, root, &classification, GEncoding::Eij);
+        let encoded = encode(
+            &mut ctx,
+            root,
+            &classification,
+            GEncoding::Eij,
+            TransitivityMode::Eager,
+        );
         // ITE(sel, a, b) = a  becomes  ITE(sel, true, false) = sel under the
         // maximally diverse interpretation of the p-terms a and b.
         assert_eq!(encoded.formula, sel);
@@ -369,7 +403,13 @@ mod tests {
         let classification = g_classification(&mut ctx, &["x"]);
         let x = ctx.term_var("x");
         let root = ctx.eq(x, x);
-        let encoded = encode(&mut ctx, root, &classification, GEncoding::Eij);
+        let encoded = encode(
+            &mut ctx,
+            root,
+            &classification,
+            GEncoding::Eij,
+            TransitivityMode::Eager,
+        );
         assert!(ctx.is_true(encoded.formula));
     }
 
@@ -384,7 +424,13 @@ mod tests {
         let e2 = ctx.eq(y, z);
         let e3 = ctx.eq(x, z);
         let conj = ctx.and_many([e1, e2, e3]);
-        let encoded = encode(&mut ctx, conj, &classification, GEncoding::SmallDomain);
+        let encoded = encode(
+            &mut ctx,
+            conj,
+            &classification,
+            GEncoding::SmallDomain,
+            TransitivityMode::Eager,
+        );
         assert_eq!(encoded.num_eij_vars, 0);
         assert!(encoded.num_indexing_vars > 0);
         assert!(
@@ -404,7 +450,13 @@ mod tests {
         let e2 = ctx.eq(y, z);
         let e3 = ctx.eq(x, z);
         let conj = ctx.and_many([e1, e2, e3]);
-        let encoded = encode(&mut ctx, conj, &classification, GEncoding::Eij);
+        let encoded = encode(
+            &mut ctx,
+            conj,
+            &classification,
+            GEncoding::Eij,
+            TransitivityMode::Eager,
+        );
         assert_eq!(encoded.num_eij_vars, 3);
         assert_eq!(encoded.num_triangles, 1);
         assert!(!ctx.is_true(encoded.side_constraints));

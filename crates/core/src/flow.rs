@@ -5,19 +5,21 @@ use crate::backend::{
     bdd_verdict, check_validity_with_bdds, race_backends, sat_verdict, Backend, PortfolioOutcome,
 };
 use crate::burch_dill::VerificationProblem;
-use crate::cnf::formula_to_cnf;
+use crate::cnf::{formula_to_cnf, CnfBuilder};
 use crate::counterexample::Counterexample;
 use crate::decompose::decompose;
-use crate::encode::encode;
+use crate::encode::{encode, EncodedFormula};
 use crate::memory_elim::eliminate_memories;
-use crate::options::TranslationOptions;
+use crate::options::{GEncoding, TransitivityMode, TranslationOptions};
 use crate::positive_equality::Classification;
-use crate::stats::TranslationStats;
+use crate::refine;
+use crate::stats::{RefinementStats, TranslationStats};
 use crate::uf_elim::eliminate_ufs;
 use std::collections::{BTreeMap, BTreeSet};
 use velv_eufm::{Context, DagStats, FormulaId, Support, Symbol};
 use velv_hdl::Processor;
-use velv_sat::{Budget, CnfFormula, Solver, Var};
+use velv_sat::cdcl::CdclConfig;
+use velv_sat::{Budget, CnfFormula, IncrementalSolver, Lit, SatResult, Solver, Var};
 
 /// A fully translated verification obligation, ready for a SAT or BDD back end.
 #[derive(Clone, Debug)]
@@ -35,7 +37,57 @@ pub struct Translation {
     pub cnf: CnfFormula,
     /// CNF variables of the primary Boolean variables.
     pub primary_vars: BTreeMap<Symbol, Var>,
+    /// The *e*ij equality variables of the CNF, `(x, y, cnf_var)` per encoded
+    /// g-term pair — the input of the lazy transitivity refinement loop.
+    pub eij_pairs: Vec<(Symbol, Symbol, Var)>,
+    /// Whether the translation was encoded without transitivity constraints
+    /// (its SAT answers must then be validated by the refinement loop; see
+    /// [`crate::refine`]).  [`Verifier::check`] routes automatically.
+    pub lazy_transitivity: bool,
     /// Size statistics.
+    pub stats: TranslationStats,
+}
+
+/// One obligation of a [`SharedTranslation`]: asserting its assumptions
+/// selects the obligation inside the shared CNF.
+#[derive(Clone, Debug)]
+pub struct SharedObligation {
+    /// Obligation name (`problem::obligation`).
+    pub name: String,
+    /// Assumption literals activating this obligation: its side constraints
+    /// hold, its encoded criterion fails.
+    pub assumptions: Vec<Lit>,
+}
+
+/// All obligations of a decomposed correctness criterion translated into
+/// *one* CNF over one context.
+///
+/// The CNF contains only definitional (Tseitin) clauses — no obligation is
+/// asserted — so it is satisfiable by construction and one persistent
+/// [`IncrementalSolver`] can check every obligation by assuming that
+/// obligation's root literals.  Obligations share the clauses of every common
+/// subformula (windows, match formulas, *e*ij definitions), and the solver
+/// carries its learned clauses and heuristic state from one obligation to the
+/// next — the incremental counterpart of [`Verifier::translate_obligations`],
+/// which re-translates and re-learns per obligation.
+#[derive(Clone, Debug)]
+pub struct SharedTranslation {
+    /// Name of the underlying problem.
+    pub name: String,
+    /// The expression context owning all encoded obligations.
+    pub ctx: Context,
+    /// The shared definitional CNF.
+    pub cnf: CnfFormula,
+    /// The obligations, selected by assumption.
+    pub obligations: Vec<SharedObligation>,
+    /// CNF variables of the primary Boolean variables (all obligations).
+    pub primary_vars: BTreeMap<Symbol, Var>,
+    /// The *e*ij equality variables of the shared CNF (all obligations).
+    pub eij_pairs: Vec<(Symbol, Symbol, Var)>,
+    /// Whether the obligations were encoded without transitivity constraints.
+    pub lazy_transitivity: bool,
+    /// Aggregate size statistics (summed over the obligations where
+    /// per-obligation, final CNF size otherwise).
     pub stats: TranslationStats,
 }
 
@@ -166,14 +218,17 @@ impl Verifier {
             .expect("the translation thread does not panic")
     }
 
-    fn translate_formula_impl(
+    /// Stages 1–4 of the pipeline (memory elimination, positive-equality
+    /// classification, UF/UP elimination, equation encoding) on one formula,
+    /// in place in `ctx`.  Returns the encoded formula plus the statistics
+    /// that do not depend on the CNF stage.
+    fn eliminate_and_encode(
         &self,
-        mut ctx: Context,
+        ctx: &mut Context,
         criterion: FormulaId,
         memory_vars: &BTreeSet<Symbol>,
-        name: String,
-    ) -> Translation {
-        let eufm_stats = DagStats::of_formula(&ctx, criterion);
+    ) -> (EncodedFormula, TranslationStats) {
+        let eufm_stats = DagStats::of_formula(ctx, criterion);
 
         // 1. Memory elimination (precise or conservative per options).
         let abstract_memories: BTreeSet<Symbol> = self
@@ -182,36 +237,31 @@ impl Verifier {
             .iter()
             .map(|n| ctx.symbol(n))
             .collect();
-        let memless = eliminate_memories(&mut ctx, criterion, memory_vars, &abstract_memories);
+        let memless = eliminate_memories(ctx, criterion, memory_vars, &abstract_memories);
 
         // 2. p/g classification (positive equality) of the memory-free formula.
         let mut classification = if self.options.positive_equality {
-            Classification::from_formula(&ctx, memless.formula)
+            Classification::from_formula(ctx, memless.formula)
         } else {
             Classification::all_general()
         };
 
         // 3. UF/UP elimination.
-        let eliminated = eliminate_ufs(
-            &mut ctx,
-            memless.formula,
-            &self.options,
-            &mut classification,
-        );
+        let eliminated = eliminate_ufs(ctx, memless.formula, &self.options, &mut classification);
         // Ackermann constraints (if any) are assumptions of the validity check.
         let to_prove = ctx.implies(eliminated.constraints, eliminated.formula);
 
         // 4. Encoding of the remaining equations.
-        let encoded = encode(&mut ctx, to_prove, &classification, self.options.encoding);
-
-        // 5. CNF generation: side constraints hold, encoded criterion fails.
-        let cnf_translation = formula_to_cnf(
-            &ctx,
-            &[(encoded.side_constraints, true), (encoded.formula, false)],
+        let encoded = encode(
+            ctx,
+            to_prove,
+            &classification,
+            self.options.encoding,
+            self.options.transitivity,
         );
 
-        let mut primary_support = Support::of_formula(&ctx, encoded.formula);
-        let constraint_support = Support::of_formula(&ctx, encoded.side_constraints);
+        let mut primary_support = Support::of_formula(ctx, encoded.formula);
+        let constraint_support = Support::of_formula(ctx, encoded.side_constraints);
         primary_support
             .prop_vars
             .extend(constraint_support.prop_vars);
@@ -222,12 +272,59 @@ impl Verifier {
             indexing_vars: encoded.num_indexing_vars,
             g_pairs: encoded.num_g_pairs,
             transitivity_triangles: encoded.num_triangles,
-            cnf_vars: cnf_translation.cnf.num_vars(),
-            cnf_clauses: cnf_translation.cnf.num_clauses(),
+            cnf_vars: 0,
+            cnf_clauses: 0,
             eufm_equations: eufm_stats.equations,
             uf_applications: eliminated.introduced_vars.len(),
         };
+        (encoded, stats)
+    }
 
+    /// Whether the current options produce lazily refined translations.
+    fn is_lazy(&self) -> bool {
+        self.options.encoding == GEncoding::Eij
+            && self.options.transitivity == TransitivityMode::Lazy
+    }
+
+    /// Maps the encoder's *e*ij variables (formula nodes) to their CNF
+    /// variables; pairs whose variable was simplified out of the CNF are
+    /// dropped (they are unconstrained).
+    fn map_eij_pairs(
+        ctx: &Context,
+        encoded_pairs: &[(Symbol, Symbol, FormulaId)],
+        primary_vars: &BTreeMap<Symbol, Var>,
+    ) -> Vec<(Symbol, Symbol, Var)> {
+        encoded_pairs
+            .iter()
+            .filter_map(|&(x, y, fid)| {
+                let sym = match ctx.formula(fid) {
+                    velv_eufm::Formula::Var(sym) => *sym,
+                    _ => return None,
+                };
+                primary_vars.get(&sym).map(|&var| (x, y, var))
+            })
+            .collect()
+    }
+
+    fn translate_formula_impl(
+        &self,
+        mut ctx: Context,
+        criterion: FormulaId,
+        memory_vars: &BTreeSet<Symbol>,
+        name: String,
+    ) -> Translation {
+        let (encoded, mut stats) = self.eliminate_and_encode(&mut ctx, criterion, memory_vars);
+
+        // 5. CNF generation: side constraints hold, encoded criterion fails.
+        let cnf_translation = formula_to_cnf(
+            &ctx,
+            &[(encoded.side_constraints, true), (encoded.formula, false)],
+        );
+        stats.cnf_vars = cnf_translation.cnf.num_vars();
+        stats.cnf_clauses = cnf_translation.cnf.num_clauses();
+
+        let eij_pairs =
+            Self::map_eij_pairs(&ctx, &encoded.eij_pairs, &cnf_translation.primary_vars);
         Translation {
             name,
             ctx,
@@ -235,25 +332,211 @@ impl Verifier {
             side_constraints: encoded.side_constraints,
             cnf: cnf_translation.cnf,
             primary_vars: cnf_translation.primary_vars,
+            eij_pairs,
+            lazy_transitivity: self.is_lazy(),
+            stats,
+        }
+    }
+
+    /// Translates the decomposed criteria of a problem into one shared CNF
+    /// (see [`SharedTranslation`]): every obligation runs through the full
+    /// pipeline inside one context, and one persistent [`CnfBuilder`] emits
+    /// the definitional clauses, so identical subformulas across obligations
+    /// are translated exactly once.
+    pub fn translate_obligations_shared(
+        &self,
+        problem: &VerificationProblem,
+        max_obligations: usize,
+    ) -> SharedTranslation {
+        let this = self.clone();
+        let problem = problem.clone();
+        std::thread::Builder::new()
+            .name(format!("velv-translate-shared-{}", problem.name))
+            .stack_size(256 * 1024 * 1024)
+            .spawn(move || this.translate_obligations_shared_impl(&problem, max_obligations))
+            .expect("spawning the translation thread succeeds")
+            .join()
+            .expect("the translation thread does not panic")
+    }
+
+    fn translate_obligations_shared_impl(
+        &self,
+        problem: &VerificationProblem,
+        max_obligations: usize,
+    ) -> SharedTranslation {
+        let mut ctx = problem.ctx.clone();
+        let obligations = decompose(problem, &mut ctx, max_obligations);
+        let mut builder = CnfBuilder::new();
+        let mut shared_obligations = Vec::new();
+        let mut eij_map: BTreeMap<(Symbol, Symbol), Var> = BTreeMap::new();
+        let mut stats = TranslationStats::default();
+        for obligation in obligations {
+            let (encoded, obligation_stats) =
+                self.eliminate_and_encode(&mut ctx, obligation.formula, &problem.memory_vars);
+            stats.primary_bool_vars += obligation_stats.primary_bool_vars;
+            stats.eij_vars += obligation_stats.eij_vars;
+            stats.indexing_vars += obligation_stats.indexing_vars;
+            stats.g_pairs += obligation_stats.g_pairs;
+            stats.transitivity_triangles += obligation_stats.transitivity_triangles;
+            stats.eufm_equations += obligation_stats.eufm_equations;
+            stats.uf_applications += obligation_stats.uf_applications;
+            // Definitional clauses only: the roots are *assumed*, not
+            // asserted, so the shared CNF serves every obligation.
+            let side_lit = builder.literal(&ctx, encoded.side_constraints);
+            let encoded_lit = builder.literal(&ctx, encoded.formula);
+            for (x, y, var) in Self::map_eij_pairs(&ctx, &encoded.eij_pairs, builder.primary_vars())
+            {
+                eij_map.entry(crate::encode::ordered(x, y)).or_insert(var);
+            }
+            shared_obligations.push(SharedObligation {
+                name: format!("{}::{}", problem.name, obligation.name),
+                assumptions: vec![side_lit, !encoded_lit],
+            });
+        }
+        let translation = builder.finish();
+        stats.cnf_vars = translation.cnf.num_vars();
+        stats.cnf_clauses = translation.cnf.num_clauses();
+        SharedTranslation {
+            name: problem.name.clone(),
+            ctx,
+            cnf: translation.cnf,
+            obligations: shared_obligations,
+            primary_vars: translation.primary_vars,
+            eij_pairs: eij_map
+                .into_iter()
+                .map(|((x, y), var)| (x, y, var))
+                .collect(),
+            lazy_transitivity: self.is_lazy(),
             stats,
         }
     }
 
     /// Checks a translation with a SAT back end.
+    ///
+    /// Lazily encoded translations (see
+    /// [`crate::TransitivityMode::Lazy`]) are routed through the
+    /// model-driven refinement loop, which re-solves a growing CNF with the
+    /// given solver until the verdict is transitivity-consistent; use
+    /// [`Verifier::check_incremental`] to run the same loop on a persistent
+    /// incremental engine instead.
     pub fn check(
         &self,
         translation: &Translation,
         solver: &mut dyn Solver,
         budget: Budget,
     ) -> Verdict {
+        if translation.lazy_transitivity {
+            return refine::check_with_refinement_monolithic(translation, solver, budget).0;
+        }
         sat_verdict(
             translation,
             solver.solve_with_budget(&translation.cnf, budget),
         )
     }
 
+    /// Checks a translation with a fresh persistent [`IncrementalSolver`]
+    /// built from `config`: for lazily encoded translations the refinement
+    /// loop asserts violated transitivity constraints into the live engine
+    /// (keeping all learned clauses); for eager translations this is a
+    /// single solver call.  Returns the verdict together with the refinement
+    /// statistics.
+    pub fn check_incremental(
+        &self,
+        translation: &Translation,
+        config: CdclConfig,
+        budget: Budget,
+    ) -> (Verdict, RefinementStats) {
+        refine::check_incremental(translation, config, budget)
+    }
+
+    /// Checks every obligation of a [`SharedTranslation`] with one
+    /// persistent [`IncrementalSolver`]: the shared definitional CNF is
+    /// loaded once, each obligation is selected by assumption, and learned
+    /// clauses carry over from one obligation to the next.  Lazily encoded
+    /// obligations are refined in place — transitivity constraints are valid
+    /// for every obligation, so the clauses asserted while refining one
+    /// remain for all later ones.
+    ///
+    /// Returns the overall verdict (correct iff every obligation is correct,
+    /// buggy as soon as one is falsified), the per-obligation verdicts, and
+    /// the aggregate refinement statistics.
+    pub fn check_shared(
+        &self,
+        shared: &SharedTranslation,
+        config: CdclConfig,
+        budget: Budget,
+    ) -> (Verdict, Vec<(String, Verdict)>, RefinementStats) {
+        let mut solver = IncrementalSolver::with_formula(config, &shared.cnf);
+        self.check_shared_with(shared, &mut solver, budget)
+    }
+
+    /// [`Verifier::check_shared`] on a caller-supplied solver (which may
+    /// already hold clauses from earlier runs of the same shared CNF).
+    pub fn check_shared_with(
+        &self,
+        shared: &SharedTranslation,
+        solver: &mut IncrementalSolver,
+        budget: Budget,
+    ) -> (Verdict, Vec<(String, Verdict)>, RefinementStats) {
+        // Resolve the relative time limit once: the deadline then bounds the
+        // whole run, while each obligation's refinement loop charges the
+        // step budgets internally (per obligation, matching the
+        // per-obligation budgets of `verify_decomposed`).
+        let mut resolved = budget.started();
+        resolved.max_time = None;
+        let mut results = Vec::new();
+        let mut overall = Verdict::Correct;
+        let mut stats = RefinementStats::default();
+        for obligation in &shared.obligations {
+            let mut driver = refine::IncrementalDriver {
+                solver,
+                assumptions: obligation.assumptions.clone(),
+            };
+            let result = refine::refinement_loop(
+                &shared.eij_pairs,
+                shared.lazy_transitivity,
+                &resolved,
+                &mut stats,
+                &mut driver,
+            );
+            let verdict = match &result {
+                SatResult::Unsat => Verdict::Correct,
+                SatResult::Sat(model) => Verdict::Buggy(Counterexample::from_model(
+                    &shared.ctx,
+                    &shared.primary_vars,
+                    model,
+                )),
+                SatResult::Unknown(velv_sat::StopReason::Cancelled) => {
+                    Verdict::Unknown("cancelled".to_owned())
+                }
+                SatResult::Unknown(reason) => Verdict::Unknown(format!("{reason:?}")),
+            };
+            if verdict.is_buggy() && !overall.is_buggy() {
+                overall = verdict.clone();
+            }
+            if let Verdict::Unknown(reason) = &verdict {
+                if overall.is_correct() {
+                    overall = Verdict::Unknown(reason.clone());
+                }
+            }
+            results.push((obligation.name.clone(), verdict));
+        }
+        (overall, results, stats)
+    }
+
     /// Checks a translation with the BDD back end.
+    ///
+    /// Lazily encoded translations are refused (see [`race_backends`]): the
+    /// BDD build cannot iterate the refinement loop, so its falsifiable
+    /// answers could be spurious.
     pub fn check_with_bdds(&self, translation: &Translation, node_limit: usize) -> Verdict {
+        if translation.lazy_transitivity {
+            return Verdict::Unknown(
+                "lazy transitivity requires the refinement loop; \
+                 use a SAT back end or Verifier::check_incremental"
+                    .to_owned(),
+            );
+        }
         let translation = translation.clone();
         std::thread::Builder::new()
             .name("velv-bdd-backend".to_owned())
@@ -390,6 +673,26 @@ impl Verifier {
         }
         (overall, results)
     }
+
+    /// Decomposed verification on one shared solver instance: the weak
+    /// criteria are translated into a single CNF
+    /// ([`Verifier::translate_obligations_shared`]) and checked by one
+    /// persistent incremental engine ([`Verifier::check_shared`]), so the
+    /// clauses and learned facts common to the obligations are processed
+    /// once instead of once per obligation.
+    pub fn verify_decomposed_shared(
+        &self,
+        implementation: &dyn Processor,
+        specification: &dyn Processor,
+        max_obligations: usize,
+        config: CdclConfig,
+        budget: Budget,
+    ) -> (Verdict, Vec<(String, Verdict)>) {
+        let problem = self.build_problem(implementation, specification);
+        let shared = self.translate_obligations_shared(&problem, max_obligations);
+        let (overall, results, _) = self.check_shared(&shared, config, budget);
+        (overall, results)
+    }
 }
 
 #[cfg(test)]
@@ -505,6 +808,114 @@ mod tests {
         assert!(verifier.check_with_bdds(&good, 1 << 22).is_correct());
         let bad = verifier.translate(&PipelinedToy::buggy(ToyBug::WritesWrongData), &ToySpec);
         assert!(verifier.check_with_bdds(&bad, 1 << 22).is_buggy());
+    }
+
+    #[test]
+    fn lazy_transitivity_agrees_with_eager_on_the_toy_models() {
+        let eager = Verifier::new(TranslationOptions::default());
+        let lazy = Verifier::new(TranslationOptions::default().with_lazy_transitivity());
+        let mut solver = CdclSolver::chaff();
+        assert!(lazy
+            .verify(&PipelinedToy::correct(), &ToySpec, &mut solver)
+            .is_correct());
+        for bug in [ToyBug::ForwardingIgnoresValid, ToyBug::WritesWrongData] {
+            let eager_translation = eager.translate(&PipelinedToy::buggy(bug), &ToySpec);
+            let lazy_translation = lazy.translate(&PipelinedToy::buggy(bug), &ToySpec);
+            assert!(!eager_translation.lazy_transitivity);
+            assert!(lazy_translation.lazy_transitivity);
+            assert!(
+                lazy_translation.stats.transitivity_triangles == 0,
+                "lazy encoding emits no triangles"
+            );
+            let mut solver = CdclSolver::chaff();
+            let eager_verdict = eager.check(
+                &eager_translation,
+                &mut solver,
+                velv_sat::Budget::unlimited(),
+            );
+            let mut solver = CdclSolver::chaff();
+            let lazy_verdict = lazy.check(
+                &lazy_translation,
+                &mut solver,
+                velv_sat::Budget::unlimited(),
+            );
+            assert_eq!(
+                eager_verdict.is_buggy(),
+                lazy_verdict.is_buggy(),
+                "bug {bug:?}"
+            );
+            assert!(lazy_verdict.is_buggy(), "bug {bug:?}: {lazy_verdict:?}");
+        }
+    }
+
+    #[test]
+    fn lazy_incremental_check_agrees_and_reports_stats() {
+        let lazy = Verifier::new(
+            TranslationOptions::default()
+                .without_positive_equality()
+                .with_lazy_transitivity(),
+        );
+        let good = lazy.translate(&PipelinedToy::correct(), &ToySpec);
+        let (verdict, stats) = lazy.check_incremental(
+            &good,
+            velv_sat::cdcl::CdclConfig::chaff(),
+            velv_sat::Budget::unlimited(),
+        );
+        assert!(verdict.is_correct(), "{verdict:?}");
+        assert!(stats.iterations >= 1);
+        let bad = lazy.translate(&PipelinedToy::buggy(ToyBug::WritesWrongData), &ToySpec);
+        let (verdict, _) = lazy.check_incremental(
+            &bad,
+            velv_sat::cdcl::CdclConfig::chaff(),
+            velv_sat::Budget::unlimited(),
+        );
+        assert!(verdict.is_buggy(), "{verdict:?}");
+        assert!(verdict.counterexample().is_some());
+    }
+
+    #[test]
+    fn shared_decomposition_matches_per_obligation_decomposition() {
+        for options in [
+            TranslationOptions::default(),
+            TranslationOptions::default().with_lazy_transitivity(),
+        ] {
+            let verifier = Verifier::new(options);
+            let (overall, parts) = verifier.verify_decomposed_shared(
+                &PipelinedToy::correct(),
+                &ToySpec,
+                8,
+                velv_sat::cdcl::CdclConfig::chaff(),
+                Budget::unlimited(),
+            );
+            assert!(overall.is_correct(), "got {overall:?}");
+            assert!(!parts.is_empty());
+            assert!(parts.iter().all(|(_, v)| v.is_correct()));
+            let (overall, parts) = verifier.verify_decomposed_shared(
+                &PipelinedToy::buggy(ToyBug::WritesWrongData),
+                &ToySpec,
+                8,
+                velv_sat::cdcl::CdclConfig::chaff(),
+                Budget::unlimited(),
+            );
+            assert!(overall.is_buggy(), "got {overall:?}");
+            assert!(parts.iter().any(|(_, v)| v.is_buggy()));
+        }
+    }
+
+    #[test]
+    fn shared_translation_is_definitional() {
+        // With no obligation asserted the shared CNF must be satisfiable —
+        // it contains Tseitin definitions only.
+        let verifier = Verifier::new(TranslationOptions::default());
+        let problem = verifier.build_problem(&PipelinedToy::correct(), &ToySpec);
+        let shared = verifier.translate_obligations_shared(&problem, 8);
+        assert!(!shared.obligations.is_empty());
+        let mut solver = CdclSolver::chaff();
+        assert!(solver.solve(&shared.cnf).is_sat());
+        // And the obligations must cover at least the coverage obligation
+        // plus one group per instruction count.
+        assert!(shared.obligations[0].name.contains("coverage"));
+        assert!(shared.stats.cnf_clauses > 0);
     }
 
     #[test]

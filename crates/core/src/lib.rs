@@ -54,6 +54,7 @@ pub mod flow;
 pub mod memory_elim;
 pub mod options;
 pub mod positive_equality;
+pub mod refine;
 pub mod stats;
 #[cfg(test)]
 pub(crate) mod test_models;
@@ -62,6 +63,6 @@ pub mod uf_elim;
 pub use backend::{Backend, BackendRun, BddOutcome, PortfolioOutcome};
 pub use burch_dill::VerificationProblem;
 pub use counterexample::Counterexample;
-pub use flow::{Translation, Verdict, Verifier};
-pub use options::{GEncoding, TranslationOptions, UpElimination};
-pub use stats::TranslationStats;
+pub use flow::{SharedObligation, SharedTranslation, Translation, Verdict, Verifier};
+pub use options::{GEncoding, TransitivityMode, TranslationOptions, UpElimination};
+pub use stats::{RefinementStats, TranslationStats};

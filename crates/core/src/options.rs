@@ -11,6 +11,27 @@ pub enum GEncoding {
     SmallDomain,
 }
 
+/// How transitivity of the *e*ij equality variables is enforced (only
+/// meaningful for [`GEncoding::Eij`]; the small-domain encoding is
+/// transitive by construction).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TransitivityMode {
+    /// Triangulate the equality-comparison graph up front and assume the
+    /// three transitivity clauses of every triangle as side constraints
+    /// (Bryant & Velev's sparse method, Section 6 of the paper).  One solver
+    /// call decides the obligation.
+    Eager,
+    /// Encode without any transitivity constraints and refine lazily: solve,
+    /// look for violated transitivity in the returned model (an equality
+    /// path between the endpoints of a false *e*ij edge), assert the violated
+    /// constraint, re-solve — the refinement loop of Bryant & Velev's
+    /// "Boolean Satisfiability with Transitivity Constraints", a natural fit
+    /// for the incremental solver which keeps learned clauses across the
+    /// iterations.  UNSAT answers need no refinement at all (fewer variables,
+    /// no chord edges); SAT answers are validated before being reported.
+    Lazy,
+}
+
 /// How uninterpreted predicates are eliminated.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum UpElimination {
@@ -30,6 +51,12 @@ pub struct TranslationOptions {
     pub positive_equality: bool,
     /// Encoding of g-equations (Section 6).
     pub encoding: GEncoding,
+    /// Transitivity enforcement for the *e*ij encoding: eager triangulated
+    /// side constraints (the default) or lazy model-driven refinement.
+    /// Lazy translations are checked by the refinement loop in
+    /// [`crate::refine`]; [`crate::Verifier::check`] routes there
+    /// automatically.
+    pub transitivity: TransitivityMode,
     /// Elimination scheme for uninterpreted predicates (Section 5, "AC").
     pub up_elimination: UpElimination,
     /// Early reduction of p-equations during UF elimination (Section 5, "ER").
@@ -49,6 +76,7 @@ impl Default for TranslationOptions {
         TranslationOptions {
             positive_equality: true,
             encoding: GEncoding::Eij,
+            transitivity: TransitivityMode::Eager,
             up_elimination: UpElimination::NestedIte,
             early_reduction: false,
             abstract_memories: Vec::new(),
@@ -83,6 +111,13 @@ impl TranslationOptions {
         self
     }
 
+    /// Switches transitivity enforcement to lazy model-driven refinement
+    /// (see [`TransitivityMode::Lazy`]).
+    pub fn with_lazy_transitivity(mut self) -> Self {
+        self.transitivity = TransitivityMode::Lazy;
+        self
+    }
+
     /// Disables positive equality (the "no positive equality" rows of Table 9).
     pub fn without_positive_equality(mut self) -> Self {
         self.positive_equality = false;
@@ -112,6 +147,7 @@ mod tests {
         let options = TranslationOptions::default();
         assert!(options.positive_equality);
         assert_eq!(options.encoding, GEncoding::Eij);
+        assert_eq!(options.transitivity, TransitivityMode::Eager);
         assert_eq!(options.up_elimination, UpElimination::NestedIte);
         assert!(!options.early_reduction);
         assert!(options.abstract_memories.is_empty());
@@ -131,6 +167,12 @@ mod tests {
             !TranslationOptions::base()
                 .without_positive_equality()
                 .positive_equality
+        );
+        assert_eq!(
+            TranslationOptions::base()
+                .with_lazy_transitivity()
+                .transitivity,
+            TransitivityMode::Lazy
         );
     }
 

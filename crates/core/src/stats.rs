@@ -44,9 +44,39 @@ impl fmt::Display for TranslationStats {
     }
 }
 
+/// Statistics of one lazy-transitivity refinement run (or of a shared-solver
+/// decomposition check, where the counters aggregate over all obligations).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RefinementStats {
+    /// Solver calls made, including the final one that produced the verdict
+    /// (1 for an eager or UNSAT-first-try run).
+    pub iterations: usize,
+    /// Transitivity constraint clauses asserted during refinement.
+    pub constraints_added: usize,
+}
+
+impl fmt::Display for RefinementStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "iterations={}, constraints_added={}",
+            self.iterations, self.constraints_added
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn refinement_stats_display() {
+        let stats = RefinementStats {
+            iterations: 3,
+            constraints_added: 7,
+        };
+        assert_eq!(format!("{stats}"), "iterations=3, constraints_added=7");
+    }
 
     #[test]
     fn display_is_informative() {

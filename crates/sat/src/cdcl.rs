@@ -201,6 +201,21 @@ impl Solver for CdclSolver {
         result
     }
 
+    /// Native assumption handling: assumptions are treated as pseudo-decisions
+    /// by the engine instead of being copied into the formula as unit clauses
+    /// (`Unsat` then means "unsatisfiable under the assumptions").
+    fn solve_assuming(
+        &mut self,
+        cnf: &CnfFormula,
+        assumptions: &[Lit],
+        budget: Budget,
+    ) -> SatResult {
+        let mut engine = Engine::new(cnf, self.config.clone());
+        let result = engine.search(assumptions, budget);
+        self.stats = engine.stats;
+        result
+    }
+
     fn stats(&self) -> SolverStats {
         self.stats
     }
@@ -339,6 +354,13 @@ impl VarHeap {
         }
     }
 
+    /// Extends the position table for variables added after construction.
+    fn grow(&mut self, num_vars: usize) {
+        if num_vars > self.pos.len() {
+            self.pos.resize(num_vars, -1);
+        }
+    }
+
     #[inline]
     fn in_heap(&self, v: usize) -> bool {
         self.pos[v] >= 0
@@ -420,9 +442,9 @@ const VAL_TRUE: u8 = 0;
 const VAL_FALSE: u8 = 1;
 const VAL_UNDEF: u8 = 2;
 
-struct Engine {
+pub(crate) struct Engine {
     config: CdclConfig,
-    stats: SolverStats,
+    pub(crate) stats: SolverStats,
     num_vars: usize,
     arena: ClauseArena,
     /// For each literal index, the watchers of that literal.
@@ -454,10 +476,15 @@ struct Engine {
     num_learnts: usize,
     reduce_limit: usize,
     unsat: bool,
+    /// Final-conflict core of the last [`Engine::search`] that returned
+    /// `Unsat` under assumptions: the subset of the assumption literals that
+    /// already suffices for unsatisfiability.  Empty when the formula is
+    /// unsatisfiable outright.
+    final_core: Vec<Lit>,
 }
 
 impl Engine {
-    fn new(cnf: &CnfFormula, config: CdclConfig) -> Self {
+    pub(crate) fn new(cnf: &CnfFormula, config: CdclConfig) -> Self {
         let num_vars = cnf.num_vars();
         let seed = config.seed;
         let use_heap = !config.static_order;
@@ -489,6 +516,7 @@ impl Engine {
             num_learnts: 0,
             reduce_limit: (cnf.num_clauses() / 3).max(4000),
             unsat: false,
+            final_core: Vec::new(),
         };
         // Give every variable an initial (small) activity based on occurrence count.
         for clause in cnf.clauses() {
@@ -508,6 +536,82 @@ impl Engine {
             }
         }
         engine
+    }
+
+    /// Grows the variable tables (values, levels, reasons, activities, phases,
+    /// watch lists, decision heap) to cover at least `n` variables.
+    pub(crate) fn ensure_vars(&mut self, n: usize) {
+        if n <= self.num_vars {
+            return;
+        }
+        self.watches.resize_with(2 * n, Vec::new);
+        self.vals.resize(n, VAL_UNDEF);
+        self.level.resize(n, 0);
+        self.reason.resize(n, UNDEF_CLAUSE);
+        self.activity.resize(n, 0.0);
+        self.phase.resize(n, false);
+        self.seen.resize(n, false);
+        self.heap.grow(n);
+        if self.use_heap {
+            for v in self.num_vars..n {
+                self.heap.insert(v, &self.activity);
+            }
+        }
+        self.num_vars = n;
+    }
+
+    /// Number of variables currently known to the engine.
+    pub(crate) fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Whether a root-level conflict has proven the formula unsatisfiable.
+    pub(crate) fn is_unsat(&self) -> bool {
+        self.unsat
+    }
+
+    /// The assumption subset extracted by the last failing [`Engine::search`].
+    pub(crate) fn final_core(&self) -> &[Lit] {
+        &self.final_core
+    }
+
+    /// Adds a clause between solves.  The engine first returns to decision
+    /// level 0; the clause is normalised (sorted, deduplicated, tautologies
+    /// dropped), simplified against the root-level assignment, and then
+    /// installed with regular watches.  Unit clauses are enqueued at the root
+    /// and propagated by the next [`Engine::search`]; an empty clause marks
+    /// the formula unsatisfiable.
+    pub(crate) fn add_clause_dynamic(&mut self, lits: &[Lit]) {
+        if self.unsat {
+            return;
+        }
+        self.backtrack_to(0);
+        if let Some(max) = lits.iter().map(|l| l.var().index() + 1).max() {
+            self.ensure_vars(max);
+        }
+        let mut clause: Vec<Lit> = lits.to_vec();
+        clause.sort_unstable();
+        clause.dedup();
+        for pair in clause.windows(2) {
+            if pair[0].var() == pair[1].var() {
+                return; // tautology: x and ¬x in the same clause
+            }
+        }
+        // Only root-level assignments remain after the backtrack, so any
+        // assigned literal is permanently true or false.
+        if clause.iter().any(|&l| self.value_lit(l) == VAL_TRUE) {
+            return; // satisfied at the root forever
+        }
+        clause.retain(|&l| self.value_lit(l) != VAL_FALSE);
+        match clause.len() {
+            0 => self.unsat = true,
+            1 => self.enqueue(clause[0], UNDEF_CLAUSE),
+            _ => {
+                let cref = self.arena.alloc(&clause, false);
+                self.watch(clause[0], cref, clause[1]);
+                self.watch(clause[1], cref, clause[0]);
+            }
+        }
     }
 
     fn add_initial_clause(&mut self, lits: &[Lit]) {
@@ -555,7 +659,14 @@ impl Engine {
         debug_assert!(self.is_unassigned(var));
         self.vals[var] = lit.index() as u8 & 1;
         self.level[var] = self.decision_level();
-        self.reason[var] = reason;
+        // Root-level facts need no reason (conflict analysis never resolves
+        // on them), and recording none keeps their clauses unlocked so that
+        // incremental sessions may retract scope clauses safely.
+        self.reason[var] = if self.decision_level() == 0 {
+            UNDEF_CLAUSE
+        } else {
+            reason
+        };
         if self.config.phase_saving {
             self.phase[var] = lit.is_positive();
         }
@@ -753,7 +864,10 @@ impl Engine {
             }
             self.trail.truncate(start);
         }
-        self.qhead = self.trail.len();
+        // Never advance qhead past a pending (unpropagated) entry: root
+        // units enqueued by `add_clause_dynamic` between solves sit below
+        // the trail end and must still be propagated by the next search.
+        self.qhead = self.qhead.min(self.trail.len());
         self.static_cursor = 0;
     }
 
@@ -991,7 +1105,7 @@ impl Engine {
         refs.truncate(kept);
     }
 
-    fn extract_model(&self) -> Model {
+    pub(crate) fn extract_model(&self) -> Model {
         Model::new(
             (0..self.num_vars)
                 .map(|v| self.vals[v] == VAL_TRUE)
@@ -1006,10 +1120,69 @@ impl Engine {
     const BUDGET_POLL_MASK: u64 = 63;
 
     fn run(&mut self, budget: Budget) -> SatResult {
+        self.search(&[], budget)
+    }
+
+    /// Final-conflict analysis (MiniSat's `analyzeFinal`): the assumption `p`
+    /// is false under the current partial assignment, and the returned core is
+    /// a subset of the assumption literals that already forces the conflict —
+    /// `p` itself plus every assumption reachable backwards through the
+    /// implication graph from `¬p`.
+    fn analyze_final(&mut self, p: Lit) -> Vec<Lit> {
+        let mut core = vec![p];
+        let pv = p.var().index();
+        if self.trail_lim.is_empty() || self.level[pv] == 0 {
+            // ¬p is a root-level fact: assuming p alone is contradictory.
+            return core;
+        }
+        self.seen[pv] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let x = self.trail[i];
+            let v = x.var().index();
+            if !self.seen[v] {
+                continue;
+            }
+            self.seen[v] = false;
+            let r = self.reason[v];
+            if r == UNDEF_CLAUSE {
+                // A pseudo-decision: every decision below the current point is
+                // an assumption, and this one contributes to the conflict.
+                debug_assert!(self.level[v] > 0);
+                core.push(x);
+            } else {
+                for k in 1..self.arena.len(r) {
+                    let q = self.arena.lit(r, k);
+                    if self.level[q.var().index()] > 0 {
+                        self.seen[q.var().index()] = true;
+                    }
+                }
+            }
+        }
+        self.seen[pv] = false;
+        core
+    }
+
+    /// CDCL search under `assumptions`, treated as pseudo-decisions at the
+    /// bottom of the decision stack (MiniSat-style).  `Unsat` means
+    /// unsatisfiable *under the assumptions*; [`Engine::final_core`] then
+    /// holds the responsible assumption subset (empty when the formula is
+    /// unsatisfiable outright).  Step budgets are counted relative to this
+    /// call, so a persistent engine can be re-solved with fresh limits.
+    pub(crate) fn search(&mut self, assumptions: &[Lit], budget: Budget) -> SatResult {
+        self.final_core.clear();
         if self.unsat {
             return SatResult::Unsat;
         }
+        for a in assumptions {
+            self.ensure_vars(a.var().index() + 1);
+        }
+        // Return to the root; `qhead` still covers any units enqueued by
+        // `add_clause_dynamic` since the last call, so only genuinely new
+        // root facts are propagated (not the whole root trail again).
+        self.backtrack_to(0);
         let budget = budget.started();
+        let start_conflicts = self.stats.conflicts;
+        let start_decisions = self.stats.decisions;
         let mut restart_limit = self.config.restart_interval;
         let mut conflicts_since_restart: u64 = 0;
         loop {
@@ -1017,6 +1190,7 @@ impl Engine {
                 self.stats.conflicts += 1;
                 conflicts_since_restart += 1;
                 if self.decision_level() == 0 {
+                    self.unsat = true;
                     return SatResult::Unsat;
                 }
                 let backtrack_level = self.analyze(conflict);
@@ -1027,7 +1201,7 @@ impl Engine {
                     self.purge_oversize();
                 }
                 if let Some(max_conflicts) = budget.max_conflicts {
-                    if self.stats.conflicts >= max_conflicts {
+                    if self.stats.conflicts - start_conflicts >= max_conflicts {
                         return SatResult::Unknown(StopReason::ConflictLimit);
                     }
                 }
@@ -1051,12 +1225,39 @@ impl Engine {
                         continue;
                     }
                 }
+                // Re-establish the assumptions as pseudo-decisions before any
+                // real decision is taken (restarts drop them, the decision
+                // loop puts them back).
+                let mut asserted_assumption = false;
+                while (self.decision_level() as usize) < assumptions.len() {
+                    let p = assumptions[self.decision_level() as usize];
+                    match self.value_lit(p) {
+                        VAL_TRUE => {
+                            // Already implied: open a dummy level so the
+                            // level ↔ assumption-index correspondence holds.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        VAL_FALSE => {
+                            self.final_core = self.analyze_final(p);
+                            return SatResult::Unsat;
+                        }
+                        _ => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(p, UNDEF_CLAUSE);
+                            asserted_assumption = true;
+                            break;
+                        }
+                    }
+                }
+                if asserted_assumption {
+                    continue;
+                }
                 match self.pick_branch_lit() {
                     None => return SatResult::Sat(self.extract_model()),
                     Some(lit) => {
                         self.stats.decisions += 1;
                         if let Some(max_decisions) = budget.max_decisions {
-                            if self.stats.decisions >= max_decisions {
+                            if self.stats.decisions - start_decisions >= max_decisions {
                                 return SatResult::Unknown(StopReason::DecisionLimit);
                             }
                         }

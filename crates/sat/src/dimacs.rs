@@ -44,8 +44,13 @@ pub fn read_dimacs<R: BufRead>(reader: R) -> Result<CnfFormula, ParseDimacsError
     for line in reader.lines() {
         let line = line?;
         let line = line.trim();
-        if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+        if line.is_empty() || line.starts_with('c') {
             continue;
+        }
+        if line.starts_with('%') {
+            // SATLIB end-of-file marker ("%" followed by a stray "0" line):
+            // everything after it is padding, not clauses.
+            break;
         }
         if let Some(rest) = line.strip_prefix('p') {
             let mut parts = rest.split_whitespace();
@@ -115,6 +120,136 @@ pub fn to_dimacs_string(cnf: &CnfFormula) -> String {
     String::from_utf8(out).expect("DIMACS output is ASCII")
 }
 
+/// One event of an incremental solving session, in the order it happened.
+///
+/// The iCNF format (the `p inccnf` incremental-track format) interleaves
+/// ordinary clause lines with *solve cues*: a line `a l1 l2 ... 0` asks for a
+/// `solve_assuming(&[l1, l2, ...])` call under the clauses seen so far.
+/// [`crate::incremental::IncrementalSolver`] can record its session as a list
+/// of these events and [`crate::incremental::replay_icnf`] re-executes one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IcnfEvent {
+    /// A clause added to the formula.
+    AddClause(Vec<Lit>),
+    /// A `solve_assuming` call with the given assumption literals.
+    Solve(Vec<Lit>),
+}
+
+/// Writes an incremental session in iCNF format: a `p inccnf` header, one
+/// line per clause (terminated by `0`) and one `a <lits> 0` line per solve
+/// cue, in event order.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_icnf<W: Write>(mut writer: W, events: &[IcnfEvent]) -> io::Result<()> {
+    writeln!(writer, "p inccnf")?;
+    for event in events {
+        let lits = match event {
+            IcnfEvent::AddClause(lits) => lits,
+            IcnfEvent::Solve(lits) => {
+                write!(writer, "a ")?;
+                lits
+            }
+        };
+        for lit in lits {
+            write!(writer, "{} ", lit.to_dimacs())?;
+        }
+        writeln!(writer, "0")?;
+    }
+    Ok(())
+}
+
+/// Renders an incremental session as an iCNF string.
+pub fn to_icnf_string(events: &[IcnfEvent]) -> String {
+    let mut out = Vec::new();
+    write_icnf(&mut out, events).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("iCNF output is ASCII")
+}
+
+/// Parses an iCNF incremental session from `reader`.
+///
+/// Comments (`c`/`%`), blank lines and stray whitespace are tolerated, as in
+/// [`read_dimacs`]; each clause or assumption line must be terminated by `0`
+/// on the same line.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] if the input is not a well-formed iCNF
+/// session or the reader fails.
+pub fn read_icnf<R: BufRead>(reader: R) -> Result<Vec<IcnfEvent>, ParseDimacsError> {
+    let mut events = Vec::new();
+    let mut saw_problem_line = false;
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if line.starts_with('%') {
+            // SATLIB-style end marker: everything after it (typically a
+            // stray "0" line) is padding, not an empty clause.
+            break;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let format = rest.split_whitespace().next().unwrap_or("");
+            if format != "inccnf" {
+                return Err(ParseDimacsError::Malformed(format!(
+                    "unsupported problem format `{format}` (expected inccnf)"
+                )));
+            }
+            saw_problem_line = true;
+            continue;
+        }
+        if !saw_problem_line {
+            return Err(ParseDimacsError::Malformed(
+                "missing `p inccnf` problem line".into(),
+            ));
+        }
+        let (is_solve, body) = match line.strip_prefix('a') {
+            Some(rest) => (true, rest),
+            None => (false, line),
+        };
+        let mut lits = Vec::new();
+        let mut terminated = false;
+        for token in body.split_whitespace() {
+            let value: i64 = token
+                .parse()
+                .map_err(|_| ParseDimacsError::Malformed(format!("invalid literal `{token}`")))?;
+            if value == 0 {
+                terminated = true;
+                break;
+            }
+            lits.push(Lit::from_dimacs(value));
+        }
+        if !terminated {
+            return Err(ParseDimacsError::Malformed(format!(
+                "unterminated iCNF line `{line}`"
+            )));
+        }
+        events.push(if is_solve {
+            IcnfEvent::Solve(lits)
+        } else {
+            IcnfEvent::AddClause(lits)
+        });
+    }
+    if !saw_problem_line {
+        return Err(ParseDimacsError::Malformed(
+            "missing `p inccnf` problem line".into(),
+        ));
+    }
+    Ok(events)
+}
+
+/// Parses an iCNF incremental session from a string.
+///
+/// # Errors
+///
+/// See [`read_icnf`].
+pub fn parse_icnf(input: &str) -> Result<Vec<IcnfEvent>, ParseDimacsError> {
+    read_icnf(input.as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,5 +298,61 @@ mod tests {
         assert_eq!(cnf.num_clauses(), 2);
         assert_eq!(cnf.clauses()[0].len(), 3);
         assert_eq!(cnf.clauses()[1].len(), 3);
+    }
+
+    #[test]
+    fn tolerates_comments_blank_lines_and_trailing_whitespace() {
+        // Comments before, between and after clauses; blank lines; trailing
+        // spaces and tabs; CRLF endings; '%' end-of-file markers (SATLIB).
+        let input = "c header comment\n\nc another\np cnf 3 2   \r\n  1 -2 0\t\n\n\
+                     c between clauses\n   2 3 0   \n%\n0\n\n";
+        let cnf = parse_dimacs(input).unwrap();
+        assert_eq!(cnf.num_vars(), 3);
+        // The '%' marker ends the input: the stray "0" line after it must
+        // not be parsed as an (unsatisfiable) empty clause.
+        assert_eq!(cnf.num_clauses(), 2);
+        assert_eq!(
+            cnf.clauses()[0],
+            vec![Lit::from_dimacs(1), Lit::from_dimacs(-2)]
+        );
+    }
+
+    #[test]
+    fn icnf_roundtrip() {
+        let events = vec![
+            IcnfEvent::AddClause(vec![Lit::from_dimacs(1), Lit::from_dimacs(-2)]),
+            IcnfEvent::Solve(vec![Lit::from_dimacs(2)]),
+            IcnfEvent::AddClause(vec![Lit::from_dimacs(-1)]),
+            IcnfEvent::Solve(vec![]),
+            IcnfEvent::AddClause(vec![]),
+        ];
+        let text = to_icnf_string(&events);
+        assert!(text.starts_with("p inccnf\n"));
+        assert!(text.contains("a 2 0"));
+        let parsed = parse_icnf(&text).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn icnf_tolerates_comments_and_whitespace() {
+        // The '%' end marker and its stray "0" line must not be parsed as an
+        // (unsatisfiable) empty clause.
+        let input = "c session dump\n\np inccnf   \r\n  1 -2 0  \nc solve now\n a 2 0\t\n%\n0\n";
+        let parsed = parse_icnf(input).unwrap();
+        assert_eq!(
+            parsed,
+            vec![
+                IcnfEvent::AddClause(vec![Lit::from_dimacs(1), Lit::from_dimacs(-2)]),
+                IcnfEvent::Solve(vec![Lit::from_dimacs(2)]),
+            ]
+        );
+    }
+
+    #[test]
+    fn icnf_rejects_malformed_input() {
+        assert!(parse_icnf("1 2 0\n").is_err(), "missing problem line");
+        assert!(parse_icnf("p cnf 2 1\n1 0\n").is_err(), "wrong format");
+        assert!(parse_icnf("p inccnf\n1 2\n").is_err(), "unterminated line");
+        assert!(parse_icnf("p inccnf\na 1 junk 0\n").is_err(), "bad literal");
     }
 }

@@ -16,7 +16,13 @@
 //!   (the satz / posit / ntab class).
 //! * [`local_search`] — incomplete stochastic solvers: **WalkSAT** and a
 //!   **DLM**-style clause-weighting search.
-//! * [`cnf`] + [`dimacs`] — clause representation and DIMACS I/O.
+//! * [`incremental`] — a persistent CDCL session ([`IncrementalSolver`]):
+//!   MiniSat-style assumptions, clause addition between solves,
+//!   activation-literal `push`/`pop` scopes and UNSAT cores over the
+//!   assumption literals.  This is the substrate for the shared-solver
+//!   decomposition and lazy transitivity refinement in `velv_core`.
+//! * [`cnf`] + [`dimacs`] — clause representation and DIMACS I/O (including
+//!   the `p inccnf` incremental session format).
 //! * [`preprocess`] — the "simplify before solving" experiments of Section 4.
 //! * [`portfolio`] — a parallel portfolio that races several engines on
 //!   threads and returns the first decided answer, cancelling the losers
@@ -54,6 +60,7 @@ pub mod cnf;
 pub mod dimacs;
 pub mod dpll;
 pub mod generators;
+pub mod incremental;
 pub mod local_search;
 pub mod portfolio;
 pub mod preprocess;
@@ -63,6 +70,7 @@ pub mod rng;
 pub mod solver;
 
 pub use cnf::{Clause, CnfFormula, Lit, Var};
+pub use incremental::IncrementalSolver;
 pub use portfolio::{EngineReport, PortfolioReport, PortfolioSolver};
 pub use race::{race, RaceOutcome, RaceRun};
 pub use solver::{Budget, CancelToken, Model, SatResult, Solver, SolverStats, StopReason};

@@ -1,6 +1,6 @@
 //! The common interface of all SAT procedures.
 
-use crate::cnf::{CnfFormula, Var};
+use crate::cnf::{CnfFormula, Lit, Var};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -260,6 +260,32 @@ pub trait Solver {
     /// Solves `cnf` without resource limits.
     fn solve(&mut self, cnf: &CnfFormula) -> SatResult {
         self.solve_with_budget(cnf, Budget::unlimited())
+    }
+
+    /// Solves `cnf` under the given `assumptions` within `budget`: `Sat`
+    /// models satisfy every assumption, `Unsat` means unsatisfiable *under
+    /// the assumptions* (for a complete procedure).
+    ///
+    /// The default implementation adds the assumptions to a copy of the
+    /// formula as temporary unit clauses, so every procedure — DPLL, the
+    /// local searches, the portfolio — is assumption-capable without bespoke
+    /// incremental code.  Engines with native assumption handling (the CDCL
+    /// presets, [`crate::incremental::IncrementalSolver`]) override this with
+    /// pseudo-decision assumptions, which additionally support UNSAT cores.
+    fn solve_assuming(
+        &mut self,
+        cnf: &CnfFormula,
+        assumptions: &[Lit],
+        budget: Budget,
+    ) -> SatResult {
+        if assumptions.is_empty() {
+            return self.solve_with_budget(cnf, budget);
+        }
+        let mut augmented = cnf.clone();
+        for &lit in assumptions {
+            augmented.add_clause(vec![lit]);
+        }
+        self.solve_with_budget(&augmented, budget)
     }
 
     /// Statistics of the most recent `solve` call.

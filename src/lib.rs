@@ -37,8 +37,8 @@ pub use velv_sat;
 pub mod prelude {
     pub use velv_bdd::BddManager;
     pub use velv_core::{
-        Backend, BackendRun, GEncoding, PortfolioOutcome, Translation, TranslationOptions,
-        TranslationStats, Verdict, Verifier,
+        Backend, BackendRun, GEncoding, PortfolioOutcome, RefinementStats, SharedTranslation,
+        TransitivityMode, Translation, TranslationOptions, TranslationStats, Verdict, Verifier,
     };
     pub use velv_eufm::Context;
     pub use velv_hdl::{Processor, StateElement, SymbolicState};
@@ -51,6 +51,7 @@ pub mod prelude {
     };
     pub use velv_sat::cdcl::CdclSolver;
     pub use velv_sat::dpll::DpllSolver;
+    pub use velv_sat::incremental::IncrementalSolver;
     pub use velv_sat::local_search::{DlmSolver, WalkSatSolver};
     pub use velv_sat::portfolio::{PortfolioReport, PortfolioSolver};
     pub use velv_sat::presets::SolverKind;

@@ -1,0 +1,180 @@
+//! Acceptance suite for the incremental subsystem at the verification level:
+//! lazy transitivity refinement and shared-solver decomposition must produce
+//! verdicts identical to the eager / one-shot paths across the DLX, VLIW and
+//! OOO model catalog.
+
+use velv::prelude::*;
+use velv_sat::cdcl::CdclConfig;
+use velv_sat::IncrementalSolver;
+
+fn eager() -> Verifier {
+    Verifier::new(TranslationOptions::default())
+}
+
+fn lazy() -> Verifier {
+    Verifier::new(TranslationOptions::default().with_lazy_transitivity())
+}
+
+#[test]
+fn lazy_transitivity_matches_eager_on_the_dlx_catalog() {
+    let config = DlxConfig::single_issue();
+    let spec = DlxSpecification::new(config);
+    let mut designs: Vec<(String, Dlx, bool)> =
+        vec![("correct".to_owned(), Dlx::correct(config), false)];
+    for bug in dlx_bug_catalog(config) {
+        designs.push((format!("{bug:?}"), Dlx::buggy(config, bug), true));
+    }
+    for (name, implementation, expect_buggy) in &designs {
+        let mut solver = CdclSolver::chaff();
+        let verdict = lazy().verify(implementation, &spec, &mut solver);
+        assert_eq!(verdict.is_buggy(), *expect_buggy, "{name}: {verdict:?}");
+        if *expect_buggy {
+            assert!(
+                verdict.counterexample().is_some(),
+                "{name}: refined SAT answers carry counterexamples"
+            );
+        } else {
+            assert!(verdict.is_correct(), "{name}: {verdict:?}");
+        }
+    }
+}
+
+#[test]
+fn lazy_incremental_check_matches_eager_on_vliw() {
+    let config = VliwConfig::base();
+    let spec = VliwSpecification::new(config);
+    let mut designs: Vec<(String, Vliw, bool)> =
+        vec![("correct".to_owned(), Vliw::correct(config), false)];
+    for bug in vliw_bug_catalog(config).into_iter().take(3) {
+        designs.push((format!("{bug:?}"), Vliw::buggy(config, bug), true));
+    }
+    for (name, implementation, expect_buggy) in &designs {
+        let translation = lazy().translate(implementation, &spec);
+        let (verdict, stats) =
+            lazy().check_incremental(&translation, CdclConfig::chaff(), Budget::unlimited());
+        assert_eq!(verdict.is_buggy(), *expect_buggy, "{name}: {verdict:?}");
+        assert!(stats.iterations >= 1, "{name}");
+    }
+}
+
+#[test]
+fn lazy_transitivity_matches_eager_on_ooo() {
+    // The out-of-order designs are the transitivity-heavy workload: they are
+    // only correct *because* equality is transitive, so the lazy path must
+    // actually refine (UNSAT may come before any constraint is needed, but
+    // the verdict must match the eager one either way).
+    for width in [2usize, 3] {
+        let implementation = Ooo::new(width);
+        let spec = OooSpecification::new();
+        let eager_translation = eager().translate(&implementation, &spec);
+        assert!(
+            eager_translation.stats.transitivity_triangles > 0,
+            "OOO-{width} constrains transitivity eagerly"
+        );
+        let lazy_translation = lazy().translate(&implementation, &spec);
+        assert_eq!(
+            lazy_translation.stats.transitivity_triangles, 0,
+            "OOO-{width} lazy encoding emits no triangles"
+        );
+        assert!(
+            !lazy_translation.eij_pairs.is_empty(),
+            "OOO-{width} has eij pairs to refine over"
+        );
+        let mut solver = CdclSolver::chaff();
+        let eager_verdict = eager().check(&eager_translation, &mut solver, Budget::unlimited());
+        let (lazy_verdict, _) =
+            lazy().check_incremental(&lazy_translation, CdclConfig::chaff(), Budget::unlimited());
+        assert!(eager_verdict.is_correct(), "OOO-{width}: {eager_verdict:?}");
+        assert!(lazy_verdict.is_correct(), "OOO-{width}: {lazy_verdict:?}");
+    }
+}
+
+#[test]
+fn shared_decomposition_matches_per_obligation_on_the_dlx_catalog() {
+    let config = DlxConfig::single_issue();
+    let spec = DlxSpecification::new(config);
+    let verifier = eager();
+    let mut designs: Vec<(String, Dlx, bool)> =
+        vec![("correct".to_owned(), Dlx::correct(config), false)];
+    for bug in dlx_bug_catalog(config).into_iter().take(6) {
+        designs.push((format!("{bug:?}"), Dlx::buggy(config, bug), true));
+    }
+    for (name, implementation, expect_buggy) in &designs {
+        let (reference, reference_parts) = verifier.verify_decomposed(
+            implementation,
+            &spec,
+            8,
+            || Box::new(CdclSolver::chaff()),
+            Budget::unlimited(),
+        );
+        let (shared, shared_parts) = verifier.verify_decomposed_shared(
+            implementation,
+            &spec,
+            8,
+            CdclConfig::chaff(),
+            Budget::unlimited(),
+        );
+        assert_eq!(
+            reference.is_buggy(),
+            shared.is_buggy(),
+            "{name}: per-obligation {reference:?} vs shared {shared:?}"
+        );
+        assert_eq!(shared.is_buggy(), *expect_buggy, "{name}: {shared:?}");
+        assert_eq!(
+            reference_parts.len(),
+            shared_parts.len(),
+            "{name}: same obligation count"
+        );
+        // Obligation-level verdicts agree pairwise (same decomposition).
+        for ((ref_name, ref_verdict), (shared_name, shared_verdict)) in
+            reference_parts.iter().zip(&shared_parts)
+        {
+            assert_eq!(ref_name, shared_name, "{name}");
+            assert_eq!(
+                ref_verdict.is_buggy(),
+                shared_verdict.is_buggy(),
+                "{name} / {ref_name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn shared_decomposition_reuses_one_solver_across_obligations() {
+    // The whole point of the shared translation: one persistent solver
+    // instance checks every obligation.  Verify the plumbing end to end on
+    // the dual-issue DLX (the decomposition-heavy design) and let the solver
+    // show its statistics accumulate across the obligations.
+    let config = DlxConfig::dual_issue();
+    let spec = DlxSpecification::new(config);
+    let verifier = eager();
+    let problem = verifier.build_problem(&Dlx::correct(config), &spec);
+    let shared = verifier.translate_obligations_shared(&problem, 8);
+    assert!(shared.obligations.len() >= 3);
+    let mut solver = IncrementalSolver::with_formula(CdclConfig::chaff(), &shared.cnf);
+    let (overall, parts, _) = verifier.check_shared_with(&shared, &mut solver, Budget::unlimited());
+    assert!(overall.is_correct(), "{overall:?}");
+    assert_eq!(parts.len(), shared.obligations.len());
+    assert!(
+        solver.stats().decisions > 0,
+        "the shared solver did all the work"
+    );
+}
+
+#[test]
+fn lazy_shared_decomposition_on_vliw_matches_eager_shared() {
+    let config = VliwConfig::base();
+    let spec = VliwSpecification::new(config);
+    let implementation = Vliw::correct(config);
+    for verifier in [eager(), lazy()] {
+        let (overall, parts) = verifier.verify_decomposed_shared(
+            &implementation,
+            &spec,
+            6,
+            CdclConfig::chaff(),
+            Budget::unlimited(),
+        );
+        assert!(overall.is_correct(), "{overall:?}");
+        assert!(parts.iter().all(|(_, v)| v.is_correct()));
+    }
+}

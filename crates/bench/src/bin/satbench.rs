@@ -15,14 +15,17 @@
 //!   workload (Table 1/2 class): buggy designs (SAT) and the correct design
 //!   (UNSAT) of the single- and dual-issue DLX.
 //!
-//! Two incremental-subsystem comparisons ride along:
+//! Three subsystem comparisons ride along:
 //!
 //! * **decomposition**: the weak criteria of a design checked one solver per
 //!   obligation (monolithic) vs. one persistent incremental solver shared by
 //!   all obligations under per-obligation assumptions;
 //! * **transitivity**: eager triangulated side constraints vs. lazy
 //!   refinement with the incremental solver, on the transitivity-heavy
-//!   out-of-order designs.
+//!   out-of-order designs;
+//! * **certify**: the cost of certified verdicts — plain solving vs. solving
+//!   with DRAT proof logging, plus the independent checker's replay time, on
+//!   the DLX correct-design proofs.
 //!
 //! Usage: `satbench [--smoke] [--out PATH]`.  `--smoke` shrinks every
 //! instance so the whole run takes well under a second — CI uses it to keep
@@ -343,6 +346,85 @@ fn transitivity_pair(
     });
 }
 
+/// Certification benchmark: the overhead of DRAT proof logging on the DLX
+/// correct-design proofs (plain chaff vs. proof-logging chaff) and the
+/// independent checker's replay time.  The acceptance bar for the subsystem
+/// is logging overhead within 2× of the plain solve on the 2×DLX proof.
+fn run_certify(measurements: &mut Vec<Measurement>, smoke: bool) {
+    let configs: &[DlxConfig] = if smoke {
+        &[DlxConfig::single_issue()]
+    } else {
+        &[DlxConfig::single_issue(), DlxConfig::dual_issue_full()]
+    };
+    let verifier = Verifier::new(TranslationOptions::default());
+    for &config in configs {
+        let spec = DlxSpecification::new(config);
+        let translation = verifier.translate(&Dlx::correct(config), &spec);
+        let instance = format!("certify-{}", config.name());
+
+        let mut plain = CdclSolver::chaff();
+        let start = Instant::now();
+        let plain_result = plain.solve_with_budget(&translation.cnf, Budget::unlimited());
+        let plain_time = start.elapsed().as_secs_f64();
+        assert!(plain_result.is_unsat(), "{instance}: correct design");
+        let stats = plain.stats();
+        measurements.push(Measurement {
+            preset: "chaff-plain",
+            instance: instance.clone(),
+            result: "unsat",
+            time_s: plain_time,
+            conflicts: stats.conflicts,
+            propagations: stats.propagations,
+            decisions: stats.decisions,
+            conflicts_per_sec: stats.conflicts as f64 / plain_time.max(1e-9),
+            propagations_per_sec: stats.propagations as f64 / plain_time.max(1e-9),
+        });
+
+        // Through the `Solver` trait hook, as a backend-agnostic caller would.
+        let mut logging = CdclSolver::chaff();
+        let shared = velv_sat::SharedProof::new();
+        let start = Instant::now();
+        let logged_result = logging
+            .solve_with_proof(&translation.cnf, &[], Budget::unlimited(), &shared)
+            .expect("the CDCL presets produce proofs");
+        let logging_time = start.elapsed().as_secs_f64();
+        assert!(logged_result.is_unsat(), "{instance}");
+        let proof = shared.take();
+        let stats = logging.stats();
+        measurements.push(Measurement {
+            preset: "chaff-proof-logging",
+            instance: instance.clone(),
+            result: "unsat",
+            time_s: logging_time,
+            conflicts: stats.conflicts,
+            propagations: stats.propagations,
+            decisions: stats.decisions,
+            conflicts_per_sec: stats.conflicts as f64 / logging_time.max(1e-9),
+            propagations_per_sec: stats.propagations as f64 / logging_time.max(1e-9),
+        });
+
+        let clauses = velv_sat::dimacs::cnf_to_dimacs_i32(&translation.cnf);
+        let steps = proof.len() as u64;
+        let start = Instant::now();
+        let report =
+            velv_proof::check_proof(&clauses, &proof, &velv_proof::CheckOptions::default())
+                .unwrap_or_else(|e| panic!("{instance}: proof rejected: {e}"));
+        let check_time = start.elapsed().as_secs_f64();
+        assert!(report.derived_empty, "{instance}");
+        measurements.push(Measurement {
+            preset: "drat-checker",
+            instance,
+            result: "verified",
+            time_s: check_time,
+            conflicts: steps, // proof steps replayed, in the conflicts column
+            propagations: 0,
+            decisions: 0,
+            conflicts_per_sec: steps as f64 / check_time.max(1e-9),
+            propagations_per_sec: 0.0,
+        });
+    }
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -393,6 +475,7 @@ fn main() {
     let mut measurements = run(&instances, smoke);
     run_decomposition(&mut measurements, smoke);
     run_transitivity(&mut measurements, smoke);
+    run_certify(&mut measurements, smoke);
     println!(
         "{:<28} {:<8} {:>8} {:>10} {:>12} {:>14}",
         "instance", "preset", "result", "time (s)", "confl/s", "props/s"

@@ -307,10 +307,7 @@ pub(crate) fn sat_verdict(translation: &Translation, result: SatResult) -> Verdi
         )),
         // One spelling for cancellation across SAT and BDD members, so
         // `undecided_reason` and callers inspecting the runs see one value.
-        SatResult::Unknown(velv_sat::StopReason::Cancelled) => {
-            Verdict::Unknown("cancelled".to_owned())
-        }
-        SatResult::Unknown(reason) => Verdict::Unknown(format!("{reason:?}")),
+        other => Verdict::undecided(&other),
     }
 }
 

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use velv_eufm::{Context, Symbol};
+use velv_eufm::{Context, Interpretation, Symbol};
 use velv_sat::{Model, Var};
 
 /// A counterexample: an assignment to the primary Boolean variables of the
@@ -29,6 +29,21 @@ impl Counterexample {
     /// The value of a primary variable, if it is part of the counterexample.
     pub fn value(&self, name: &str) -> Option<bool> {
         self.assignments.get(name).copied()
+    }
+
+    /// Lifts the counterexample into an EUFM [`Interpretation`] over its
+    /// primary propositional variables (by name, interning into `ctx`), so a
+    /// reported counterexample — including one parsed back from a serialized
+    /// artifact — can be replayed against any formula with `velv_eufm::eval`.
+    /// [`crate::certify`] performs the same lift symbol-keyed straight from
+    /// the primary-variable map (avoiding the interning round-trip) and adds
+    /// one term value per *e*ij equality class.
+    pub fn to_interpretation(&self, ctx: &mut Context) -> Interpretation {
+        let mut interp = Interpretation::new();
+        for (name, &value) in &self.assignments {
+            interp.set_prop_var(ctx, name, value);
+        }
+        interp
     }
 
     /// Iterates over `(variable name, value)` pairs.
@@ -101,5 +116,23 @@ mod tests {
         let cex = Counterexample::default();
         assert!(cex.is_empty());
         assert_eq!(cex.iter().count(), 0);
+    }
+
+    #[test]
+    fn lifts_to_an_interpretation_that_replays_the_assignment() {
+        let mut ctx = Context::new();
+        let p = ctx.prop_var("squash_taken");
+        let q = ctx.prop_var("e!rs1=rd");
+        let p_sym = ctx.symbol("squash_taken");
+        let q_sym = ctx.symbol("e!rs1=rd");
+        let mut primary = BTreeMap::new();
+        primary.insert(p_sym, Var::new(0));
+        primary.insert(q_sym, Var::new(1));
+        let model = Model::new(vec![true, false]);
+        let cex = Counterexample::from_model(&ctx, &primary, &model);
+        let interp = cex.to_interpretation(&mut ctx);
+        assert!(velv_eufm::evaluate(&ctx, &interp, p));
+        let not_q = ctx.not(q);
+        assert!(velv_eufm::evaluate(&ctx, &interp, not_q));
     }
 }

@@ -5,12 +5,13 @@ use crate::backend::{
     bdd_verdict, check_validity_with_bdds, race_backends, sat_verdict, Backend, PortfolioOutcome,
 };
 use crate::burch_dill::VerificationProblem;
+use crate::certify::{self, CertifiedVerdict, CertifyError, SharedCertifiedOutcome};
 use crate::cnf::{formula_to_cnf, CnfBuilder};
 use crate::counterexample::Counterexample;
 use crate::decompose::decompose;
 use crate::encode::{encode, EncodedFormula};
 use crate::memory_elim::eliminate_memories;
-use crate::options::{GEncoding, TransitivityMode, TranslationOptions};
+use crate::options::{CertifyOptions, GEncoding, TransitivityMode, TranslationOptions};
 use crate::positive_equality::Classification;
 use crate::refine;
 use crate::stats::{RefinementStats, TranslationStats};
@@ -57,6 +58,11 @@ pub struct SharedObligation {
     /// Assumption literals activating this obligation: its side constraints
     /// hold, its encoded criterion fails.
     pub assumptions: Vec<Lit>,
+    /// The obligation's encoded correctness formula (certified checking
+    /// re-evaluates it under a counterexample model: it must be false).
+    pub encoded: FormulaId,
+    /// The obligation's side constraints (must hold under the model).
+    pub side_constraints: FormulaId,
 }
 
 /// All obligations of a decomposed correctness criterion translated into
@@ -118,6 +124,23 @@ impl Verdict {
         match self {
             Verdict::Buggy(cex) => Some(cex),
             _ => None,
+        }
+    }
+
+    /// Maps an undecided solver result to the uniform `Unknown` verdict —
+    /// one spelling for cancellation across every back end, so callers
+    /// inspecting race runs or certified outcomes compare a single value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a decided result.
+    pub(crate) fn undecided(result: &SatResult) -> Verdict {
+        match result {
+            SatResult::Unknown(velv_sat::StopReason::Cancelled) => {
+                Verdict::Unknown("cancelled".to_owned())
+            }
+            SatResult::Unknown(reason) => Verdict::Unknown(format!("{reason:?}")),
+            _ => unreachable!("only called for undecided results"),
         }
     }
 }
@@ -391,6 +414,8 @@ impl Verifier {
             shared_obligations.push(SharedObligation {
                 name: format!("{}::{}", problem.name, obligation.name),
                 assumptions: vec![side_lit, !encoded_lit],
+                encoded: encoded.formula,
+                side_constraints: encoded.side_constraints,
             });
         }
         let translation = builder.finish();
@@ -506,10 +531,7 @@ impl Verifier {
                     &shared.primary_vars,
                     model,
                 )),
-                SatResult::Unknown(velv_sat::StopReason::Cancelled) => {
-                    Verdict::Unknown("cancelled".to_owned())
-                }
-                SatResult::Unknown(reason) => Verdict::Unknown(format!("{reason:?}")),
+                other => Verdict::undecided(other),
             };
             if verdict.is_buggy() && !overall.is_buggy() {
                 overall = verdict.clone();
@@ -522,6 +544,67 @@ impl Verifier {
             results.push((obligation.name.clone(), verdict));
         }
         (overall, results, stats)
+    }
+
+    /// Checks a translation and *certifies* the verdict per `certify`: an
+    /// UNSAT answer carries a DRAT proof replayed by the independent checker
+    /// of `velv_proof` against the exact CNF that was solved (including every
+    /// clause the lazy transitivity refinement asserted), and a SAT answer is
+    /// validated as a genuine counterexample — the model must satisfy the
+    /// solved CNF, be transitivity-consistent over the *e*ij variables, and
+    /// falsify the encoded correctness formula under true side constraints
+    /// when re-evaluated with `velv_eufm::eval`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CertifyError`] when the evidence does not hold up — a
+    /// rejected proof or a spurious model.  Such a verdict must not be
+    /// trusted.
+    pub fn check_certified(
+        &self,
+        translation: &Translation,
+        config: CdclConfig,
+        certify: &CertifyOptions,
+        budget: Budget,
+    ) -> Result<(CertifiedVerdict, RefinementStats), CertifyError> {
+        certify::check_certified(translation, config, certify, budget)
+    }
+
+    /// [`Verifier::check_shared`] with certification: every obligation of the
+    /// shared translation is checked on one persistent proof-logging solver,
+    /// the accumulated DRAT log is replayed once by the independent checker,
+    /// and each UNSAT obligation is certified by its terminal step — the
+    /// clause over that obligation's negated assumptions.  SAT obligations
+    /// get the same model validation as [`Verifier::check_certified`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CertifyError`] when any obligation's evidence fails.
+    pub fn check_shared_certified(
+        &self,
+        shared: &SharedTranslation,
+        config: CdclConfig,
+        certify: &CertifyOptions,
+        budget: Budget,
+    ) -> Result<SharedCertifiedOutcome, CertifyError> {
+        certify::check_shared_certified(shared, config, certify, budget)
+    }
+
+    /// End-to-end certified verification: translate, check, certify.
+    ///
+    /// # Errors
+    ///
+    /// See [`Verifier::check_certified`].
+    pub fn verify_certified(
+        &self,
+        implementation: &dyn Processor,
+        specification: &dyn Processor,
+        config: CdclConfig,
+        certify: &CertifyOptions,
+        budget: Budget,
+    ) -> Result<(CertifiedVerdict, RefinementStats), CertifyError> {
+        let translation = self.translate(implementation, specification);
+        self.check_certified(&translation, config, certify, budget)
     }
 
     /// Checks a translation with the BDD back end.

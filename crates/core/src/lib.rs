@@ -46,6 +46,7 @@
 
 pub mod backend;
 pub mod burch_dill;
+pub mod certify;
 pub mod cnf;
 pub mod counterexample;
 pub mod decompose;
@@ -62,7 +63,11 @@ pub mod uf_elim;
 
 pub use backend::{Backend, BackendRun, BddOutcome, PortfolioOutcome};
 pub use burch_dill::VerificationProblem;
+pub use certify::{
+    Certificate, CertifiedObligation, CertifiedVerdict, CertifyError, ModelCertificate,
+    ProofCertificate, SharedCertifiedOutcome,
+};
 pub use counterexample::Counterexample;
 pub use flow::{SharedObligation, SharedTranslation, Translation, Verdict, Verifier};
-pub use options::{GEncoding, TransitivityMode, TranslationOptions, UpElimination};
+pub use options::{CertifyOptions, GEncoding, TransitivityMode, TranslationOptions, UpElimination};
 pub use stats::{RefinementStats, TranslationStats};

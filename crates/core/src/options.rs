@@ -138,9 +138,84 @@ impl TranslationOptions {
     }
 }
 
+/// Configuration of *certified* checking
+/// ([`crate::Verifier::check_certified`] and
+/// [`crate::Verifier::check_shared_certified`]).
+///
+/// A certified run turns both poles of a verdict into checkable artifacts
+/// instead of articles of faith in the solver:
+///
+/// * **UNSAT** — the CDCL engine logs a DRAT proof (every learned clause,
+///   every deletion, and the terminal clause: the empty clause, or the clause
+///   over the negated assumptions for assumption-selected obligations).  The
+///   proof is replayed by the *independent* forward RUP checker in
+///   `velv_proof` against the exact CNF that was solved — the translation's
+///   clauses plus every clause asserted during lazy transitivity refinement.
+/// * **SAT** — the model is lifted through
+///   [`crate::Counterexample::from_model`] into a `velv_eufm`
+///   [`velv_eufm::Interpretation`] and the encoded correctness formula is
+///   re-evaluated with `velv_eufm::eval`: it must come out *false* under
+///   *true* side constraints, the *e*ij assignment must be
+///   transitivity-consistent (so it lifts to a genuine equality
+///   interpretation), and the model must satisfy every clause handed to the
+///   solver.  Spurious models are rejected instead of reported as bugs.
+///
+/// The trusted base of a certified verdict is therefore reduced to: the
+/// EUFM translation pipeline (model → CNF), the tiny RUP checker, and the
+/// EUFM evaluator — the CDCL search, its heuristics, clause management and
+/// the incremental session machinery are all *outside* it.  See the
+/// "Certified verification" section of the README for the full threat model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CertifyOptions {
+    /// Log DRAT proofs during solving and replay every UNSAT answer through
+    /// the independent checker.  Disabling this removes the (small) logging
+    /// overhead and leaves UNSAT verdicts uncertified.
+    pub check_unsat_proofs: bool,
+    /// Re-evaluate every SAT model against the encoded correctness formula
+    /// and the transitivity semantics before reporting it as a
+    /// counterexample.
+    pub validate_counterexamples: bool,
+    /// Backward-trim verified proofs and report the used-clause core (which
+    /// input clauses the refutation actually depends on).  Costs extra
+    /// checker memory; off by default.
+    pub trim_proofs: bool,
+}
+
+impl Default for CertifyOptions {
+    fn default() -> Self {
+        CertifyOptions {
+            check_unsat_proofs: true,
+            validate_counterexamples: true,
+            trim_proofs: false,
+        }
+    }
+}
+
+impl CertifyOptions {
+    /// Full certification on both poles (the default).
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// Additionally backward-trim proofs and report used-clause cores.
+    pub fn with_trimming(mut self) -> Self {
+        self.trim_proofs = true;
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn certify_defaults_check_both_poles() {
+        let options = CertifyOptions::default();
+        assert!(options.check_unsat_proofs);
+        assert!(options.validate_counterexamples);
+        assert!(!options.trim_proofs);
+        assert!(CertifyOptions::full().with_trimming().trim_proofs);
+    }
 
     #[test]
     fn default_matches_the_paper_base_configuration() {

@@ -135,18 +135,6 @@ fn sat_model_verdict(translation: &Translation, model: &Model) -> Verdict {
     ))
 }
 
-/// Maps a solver result at the end of a refinement loop to a verdict; `Sat`
-/// results have already been validated, so the model is a real counterexample.
-fn unknown_verdict(result: &SatResult) -> Verdict {
-    match result {
-        SatResult::Unknown(velv_sat::StopReason::Cancelled) => {
-            Verdict::Unknown("cancelled".to_owned())
-        }
-        SatResult::Unknown(reason) => Verdict::Unknown(format!("{reason:?}")),
-        _ => unreachable!("only called for Unknown results"),
-    }
-}
-
 /// One back end inside the refinement loop: something that can re-solve the
 /// current formula (reporting the steps the attempt consumed) and accept a
 /// violated-transitivity clause for the next round.
@@ -285,7 +273,7 @@ pub fn check_with_refinement(
     let verdict = match &result {
         SatResult::Unsat => Verdict::Correct,
         SatResult::Sat(model) => sat_model_verdict(translation, model),
-        other => unknown_verdict(other),
+        other => Verdict::undecided(other),
     };
     (verdict, stats)
 }
@@ -326,7 +314,7 @@ pub fn check_with_refinement_monolithic(
     let verdict = match &result {
         SatResult::Unsat => Verdict::Correct,
         SatResult::Sat(model) => sat_model_verdict(translation, model),
-        other => unknown_verdict(other),
+        other => Verdict::undecided(other),
     };
     (verdict, stats)
 }

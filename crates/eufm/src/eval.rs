@@ -101,6 +101,13 @@ impl Interpretation {
     }
 }
 
+/// Evaluates `root` under `interp` with a throwaway [`Evaluator`]: the
+/// convenience entry point of counterexample validation, where a lifted SAT
+/// model is replayed against the encoded correctness formula.
+pub fn evaluate(ctx: &Context, interp: &Interpretation, root: FormulaId) -> bool {
+    Evaluator::new(ctx, interp.clone()).eval_formula(root)
+}
+
 /// Evaluates expressions of one [`Context`] under an [`Interpretation`].
 #[derive(Debug)]
 pub struct Evaluator<'a> {

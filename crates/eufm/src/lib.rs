@@ -58,7 +58,7 @@ pub mod support;
 pub mod symbols;
 
 pub use context::Context;
-pub use eval::{Evaluator, Interpretation, Value};
+pub use eval::{evaluate, Evaluator, Interpretation, Value};
 pub use node::{Formula, FormulaId, Term, TermId};
 pub use polarity::{EquationPolarity, PolarityAnalysis};
 pub use stats::DagStats;

@@ -44,6 +44,7 @@
 //!   asks the `reason` array instead of scanning the trail.
 
 use crate::cnf::{CnfFormula, Lit, Var};
+use crate::proof::{ProofWriter, SharedProof};
 use crate::rng::SmallRng;
 use crate::solver::{Budget, Model, SatResult, Solver, SolverStats, StopReason};
 
@@ -183,6 +184,39 @@ impl CdclSolver {
     pub fn config(&self) -> &CdclConfig {
         &self.config
     }
+
+    /// Solves `cnf` under `assumptions` while streaming DRAT proof steps into
+    /// `writer`: every learned clause and clause deletion is recorded, and an
+    /// `Unsat` answer ends with the empty clause (no assumptions involved) or
+    /// the clause over the negated final-core assumptions — exactly what the
+    /// independent checker in `velv_proof` needs to replay the refutation.
+    pub fn solve_with_proof_writer(
+        &mut self,
+        cnf: &CnfFormula,
+        assumptions: &[Lit],
+        budget: Budget,
+        writer: Box<dyn ProofWriter>,
+    ) -> SatResult {
+        let mut engine = Engine::new(cnf, self.config.clone());
+        engine.set_proof_writer(writer);
+        let result = engine.search(assumptions, budget);
+        self.stats = engine.stats;
+        result
+    }
+
+    /// Convenience wrapper around [`CdclSolver::solve_with_proof_writer`]
+    /// that records into a fresh in-memory proof and returns it.
+    pub fn solve_recording_proof(
+        &mut self,
+        cnf: &CnfFormula,
+        assumptions: &[Lit],
+        budget: Budget,
+    ) -> (SatResult, velv_proof::Proof) {
+        let shared = SharedProof::new();
+        let result =
+            self.solve_with_proof_writer(cnf, assumptions, budget, Box::new(shared.clone()));
+        (result, shared.take())
+    }
 }
 
 impl Solver for CdclSolver {
@@ -214,6 +248,18 @@ impl Solver for CdclSolver {
         let result = engine.search(assumptions, budget);
         self.stats = engine.stats;
         result
+    }
+
+    /// CDCL is a proof-producing procedure: the search is re-run with the
+    /// shared proof attached as the engine's DRAT sink.
+    fn solve_with_proof(
+        &mut self,
+        cnf: &CnfFormula,
+        assumptions: &[Lit],
+        budget: Budget,
+        proof: &SharedProof,
+    ) -> Option<SatResult> {
+        Some(self.solve_with_proof_writer(cnf, assumptions, budget, Box::new(proof.clone())))
     }
 
     fn stats(&self) -> SolverStats {
@@ -481,6 +527,13 @@ pub(crate) struct Engine {
     /// already suffices for unsatisfiability.  Empty when the formula is
     /// unsatisfiable outright.
     final_core: Vec<Lit>,
+    /// Optional DRAT sink: learned clauses, deletions, the root empty clause
+    /// and the final clause of failing assumption queries are recorded here.
+    proof: Option<Box<dyn ProofWriter>>,
+    /// Reusable buffer for proof steps read out of the arena.
+    proof_buf: Vec<Lit>,
+    /// Whether the empty clause has already been emitted to the proof.
+    proof_empty_logged: bool,
 }
 
 impl Engine {
@@ -517,6 +570,9 @@ impl Engine {
             reduce_limit: (cnf.num_clauses() / 3).max(4000),
             unsat: false,
             final_core: Vec::new(),
+            proof: None,
+            proof_buf: Vec::new(),
+            proof_empty_logged: false,
         };
         // Give every variable an initial (small) activity based on occurrence count.
         for clause in cnf.clauses() {
@@ -575,6 +631,63 @@ impl Engine {
         &self.final_core
     }
 
+    /// Attaches a DRAT proof sink.  From here on every learned clause, every
+    /// clause deletion and the terminal clause of each UNSAT answer are
+    /// recorded, making the engine's refutations independently checkable.
+    pub(crate) fn set_proof_writer(&mut self, writer: Box<dyn ProofWriter>) {
+        self.proof = Some(writer);
+    }
+
+    /// Records the clause currently held in `learnt_buf` as a proof addition.
+    fn proof_log_learnt(&mut self) {
+        if let Some(proof) = self.proof.as_mut() {
+            proof.add_clause(&self.learnt_buf);
+        }
+    }
+
+    /// Records the empty clause (at most once): the formula is refuted.
+    fn proof_log_empty(&mut self) {
+        if self.proof_empty_logged {
+            return;
+        }
+        if let Some(proof) = self.proof.as_mut() {
+            proof.add_clause(&[]);
+            self.proof_empty_logged = true;
+        }
+    }
+
+    /// Records the terminal clause of a failing assumption query: the
+    /// disjunction of the negated final-core literals, which is RUP with
+    /// respect to the clause database (resolving the reasons along the final
+    /// conflict's implication graph yields exactly this clause).
+    fn proof_log_final_core(&mut self) {
+        if self.proof.is_none() {
+            return;
+        }
+        self.proof_buf.clear();
+        for i in 0..self.final_core.len() {
+            let assumption = self.final_core[i];
+            self.proof_buf.push(!assumption);
+        }
+        if let Some(proof) = self.proof.as_mut() {
+            proof.add_clause(&self.proof_buf);
+        }
+    }
+
+    /// Records the deletion of an arena clause.
+    fn proof_log_delete(&mut self, cref: ClauseRef) {
+        if self.proof.is_none() {
+            return;
+        }
+        self.proof_buf.clear();
+        for k in 0..self.arena.len(cref) {
+            self.proof_buf.push(self.arena.lit(cref, k));
+        }
+        if let Some(proof) = self.proof.as_mut() {
+            proof.delete_clause(&self.proof_buf);
+        }
+    }
+
     /// Adds a clause between solves.  The engine first returns to decision
     /// level 0; the clause is normalised (sorted, deduplicated, tautologies
     /// dropped), simplified against the root-level assignment, and then
@@ -604,7 +717,12 @@ impl Engine {
         }
         clause.retain(|&l| self.value_lit(l) != VAL_FALSE);
         match clause.len() {
-            0 => self.unsat = true,
+            0 => {
+                // Every literal is false at the root: the empty clause is RUP
+                // from the caller's clause and the root-level units.
+                self.unsat = true;
+                self.proof_log_empty();
+            }
             1 => self.enqueue(clause[0], UNDEF_CLAUSE),
             _ => {
                 let cref = self.arena.alloc(&clause, false);
@@ -876,6 +994,7 @@ impl Engine {
     /// still needed as the reason of the backjump assertion, so it is kept
     /// but queued for deletion as soon as it is no longer locked.
     fn learn_clause(&mut self) {
+        self.proof_log_learnt();
         if self.learnt_buf.len() == 1 {
             let lit = self.learnt_buf[0];
             self.enqueue(lit, UNDEF_CLAUSE);
@@ -908,6 +1027,7 @@ impl Engine {
 
     fn delete_clause(&mut self, cref: ClauseRef) {
         debug_assert!(!self.is_locked(cref));
+        self.proof_log_delete(cref);
         if self.arena.is_learnt(cref) {
             self.num_learnts -= 1;
             self.stats.learned_clauses = self.num_learnts as u64;
@@ -1171,6 +1291,9 @@ impl Engine {
     pub(crate) fn search(&mut self, assumptions: &[Lit], budget: Budget) -> SatResult {
         self.final_core.clear();
         if self.unsat {
+            // The refutation may predate the proof writer (e.g. a conflicting
+            // unit in the initial clauses): make sure it is on record.
+            self.proof_log_empty();
             return SatResult::Unsat;
         }
         for a in assumptions {
@@ -1191,6 +1314,7 @@ impl Engine {
                 conflicts_since_restart += 1;
                 if self.decision_level() == 0 {
                     self.unsat = true;
+                    self.proof_log_empty();
                     return SatResult::Unsat;
                 }
                 let backtrack_level = self.analyze(conflict);
@@ -1239,6 +1363,7 @@ impl Engine {
                         }
                         VAL_FALSE => {
                             self.final_core = self.analyze_final(p);
+                            self.proof_log_final_core();
                             return SatResult::Unsat;
                         }
                         _ => {

@@ -1,8 +1,12 @@
-//! Reading and writing CNF formulas in the DIMACS format.
+//! Reading and writing CNF formulas in the DIMACS format, incremental
+//! sessions in the iCNF format, and DRAT proofs in their text and binary
+//! encodings.
 
 use crate::cnf::{CnfFormula, Lit};
 use std::fmt;
 use std::io::{self, BufRead, Write};
+use velv_proof::drat::{self, ParseDratError};
+use velv_proof::Proof;
 
 /// An error produced while parsing a DIMACS file.
 #[derive(Debug)]
@@ -250,6 +254,77 @@ pub fn parse_icnf(input: &str) -> Result<Vec<IcnfEvent>, ParseDimacsError> {
     read_icnf(input.as_bytes())
 }
 
+/// DIMACS-codes one clause as the `i32` literals the `velv_proof` checker
+/// consumes.
+pub fn clause_to_dimacs_i32(clause: &[Lit]) -> Vec<i32> {
+    clause.iter().map(|l| l.to_dimacs() as i32).collect()
+}
+
+/// DIMACS-codes every clause of `cnf` for the `velv_proof` checker.
+pub fn cnf_to_dimacs_i32(cnf: &CnfFormula) -> Vec<Vec<i32>> {
+    cnf.clauses()
+        .iter()
+        .map(|c| clause_to_dimacs_i32(c))
+        .collect()
+}
+
+impl From<ParseDratError> for ParseDimacsError {
+    fn from(e: ParseDratError) -> Self {
+        match e {
+            ParseDratError::Io(e) => ParseDimacsError::Io(e),
+            ParseDratError::Malformed(msg) => ParseDimacsError::Malformed(msg),
+        }
+    }
+}
+
+/// Writes a DRAT proof in the text format (`1 -2 0`, deletions prefixed with
+/// `d`), as produced by proof-logging solve calls (see [`crate::proof`]).
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_drat_text<W: Write>(writer: W, proof: &Proof) -> io::Result<()> {
+    drat::write_text(writer, proof)
+}
+
+/// Renders a DRAT proof as a text string.
+pub fn to_drat_text_string(proof: &Proof) -> String {
+    drat::to_text_string(proof)
+}
+
+/// Parses a text DRAT proof.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError::Malformed`] on malformed input.
+pub fn parse_drat_text(input: &str) -> Result<Proof, ParseDimacsError> {
+    Ok(drat::parse_text(input)?)
+}
+
+/// Writes a DRAT proof in the binary format (step tags `a`/`d`, literals as
+/// variable-length 7-bit integers `2·|lit| + (lit < 0)`).
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_drat_binary<W: Write>(writer: W, proof: &Proof) -> io::Result<()> {
+    drat::write_binary(writer, proof)
+}
+
+/// Serializes a DRAT proof in the binary format.
+pub fn to_drat_binary(proof: &Proof) -> Vec<u8> {
+    drat::to_binary(proof)
+}
+
+/// Parses a binary DRAT proof.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError::Malformed`] on truncated or malformed input.
+pub fn parse_drat_binary(input: &[u8]) -> Result<Proof, ParseDimacsError> {
+    Ok(drat::parse_binary(input)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,5 +429,62 @@ mod tests {
         assert!(parse_icnf("p cnf 2 1\n1 0\n").is_err(), "wrong format");
         assert!(parse_icnf("p inccnf\n1 2\n").is_err(), "unterminated line");
         assert!(parse_icnf("p inccnf\na 1 junk 0\n").is_err(), "bad literal");
+    }
+
+    fn sample_proof() -> Proof {
+        let mut proof = Proof::new();
+        proof.add(vec![3, -1]);
+        proof.delete(vec![2, 3]);
+        proof.add(vec![-2]);
+        proof.add(vec![]);
+        proof
+    }
+
+    #[test]
+    fn drat_text_roundtrip() {
+        let proof = sample_proof();
+        let text = to_drat_text_string(&proof);
+        assert!(text.contains("3 -1 0"));
+        assert!(text.contains("d 2 3 0"));
+        let parsed = parse_drat_text(&text).unwrap();
+        assert_eq!(parsed, proof);
+    }
+
+    #[test]
+    fn drat_binary_roundtrip() {
+        let proof = sample_proof();
+        let bytes = to_drat_binary(&proof);
+        let parsed = parse_drat_binary(&bytes).unwrap();
+        assert_eq!(parsed, proof);
+    }
+
+    #[test]
+    fn drat_text_and_binary_agree() {
+        let proof = sample_proof();
+        let via_text = parse_drat_text(&to_drat_text_string(&proof)).unwrap();
+        let via_binary = parse_drat_binary(&to_drat_binary(&proof)).unwrap();
+        assert_eq!(via_text, via_binary);
+    }
+
+    #[test]
+    fn drat_parse_errors_surface_as_dimacs_errors() {
+        assert!(parse_drat_text("1 2\n").is_err(), "unterminated step");
+        assert!(parse_drat_binary(&[b'q', 0]).is_err(), "bad step tag");
+    }
+
+    #[test]
+    fn recorded_engine_proof_roundtrips_through_both_encodings() {
+        use crate::cdcl::CdclSolver;
+        use crate::generators::pigeonhole;
+        use crate::solver::Budget;
+        let cnf = pigeonhole(4);
+        let (result, proof) =
+            CdclSolver::chaff().solve_recording_proof(&cnf, &[], Budget::unlimited());
+        assert!(result.is_unsat());
+        assert!(!proof.is_empty(), "a real refutation has steps");
+        let text = parse_drat_text(&to_drat_text_string(&proof)).unwrap();
+        assert_eq!(text, proof);
+        let binary = parse_drat_binary(&to_drat_binary(&proof)).unwrap();
+        assert_eq!(binary, proof);
     }
 }

@@ -33,6 +33,7 @@
 use crate::cdcl::{CdclConfig, Engine};
 use crate::cnf::{CnfFormula, Lit, Var};
 use crate::dimacs::IcnfEvent;
+use crate::proof::SharedProof;
 use crate::solver::{Budget, SatResult, SolverStats};
 
 /// A persistent CDCL solver with assumptions, incremental clause addition,
@@ -46,6 +47,8 @@ pub struct IncrementalSolver {
     last_core: Vec<Lit>,
     /// Optional iCNF session log.
     trace: Option<Vec<IcnfEvent>>,
+    /// Shared handle of the DRAT proof log, when proof logging is enabled.
+    proof: Option<SharedProof>,
 }
 
 impl std::fmt::Debug for IncrementalSolver {
@@ -73,6 +76,7 @@ impl IncrementalSolver {
             scopes: Vec::new(),
             last_core: Vec::new(),
             trace: None,
+            proof: None,
         }
     }
 
@@ -109,6 +113,34 @@ impl IncrementalSolver {
     /// The recorded iCNF session, if tracing was enabled.
     pub fn trace(&self) -> Option<&[IcnfEvent]> {
         self.trace.as_deref()
+    }
+
+    /// Enables DRAT proof logging and returns the shared proof handle.  The
+    /// log is threaded through *every* later solve: learned clauses,
+    /// deletions, and the terminal clause of each failing query (the empty
+    /// clause, or the clause over the negated final-core assumptions —
+    /// including activation literals of open scopes) accumulate in one proof,
+    /// so assumption-based UNSAT answers and UNSAT cores are certifiable
+    /// against the clauses added to the session.  Idempotent.
+    ///
+    /// Enable proof logging **before the first solve**: inferences performed
+    /// earlier (learned clauses of previous queries) are not on record, so
+    /// later steps that resolve on them may fail the independent replay.
+    /// Late enabling is fail-safe — the checker rejects, it never wrongly
+    /// accepts — but leaves valid verdicts uncertifiable.
+    pub fn enable_proof(&mut self) -> SharedProof {
+        if let Some(handle) = &self.proof {
+            return handle.clone();
+        }
+        let handle = SharedProof::new();
+        self.engine.set_proof_writer(Box::new(handle.clone()));
+        self.proof = Some(handle.clone());
+        handle
+    }
+
+    /// The shared proof handle, when proof logging is enabled.
+    pub fn proof(&self) -> Option<&SharedProof> {
+        self.proof.as_ref()
     }
 
     /// Adds a clause.  Inside a scope the clause additionally carries the

@@ -24,6 +24,11 @@
 //! * [`cnf`] + [`dimacs`] — clause representation and DIMACS I/O (including
 //!   the `p inccnf` incremental session format).
 //! * [`preprocess`] — the "simplify before solving" experiments of Section 4.
+//! * [`proof`] — pluggable DRAT proof logging: with a [`proof::ProofWriter`]
+//!   attached, the CDCL engine records every learned clause and deletion so
+//!   UNSAT answers can be replayed by the independent checker in
+//!   `velv_proof` (including assumption-based answers, whose final step is
+//!   the clause over the negated assumptions).
 //! * [`portfolio`] — a parallel portfolio that races several engines on
 //!   threads and returns the first decided answer, cancelling the losers
 //!   through the cooperative [`CancelToken`] carried by [`Budget`].  The paper
@@ -65,6 +70,7 @@ pub mod local_search;
 pub mod portfolio;
 pub mod preprocess;
 pub mod presets;
+pub mod proof;
 pub mod race;
 pub mod rng;
 pub mod solver;
@@ -72,5 +78,6 @@ pub mod solver;
 pub use cnf::{Clause, CnfFormula, Lit, Var};
 pub use incremental::IncrementalSolver;
 pub use portfolio::{EngineReport, PortfolioReport, PortfolioSolver};
+pub use proof::{ProofWriter, SharedProof};
 pub use race::{race, RaceOutcome, RaceRun};
 pub use solver::{Budget, CancelToken, Model, SatResult, Solver, SolverStats, StopReason};

@@ -4,10 +4,26 @@
 //! formulas (the `simplify` script, Brafman's 2-SIS simplifier, MINCE
 //! variable reordering) did not pay off for these benchmarks.  This module
 //! provides the equivalent operations so the experiment can be repeated:
-//! unit propagation, pure-literal elimination, duplicate-clause removal and
-//! (optionally) subsumption.
+//! unit propagation, pure-literal elimination, duplicate-clause removal,
+//! (optionally) subsumption and self-subsuming resolution.
+//!
+//! # Certification
+//!
+//! Preprocessing rewrites the clause database, so a DRAT proof produced by a
+//! solver run on the *simplified* formula does not check against the
+//! *original* one unless the rewrite itself is part of the proof.
+//! [`preprocess_with_proof`] records every rewrite through the same
+//! [`ProofWriter`] the solver uses: a strengthened clause is logged as an
+//! addition (it is RUP — a resolvent, or the remainder after removing
+//! root-false literals) followed by the deletion of its old version, and
+//! satisfied, duplicate or subsumed clauses are logged as deletions.
+//! Pure-literal elimination is *refused* in proof-logging mode: the unit
+//! clauses it introduces are only satisfiability-preserving (blocked
+//! clauses), not logical consequences, so they are not RUP-derivable and
+//! would poison the proof.
 
 use crate::cnf::{CnfFormula, Lit};
+use crate::proof::ProofWriter;
 
 /// Statistics of one preprocessing pass.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -18,6 +34,8 @@ pub struct PreprocessStats {
     pub pure_literals: usize,
     /// Clauses removed because they were satisfied, duplicated or subsumed.
     pub clauses_removed: usize,
+    /// Clauses strengthened by self-subsuming resolution.
+    pub clauses_strengthened: usize,
     /// `true` if preprocessing already proved the formula unsatisfiable.
     pub proved_unsat: bool,
 }
@@ -35,12 +53,50 @@ pub struct Preprocessed {
 }
 
 /// Runs unit propagation, pure-literal elimination and duplicate removal to
-/// fixpoint, optionally followed by pairwise subsumption.
+/// fixpoint, optionally followed by pairwise subsumption and one round of
+/// self-subsuming resolution.
 pub fn preprocess(cnf: &CnfFormula, with_subsumption: bool) -> Preprocessed {
+    preprocess_impl(cnf, with_subsumption, None)
+}
+
+/// [`preprocess`] with DRAT logging: every clause removal and strengthening
+/// is recorded through `proof`, so a refutation of the simplified formula
+/// (appended to the same log) still checks against the original CNF.
+/// Pure-literal elimination is skipped — its units are not RUP-derivable —
+/// which is the "refuse the unsound part" half of the proof-logging contract;
+/// everything this variant *does* run is certified.
+pub fn preprocess_with_proof(
+    cnf: &CnfFormula,
+    with_subsumption: bool,
+    proof: &mut dyn ProofWriter,
+) -> Preprocessed {
+    preprocess_impl(cnf, with_subsumption, Some(proof))
+}
+
+fn preprocess_impl(
+    cnf: &CnfFormula,
+    with_subsumption: bool,
+    mut proof: Option<&mut dyn ProofWriter>,
+) -> Preprocessed {
     let num_vars = cnf.num_vars();
     let mut clauses: Vec<Vec<Lit>> = cnf.clauses().to_vec();
     let mut assigns: Vec<Option<bool>> = vec![None; num_vars];
     let mut stats = PreprocessStats::default();
+
+    macro_rules! log_add {
+        ($lits:expr) => {
+            if let Some(p) = proof.as_deref_mut() {
+                p.add_clause($lits);
+            }
+        };
+    }
+    macro_rules! log_delete {
+        ($lits:expr) => {
+            if let Some(p) = proof.as_deref_mut() {
+                p.delete_clause($lits);
+            }
+        };
+    }
 
     loop {
         let mut changed = false;
@@ -62,15 +118,23 @@ pub fn preprocess(cnf: &CnfFormula, with_subsumption: bool) -> Preprocessed {
             }
             if satisfied {
                 stats.clauses_removed += 1;
+                log_delete!(clause);
                 continue;
             }
             if reduced.is_empty() {
                 stats.proved_unsat = true;
+                log_add!(&[]);
                 return Preprocessed {
                     cnf: CnfFormula::new(num_vars),
                     forced: collect_forced(&assigns),
                     stats,
                 };
+            }
+            if reduced.len() < clause.len() {
+                // The shrunken clause is RUP from its old version plus the
+                // unit assignments that falsified the removed literals.
+                log_add!(&reduced);
+                log_delete!(clause);
             }
             next.push(reduced);
         }
@@ -88,6 +152,7 @@ pub fn preprocess(cnf: &CnfFormula, with_subsumption: bool) -> Preprocessed {
                     }
                     Some(v) if v != lit.is_positive() => {
                         stats.proved_unsat = true;
+                        log_add!(&[]);
                         return Preprocessed {
                             cnf: CnfFormula::new(num_vars),
                             forced: collect_forced(&assigns),
@@ -99,26 +164,30 @@ pub fn preprocess(cnf: &CnfFormula, with_subsumption: bool) -> Preprocessed {
             }
         }
 
-        // Pure literal elimination.
-        let mut seen_pos = vec![false; num_vars];
-        let mut seen_neg = vec![false; num_vars];
-        for clause in &clauses {
-            for &lit in clause {
-                if lit.is_positive() {
-                    seen_pos[lit.var().index()] = true;
-                } else {
-                    seen_neg[lit.var().index()] = true;
+        // Pure literal elimination — only without proof logging: the units it
+        // adds are blocked clauses (RAT, not RUP) and cannot be certified by
+        // the forward RUP checker.
+        if proof.is_none() {
+            let mut seen_pos = vec![false; num_vars];
+            let mut seen_neg = vec![false; num_vars];
+            for clause in &clauses {
+                for &lit in clause {
+                    if lit.is_positive() {
+                        seen_pos[lit.var().index()] = true;
+                    } else {
+                        seen_neg[lit.var().index()] = true;
+                    }
                 }
             }
-        }
-        for v in 0..num_vars {
-            if assigns[v].is_some() {
-                continue;
-            }
-            if seen_pos[v] != seen_neg[v] && (seen_pos[v] || seen_neg[v]) {
-                assigns[v] = Some(seen_pos[v]);
-                stats.pure_literals += 1;
-                changed = true;
+            for v in 0..num_vars {
+                if assigns[v].is_some() {
+                    continue;
+                }
+                if seen_pos[v] != seen_neg[v] && (seen_pos[v] || seen_neg[v]) {
+                    assigns[v] = Some(seen_pos[v]);
+                    stats.pure_literals += 1;
+                    changed = true;
+                }
             }
         }
 
@@ -128,15 +197,21 @@ pub fn preprocess(cnf: &CnfFormula, with_subsumption: bool) -> Preprocessed {
     }
 
     // Duplicate removal: sort each clause in place (satisfiability is
-    // order-independent), then sort and deduplicate the clause list — no
-    // per-clause scratch copies or hash sets.
+    // order-independent), then sort the clause list and drop exact repeats.
     for clause in &mut clauses {
         clause.sort_unstable();
     }
     clauses.sort_unstable();
-    let before = clauses.len();
-    clauses.dedup();
-    stats.clauses_removed += before - clauses.len();
+    let mut deduped: Vec<Vec<Lit>> = Vec::with_capacity(clauses.len());
+    for clause in clauses {
+        if deduped.last() == Some(&clause) {
+            stats.clauses_removed += 1;
+            log_delete!(&clause);
+        } else {
+            deduped.push(clause);
+        }
+    }
+    let mut clauses = deduped;
 
     // Subsumption (quadratic; only for modest formulas or when requested).
     // Clauses are sorted, so the subset test is a linear two-pointer merge.
@@ -155,14 +230,36 @@ pub fn preprocess(cnf: &CnfFormula, with_subsumption: bool) -> Preprocessed {
                 {
                     keep[j] = false;
                     stats.clauses_removed += 1;
+                    log_delete!(&clauses[j]);
                 }
             }
         }
-        clauses = clauses
+        let mut kept: Vec<Vec<Lit>> = clauses
             .into_iter()
             .zip(keep)
             .filter_map(|(c, k)| k.then_some(c))
             .collect();
+
+        // Self-subsuming resolution, one round: when C₁ resolved with C₂ on
+        // a literal l (with l ∈ C₁, ¬l ∈ C₂ and C₁ \ {l} ⊆ C₂) yields a
+        // strict strengthening of C₂, replace C₂ by the resolvent.  The
+        // resolvent is RUP, so the rewrite is certifiable.
+        for i in 0..kept.len() {
+            for j in 0..kept.len() {
+                if i == j || kept[i].len() > kept[j].len() {
+                    continue;
+                }
+                if let Some(pivot) = self_subsumption_pivot(&kept[i], &kept[j]) {
+                    let strengthened: Vec<Lit> =
+                        kept[j].iter().copied().filter(|&l| l != !pivot).collect();
+                    log_add!(&strengthened);
+                    log_delete!(&kept[j]);
+                    kept[j] = strengthened;
+                    stats.clauses_strengthened += 1;
+                }
+            }
+        }
+        clauses = kept;
     }
 
     let mut simplified = CnfFormula::new(num_vars);
@@ -195,6 +292,34 @@ fn is_sorted_subset(a: &[Lit], b: &[Lit]) -> bool {
     true
 }
 
+/// Finds the pivot of a self-subsuming resolution of `a` against `b`: the
+/// unique literal `l ∈ a` with `¬l ∈ b` such that every other literal of `a`
+/// occurs in `b`.  Both slices are sorted.
+fn self_subsumption_pivot(a: &[Lit], b: &[Lit]) -> Option<Lit> {
+    let mut pivot = None;
+    // A tautological `a` would make the "resolvent" unsound (it is b itself);
+    // `CnfFormula::add_clause` drops tautologies, but guard against other
+    // clause sources anyway.
+    if a.windows(2).any(|w| w[0].var() == w[1].var()) {
+        return None;
+    }
+    for &l in a {
+        if b.binary_search(&l).is_ok() {
+            continue;
+        }
+        if b.binary_search(&!l).is_ok() {
+            if pivot.is_some() {
+                return None; // two pivots: the resolvent is a tautology-free
+                             // strengthening only with exactly one
+            }
+            pivot = Some(l);
+        } else {
+            return None; // a literal of `a` missing from `b` entirely
+        }
+    }
+    pivot
+}
+
 fn collect_forced(assigns: &[Option<bool>]) -> Vec<Lit> {
     assigns
         .iter()
@@ -207,6 +332,7 @@ fn collect_forced(assigns: &[Option<bool>]) -> Vec<Lit> {
 mod tests {
     use super::*;
     use crate::cnf::Var;
+    use crate::proof::SharedProof;
 
     fn lit(i: i64) -> Lit {
         Lit::from_dimacs(i)
@@ -257,6 +383,32 @@ mod tests {
     }
 
     #[test]
+    fn self_subsumption_strengthens_clauses() {
+        // (1 ∨ 2) and (¬1 ∨ 2 ∨ 3) resolve on 1 to (2 ∨ 3) ⊂ (¬1 ∨ 2 ∨ 3):
+        // the second clause loses its ¬1.  (The extra clause keeps every
+        // variable impure so pure-literal elimination stays out of the way.)
+        let cnf = cnf_of(&[&[1, 2], &[-1, 2, 3], &[-2, -3]]);
+        let result = preprocess(&cnf, true);
+        assert!(result.stats.clauses_strengthened >= 1);
+        assert!(
+            result.cnf.clauses().iter().all(|c| !c.contains(&lit(-1))),
+            "¬1 resolved away: {:?}",
+            result.cnf.clauses()
+        );
+    }
+
+    #[test]
+    fn proof_mode_skips_pure_literals() {
+        let cnf = cnf_of(&[&[1, 3], &[-1, 3], &[1, -2]]);
+        let mut writer = SharedProof::new();
+        let result = preprocess_with_proof(&cnf, false, &mut writer);
+        assert_eq!(
+            result.stats.pure_literals, 0,
+            "pure-literal units are not RUP and must not be used"
+        );
+    }
+
+    #[test]
     fn preprocessing_preserves_satisfiability() {
         use crate::cdcl::CdclSolver;
         use crate::solver::Solver;
@@ -275,5 +427,55 @@ mod tests {
             };
             assert_eq!(original, simplified);
         }
+    }
+
+    /// The certification-unsoundness regression: a proof that starts with the
+    /// logged preprocessing rewrites and continues with the solver's
+    /// refutation of the *simplified* formula must check against the
+    /// *original* formula.
+    #[test]
+    fn preprocessed_unsat_refutations_check_against_the_original_cnf() {
+        use crate::cdcl::CdclSolver;
+        use crate::generators::pigeonhole;
+        use crate::solver::Budget;
+        // Pigeonhole with redundant decoration: forced units, a duplicate,
+        // a subsumed clause and a self-subsumption opportunity.
+        let php = pigeonhole(4);
+        let n = php.num_vars() as i64;
+        let mut cnf = php.clone();
+        let forced_unit = n + 1;
+        let chained = n + 2;
+        let decorated: Vec<Vec<i64>> = vec![
+            vec![forced_unit],           // forced unit
+            vec![-forced_unit, chained], // chained unit
+            vec![chained, 1, 2],         // satisfied after propagation
+            vec![1, 2, 3],
+            vec![1, 2, 3],    // duplicate
+            vec![1, 2, 3, 4], // subsumed by [1, 2, 3]
+            vec![-1, 2, 3],   // self-subsumed against [1, 2, 3]
+        ];
+        for c in &decorated {
+            cnf.add_clause(c.iter().map(|&i| lit(i)).collect());
+        }
+        let shared = SharedProof::new();
+        let mut writer = shared.clone();
+        let pre = preprocess_with_proof(&cnf, true, &mut writer);
+        assert!(!pre.stats.proved_unsat, "PHP needs real search");
+        let result = CdclSolver::chaff().solve_with_proof_writer(
+            &pre.cnf,
+            &[],
+            Budget::unlimited(),
+            Box::new(shared.clone()),
+        );
+        assert!(result.is_unsat());
+        let proof = shared.take();
+        let original = crate::dimacs::cnf_to_dimacs_i32(&cnf);
+        let report =
+            velv_proof::check_proof(&original, &proof, &velv_proof::CheckOptions::default())
+                .expect("the combined preprocessing + solving proof checks");
+        assert!(
+            report.derived_empty,
+            "the refutation reaches the empty clause"
+        );
     }
 }

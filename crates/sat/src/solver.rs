@@ -1,6 +1,7 @@
 //! The common interface of all SAT procedures.
 
 use crate::cnf::{CnfFormula, Lit, Var};
+use crate::proof::SharedProof;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -286,6 +287,27 @@ pub trait Solver {
             augmented.add_clause(vec![lit]);
         }
         self.solve_with_budget(&augmented, budget)
+    }
+
+    /// Solves `cnf` under `assumptions` while logging a DRAT proof of every
+    /// inference into `proof`, so that an `Unsat` answer can be replayed by
+    /// the independent checker in `velv_proof`.  The terminal proof step of a
+    /// refutation is the empty clause, or — under assumptions — the clause
+    /// over the negated assumption subset responsible for the conflict.
+    ///
+    /// Returns `None` when the procedure cannot produce proofs; only the
+    /// clause-learning engines override this (DPLL and the local searches
+    /// perform inferences a clausal proof cannot capture cheaply, and the
+    /// portfolio's winner is not known in advance).
+    fn solve_with_proof(
+        &mut self,
+        cnf: &CnfFormula,
+        assumptions: &[Lit],
+        budget: Budget,
+        proof: &SharedProof,
+    ) -> Option<SatResult> {
+        let _ = (cnf, assumptions, budget, proof);
+        None
     }
 
     /// Statistics of the most recent `solve` call.

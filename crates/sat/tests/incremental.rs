@@ -42,8 +42,9 @@ fn reference_verdict(cnf: &CnfFormula, assumptions: &[Lit]) -> bool {
     }
 }
 
-/// Checks that `core` is a subset of `assumptions` and that the formula is
-/// unsatisfiable under the core alone.
+/// Checks that `core` is a subset of `assumptions`, that the formula is
+/// unsatisfiable under the core alone, and that the re-solve's DRAT proof
+/// replays through the independent checker (the core *re-certifies*).
 fn assert_core_sound(cnf: &CnfFormula, assumptions: &[Lit], core: &[Lit], label: &str) {
     assert!(
         core.iter().all(|l| assumptions.contains(l)),
@@ -53,9 +54,18 @@ fn assert_core_sound(cnf: &CnfFormula, assumptions: &[Lit], core: &[Lit], label:
     for &lit in core {
         augmented.add_clause(vec![lit]);
     }
+    let (result, proof) =
+        CdclSolver::chaff().solve_recording_proof(&augmented, &[], Budget::unlimited());
     assert!(
-        CdclSolver::chaff().solve(&augmented).is_unsat(),
+        result.is_unsat(),
         "{label}: core {core:?} does not re-solve UNSAT"
+    );
+    let clauses = velv_sat::dimacs::cnf_to_dimacs_i32(&augmented);
+    let report = velv_proof::check_proof(&clauses, &proof, &velv_proof::CheckOptions::default())
+        .unwrap_or_else(|e| panic!("{label}: core refutation proof rejected: {e}"));
+    assert!(
+        report.derived_empty,
+        "{label}: the core refutation derives the empty clause"
     );
 }
 

@@ -9,7 +9,9 @@
 //! * [`velv_models`] — the benchmark processors (DLX pipelines, VLIW, out-of-order),
 //! * [`velv_core`] — the EUFM → propositional translation and verification flow,
 //! * [`velv_sat`] — the SAT procedures (CDCL presets, DPLL, local search),
-//! * [`velv_bdd`] — the BDD package used as the decision-diagram back end.
+//! * [`velv_bdd`] — the BDD package used as the decision-diagram back end,
+//! * [`velv_proof`] — DRAT proof formats and the independent RUP checker
+//!   behind certified verdicts.
 //!
 //! # Quickstart
 //!
@@ -31,14 +33,16 @@ pub use velv_core;
 pub use velv_eufm;
 pub use velv_hdl;
 pub use velv_models;
+pub use velv_proof;
 pub use velv_sat;
 
 /// The most commonly used items, for `use velv::prelude::*`.
 pub mod prelude {
     pub use velv_bdd::BddManager;
     pub use velv_core::{
-        Backend, BackendRun, GEncoding, PortfolioOutcome, RefinementStats, SharedTranslation,
-        TransitivityMode, Translation, TranslationOptions, TranslationStats, Verdict, Verifier,
+        Backend, BackendRun, Certificate, CertifiedVerdict, CertifyError, CertifyOptions,
+        GEncoding, PortfolioOutcome, RefinementStats, SharedTranslation, TransitivityMode,
+        Translation, TranslationOptions, TranslationStats, Verdict, Verifier,
     };
     pub use velv_eufm::Context;
     pub use velv_hdl::{Processor, StateElement, SymbolicState};

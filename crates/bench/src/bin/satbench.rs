@@ -27,9 +27,19 @@
 //!   with DRAT proof logging, plus the independent checker's replay time, on
 //!   the DLX correct-design proofs.
 //!
-//! Usage: `satbench [--smoke] [--out PATH]`.  `--smoke` shrinks every
-//! instance so the whole run takes well under a second — CI uses it to keep
-//! the harness from rotting without paying for a real measurement.
+//! A fourth subsystem benchmark, **serve**, measures the serving layer of
+//! `velv_serve`: a bug-catalog sweep is submitted twice to an in-process
+//! verification service — the cold sweep pays translation + solving through
+//! one shared batch session, the warm sweep returns every verdict from the
+//! fingerprint-keyed cache — and a concurrent re-sweep hammers the cache from
+//! several client threads.  Throughput (jobs/sec) and the cache-hit ratio are
+//! recorded separately in `BENCH_serve.json`.
+//!
+//! Usage: `satbench [--smoke] [--out PATH] [--serve-out PATH] [--only cdcl|serve]`.
+//! `--smoke` shrinks every instance so the whole run takes well under a
+//! second — CI uses it to keep the harness from rotting without paying for a
+//! real measurement.  `--only serve` regenerates `BENCH_serve.json` without
+//! re-measuring the solver suites.
 
 use std::time::{Duration, Instant};
 use velv_core::{TranslationOptions, Verdict, Verifier};
@@ -425,6 +435,133 @@ fn run_certify(measurements: &mut Vec<Measurement>, smoke: bool) {
     }
 }
 
+/// One measured phase of the serve benchmark.
+struct ServeSweep {
+    label: &'static str,
+    jobs: usize,
+    seconds: f64,
+    jobs_per_sec: f64,
+}
+
+/// Serving-layer benchmark (see the module docs): returns the measured
+/// sweeps plus the service's final counters.
+fn run_serve(smoke: bool) -> (Vec<ServeSweep>, velv_serve::ServiceStats, usize) {
+    use velv_serve::{JobSpec, ModelRef, ServeHandle, ServiceConfig};
+
+    let workers = if smoke { 2 } else { 4 };
+    let service = ServeHandle::start(
+        ServiceConfig::default()
+            .with_workers(workers)
+            .with_cache_bytes(256 << 20),
+    );
+    let bugs = if smoke { 2 } else { 12 };
+    let catalog = || -> Vec<JobSpec> {
+        let mut specs = vec![JobSpec::new(ModelRef::dlx1_correct())];
+        for bug in 0..bugs {
+            specs.push(JobSpec::new(ModelRef::dlx1_bug(bug)));
+        }
+        specs
+    };
+    let catalog_jobs = catalog().len();
+    let mut sweeps = Vec::new();
+
+    // Cold sweep: unique fingerprints, one shared batch session.
+    let start = Instant::now();
+    let tickets = service.submit_batch(catalog()).expect("batch accepted");
+    for ticket in &tickets {
+        let result = ticket.wait();
+        assert!(
+            !matches!(result.verdict, Verdict::Unknown(_)),
+            "cold sweep job {} came back undecided",
+            result.name
+        );
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    sweeps.push(ServeSweep {
+        label: "cold-batch",
+        jobs: catalog_jobs,
+        seconds,
+        jobs_per_sec: catalog_jobs as f64 / seconds.max(1e-9),
+    });
+
+    // Warm sweep: identical fingerprints, served from the cache.
+    let start = Instant::now();
+    let tickets = service.submit_batch(catalog()).expect("batch accepted");
+    for ticket in &tickets {
+        assert!(ticket.wait().from_cache, "warm sweep must hit the cache");
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    sweeps.push(ServeSweep {
+        label: "warm-batch",
+        jobs: catalog_jobs,
+        seconds,
+        jobs_per_sec: catalog_jobs as f64 / seconds.max(1e-9),
+    });
+
+    // Concurrent warm re-sweep: several client threads hammer the cache.
+    let clients = if smoke { 2 } else { 4 };
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            let service = service.clone();
+            let specs = catalog();
+            scope.spawn(move || {
+                for spec in specs {
+                    let result = service.submit(spec).expect("accepted").wait();
+                    assert!(result.from_cache);
+                }
+            });
+        }
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    let jobs = clients * catalog_jobs;
+    sweeps.push(ServeSweep {
+        label: "warm-concurrent",
+        jobs,
+        seconds,
+        jobs_per_sec: jobs as f64 / seconds.max(1e-9),
+    });
+
+    // Shut down first so the worker gauges have settled before the snapshot.
+    service.shutdown();
+    let stats = service.stats();
+    (sweeps, stats, workers)
+}
+
+fn write_serve_json(
+    path: &str,
+    sweeps: &[ServeSweep],
+    stats: &velv_serve::ServiceStats,
+    workers: usize,
+    smoke: bool,
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"harness\": \"satbench-serve\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"workers\": {workers},\n"));
+    out.push_str("  \"sweeps\": [\n");
+    for (i, sweep) in sweeps.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"jobs\": {}, \"seconds\": {:.6}, \"jobs_per_sec\": {:.2}}}{}\n",
+            sweep.label,
+            sweep.jobs,
+            sweep.seconds,
+            sweep.jobs_per_sec,
+            if i + 1 < sweeps.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    for (key, value) in stats.fields() {
+        out.push_str(&format!("  \"{}\": {},\n", key.replace('-', "_"), value));
+    }
+    out.push_str(&format!(
+        "  \"cache_hit_ratio\": {:.4}\n}}\n",
+        stats.cache.hit_ratio()
+    ));
+    std::fs::write(path, out)
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -459,38 +596,93 @@ fn write_json(path: &str, measurements: &[Measurement], smoke: bool) -> std::io:
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_cdcl.json".to_owned());
-
-    let instances = suite(smoke);
-    println!(
-        "satbench: {} instances x 4 presets{}",
-        instances.len(),
-        if smoke { " (smoke)" } else { "" }
-    );
-    let mut measurements = run(&instances, smoke);
-    run_decomposition(&mut measurements, smoke);
-    run_transitivity(&mut measurements, smoke);
-    run_certify(&mut measurements, smoke);
-    println!(
-        "{:<28} {:<8} {:>8} {:>10} {:>12} {:>14}",
-        "instance", "preset", "result", "time (s)", "confl/s", "props/s"
-    );
-    for m in &measurements {
-        println!(
-            "{:<28} {:<8} {:>8} {:>10.3} {:>12.0} {:>14.0}",
-            m.instance, m.preset, m.result, m.time_s, m.conflicts_per_sec, m.propagations_per_sec
-        );
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_cdcl.json".to_owned());
+    let serve_out_path = flag_value("--serve-out").unwrap_or_else(|| "BENCH_serve.json".to_owned());
+    let only = flag_value("--only");
+    let run_cdcl_suites = only.as_deref().is_none_or(|o| o == "cdcl");
+    let run_serve_suite = only.as_deref().is_none_or(|o| o == "serve");
+    if let Some(other) = only.as_deref() {
+        if other != "cdcl" && other != "serve" {
+            eprintln!("satbench: unknown --only {other} (want cdcl or serve)");
+            std::process::exit(2);
+        }
     }
-    match write_json(&out_path, &measurements, smoke) {
-        Ok(()) => println!("wrote {out_path}"),
-        Err(e) => {
-            eprintln!("failed to write {out_path}: {e}");
-            std::process::exit(1);
+
+    if run_cdcl_suites {
+        let instances = suite(smoke);
+        println!(
+            "satbench: {} instances x 4 presets{}",
+            instances.len(),
+            if smoke { " (smoke)" } else { "" }
+        );
+        let mut measurements = run(&instances, smoke);
+        run_decomposition(&mut measurements, smoke);
+        run_transitivity(&mut measurements, smoke);
+        run_certify(&mut measurements, smoke);
+        println!(
+            "{:<28} {:<8} {:>8} {:>10} {:>12} {:>14}",
+            "instance", "preset", "result", "time (s)", "confl/s", "props/s"
+        );
+        for m in &measurements {
+            println!(
+                "{:<28} {:<8} {:>8} {:>10.3} {:>12.0} {:>14.0}",
+                m.instance,
+                m.preset,
+                m.result,
+                m.time_s,
+                m.conflicts_per_sec,
+                m.propagations_per_sec
+            );
+        }
+        match write_json(&out_path, &measurements, smoke) {
+            Ok(()) => println!("wrote {out_path}"),
+            Err(e) => {
+                eprintln!("failed to write {out_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if run_serve_suite {
+        println!(
+            "satbench: serve throughput sweep{}",
+            if smoke { " (smoke)" } else { "" }
+        );
+        let (sweeps, stats, workers) = run_serve(smoke);
+        println!(
+            "{:<18} {:>6} {:>10} {:>12}",
+            "sweep", "jobs", "time (s)", "jobs/s"
+        );
+        for sweep in &sweeps {
+            println!(
+                "{:<18} {:>6} {:>10.3} {:>12.1}",
+                sweep.label, sweep.jobs, sweep.seconds, sweep.jobs_per_sec
+            );
+        }
+        println!(
+            "cache hits {} / lookups {} (ratio {:.2}), dedup joins {}, fresh solves {}",
+            stats.cache.hits,
+            stats.cache.hits + stats.cache.misses,
+            stats.cache.hit_ratio(),
+            stats.dedup_joins,
+            stats.fresh_solves
+        );
+        assert!(
+            stats.cache.hit_ratio() > 0.0,
+            "the repeated catalog sweep must produce cache hits"
+        );
+        match write_serve_json(&serve_out_path, &sweeps, &stats, workers, smoke) {
+            Ok(()) => println!("wrote {serve_out_path}"),
+            Err(e) => {
+                eprintln!("failed to write {serve_out_path}: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

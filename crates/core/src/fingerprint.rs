@@ -1,0 +1,76 @@
+//! Structural fingerprints of verification jobs.
+//!
+//! A verification *job* is a pure function of (a) the hash-consed EUFM
+//! correctness criterion, (b) the set of initial-state variables treated as
+//! memories, and (c) the translation options — the Bryant–German–Velev
+//! reduction makes the propositional formula, and therefore the verdict, a
+//! deterministic function of exactly those inputs.  [`problem_fingerprint`]
+//! hashes them into one stable 128-bit key using the order-independent
+//! structural hash of [`velv_eufm::fingerprint`], so two structurally
+//! identical jobs collide even when they were built by different sessions,
+//! in different construction orders, or from differently named design
+//! constructors.
+//!
+//! `velv_serve` keys its verdict cache and in-flight deduplication on this
+//! fingerprint (combined, via [`Fingerprint::combine`], with the back-end
+//! choice and scheduling mode of the job).
+
+use crate::burch_dill::VerificationProblem;
+use crate::options::TranslationOptions;
+use velv_eufm::{formula_fingerprint, Fingerprint};
+
+/// Fingerprint of a built verification problem under the given translation
+/// options (see the module docs).
+pub fn problem_fingerprint(
+    problem: &VerificationProblem,
+    options: &TranslationOptions,
+) -> Fingerprint {
+    let formula = formula_fingerprint(&problem.ctx, problem.criterion);
+    let mut memories: Vec<&str> = problem
+        .memory_vars
+        .iter()
+        .map(|&sym| problem.ctx.symbol_name(sym))
+        .collect();
+    memories.sort_unstable();
+    let salt = format!("mem=[{}];{}", memories.join(","), options.canonical_token());
+    formula.combine(&salt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_models::{PipelinedToy, ToyBug, ToySpec};
+    use crate::Verifier;
+
+    #[test]
+    fn rebuilt_problems_fingerprint_identically() {
+        let verifier = Verifier::new(TranslationOptions::default());
+        let options = TranslationOptions::default();
+        let a = verifier.build_problem(&PipelinedToy::correct(), &ToySpec);
+        let b = verifier.build_problem(&PipelinedToy::correct(), &ToySpec);
+        assert_eq!(
+            problem_fingerprint(&a, &options),
+            problem_fingerprint(&b, &options)
+        );
+    }
+
+    #[test]
+    fn different_designs_and_options_fingerprint_differently() {
+        let verifier = Verifier::new(TranslationOptions::default());
+        let options = TranslationOptions::default();
+        let good = verifier.build_problem(&PipelinedToy::correct(), &ToySpec);
+        let bad = verifier.build_problem(&PipelinedToy::buggy(ToyBug::WritesWrongData), &ToySpec);
+        assert_ne!(
+            problem_fingerprint(&good, &options),
+            problem_fingerprint(&bad, &options)
+        );
+        assert_ne!(
+            problem_fingerprint(&good, &options),
+            problem_fingerprint(&good, &options.clone().with_lazy_transitivity())
+        );
+        assert_ne!(
+            problem_fingerprint(&good, &options),
+            problem_fingerprint(&good, &options.clone().without_positive_equality())
+        );
+    }
+}

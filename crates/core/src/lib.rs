@@ -51,6 +51,7 @@ pub mod cnf;
 pub mod counterexample;
 pub mod decompose;
 pub mod encode;
+pub mod fingerprint;
 pub mod flow;
 pub mod memory_elim;
 pub mod options;
@@ -68,6 +69,7 @@ pub use certify::{
     ProofCertificate, SharedCertifiedOutcome,
 };
 pub use counterexample::Counterexample;
+pub use fingerprint::problem_fingerprint;
 pub use flow::{SharedObligation, SharedTranslation, Translation, Verdict, Verifier};
 pub use options::{CertifyOptions, GEncoding, TransitivityMode, TranslationOptions, UpElimination};
 pub use stats::{RefinementStats, TranslationStats};

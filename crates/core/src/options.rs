@@ -124,6 +124,41 @@ impl TranslationOptions {
         self
     }
 
+    /// A canonical, stable serialization of every translation toggle.
+    ///
+    /// Two option values produce the same token iff they are equal (list
+    /// fields are sorted and deduplicated first, since their order does not
+    /// affect the translation).  The token feeds the job
+    /// [`fingerprint`](crate::fingerprint), so it must never depend on
+    /// process state — only on the option values themselves.
+    pub fn canonical_token(&self) -> String {
+        let list = |items: &[String]| {
+            let mut sorted: Vec<&str> = items.iter().map(String::as_str).collect();
+            sorted.sort_unstable();
+            sorted.dedup();
+            sorted.join(",")
+        };
+        format!(
+            "pe={};enc={};trans={};up={};er={};am=[{}];tb=[{}]",
+            u8::from(self.positive_equality),
+            match self.encoding {
+                GEncoding::Eij => "eij",
+                GEncoding::SmallDomain => "sd",
+            },
+            match self.transitivity {
+                TransitivityMode::Eager => "eager",
+                TransitivityMode::Lazy => "lazy",
+            },
+            match self.up_elimination {
+                UpElimination::NestedIte => "ite",
+                UpElimination::Ackermann => "ack",
+            },
+            u8::from(self.early_reduction),
+            list(&self.abstract_memories),
+            list(&self.translation_boxes),
+        )
+    }
+
     /// The four structural variations of Table 2: base, ER, AC, ER + AC.
     pub fn structural_variations() -> Vec<(String, TranslationOptions)> {
         vec![
@@ -202,6 +237,17 @@ impl CertifyOptions {
         self.trim_proofs = true;
         self
     }
+
+    /// A canonical, stable serialization (see
+    /// [`TranslationOptions::canonical_token`]).
+    pub fn canonical_token(&self) -> String {
+        format!(
+            "proofs={};models={};trim={}",
+            u8::from(self.check_unsat_proofs),
+            u8::from(self.validate_counterexamples),
+            u8::from(self.trim_proofs),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -248,6 +294,41 @@ mod tests {
                 .with_lazy_transitivity()
                 .transitivity,
             TransitivityMode::Lazy
+        );
+    }
+
+    #[test]
+    fn canonical_tokens_distinguish_every_toggle() {
+        let base = TranslationOptions::base();
+        let mut tokens = vec![
+            base.canonical_token(),
+            base.clone().with_early_reduction().canonical_token(),
+            base.clone().with_ackermann_ups().canonical_token(),
+            base.clone().with_small_domain().canonical_token(),
+            base.clone().with_lazy_transitivity().canonical_token(),
+            base.clone().without_positive_equality().canonical_token(),
+        ];
+        let mut boxed = base.clone();
+        boxed.translation_boxes = vec!["pc".to_owned()];
+        tokens.push(boxed.canonical_token());
+        let mut abstracted = base.clone();
+        abstracted.abstract_memories = vec!["dmem".to_owned()];
+        tokens.push(abstracted.canonical_token());
+        let n = tokens.len();
+        tokens.sort_unstable();
+        tokens.dedup();
+        assert_eq!(tokens.len(), n, "every variation has a distinct token");
+
+        // List order does not change the token.
+        let mut ab = base.clone();
+        ab.abstract_memories = vec!["a".to_owned(), "b".to_owned()];
+        let mut ba = base;
+        ba.abstract_memories = vec!["b".to_owned(), "a".to_owned()];
+        assert_eq!(ab.canonical_token(), ba.canonical_token());
+
+        assert_ne!(
+            CertifyOptions::full().canonical_token(),
+            CertifyOptions::full().with_trimming().canonical_token()
         );
     }
 

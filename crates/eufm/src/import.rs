@@ -1,0 +1,258 @@
+//! Deep-copying expressions from one [`Context`] into another.
+//!
+//! [`import_formula`] reconstructs the reachable DAG of a formula inside a
+//! destination context, re-interning symbols by name and rebuilding every node
+//! through the public constructors (so hash-consing and the local
+//! simplifications apply in the destination exactly as they did in the
+//! source).  Structurally identical subformulas imported from *different*
+//! source contexts therefore unify in the destination — which is what lets
+//! `velv_core` translate a whole batch of independently built verification
+//! problems into one shared definitional CNF: common pipeline logic across
+//! the batch entries is interned once and translated once.
+
+use crate::context::Context;
+use crate::node::{Formula, FormulaId, Term, TermId};
+use std::collections::HashMap;
+
+/// One pending node of the explicit (non-recursive) copy stack.
+#[derive(Clone, Copy)]
+enum Item {
+    Term(TermId),
+    Formula(FormulaId),
+}
+
+/// Memoized importer from `src` into `dst`.
+///
+/// The maps persist across [`Importer::formula`]/[`Importer::term`] calls, so
+/// importing several roots that share structure copies the shared part once.
+pub struct Importer<'s> {
+    src: &'s Context,
+    terms: HashMap<TermId, TermId>,
+    formulas: HashMap<FormulaId, FormulaId>,
+}
+
+impl<'s> Importer<'s> {
+    /// Creates an importer reading from `src`.
+    pub fn new(src: &'s Context) -> Self {
+        Importer {
+            src,
+            terms: HashMap::new(),
+            formulas: HashMap::new(),
+        }
+    }
+
+    /// Imports a formula of the source context into `dst`, returning its id
+    /// in `dst`.
+    pub fn formula(&mut self, dst: &mut Context, root: FormulaId) -> FormulaId {
+        self.run(dst, Item::Formula(root));
+        self.formulas[&root]
+    }
+
+    /// Imports a term of the source context into `dst`.
+    pub fn term(&mut self, dst: &mut Context, root: TermId) -> TermId {
+        self.run(dst, Item::Term(root));
+        self.terms[&root]
+    }
+
+    fn done(&self, item: Item) -> bool {
+        match item {
+            Item::Term(id) => self.terms.contains_key(&id),
+            Item::Formula(id) => self.formulas.contains_key(&id),
+        }
+    }
+
+    fn children(&self, item: Item) -> Vec<Item> {
+        match item {
+            Item::Term(id) => match self.src.term(id) {
+                Term::Var(_) => Vec::new(),
+                Term::Uf(_, args) => args.iter().map(|&a| Item::Term(a)).collect(),
+                Term::Ite(c, t, e) => vec![Item::Formula(*c), Item::Term(*t), Item::Term(*e)],
+                Term::Read(m, a) => vec![Item::Term(*m), Item::Term(*a)],
+                Term::Write(m, a, d) => vec![Item::Term(*m), Item::Term(*a), Item::Term(*d)],
+            },
+            Item::Formula(id) => match self.src.formula(id) {
+                Formula::True | Formula::False | Formula::Var(_) => Vec::new(),
+                Formula::Up(_, args) => args.iter().map(|&a| Item::Term(a)).collect(),
+                Formula::Not(f) => vec![Item::Formula(*f)],
+                Formula::And(a, b) | Formula::Or(a, b) => {
+                    vec![Item::Formula(*a), Item::Formula(*b)]
+                }
+                Formula::Ite(c, t, e) => {
+                    vec![Item::Formula(*c), Item::Formula(*t), Item::Formula(*e)]
+                }
+                Formula::Eq(a, b) => vec![Item::Term(*a), Item::Term(*b)],
+            },
+        }
+    }
+
+    fn finish(&mut self, dst: &mut Context, item: Item) {
+        match item {
+            Item::Term(id) => {
+                let copied = match self.src.term(id) {
+                    Term::Var(sym) => dst.term_var(self.src.symbol_name(*sym)),
+                    Term::Uf(sym, args) => {
+                        let args: Vec<TermId> = args.iter().map(|a| self.terms[a]).collect();
+                        dst.uf(self.src.symbol_name(*sym), args)
+                    }
+                    Term::Ite(c, t, e) => {
+                        dst.ite_term(self.formulas[c], self.terms[t], self.terms[e])
+                    }
+                    Term::Read(m, a) => dst.read(self.terms[m], self.terms[a]),
+                    Term::Write(m, a, d) => dst.write(self.terms[m], self.terms[a], self.terms[d]),
+                };
+                self.terms.insert(id, copied);
+            }
+            Item::Formula(id) => {
+                let copied = match self.src.formula(id) {
+                    Formula::True => dst.true_id(),
+                    Formula::False => dst.false_id(),
+                    Formula::Var(sym) => dst.prop_var(self.src.symbol_name(*sym)),
+                    Formula::Up(sym, args) => {
+                        let args: Vec<TermId> = args.iter().map(|a| self.terms[a]).collect();
+                        dst.up(self.src.symbol_name(*sym), args)
+                    }
+                    Formula::Not(f) => {
+                        let inner = self.formulas[f];
+                        dst.not(inner)
+                    }
+                    Formula::And(a, b) => dst.and(self.formulas[a], self.formulas[b]),
+                    Formula::Or(a, b) => dst.or(self.formulas[a], self.formulas[b]),
+                    Formula::Ite(c, t, e) => {
+                        dst.ite_formula(self.formulas[c], self.formulas[t], self.formulas[e])
+                    }
+                    Formula::Eq(a, b) => dst.eq(self.terms[a], self.terms[b]),
+                };
+                self.formulas.insert(id, copied);
+            }
+        }
+    }
+
+    /// Iterative post-order copy (the correctness formulas are deep).
+    fn run(&mut self, dst: &mut Context, root: Item) {
+        let mut stack = vec![root];
+        while let Some(&item) = stack.last() {
+            if self.done(item) {
+                stack.pop();
+                continue;
+            }
+            let pending: Vec<Item> = self
+                .children(item)
+                .into_iter()
+                .filter(|c| !self.done(*c))
+                .collect();
+            if pending.is_empty() {
+                self.finish(dst, item);
+                stack.pop();
+            } else {
+                stack.extend(pending);
+            }
+        }
+    }
+}
+
+/// Imports one formula from `src` into `dst` (see [`Importer`]).
+pub fn import_formula(dst: &mut Context, src: &Context, root: FormulaId) -> FormulaId {
+    Importer::new(src).formula(dst, root)
+}
+
+/// Imports one term from `src` into `dst`.
+pub fn import_term(dst: &mut Context, src: &Context, root: TermId) -> TermId {
+    Importer::new(src).term(dst, root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::formula_fingerprint;
+
+    fn sample(ctx: &mut Context) -> FormulaId {
+        let a = ctx.term_var("a");
+        let b = ctx.term_var("b");
+        let mem = ctx.term_var("mem");
+        let fa = ctx.uf("f", vec![a, b]);
+        let cond = ctx.up("P", vec![fa]);
+        let written = ctx.write(mem, a, fa);
+        let read = ctx.read(written, b);
+        let sel = ctx.ite_term(cond, read, a);
+        let eq = ctx.eq(sel, b);
+        let p = ctx.prop_var("p");
+        let np = ctx.not(p);
+        let or = ctx.or(eq, np);
+        let t = ctx.true_id();
+        ctx.ite_formula(or, eq, t)
+    }
+
+    #[test]
+    fn import_preserves_structure() {
+        let mut src = Context::new();
+        let root = sample(&mut src);
+        let mut dst = Context::new();
+        let copied = import_formula(&mut dst, &src, root);
+        assert_eq!(
+            formula_fingerprint(&src, root),
+            formula_fingerprint(&dst, copied)
+        );
+    }
+
+    #[test]
+    fn imports_from_two_sources_unify_in_the_destination() {
+        let mut src1 = Context::new();
+        let root1 = sample(&mut src1);
+        let mut src2 = Context::new();
+        // Same structure, different construction history.
+        let _ = src2.term_var("scratch");
+        let root2 = sample(&mut src2);
+
+        let mut dst = Context::new();
+        let copied1 = import_formula(&mut dst, &src1, root1);
+        let before = dst.num_formulas();
+        let copied2 = import_formula(&mut dst, &src2, root2);
+        assert_eq!(copied1, copied2, "hash-consing unifies the two imports");
+        assert_eq!(
+            dst.num_formulas(),
+            before,
+            "no new nodes on the second import"
+        );
+    }
+
+    #[test]
+    fn importer_memoizes_across_roots() {
+        let mut src = Context::new();
+        let a = src.term_var("a");
+        let b = src.term_var("b");
+        let shared = src.eq(a, b);
+        let p = src.prop_var("p");
+        let root1 = src.and(shared, p);
+        let root2 = src.or(shared, p);
+
+        let mut dst = Context::new();
+        let mut importer = Importer::new(&src);
+        let c1 = importer.formula(&mut dst, root1);
+        let c2 = importer.formula(&mut dst, root2);
+        assert_ne!(c1, c2);
+        assert_eq!(
+            formula_fingerprint(&dst, c1),
+            formula_fingerprint(&src, root1)
+        );
+        assert_eq!(
+            formula_fingerprint(&dst, c2),
+            formula_fingerprint(&src, root2)
+        );
+    }
+
+    #[test]
+    fn deep_import_does_not_overflow() {
+        let mut src = Context::new();
+        let mut acc = src.prop_var("p0");
+        for i in 1..50_000 {
+            let p = src.prop_var(&format!("p{i}"));
+            acc = src.and(acc, p);
+        }
+        let mut dst = Context::new();
+        let copied = import_formula(&mut dst, &src, acc);
+        assert_eq!(
+            formula_fingerprint(&src, acc),
+            formula_fingerprint(&dst, copied)
+        );
+    }
+}

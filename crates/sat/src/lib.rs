@@ -77,7 +77,7 @@ pub mod solver;
 
 pub use cnf::{Clause, CnfFormula, Lit, Var};
 pub use incremental::IncrementalSolver;
-pub use portfolio::{EngineReport, PortfolioReport, PortfolioSolver};
+pub use portfolio::{EngineReport, PortfolioHandle, PortfolioReport, PortfolioSolver};
 pub use proof::{ProofWriter, SharedProof};
-pub use race::{race, RaceOutcome, RaceRun};
+pub use race::{race, race_with_token, RaceOutcome, RaceRun};
 pub use solver::{Budget, CancelToken, Model, SatResult, Solver, SolverStats, StopReason};

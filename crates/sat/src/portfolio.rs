@@ -37,8 +37,10 @@
 
 use crate::cnf::CnfFormula;
 use crate::presets::SolverKind;
-use crate::race::race;
-use crate::solver::{Budget, SatResult, Solver, SolverStats, StopReason};
+use crate::race::race_with_token;
+use crate::solver::{Budget, CancelToken, SatResult, Solver, SolverStats, StopReason};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Builds one member engine; called once per `solve`, on the member's thread.
@@ -99,12 +101,80 @@ struct Member {
     factory: SolverFactory,
 }
 
+/// Shared shutdown state between a [`PortfolioSolver`] and its
+/// [`PortfolioHandle`]s.
+#[derive(Default)]
+struct PortfolioControl {
+    /// The cancel token of the race currently in flight, if any.
+    current: Mutex<Option<CancelToken>>,
+    /// Sticky shutdown bit: once raised, every future solve returns
+    /// [`StopReason::Cancelled`] immediately.
+    closed: AtomicBool,
+}
+
+impl PortfolioControl {
+    fn cancel_all(&self) {
+        self.closed.store(true, Ordering::Relaxed);
+        if let Some(token) = self
+            .current
+            .lock()
+            .expect("portfolio control lock")
+            .as_ref()
+        {
+            token.cancel();
+        }
+    }
+}
+
+/// A cloneable remote control for a [`PortfolioSolver`] that may be racing on
+/// another thread (obtained from [`PortfolioSolver::cancel_handle`]).
+///
+/// [`PortfolioHandle::cancel_all`] aborts the race currently in flight — the
+/// member engines observe the raised token from their hot loops and return
+/// [`StopReason::Cancelled`], and the race's scoped threads are joined before
+/// `solve` returns, so nothing leaks — and shuts the solver down: later
+/// `solve` calls return `Cancelled` without spawning anything.  This is the
+/// supervision hook `velv_serve` workers use to tear down a losing portfolio
+/// promptly on cache hits, client disconnects and service shutdown.
+#[derive(Clone)]
+pub struct PortfolioHandle {
+    control: Arc<PortfolioControl>,
+}
+
+impl PortfolioHandle {
+    /// Cancels any in-flight race and shuts the portfolio down (idempotent).
+    pub fn cancel_all(&self) {
+        self.control.cancel_all();
+    }
+
+    /// Whether the portfolio has been shut down.
+    pub fn is_shut_down(&self) -> bool {
+        self.control.closed.load(Ordering::Relaxed)
+    }
+}
+
 /// A [`Solver`] that races its member engines on threads and returns the
 /// first decided result, cancelling the losers cooperatively.
+///
+/// Dropping the solver (or calling [`PortfolioHandle::cancel_all`] on a
+/// handle) cancels any race still in flight; the race's scoped threads are
+/// joined before `solve_with_budget` returns, so member threads never outlive
+/// the solve call that spawned them.
 pub struct PortfolioSolver {
     members: Vec<Member>,
     stats: SolverStats,
     report: Option<PortfolioReport>,
+    control: Arc<PortfolioControl>,
+}
+
+impl Drop for PortfolioSolver {
+    fn drop(&mut self) {
+        // `solve_with_budget` borrows `self` mutably, so a drop on the owning
+        // thread cannot overlap a race — but a `PortfolioHandle` may have
+        // been cloned to a supervisor, and dropping the solver must leave no
+        // way to start work on a dead portfolio.
+        self.control.cancel_all();
+    }
 }
 
 impl Default for PortfolioSolver {
@@ -121,6 +191,15 @@ impl PortfolioSolver {
             members: Vec::new(),
             stats: SolverStats::default(),
             report: None,
+            control: Arc::new(PortfolioControl::default()),
+        }
+    }
+
+    /// A remote control for cancelling this portfolio from another thread
+    /// (see [`PortfolioHandle`]).
+    pub fn cancel_handle(&self) -> PortfolioHandle {
+        PortfolioHandle {
+            control: Arc::clone(&self.control),
         }
     }
 
@@ -208,16 +287,32 @@ impl Solver for PortfolioSolver {
         if self.members.is_empty() {
             return SatResult::Unknown(StopReason::Incomplete);
         }
+        if self.control.closed.load(Ordering::Relaxed) {
+            return SatResult::Unknown(StopReason::Cancelled);
+        }
         let thread_names: Vec<String> = self
             .members
             .iter()
             .map(|m| format!("velv-portfolio-{}", m.name))
             .collect();
+        // Publish the race token so a `PortfolioHandle` on another thread can
+        // abort this race directly; re-check the sticky shutdown bit under
+        // the lock so a concurrent `cancel_all` cannot slip between the check
+        // above and the publication.
+        let token = CancelToken::new();
+        {
+            let mut current = self.control.current.lock().expect("portfolio control lock");
+            if self.control.closed.load(Ordering::Relaxed) {
+                return SatResult::Unknown(StopReason::Cancelled);
+            }
+            *current = Some(token.clone());
+        }
         let members = &self.members;
-        let outcome = race(
+        let outcome = race_with_token(
             &thread_names,
             budget,
             MEMBER_STACK_SIZE,
+            token,
             |index, member_budget| {
                 let mut solver = (members[index].factory)();
                 let result = solver.solve_with_budget(cnf, member_budget);
@@ -225,6 +320,7 @@ impl Solver for PortfolioSolver {
             },
             |(result, _)| result.is_decided(),
         );
+        *self.control.current.lock().expect("portfolio control lock") = None;
 
         let engines: Vec<EngineReport> = outcome
             .runs
@@ -408,6 +504,53 @@ mod tests {
         let result = portfolio.solve_with_budget(&cnf, Budget::unlimited().with_cancel(token));
         assert_eq!(result, SatResult::Unknown(StopReason::Cancelled));
         assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn cancel_handle_aborts_an_in_flight_race() {
+        // Two spinners that never answer: without external cancellation the
+        // race would run forever.  A handle on the test thread must stop the
+        // worker thread promptly — and the scoped race joins the member
+        // threads before `solve` returns, so nothing leaks.
+        let mut portfolio = PortfolioSolver::new()
+            .with_member(Box::new(|| Box::new(SpinSolver::new())))
+            .with_member(Box::new(|| Box::new(SpinSolver::new())));
+        let handle = portfolio.cancel_handle();
+        assert!(!handle.is_shut_down());
+        let cnf = pigeonhole(3);
+        let worker = std::thread::spawn(move || {
+            let start = Instant::now();
+            let result = portfolio.solve(&cnf);
+            (result, start.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        handle.cancel_all();
+        let (result, elapsed) = worker.join().expect("the racing thread joins");
+        assert_eq!(result, SatResult::Unknown(StopReason::Cancelled));
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "cancellation was not prompt: {elapsed:?}"
+        );
+        assert!(handle.is_shut_down());
+    }
+
+    #[test]
+    fn shut_down_portfolio_refuses_new_races() {
+        let mut portfolio = PortfolioSolver::default_presets();
+        portfolio.cancel_handle().cancel_all();
+        let start = Instant::now();
+        let result = portfolio.solve(&pigeonhole(4));
+        assert_eq!(result, SatResult::Unknown(StopReason::Cancelled));
+        assert!(start.elapsed() < Duration::from_millis(500));
+    }
+
+    #[test]
+    fn dropping_the_solver_cancels_its_races() {
+        let portfolio =
+            PortfolioSolver::new().with_member(Box::new(|| Box::new(SpinSolver::new())));
+        let handle = portfolio.cancel_handle();
+        drop(portfolio);
+        assert!(handle.is_shut_down());
     }
 
     #[test]

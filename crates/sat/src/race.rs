@@ -84,9 +84,33 @@ where
     F: Fn(usize, Budget) -> T + Sync,
     D: Fn(&T) -> bool,
 {
+    race_with_token(names, budget, stack_size, CancelToken::new(), run, decided)
+}
+
+/// [`race`] with a caller-supplied race token.
+///
+/// The token is the one the members poll; handing it in lets a *supervisor
+/// outside the race* — a portfolio's [`crate::portfolio::PortfolioHandle`], a
+/// job scheduler tearing down a worker — abort every member directly, without
+/// waiting for the collector's next parent-budget poll.  The collector still
+/// raises the same token when a member decides or the caller's own budget
+/// stops the race, so passing a fresh token is exactly [`race`].  A token
+/// that is already raised on entry cancels the members immediately.
+pub fn race_with_token<T, F, D>(
+    names: &[String],
+    budget: Budget,
+    stack_size: usize,
+    token: CancelToken,
+    run: F,
+    decided: D,
+) -> RaceOutcome<T>
+where
+    T: Send,
+    F: Fn(usize, Budget) -> T + Sync,
+    D: Fn(&T) -> bool,
+{
     let race_start = Instant::now();
     let parent = budget.started();
-    let token = CancelToken::new();
     // Members inherit the caller's step limits and resolved deadline but poll
     // the race's own token; the collector below forwards an outer
     // cancellation into that token.

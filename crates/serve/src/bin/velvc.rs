@@ -1,0 +1,142 @@
+//! `velvc` — command-line client for `velvd`.
+//!
+//! ```text
+//! velvc [--addr HOST:PORT] ping
+//! velvc [--addr HOST:PORT] submit KEY=VALUE...     # e.g. model=dlx1:bug:3 backend=chaff
+//! velvc [--addr HOST:PORT] batch LINE [LINE...]    # one quoted job line per entry
+//! velvc [--addr HOST:PORT] stats
+//! velvc [--addr HOST:PORT] status
+//! velvc [--addr HOST:PORT] proof FINGERPRINT
+//! velvc [--addr HOST:PORT] shutdown
+//! ```
+
+use velv_serve::proto::Request;
+use velv_serve::{JobSpec, ServeClient};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: velvc [--addr HOST:PORT] <ping|submit KEY=VALUE...|batch LINE...|stats|status|proof FP|shutdown>"
+    );
+    std::process::exit(2);
+}
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("velvc: {message}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7911".to_owned();
+    if args.first().map(String::as_str) == Some("--addr") {
+        if args.len() < 2 {
+            usage();
+        }
+        addr = args[1].clone();
+        args.drain(..2);
+    }
+    let Some(command) = args.first().cloned() else {
+        usage();
+    };
+    let rest = &args[1..];
+
+    let mut client = match ServeClient::connect(addr.as_str()) {
+        Ok(client) => client,
+        Err(e) => fail(format!("cannot connect to {addr}: {e}")),
+    };
+
+    match command.as_str() {
+        "ping" => match client.ping() {
+            Ok(()) => println!("pong"),
+            Err(e) => fail(e),
+        },
+        "submit" => {
+            if rest.is_empty() {
+                usage();
+            }
+            let line = rest.join(" ");
+            let spec = match JobSpec::parse_wire(&line) {
+                Ok(spec) => spec,
+                Err(e) => fail(e),
+            };
+            match client.submit(spec) {
+                Ok(reply) => {
+                    println!(
+                        "{}: {}{} ({}, wall {:?}, solve {:?})",
+                        reply.name,
+                        reply.verdict,
+                        reply
+                            .reason
+                            .as_ref()
+                            .map(|r| format!(" [{r}]"))
+                            .unwrap_or_default(),
+                        if reply.cached {
+                            "cache hit"
+                        } else if reply.deduplicated {
+                            "deduplicated"
+                        } else {
+                            "fresh solve"
+                        },
+                        reply.wall,
+                        reply.solve_time,
+                    );
+                    println!("fingerprint {}", reply.fingerprint);
+                    for name in &reply.cex_true {
+                        println!("cex-true {name}");
+                    }
+                }
+                Err(e) => fail(e),
+            }
+        }
+        "batch" => {
+            if rest.is_empty() {
+                usage();
+            }
+            let mut specs = Vec::new();
+            for line in rest {
+                match JobSpec::parse_wire(line) {
+                    Ok(spec) => specs.push(spec),
+                    Err(e) => fail(e),
+                }
+            }
+            match client.batch(specs) {
+                Ok(response) => {
+                    for job in response.all("job") {
+                        println!("{job}");
+                    }
+                }
+                Err(e) => fail(e),
+            }
+        }
+        "stats" => match client.stats() {
+            Ok(fields) => {
+                for (key, value) in fields {
+                    println!("{key:<22} {value}");
+                }
+            }
+            Err(e) => fail(e),
+        },
+        "status" => match client.request(&Request::Status) {
+            Ok(response) => {
+                for (key, value) in &response.fields {
+                    println!("{key:<10} {value}");
+                }
+            }
+            Err(e) => fail(e),
+        },
+        "proof" => {
+            let Some(fingerprint) = rest.first() else {
+                usage();
+            };
+            match client.proof(fingerprint) {
+                Ok(text) => print!("{text}"),
+                Err(e) => fail(e),
+            }
+        }
+        "shutdown" => match client.shutdown() {
+            Ok(()) => println!("server shutting down"),
+            Err(e) => fail(e),
+        },
+        _ => usage(),
+    }
+}

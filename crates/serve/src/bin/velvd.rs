@@ -1,0 +1,66 @@
+//! `velvd` — the verification service daemon.
+//!
+//! Serves the `velv_serve` wire protocol over TCP and prints a counter
+//! summary when a client asks it to shut down.
+//!
+//! ```text
+//! velvd [--addr HOST:PORT] [--workers N] [--cache-mb M] [--default-timeout-ms T]
+//! ```
+
+use std::time::Duration;
+use velv_serve::{serve, ServeHandle, ServiceConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: velvd [--addr HOST:PORT] [--workers N] [--cache-mb M] [--default-timeout-ms T]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7911".to_owned();
+    let mut config = ServiceConfig::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = || iter.next().cloned().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--addr" => addr = value(),
+            "--workers" => match value().parse() {
+                Ok(n) => config.workers = n,
+                Err(_) => usage(),
+            },
+            "--cache-mb" => match value().parse::<usize>() {
+                Ok(mb) => config.cache_bytes = mb << 20,
+                Err(_) => usage(),
+            },
+            "--default-timeout-ms" => match value().parse::<u64>() {
+                Ok(ms) => config.default_timeout = Some(Duration::from_millis(ms)),
+                Err(_) => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    let workers = config.workers;
+    let handle = ServeHandle::start(config);
+    let control = match serve(handle.clone(), addr.as_str()) {
+        Ok(control) => control,
+        Err(e) => {
+            eprintln!("velvd: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "velvd: serving on {} with {} workers (shut down with `velvc shutdown`)",
+        control.addr(),
+        workers
+    );
+    control.wait();
+
+    let stats = handle.stats();
+    println!("velvd: shut down; final counters:");
+    for (key, value) in stats.fields() {
+        println!("  {key:<22} {value}");
+    }
+}

@@ -1,0 +1,414 @@
+//! The fingerprint-keyed verdict cache: a sharded LRU with byte-size
+//! accounting.
+//!
+//! The service consults this cache *before* any translation or solve: the
+//! paper's workload is batch-and-repeat (the same processor model verified
+//! over and over across a bug catalog, encoding variants and back ends), so
+//! most submitted work is structurally identical to work already done, and
+//! the Bryant–German–Velev reduction makes the verdict a pure function of the
+//! job fingerprint — a hit is simply the answer.
+//!
+//! Design:
+//!
+//! * **Sharding.**  Keys are spread over `N` independently locked shards by
+//!   fingerprint bits, so concurrent submitters do not serialize on one lock.
+//! * **Byte accounting.**  Each entry is charged its approximate heap size
+//!   ([`CachedVerdict::approx_bytes`]) — counterexamples and DRAT artifacts
+//!   dwarf the fixed-size verdict, so the budget is in bytes, not entries.
+//! * **True LRU.**  Each shard keeps an intrusive doubly linked list over a
+//!   slab of nodes; a hit relinks the entry to the front in O(1), and
+//!   insertion evicts from the back until the shard fits its budget.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use velv_core::{Certificate, TranslationStats, Verdict};
+use velv_eufm::Fingerprint;
+
+/// A cached, decided verdict and its artifacts.
+///
+/// Undecided (`Unknown`) verdicts are never cached — a timeout or
+/// cancellation says nothing about the formula.
+#[derive(Clone, Debug)]
+pub struct CachedVerdict {
+    /// The decided verdict (with its counterexample, for buggy designs).
+    pub verdict: Verdict,
+    /// The certificate of a certified run, if the job asked for one.
+    pub certificate: Option<Certificate>,
+    /// DRAT proof artifact of an UNSAT verdict (text format), if the job
+    /// asked to keep it.
+    pub proof_drat: Option<Arc<Vec<u8>>>,
+    /// Wall-clock time of the original translation + solve.
+    pub solve_time: Duration,
+    /// Translation statistics of the original run.
+    pub translation_stats: Option<TranslationStats>,
+}
+
+impl CachedVerdict {
+    /// Approximate heap footprint, used for the cache's byte accounting.
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes = 256; // fixed-size fields, node overhead, map slot
+        if let Verdict::Buggy(cex) = &self.verdict {
+            for (name, _) in cex.iter() {
+                bytes += name.len() + 48; // BTreeMap entry overhead
+            }
+        }
+        if let Verdict::Unknown(reason) = &self.verdict {
+            bytes += reason.len();
+        }
+        if let Some(proof) = &self.proof_drat {
+            bytes += proof.len();
+        }
+        if self.certificate.is_some() {
+            bytes += 128;
+        }
+        bytes
+    }
+}
+
+/// Aggregate cache statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Bytes currently charged.
+    pub bytes: u64,
+    /// Total byte budget across all shards.
+    pub capacity_bytes: u64,
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+    /// Insertions (including replacements).
+    pub insertions: u64,
+    /// Entries evicted under byte pressure.
+    pub evictions: u64,
+    /// Entries refused because they alone exceed a shard's budget.
+    pub oversize: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio over all lookups (0 when none were made).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: u128,
+    value: Arc<CachedVerdict>,
+    bytes: usize,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: hash map + intrusive LRU list over a slab with a free list.
+struct Shard {
+    map: HashMap<u128, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    bytes: usize,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            bytes: 0,
+        }
+    }
+
+    fn unlink(&mut self, index: usize) {
+        let (prev, next) = (self.nodes[index].prev, self.nodes[index].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, index: usize) {
+        self.nodes[index].prev = NIL;
+        self.nodes[index].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = index;
+        }
+        self.head = index;
+        if self.tail == NIL {
+            self.tail = index;
+        }
+    }
+
+    fn touch(&mut self, index: usize) {
+        if self.head != index {
+            self.unlink(index);
+            self.push_front(index);
+        }
+    }
+
+    /// Removes the LRU entry; returns false when the shard is empty.
+    fn evict_one(&mut self) -> bool {
+        let victim = self.tail;
+        if victim == NIL {
+            return false;
+        }
+        self.unlink(victim);
+        let node = &mut self.nodes[victim];
+        self.bytes -= node.bytes;
+        let key = node.key;
+        self.map.remove(&key);
+        self.free.push(victim);
+        true
+    }
+
+    fn insert(&mut self, key: u128, value: Arc<CachedVerdict>, bytes: usize) {
+        if let Some(&index) = self.map.get(&key) {
+            self.bytes -= self.nodes[index].bytes;
+            self.bytes += bytes;
+            self.nodes[index].value = value;
+            self.nodes[index].bytes = bytes;
+            self.touch(index);
+            return;
+        }
+        let index = match self.free.pop() {
+            Some(index) => {
+                self.nodes[index] = Node {
+                    key,
+                    value,
+                    bytes,
+                    prev: NIL,
+                    next: NIL,
+                };
+                index
+            }
+            None => {
+                self.nodes.push(Node {
+                    key,
+                    value,
+                    bytes,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.nodes.len() - 1
+            }
+        };
+        self.map.insert(key, index);
+        self.push_front(index);
+        self.bytes += bytes;
+    }
+}
+
+/// The sharded, byte-bounded LRU verdict cache (see the module docs).
+pub struct VerdictCache {
+    shards: Box<[Mutex<Shard>]>,
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    oversize: AtomicU64,
+}
+
+impl VerdictCache {
+    /// Creates a cache with a total byte budget split over `shards` locks.
+    /// Both arguments are clamped to at least 1 (shard count additionally
+    /// rounded up to a power of two for cheap masking).
+    pub fn new(capacity_bytes: usize, shards: usize) -> Self {
+        let shard_count = shards.max(1).next_power_of_two();
+        let shard_capacity = (capacity_bytes / shard_count).max(1);
+        let shards: Vec<Mutex<Shard>> =
+            (0..shard_count).map(|_| Mutex::new(Shard::new())).collect();
+        VerdictCache {
+            shards: shards.into_boxed_slice(),
+            shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            oversize: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: Fingerprint) -> &Mutex<Shard> {
+        // The fingerprint is already well mixed; fold the halves so shard
+        // selection uses all 128 bits.
+        let folded = (key.0 as u64) ^ ((key.0 >> 64) as u64);
+        &self.shards[(folded as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Looks a fingerprint up, refreshing its recency on a hit.
+    pub fn get(&self, key: Fingerprint) -> Option<Arc<CachedVerdict>> {
+        let mut shard = self.shard(key).lock().expect("cache shard lock");
+        match shard.map.get(&key.0).copied() {
+            Some(index) => {
+                shard.touch(index);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&shard.nodes[index].value))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) an entry, evicting least-recently-used entries
+    /// of the same shard until it fits.  An entry whose own footprint exceeds
+    /// the shard budget is refused rather than flushing the whole shard.
+    pub fn insert(&self, key: Fingerprint, value: CachedVerdict) {
+        let bytes = value.approx_bytes();
+        if bytes > self.shard_capacity {
+            self.oversize.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut shard = self.shard(key).lock().expect("cache shard lock");
+        shard.insert(key.0, Arc::new(value), bytes);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        while shard.bytes > self.shard_capacity {
+            if !shard.evict_one() {
+                break;
+            }
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let mut entries = 0u64;
+        let mut bytes = 0u64;
+        for shard in self.shards.iter() {
+            let shard = shard.lock().expect("cache shard lock");
+            entries += shard.map.len() as u64;
+            bytes += shard.bytes as u64;
+        }
+        CacheStats {
+            entries,
+            bytes,
+            capacity_bytes: (self.shard_capacity * self.shards.len()) as u64,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            oversize: self.oversize.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").map.len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdict_of_bytes(padding: usize) -> CachedVerdict {
+        CachedVerdict {
+            verdict: Verdict::Correct,
+            certificate: None,
+            proof_drat: Some(Arc::new(vec![b'0'; padding])),
+            solve_time: Duration::from_millis(1),
+            translation_stats: None,
+        }
+    }
+
+    fn fp(i: u128) -> Fingerprint {
+        // Spread the keys so single-shard tests use shards=1.
+        Fingerprint(i)
+    }
+
+    #[test]
+    fn hit_refreshes_recency() {
+        let cache = VerdictCache::new(3 * 600, 1);
+        cache.insert(fp(1), verdict_of_bytes(300));
+        cache.insert(fp(2), verdict_of_bytes(300));
+        cache.insert(fp(3), verdict_of_bytes(300));
+        // Touch 1 so 2 is now the LRU; a fourth insert must evict 2.
+        assert!(cache.get(fp(1)).is_some());
+        cache.insert(fp(4), verdict_of_bytes(300));
+        assert!(cache.get(fp(1)).is_some(), "recently used survives");
+        assert!(cache.get(fp(2)).is_none(), "LRU entry evicted");
+        assert!(cache.get(fp(3)).is_some());
+        assert!(cache.get(fp(4)).is_some());
+        assert!(cache.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn byte_pressure_evicts_multiple_entries() {
+        let cache = VerdictCache::new(2000, 1);
+        for i in 0..4 {
+            cache.insert(fp(i), verdict_of_bytes(200));
+        }
+        assert_eq!(cache.len(), 4);
+        // One large entry displaces several small ones.
+        cache.insert(fp(99), verdict_of_bytes(1500));
+        let stats = cache.stats();
+        assert!(stats.bytes <= stats.capacity_bytes);
+        assert!(cache.get(fp(99)).is_some());
+        assert!(cache.len() < 5);
+    }
+
+    #[test]
+    fn oversize_entries_are_refused() {
+        let cache = VerdictCache::new(1024, 1);
+        cache.insert(fp(7), verdict_of_bytes(1 << 20));
+        assert!(cache.get(fp(7)).is_none());
+        assert_eq!(cache.stats().oversize, 1);
+        assert_eq!(cache.stats().insertions, 0);
+    }
+
+    #[test]
+    fn replacement_updates_byte_accounting() {
+        let cache = VerdictCache::new(10_000, 1);
+        cache.insert(fp(5), verdict_of_bytes(100));
+        let before = cache.stats().bytes;
+        cache.insert(fp(5), verdict_of_bytes(4000));
+        let after = cache.stats().bytes;
+        assert_eq!(cache.len(), 1);
+        assert!(after > before);
+        cache.insert(fp(5), verdict_of_bytes(100));
+        assert_eq!(cache.stats().bytes, before);
+    }
+
+    #[test]
+    fn stats_and_hit_ratio() {
+        let cache = VerdictCache::new(1 << 20, 8);
+        assert!(cache.is_empty());
+        cache.insert(fp(1), verdict_of_bytes(10));
+        assert!(cache.get(fp(1)).is_some());
+        assert!(cache.get(fp(2)).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert!((stats.hit_ratio() - 0.5).abs() < 1e-9);
+        assert_eq!(stats.entries, 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! A minimal TCP client for the `velvd` protocol (used by `velvc` and the
+//! integration tests).
+
+use crate::job::JobSpec;
+use crate::proto::{read_frame, write_frame, Request, Response};
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connected client.  One request/response exchange at a time.
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A client-side failure: transport error or a server `err` response.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed.
+    Io(io::Error),
+    /// The server answered `err <message>`, or the response was malformed.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Server(message) => write!(f, "server error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// The parsed outcome of a `submit` exchange.
+#[derive(Clone, Debug)]
+pub struct SubmitReply {
+    /// Design name.
+    pub name: String,
+    /// The job fingerprint (hex), usable with [`ServeClient::proof`].
+    pub fingerprint: String,
+    /// `correct`, `buggy` or `unknown`.
+    pub verdict: String,
+    /// The reason of an `unknown` verdict.
+    pub reason: Option<String>,
+    /// Served from the verdict cache.
+    pub cached: bool,
+    /// Subscribed to an identical in-flight job.
+    pub deduplicated: bool,
+    /// Submission-to-result latency reported by the server.
+    pub wall: Duration,
+    /// Translation+solve time reported by the server.
+    pub solve_time: Duration,
+    /// True primary variables of the counterexample (buggy verdicts).
+    pub cex_true: Vec<String>,
+}
+
+impl ServeClient {
+    /// Connects to a `velvd` server.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(ServeClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// One raw request/response exchange.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors, a closed connection, or an `err` response.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.writer, &request.to_body())?;
+        let body = read_frame(&mut self.reader)?.ok_or_else(|| {
+            ClientError::Server("connection closed before a response arrived".to_owned())
+        })?;
+        Response::parse_body(&body).map_err(ClientError::Server)
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeClient::request`].
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.request(&Request::Ping).map(|_| ())
+    }
+
+    /// Submits one job and waits for its verdict.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeClient::request`].
+    pub fn submit(&mut self, spec: JobSpec) -> Result<SubmitReply, ClientError> {
+        let response = self.request(&Request::Submit(spec))?;
+        let micros = |key: &str| {
+            response
+                .field(key)
+                .and_then(|v| v.parse::<u64>().ok())
+                .map(Duration::from_micros)
+                .unwrap_or(Duration::ZERO)
+        };
+        Ok(SubmitReply {
+            name: response.field("name").unwrap_or("?").to_owned(),
+            fingerprint: response.field("fingerprint").unwrap_or("").to_owned(),
+            verdict: response.field("verdict").unwrap_or("unknown").to_owned(),
+            reason: response.field("reason").map(str::to_owned),
+            cached: response.field("cached") == Some("1"),
+            deduplicated: response.field("dedup") == Some("1"),
+            wall: micros("wall-us"),
+            solve_time: micros("solve-us"),
+            cex_true: response
+                .all("cex-true")
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        })
+    }
+
+    /// Submits a batch; returns the raw per-job lines of the response.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeClient::request`].
+    pub fn batch(&mut self, specs: Vec<JobSpec>) -> Result<Response, ClientError> {
+        self.request(&Request::Batch(specs))
+    }
+
+    /// Fetches the service counters as `(key, value)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeClient::request`].
+    pub fn stats(&mut self) -> Result<Vec<(String, u64)>, ClientError> {
+        let response = self.request(&Request::Stats)?;
+        Ok(response
+            .fields
+            .iter()
+            .filter_map(|(k, v)| v.parse::<u64>().ok().map(|v| (k.clone(), v)))
+            .collect())
+    }
+
+    /// Fetches the cached DRAT proof text for a fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Fails when nothing (or no proof) is cached under the fingerprint.
+    pub fn proof(&mut self, fingerprint_hex: &str) -> Result<String, ClientError> {
+        let fingerprint = velv_eufm::Fingerprint::from_hex(fingerprint_hex)
+            .ok_or_else(|| ClientError::Server(format!("bad fingerprint `{fingerprint_hex}`")))?;
+        let response = self.request(&Request::Proof(fingerprint))?;
+        response
+            .payload
+            .ok_or_else(|| ClientError::Server("proof response had no payload".to_owned()))
+    }
+
+    /// Asks the server to shut down.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeClient::request`].
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.request(&Request::Shutdown).map(|_| ())
+    }
+}

@@ -1,0 +1,375 @@
+//! The hand-rolled wire protocol of `velvd`/`velvc`.
+//!
+//! Transport: **length-prefixed text frames** over any byte stream.  A frame
+//! is the byte length of the body as ASCII decimal, a newline, then exactly
+//! that many body bytes:
+//!
+//! ```text
+//! <len>\n<body>
+//! ```
+//!
+//! The body is UTF-8 text.  A *request* body is a command on the first line,
+//! arguments on the following lines; a *response* body starts with `ok` or
+//! `err <message>`, followed by `key value` fields (and, for `proof`, the raw
+//! DRAT text after a blank line).
+//!
+//! Commands:
+//!
+//! | command | body lines | response fields |
+//! |---|---|---|
+//! | `ping` | — | `pong 1` |
+//! | `submit` | one [`JobSpec`] wire line | verdict fields (below) |
+//! | `batch` | one [`JobSpec`] wire line per entry | `count N`, then one `job i ...` line per entry |
+//! | `stats` | — | one `key value` line per counter |
+//! | `status` | — | `workers`, `queued`, `running`, `shut-down` |
+//! | `proof` | one fingerprint (32 hex digits) | `proof-bytes N`, blank line, DRAT text |
+//! | `shutdown` | — | `bye 1` |
+//!
+//! `submit` verdict fields: `name`, `fingerprint`, `verdict`
+//! (`correct`/`buggy`/`unknown`), `reason` (unknown only), `cached`, `dedup`
+//! (0/1), `wall-us`, `solve-us`, and one `cex-true <variable>` line per true
+//! primary variable of a counterexample.
+//!
+//! The protocol is deliberately human-readable: `printf '26\nsubmit\nmodel=dlx1:correct' | nc host 7911`
+//! is a valid client.
+
+use crate::job::JobSpec;
+use crate::service::{JobResult, ServiceStats};
+use std::io::{self, BufRead, Write};
+use velv_core::Verdict;
+use velv_eufm::Fingerprint;
+
+/// Frames larger than this are rejected (defence against garbage lengths).
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Writes one `<len>\n<body>` frame.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_frame<W: Write>(writer: &mut W, body: &str) -> io::Result<()> {
+    write!(writer, "{}\n{}", body.len(), body)?;
+    writer.flush()
+}
+
+/// Reads one frame; `Ok(None)` on a clean end of stream before the length
+/// line.
+///
+/// # Errors
+///
+/// Fails on transport errors, malformed/oversized lengths, truncated bodies,
+/// or non-UTF-8 body bytes.
+pub fn read_frame<R: BufRead>(reader: &mut R) -> io::Result<Option<String>> {
+    // Bound the header read: a peer streaming digits without a newline must
+    // not grow the header string (and the process) without limit.
+    const MAX_HEADER_BYTES: u64 = 32;
+    let mut limited = io::Read::take(&mut *reader, MAX_HEADER_BYTES);
+    let mut header = String::new();
+    if limited.read_line(&mut header)? == 0 {
+        return Ok(None);
+    }
+    if !header.ends_with('\n') && limited.limit() == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame length header exceeds 32 bytes",
+        ));
+    }
+    let len: usize = header.trim_end_matches(['\r', '\n']).parse().map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame length {header:?}"),
+        )
+    })?;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    String::from_utf8(body)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame body is not UTF-8"))
+}
+
+/// A parsed request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Submit one job and wait for its verdict.
+    Submit(JobSpec),
+    /// Submit a batch and wait for every verdict.
+    Batch(Vec<JobSpec>),
+    /// Service counters.
+    Stats,
+    /// Scheduler gauges.
+    Status,
+    /// Retrieve the cached DRAT artifact of a fingerprint.
+    Proof(Fingerprint),
+    /// Stop the server.
+    Shutdown,
+}
+
+impl Request {
+    /// Serializes the request into a frame body.
+    pub fn to_body(&self) -> String {
+        match self {
+            Request::Ping => "ping".to_owned(),
+            Request::Submit(spec) => format!("submit\n{}", spec.to_wire()),
+            Request::Batch(specs) => {
+                let mut body = "batch".to_owned();
+                for spec in specs {
+                    body.push('\n');
+                    body.push_str(&spec.to_wire());
+                }
+                body
+            }
+            Request::Stats => "stats".to_owned(),
+            Request::Status => "status".to_owned(),
+            Request::Proof(fp) => format!("proof\n{fp}"),
+            Request::Shutdown => "shutdown".to_owned(),
+        }
+    }
+
+    /// Parses a frame body into a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown commands or malformed
+    /// arguments (the server echoes it back as `err <message>`).
+    pub fn parse_body(body: &str) -> Result<Request, String> {
+        let mut lines = body.lines();
+        let command = lines.next().unwrap_or("").trim();
+        match command {
+            "ping" => Ok(Request::Ping),
+            "stats" => Ok(Request::Stats),
+            "status" => Ok(Request::Status),
+            "shutdown" => Ok(Request::Shutdown),
+            "submit" => {
+                let line = lines.next().ok_or("submit needs a job line")?;
+                JobSpec::parse_wire(line)
+                    .map(Request::Submit)
+                    .map_err(|e| e.to_string())
+            }
+            "batch" => {
+                let mut specs = Vec::new();
+                for line in lines {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    specs.push(JobSpec::parse_wire(line).map_err(|e| e.to_string())?);
+                }
+                if specs.is_empty() {
+                    return Err("batch needs at least one job line".to_owned());
+                }
+                Ok(Request::Batch(specs))
+            }
+            "proof" => {
+                let hex = lines.next().ok_or("proof needs a fingerprint")?.trim();
+                Fingerprint::from_hex(hex)
+                    .map(Request::Proof)
+                    .ok_or_else(|| format!("bad fingerprint `{hex}`"))
+            }
+            other => Err(format!("unknown command `{other}`")),
+        }
+    }
+}
+
+/// Label of a verdict on the wire.
+pub fn verdict_label(verdict: &Verdict) -> &'static str {
+    match verdict {
+        Verdict::Correct => "correct",
+        Verdict::Buggy(_) => "buggy",
+        Verdict::Unknown(_) => "unknown",
+    }
+}
+
+/// Renders a successful `submit` response body.
+pub fn submit_response(fingerprint: Fingerprint, result: &JobResult) -> String {
+    let mut body = format!(
+        "ok\nname {}\nfingerprint {}\nverdict {}\ncached {}\ndedup {}\nwall-us {}\nsolve-us {}",
+        result.name,
+        fingerprint,
+        verdict_label(&result.verdict),
+        u8::from(result.from_cache),
+        u8::from(result.deduplicated),
+        result.wall.as_micros(),
+        result.solve_time.as_micros(),
+    );
+    match &result.verdict {
+        Verdict::Unknown(reason) => {
+            body.push_str("\nreason ");
+            body.push_str(&reason.replace('\n', " "));
+        }
+        Verdict::Buggy(cex) => {
+            for name in cex.true_assignments() {
+                body.push_str("\ncex-true ");
+                body.push_str(name);
+            }
+        }
+        Verdict::Correct => {}
+    }
+    body
+}
+
+/// Renders a successful `batch` response body; results are in input order.
+pub fn batch_response(results: &[(Fingerprint, JobResult)]) -> String {
+    let mut body = format!("ok\ncount {}", results.len());
+    for (index, (fingerprint, result)) in results.iter().enumerate() {
+        body.push_str(&format!(
+            "\njob {index} name={} fingerprint={} verdict={} cached={} dedup={} wall-us={}",
+            result.name.replace(' ', "_"),
+            fingerprint,
+            verdict_label(&result.verdict),
+            u8::from(result.from_cache),
+            u8::from(result.deduplicated),
+            result.wall.as_micros(),
+        ));
+    }
+    body
+}
+
+/// Renders the `stats` response body.
+pub fn stats_response(stats: &ServiceStats) -> String {
+    let mut body = "ok".to_owned();
+    for (key, value) in stats.fields() {
+        body.push_str(&format!("\n{key} {value}"));
+    }
+    body
+}
+
+/// A parsed `ok` response: `key value` fields plus any raw payload after a
+/// blank line (the DRAT text of a `proof` response).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Response {
+    /// The `key value` fields, in response order (repeated keys allowed:
+    /// `cex-true`, `job`).
+    pub fields: Vec<(String, String)>,
+    /// Raw payload after the first blank line, if any.
+    pub payload: Option<String>,
+}
+
+impl Response {
+    /// First value of a field.
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Every value of a repeated field.
+    pub fn all(&self, key: &str) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    /// Parses a response body; `Err` carries the server's `err` message.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server-reported error for `err` bodies, or a local
+    /// description for malformed ones.
+    pub fn parse_body(body: &str) -> Result<Response, String> {
+        let (head, payload) = match body.split_once("\n\n") {
+            Some((head, payload)) => (head, Some(payload.to_owned())),
+            None => (body, None),
+        };
+        let mut lines = head.lines();
+        let status = lines.next().unwrap_or("");
+        if let Some(message) = status.strip_prefix("err ") {
+            return Err(message.to_owned());
+        }
+        if status.trim() != "ok" {
+            return Err(format!("malformed response status `{status}`"));
+        }
+        let mut fields = Vec::new();
+        for line in lines {
+            let (key, value) = line.split_once(' ').unwrap_or((line, ""));
+            fields.push((key.to_owned(), value.to_owned()));
+        }
+        Ok(Response { fields, payload })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::ModelRef;
+    use std::io::BufReader;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buffer = Vec::new();
+        write_frame(&mut buffer, "hello\nworld").unwrap();
+        write_frame(&mut buffer, "").unwrap();
+        let mut reader = BufReader::new(buffer.as_slice());
+        assert_eq!(
+            read_frame(&mut reader).unwrap().as_deref(),
+            Some("hello\nworld")
+        );
+        assert_eq!(read_frame(&mut reader).unwrap().as_deref(), Some(""));
+        assert_eq!(read_frame(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn bad_frames_are_rejected() {
+        let mut reader = BufReader::new("nonsense\n".as_bytes());
+        assert!(read_frame(&mut reader).is_err());
+        let mut reader = BufReader::new("99999999999\n".as_bytes());
+        assert!(read_frame(&mut reader).is_err());
+        let mut reader = BufReader::new("10\nshort".as_bytes());
+        assert!(read_frame(&mut reader).is_err());
+    }
+
+    #[test]
+    fn endless_length_headers_are_cut_off() {
+        // A peer streaming digits with no newline must not grow the header
+        // without bound: the read is capped, not buffered forever.
+        let digits = vec![b'9'; 1 << 20];
+        let mut reader = BufReader::new(digits.as_slice());
+        assert!(read_frame(&mut reader).is_err());
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = [
+            Request::Ping,
+            Request::Stats,
+            Request::Status,
+            Request::Shutdown,
+            Request::Submit(JobSpec::new(ModelRef::dlx1_bug(1))),
+            Request::Batch(vec![
+                JobSpec::new(ModelRef::dlx1_correct()),
+                JobSpec::new(ModelRef::dlx1_bug(0)),
+            ]),
+            Request::Proof(Fingerprint(0xabcdef)),
+        ];
+        for request in requests {
+            let body = request.to_body();
+            assert_eq!(Request::parse_body(&body), Ok(request), "{body}");
+        }
+        assert!(Request::parse_body("frobnicate").is_err());
+        assert!(Request::parse_body("submit").is_err());
+        assert!(Request::parse_body("batch\n\n").is_err());
+        assert!(Request::parse_body("proof\nzz").is_err());
+    }
+
+    #[test]
+    fn responses_parse_fields_and_payload() {
+        let response = Response::parse_body("ok\nverdict correct\ncex-true a\ncex-true b").unwrap();
+        assert_eq!(response.field("verdict"), Some("correct"));
+        assert_eq!(response.all("cex-true"), vec!["a", "b"]);
+        assert_eq!(response.payload, None);
+
+        let with_payload = Response::parse_body("ok\nproof-bytes 4\n\n1 0\n").unwrap();
+        assert_eq!(with_payload.payload.as_deref(), Some("1 0\n"));
+
+        assert_eq!(Response::parse_body("err boom"), Err("boom".to_owned()));
+    }
+}

@@ -1,0 +1,1230 @@
+//! The verification service: a bounded worker pool over a priority queue,
+//! fronted by the fingerprint-keyed verdict cache and in-flight
+//! deduplication.
+//!
+//! Life of a submission:
+//!
+//! 1. [`ServeHandle::submit`] builds the Burch–Dill problem for the job's
+//!    model and computes its structural fingerprint
+//!    ([`velv_core::problem_fingerprint`] + [`JobSpec::salt`]).  This happens
+//!    *before* any translation or solving.
+//! 2. The **verdict cache** is consulted: a hit resolves the ticket
+//!    immediately — no translation, no solver.
+//! 3. The **in-flight table** is consulted: if a job with the same
+//!    fingerprint is already queued or running, the new ticket *subscribes*
+//!    to that job's result instead of scheduling a second solve.
+//! 4. Otherwise the job enters the priority queue (higher priority first,
+//!    FIFO within a priority) and a worker picks it up: translate, solve
+//!    under the job's budget (deadline measured from submission, conflict
+//!    cap, and a per-job cancel token), certify if asked, store the decided
+//!    verdict in the cache, and wake every subscriber.
+//!
+//! **Batch submission** ([`ServeHandle::submit_batch`]) additionally groups
+//! compatible jobs (monolithic mode, the same options and CDCL back end) into
+//! one scheduled unit that is translated by
+//! [`velv_core::Verifier::translate_batch_shared`] into a single shared
+//! definitional CNF and decided by *one* persistent incremental solver under
+//! per-entry assumptions and per-entry budgets — the catalog-sweep analogue
+//! of the shared-decomposition path.
+//!
+//! Every ticket holds a waiter count; when the last ticket of a job is
+//! dropped before the job finishes (all clients disconnected), the job's
+//! cancel token is raised and the workers abandon it from their solver hot
+//! loops.  [`ServeHandle::shutdown`] (also triggered by dropping the last
+//! handle) raises every in-flight token, joins the workers, and resolves
+//! whatever was still queued as cancelled.
+
+use crate::cache::{CacheStats, CachedVerdict, VerdictCache};
+use crate::job::{BackendChoice, JobSpec, ParseJobError, SolveMode};
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use velv_core::{
+    Backend, Certificate, Counterexample, Translation, TranslationStats, Verdict,
+    VerificationProblem, Verifier,
+};
+use velv_eufm::Fingerprint;
+use velv_sat::cdcl::CdclConfig;
+use velv_sat::presets::SolverKind;
+use velv_sat::{Budget, CancelToken, IncrementalSolver, SatResult, Solver};
+
+/// Builds a replacement engine for monolithic uncertified jobs; a test and
+/// extension hook (e.g. plugging a custom engine into a service instance).
+pub type EngineOverride = Arc<dyn Fn() -> Box<dyn Solver + Send> + Send + Sync>;
+
+/// Configuration of one service instance.
+#[derive(Clone)]
+pub struct ServiceConfig {
+    /// Worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Total verdict-cache budget in bytes.
+    pub cache_bytes: usize,
+    /// Cache shard count (rounded up to a power of two).
+    pub cache_shards: usize,
+    /// Deadline applied to jobs that do not carry their own timeout.
+    pub default_timeout: Option<Duration>,
+    /// When set, monolithic uncertified jobs use this engine instead of the
+    /// back end named in their spec.
+    pub engine_override: Option<EngineOverride>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(2);
+        ServiceConfig {
+            workers,
+            cache_bytes: 64 << 20,
+            cache_shards: 8,
+            default_timeout: None,
+            engine_override: None,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Sets the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the cache byte budget.
+    pub fn with_cache_bytes(mut self, bytes: usize) -> Self {
+        self.cache_bytes = bytes;
+        self
+    }
+}
+
+/// Why a submission was rejected.
+#[derive(Clone, Debug)]
+pub enum ServeError {
+    /// The service has been shut down.
+    ShutDown,
+    /// The job specification is invalid (bad model reference, ...).
+    InvalidJob(ParseJobError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::ShutDown => write!(f, "the service has been shut down"),
+            ServeError::InvalidJob(e) => write!(f, "invalid job: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Scheduling state of a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in the priority queue.
+    Queued,
+    /// A worker is translating/solving it.
+    Running,
+    /// The result is available.
+    Done,
+}
+
+/// The delivered outcome of a job.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// The design name of the job.
+    pub name: String,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Whether the verdict came straight from the cache (no translation, no
+    /// solver).
+    pub from_cache: bool,
+    /// Whether this ticket subscribed to another in-flight submission of the
+    /// same fingerprint.
+    pub deduplicated: bool,
+    /// Submission-to-result latency for this ticket.
+    pub wall: Duration,
+    /// Translation + solve time actually spent (zero for cache hits; for
+    /// batch entries, the batch total split evenly across its entries).
+    pub solve_time: Duration,
+    /// Certificate of a certified run.
+    pub certificate: Option<Certificate>,
+}
+
+struct JobSlot {
+    result: Option<JobResult>,
+    status: JobStatus,
+}
+
+/// Shared state of one scheduled job (or one cache-hit pseudo-job).
+struct JobState {
+    fingerprint: Fingerprint,
+    name: String,
+    submitted: Instant,
+    cancel: CancelToken,
+    waiters: AtomicU64,
+    slot: Mutex<JobSlot>,
+    done: Condvar,
+}
+
+impl JobState {
+    fn new(fingerprint: Fingerprint, name: String) -> Self {
+        JobState {
+            fingerprint,
+            name,
+            submitted: Instant::now(),
+            cancel: CancelToken::new(),
+            waiters: AtomicU64::new(0),
+            slot: Mutex::new(JobSlot {
+                result: None,
+                status: JobStatus::Queued,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    fn set_status(&self, status: JobStatus) {
+        self.slot.lock().expect("job slot lock").status = status;
+    }
+
+    fn resolve(&self, result: JobResult) {
+        let mut slot = self.slot.lock().expect("job slot lock");
+        if slot.result.is_none() {
+            slot.result = Some(result);
+            slot.status = JobStatus::Done;
+            self.done.notify_all();
+        }
+    }
+}
+
+/// A claim on a job's result.
+///
+/// Tickets are handed out by [`ServeHandle::submit`]/
+/// [`ServeHandle::submit_batch`]; several tickets may share one underlying
+/// job (deduplicated submissions).  Dropping the *last* ticket of an
+/// unfinished job raises the job's cancel token — a disconnected client does
+/// not keep workers busy.
+pub struct JobTicket {
+    state: Arc<JobState>,
+    /// This ticket subscribed to an already in-flight identical job.
+    joined: bool,
+}
+
+impl JobTicket {
+    fn subscribe(state: &Arc<JobState>, joined: bool) -> JobTicket {
+        state.waiters.fetch_add(1, Ordering::SeqCst);
+        JobTicket {
+            state: Arc::clone(state),
+            joined,
+        }
+    }
+
+    /// The underlying job's result is shared by every subscriber; stamp this
+    /// ticket's own view of how it was admitted.
+    fn stamp(&self, mut result: JobResult) -> JobResult {
+        result.deduplicated = self.joined;
+        result
+    }
+
+    /// The job's structural fingerprint (the cache/deduplication key).
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.state.fingerprint
+    }
+
+    /// The job's scheduling state.
+    pub fn status(&self) -> JobStatus {
+        self.state.slot.lock().expect("job slot lock").status
+    }
+
+    /// Blocks until the result is available.
+    pub fn wait(&self) -> JobResult {
+        let mut slot = self.state.slot.lock().expect("job slot lock");
+        loop {
+            if let Some(result) = &slot.result {
+                return self.stamp(result.clone());
+            }
+            slot = self.state.done.wait(slot).expect("job slot lock");
+        }
+    }
+
+    /// Waits for at most `timeout`; `None` when the job is still unfinished.
+    pub fn wait_for(&self, timeout: Duration) -> Option<JobResult> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.state.slot.lock().expect("job slot lock");
+        loop {
+            if let Some(result) = &slot.result {
+                return Some(self.stamp(result.clone()));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (next, _) = self
+                .state
+                .done
+                .wait_timeout(slot, deadline - now)
+                .expect("job slot lock");
+            slot = next;
+        }
+    }
+
+    /// The result, if already available.
+    pub fn try_result(&self) -> Option<JobResult> {
+        self.state
+            .slot
+            .lock()
+            .expect("job slot lock")
+            .result
+            .clone()
+            .map(|result| self.stamp(result))
+    }
+
+    /// Explicitly abandons this claim: equivalent to dropping the ticket.
+    pub fn cancel(self) {
+        drop(self);
+    }
+}
+
+impl Drop for JobTicket {
+    fn drop(&mut self) {
+        if self.state.waiters.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last client gone: if the job has not produced a result yet,
+            // tell the workers to stop burning cycles on it.
+            let unfinished = self
+                .state
+                .slot
+                .lock()
+                .expect("job slot lock")
+                .result
+                .is_none();
+            if unfinished {
+                self.state.cancel.cancel();
+            }
+        }
+    }
+}
+
+/// One unit of scheduled work.
+struct SingleJob {
+    spec: JobSpec,
+    problem: VerificationProblem,
+    deadline: Option<Instant>,
+    state: Arc<JobState>,
+}
+
+enum WorkItem {
+    Single(Box<SingleJob>),
+    /// A group of compatible jobs decided on one shared incremental session.
+    Batch(Vec<SingleJob>),
+}
+
+impl WorkItem {
+    fn priority(&self) -> i32 {
+        match self {
+            WorkItem::Single(job) => job.spec.priority,
+            WorkItem::Batch(jobs) => jobs.iter().map(|j| j.spec.priority).max().unwrap_or(0),
+        }
+    }
+
+    fn job_count(&self) -> u64 {
+        match self {
+            WorkItem::Single(_) => 1,
+            WorkItem::Batch(jobs) => jobs.len() as u64,
+        }
+    }
+}
+
+struct QueuedItem {
+    priority: i32,
+    seq: u64,
+    item: WorkItem,
+}
+
+impl PartialEq for QueuedItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for QueuedItem {}
+impl PartialOrd for QueuedItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then FIFO by sequence number.
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    batch_entries: AtomicU64,
+    batch_groups: AtomicU64,
+    completed: AtomicU64,
+    cache_hits: AtomicU64,
+    dedup_joins: AtomicU64,
+    translations: AtomicU64,
+    fresh_solves: AtomicU64,
+    correct: AtomicU64,
+    buggy: AtomicU64,
+    unknown: AtomicU64,
+    cancelled: AtomicU64,
+    proofs_kept: AtomicU64,
+    queued: AtomicU64,
+    running: AtomicU64,
+    solve_micros: AtomicU64,
+    wall_micros: AtomicU64,
+}
+
+/// A point-in-time statistics snapshot of a service.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceStats {
+    /// Jobs submitted (including batch entries and deduplicated/cached ones).
+    pub submitted: u64,
+    /// Jobs submitted through the batch endpoint.
+    pub batch_entries: u64,
+    /// Batch groups scheduled as one shared incremental session.
+    pub batch_groups: u64,
+    /// Jobs whose result was delivered by a worker.
+    pub completed: u64,
+    /// Submissions answered straight from the verdict cache.
+    pub cache_hits: u64,
+    /// Submissions that subscribed to an in-flight identical job.
+    pub dedup_joins: u64,
+    /// Translations started (cache hits and dedup joins start none).
+    pub translations: u64,
+    /// Back-end solve runs started.
+    pub fresh_solves: u64,
+    /// Verdicts: correct designs.
+    pub correct: u64,
+    /// Verdicts: buggy designs (counterexample produced).
+    pub buggy: u64,
+    /// Verdicts: undecided (timeout, cancellation, resource limits).
+    pub unknown: u64,
+    /// Jobs abandoned because every client disconnected or the service shut
+    /// down.
+    pub cancelled: u64,
+    /// DRAT proof artifacts stored in the cache.
+    pub proofs_kept: u64,
+    /// Jobs currently waiting in the queue.
+    pub queued: u64,
+    /// Jobs currently being worked on.
+    pub running: u64,
+    /// Total translation+solve time spent by workers.
+    pub solve_time: Duration,
+    /// Total submission-to-result latency over completed jobs.
+    pub wall_time: Duration,
+    /// Verdict-cache statistics.
+    pub cache: CacheStats,
+}
+
+impl ServiceStats {
+    /// Flat `(key, value)` view of the counters — the wire `stats` payload.
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("submitted", self.submitted),
+            ("batch-entries", self.batch_entries),
+            ("batch-groups", self.batch_groups),
+            ("completed", self.completed),
+            ("cache-hits", self.cache_hits),
+            ("dedup-joins", self.dedup_joins),
+            ("translations", self.translations),
+            ("fresh-solves", self.fresh_solves),
+            ("correct", self.correct),
+            ("buggy", self.buggy),
+            ("unknown", self.unknown),
+            ("cancelled", self.cancelled),
+            ("proofs-kept", self.proofs_kept),
+            ("queued", self.queued),
+            ("running", self.running),
+            ("solve-micros", self.solve_time.as_micros() as u64),
+            ("wall-micros", self.wall_time.as_micros() as u64),
+            ("cache-entries", self.cache.entries),
+            ("cache-bytes", self.cache.bytes),
+            ("cache-capacity-bytes", self.cache.capacity_bytes),
+            ("cache-hits-total", self.cache.hits),
+            ("cache-misses", self.cache.misses),
+            ("cache-insertions", self.cache.insertions),
+            ("cache-evictions", self.cache.evictions),
+            ("cache-oversize", self.cache.oversize),
+        ]
+    }
+}
+
+struct QueueState {
+    heap: BinaryHeap<QueuedItem>,
+    seq: u64,
+}
+
+struct Inner {
+    config: ServiceConfig,
+    queue: Mutex<QueueState>,
+    work: Condvar,
+    in_flight: Mutex<HashMap<u128, Arc<JobState>>>,
+    cache: VerdictCache,
+    counters: Counters,
+    shutdown: AtomicBool,
+}
+
+impl Inner {
+    fn stats(&self) -> ServiceStats {
+        let c = &self.counters;
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        ServiceStats {
+            submitted: load(&c.submitted),
+            batch_entries: load(&c.batch_entries),
+            batch_groups: load(&c.batch_groups),
+            completed: load(&c.completed),
+            cache_hits: load(&c.cache_hits),
+            dedup_joins: load(&c.dedup_joins),
+            translations: load(&c.translations),
+            fresh_solves: load(&c.fresh_solves),
+            correct: load(&c.correct),
+            buggy: load(&c.buggy),
+            unknown: load(&c.unknown),
+            cancelled: load(&c.cancelled),
+            proofs_kept: load(&c.proofs_kept),
+            queued: load(&c.queued),
+            running: load(&c.running),
+            solve_time: Duration::from_micros(load(&c.solve_micros)),
+            wall_time: Duration::from_micros(load(&c.wall_micros)),
+            cache: self.cache.stats(),
+        }
+    }
+
+    fn push(&self, item: WorkItem) {
+        let jobs = item.job_count();
+        let mut queue = self.queue.lock().expect("queue lock");
+        let seq = queue.seq;
+        queue.seq += 1;
+        queue.heap.push(QueuedItem {
+            priority: item.priority(),
+            seq,
+            item,
+        });
+        drop(queue);
+        self.counters.queued.fetch_add(jobs, Ordering::Relaxed);
+        self.work.notify_one();
+    }
+
+    /// Blocks until work is available; `None` on shutdown.
+    fn pop(&self) -> Option<WorkItem> {
+        let mut queue = self.queue.lock().expect("queue lock");
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            if let Some(queued) = queue.heap.pop() {
+                self.counters
+                    .queued
+                    .fetch_sub(queued.item.job_count(), Ordering::Relaxed);
+                return Some(queued.item);
+            }
+            queue = self.work.wait(queue).expect("queue lock");
+        }
+    }
+
+    fn remove_in_flight(&self, state: &Arc<JobState>) {
+        let mut in_flight = self.in_flight.lock().expect("in-flight lock");
+        if let Some(current) = in_flight.get(&state.fingerprint.0) {
+            if Arc::ptr_eq(current, state) {
+                in_flight.remove(&state.fingerprint.0);
+            }
+        }
+    }
+
+    /// Delivers a freshly computed verdict: cache it (decided verdicts only,
+    /// *before* leaving the in-flight table so late submitters always find
+    /// one of the two), retire the in-flight entry, resolve every subscriber
+    /// and bump the counters.
+    fn finish_fresh(
+        &self,
+        job: &SingleJob,
+        verdict: Verdict,
+        certificate: Option<Certificate>,
+        proof: Option<Arc<Vec<u8>>>,
+        solve_time: Duration,
+        translation_stats: Option<TranslationStats>,
+    ) {
+        let decided = !matches!(verdict, Verdict::Unknown(_));
+        if decided {
+            if proof.is_some() {
+                self.counters.proofs_kept.fetch_add(1, Ordering::Relaxed);
+            }
+            self.cache.insert(
+                job.state.fingerprint,
+                CachedVerdict {
+                    verdict: verdict.clone(),
+                    certificate: certificate.clone(),
+                    proof_drat: proof,
+                    solve_time,
+                    translation_stats,
+                },
+            );
+        }
+        self.remove_in_flight(&job.state);
+        let wall = job.state.submitted.elapsed();
+        match &verdict {
+            Verdict::Correct => self.counters.correct.fetch_add(1, Ordering::Relaxed),
+            Verdict::Buggy(_) => self.counters.buggy.fetch_add(1, Ordering::Relaxed),
+            Verdict::Unknown(_) => self.counters.unknown.fetch_add(1, Ordering::Relaxed),
+        };
+        if !decided && job.state.cancel.is_cancelled() {
+            self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        }
+        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .solve_micros
+            .fetch_add(solve_time.as_micros() as u64, Ordering::Relaxed);
+        self.counters
+            .wall_micros
+            .fetch_add(wall.as_micros() as u64, Ordering::Relaxed);
+        job.state.resolve(JobResult {
+            name: job.state.name.clone(),
+            verdict,
+            from_cache: false,
+            deduplicated: false,
+            wall,
+            solve_time,
+            certificate,
+        });
+    }
+
+    fn finish_cancelled(&self, job: &SingleJob) {
+        self.finish_fresh(
+            job,
+            Verdict::Unknown("cancelled".to_owned()),
+            None,
+            None,
+            Duration::ZERO,
+            None,
+        );
+    }
+}
+
+fn verdict_of_result(translation: &Translation, result: SatResult) -> Verdict {
+    match result {
+        SatResult::Unsat => Verdict::Correct,
+        SatResult::Sat(model) => Verdict::Buggy(Counterexample::from_model(
+            &translation.ctx,
+            &translation.primary_vars,
+            &model,
+        )),
+        SatResult::Unknown(reason) => Verdict::Unknown(format!("{reason:?}")),
+    }
+}
+
+fn cdcl_config_for(backend: BackendChoice) -> CdclConfig {
+    match backend {
+        BackendChoice::Sat(SolverKind::BerkMin) => CdclConfig::berkmin(),
+        BackendChoice::Sat(SolverKind::Grasp) => CdclConfig::grasp(),
+        BackendChoice::Sat(SolverKind::Sato) => CdclConfig::sato(),
+        _ => CdclConfig::chaff(),
+    }
+}
+
+fn is_cdcl(backend: BackendChoice) -> bool {
+    matches!(
+        backend,
+        BackendChoice::Sat(
+            SolverKind::Chaff | SolverKind::BerkMin | SolverKind::Grasp | SolverKind::Sato
+        )
+    )
+}
+
+/// A job can join a shared batch session iff one incremental CDCL engine can
+/// decide it faithfully.
+fn batchable(spec: &JobSpec) -> bool {
+    spec.mode == SolveMode::Monolithic && is_cdcl(spec.backend) && !spec.keep_proof
+}
+
+fn worker_loop(inner: Arc<Inner>) {
+    while let Some(item) = inner.pop() {
+        let jobs = item.job_count();
+        inner.counters.running.fetch_add(jobs, Ordering::Relaxed);
+        match item {
+            WorkItem::Single(job) => run_single(&inner, &job),
+            WorkItem::Batch(entries) => run_batch(&inner, entries),
+        }
+        inner.counters.running.fetch_sub(jobs, Ordering::Relaxed);
+    }
+}
+
+fn job_budget(job: &SingleJob) -> Budget {
+    Budget {
+        max_conflicts: job.spec.max_conflicts,
+        max_decisions: None,
+        max_time: None,
+        deadline: job.deadline,
+        cancel: Some(job.state.cancel.clone()),
+    }
+}
+
+fn run_single(inner: &Inner, job: &SingleJob) {
+    job.state.set_status(JobStatus::Running);
+    if job.state.cancel.is_cancelled() {
+        inner.finish_cancelled(job);
+        return;
+    }
+    // A prior identical job may have finished while this one sat in the
+    // queue behind it is impossible (in-flight dedup), but a *shutdown* race
+    // is not; re-checking the cache is cheap and harmless.
+    if let Some(hit) = inner.cache.get(job.state.fingerprint) {
+        inner.remove_in_flight(&job.state);
+        let wall = job.state.submitted.elapsed();
+        inner.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+        inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+        job.state.resolve(JobResult {
+            name: job.state.name.clone(),
+            verdict: hit.verdict.clone(),
+            from_cache: true,
+            deduplicated: false,
+            wall,
+            solve_time: Duration::ZERO,
+            certificate: hit.certificate.clone(),
+        });
+        return;
+    }
+
+    let started = Instant::now();
+    let verifier = Verifier::new(job.spec.options.clone());
+    let budget = job_budget(job);
+    inner.counters.translations.fetch_add(1, Ordering::Relaxed);
+
+    let (verdict, certificate, proof, stats) = match job.spec.mode {
+        SolveMode::Decomposed { max_obligations } => {
+            let problem = &job.problem;
+            let shared = verifier.translate_obligations_shared(problem, max_obligations);
+            inner.counters.fresh_solves.fetch_add(1, Ordering::Relaxed);
+            if job.spec.certified {
+                match verifier.check_shared_certified(
+                    &shared,
+                    cdcl_config_for(job.spec.backend),
+                    &job.spec.certify_options(),
+                    budget,
+                ) {
+                    Ok(outcome) => (outcome.overall, None, None, Some(shared.stats)),
+                    Err(e) => (
+                        Verdict::Unknown(format!("certification failed: {e}")),
+                        None,
+                        None,
+                        Some(shared.stats),
+                    ),
+                }
+            } else {
+                let mut solver =
+                    IncrementalSolver::with_formula(cdcl_config_for(job.spec.backend), &shared.cnf);
+                let (overall, _, _) = verifier.check_shared_with(&shared, &mut solver, budget);
+                (overall, None, None, Some(shared.stats))
+            }
+        }
+        SolveMode::Monolithic => {
+            let translation = verifier.translate_problem(&job.problem);
+            let stats = translation.stats;
+            inner.counters.fresh_solves.fetch_add(1, Ordering::Relaxed);
+            if job.spec.certified {
+                match verifier.check_certified(
+                    &translation,
+                    cdcl_config_for(job.spec.backend),
+                    &job.spec.certify_options(),
+                    budget,
+                ) {
+                    Ok((certified, _)) => (
+                        certified.verdict,
+                        Some(certified.certificate),
+                        None,
+                        Some(stats),
+                    ),
+                    Err(e) => (
+                        Verdict::Unknown(format!("certification failed: {e}")),
+                        None,
+                        None,
+                        Some(stats),
+                    ),
+                }
+            } else if let Some(factory) = &inner.config.engine_override {
+                let mut solver = factory();
+                let verdict = verifier.check(&translation, solver.as_mut(), budget);
+                (verdict, None, None, Some(stats))
+            } else {
+                match job.spec.backend {
+                    BackendChoice::Sat(kind) => {
+                        let mut solver = kind.build();
+                        if job.spec.keep_proof && !translation.lazy_transitivity {
+                            let shared_proof = velv_sat::SharedProof::new();
+                            match solver.solve_with_proof(
+                                &translation.cnf,
+                                &[],
+                                budget.clone(),
+                                &shared_proof,
+                            ) {
+                                Some(result) => {
+                                    let proof = if result.is_unsat() {
+                                        let text = velv_sat::dimacs::to_drat_text_string(
+                                            &shared_proof.take(),
+                                        );
+                                        Some(Arc::new(text.into_bytes()))
+                                    } else {
+                                        None
+                                    };
+                                    (
+                                        verdict_of_result(&translation, result),
+                                        None,
+                                        proof,
+                                        Some(stats),
+                                    )
+                                }
+                                // The engine cannot log proofs: plain solve.
+                                None => (
+                                    verifier.check(&translation, solver.as_mut(), budget),
+                                    None,
+                                    None,
+                                    Some(stats),
+                                ),
+                            }
+                        } else {
+                            (
+                                verifier.check(&translation, solver.as_mut(), budget),
+                                None,
+                                None,
+                                Some(stats),
+                            )
+                        }
+                    }
+                    BackendChoice::Portfolio => (
+                        verifier.check_with_backend(
+                            &translation,
+                            &Backend::default_portfolio(),
+                            budget,
+                        ),
+                        None,
+                        None,
+                        Some(stats),
+                    ),
+                    BackendChoice::Bdd => (
+                        verifier.check_with_backend(
+                            &translation,
+                            &Backend::Bdd {
+                                node_limit: Backend::DEFAULT_BDD_NODE_LIMIT,
+                            },
+                            budget,
+                        ),
+                        None,
+                        None,
+                        Some(stats),
+                    ),
+                }
+            }
+        }
+    };
+    inner.finish_fresh(job, verdict, certificate, proof, started.elapsed(), stats);
+}
+
+fn run_batch(inner: &Inner, entries: Vec<SingleJob>) {
+    let mut alive = Vec::new();
+    for job in entries {
+        if job.state.cancel.is_cancelled() {
+            job.state.set_status(JobStatus::Running);
+            inner.finish_cancelled(&job);
+        } else {
+            job.state.set_status(JobStatus::Running);
+            alive.push(job);
+        }
+    }
+    if alive.is_empty() {
+        return;
+    }
+    // The group shares options/backend/certified by construction
+    // (`ServeHandle::submit_batch` groups on exactly those fields).
+    let spec = alive[0].spec.clone();
+    let verifier = Verifier::new(spec.options.clone());
+    let started = Instant::now();
+    inner.counters.translations.fetch_add(1, Ordering::Relaxed);
+    let problems: Vec<&VerificationProblem> = alive.iter().map(|j| &j.problem).collect();
+    let shared = verifier.translate_batch_shared(&problems);
+    inner.counters.fresh_solves.fetch_add(1, Ordering::Relaxed);
+
+    let verdicts: Vec<(Verdict, Option<Certificate>)> = if spec.certified {
+        // Certification replays the whole session's proof once, so the batch
+        // runs under one shared budget: the latest entry deadline (absent
+        // deadlines win), without per-entry cancellation.
+        let deadline = if alive.iter().any(|j| j.deadline.is_none()) {
+            None
+        } else {
+            alive.iter().filter_map(|j| j.deadline).max()
+        };
+        let budget = Budget {
+            deadline,
+            ..Budget::default()
+        };
+        match verifier.check_shared_certified(
+            &shared,
+            cdcl_config_for(spec.backend),
+            &spec.certify_options(),
+            budget,
+        ) {
+            Ok(outcome) => outcome
+                .obligations
+                .into_iter()
+                .map(|o| (o.certified.verdict, Some(o.certified.certificate)))
+                .collect(),
+            Err(e) => {
+                let reason = format!("certification failed: {e}");
+                alive
+                    .iter()
+                    .map(|_| (Verdict::Unknown(reason.clone()), None))
+                    .collect()
+            }
+        }
+    } else {
+        let mut solver =
+            IncrementalSolver::with_formula(cdcl_config_for(spec.backend), &shared.cnf);
+        let budgets: Vec<Budget> = alive.iter().map(job_budget).collect();
+        let (results, _) = verifier.check_shared_each(&shared, &mut solver, &budgets);
+        results
+            .into_iter()
+            .map(|(_, verdict)| (verdict, None))
+            .collect()
+    };
+
+    // Attribute the batch cost evenly: the point of the shared session is
+    // precisely that per-entry cost is not separable.
+    let share = started.elapsed() / alive.len() as u32;
+    for (job, (verdict, certificate)) in alive.iter().zip(verdicts) {
+        inner.finish_fresh(job, verdict, certificate, None, share, Some(shared.stats));
+    }
+}
+
+/// How a submission was admitted.
+enum Admission {
+    Ticket(JobTicket),
+    Fresh(JobTicket, Box<SingleJob>),
+}
+
+/// The in-process client API of a verification service.
+///
+/// A `ServeHandle` is cheap to clone; every clone talks to the same worker
+/// pool, cache and queue.  When the last handle is dropped the service shuts
+/// down: in-flight jobs are cancelled, workers are joined, and queued jobs
+/// resolve as cancelled.  `velvd` wraps a handle in the TCP front end; tests
+/// and examples use it directly, with no sockets involved.
+///
+/// ```no_run
+/// use velv_serve::{JobSpec, ModelRef, ServeHandle, ServiceConfig};
+///
+/// let service = ServeHandle::start(ServiceConfig::default());
+/// let ticket = service
+///     .submit(JobSpec::new(ModelRef::dlx1_correct()))
+///     .expect("submission accepted");
+/// let result = ticket.wait();
+/// assert!(result.verdict.is_correct());
+/// ```
+#[derive(Clone)]
+pub struct ServeHandle {
+    inner: Arc<Inner>,
+    workers: Arc<WorkerSet>,
+}
+
+struct WorkerSet {
+    inner: Arc<Inner>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerSet {
+    fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Stop whatever is being worked on right now.
+        {
+            let in_flight = self.inner.in_flight.lock().expect("in-flight lock");
+            for state in in_flight.values() {
+                state.cancel.cancel();
+            }
+        }
+        self.inner.work.notify_all();
+        let handles: Vec<JoinHandle<()>> = self
+            .handles
+            .lock()
+            .expect("worker handles lock")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        // Resolve whatever never reached a worker.
+        loop {
+            let item = {
+                let mut queue = self.inner.queue.lock().expect("queue lock");
+                match queue.heap.pop() {
+                    Some(queued) => {
+                        self.inner
+                            .counters
+                            .queued
+                            .fetch_sub(queued.item.job_count(), Ordering::Relaxed);
+                        queued.item
+                    }
+                    None => break,
+                }
+            };
+            match item {
+                WorkItem::Single(job) => self.inner.finish_cancelled(&job),
+                WorkItem::Batch(jobs) => {
+                    for job in &jobs {
+                        self.inner.finish_cancelled(job);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for WorkerSet {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl ServeHandle {
+    /// Starts a service instance with the given configuration.
+    pub fn start(config: ServiceConfig) -> ServeHandle {
+        let workers = config.workers.max(1);
+        let inner = Arc::new(Inner {
+            cache: VerdictCache::new(config.cache_bytes, config.cache_shards),
+            config,
+            queue: Mutex::new(QueueState {
+                heap: BinaryHeap::new(),
+                seq: 0,
+            }),
+            work: Condvar::new(),
+            in_flight: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for index in 0..workers {
+            let inner = Arc::clone(&inner);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("velv-serve-worker-{index}"))
+                    .spawn(move || worker_loop(inner))
+                    .expect("spawning a service worker succeeds"),
+            );
+        }
+        ServeHandle {
+            workers: Arc::new(WorkerSet {
+                inner: Arc::clone(&inner),
+                handles: Mutex::new(handles),
+            }),
+            inner,
+        }
+    }
+
+    /// Builds the problem, fingerprints it, and admits the job through the
+    /// cache → in-flight → queue cascade.  The cache and in-flight checks
+    /// happen under the in-flight lock, pairing with the worker's
+    /// cache-insert-then-retire ordering, so a finishing twin is found in one
+    /// of the two no matter how the submission races it.
+    fn admit(&self, spec: JobSpec) -> Result<Admission, ServeError> {
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            return Err(ServeError::ShutDown);
+        }
+        self.inner
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        let (implementation, specification) = spec.model.build().map_err(ServeError::InvalidJob)?;
+        let verifier = Verifier::new(spec.options.clone());
+        let problem = verifier.build_problem(implementation.as_ref(), specification.as_ref());
+        let fingerprint =
+            velv_core::problem_fingerprint(&problem, &spec.options).combine(&spec.salt());
+
+        let in_flight = self.inner.in_flight.lock().expect("in-flight lock");
+        if let Some(hit) = self.inner.cache.get(fingerprint) {
+            drop(in_flight);
+            self.inner
+                .counters
+                .cache_hits
+                .fetch_add(1, Ordering::Relaxed);
+            let state = Arc::new(JobState::new(fingerprint, problem.name.clone()));
+            state.resolve(JobResult {
+                name: problem.name,
+                verdict: hit.verdict.clone(),
+                from_cache: true,
+                deduplicated: false,
+                wall: Duration::ZERO,
+                solve_time: Duration::ZERO,
+                certificate: hit.certificate.clone(),
+            });
+            return Ok(Admission::Ticket(JobTicket::subscribe(&state, false)));
+        }
+        if let Some(existing) = in_flight.get(&fingerprint.0) {
+            // Join the twin only while at least one of its clients is still
+            // interested: a job whose every ticket was dropped has its token
+            // raised and will resolve as cancelled — a fresh submission must
+            // get a fresh job (replacing the table entry; the abandoned
+            // job's retire path no-ops on a replaced entry).
+            if !existing.cancel.is_cancelled() {
+                let ticket = JobTicket::subscribe(existing, true);
+                drop(in_flight);
+                self.inner
+                    .counters
+                    .dedup_joins
+                    .fetch_add(1, Ordering::Relaxed);
+                return Ok(Admission::Ticket(ticket));
+            }
+        }
+        let state = Arc::new(JobState::new(fingerprint, problem.name.clone()));
+        let ticket = JobTicket::subscribe(&state, false);
+        let mut in_flight = in_flight;
+        in_flight.insert(fingerprint.0, Arc::clone(&state));
+        drop(in_flight);
+        // `checked_add` so an absurd client-supplied timeout degrades to
+        // "no deadline" instead of panicking mid-admission.
+        let deadline = spec
+            .timeout
+            .or(self.inner.config.default_timeout)
+            .and_then(|t| state.submitted.checked_add(t));
+        Ok(Admission::Fresh(
+            ticket,
+            Box::new(SingleJob {
+                spec,
+                problem,
+                deadline,
+                state,
+            }),
+        ))
+    }
+
+    /// Submits one job; see the module docs for the full path.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the service is shut down or the spec is invalid; never
+    /// blocks on the solvers (that is what the returned ticket is for).
+    pub fn submit(&self, spec: JobSpec) -> Result<JobTicket, ServeError> {
+        match self.admit(spec)? {
+            Admission::Ticket(ticket) => Ok(ticket),
+            Admission::Fresh(ticket, job) => {
+                self.inner.push(WorkItem::Single(job));
+                Ok(ticket)
+            }
+        }
+    }
+
+    /// Submits a batch: tickets are returned in input order.
+    ///
+    /// Entries that hit the cache or deduplicate resolve like single
+    /// submissions.  The remaining *compatible* entries (monolithic mode,
+    /// CDCL back end, grouped by identical options/backend/certification) are
+    /// scheduled as shared batch sessions — one translation pass with
+    /// cross-entry structure sharing, one persistent incremental solver per
+    /// group; incompatible entries fall back to individual scheduling.
+    ///
+    /// # Errors
+    ///
+    /// Fails atomically (no work scheduled) when the service is shut down or
+    /// any spec is invalid.
+    pub fn submit_batch(&self, specs: Vec<JobSpec>) -> Result<Vec<JobTicket>, ServeError> {
+        let count = specs.len() as u64;
+        let mut tickets = Vec::with_capacity(specs.len());
+        let mut fresh: Vec<Box<SingleJob>> = Vec::new();
+        let mut admissions = Vec::with_capacity(specs.len());
+        for spec in specs {
+            match self.admit(spec) {
+                Ok(admission) => admissions.push(admission),
+                Err(e) => {
+                    // Atomic failure: retire every fresh job admitted so
+                    // far, or its in-flight entry would outlive this call
+                    // and every later submission of that fingerprint would
+                    // subscribe to a job no worker will ever run.
+                    for admission in admissions {
+                        if let Admission::Fresh(_ticket, job) = admission {
+                            self.inner.remove_in_flight(&job.state);
+                            job.state.resolve(JobResult {
+                                name: job.state.name.clone(),
+                                verdict: Verdict::Unknown("batch rejected".to_owned()),
+                                from_cache: false,
+                                deduplicated: false,
+                                wall: job.state.submitted.elapsed(),
+                                solve_time: Duration::ZERO,
+                                certificate: None,
+                            });
+                        }
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        self.inner
+            .counters
+            .batch_entries
+            .fetch_add(count, Ordering::Relaxed);
+        for admission in admissions {
+            match admission {
+                Admission::Ticket(ticket) => tickets.push(ticket),
+                Admission::Fresh(ticket, job) => {
+                    tickets.push(ticket);
+                    fresh.push(job);
+                }
+            }
+        }
+        // Group compatible fresh jobs into shared sessions.
+        let mut groups: HashMap<String, Vec<SingleJob>> = HashMap::new();
+        for job in fresh {
+            if batchable(&job.spec) {
+                let key = format!(
+                    "{};{};{}",
+                    job.spec.options.canonical_token(),
+                    job.spec.backend.to_wire(),
+                    job.spec.certified
+                );
+                groups.entry(key).or_default().push(*job);
+            } else {
+                self.inner.push(WorkItem::Single(job));
+            }
+        }
+        for (_, mut group) in groups {
+            if group.len() == 1 {
+                self.inner
+                    .push(WorkItem::Single(Box::new(group.pop().expect("one job"))));
+            } else {
+                self.inner
+                    .counters
+                    .batch_groups
+                    .fetch_add(1, Ordering::Relaxed);
+                self.inner.push(WorkItem::Batch(group));
+            }
+        }
+        Ok(tickets)
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> ServiceStats {
+        self.inner.stats()
+    }
+
+    /// The cached entry for a fingerprint, if resident (used by the `proof`
+    /// wire command to hand out stored DRAT artifacts).
+    pub fn cached(&self, fingerprint: Fingerprint) -> Option<Arc<CachedVerdict>> {
+        self.inner.cache.get(fingerprint)
+    }
+
+    /// Whether [`ServeHandle::shutdown`] has been called (or the last handle
+    /// dropped).
+    pub fn is_shut_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Shuts the service down: cancels in-flight jobs, joins every worker,
+    /// and resolves still-queued jobs as cancelled.  Idempotent; dropping the
+    /// last handle does the same.
+    pub fn shutdown(&self) {
+        self.workers.shutdown();
+    }
+}

@@ -1,0 +1,147 @@
+//! Wire-level tests: concurrent TCP clients hammering the model catalog,
+//! batch submission, proof retrieval, stats, and shutdown.
+
+use std::time::Duration;
+use velv_serve::proto::Request;
+use velv_serve::{serve, JobSpec, ServeClient, ServeHandle, ServiceConfig};
+
+fn start_server(workers: usize) -> (velv_serve::ServerControl, std::net::SocketAddr) {
+    let handle = ServeHandle::start(ServiceConfig::default().with_workers(workers));
+    let control = serve(handle, "127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = control.addr();
+    (control, addr)
+}
+
+#[test]
+fn concurrent_clients_hammer_the_catalog() {
+    let (control, addr) = start_server(4);
+    // Three clients, each sweeping the same slice of the DLX catalog plus an
+    // out-of-order core: 3 × 4 submissions of 4 unique jobs.
+    let catalog = [
+        ("dlx1:correct", "correct"),
+        ("dlx1:bug:0", "buggy"),
+        ("dlx1:bug:1", "buggy"),
+        ("ooo:2", "correct"),
+    ];
+    let clients: Vec<_> = (0..3)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                for (model, expected) in catalog {
+                    let spec = JobSpec::parse_wire(&format!("model={model}")).unwrap();
+                    let reply = client.submit(spec).expect("submit succeeds");
+                    assert_eq!(reply.verdict, expected, "{model}");
+                    if expected == "buggy" {
+                        assert!(!reply.cex_true.is_empty(), "{model} has a counterexample");
+                    }
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("client thread");
+    }
+
+    let mut client = ServeClient::connect(addr).expect("connect");
+    let stats: std::collections::HashMap<String, u64> =
+        client.stats().expect("stats").into_iter().collect();
+    assert_eq!(stats["submitted"], 12);
+    assert_eq!(
+        stats["translations"], 4,
+        "4 unique fingerprints solve exactly once; the other 8 submissions \
+         hit the cache or joined in flight"
+    );
+    assert_eq!(stats["cache-hits"] + stats["dedup-joins"], 8);
+    assert_eq!(stats["correct"] + stats["buggy"], 4);
+    client.shutdown().expect("shutdown");
+    control.wait();
+}
+
+#[test]
+fn batch_over_the_wire_matches_expectations() {
+    let (control, addr) = start_server(2);
+    let mut client = ServeClient::connect(addr).expect("connect");
+    let specs = vec![
+        JobSpec::parse_wire("model=dlx1:bug:2").unwrap(),
+        JobSpec::parse_wire("model=dlx1:correct").unwrap(),
+        JobSpec::parse_wire("model=dlx1:bug:2").unwrap(),
+    ];
+    let response = client.batch(specs).expect("batch succeeds");
+    assert_eq!(response.field("count"), Some("3"));
+    let jobs = response.all("job");
+    assert_eq!(jobs.len(), 3);
+    assert!(jobs[0].contains("verdict=buggy"), "{}", jobs[0]);
+    assert!(jobs[1].contains("verdict=correct"), "{}", jobs[1]);
+    assert!(jobs[2].contains("verdict=buggy"), "{}", jobs[2]);
+    // The duplicate third entry must not have been solved twice.
+    let stats: std::collections::HashMap<String, u64> =
+        client.stats().expect("stats").into_iter().collect();
+    assert_eq!(stats["dedup-joins"] + stats["cache-hits"], 1);
+    client.shutdown().expect("shutdown");
+    control.wait();
+}
+
+#[test]
+fn vliw_catalog_entry_is_served() {
+    let (control, addr) = start_server(2);
+    let mut client = ServeClient::connect(addr).expect("connect");
+    let reply = client
+        .submit(JobSpec::parse_wire("model=vliw:bug:0").unwrap())
+        .expect("submit succeeds");
+    assert_eq!(reply.verdict, "buggy");
+    client.shutdown().expect("shutdown");
+    control.wait();
+}
+
+#[test]
+fn proof_artifacts_round_trip_over_the_wire() {
+    let (control, addr) = start_server(2);
+    let mut client = ServeClient::connect(addr).expect("connect");
+    let reply = client
+        .submit(JobSpec::parse_wire("model=dlx1:correct keep-proof=1").unwrap())
+        .expect("submit succeeds");
+    assert_eq!(reply.verdict, "correct");
+    assert!(!reply.cached);
+    let proof = client.proof(&reply.fingerprint).expect("stored proof");
+    assert!(!proof.is_empty());
+    // An uncached fingerprint is a clean error, not a hang.
+    let missing = client.proof(&"0".repeat(32));
+    assert!(missing.is_err());
+    client.shutdown().expect("shutdown");
+    control.wait();
+}
+
+#[test]
+fn protocol_errors_are_reported_not_fatal() {
+    let (control, addr) = start_server(1);
+    let mut client = ServeClient::connect(addr).expect("connect");
+    // Unknown command: the server answers `err ...` and keeps the
+    // connection alive.
+    let err = client.request(&Request::Submit(
+        JobSpec::parse_wire("model=dlx1:bug:9999").unwrap(),
+    ));
+    assert!(err.is_err());
+    client.ping().expect("the connection survived the error");
+    client.shutdown().expect("shutdown");
+    control.wait();
+}
+
+#[test]
+fn stopping_the_control_tears_everything_down() {
+    let (control, addr) = start_server(1);
+    {
+        let mut client = ServeClient::connect(addr).expect("connect");
+        client.ping().expect("ping");
+    }
+    let start = std::time::Instant::now();
+    control.stop();
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "stop joins accept/connection/worker threads promptly"
+    );
+    // The port is no longer served: a fresh connection cannot complete an
+    // exchange.
+    if let Ok(mut client) = ServeClient::connect(addr) {
+        assert!(client.ping().is_err());
+    }
+}

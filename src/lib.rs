@@ -11,7 +11,10 @@
 //! * [`velv_sat`] — the SAT procedures (CDCL presets, DPLL, local search),
 //! * [`velv_bdd`] — the BDD package used as the decision-diagram back end,
 //! * [`velv_proof`] — DRAT proof formats and the independent RUP checker
-//!   behind certified verdicts.
+//!   behind certified verdicts,
+//! * [`velv_serve`] — the serving layer: a concurrent verification service
+//!   with a fingerprint-keyed verdict cache, in-flight deduplication, batch
+//!   scheduling, and the `velvd`/`velvc` TCP wire protocol.
 //!
 //! # Quickstart
 //!
@@ -35,6 +38,7 @@ pub use velv_hdl;
 pub use velv_models;
 pub use velv_proof;
 pub use velv_sat;
+pub use velv_serve;
 
 /// The most commonly used items, for `use velv::prelude::*`.
 pub mod prelude {
@@ -60,4 +64,8 @@ pub mod prelude {
     pub use velv_sat::portfolio::{PortfolioReport, PortfolioSolver};
     pub use velv_sat::presets::SolverKind;
     pub use velv_sat::{Budget, CancelToken, SatResult, Solver};
+    pub use velv_serve::{
+        JobResult, JobSpec, JobTicket, ModelRef, ServeClient, ServeHandle, ServiceConfig,
+        ServiceStats,
+    };
 }

@@ -35,11 +35,18 @@
 //! several client threads.  Throughput (jobs/sec) and the cache-hit ratio are
 //! recorded separately in `BENCH_serve.json`.
 //!
-//! Usage: `satbench [--smoke] [--out PATH] [--serve-out PATH] [--only cdcl|serve]`.
+//! Usage: `satbench [--smoke] [--out PATH] [--serve-out PATH] [--only cdcl|serve]
+//! [--trace PATH]`.
 //! `--smoke` shrinks every instance so the whole run takes well under a
 //! second — CI uses it to keep the harness from rotting without paying for a
 //! real measurement.  `--only serve` regenerates `BENCH_serve.json` without
-//! re-measuring the solver suites.
+//! re-measuring the solver suites.  `--trace` records every span and event of
+//! the run to a JSONL file and self-checks the capture with the trace checker
+//! before exiting.
+//!
+//! Each preset-suite row of `BENCH_cdcl.json` also carries a `metrics`
+//! object: the per-run delta of the global `velv_obs` metric registry, so
+//! the committed numbers can be cross-checked against the instrumentation.
 
 use std::time::{Duration, Instant};
 use velv_core::{TranslationOptions, Verdict, Verifier};
@@ -66,6 +73,28 @@ struct Measurement {
     decisions: u64,
     conflicts_per_sec: f64,
     propagations_per_sec: f64,
+    /// Per-run delta of the global metric registry (counters that grew).
+    metrics: Vec<(String, u64)>,
+}
+
+/// The counters of the global registry that grew between two snapshots, as
+/// `(flat key, delta)` pairs — the per-run metric attribution of a benchmark
+/// row.
+fn registry_delta(before: &velv_obs::Snapshot, after: &velv_obs::Snapshot) -> Vec<(String, u64)> {
+    let old: std::collections::HashMap<String, u64> = before
+        .flat_fields()
+        .into_iter()
+        .filter_map(|(k, v)| v.parse::<u64>().ok().map(|v| (k, v)))
+        .collect();
+    after
+        .flat_fields()
+        .into_iter()
+        .filter_map(|(key, value)| {
+            let now = value.parse::<u64>().ok()?;
+            let grew = now.saturating_sub(old.get(&key).copied().unwrap_or(0));
+            (grew > 0).then_some((key, grew))
+        })
+        .collect()
 }
 
 /// Seeded random 3-SAT at clause/variable ratio 4.26 (the phase transition).
@@ -141,9 +170,11 @@ fn run(instances: &[Instance], smoke: bool) -> Vec<Measurement> {
     for instance in instances {
         for (name, build) in presets {
             let mut solver = build();
+            let before = velv_obs::global().snapshot();
             let start = Instant::now();
             let result = solver.solve_with_budget(&instance.cnf, budget.clone());
             let time = start.elapsed().as_secs_f64();
+            let metrics = registry_delta(&before, &velv_obs::global().snapshot());
             let stats = solver.stats();
             let result = match result {
                 SatResult::Sat(_) => "sat",
@@ -160,6 +191,7 @@ fn run(instances: &[Instance], smoke: bool) -> Vec<Measurement> {
                 decisions: stats.decisions,
                 conflicts_per_sec: stats.conflicts as f64 / time.max(1e-9),
                 propagations_per_sec: stats.propagations as f64 / time.max(1e-9),
+                metrics,
             });
         }
     }
@@ -219,6 +251,7 @@ fn run_decomposition(measurements: &mut Vec<Measurement>, smoke: bool) {
             decisions,
             conflicts_per_sec: conflicts as f64 / time.max(1e-9),
             propagations_per_sec: propagations as f64 / time.max(1e-9),
+            metrics: Vec::new(),
         });
 
         let start = Instant::now();
@@ -244,6 +277,7 @@ fn run_decomposition(measurements: &mut Vec<Measurement>, smoke: bool) {
             decisions: stats.decisions,
             conflicts_per_sec: stats.conflicts as f64 / time.max(1e-9),
             propagations_per_sec: stats.propagations as f64 / time.max(1e-9),
+            metrics: Vec::new(),
         });
     }
 }
@@ -325,6 +359,7 @@ fn transitivity_pair(
         decisions: stats.decisions,
         conflicts_per_sec: stats.conflicts as f64 / time.max(1e-9),
         propagations_per_sec: stats.propagations as f64 / time.max(1e-9),
+        metrics: Vec::new(),
     });
 
     let start = Instant::now();
@@ -353,6 +388,7 @@ fn transitivity_pair(
         decisions: stats.decisions,
         conflicts_per_sec: stats.conflicts as f64 / time.max(1e-9),
         propagations_per_sec: stats.propagations as f64 / time.max(1e-9),
+        metrics: Vec::new(),
     });
 }
 
@@ -388,6 +424,7 @@ fn run_certify(measurements: &mut Vec<Measurement>, smoke: bool) {
             decisions: stats.decisions,
             conflicts_per_sec: stats.conflicts as f64 / plain_time.max(1e-9),
             propagations_per_sec: stats.propagations as f64 / plain_time.max(1e-9),
+            metrics: Vec::new(),
         });
 
         // Through the `Solver` trait hook, as a backend-agnostic caller would.
@@ -411,6 +448,7 @@ fn run_certify(measurements: &mut Vec<Measurement>, smoke: bool) {
             decisions: stats.decisions,
             conflicts_per_sec: stats.conflicts as f64 / logging_time.max(1e-9),
             propagations_per_sec: stats.propagations as f64 / logging_time.max(1e-9),
+            metrics: Vec::new(),
         });
 
         let clauses = velv_sat::dimacs::cnf_to_dimacs_i32(&translation.cnf);
@@ -431,6 +469,7 @@ fn run_certify(measurements: &mut Vec<Measurement>, smoke: bool) {
             decisions: 0,
             conflicts_per_sec: steps as f64 / check_time.max(1e-9),
             propagations_per_sec: 0.0,
+            metrics: Vec::new(),
         });
     }
 }
@@ -573,10 +612,20 @@ fn write_json(path: &str, measurements: &[Measurement], smoke: bool) -> std::io:
     out.push_str(&format!("  \"smoke\": {smoke},\n"));
     out.push_str("  \"runs\": [\n");
     for (i, m) in measurements.iter().enumerate() {
+        let metrics = if m.metrics.is_empty() {
+            String::new()
+        } else {
+            let entries: Vec<String> = m
+                .metrics
+                .iter()
+                .map(|(key, value)| format!("\"{}\": {value}", json_escape(key)))
+                .collect();
+            format!(", \"metrics\": {{{}}}", entries.join(", "))
+        };
         out.push_str(&format!(
             "    {{\"preset\": \"{}\", \"instance\": \"{}\", \"result\": \"{}\", \
              \"time_s\": {:.6}, \"conflicts\": {}, \"propagations\": {}, \
-             \"decisions\": {}, \"conflicts_per_sec\": {:.1}, \"propagations_per_sec\": {:.1}}}{}\n",
+             \"decisions\": {}, \"conflicts_per_sec\": {:.1}, \"propagations_per_sec\": {:.1}{}}}{}\n",
             json_escape(m.preset),
             json_escape(&m.instance),
             m.result,
@@ -586,6 +635,7 @@ fn write_json(path: &str, measurements: &[Measurement], smoke: bool) -> std::io:
             m.decisions,
             m.conflicts_per_sec,
             m.propagations_per_sec,
+            metrics,
             if i + 1 < measurements.len() { "," } else { "" }
         ));
     }
@@ -604,6 +654,7 @@ fn main() {
     };
     let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_cdcl.json".to_owned());
     let serve_out_path = flag_value("--serve-out").unwrap_or_else(|| "BENCH_serve.json".to_owned());
+    let trace_path = flag_value("--trace");
     let only = flag_value("--only");
     let run_cdcl_suites = only.as_deref().is_none_or(|o| o == "cdcl");
     let run_serve_suite = only.as_deref().is_none_or(|o| o == "serve");
@@ -612,6 +663,17 @@ fn main() {
             eprintln!("satbench: unknown --only {other} (want cdcl or serve)");
             std::process::exit(2);
         }
+    }
+
+    if let Some(path) = &trace_path {
+        match velv_obs::JsonlFileSink::create(path) {
+            Ok(sink) => velv_obs::install_sink(std::sync::Arc::new(sink)),
+            Err(e) => {
+                eprintln!("satbench: cannot create trace file {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        println!("satbench: tracing to {path}");
     }
 
     if run_cdcl_suites {
@@ -681,6 +743,37 @@ fn main() {
             Ok(()) => println!("wrote {serve_out_path}"),
             Err(e) => {
                 eprintln!("failed to write {serve_out_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Drain the tracer and self-check the capture: the harness is a single
+    // process whose worker threads have all exited, so every span must have
+    // closed and reached the file.
+    if let Some(path) = &trace_path {
+        velv_obs::uninstall_sink();
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("satbench: cannot read back trace file {path}: {e}");
+            std::process::exit(1);
+        });
+        match velv_obs::check_trace(&text) {
+            Ok(summary) => {
+                assert!(
+                    summary.records > 0,
+                    "the traced run must produce trace records"
+                );
+                assert_eq!(
+                    summary.unclosed, 0,
+                    "a fully drained single-process trace leaves no span open"
+                );
+                println!(
+                    "trace {path}: {} records ({} spans, {} events), all spans closed",
+                    summary.records, summary.spans_opened, summary.events
+                );
+            }
+            Err(e) => {
+                eprintln!("satbench: malformed trace capture {path}: {e}");
                 std::process::exit(1);
             }
         }

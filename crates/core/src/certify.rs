@@ -209,6 +209,13 @@ fn check_unsat_proof(
     assumptions: &[Lit],
     certify: &CertifyOptions,
 ) -> Result<ProofCertificate, CertifyError> {
+    let _span = velv_obs::span_fields(
+        "certify.replay",
+        &[
+            ("formula", name.into()),
+            ("proof_steps", proof.len().into()),
+        ],
+    );
     let mut clauses = cnf_to_dimacs_i32(base);
     clauses.extend(added.iter().map(|c| clause_to_dimacs_i32(c)));
     let start = Instant::now();
@@ -422,6 +429,13 @@ pub(crate) fn check_certified(
     certify: &CertifyOptions,
     budget: Budget,
 ) -> Result<(CertifiedVerdict, RefinementStats), CertifyError> {
+    let _span = velv_obs::span_fields("certify", &[("formula", translation.name.as_str().into())]);
+    velv_obs::global()
+        .counter(
+            "velv_core_certifications_total",
+            "Certified verification runs started.",
+        )
+        .inc();
     let mut solver = IncrementalSolver::with_formula(config, &translation.cnf);
     solver.enable_trace();
     let proof = certify.check_unsat_proofs.then(|| solver.enable_proof());
@@ -520,6 +534,19 @@ pub(crate) fn check_shared_certified(
     certify: &CertifyOptions,
     budget: Budget,
 ) -> Result<SharedCertifiedOutcome, CertifyError> {
+    let _span = velv_obs::span_fields(
+        "certify",
+        &[
+            ("formula", shared.name.as_str().into()),
+            ("obligations", shared.obligations.len().into()),
+        ],
+    );
+    velv_obs::global()
+        .counter(
+            "velv_core_certifications_total",
+            "Certified verification runs started.",
+        )
+        .inc();
     let mut solver = IncrementalSolver::with_formula(config, &shared.cnf);
     solver.enable_trace();
     let proof = certify.check_unsat_proofs.then(|| solver.enable_proof());

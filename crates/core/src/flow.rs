@@ -232,10 +232,20 @@ impl Verifier {
     ) -> Translation {
         let this = self.clone();
         let memory_vars = memory_vars.clone();
+        // The pipeline runs on its own thread: pick up the caller's span
+        // here so the `translate` span nests under it in the trace.
+        let parent = velv_obs::current_span_id();
         std::thread::Builder::new()
             .name(format!("velv-translate-{name}"))
             .stack_size(256 * 1024 * 1024)
-            .spawn(move || this.translate_formula_impl(ctx, criterion, &memory_vars, name))
+            .spawn(move || {
+                let _span = velv_obs::span_child_of(
+                    "translate",
+                    parent,
+                    &[("formula", name.as_str().into())],
+                );
+                this.translate_formula_impl(ctx, criterion, &memory_vars, name)
+            })
             .expect("spawning the translation thread succeeds")
             .join()
             .expect("the translation thread does not panic")
@@ -254,34 +264,46 @@ impl Verifier {
         let eufm_stats = DagStats::of_formula(ctx, criterion);
 
         // 1. Memory elimination (precise or conservative per options).
-        let abstract_memories: BTreeSet<Symbol> = self
-            .options
-            .abstract_memories
-            .iter()
-            .map(|n| ctx.symbol(n))
-            .collect();
-        let memless = eliminate_memories(ctx, criterion, memory_vars, &abstract_memories);
+        let memless = {
+            let _span = velv_obs::span("translate.eliminate_memories");
+            let abstract_memories: BTreeSet<Symbol> = self
+                .options
+                .abstract_memories
+                .iter()
+                .map(|n| ctx.symbol(n))
+                .collect();
+            eliminate_memories(ctx, criterion, memory_vars, &abstract_memories)
+        };
 
         // 2. p/g classification (positive equality) of the memory-free formula.
-        let mut classification = if self.options.positive_equality {
-            Classification::from_formula(ctx, memless.formula)
-        } else {
-            Classification::all_general()
+        let mut classification = {
+            let _span = velv_obs::span("translate.classify");
+            if self.options.positive_equality {
+                Classification::from_formula(ctx, memless.formula)
+            } else {
+                Classification::all_general()
+            }
         };
 
         // 3. UF/UP elimination.
-        let eliminated = eliminate_ufs(ctx, memless.formula, &self.options, &mut classification);
+        let eliminated = {
+            let _span = velv_obs::span("translate.eliminate_ufs");
+            eliminate_ufs(ctx, memless.formula, &self.options, &mut classification)
+        };
         // Ackermann constraints (if any) are assumptions of the validity check.
         let to_prove = ctx.implies(eliminated.constraints, eliminated.formula);
 
         // 4. Encoding of the remaining equations.
-        let encoded = encode(
-            ctx,
-            to_prove,
-            &classification,
-            self.options.encoding,
-            self.options.transitivity,
-        );
+        let encoded = {
+            let _span = velv_obs::span("translate.encode");
+            encode(
+                ctx,
+                to_prove,
+                &classification,
+                self.options.encoding,
+                self.options.transitivity,
+            )
+        };
 
         let mut primary_support = Support::of_formula(ctx, encoded.formula);
         let constraint_support = Support::of_formula(ctx, encoded.side_constraints);
@@ -339,10 +361,19 @@ impl Verifier {
         let (encoded, mut stats) = self.eliminate_and_encode(&mut ctx, criterion, memory_vars);
 
         // 5. CNF generation: side constraints hold, encoded criterion fails.
-        let cnf_translation = formula_to_cnf(
-            &ctx,
-            &[(encoded.side_constraints, true), (encoded.formula, false)],
-        );
+        let cnf_translation = {
+            let _span = velv_obs::span("translate.cnf");
+            formula_to_cnf(
+                &ctx,
+                &[(encoded.side_constraints, true), (encoded.formula, false)],
+            )
+        };
+        velv_obs::global()
+            .counter(
+                "velv_core_translations_total",
+                "EUFM formulas translated to CNF.",
+            )
+            .inc();
         stats.cnf_vars = cnf_translation.cnf.num_vars();
         stats.cnf_clauses = cnf_translation.cnf.num_clauses();
 
@@ -373,10 +404,18 @@ impl Verifier {
     ) -> SharedTranslation {
         let this = self.clone();
         let problem = problem.clone();
+        let parent = velv_obs::current_span_id();
         std::thread::Builder::new()
             .name(format!("velv-translate-shared-{}", problem.name))
             .stack_size(256 * 1024 * 1024)
-            .spawn(move || this.translate_obligations_shared_impl(&problem, max_obligations))
+            .spawn(move || {
+                let _span = velv_obs::span_child_of(
+                    "translate.shared",
+                    parent,
+                    &[("problem", problem.name.as_str().into())],
+                );
+                this.translate_obligations_shared_impl(&problem, max_obligations)
+            })
             .expect("spawning the translation thread succeeds")
             .join()
             .expect("the translation thread does not panic")
@@ -413,6 +452,19 @@ impl Verifier {
         name: String,
         entries: Vec<(String, FormulaId, BTreeSet<Symbol>)>,
     ) -> SharedTranslation {
+        let _span = velv_obs::span_fields(
+            "translate",
+            &[
+                ("formula", name.as_str().into()),
+                ("obligations", entries.len().into()),
+            ],
+        );
+        velv_obs::global()
+            .counter(
+                "velv_core_translations_total",
+                "EUFM formulas translated to CNF.",
+            )
+            .inc();
         let mut builder = CnfBuilder::new();
         let mut shared_obligations = Vec::new();
         let mut eij_map: BTreeMap<(Symbol, Symbol), Var> = BTreeMap::new();
@@ -477,11 +529,19 @@ impl Verifier {
     /// decomposition should keep using
     /// [`Verifier::translate_obligations_shared`].
     pub fn translate_batch_shared(&self, problems: &[&VerificationProblem]) -> SharedTranslation {
+        let parent = velv_obs::current_span_id();
         std::thread::scope(|scope| {
             std::thread::Builder::new()
                 .name("velv-translate-batch".to_owned())
                 .stack_size(256 * 1024 * 1024)
-                .spawn_scoped(scope, || self.translate_batch_shared_impl(problems))
+                .spawn_scoped(scope, || {
+                    let _span = velv_obs::span_child_of(
+                        "translate.batch",
+                        parent,
+                        &[("problems", problems.len().into())],
+                    );
+                    self.translate_batch_shared_impl(problems)
+                })
                 .expect("spawning the translation thread succeeds")
                 .join()
                 .expect("the translation thread does not panic")

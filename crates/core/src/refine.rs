@@ -206,10 +206,21 @@ pub(crate) fn refinement_loop(
     stats: &mut RefinementStats,
     driver: &mut dyn RefineDriver,
 ) -> SatResult {
+    let rounds = velv_obs::global().counter(
+        "velv_core_refine_rounds_total",
+        "Solver calls made by the lazy-transitivity refinement loop.",
+    );
+    let constraints = velv_obs::global().counter(
+        "velv_core_refine_constraints_total",
+        "Transitivity constraints asserted by the refinement loop.",
+    );
     let mut budget = budget.started();
     budget.max_time = None; // the deadline above now carries the time limit
     loop {
         stats.iterations += 1;
+        rounds.inc();
+        let round_span =
+            velv_obs::span_fields("refine_round", &[("round", stats.iterations.into())]);
         let (result, used) = driver.solve(budget.clone());
         match result {
             SatResult::Sat(model) => {
@@ -222,9 +233,11 @@ pub(crate) fn refinement_loop(
                     return SatResult::Sat(model);
                 }
                 stats.constraints_added += clauses.len();
+                constraints.add(clauses.len() as u64);
                 for clause in &clauses {
                     driver.assert_clause(clause);
                 }
+                drop(round_span);
             }
             other => return other,
         }

@@ -1,0 +1,79 @@
+//! `velv_obs` — unified observability for the `velv` workspace.
+//!
+//! Three zero-dependency pieces, designed to cost (almost) nothing when
+//! nobody is looking:
+//!
+//! * **Metrics** ([`metrics`]): a [`Registry`] of atomically updated
+//!   [`Counter`]s, [`Gauge`]s and fixed-bucket [`Histogram`]s, registered by
+//!   static name plus optional `{key="value"}` labels.  Handles are
+//!   `Arc`-backed and lock-free on the hot path; the registry mutex is only
+//!   taken at registration and snapshot time.  A [`Snapshot`] can be encoded
+//!   as Prometheus text exposition ([`Snapshot::prometheus_text`]), JSON
+//!   ([`Snapshot::json`]) or flat `key value` pairs
+//!   ([`Snapshot::flat_fields`], the `velvd` wire format).
+//! * **Tracing** ([`trace`]): `Instant`-stamped spans and events with
+//!   parent/child nesting, buffered per thread and drained to a pluggable
+//!   [`TraceSink`] as JSON lines.  With no sink installed the whole tracer
+//!   collapses to one relaxed atomic load per call site.
+//! * **Trace checking** ([`tracecheck`]): a small flat-JSON parser and
+//!   [`check_trace`] validator asserting a trace is well-formed JSONL with
+//!   balanced span open/close records — used by `satbench --trace`, CI, and
+//!   `velvc trace <file>`.
+//!
+//! # Metric naming scheme
+//!
+//! Prometheus conventions: `velv_<layer>_<what>_<unit>`, with monotone
+//! counters ending in `_total` and preset/member labels where a family is
+//! split (`velv_sat_conflicts_total{preset="chaff"}`).  The process-wide
+//! [`global()`] registry carries the solver/translation/proof families; each
+//! `velv_serve` service instance owns its own [`Registry`] so concurrent
+//! services never mix counters.
+//!
+//! # Example
+//!
+//! ```
+//! let registry = velv_obs::Registry::new();
+//! let solves = registry.counter("demo_solves_total", "Solve calls.");
+//! solves.inc();
+//! let snapshot = registry.snapshot();
+//! assert!(snapshot.prometheus_text().contains("demo_solves_total 1"));
+//! velv_obs::validate_prometheus_text(&snapshot.prometheus_text()).unwrap();
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod metrics;
+pub mod trace;
+pub mod tracecheck;
+
+mod encode;
+
+pub use encode::validate_prometheus_text;
+pub use metrics::{
+    global, Counter, Gauge, Histogram, HistogramSnapshot, MetricSample, MetricValue, Registry,
+    Snapshot,
+};
+pub use trace::{
+    current_span_id, enabled, event, flush, install_sink, span, span_child_of, span_fields,
+    uninstall_sink, FieldValue, JsonlFileSink, MemorySink, SpanGuard, TraceSink,
+};
+pub use tracecheck::{check_trace, parse_trace_line, TraceRecord, TraceSummary};
+
+/// Escapes a string for embedding in a JSON string literal (no surrounding
+/// quotes).  Shared by the exposition encoders and the tracer.
+pub(crate) fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Trace validation: parse JSONL trace records and assert span open/close
+//! balance.  Used by `satbench --trace`, CI, and `velvc trace <file>`.
+//!
+//! The parser handles exactly the flat JSON objects the tracer emits:
+//! string, integer, float and boolean values, no nesting.  Every value is
+//! surfaced as a string (numbers and booleans in their source spelling).
+
+use std::collections::BTreeMap;
+
+/// One parsed trace record.
+#[derive(Clone, Debug, Default)]
+pub struct TraceRecord {
+    /// Every key/value pair of the record; numbers and booleans keep their
+    /// textual spelling.
+    pub fields: BTreeMap<String, String>,
+}
+
+impl TraceRecord {
+    /// A field value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.fields.get(key).map(String::as_str)
+    }
+
+    /// The record type (`span_open`, `span_close`, `event`).
+    pub fn kind(&self) -> &str {
+        self.get("type").unwrap_or("")
+    }
+
+    /// A field parsed as `u64`.
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
+        self.get(key).and_then(|v| v.parse().ok())
+    }
+}
+
+/// Parses one flat JSON object line into a [`TraceRecord`].
+///
+/// # Errors
+///
+/// Returns a description of the first syntax error.
+pub fn parse_trace_line(line: &str) -> Result<TraceRecord, String> {
+    let bytes = line.trim().as_bytes();
+    let mut pos = 0usize;
+
+    let skip_ws = |pos: &mut usize| {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    };
+    let parse_string = |pos: &mut usize| -> Result<String, String> {
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {pos:?}", pos = *pos));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        while *pos < bytes.len() {
+            match bytes[*pos] {
+                b'"' => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    *pos += 1;
+                    let escape = *bytes
+                        .get(*pos)
+                        .ok_or_else(|| "dangling escape".to_string())?;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = line
+                                .trim()
+                                .get(*pos + 1..*pos + 5)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
+                        other => return Err(format!("unknown escape `\\{}`", other as char)),
+                    }
+                    *pos += 1;
+                }
+                _ => {
+                    // Advance one UTF-8 scalar.
+                    let s = &line.trim()[*pos..];
+                    let c = s.chars().next().ok_or_else(|| "truncated".to_string())?;
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+        Err("unterminated string".to_string())
+    };
+
+    skip_ws(&mut pos);
+    if bytes.get(pos) != Some(&b'{') {
+        return Err("record does not start with `{`".to_string());
+    }
+    pos += 1;
+    let mut record = TraceRecord::default();
+    skip_ws(&mut pos);
+    if bytes.get(pos) == Some(&b'}') {
+        pos += 1;
+        skip_ws(&mut pos);
+        if pos != bytes.len() {
+            return Err("trailing bytes after record".to_string());
+        }
+        return Ok(record);
+    }
+    loop {
+        skip_ws(&mut pos);
+        let key = parse_string(&mut pos)?;
+        skip_ws(&mut pos);
+        if bytes.get(pos) != Some(&b':') {
+            return Err(format!("missing `:` after key `{key}`"));
+        }
+        pos += 1;
+        skip_ws(&mut pos);
+        let value = match bytes.get(pos) {
+            Some(&b'"') => parse_string(&mut pos)?,
+            Some(&b't') if bytes[pos..].starts_with(b"true") => {
+                pos += 4;
+                "true".to_string()
+            }
+            Some(&b'f') if bytes[pos..].starts_with(b"false") => {
+                pos += 5;
+                "false".to_string()
+            }
+            Some(&b'n') if bytes[pos..].starts_with(b"null") => {
+                pos += 4;
+                "null".to_string()
+            }
+            Some(c) if c.is_ascii_digit() || *c == b'-' || *c == b'+' => {
+                let start = pos;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_digit()
+                        || matches!(bytes[pos], b'-' | b'+' | b'.' | b'e' | b'E'))
+                {
+                    pos += 1;
+                }
+                let text = &line.trim()[start..pos];
+                if text.parse::<f64>().is_err() {
+                    return Err(format!("bad number `{text}` for key `{key}`"));
+                }
+                text.to_string()
+            }
+            _ => {
+                return Err(format!(
+                    "unsupported value for key `{key}` (flat JSON only)"
+                ))
+            }
+        };
+        record.fields.insert(key, value);
+        skip_ws(&mut pos);
+        match bytes.get(pos) {
+            Some(&b',') => {
+                pos += 1;
+            }
+            Some(&b'}') => {
+                pos += 1;
+                break;
+            }
+            _ => return Err("expected `,` or `}`".to_string()),
+        }
+    }
+    skip_ws(&mut pos);
+    if pos != bytes.len() {
+        return Err("trailing bytes after record".to_string());
+    }
+    Ok(record)
+}
+
+/// Aggregate outcome of [`check_trace`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total records parsed.
+    pub records: usize,
+    /// `span_open` records.
+    pub spans_opened: usize,
+    /// `span_close` records.
+    pub spans_closed: usize,
+    /// `event` records.
+    pub events: usize,
+    /// Spans opened but never closed by the end of the trace.  Zero for a
+    /// fully drained single-threaded run; concurrent runs flushed mid-span
+    /// legitimately leave a tail.
+    pub unclosed: usize,
+}
+
+/// Checks a JSONL trace: every line parses as a flat JSON record with a
+/// known `type`, every `span_close` matches exactly one earlier `span_open`
+/// with the same `id`, and no id closes twice.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line.
+pub fn check_trace(text: &str) -> Result<TraceSummary, String> {
+    use std::collections::HashSet;
+    let mut open: HashSet<u64> = HashSet::new();
+    let mut closed: HashSet<u64> = HashSet::new();
+    let mut summary = TraceSummary::default();
+    for (number, line) in text.lines().enumerate() {
+        let number = number + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record =
+            parse_trace_line(line).map_err(|e| format!("line {number}: {e} in `{line}`"))?;
+        summary.records += 1;
+        match record.kind() {
+            "span_open" => {
+                summary.spans_opened += 1;
+                let id = record
+                    .get_u64("id")
+                    .ok_or_else(|| format!("line {number}: span_open without a numeric id"))?;
+                if !open.insert(id) || closed.contains(&id) {
+                    return Err(format!("line {number}: span id {id} opened twice"));
+                }
+            }
+            "span_close" => {
+                summary.spans_closed += 1;
+                let id = record
+                    .get_u64("id")
+                    .ok_or_else(|| format!("line {number}: span_close without a numeric id"))?;
+                if !open.remove(&id) {
+                    return Err(format!(
+                        "line {number}: span id {id} closed without a matching open"
+                    ));
+                }
+                closed.insert(id);
+            }
+            "event" => {
+                summary.events += 1;
+                if record.get("name").is_none() {
+                    return Err(format!("line {number}: event without a name"));
+                }
+            }
+            other => {
+                return Err(format!("line {number}: unknown record type `{other}`"));
+            }
+        }
+    }
+    summary.unclosed = open.len();
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_records() {
+        let record = parse_trace_line(
+            r#"{"type":"span_open","id":3,"parent":0,"name":"a b","ok":true,"x":-1.5}"#,
+        )
+        .unwrap();
+        assert_eq!(record.kind(), "span_open");
+        assert_eq!(record.get_u64("id"), Some(3));
+        assert_eq!(record.get("name"), Some("a b"));
+        assert_eq!(record.get("ok"), Some("true"));
+        assert_eq!(record.get("x"), Some("-1.5"));
+    }
+
+    #[test]
+    fn parses_escapes() {
+        let record = parse_trace_line(r#"{"name":"q\"u\\o\nte A"}"#).unwrap();
+        assert_eq!(record.get("name"), Some("q\"u\\o\nte A"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_trace_line("not json").is_err());
+        assert!(parse_trace_line(r#"{"a":}"#).is_err());
+        assert!(parse_trace_line(r#"{"a":{"nested":1}}"#).is_err());
+        assert!(parse_trace_line(r#"{"a":1} extra"#).is_err());
+    }
+
+    #[test]
+    fn balanced_traces_pass() {
+        let text = concat!(
+            "{\"type\":\"span_open\",\"id\":1,\"parent\":0,\"name\":\"a\"}\n",
+            "{\"type\":\"event\",\"name\":\"tick\",\"parent\":1}\n",
+            "{\"type\":\"span_open\",\"id\":2,\"parent\":1,\"name\":\"b\"}\n",
+            "{\"type\":\"span_close\",\"id\":2,\"name\":\"b\"}\n",
+            "{\"type\":\"span_close\",\"id\":1,\"name\":\"a\"}\n",
+        );
+        let summary = check_trace(text).unwrap();
+        assert_eq!(summary.spans_opened, 2);
+        assert_eq!(summary.spans_closed, 2);
+        assert_eq!(summary.events, 1);
+        assert_eq!(summary.unclosed, 0);
+    }
+
+    #[test]
+    fn unbalanced_traces_are_reported() {
+        let unclosed = check_trace("{\"type\":\"span_open\",\"id\":1,\"name\":\"a\"}").unwrap();
+        assert_eq!(unclosed.unclosed, 1);
+        assert!(check_trace("{\"type\":\"span_close\",\"id\":9,\"name\":\"a\"}").is_err());
+        let double = concat!(
+            "{\"type\":\"span_open\",\"id\":1,\"name\":\"a\"}\n",
+            "{\"type\":\"span_close\",\"id\":1,\"name\":\"a\"}\n",
+            "{\"type\":\"span_close\",\"id\":1,\"name\":\"a\"}\n",
+        );
+        assert!(check_trace(double).is_err());
+    }
+}

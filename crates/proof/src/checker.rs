@@ -470,6 +470,13 @@ pub fn check_proof(
     proof: &Proof,
     options: &CheckOptions,
 ) -> Result<CheckReport, CheckError> {
+    let _span = velv_obs::span_fields(
+        "proof.check",
+        &[("clauses", cnf.len().into()), ("steps", proof.len().into())],
+    );
+    velv_obs::global()
+        .counter("velv_proof_checks_total", "Proof-checker runs started.")
+        .inc();
     let mut checker = Checker::new(options.trim);
     for (index, clause) in cnf.iter().enumerate() {
         if clause.contains(&0) {
@@ -515,6 +522,12 @@ pub fn check_proof(
             }
         }
     }
+    velv_obs::global()
+        .counter(
+            "velv_proof_steps_total",
+            "Proof steps verified (additions and deletions).",
+        )
+        .add((additions + deletions) as u64);
     let (input_core, trimmed_additions) = if options.trim {
         let num_inputs = cnf.len();
         // Seed the backward pass: every requested terminal step, or the last

@@ -527,6 +527,10 @@ pub(crate) struct Engine {
     /// already suffices for unsatisfiability.  Empty when the formula is
     /// unsatisfiable outright.
     final_core: Vec<Lit>,
+    /// Preset-labelled metric handles and heartbeat state (see
+    /// [`crate::obs`]): counters are delta-flushed from `stats` at heartbeat
+    /// boundaries and at the end of every `search` call.
+    obs: crate::obs::EngineObs,
     /// Optional DRAT sink: learned clauses, deletions, the root empty clause
     /// and the final clause of failing assumption queries are recorded here.
     proof: Option<Box<dyn ProofWriter>>,
@@ -542,6 +546,7 @@ impl Engine {
         let seed = config.seed;
         let use_heap = !config.static_order;
         let arena_words = cnf.num_literals() + HEADER_WORDS * cnf.num_clauses();
+        let obs = crate::obs::EngineObs::new(&config.name);
         let mut engine = Engine {
             config,
             stats: SolverStats::default(),
@@ -570,6 +575,7 @@ impl Engine {
             reduce_limit: (cnf.num_clauses() / 3).max(4000),
             unsat: false,
             final_core: Vec::new(),
+            obs,
             proof: None,
             proof_buf: Vec::new(),
             proof_empty_logged: false,
@@ -1289,6 +1295,13 @@ impl Engine {
     /// unsatisfiable outright).  Step budgets are counted relative to this
     /// call, so a persistent engine can be re-solved with fresh limits.
     pub(crate) fn search(&mut self, assumptions: &[Lit], budget: Budget) -> SatResult {
+        let result = self.search_inner(assumptions, budget);
+        let stats = self.stats;
+        self.obs.flush(&stats, self.num_learnts);
+        result
+    }
+
+    fn search_inner(&mut self, assumptions: &[Lit], budget: Budget) -> SatResult {
         self.final_core.clear();
         if self.unsat {
             // The refutation may predate the proof writer (e.g. a conflicting
@@ -1333,6 +1346,13 @@ impl Engine {
                     if let Some(reason) = budget.exceeded() {
                         return SatResult::Unknown(reason);
                     }
+                }
+                if self.stats.conflicts & crate::obs::HEARTBEAT_MASK == 0 {
+                    let stats = self.stats;
+                    let trail_depth = self.trail.len();
+                    let decision_level = self.decision_level() as usize;
+                    self.obs
+                        .heartbeat(&stats, trail_depth, decision_level, self.num_learnts);
                 }
                 if self.config.db_reduction {
                     self.reduce_db();

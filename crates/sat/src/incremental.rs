@@ -43,6 +43,10 @@ pub struct IncrementalSolver {
     config_name: String,
     /// Activation variables of the open scopes, innermost last.
     scopes: Vec<Var>,
+    /// One `incr.scope` trace span per open scope, innermost last; closed
+    /// (dropped) when the scope pops, so nested push/pop sequences show up
+    /// as nested spans in the trace.
+    scope_spans: Vec<velv_obs::SpanGuard>,
     /// Core of the last failing `solve_assuming`, over the caller's literals.
     last_core: Vec<Lit>,
     /// Optional iCNF session log.
@@ -74,6 +78,7 @@ impl IncrementalSolver {
             engine: Engine::new(cnf, config),
             config_name,
             scopes: Vec::new(),
+            scope_spans: Vec::new(),
             last_core: Vec::new(),
             trace: None,
             proof: None,
@@ -170,6 +175,10 @@ impl IncrementalSolver {
     pub fn push(&mut self) -> usize {
         let act = self.new_var();
         self.scopes.push(act);
+        self.scope_spans.push(velv_obs::span_fields(
+            "incr.scope",
+            &[("depth", self.scopes.len().into())],
+        ));
         self.scopes.len()
     }
 
@@ -187,6 +196,7 @@ impl IncrementalSolver {
             trace.push(IcnfEvent::AddClause(retire.to_vec()));
         }
         self.engine.add_clause_dynamic(&retire);
+        self.scope_spans.pop();
     }
 
     /// Current scope depth.
@@ -217,6 +227,13 @@ impl IncrementalSolver {
             // clauses.
             trace.push(IcnfEvent::Solve(all.clone()));
         }
+        let _span = velv_obs::span_fields(
+            "incr.solve",
+            &[
+                ("assumptions", assumptions.len().into()),
+                ("scope_depth", self.scopes.len().into()),
+            ],
+        );
         let result = self.engine.search(&all, budget);
         self.last_core.clear();
         if result.is_unsat() {

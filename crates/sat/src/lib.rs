@@ -67,6 +67,7 @@ pub mod dpll;
 pub mod generators;
 pub mod incremental;
 pub mod local_search;
+mod obs;
 pub mod portfolio;
 pub mod preprocess;
 pub mod presets;

@@ -1,0 +1,150 @@
+//! Observability hooks for the SAT layer.
+//!
+//! Every CDCL [`Engine`](crate::cdcl) carries an [`EngineObs`]: a bundle of
+//! `velv_obs` handles registered on the process-global registry under the
+//! engine's preset label (`velv_sat_conflicts_total{preset="chaff"}`, ...).
+//! Counter updates are *delta-flushed* — the engine keeps counting into its
+//! private [`SolverStats`] exactly as before, and the observability layer
+//! publishes the increments at heartbeat boundaries and at the end of every
+//! `search` call, so the hot loop pays nothing beyond the existing budget
+//! poll.
+//!
+//! When a trace subscriber is installed, the heartbeat also emits a
+//! `solver.heartbeat` event carrying the instantaneous conflict rate, trail
+//! depth, decision level and learnt-database size.
+
+use std::time::Instant;
+
+use velv_obs::{Counter, Gauge, Histogram};
+
+use crate::solver::SolverStats;
+
+/// Conflicts between two heartbeats (must be `2^k - 1`; the check is a
+/// bitmask on the global conflict count, piggybacked on the conflict branch
+/// next to the budget poll).
+pub(crate) const HEARTBEAT_MASK: u64 = 1023;
+
+/// Upper bucket bounds for the decision-level histogram sampled at each
+/// heartbeat.
+const LEVEL_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096];
+
+/// Per-engine observability state: global-registry handles labelled by
+/// preset, plus the last-published [`SolverStats`] for delta flushing.
+pub(crate) struct EngineObs {
+    conflicts: Counter,
+    decisions: Counter,
+    propagations: Counter,
+    restarts: Counter,
+    learnt_db: Gauge,
+    decision_levels: Histogram,
+    /// Stats as of the last flush; only the increment since then is added to
+    /// the registry counters.
+    last: SolverStats,
+    /// Timestamp and conflict count of the previous heartbeat, for the
+    /// conflicts/s figure in the heartbeat event.
+    last_beat: Option<(Instant, u64)>,
+}
+
+impl EngineObs {
+    /// Registers (or re-attaches to) the preset-labelled metric family on
+    /// the process-global registry.
+    pub(crate) fn new(preset: &str) -> Self {
+        let registry = velv_obs::global();
+        let labels: &[(&str, &str)] = &[("preset", preset)];
+        EngineObs {
+            conflicts: registry.counter_with(
+                "velv_sat_conflicts_total",
+                labels,
+                "CDCL conflicts encountered.",
+            ),
+            decisions: registry.counter_with(
+                "velv_sat_decisions_total",
+                labels,
+                "CDCL branching decisions taken.",
+            ),
+            propagations: registry.counter_with(
+                "velv_sat_propagations_total",
+                labels,
+                "Literals propagated by unit propagation.",
+            ),
+            restarts: registry.counter_with(
+                "velv_sat_restarts_total",
+                labels,
+                "Search restarts performed.",
+            ),
+            learnt_db: registry.gauge_with(
+                "velv_sat_learnt_db_size",
+                labels,
+                "Live learned clauses currently kept.",
+            ),
+            decision_levels: registry.histogram_with(
+                "velv_sat_decision_level",
+                labels,
+                "Decision level sampled at each heartbeat.",
+                LEVEL_BOUNDS,
+            ),
+            last: SolverStats::default(),
+            last_beat: None,
+        }
+    }
+
+    /// Publishes the increment of `stats` over the last flush to the
+    /// registry counters and refreshes the learnt-database gauge.
+    pub(crate) fn flush(&mut self, stats: &SolverStats, num_learnts: usize) {
+        self.conflicts
+            .add(stats.conflicts.saturating_sub(self.last.conflicts));
+        self.decisions
+            .add(stats.decisions.saturating_sub(self.last.decisions));
+        self.propagations
+            .add(stats.propagations.saturating_sub(self.last.propagations));
+        self.restarts
+            .add(stats.restarts.saturating_sub(self.last.restarts));
+        self.learnt_db.set(num_learnts as i64);
+        self.last = *stats;
+    }
+
+    /// Periodic probe from the search loop: flushes counter deltas, samples
+    /// the decision level, and — when a trace subscriber is installed —
+    /// emits a `solver.heartbeat` event with the instantaneous conflict
+    /// rate.
+    pub(crate) fn heartbeat(
+        &mut self,
+        stats: &SolverStats,
+        trail_depth: usize,
+        decision_level: usize,
+        num_learnts: usize,
+    ) {
+        self.decision_levels.observe(decision_level as u64);
+        self.flush(stats, num_learnts);
+        if !velv_obs::enabled() {
+            // Skip the `Instant::now` when nobody is listening; the next
+            // enabled heartbeat restarts the rate window.
+            self.last_beat = None;
+            return;
+        }
+        let now = Instant::now();
+        let rate = match self.last_beat {
+            Some((then, conflicts)) => {
+                let dt = now.duration_since(then).as_secs_f64();
+                if dt > 0.0 {
+                    (stats.conflicts - conflicts) as f64 / dt
+                } else {
+                    0.0
+                }
+            }
+            None => 0.0,
+        };
+        self.last_beat = Some((now, stats.conflicts));
+        velv_obs::event(
+            "solver.heartbeat",
+            &[
+                ("conflicts", stats.conflicts.into()),
+                ("conflicts_per_sec", rate.into()),
+                ("restarts", stats.restarts.into()),
+                ("trail_depth", (trail_depth as u64).into()),
+                ("decision_level", (decision_level as u64).into()),
+                ("learnt_db", (num_learnts as u64).into()),
+            ],
+        );
+    }
+}

@@ -307,6 +307,14 @@ impl Solver for PortfolioSolver {
             }
             *current = Some(token.clone());
         }
+        let race_span = velv_obs::span_fields(
+            "portfolio.race",
+            &[
+                ("members", self.members.len().into()),
+                ("vars", cnf.num_vars().into()),
+                ("clauses", cnf.num_clauses().into()),
+            ],
+        );
         let members = &self.members;
         let outcome = race_with_token(
             &thread_names,
@@ -341,6 +349,46 @@ impl Solver for PortfolioSolver {
             engines,
             wall_time: outcome.wall_time,
         };
+        // Surface the race outcome on the global registry: one run counter
+        // per member, a win counter for the victor, and the losers' conflict
+        // work (the winner's engine already published its own conflicts).
+        let registry = velv_obs::global();
+        for engine in &report.engines {
+            let labels: &[(&str, &str)] = &[("preset", engine.name.as_str())];
+            registry
+                .counter_with(
+                    "velv_sat_portfolio_runs_total",
+                    labels,
+                    "Portfolio member runs started.",
+                )
+                .inc();
+            if engine.winner {
+                registry
+                    .counter_with(
+                        "velv_sat_portfolio_wins_total",
+                        labels,
+                        "Portfolio races won by this member.",
+                    )
+                    .inc();
+            }
+            registry
+                .counter_with(
+                    "velv_sat_portfolio_conflicts_total",
+                    labels,
+                    "Conflicts spent by this member across portfolio races.",
+                )
+                .add(engine.stats.conflicts);
+        }
+        if velv_obs::enabled() {
+            velv_obs::event(
+                "portfolio.decided",
+                &[
+                    ("winner", report.winner.as_deref().unwrap_or("none").into()),
+                    ("wall_ms", (report.wall_time.as_millis() as u64).into()),
+                ],
+            );
+        }
+        drop(race_span);
         // `stats()` reports the winner's numbers (the work that produced the
         // answer); the report keeps the full per-engine breakdown.
         self.stats = report

@@ -78,6 +78,15 @@ fn preprocess_impl(
     with_subsumption: bool,
     mut proof: Option<&mut dyn ProofWriter>,
 ) -> Preprocessed {
+    let _span = velv_obs::span_fields(
+        "preprocess",
+        &[
+            ("vars", cnf.num_vars().into()),
+            ("clauses", cnf.num_clauses().into()),
+            ("subsumption", with_subsumption.into()),
+            ("certified", proof.is_some().into()),
+        ],
+    );
     let num_vars = cnf.num_vars();
     let mut clauses: Vec<Vec<Lit>> = cnf.clauses().to_vec();
     let mut assigns: Vec<Option<bool>> = vec![None; num_vars];

@@ -1,0 +1,145 @@
+//! Tracing and registry integration for the SAT layer: incremental
+//! push/pop scopes must produce properly nested spans, and portfolio races
+//! must surface per-member statistics on the global registry.
+
+use std::sync::{Arc, Mutex, OnceLock};
+use velv_sat::presets::SolverKind;
+use velv_sat::{Budget, CnfFormula, IncrementalSolver, Lit, PortfolioSolver, Solver};
+
+/// Sink-installing tests serialize on this lock: the tracer's sink slot is
+/// process-global.
+fn tracer_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+fn lit(i: i64) -> Lit {
+    Lit::from_dimacs(i)
+}
+
+#[test]
+fn incremental_push_pop_scopes_nest_as_spans() {
+    let _guard = tracer_lock().lock().unwrap();
+    let sink = Arc::new(velv_obs::MemorySink::new());
+    velv_obs::install_sink(sink.clone());
+
+    let mut solver = IncrementalSolver::chaff();
+    solver.add_clause(&[lit(1), lit(2)]);
+    solver.push();
+    solver.add_clause(&[lit(-1)]);
+    solver.push();
+    solver.add_clause(&[lit(-2)]);
+    assert!(solver.solve(Budget::unlimited()).is_unsat());
+    solver.pop();
+    assert!(solver.solve(Budget::unlimited()).is_sat());
+    solver.pop();
+
+    velv_obs::uninstall_sink();
+    let text = sink.contents();
+    let summary = velv_obs::check_trace(&text).expect("well-formed trace");
+    assert_eq!(summary.unclosed, 0);
+
+    let records: Vec<velv_obs::TraceRecord> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| velv_obs::parse_trace_line(l).unwrap())
+        .collect();
+    let scope_opens: Vec<&velv_obs::TraceRecord> = records
+        .iter()
+        .filter(|r| r.kind() == "span_open" && r.get("name") == Some("incr.scope"))
+        .collect();
+    assert_eq!(scope_opens.len(), 2);
+    // The second scope opened inside the first: parent chain reflects it.
+    assert_eq!(
+        scope_opens[1].get_u64("parent"),
+        scope_opens[0].get_u64("id")
+    );
+    assert_eq!(scope_opens[0].get("depth"), Some("1"));
+    assert_eq!(scope_opens[1].get("depth"), Some("2"));
+    // Both solves happened inside the innermost open scope at the time.
+    let solve_opens: Vec<&velv_obs::TraceRecord> = records
+        .iter()
+        .filter(|r| r.kind() == "span_open" && r.get("name") == Some("incr.solve"))
+        .collect();
+    assert_eq!(solve_opens.len(), 2);
+    assert_eq!(
+        solve_opens[0].get_u64("parent"),
+        scope_opens[1].get_u64("id")
+    );
+    assert_eq!(
+        solve_opens[1].get_u64("parent"),
+        scope_opens[0].get_u64("id")
+    );
+}
+
+#[test]
+fn engine_work_reaches_the_global_registry() {
+    // A pigeonhole-style UNSAT instance forces real conflicts; the
+    // preset-labelled global counters must strictly grow.  Other tests run
+    // concurrently against the same registry, so assert monotone growth
+    // rather than exact counts.
+    let before = velv_obs::global()
+        .snapshot()
+        .get("velv_sat_conflicts_total", &[("preset", "chaff")])
+        .and_then(|s| s.value.as_u64())
+        .unwrap_or(0);
+
+    let mut cnf = CnfFormula::new(0);
+    // 4 pigeons, 3 holes.
+    let var = |p: i64, h: i64| lit(1 + (p * 3 + h));
+    for p in 0..4 {
+        cnf.add_clause((0..3).map(|h| var(p, h)).collect());
+    }
+    for h in 0..3 {
+        for p1 in 0..4 {
+            for p2 in (p1 + 1)..4 {
+                cnf.add_clause(vec![!var(p1, h), !var(p2, h)]);
+            }
+        }
+    }
+    let mut solver = velv_sat::cdcl::CdclSolver::chaff();
+    assert!(solver.solve(&cnf).is_unsat());
+
+    let after = velv_obs::global()
+        .snapshot()
+        .get("velv_sat_conflicts_total", &[("preset", "chaff")])
+        .and_then(|s| s.value.as_u64())
+        .unwrap_or(0);
+    assert!(
+        after > before,
+        "chaff conflict counter did not grow: {before} -> {after}"
+    );
+}
+
+#[test]
+fn portfolio_race_surfaces_per_member_counters() {
+    let mut solver = PortfolioSolver::new()
+        .with_kind(SolverKind::Chaff)
+        .with_kind(SolverKind::Grasp);
+    let mut cnf = CnfFormula::new(0);
+    cnf.add_clause(vec![lit(1), lit(2)]);
+    cnf.add_clause(vec![lit(-1), lit(2)]);
+    assert!(solver.solve(&cnf).is_sat());
+
+    let snapshot = velv_obs::global().snapshot();
+    let runs = |preset: &str| {
+        snapshot
+            .get("velv_sat_portfolio_runs_total", &[("preset", preset)])
+            .and_then(|s| s.value.as_u64())
+            .unwrap_or(0)
+    };
+    assert!(runs("chaff") >= 1);
+    assert!(runs("grasp") >= 1);
+    let report = solver.report().expect("race report");
+    assert!(report.winner.is_some());
+    let wins: u64 = ["chaff", "grasp"]
+        .iter()
+        .map(|preset| {
+            snapshot
+                .get("velv_sat_portfolio_wins_total", &[("preset", preset)])
+                .and_then(|s| s.value.as_u64())
+                .unwrap_or(0)
+        })
+        .sum();
+    assert!(wins >= 1);
+}

@@ -4,18 +4,19 @@
 //! velvc [--addr HOST:PORT] ping
 //! velvc [--addr HOST:PORT] submit KEY=VALUE...     # e.g. model=dlx1:bug:3 backend=chaff
 //! velvc [--addr HOST:PORT] batch LINE [LINE...]    # one quoted job line per entry
-//! velvc [--addr HOST:PORT] stats
+//! velvc [--addr HOST:PORT] stats [--prom|--json]
 //! velvc [--addr HOST:PORT] status
 //! velvc [--addr HOST:PORT] proof FINGERPRINT
 //! velvc [--addr HOST:PORT] shutdown
+//! velvc trace FILE.jsonl                           # offline: check a trace capture
 //! ```
 
 use velv_serve::proto::Request;
-use velv_serve::{JobSpec, ServeClient};
+use velv_serve::{JobSpec, ServeClient, StatsFormat};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: velvc [--addr HOST:PORT] <ping|submit KEY=VALUE...|batch LINE...|stats|status|proof FP|shutdown>"
+        "usage: velvc [--addr HOST:PORT] <ping|submit KEY=VALUE...|batch LINE...|stats [--prom|--json]|status|proof FP|shutdown> | velvc trace FILE.jsonl"
     );
     std::process::exit(2);
 }
@@ -39,6 +40,28 @@ fn main() {
         usage();
     };
     let rest = &args[1..];
+
+    // `trace` is offline — it checks a JSONL capture without a server.
+    if command == "trace" {
+        let Some(path) = rest.first() else {
+            usage();
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => fail(format!("cannot read {path}: {e}")),
+        };
+        match velv_obs::tracecheck::check_trace(&text) {
+            Ok(summary) => {
+                println!("records       {}", summary.records);
+                println!("spans opened  {}", summary.spans_opened);
+                println!("spans closed  {}", summary.spans_closed);
+                println!("events        {}", summary.events);
+                println!("unclosed      {}", summary.unclosed);
+            }
+            Err(e) => fail(format!("malformed trace: {e}")),
+        }
+        return;
+    }
 
     let mut client = match ServeClient::connect(addr.as_str()) {
         Ok(client) => client,
@@ -108,13 +131,24 @@ fn main() {
                 Err(e) => fail(e),
             }
         }
-        "stats" => match client.stats() {
-            Ok(fields) => {
-                for (key, value) in fields {
-                    println!("{key:<22} {value}");
+        "stats" => match rest.first().map(String::as_str) {
+            Some("--prom") => match client.stats_text(StatsFormat::Prometheus) {
+                Ok(text) => print!("{text}"),
+                Err(e) => fail(e),
+            },
+            Some("--json") => match client.stats_text(StatsFormat::Json) {
+                Ok(text) => println!("{text}"),
+                Err(e) => fail(e),
+            },
+            Some(_) => usage(),
+            None => match client.stats() {
+                Ok(fields) => {
+                    for (key, value) in fields {
+                        println!("{key:<44} {value}");
+                    }
                 }
-            }
-            Err(e) => fail(e),
+                Err(e) => fail(e),
+            },
         },
         "status" => match client.request(&Request::Status) {
             Ok(response) => {

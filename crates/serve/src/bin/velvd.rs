@@ -1,18 +1,22 @@
 //! `velvd` — the verification service daemon.
 //!
-//! Serves the `velv_serve` wire protocol over TCP and prints a counter
-//! summary when a client asks it to shut down.
+//! Serves the `velv_serve` wire protocol over TCP and prints a final metric
+//! registry snapshot when a client asks it to shut down.  With `--trace` the
+//! daemon records spans and events to a JSONL file; the graceful shutdown
+//! path flushes every per-thread trace buffer before exit, so the capture
+//! never loses its tail.
 //!
 //! ```text
-//! velvd [--addr HOST:PORT] [--workers N] [--cache-mb M] [--default-timeout-ms T]
+//! velvd [--addr HOST:PORT] [--workers N] [--cache-mb M] [--default-timeout-ms T] [--trace FILE.jsonl]
 //! ```
 
+use std::sync::Arc;
 use std::time::Duration;
 use velv_serve::{serve, ServeHandle, ServiceConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: velvd [--addr HOST:PORT] [--workers N] [--cache-mb M] [--default-timeout-ms T]"
+        "usage: velvd [--addr HOST:PORT] [--workers N] [--cache-mb M] [--default-timeout-ms T] [--trace FILE.jsonl]"
     );
     std::process::exit(2);
 }
@@ -21,11 +25,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = "127.0.0.1:7911".to_owned();
     let mut config = ServiceConfig::default();
+    let mut trace_path: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let mut value = || iter.next().cloned().unwrap_or_else(|| usage());
         match arg.as_str() {
             "--addr" => addr = value(),
+            "--trace" => trace_path = Some(value()),
             "--workers" => match value().parse() {
                 Ok(n) => config.workers = n,
                 Err(_) => usage(),
@@ -40,6 +46,17 @@ fn main() {
             },
             _ => usage(),
         }
+    }
+
+    if let Some(path) = &trace_path {
+        match velv_obs::JsonlFileSink::create(path) {
+            Ok(sink) => velv_obs::install_sink(Arc::new(sink)),
+            Err(e) => {
+                eprintln!("velvd: cannot create trace file {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        println!("velvd: tracing to {path}");
     }
 
     let workers = config.workers;
@@ -58,9 +75,14 @@ fn main() {
     );
     control.wait();
 
-    let stats = handle.stats();
-    println!("velvd: shut down; final counters:");
-    for (key, value) in stats.fields() {
-        println!("  {key:<22} {value}");
+    // Graceful shutdown: drain every per-thread trace buffer into the sink
+    // before logging the final snapshot, so the capture keeps its tail.
+    if trace_path.is_some() {
+        velv_obs::uninstall_sink();
+    }
+    let snapshot = handle.registry_snapshot();
+    println!("velvd: shut down; final registry snapshot:");
+    for (key, value) in snapshot.flat_fields() {
+        println!("  {key:<44} {value}");
     }
 }

@@ -20,11 +20,11 @@
 //!   insertion evicts from the back until the shard fits its budget.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use velv_core::{Certificate, TranslationStats, Verdict};
 use velv_eufm::Fingerprint;
+use velv_obs::{Counter, Registry};
 
 /// A cached, decided verdict and its artifacts.
 ///
@@ -221,18 +221,27 @@ impl Shard {
 pub struct VerdictCache {
     shards: Box<[Mutex<Shard>]>,
     shard_capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    insertions: AtomicU64,
-    evictions: AtomicU64,
-    oversize: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    insertions: Counter,
+    evictions: Counter,
+    oversize: Counter,
 }
 
 impl VerdictCache {
     /// Creates a cache with a total byte budget split over `shards` locks.
     /// Both arguments are clamped to at least 1 (shard count additionally
-    /// rounded up to a power of two for cheap masking).
+    /// rounded up to a power of two for cheap masking).  The lookup counters
+    /// live on a throwaway registry; use [`VerdictCache::with_registry`] to
+    /// surface them.
     pub fn new(capacity_bytes: usize, shards: usize) -> Self {
+        Self::with_registry(capacity_bytes, shards, &Registry::new())
+    }
+
+    /// [`VerdictCache::new`], with the lookup counters registered on
+    /// `registry` (`velv_serve_cache_lookup_*_total`) so a registry snapshot
+    /// carries the cache's traffic.
+    pub fn with_registry(capacity_bytes: usize, shards: usize, registry: &Registry) -> Self {
         let shard_count = shards.max(1).next_power_of_two();
         let shard_capacity = (capacity_bytes / shard_count).max(1);
         let shards: Vec<Mutex<Shard>> =
@@ -240,11 +249,26 @@ impl VerdictCache {
         VerdictCache {
             shards: shards.into_boxed_slice(),
             shard_capacity,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            insertions: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            oversize: AtomicU64::new(0),
+            hits: registry.counter(
+                "velv_serve_cache_lookup_hits_total",
+                "Verdict-cache lookups that found an entry.",
+            ),
+            misses: registry.counter(
+                "velv_serve_cache_lookup_misses_total",
+                "Verdict-cache lookups that found nothing.",
+            ),
+            insertions: registry.counter(
+                "velv_serve_cache_insertions_total",
+                "Verdict-cache insertions (including replacements).",
+            ),
+            evictions: registry.counter(
+                "velv_serve_cache_evictions_total",
+                "Verdict-cache entries evicted under byte pressure.",
+            ),
+            oversize: registry.counter(
+                "velv_serve_cache_oversize_total",
+                "Verdict-cache entries refused for exceeding a shard budget.",
+            ),
         }
     }
 
@@ -257,15 +281,16 @@ impl VerdictCache {
 
     /// Looks a fingerprint up, refreshing its recency on a hit.
     pub fn get(&self, key: Fingerprint) -> Option<Arc<CachedVerdict>> {
+        let _span = velv_obs::span("cache.lookup");
         let mut shard = self.shard(key).lock().expect("cache shard lock");
         match shard.map.get(&key.0).copied() {
             Some(index) => {
                 shard.touch(index);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(Arc::clone(&shard.nodes[index].value))
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -277,17 +302,17 @@ impl VerdictCache {
     pub fn insert(&self, key: Fingerprint, value: CachedVerdict) {
         let bytes = value.approx_bytes();
         if bytes > self.shard_capacity {
-            self.oversize.fetch_add(1, Ordering::Relaxed);
+            self.oversize.inc();
             return;
         }
         let mut shard = self.shard(key).lock().expect("cache shard lock");
         shard.insert(key.0, Arc::new(value), bytes);
-        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.insertions.inc();
         while shard.bytes > self.shard_capacity {
             if !shard.evict_one() {
                 break;
             }
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.inc();
         }
     }
 
@@ -304,11 +329,11 @@ impl VerdictCache {
             entries,
             bytes,
             capacity_bytes: (self.shard_capacity * self.shards.len()) as u64,
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            insertions: self.insertions.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            oversize: self.oversize.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            insertions: self.insertions.get(),
+            evictions: self.evictions.get(),
+            oversize: self.oversize.get(),
         }
     }
 

@@ -2,7 +2,7 @@
 //! integration tests).
 
 use crate::job::JobSpec;
-use crate::proto::{read_frame, write_frame, Request, Response};
+use crate::proto::{read_frame, write_frame, Request, Response, StatsFormat};
 use std::io::{self, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -139,18 +139,32 @@ impl ServeClient {
         self.request(&Request::Batch(specs))
     }
 
-    /// Fetches the service counters as `(key, value)` pairs.
+    /// Fetches the service metric registry as flat `(key, value)` pairs.
     ///
     /// # Errors
     ///
     /// See [`ServeClient::request`].
     pub fn stats(&mut self) -> Result<Vec<(String, u64)>, ClientError> {
-        let response = self.request(&Request::Stats)?;
+        let response = self.request(&Request::Stats(StatsFormat::Flat))?;
         Ok(response
             .fields
             .iter()
             .filter_map(|(k, v)| v.parse::<u64>().ok().map(|v| (k.clone(), v)))
             .collect())
+    }
+
+    /// Fetches the service metric registry in an encoded text form
+    /// (Prometheus exposition text or JSON).
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeClient::request`]; also fails when the server omits the
+    /// encoded payload.
+    pub fn stats_text(&mut self, format: StatsFormat) -> Result<String, ClientError> {
+        let response = self.request(&Request::Stats(format))?;
+        response
+            .payload
+            .ok_or_else(|| ClientError::Server("stats response had no payload".to_owned()))
     }
 
     /// Fetches the cached DRAT proof text for a fingerprint.

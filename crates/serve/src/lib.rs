@@ -55,6 +55,7 @@ pub mod service;
 pub use cache::{CacheStats, CachedVerdict, VerdictCache};
 pub use client::{ClientError, ServeClient, SubmitReply};
 pub use job::{BackendChoice, DlxVariant, JobSpec, ModelRef, ParseJobError, SolveMode};
+pub use proto::StatsFormat;
 pub use server::{serve, ServerControl};
 pub use service::{
     JobResult, JobStatus, JobTicket, ServeError, ServeHandle, ServiceConfig, ServiceStats,

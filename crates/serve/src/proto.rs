@@ -20,7 +20,7 @@
 //! | `ping` | — | `pong 1` |
 //! | `submit` | one [`JobSpec`] wire line | verdict fields (below) |
 //! | `batch` | one [`JobSpec`] wire line per entry | `count N`, then one `job i ...` line per entry |
-//! | `stats` | — | one `key value` line per counter |
+//! | `stats` | optional format line: `prom` or `json` | one `key value` line per metric (flat), or the encoded registry snapshot as payload |
 //! | `status` | — | `workers`, `queued`, `running`, `shut-down` |
 //! | `proof` | one fingerprint (32 hex digits) | `proof-bytes N`, blank line, DRAT text |
 //! | `shutdown` | — | `bye 1` |
@@ -34,7 +34,7 @@
 //! is a valid client.
 
 use crate::job::JobSpec;
-use crate::service::{JobResult, ServiceStats};
+use crate::service::JobResult;
 use std::io::{self, BufRead, Write};
 use velv_core::Verdict;
 use velv_eufm::Fingerprint;
@@ -93,6 +93,18 @@ pub fn read_frame<R: BufRead>(reader: &mut R) -> io::Result<Option<String>> {
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame body is not UTF-8"))
 }
 
+/// Encoding requested for a `stats` response.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StatsFormat {
+    /// `key value` lines, one per metric (histograms as `_count`/`_sum`).
+    #[default]
+    Flat,
+    /// Prometheus text exposition format, sent as the response payload.
+    Prometheus,
+    /// JSON snapshot, sent as the response payload.
+    Json,
+}
+
 /// A parsed request.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
@@ -102,8 +114,8 @@ pub enum Request {
     Submit(JobSpec),
     /// Submit a batch and wait for every verdict.
     Batch(Vec<JobSpec>),
-    /// Service counters.
-    Stats,
+    /// Service metric registry snapshot in the requested encoding.
+    Stats(StatsFormat),
     /// Scheduler gauges.
     Status,
     /// Retrieve the cached DRAT artifact of a fingerprint.
@@ -126,7 +138,9 @@ impl Request {
                 }
                 body
             }
-            Request::Stats => "stats".to_owned(),
+            Request::Stats(StatsFormat::Flat) => "stats".to_owned(),
+            Request::Stats(StatsFormat::Prometheus) => "stats\nprom".to_owned(),
+            Request::Stats(StatsFormat::Json) => "stats\njson".to_owned(),
             Request::Status => "status".to_owned(),
             Request::Proof(fp) => format!("proof\n{fp}"),
             Request::Shutdown => "shutdown".to_owned(),
@@ -144,7 +158,12 @@ impl Request {
         let command = lines.next().unwrap_or("").trim();
         match command {
             "ping" => Ok(Request::Ping),
-            "stats" => Ok(Request::Stats),
+            "stats" => match lines.next().map(str::trim).unwrap_or("") {
+                "" => Ok(Request::Stats(StatsFormat::Flat)),
+                "prom" => Ok(Request::Stats(StatsFormat::Prometheus)),
+                "json" => Ok(Request::Stats(StatsFormat::Json)),
+                other => Err(format!("unknown stats format `{other}`")),
+            },
             "status" => Ok(Request::Status),
             "shutdown" => Ok(Request::Shutdown),
             "submit" => {
@@ -231,13 +250,26 @@ pub fn batch_response(results: &[(Fingerprint, JobResult)]) -> String {
     body
 }
 
-/// Renders the `stats` response body.
-pub fn stats_response(stats: &ServiceStats) -> String {
-    let mut body = "ok".to_owned();
-    for (key, value) in stats.fields() {
-        body.push_str(&format!("\n{key} {value}"));
+/// Renders the `stats` response body from a metric registry snapshot.
+///
+/// The flat encoding emits every registered metric as a `key value` field
+/// line, so any metric added to the registry automatically reaches the wire.
+/// The Prometheus and JSON encodings ship the full snapshot as the response
+/// payload (after the blank line), with a `format` field naming the encoding.
+pub fn stats_response(snapshot: &velv_obs::Snapshot, format: StatsFormat) -> String {
+    match format {
+        StatsFormat::Flat => {
+            let mut body = "ok".to_owned();
+            for (key, value) in snapshot.flat_fields() {
+                body.push_str(&format!("\n{key} {value}"));
+            }
+            body
+        }
+        StatsFormat::Prometheus => {
+            format!("ok\nformat prometheus\n\n{}", snapshot.prometheus_text())
+        }
+        StatsFormat::Json => format!("ok\nformat json\n\n{}", snapshot.json()),
     }
-    body
 }
 
 /// A parsed `ok` response: `key value` fields plus any raw payload after a
@@ -340,7 +372,9 @@ mod tests {
     fn requests_round_trip() {
         let requests = [
             Request::Ping,
-            Request::Stats,
+            Request::Stats(StatsFormat::Flat),
+            Request::Stats(StatsFormat::Prometheus),
+            Request::Stats(StatsFormat::Json),
             Request::Status,
             Request::Shutdown,
             Request::Submit(JobSpec::new(ModelRef::dlx1_bug(1))),
@@ -355,6 +389,7 @@ mod tests {
             assert_eq!(Request::parse_body(&body), Ok(request), "{body}");
         }
         assert!(Request::parse_body("frobnicate").is_err());
+        assert!(Request::parse_body("stats\nxml").is_err());
         assert!(Request::parse_body("submit").is_err());
         assert!(Request::parse_body("batch\n\n").is_err());
         assert!(Request::parse_body("proof\nzz").is_err());

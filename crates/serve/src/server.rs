@@ -173,7 +173,7 @@ fn dispatch(
 ) -> Result<String, String> {
     match request {
         Request::Ping => Ok("ok\npong 1".to_owned()),
-        Request::Stats => Ok(stats_response(&handle.stats())),
+        Request::Stats(format) => Ok(stats_response(&handle.registry_snapshot(), format)),
         Request::Status => {
             let stats = handle.stats();
             Ok(format!(

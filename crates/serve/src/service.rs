@@ -362,25 +362,130 @@ impl Ord for QueuedItem {
     }
 }
 
-#[derive(Default)]
+/// Upper bucket bounds of the per-job wall-time histogram: 1ms to 60s.
+const JOB_WALL_BOUNDS: &[u64] = &[1_000, 10_000, 100_000, 1_000_000, 10_000_000, 60_000_000];
+
+/// The service's metric handles, registered on the per-service
+/// [`Registry`](velv_obs::Registry) — the registry snapshot *is* the wire
+/// `stats` payload, so every counter below is automatically served.
 struct Counters {
-    submitted: AtomicU64,
-    batch_entries: AtomicU64,
-    batch_groups: AtomicU64,
-    completed: AtomicU64,
-    cache_hits: AtomicU64,
-    dedup_joins: AtomicU64,
-    translations: AtomicU64,
-    fresh_solves: AtomicU64,
-    correct: AtomicU64,
-    buggy: AtomicU64,
-    unknown: AtomicU64,
-    cancelled: AtomicU64,
-    proofs_kept: AtomicU64,
-    queued: AtomicU64,
-    running: AtomicU64,
-    solve_micros: AtomicU64,
-    wall_micros: AtomicU64,
+    submitted: velv_obs::Counter,
+    batch_entries: velv_obs::Counter,
+    batch_groups: velv_obs::Counter,
+    completed: velv_obs::Counter,
+    cache_hits: velv_obs::Counter,
+    dedup_joins: velv_obs::Counter,
+    translations: velv_obs::Counter,
+    fresh_solves: velv_obs::Counter,
+    correct: velv_obs::Counter,
+    buggy: velv_obs::Counter,
+    unknown: velv_obs::Counter,
+    cancelled: velv_obs::Counter,
+    proofs_kept: velv_obs::Counter,
+    queued: velv_obs::Gauge,
+    running: velv_obs::Gauge,
+    workers: velv_obs::Gauge,
+    workers_busy: velv_obs::Gauge,
+    solve_micros: velv_obs::Counter,
+    wall_micros: velv_obs::Counter,
+    job_wall_micros: velv_obs::Histogram,
+    cache_entries: velv_obs::Gauge,
+    cache_bytes: velv_obs::Gauge,
+    cache_capacity_bytes: velv_obs::Gauge,
+}
+
+impl Counters {
+    fn new(registry: &velv_obs::Registry) -> Counters {
+        Counters {
+            submitted: registry.counter(
+                "velv_serve_jobs_submitted_total",
+                "Jobs submitted (batch entries and cached/deduplicated ones included).",
+            ),
+            batch_entries: registry.counter(
+                "velv_serve_batch_entries_total",
+                "Jobs submitted through the batch endpoint.",
+            ),
+            batch_groups: registry.counter(
+                "velv_serve_batch_groups_total",
+                "Batch groups scheduled as one shared incremental session.",
+            ),
+            completed: registry.counter(
+                "velv_serve_jobs_completed_total",
+                "Jobs whose result was delivered.",
+            ),
+            cache_hits: registry.counter(
+                "velv_serve_cache_hits_total",
+                "Submissions answered straight from the verdict cache.",
+            ),
+            dedup_joins: registry.counter(
+                "velv_serve_dedup_joins_total",
+                "Submissions that subscribed to an in-flight identical job.",
+            ),
+            translations: registry.counter(
+                "velv_serve_translations_total",
+                "Translations started (cache hits and dedup joins start none).",
+            ),
+            fresh_solves: registry.counter(
+                "velv_serve_fresh_solves_total",
+                "Back-end solve runs started.",
+            ),
+            correct: registry.counter(
+                "velv_serve_verdict_correct_total",
+                "Verdicts: correct designs.",
+            ),
+            buggy: registry.counter(
+                "velv_serve_verdict_buggy_total",
+                "Verdicts: buggy designs (counterexample produced).",
+            ),
+            unknown: registry.counter(
+                "velv_serve_verdict_unknown_total",
+                "Verdicts: undecided (timeout, cancellation, resource limits).",
+            ),
+            cancelled: registry.counter(
+                "velv_serve_cancelled_total",
+                "Jobs abandoned by client disconnect or service shutdown.",
+            ),
+            proofs_kept: registry.counter(
+                "velv_serve_proofs_kept_total",
+                "DRAT proof artifacts stored in the cache.",
+            ),
+            queued: registry.gauge(
+                "velv_serve_jobs_queued",
+                "Jobs currently waiting in the queue.",
+            ),
+            running: registry.gauge("velv_serve_jobs_running", "Jobs currently being worked on."),
+            workers: registry.gauge("velv_serve_workers", "Worker threads in the pool."),
+            workers_busy: registry.gauge(
+                "velv_serve_workers_busy",
+                "Worker threads currently running a work item.",
+            ),
+            solve_micros: registry.counter(
+                "velv_serve_solve_micros_total",
+                "Total translation+solve time spent by workers, in microseconds.",
+            ),
+            wall_micros: registry.counter(
+                "velv_serve_wall_micros_total",
+                "Total submission-to-result latency over completed jobs, in microseconds.",
+            ),
+            job_wall_micros: registry.histogram(
+                "velv_serve_job_wall_micros",
+                "Submission-to-result latency per completed job, in microseconds.",
+                JOB_WALL_BOUNDS,
+            ),
+            cache_entries: registry.gauge(
+                "velv_serve_cache_entries",
+                "Verdict-cache entries currently resident.",
+            ),
+            cache_bytes: registry.gauge(
+                "velv_serve_cache_bytes",
+                "Verdict-cache bytes currently charged.",
+            ),
+            cache_capacity_bytes: registry.gauge(
+                "velv_serve_cache_capacity_bytes",
+                "Verdict-cache total byte budget.",
+            ),
+        }
+    }
 }
 
 /// A point-in-time statistics snapshot of a service.
@@ -469,6 +574,10 @@ struct Inner {
     work: Condvar,
     in_flight: Mutex<HashMap<u128, Arc<JobState>>>,
     cache: VerdictCache,
+    /// The per-service metric registry: every counter/gauge/histogram of
+    /// this instance, including the cache's lookup counters.  Per-service
+    /// (not global) so concurrent instances do not mix their numbers.
+    registry: velv_obs::Registry,
     counters: Counters,
     shutdown: AtomicBool,
 }
@@ -476,27 +585,43 @@ struct Inner {
 impl Inner {
     fn stats(&self) -> ServiceStats {
         let c = &self.counters;
-        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
         ServiceStats {
-            submitted: load(&c.submitted),
-            batch_entries: load(&c.batch_entries),
-            batch_groups: load(&c.batch_groups),
-            completed: load(&c.completed),
-            cache_hits: load(&c.cache_hits),
-            dedup_joins: load(&c.dedup_joins),
-            translations: load(&c.translations),
-            fresh_solves: load(&c.fresh_solves),
-            correct: load(&c.correct),
-            buggy: load(&c.buggy),
-            unknown: load(&c.unknown),
-            cancelled: load(&c.cancelled),
-            proofs_kept: load(&c.proofs_kept),
-            queued: load(&c.queued),
-            running: load(&c.running),
-            solve_time: Duration::from_micros(load(&c.solve_micros)),
-            wall_time: Duration::from_micros(load(&c.wall_micros)),
+            submitted: c.submitted.get(),
+            batch_entries: c.batch_entries.get(),
+            batch_groups: c.batch_groups.get(),
+            completed: c.completed.get(),
+            cache_hits: c.cache_hits.get(),
+            dedup_joins: c.dedup_joins.get(),
+            translations: c.translations.get(),
+            fresh_solves: c.fresh_solves.get(),
+            correct: c.correct.get(),
+            buggy: c.buggy.get(),
+            unknown: c.unknown.get(),
+            cancelled: c.cancelled.get(),
+            proofs_kept: c.proofs_kept.get(),
+            queued: c.queued.get().max(0) as u64,
+            running: c.running.get().max(0) as u64,
+            solve_time: Duration::from_micros(c.solve_micros.get()),
+            wall_time: Duration::from_micros(c.wall_micros.get()),
             cache: self.cache.stats(),
         }
+    }
+
+    /// Refreshes the snapshot-time gauges (cache residency) from their
+    /// sources; call before snapshotting the registry.
+    fn refresh_gauges(&self) {
+        let cache = self.cache.stats();
+        self.counters.cache_entries.set(cache.entries as i64);
+        self.counters.cache_bytes.set(cache.bytes as i64);
+        self.counters
+            .cache_capacity_bytes
+            .set(cache.capacity_bytes as i64);
+    }
+
+    /// A point-in-time snapshot of the service registry, gauges refreshed.
+    fn registry_snapshot(&self) -> velv_obs::Snapshot {
+        self.refresh_gauges();
+        self.registry.snapshot()
     }
 
     fn push(&self, item: WorkItem) {
@@ -510,7 +635,7 @@ impl Inner {
             item,
         });
         drop(queue);
-        self.counters.queued.fetch_add(jobs, Ordering::Relaxed);
+        self.counters.queued.add(jobs as i64);
         self.work.notify_one();
     }
 
@@ -522,9 +647,7 @@ impl Inner {
                 return None;
             }
             if let Some(queued) = queue.heap.pop() {
-                self.counters
-                    .queued
-                    .fetch_sub(queued.item.job_count(), Ordering::Relaxed);
+                self.counters.queued.sub(queued.item.job_count() as i64);
                 return Some(queued.item);
             }
             queue = self.work.wait(queue).expect("queue lock");
@@ -556,7 +679,7 @@ impl Inner {
         let decided = !matches!(verdict, Verdict::Unknown(_));
         if decided {
             if proof.is_some() {
-                self.counters.proofs_kept.fetch_add(1, Ordering::Relaxed);
+                self.counters.proofs_kept.inc();
             }
             self.cache.insert(
                 job.state.fingerprint,
@@ -572,20 +695,21 @@ impl Inner {
         self.remove_in_flight(&job.state);
         let wall = job.state.submitted.elapsed();
         match &verdict {
-            Verdict::Correct => self.counters.correct.fetch_add(1, Ordering::Relaxed),
-            Verdict::Buggy(_) => self.counters.buggy.fetch_add(1, Ordering::Relaxed),
-            Verdict::Unknown(_) => self.counters.unknown.fetch_add(1, Ordering::Relaxed),
+            Verdict::Correct => self.counters.correct.inc(),
+            Verdict::Buggy(_) => self.counters.buggy.inc(),
+            Verdict::Unknown(_) => self.counters.unknown.inc(),
         };
         if !decided && job.state.cancel.is_cancelled() {
-            self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            self.counters.cancelled.inc();
         }
-        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        self.counters.completed.inc();
         self.counters
             .solve_micros
-            .fetch_add(solve_time.as_micros() as u64, Ordering::Relaxed);
+            .add(solve_time.as_micros() as u64);
+        self.counters.wall_micros.add(wall.as_micros() as u64);
         self.counters
-            .wall_micros
-            .fetch_add(wall.as_micros() as u64, Ordering::Relaxed);
+            .job_wall_micros
+            .observe(wall.as_micros() as u64);
         job.state.resolve(JobResult {
             name: job.state.name.clone(),
             verdict,
@@ -646,15 +770,19 @@ fn batchable(spec: &JobSpec) -> bool {
 }
 
 fn worker_loop(inner: Arc<Inner>) {
+    inner.counters.workers.add(1);
     while let Some(item) = inner.pop() {
         let jobs = item.job_count();
-        inner.counters.running.fetch_add(jobs, Ordering::Relaxed);
+        inner.counters.running.add(jobs as i64);
+        inner.counters.workers_busy.add(1);
         match item {
             WorkItem::Single(job) => run_single(&inner, &job),
             WorkItem::Batch(entries) => run_batch(&inner, entries),
         }
-        inner.counters.running.fetch_sub(jobs, Ordering::Relaxed);
+        inner.counters.workers_busy.sub(1);
+        inner.counters.running.sub(jobs as i64);
     }
+    inner.counters.workers.sub(1);
 }
 
 fn job_budget(job: &SingleJob) -> Budget {
@@ -668,6 +796,16 @@ fn job_budget(job: &SingleJob) -> Budget {
 }
 
 fn run_single(inner: &Inner, job: &SingleJob) {
+    let _job_span = velv_obs::span_fields("serve.job", &[("job", job.state.name.as_str().into())]);
+    if velv_obs::enabled() {
+        velv_obs::event(
+            "serve.dequeue",
+            &[(
+                "queued_us",
+                (job.state.submitted.elapsed().as_micros() as u64).into(),
+            )],
+        );
+    }
     job.state.set_status(JobStatus::Running);
     if job.state.cancel.is_cancelled() {
         inner.finish_cancelled(job);
@@ -679,8 +817,8 @@ fn run_single(inner: &Inner, job: &SingleJob) {
     if let Some(hit) = inner.cache.get(job.state.fingerprint) {
         inner.remove_in_flight(&job.state);
         let wall = job.state.submitted.elapsed();
-        inner.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
-        inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+        inner.counters.cache_hits.inc();
+        inner.counters.completed.inc();
         job.state.resolve(JobResult {
             name: job.state.name.clone(),
             verdict: hit.verdict.clone(),
@@ -696,13 +834,17 @@ fn run_single(inner: &Inner, job: &SingleJob) {
     let started = Instant::now();
     let verifier = Verifier::new(job.spec.options.clone());
     let budget = job_budget(job);
-    inner.counters.translations.fetch_add(1, Ordering::Relaxed);
+    inner.counters.translations.inc();
 
     let (verdict, certificate, proof, stats) = match job.spec.mode {
         SolveMode::Decomposed { max_obligations } => {
             let problem = &job.problem;
-            let shared = verifier.translate_obligations_shared(problem, max_obligations);
-            inner.counters.fresh_solves.fetch_add(1, Ordering::Relaxed);
+            let shared = {
+                let _span = velv_obs::span("serve.translate");
+                verifier.translate_obligations_shared(problem, max_obligations)
+            };
+            inner.counters.fresh_solves.inc();
+            let _solve_span = velv_obs::span("serve.solve");
             if job.spec.certified {
                 match verifier.check_shared_certified(
                     &shared,
@@ -726,9 +868,13 @@ fn run_single(inner: &Inner, job: &SingleJob) {
             }
         }
         SolveMode::Monolithic => {
-            let translation = verifier.translate_problem(&job.problem);
+            let translation = {
+                let _span = velv_obs::span("serve.translate");
+                verifier.translate_problem(&job.problem)
+            };
             let stats = translation.stats;
-            inner.counters.fresh_solves.fetch_add(1, Ordering::Relaxed);
+            inner.counters.fresh_solves.inc();
+            let _solve_span = velv_obs::span("serve.solve");
             if job.spec.certified {
                 match verifier.check_certified(
                     &translation,
@@ -824,6 +970,7 @@ fn run_single(inner: &Inner, job: &SingleJob) {
             }
         }
     };
+    let _respond_span = velv_obs::span("serve.respond");
     inner.finish_fresh(job, verdict, certificate, proof, started.elapsed(), stats);
 }
 
@@ -843,14 +990,19 @@ fn run_batch(inner: &Inner, entries: Vec<SingleJob>) {
     }
     // The group shares options/backend/certified by construction
     // (`ServeHandle::submit_batch` groups on exactly those fields).
+    let _job_span = velv_obs::span_fields("serve.job", &[("batch", alive.len().into())]);
     let spec = alive[0].spec.clone();
     let verifier = Verifier::new(spec.options.clone());
     let started = Instant::now();
-    inner.counters.translations.fetch_add(1, Ordering::Relaxed);
+    inner.counters.translations.inc();
     let problems: Vec<&VerificationProblem> = alive.iter().map(|j| &j.problem).collect();
-    let shared = verifier.translate_batch_shared(&problems);
-    inner.counters.fresh_solves.fetch_add(1, Ordering::Relaxed);
+    let shared = {
+        let _span = velv_obs::span("serve.translate");
+        verifier.translate_batch_shared(&problems)
+    };
+    inner.counters.fresh_solves.inc();
 
+    let solve_span = velv_obs::span("serve.solve");
     let verdicts: Vec<(Verdict, Option<Certificate>)> = if spec.certified {
         // Certification replays the whole session's proof once, so the batch
         // runs under one shared budget: the latest entry deadline (absent
@@ -894,8 +1046,11 @@ fn run_batch(inner: &Inner, entries: Vec<SingleJob>) {
             .collect()
     };
 
+    drop(solve_span);
+
     // Attribute the batch cost evenly: the point of the shared session is
     // precisely that per-entry cost is not separable.
+    let _respond_span = velv_obs::span("serve.respond");
     let share = started.elapsed() / alive.len() as u32;
     for (job, (verdict, certificate)) in alive.iter().zip(verdicts) {
         inner.finish_fresh(job, verdict, certificate, None, share, Some(shared.stats));
@@ -939,7 +1094,9 @@ struct WorkerSet {
 
 impl WorkerSet {
     fn shutdown(&self) {
-        self.inner.shutdown.store(true, Ordering::SeqCst);
+        if !self.inner.shutdown.swap(true, Ordering::SeqCst) && velv_obs::enabled() {
+            velv_obs::event("serve.shutdown", &[]);
+        }
         // Stop whatever is being worked on right now.
         {
             let in_flight = self.inner.in_flight.lock().expect("in-flight lock");
@@ -966,7 +1123,7 @@ impl WorkerSet {
                         self.inner
                             .counters
                             .queued
-                            .fetch_sub(queued.item.job_count(), Ordering::Relaxed);
+                            .sub(queued.item.job_count() as i64);
                         queued.item
                     }
                     None => break,
@@ -981,6 +1138,10 @@ impl WorkerSet {
                 }
             }
         }
+        // The workers are joined and the queue is drained: push whatever
+        // trace records are still sitting in per-thread buffers to the sink
+        // so a graceful shutdown never loses the tail of the trace.
+        velv_obs::flush();
     }
 }
 
@@ -994,8 +1155,9 @@ impl ServeHandle {
     /// Starts a service instance with the given configuration.
     pub fn start(config: ServiceConfig) -> ServeHandle {
         let workers = config.workers.max(1);
+        let registry = velv_obs::Registry::new();
         let inner = Arc::new(Inner {
-            cache: VerdictCache::new(config.cache_bytes, config.cache_shards),
+            cache: VerdictCache::with_registry(config.cache_bytes, config.cache_shards, &registry),
             config,
             queue: Mutex::new(QueueState {
                 heap: BinaryHeap::new(),
@@ -1003,7 +1165,8 @@ impl ServeHandle {
             }),
             work: Condvar::new(),
             in_flight: Mutex::new(HashMap::new()),
-            counters: Counters::default(),
+            counters: Counters::new(&registry),
+            registry,
             shutdown: AtomicBool::new(false),
         });
         let mut handles = Vec::with_capacity(workers);
@@ -1034,10 +1197,7 @@ impl ServeHandle {
         if self.inner.shutdown.load(Ordering::SeqCst) {
             return Err(ServeError::ShutDown);
         }
-        self.inner
-            .counters
-            .submitted
-            .fetch_add(1, Ordering::Relaxed);
+        self.inner.counters.submitted.inc();
         let (implementation, specification) = spec.model.build().map_err(ServeError::InvalidJob)?;
         let verifier = Verifier::new(spec.options.clone());
         let problem = verifier.build_problem(implementation.as_ref(), specification.as_ref());
@@ -1047,10 +1207,7 @@ impl ServeHandle {
         let in_flight = self.inner.in_flight.lock().expect("in-flight lock");
         if let Some(hit) = self.inner.cache.get(fingerprint) {
             drop(in_flight);
-            self.inner
-                .counters
-                .cache_hits
-                .fetch_add(1, Ordering::Relaxed);
+            self.inner.counters.cache_hits.inc();
             let state = Arc::new(JobState::new(fingerprint, problem.name.clone()));
             state.resolve(JobResult {
                 name: problem.name,
@@ -1072,10 +1229,7 @@ impl ServeHandle {
             if !existing.cancel.is_cancelled() {
                 let ticket = JobTicket::subscribe(existing, true);
                 drop(in_flight);
-                self.inner
-                    .counters
-                    .dedup_joins
-                    .fetch_add(1, Ordering::Relaxed);
+                self.inner.counters.dedup_joins.inc();
                 return Ok(Admission::Ticket(ticket));
             }
         }
@@ -1161,10 +1315,7 @@ impl ServeHandle {
                 }
             }
         }
-        self.inner
-            .counters
-            .batch_entries
-            .fetch_add(count, Ordering::Relaxed);
+        self.inner.counters.batch_entries.add(count);
         for admission in admissions {
             match admission {
                 Admission::Ticket(ticket) => tickets.push(ticket),
@@ -1194,10 +1345,7 @@ impl ServeHandle {
                 self.inner
                     .push(WorkItem::Single(Box::new(group.pop().expect("one job"))));
             } else {
-                self.inner
-                    .counters
-                    .batch_groups
-                    .fetch_add(1, Ordering::Relaxed);
+                self.inner.counters.batch_groups.inc();
                 self.inner.push(WorkItem::Batch(group));
             }
         }
@@ -1207,6 +1355,19 @@ impl ServeHandle {
     /// Current statistics.
     pub fn stats(&self) -> ServiceStats {
         self.inner.stats()
+    }
+
+    /// The service's metric registry (counters, gauges, histograms of this
+    /// instance, including the verdict cache's lookup counters).
+    pub fn registry(&self) -> &velv_obs::Registry {
+        &self.inner.registry
+    }
+
+    /// A point-in-time snapshot of the service registry with the cache
+    /// gauges refreshed — the source of the wire `stats` payload in every
+    /// encoding.
+    pub fn registry_snapshot(&self) -> velv_obs::Snapshot {
+        self.inner.registry_snapshot()
     }
 
     /// The cached entry for a fingerprint, if resident (used by the `proof`

@@ -3,18 +3,18 @@
 
 use std::time::Duration;
 use velv_serve::proto::Request;
-use velv_serve::{serve, JobSpec, ServeClient, ServeHandle, ServiceConfig};
+use velv_serve::{serve, JobSpec, ServeClient, ServeHandle, ServiceConfig, StatsFormat};
 
-fn start_server(workers: usize) -> (velv_serve::ServerControl, std::net::SocketAddr) {
+fn start_server(workers: usize) -> (velv_serve::ServerControl, std::net::SocketAddr, ServeHandle) {
     let handle = ServeHandle::start(ServiceConfig::default().with_workers(workers));
-    let control = serve(handle, "127.0.0.1:0").expect("bind an ephemeral port");
+    let control = serve(handle.clone(), "127.0.0.1:0").expect("bind an ephemeral port");
     let addr = control.addr();
-    (control, addr)
+    (control, addr, handle)
 }
 
 #[test]
 fn concurrent_clients_hammer_the_catalog() {
-    let (control, addr) = start_server(4);
+    let (control, addr, _handle) = start_server(4);
     // Three clients, each sweeping the same slice of the DLX catalog plus an
     // out-of-order core: 3 × 4 submissions of 4 unique jobs.
     let catalog = [
@@ -45,21 +45,27 @@ fn concurrent_clients_hammer_the_catalog() {
     let mut client = ServeClient::connect(addr).expect("connect");
     let stats: std::collections::HashMap<String, u64> =
         client.stats().expect("stats").into_iter().collect();
-    assert_eq!(stats["submitted"], 12);
+    assert_eq!(stats["velv_serve_jobs_submitted_total"], 12);
     assert_eq!(
-        stats["translations"], 4,
+        stats["velv_serve_translations_total"], 4,
         "4 unique fingerprints solve exactly once; the other 8 submissions \
          hit the cache or joined in flight"
     );
-    assert_eq!(stats["cache-hits"] + stats["dedup-joins"], 8);
-    assert_eq!(stats["correct"] + stats["buggy"], 4);
+    assert_eq!(
+        stats["velv_serve_cache_hits_total"] + stats["velv_serve_dedup_joins_total"],
+        8
+    );
+    assert_eq!(
+        stats["velv_serve_verdict_correct_total"] + stats["velv_serve_verdict_buggy_total"],
+        4
+    );
     client.shutdown().expect("shutdown");
     control.wait();
 }
 
 #[test]
 fn batch_over_the_wire_matches_expectations() {
-    let (control, addr) = start_server(2);
+    let (control, addr, _handle) = start_server(2);
     let mut client = ServeClient::connect(addr).expect("connect");
     let specs = vec![
         JobSpec::parse_wire("model=dlx1:bug:2").unwrap(),
@@ -76,14 +82,17 @@ fn batch_over_the_wire_matches_expectations() {
     // The duplicate third entry must not have been solved twice.
     let stats: std::collections::HashMap<String, u64> =
         client.stats().expect("stats").into_iter().collect();
-    assert_eq!(stats["dedup-joins"] + stats["cache-hits"], 1);
+    assert_eq!(
+        stats["velv_serve_dedup_joins_total"] + stats["velv_serve_cache_hits_total"],
+        1
+    );
     client.shutdown().expect("shutdown");
     control.wait();
 }
 
 #[test]
 fn vliw_catalog_entry_is_served() {
-    let (control, addr) = start_server(2);
+    let (control, addr, _handle) = start_server(2);
     let mut client = ServeClient::connect(addr).expect("connect");
     let reply = client
         .submit(JobSpec::parse_wire("model=vliw:bug:0").unwrap())
@@ -95,7 +104,7 @@ fn vliw_catalog_entry_is_served() {
 
 #[test]
 fn proof_artifacts_round_trip_over_the_wire() {
-    let (control, addr) = start_server(2);
+    let (control, addr, _handle) = start_server(2);
     let mut client = ServeClient::connect(addr).expect("connect");
     let reply = client
         .submit(JobSpec::parse_wire("model=dlx1:correct keep-proof=1").unwrap())
@@ -113,7 +122,7 @@ fn proof_artifacts_round_trip_over_the_wire() {
 
 #[test]
 fn protocol_errors_are_reported_not_fatal() {
-    let (control, addr) = start_server(1);
+    let (control, addr, _handle) = start_server(1);
     let mut client = ServeClient::connect(addr).expect("connect");
     // Unknown command: the server answers `err ...` and keeps the
     // connection alive.
@@ -127,8 +136,86 @@ fn protocol_errors_are_reported_not_fatal() {
 }
 
 #[test]
+fn every_registered_metric_reaches_the_wire() {
+    let (control, addr, handle) = start_server(2);
+    let mut client = ServeClient::connect(addr).expect("connect");
+    client
+        .submit(JobSpec::parse_wire("model=dlx1:bug:0").unwrap())
+        .expect("submit succeeds");
+
+    let response = client
+        .request(&Request::Stats(StatsFormat::Flat))
+        .expect("stats");
+    let wire_keys: std::collections::HashSet<&str> =
+        response.fields.iter().map(|(k, _)| k.as_str()).collect();
+    let registered = handle.registry_snapshot();
+    let flat = registered.flat_fields();
+    assert!(!flat.is_empty(), "the service registers metrics");
+    for (key, _) in &flat {
+        assert!(
+            wire_keys.contains(key.as_str()),
+            "registered metric `{key}` is missing from the wire stats payload"
+        );
+    }
+    client.shutdown().expect("shutdown");
+    control.wait();
+}
+
+#[test]
+fn prometheus_stats_parse_as_valid_exposition_text() {
+    let (control, addr, _handle) = start_server(2);
+    let mut client = ServeClient::connect(addr).expect("connect");
+    client
+        .submit(JobSpec::parse_wire("model=dlx1:correct").unwrap())
+        .expect("submit succeeds");
+
+    let prom = client
+        .stats_text(StatsFormat::Prometheus)
+        .expect("prometheus payload");
+    velv_obs::validate_prometheus_text(&prom).expect("valid Prometheus exposition text");
+    assert!(prom.contains("velv_serve_jobs_submitted_total"), "{prom}");
+
+    let json = client.stats_text(StatsFormat::Json).expect("json payload");
+    assert!(json.trim_start().starts_with('{'), "{json}");
+    assert!(json.contains("velv_serve_jobs_submitted_total"), "{json}");
+
+    client.shutdown().expect("shutdown");
+    control.wait();
+}
+
+#[test]
+fn shutdown_flushes_trace_buffers_through_the_tcp_harness() {
+    // The tracer is process-global; this is the only wire test that installs
+    // a sink, and it filters on serve-specific record names so records from
+    // concurrently running servers cannot break it.
+    let sink = std::sync::Arc::new(velv_obs::MemorySink::new());
+    velv_obs::install_sink(sink.clone());
+
+    let (control, addr, _handle) = start_server(2);
+    let mut client = ServeClient::connect(addr).expect("connect");
+    client
+        .submit(JobSpec::parse_wire("model=dlx1:bug:1").unwrap())
+        .expect("submit succeeds");
+    client.shutdown().expect("shutdown");
+    control.wait();
+    velv_obs::uninstall_sink();
+
+    let contents = sink.contents();
+    let summary = velv_obs::check_trace(&contents).expect("well-formed trace capture");
+    assert!(summary.records > 0, "shutdown drained the trace buffers");
+    assert!(
+        contents.contains("\"serve.shutdown\""),
+        "the graceful shutdown event reached the sink: {contents}"
+    );
+    assert!(
+        contents.contains("\"serve.job\""),
+        "the job span reached the sink: {contents}"
+    );
+}
+
+#[test]
 fn stopping_the_control_tears_everything_down() {
-    let (control, addr) = start_server(1);
+    let (control, addr, _handle) = start_server(1);
     {
         let mut client = ServeClient::connect(addr).expect("connect");
         client.ping().expect("ping");

@@ -12,6 +12,9 @@
 //! * [`velv_bdd`] — the BDD package used as the decision-diagram back end,
 //! * [`velv_proof`] — DRAT proof formats and the independent RUP checker
 //!   behind certified verdicts,
+//! * [`velv_obs`] — zero-dependency observability: the metric registry
+//!   (Prometheus-text/JSON encodings), the span/event tracer with JSONL
+//!   sinks, solver progress heartbeats and the offline trace checker,
 //! * [`velv_serve`] — the serving layer: a concurrent verification service
 //!   with a fingerprint-keyed verdict cache, in-flight deduplication, batch
 //!   scheduling, and the `velvd`/`velvc` TCP wire protocol.
@@ -36,6 +39,7 @@ pub use velv_core;
 pub use velv_eufm;
 pub use velv_hdl;
 pub use velv_models;
+pub use velv_obs;
 pub use velv_proof;
 pub use velv_sat;
 pub use velv_serve;

@@ -35,8 +35,15 @@
 //! several client threads.  Throughput (jobs/sec) and the cache-hit ratio are
 //! recorded separately in `BENCH_serve.json`.
 //!
-//! Usage: `satbench [--smoke] [--out PATH] [--serve-out PATH] [--only cdcl|serve]
-//! [--trace PATH]`.
+//! A fifth benchmark, **persist**, measures the durability layer: raw
+//! `velv_store` append throughput under each fsync policy (`always`,
+//! `every-8`, `os`), the recovery-scan rate of a reopened log, and a full
+//! service warm boot — restart on a populated store directory, replay the
+//! log into the cache, and answer the whole catalog without re-solving.  Its
+//! rows land in the `persist` array of `BENCH_serve.json`.
+//!
+//! Usage: `satbench [--smoke] [--out PATH] [--serve-out PATH]
+//! [--only cdcl|serve|persist] [--trace PATH]`.
 //! `--smoke` shrinks every instance so the whole run takes well under a
 //! second — CI uses it to keep the harness from rotting without paying for a
 //! real measurement.  `--only serve` regenerates `BENCH_serve.json` without
@@ -567,9 +574,146 @@ fn run_serve(smoke: bool) -> (Vec<ServeSweep>, velv_serve::ServiceStats, usize) 
     (sweeps, stats, workers)
 }
 
+/// One measured phase of the persistence benchmark.
+struct PersistRow {
+    label: String,
+    records: usize,
+    seconds: f64,
+    per_sec: f64,
+}
+
+/// Persistence benchmark: raw verdict-store append throughput under each
+/// fsync policy, the recovery scan rate, and a full service warm boot
+/// (restart + log replay + cache-served catalog) — the durability costs a
+/// `velvd --store` deployment actually pays.
+fn run_persist(smoke: bool) -> Vec<PersistRow> {
+    use velv_serve::{JobSpec, ModelRef, ServeHandle, ServiceConfig};
+    use velv_store::{FsyncPolicy, Store, StoreConfig};
+
+    let mut rows = Vec::new();
+    let base = std::env::temp_dir().join(format!("velv_bench_persist_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    // A representative payload: the encoded form of a decided verdict is a
+    // few hundred bytes; every 8th record carries a 4 KiB DRAT sidecar.
+    let payload = vec![0x56u8; 240];
+    let sidecar = vec![0x44u8; 4 << 10];
+    let policies: [(&str, FsyncPolicy, usize); 3] = [
+        (
+            "append-fsync-always",
+            FsyncPolicy::Always,
+            if smoke { 16 } else { 256 },
+        ),
+        (
+            "append-fsync-every-8",
+            FsyncPolicy::EveryN(8),
+            if smoke { 64 } else { 1024 },
+        ),
+        (
+            "append-fsync-os",
+            FsyncPolicy::Os,
+            if smoke { 256 } else { 8192 },
+        ),
+    ];
+    let mut scan_dir = None;
+    let mut scan_records = 0usize;
+    for (label, fsync, records) in policies {
+        let dir = base.join(label);
+        let mut config = StoreConfig::new(&dir);
+        config.fsync = fsync;
+        let (store, _) = Store::open(config).expect("open bench store");
+        let start = Instant::now();
+        for i in 0..records {
+            let side = if i % 8 == 0 {
+                Some(sidecar.as_slice())
+            } else {
+                None
+            };
+            store
+                .append(i as u128, &payload, side)
+                .expect("bench append");
+        }
+        store.sync().expect("bench sync");
+        let seconds = start.elapsed().as_secs_f64();
+        rows.push(PersistRow {
+            label: label.to_owned(),
+            records,
+            seconds,
+            per_sec: records as f64 / seconds.max(1e-9),
+        });
+        // The largest log doubles as the recovery-scan instance.
+        if records > scan_records {
+            scan_records = records;
+            scan_dir = Some(dir);
+        }
+    }
+
+    // Recovery scan: reopen the largest log and time the boot-path scan that
+    // rebuilds the index (recorded by the store itself).
+    let (_store, report) =
+        Store::open(StoreConfig::new(scan_dir.expect("a scan log"))).expect("reopen bench store");
+    let seconds = report.scan_time.as_secs_f64();
+    rows.push(PersistRow {
+        label: "recovery-scan".to_owned(),
+        records: report.records as usize,
+        seconds,
+        per_sec: report.records as f64 / seconds.max(1e-9),
+    });
+
+    // Service warm boot: decide a small catalog with a store attached, kill
+    // the service, restart on the same directory and re-sweep.  The restart
+    // must replay every decided verdict and serve the sweep from cache.
+    let store_dir = base.join("service");
+    let catalog = |bugs: usize| -> Vec<JobSpec> {
+        let mut specs = vec![JobSpec::new(ModelRef::dlx1_correct())];
+        for bug in 0..bugs {
+            specs.push(JobSpec::new(ModelRef::dlx1_bug(bug)));
+        }
+        specs
+    };
+    let bugs = if smoke { 2 } else { 6 };
+    let config = || {
+        let mut config = ServiceConfig::default().with_workers(if smoke { 2 } else { 4 });
+        config.store_dir = Some(store_dir.clone());
+        config
+    };
+    let service = ServeHandle::try_start(config()).expect("start with a store");
+    let tickets = service.submit_batch(catalog(bugs)).expect("batch accepted");
+    for ticket in &tickets {
+        assert!(
+            !matches!(ticket.wait().verdict, Verdict::Unknown(_)),
+            "persist sweep job came back undecided"
+        );
+    }
+    let persisted = service.stats().persisted;
+    service.shutdown();
+    drop(service);
+
+    let start = Instant::now();
+    let service = ServeHandle::try_start(config()).expect("warm restart");
+    for ticket in &service.submit_batch(catalog(bugs)).expect("batch accepted") {
+        assert!(ticket.wait().from_cache, "warm boot must serve from cache");
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let stats = service.stats();
+    assert_eq!(stats.replayed, persisted, "every persisted verdict replays");
+    assert_eq!(stats.fresh_solves, 0, "warm boot re-solves nothing");
+    service.shutdown();
+    rows.push(PersistRow {
+        label: "warm-boot-replay".to_owned(),
+        records: persisted as usize,
+        seconds,
+        per_sec: persisted as f64 / seconds.max(1e-9),
+    });
+
+    let _ = std::fs::remove_dir_all(&base);
+    rows
+}
+
 fn write_serve_json(
     path: &str,
     sweeps: &[ServeSweep],
+    persist: &[PersistRow],
     stats: &velv_serve::ServiceStats,
     workers: usize,
     smoke: bool,
@@ -588,6 +732,18 @@ fn write_serve_json(
             sweep.seconds,
             sweep.jobs_per_sec,
             if i + 1 < sweeps.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"persist\": [\n");
+    for (i, row) in persist.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"records\": {}, \"seconds\": {:.6}, \"records_per_sec\": {:.2}}}{}\n",
+            row.label,
+            row.records,
+            row.seconds,
+            row.per_sec,
+            if i + 1 < persist.len() { "," } else { "" }
         ));
     }
     out.push_str("  ],\n");
@@ -656,11 +812,15 @@ fn main() {
     let serve_out_path = flag_value("--serve-out").unwrap_or_else(|| "BENCH_serve.json".to_owned());
     let trace_path = flag_value("--trace");
     let only = flag_value("--only");
+    // `persist` rides with the serve suite: both land in the serve JSON, so
+    // regenerating one without the other would commit a half-empty file.
     let run_cdcl_suites = only.as_deref().is_none_or(|o| o == "cdcl");
-    let run_serve_suite = only.as_deref().is_none_or(|o| o == "serve");
+    let run_serve_suite = only
+        .as_deref()
+        .is_none_or(|o| o == "serve" || o == "persist");
     if let Some(other) = only.as_deref() {
-        if other != "cdcl" && other != "serve" {
-            eprintln!("satbench: unknown --only {other} (want cdcl or serve)");
+        if other != "cdcl" && other != "serve" && other != "persist" {
+            eprintln!("satbench: unknown --only {other} (want cdcl, serve or persist)");
             std::process::exit(2);
         }
     }
@@ -739,7 +899,22 @@ fn main() {
             stats.cache.hit_ratio() > 0.0,
             "the repeated catalog sweep must produce cache hits"
         );
-        match write_serve_json(&serve_out_path, &sweeps, &stats, workers, smoke) {
+        println!(
+            "satbench: persistence sweep{}",
+            if smoke { " (smoke)" } else { "" }
+        );
+        let persist = run_persist(smoke);
+        println!(
+            "{:<22} {:>8} {:>10} {:>14}",
+            "phase", "records", "time (s)", "records/s"
+        );
+        for row in &persist {
+            println!(
+                "{:<22} {:>8} {:>10.3} {:>14.1}",
+                row.label, row.records, row.seconds, row.per_sec
+            );
+        }
+        match write_serve_json(&serve_out_path, &sweeps, &persist, &stats, workers, smoke) {
             Ok(()) => println!("wrote {serve_out_path}"),
             Err(e) => {
                 eprintln!("failed to write {serve_out_path}: {e}");

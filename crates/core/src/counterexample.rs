@@ -26,6 +26,13 @@ impl Counterexample {
         Counterexample { assignments }
     }
 
+    /// Rebuilds a counterexample from explicit `(name, value)` assignments —
+    /// the deserialization path of persisted buggy verdicts, inverse of
+    /// [`Counterexample::iter`].
+    pub fn from_assignments(assignments: BTreeMap<String, bool>) -> Self {
+        Counterexample { assignments }
+    }
+
     /// The value of a primary variable, if it is part of the counterexample.
     pub fn value(&self, name: &str) -> Option<bool> {
         self.assignments.get(name).copied()

@@ -98,7 +98,7 @@ pub struct SharedTranslation {
 }
 
 /// Outcome of a verification run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Verdict {
     /// The design satisfies the Burch–Dill correctness criterion.
     Correct,

@@ -1,24 +1,43 @@
 //! `velvc` — command-line client for `velvd`.
 //!
 //! ```text
-//! velvc [--addr HOST:PORT] ping
-//! velvc [--addr HOST:PORT] submit KEY=VALUE...     # e.g. model=dlx1:bug:3 backend=chaff
-//! velvc [--addr HOST:PORT] batch LINE [LINE...]    # one quoted job line per entry
-//! velvc [--addr HOST:PORT] stats [--prom|--json]
-//! velvc [--addr HOST:PORT] status
-//! velvc [--addr HOST:PORT] proof FINGERPRINT
-//! velvc [--addr HOST:PORT] shutdown
-//! velvc trace FILE.jsonl                           # offline: check a trace capture
+//! velvc [FLAGS] ping
+//! velvc [FLAGS] submit KEY=VALUE...     # e.g. model=dlx1:bug:3 backend=chaff
+//! velvc [FLAGS] batch LINE [LINE...]    # one quoted job line per entry
+//! velvc [FLAGS] stats [--prom|--json]
+//! velvc [FLAGS] status
+//! velvc [FLAGS] proof FINGERPRINT
+//! velvc [FLAGS] shutdown
+//! velvc trace FILE.jsonl                # offline: check a trace capture
+//!
+//! FLAGS: [--addr HOST:PORT] [--timeout MS] [--retries N] [--backoff-ms MS]
 //! ```
+//!
+//! Exit codes distinguish failure classes for scripting: `0` success, `1`
+//! server error, `2` usage, `3` server busy, `4` timeout, `5` connection
+//! failure, `6` protocol violation.
 
 use velv_serve::proto::Request;
-use velv_serve::{JobSpec, ServeClient, StatsFormat};
+use velv_serve::{ClientConfig, ClientError, JobSpec, ServeClient, StatsFormat};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: velvc [--addr HOST:PORT] <ping|submit KEY=VALUE...|batch LINE...|stats [--prom|--json]|status|proof FP|shutdown> | velvc trace FILE.jsonl"
+        "usage: velvc [--addr HOST:PORT] [--timeout MS] [--retries N] [--backoff-ms MS] \
+         <ping|submit KEY=VALUE...|batch LINE...|stats [--prom|--json]|status|proof FP|shutdown> \
+         | velvc trace FILE.jsonl"
     );
     std::process::exit(2);
+}
+
+/// Exit code of a classified client failure (see the module docs).
+fn exit_code(error: &ClientError) -> i32 {
+    match error {
+        ClientError::Server(_) => 1,
+        ClientError::Busy(_) => 3,
+        ClientError::Timeout => 4,
+        ClientError::Io(_) => 5,
+        ClientError::Protocol(_) => 6,
+    }
 }
 
 fn fail(message: impl std::fmt::Display) -> ! {
@@ -26,15 +45,41 @@ fn fail(message: impl std::fmt::Display) -> ! {
     std::process::exit(1);
 }
 
+fn fail_client(error: ClientError) -> ! {
+    let code = exit_code(&error);
+    eprintln!("velvc: {error}");
+    std::process::exit(code);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = "127.0.0.1:7911".to_owned();
-    if args.first().map(String::as_str) == Some("--addr") {
-        if args.len() < 2 {
-            usage();
+    let mut config = ClientConfig::default();
+    loop {
+        let take_value = |args: &mut Vec<String>| {
+            if args.len() < 2 {
+                usage();
+            }
+            let value = args[1].clone();
+            args.drain(..2);
+            value
+        };
+        match args.first().map(String::as_str) {
+            Some("--addr") => addr = take_value(&mut args),
+            Some("--timeout") => match take_value(&mut args).parse::<u64>() {
+                Ok(ms) => config.timeout = Some(std::time::Duration::from_millis(ms)),
+                Err(_) => usage(),
+            },
+            Some("--retries") => match take_value(&mut args).parse::<u32>() {
+                Ok(n) => config.retries = n,
+                Err(_) => usage(),
+            },
+            Some("--backoff-ms") => match take_value(&mut args).parse::<u64>() {
+                Ok(ms) => config.backoff = std::time::Duration::from_millis(ms),
+                Err(_) => usage(),
+            },
+            _ => break,
         }
-        addr = args[1].clone();
-        args.drain(..2);
     }
     let Some(command) = args.first().cloned() else {
         usage();
@@ -63,15 +108,18 @@ fn main() {
         return;
     }
 
-    let mut client = match ServeClient::connect(addr.as_str()) {
+    let mut client = match ServeClient::connect_with(addr.as_str(), config) {
         Ok(client) => client,
-        Err(e) => fail(format!("cannot connect to {addr}: {e}")),
+        Err(e) => {
+            eprintln!("velvc: cannot connect to {addr}: {e}");
+            std::process::exit(5);
+        }
     };
 
     match command.as_str() {
         "ping" => match client.ping() {
             Ok(()) => println!("pong"),
-            Err(e) => fail(e),
+            Err(e) => fail_client(e),
         },
         "submit" => {
             if rest.is_empty() {
@@ -108,7 +156,7 @@ fn main() {
                         println!("cex-true {name}");
                     }
                 }
-                Err(e) => fail(e),
+                Err(e) => fail_client(e),
             }
         }
         "batch" => {
@@ -128,17 +176,17 @@ fn main() {
                         println!("{job}");
                     }
                 }
-                Err(e) => fail(e),
+                Err(e) => fail_client(e),
             }
         }
         "stats" => match rest.first().map(String::as_str) {
             Some("--prom") => match client.stats_text(StatsFormat::Prometheus) {
                 Ok(text) => print!("{text}"),
-                Err(e) => fail(e),
+                Err(e) => fail_client(e),
             },
             Some("--json") => match client.stats_text(StatsFormat::Json) {
                 Ok(text) => println!("{text}"),
-                Err(e) => fail(e),
+                Err(e) => fail_client(e),
             },
             Some(_) => usage(),
             None => match client.stats() {
@@ -147,7 +195,7 @@ fn main() {
                         println!("{key:<44} {value}");
                     }
                 }
-                Err(e) => fail(e),
+                Err(e) => fail_client(e),
             },
         },
         "status" => match client.request(&Request::Status) {
@@ -156,7 +204,7 @@ fn main() {
                     println!("{key:<10} {value}");
                 }
             }
-            Err(e) => fail(e),
+            Err(e) => fail_client(e),
         },
         "proof" => {
             let Some(fingerprint) = rest.first() else {
@@ -164,12 +212,12 @@ fn main() {
             };
             match client.proof(fingerprint) {
                 Ok(text) => print!("{text}"),
-                Err(e) => fail(e),
+                Err(e) => fail_client(e),
             }
         }
         "shutdown" => match client.shutdown() {
             Ok(()) => println!("server shutting down"),
-            Err(e) => fail(e),
+            Err(e) => fail_client(e),
         },
         _ => usage(),
     }

@@ -6,8 +6,15 @@
 //! path flushes every per-thread trace buffer before exit, so the capture
 //! never loses its tail.
 //!
+//! With `--store DIR` the daemon appends every decided verdict to a
+//! crash-safe log before answering, and replays the log into the cache on
+//! boot — a `kill -9` mid-burst loses no answered verdict, and the restarted
+//! daemon serves repeats from cache without re-solving.
+//!
 //! ```text
-//! velvd [--addr HOST:PORT] [--workers N] [--cache-mb M] [--default-timeout-ms T] [--trace FILE.jsonl]
+//! velvd [--addr HOST:PORT] [--workers N] [--cache-mb M] [--default-timeout-ms T]
+//!       [--store DIR] [--fsync always|os|every-N] [--max-queue N] [--client-quota N]
+//!       [--trace FILE.jsonl]
 //! ```
 
 use std::sync::Arc;
@@ -16,7 +23,9 @@ use velv_serve::{serve, ServeHandle, ServiceConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: velvd [--addr HOST:PORT] [--workers N] [--cache-mb M] [--default-timeout-ms T] [--trace FILE.jsonl]"
+        "usage: velvd [--addr HOST:PORT] [--workers N] [--cache-mb M] [--default-timeout-ms T] \
+         [--store DIR] [--fsync always|os|every-N] [--max-queue N] [--client-quota N] \
+         [--trace FILE.jsonl]"
     );
     std::process::exit(2);
 }
@@ -44,6 +53,22 @@ fn main() {
                 Ok(ms) => config.default_timeout = Some(Duration::from_millis(ms)),
                 Err(_) => usage(),
             },
+            "--store" => config.store_dir = Some(value().into()),
+            "--fsync" => match velv_store::FsyncPolicy::parse(&value()) {
+                Ok(policy) => config.store_fsync = policy,
+                Err(e) => {
+                    eprintln!("velvd: {e}");
+                    usage()
+                }
+            },
+            "--max-queue" => match value().parse::<usize>() {
+                Ok(n) => config.max_queue_depth = Some(n),
+                Err(_) => usage(),
+            },
+            "--client-quota" => match value().parse::<usize>() {
+                Ok(n) => config.per_client_quota = n,
+                Err(_) => usage(),
+            },
             _ => usage(),
         }
     }
@@ -60,7 +85,19 @@ fn main() {
     }
 
     let workers = config.workers;
-    let handle = ServeHandle::start(config);
+    let handle = match ServeHandle::try_start(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("velvd: cannot start the service: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(report) = handle.store_recovery() {
+        println!(
+            "velvd: verdict store recovered {} live of {} records ({} bytes truncated) in {:?}",
+            report.live, report.records, report.truncated_bytes, report.scan_time
+        );
+    }
     let control = match serve(handle.clone(), addr.as_str()) {
         Ok(control) => control,
         Err(e) => {

@@ -1,32 +1,83 @@
 //! A minimal TCP client for the `velvd` protocol (used by `velvc` and the
-//! integration tests).
+//! integration tests), with per-request timeouts and reconnect-and-resubmit
+//! retries.
+//!
+//! Retrying a submission is safe by construction: jobs are keyed by their
+//! structural fingerprint, so a resubmission after a timeout either hits the
+//! verdict cache (the first attempt finished server-side) or joins the still
+//! in-flight twin — it never schedules duplicate solver work.  Backoff
+//! between attempts uses decorrelated jitter so a fleet of retrying clients
+//! does not stampede a recovering server in lockstep.
 
 use crate::job::JobSpec;
 use crate::proto::{read_frame, write_frame, Request, Response, StatsFormat};
 use std::io::{self, BufReader};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
+use velv_sat::rng::SmallRng;
+
+/// Client-side resilience knobs.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Per-request read/write timeout; `None` waits indefinitely (solves can
+    /// legitimately take long — prefer a generous value over none).
+    pub timeout: Option<Duration>,
+    /// Additional attempts after the first on busy/timeout/transport
+    /// failures (0 = fail fast).
+    pub retries: u32,
+    /// Base backoff between attempts.
+    pub backoff: Duration,
+    /// Upper bound of the jittered backoff.
+    pub backoff_cap: Duration,
+    /// Seed of the backoff jitter (deterministic for tests).
+    pub seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            timeout: None,
+            retries: 0,
+            backoff: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(5),
+            seed: 0x5EED_C11E,
+        }
+    }
+}
 
 /// A connected client.  One request/response exchange at a time.
 pub struct ServeClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    peer: SocketAddr,
+    config: ClientConfig,
+    rng: SmallRng,
 }
 
-/// A client-side failure: transport error or a server `err` response.
+/// A client-side failure, classified so callers can react differently to
+/// overload, slowness, dead servers and wire corruption.
 #[derive(Debug)]
 pub enum ClientError {
-    /// The transport failed.
+    /// The transport failed (connection refused/reset, ...).
     Io(io::Error),
-    /// The server answered `err <message>`, or the response was malformed.
+    /// The request did not complete within the configured timeout.
+    Timeout,
+    /// The server rejected the request as overloaded; retry later.
+    Busy(String),
+    /// The server answered `err <message>`.
     Server(String),
+    /// The response violated the wire protocol (malformed frame or status).
+    Protocol(String),
 }
 
 impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Timeout => write!(f, "request timed out"),
+            ClientError::Busy(reason) => write!(f, "server busy: {reason}"),
             ClientError::Server(message) => write!(f, "server error: {message}"),
+            ClientError::Protocol(message) => write!(f, "protocol error: {message}"),
         }
     }
 }
@@ -35,7 +86,17 @@ impl std::error::Error for ClientError {}
 
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
-        ClientError::Io(e)
+        classify_io(e)
+    }
+}
+
+/// Sorts a transport error into the retry taxonomy: timeouts and protocol
+/// violations are their own kinds, everything else stays a transport error.
+fn classify_io(e: io::Error) -> ClientError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ClientError::Timeout,
+        io::ErrorKind::InvalidData => ClientError::Protocol(e.to_string()),
+        _ => ClientError::Io(e),
     }
 }
 
@@ -63,31 +124,115 @@ pub struct SubmitReply {
 }
 
 impl ServeClient {
-    /// Connects to a `velvd` server.
+    /// Connects to a `velvd` server with default resilience settings (no
+    /// timeout, no retries).
     ///
     /// # Errors
     ///
     /// Fails when the connection cannot be established.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ServeClient> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        Ok(ServeClient {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: stream,
-        })
+        Self::connect_with(addr, ClientConfig::default())
     }
 
-    /// One raw request/response exchange.
+    /// Connects with explicit timeout/retry configuration.
     ///
     /// # Errors
     ///
-    /// Fails on transport errors, a closed connection, or an `err` response.
+    /// Fails when the connection cannot be established.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> io::Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        let peer = stream.peer_addr()?;
+        Self::configure(&stream, &config)?;
+        let rng = SmallRng::seed_from_u64(config.seed);
+        Ok(ServeClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+            peer,
+            config,
+            rng,
+        })
+    }
+
+    fn configure(stream: &TcpStream, config: &ClientConfig) -> io::Result<()> {
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(config.timeout)?;
+        stream.set_write_timeout(config.timeout)?;
+        Ok(())
+    }
+
+    /// Tears the connection down and dials the same peer again.  Required
+    /// after a timeout: the old stream may still carry the late response,
+    /// which would desynchronize every later exchange.
+    fn reconnect(&mut self) -> io::Result<()> {
+        let stream = TcpStream::connect(self.peer)?;
+        Self::configure(&stream, &self.config)?;
+        self.reader = BufReader::new(stream.try_clone()?);
+        self.writer = stream;
+        Ok(())
+    }
+
+    /// One wire exchange, no retries.
+    fn exchange(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.writer, &request.to_body()).map_err(classify_io)?;
+        let body = read_frame(&mut self.reader)
+            .map_err(classify_io)?
+            .ok_or_else(|| {
+                ClientError::Protocol("connection closed before a response arrived".to_owned())
+            })?;
+        if let Some(reason) = body.strip_prefix("busy ") {
+            return Err(ClientError::Busy(
+                reason.lines().next().unwrap_or("").to_owned(),
+            ));
+        }
+        Response::parse_body(&body).map_err(|message| {
+            if body.starts_with("err ") {
+                ClientError::Server(message)
+            } else {
+                ClientError::Protocol(message)
+            }
+        })
+    }
+
+    /// One request/response exchange, retried per the [`ClientConfig`]:
+    /// busy, timeout and transport failures are retried with decorrelated
+    /// jitter (reconnecting first unless the connection is known in-sync);
+    /// server and protocol errors fail immediately.
+    ///
+    /// # Errors
+    ///
+    /// The classified failure of the last attempt.
     pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.writer, &request.to_body())?;
-        let body = read_frame(&mut self.reader)?.ok_or_else(|| {
-            ClientError::Server("connection closed before a response arrived".to_owned())
-        })?;
-        Response::parse_body(&body).map_err(ClientError::Server)
+        let mut attempt = 0u32;
+        let mut previous = self.config.backoff;
+        loop {
+            let error = match self.exchange(request) {
+                Ok(response) => return Ok(response),
+                Err(e) => e,
+            };
+            let retryable = matches!(
+                error,
+                ClientError::Busy(_) | ClientError::Timeout | ClientError::Io(_)
+            );
+            if !retryable || attempt >= self.config.retries {
+                return Err(error);
+            }
+            attempt += 1;
+            // Decorrelated jitter: sleep ~ uniform(base, 3 * previous),
+            // capped.  Spreads a retrying fleet out instead of thundering.
+            let base = self.config.backoff.as_millis() as u64;
+            let high = (previous.as_millis() as u64)
+                .saturating_mul(3)
+                .max(base + 1);
+            let span = (high - base).min(u32::MAX as u64) as usize;
+            let ms = base + self.rng.gen_range(0..span.max(1)) as u64;
+            previous = Duration::from_millis(ms).min(self.config.backoff_cap);
+            std::thread::sleep(previous);
+            if !matches!(error, ClientError::Busy(_)) {
+                // Best effort; a failed redial surfaces as Io on the next
+                // attempt and consumes the remaining budget.
+                let _ = self.reconnect();
+            }
+        }
     }
 
     /// Liveness probe.
@@ -164,7 +309,7 @@ impl ServeClient {
         let response = self.request(&Request::Stats(format))?;
         response
             .payload
-            .ok_or_else(|| ClientError::Server("stats response had no payload".to_owned()))
+            .ok_or_else(|| ClientError::Protocol("stats response had no payload".to_owned()))
     }
 
     /// Fetches the cached DRAT proof text for a fingerprint.
@@ -178,7 +323,7 @@ impl ServeClient {
         let response = self.request(&Request::Proof(fingerprint))?;
         response
             .payload
-            .ok_or_else(|| ClientError::Server("proof response had no payload".to_owned()))
+            .ok_or_else(|| ClientError::Protocol("proof response had no payload".to_owned()))
     }
 
     /// Asks the server to shut down.

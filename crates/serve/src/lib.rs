@@ -20,7 +20,11 @@
 //!   running fingerprint subscribes instead of re-solving), and batch
 //!   submission through one shared [`velv_sat::IncrementalSolver`] session;
 //! * [`proto`]/[`server`]/[`client`] — a hand-rolled length-prefixed text
-//!   protocol over TCP, the `velvd` server binary and the `velvc` client.
+//!   protocol over TCP, the `velvd` server binary and the `velvc` client;
+//! * [`persist`] — the record encoding that lands every decided verdict in a
+//!   crash-safe [`velv_store::Store`] before the response is delivered, and
+//!   replays the log into the cache on boot, so a killed `velvd` restarts
+//!   without re-solving anything it already answered.
 //!
 //! # Example
 //!
@@ -48,12 +52,13 @@
 pub mod cache;
 pub mod client;
 pub mod job;
+pub mod persist;
 pub mod proto;
 pub mod server;
 pub mod service;
 
 pub use cache::{CacheStats, CachedVerdict, VerdictCache};
-pub use client::{ClientError, ServeClient, SubmitReply};
+pub use client::{ClientConfig, ClientError, ServeClient, SubmitReply};
 pub use job::{BackendChoice, DlxVariant, JobSpec, ModelRef, ParseJobError, SolveMode};
 pub use proto::StatsFormat;
 pub use server::{serve, ServerControl};

@@ -1,0 +1,409 @@
+//! Serialization of cached verdicts for the crash-safe verdict store.
+//!
+//! The service persists every *decided* verdict (correct/buggy — never
+//! unknown) into a [`velv_store::Store`] keyed by the job's 128-bit problem
+//! fingerprint.  This module defines the record encoding:
+//!
+//! * the **payload** is a small, versioned, line-oriented text block carrying
+//!   the verdict, the counterexample assignment (buggy verdicts), the
+//!   certificate evidence, the solve time and the translation statistics;
+//! * the **sidecar** is the raw DRAT proof artifact, when one was kept —
+//!   large and optional, it is spilled by the store into a per-record sidecar
+//!   file, and a missing sidecar degrades the recovered entry to "no proof"
+//!   instead of losing the verdict.
+//!
+//! The encoding round-trips exactly: `decode(encode(v)) == v` up to the
+//! `Arc` wrappers.  Records that fail to decode (a future format version, a
+//! truncated line) are skipped by the warm-boot replay, never trusted.
+
+use crate::cache::CachedVerdict;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+use velv_core::{
+    Certificate, Counterexample, ModelCertificate, ProofCertificate, TranslationStats, Verdict,
+};
+
+/// Version tag of the payload encoding; bumped on any incompatible change so
+/// recovery can refuse records written by a future build.
+const MAGIC: &str = "velv-verdict 1";
+
+/// Percent-escapes the characters that would break the line encoding.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            '\n' => out.push_str("%0A"),
+            '\r' => out.push_str("%0D"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`esc`]; invalid escapes pass through verbatim.
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '%' {
+            let pair: String = chars.clone().take(2).collect();
+            match pair.as_str() {
+                "25" => {
+                    out.push('%');
+                    chars.next();
+                    chars.next();
+                }
+                "0A" => {
+                    out.push('\n');
+                    chars.next();
+                    chars.next();
+                }
+                "0D" => {
+                    out.push('\r');
+                    chars.next();
+                    chars.next();
+                }
+                _ => out.push('%'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn opt_usize(value: Option<usize>) -> String {
+    value.map_or_else(|| "-".to_owned(), |v| v.to_string())
+}
+
+fn parse_opt_usize(token: &str) -> Result<Option<usize>, String> {
+    if token == "-" {
+        return Ok(None);
+    }
+    token
+        .parse()
+        .map(Some)
+        .map_err(|_| format!("bad optional count `{token}`"))
+}
+
+fn parse_u64(token: &str) -> Result<u64, String> {
+    token.parse().map_err(|_| format!("bad number `{token}`"))
+}
+
+fn parse_usize(token: &str) -> Result<usize, String> {
+    token.parse().map_err(|_| format!("bad count `{token}`"))
+}
+
+/// Encodes a cached verdict into a store record: `(payload, sidecar)`.
+///
+/// The sidecar is the DRAT proof bytes when the entry kept one.
+pub fn encode(entry: &CachedVerdict) -> (Vec<u8>, Option<Vec<u8>>) {
+    let mut body = String::from(MAGIC);
+    match &entry.verdict {
+        Verdict::Correct => body.push_str("\nverdict correct"),
+        Verdict::Unknown(reason) => {
+            body.push_str("\nverdict unknown\nreason ");
+            body.push_str(&esc(reason));
+        }
+        Verdict::Buggy(cex) => {
+            body.push_str("\nverdict buggy");
+            for (name, value) in cex.iter() {
+                body.push_str(&format!("\nassign {} {}", u8::from(value), esc(name)));
+            }
+        }
+    }
+    body.push_str(&format!("\nsolve-us {}", entry.solve_time.as_micros()));
+    if let Some(s) = &entry.translation_stats {
+        body.push_str(&format!(
+            "\nstats {} {} {} {} {} {} {} {} {}",
+            s.primary_bool_vars,
+            s.eij_vars,
+            s.indexing_vars,
+            s.g_pairs,
+            s.transitivity_triangles,
+            s.cnf_vars,
+            s.cnf_clauses,
+            s.eufm_equations,
+            s.uf_applications,
+        ));
+    }
+    match &entry.certificate {
+        None => {}
+        Some(Certificate::Unchecked(reason)) => {
+            body.push_str("\ncert unchecked ");
+            body.push_str(&esc(reason));
+        }
+        Some(Certificate::Unsat(p)) => {
+            body.push_str(&format!(
+                "\ncert unsat {} {} {} {} {} {} {}",
+                p.proof_steps,
+                p.checked_clauses,
+                p.refinement_clauses,
+                p.terminal_step,
+                opt_usize(p.input_core_size),
+                opt_usize(p.trimmed_steps),
+                p.check_time.as_micros(),
+            ));
+        }
+        Some(Certificate::Sat(m)) => {
+            body.push_str(&format!(
+                "\ncert sat {} {} {} {}",
+                m.checked_clauses,
+                m.primary_assignments,
+                m.equality_classes,
+                m.check_time.as_micros(),
+            ));
+        }
+    }
+    let sidecar = entry.proof_drat.as_ref().map(|p| p.as_ref().clone());
+    (body.into_bytes(), sidecar)
+}
+
+/// Decodes a store record back into a cached verdict.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line; the warm-boot replay
+/// skips such records (counting them) instead of aborting recovery.
+pub fn decode(payload: &[u8], sidecar: Option<Vec<u8>>) -> Result<CachedVerdict, String> {
+    let text = std::str::from_utf8(payload).map_err(|_| "payload is not UTF-8".to_owned())?;
+    let mut lines = text.lines();
+    if lines.next() != Some(MAGIC) {
+        return Err(format!("unknown record version (expected `{MAGIC}`)"));
+    }
+
+    let mut verdict: Option<Verdict> = None;
+    let mut assignments: BTreeMap<String, bool> = BTreeMap::new();
+    let mut reason: Option<String> = None;
+    let mut solve_time = Duration::ZERO;
+    let mut translation_stats: Option<TranslationStats> = None;
+    let mut certificate: Option<Certificate> = None;
+
+    for line in lines {
+        let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match key {
+            "verdict" => {
+                verdict = Some(match rest {
+                    "correct" => Verdict::Correct,
+                    "buggy" => Verdict::Buggy(Counterexample::default()),
+                    "unknown" => Verdict::Unknown(String::new()),
+                    other => return Err(format!("unknown verdict `{other}`")),
+                });
+            }
+            "reason" => reason = Some(unesc(rest)),
+            "assign" => {
+                let (bit, name) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| format!("bad assign line `{rest}`"))?;
+                let value = match bit {
+                    "0" => false,
+                    "1" => true,
+                    other => return Err(format!("bad assignment bit `{other}`")),
+                };
+                assignments.insert(unesc(name), value);
+            }
+            "solve-us" => solve_time = Duration::from_micros(parse_u64(rest)?),
+            "stats" => {
+                let parts: Vec<&str> = rest.split(' ').collect();
+                if parts.len() != 9 {
+                    return Err(format!("stats line needs 9 fields, got {}", parts.len()));
+                }
+                translation_stats = Some(TranslationStats {
+                    primary_bool_vars: parse_usize(parts[0])?,
+                    eij_vars: parse_usize(parts[1])?,
+                    indexing_vars: parse_usize(parts[2])?,
+                    g_pairs: parse_usize(parts[3])?,
+                    transitivity_triangles: parse_usize(parts[4])?,
+                    cnf_vars: parse_usize(parts[5])?,
+                    cnf_clauses: parse_usize(parts[6])?,
+                    eufm_equations: parse_usize(parts[7])?,
+                    uf_applications: parse_usize(parts[8])?,
+                });
+            }
+            "cert" => {
+                let (kind, args) = rest.split_once(' ').unwrap_or((rest, ""));
+                certificate = Some(match kind {
+                    "unchecked" => Certificate::Unchecked(unesc(args)),
+                    "unsat" => {
+                        let p: Vec<&str> = args.split(' ').collect();
+                        if p.len() != 7 {
+                            return Err("cert unsat needs 7 fields".to_owned());
+                        }
+                        Certificate::Unsat(ProofCertificate {
+                            proof_steps: parse_usize(p[0])?,
+                            checked_clauses: parse_usize(p[1])?,
+                            refinement_clauses: parse_usize(p[2])?,
+                            terminal_step: parse_usize(p[3])?,
+                            input_core_size: parse_opt_usize(p[4])?,
+                            trimmed_steps: parse_opt_usize(p[5])?,
+                            check_time: Duration::from_micros(parse_u64(p[6])?),
+                        })
+                    }
+                    "sat" => {
+                        let p: Vec<&str> = args.split(' ').collect();
+                        if p.len() != 4 {
+                            return Err("cert sat needs 4 fields".to_owned());
+                        }
+                        Certificate::Sat(ModelCertificate {
+                            checked_clauses: parse_usize(p[0])?,
+                            primary_assignments: parse_usize(p[1])?,
+                            equality_classes: parse_usize(p[2])?,
+                            check_time: Duration::from_micros(parse_u64(p[3])?),
+                        })
+                    }
+                    other => return Err(format!("unknown certificate kind `{other}`")),
+                });
+            }
+            // Forward-compatible: unknown keys within a known version are
+            // ignored so a patch release can add fields without a bump.
+            _ => {}
+        }
+    }
+
+    let verdict = match verdict.ok_or("record has no verdict line")? {
+        Verdict::Correct => Verdict::Correct,
+        Verdict::Unknown(_) => Verdict::Unknown(reason.unwrap_or_default()),
+        Verdict::Buggy(_) => Verdict::Buggy(Counterexample::from_assignments(assignments)),
+    };
+    Ok(CachedVerdict {
+        verdict,
+        certificate,
+        proof_drat: sidecar.map(Arc::new),
+        solve_time,
+        translation_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(entry: CachedVerdict) -> CachedVerdict {
+        let (payload, sidecar) = encode(&entry);
+        decode(&payload, sidecar).expect("decode")
+    }
+
+    #[test]
+    fn correct_verdict_roundtrips() {
+        let entry = CachedVerdict {
+            verdict: Verdict::Correct,
+            certificate: Some(Certificate::Unchecked("not requested".to_owned())),
+            proof_drat: Some(Arc::new(b"1 2 0\n0\n".to_vec())),
+            solve_time: Duration::from_micros(12345),
+            translation_stats: Some(TranslationStats {
+                primary_bool_vars: 10,
+                eij_vars: 3,
+                indexing_vars: 2,
+                g_pairs: 4,
+                transitivity_triangles: 1,
+                cnf_vars: 50,
+                cnf_clauses: 120,
+                eufm_equations: 9,
+                uf_applications: 7,
+            }),
+        };
+        let back = roundtrip(entry.clone());
+        assert_eq!(back.verdict, entry.verdict);
+        assert_eq!(back.proof_drat.as_deref(), entry.proof_drat.as_deref());
+        assert_eq!(back.solve_time, entry.solve_time);
+        let (a, b) = (
+            back.translation_stats.unwrap(),
+            entry.translation_stats.unwrap(),
+        );
+        assert_eq!(a.cnf_clauses, b.cnf_clauses);
+        assert_eq!(a.uf_applications, b.uf_applications);
+        assert!(
+            matches!(back.certificate, Some(Certificate::Unchecked(r)) if r == "not requested")
+        );
+    }
+
+    #[test]
+    fn buggy_verdict_keeps_every_assignment() {
+        let mut assignments = BTreeMap::new();
+        assignments.insert("e!rs1=rd".to_owned(), true);
+        assignments.insert("squash taken".to_owned(), false);
+        assignments.insert("weird%name\nwith newline".to_owned(), true);
+        let entry = CachedVerdict {
+            verdict: Verdict::Buggy(Counterexample::from_assignments(assignments.clone())),
+            certificate: Some(Certificate::Sat(ModelCertificate {
+                checked_clauses: 5,
+                primary_assignments: 3,
+                equality_classes: 2,
+                check_time: Duration::from_micros(7),
+            })),
+            proof_drat: None,
+            solve_time: Duration::ZERO,
+            translation_stats: None,
+        };
+        let back = roundtrip(entry);
+        match back.verdict {
+            Verdict::Buggy(cex) => {
+                assert_eq!(cex.len(), 3);
+                for (name, value) in &assignments {
+                    assert_eq!(cex.value(name), Some(*value), "{name}");
+                }
+            }
+            other => panic!("expected buggy, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsat_certificate_roundtrips_with_optional_fields() {
+        for (core, trimmed) in [(None, None), (Some(17), Some(4))] {
+            let entry = CachedVerdict {
+                verdict: Verdict::Correct,
+                certificate: Some(Certificate::Unsat(ProofCertificate {
+                    proof_steps: 100,
+                    checked_clauses: 200,
+                    refinement_clauses: 8,
+                    terminal_step: 99,
+                    input_core_size: core,
+                    trimmed_steps: trimmed,
+                    check_time: Duration::from_micros(55),
+                })),
+                proof_drat: None,
+                solve_time: Duration::from_micros(1),
+                translation_stats: None,
+            };
+            match roundtrip(entry).certificate {
+                Some(Certificate::Unsat(p)) => {
+                    assert_eq!(p.input_core_size, core);
+                    assert_eq!(p.trimmed_steps, trimmed);
+                    assert_eq!(p.proof_steps, 100);
+                }
+                other => panic!("expected unsat cert, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_records_are_rejected_not_panicked() {
+        assert!(decode(b"", None).is_err());
+        assert!(decode(b"velv-verdict 2\nverdict correct", None).is_err());
+        assert!(decode(b"velv-verdict 1", None).is_err()); // no verdict
+        assert!(decode(b"velv-verdict 1\nverdict sideways", None).is_err());
+        assert!(decode(b"velv-verdict 1\nverdict buggy\nassign 2 x", None).is_err());
+        assert!(decode(b"velv-verdict 1\nverdict correct\nstats 1 2", None).is_err());
+        assert!(decode(b"velv-verdict 1\nverdict correct\ncert unsat 1 2", None).is_err());
+        assert!(decode(&[0xFF, 0xFE], None).is_err());
+        // Unknown keys in a known version are ignored (forward compat).
+        assert!(decode(b"velv-verdict 1\nverdict correct\nfuture-key 1", None).is_ok());
+    }
+
+    #[test]
+    fn missing_sidecar_degrades_to_no_proof() {
+        let entry = CachedVerdict {
+            verdict: Verdict::Correct,
+            certificate: None,
+            proof_drat: Some(Arc::new(b"proof".to_vec())),
+            solve_time: Duration::ZERO,
+            translation_stats: None,
+        };
+        let (payload, _sidecar) = encode(&entry);
+        let back = decode(&payload, None).unwrap();
+        assert!(back.proof_drat.is_none());
+        assert!(back.verdict.is_correct());
+    }
+}

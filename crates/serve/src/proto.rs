@@ -86,8 +86,26 @@ pub fn read_frame<R: BufRead>(reader: &mut R) -> io::Result<Option<String>> {
             format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
         ));
     }
-    let mut body = vec![0u8; len];
-    reader.read_exact(&mut body)?;
+    // Read the body in bounded chunks rather than allocating `len` bytes up
+    // front: a peer declaring a 16 MB frame and sending three bytes costs one
+    // chunk of memory, not the declared length.
+    const BODY_CHUNK: usize = 64 * 1024;
+    let mut body: Vec<u8> = Vec::with_capacity(len.min(BODY_CHUNK));
+    while body.len() < len {
+        let take = (len - body.len()).min(BODY_CHUNK);
+        let start = body.len();
+        body.resize(start + take, 0);
+        reader.read_exact(&mut body[start..]).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("frame body truncated at {start} of {len} bytes"),
+                )
+            } else {
+                e
+            }
+        })?;
+    }
     String::from_utf8(body)
         .map(Some)
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame body is not UTF-8"))
@@ -317,6 +335,11 @@ impl Response {
         if let Some(message) = status.strip_prefix("err ") {
             return Err(message.to_owned());
         }
+        if let Some(message) = status.strip_prefix("busy ") {
+            // Overload rejections are a first-class status so clients can
+            // back off and retry; `ServeClient` surfaces them typed.
+            return Err(format!("busy: {message}"));
+        }
         if status.trim() != "ok" {
             return Err(format!("malformed response status `{status}`"));
         }
@@ -396,6 +419,80 @@ mod tests {
     }
 
     #[test]
+    fn truncated_bodies_fail_without_upfront_allocation() {
+        // A frame declaring the full 16 MB cap but delivering three bytes
+        // must fail as truncated (and, by construction of the chunked read,
+        // never allocates the declared length).
+        let mut bytes = format!("{MAX_FRAME_BYTES}\n").into_bytes();
+        bytes.extend_from_slice(b"abc");
+        let mut reader = BufReader::new(bytes.as_slice());
+        let err = read_frame(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn seeded_mutations_never_panic_the_parsers() {
+        use velv_sat::rng::SmallRng;
+
+        // Corpus of valid frames: every request shape plus typical responses.
+        let mut corpus: Vec<Vec<u8>> = Vec::new();
+        let bodies = [
+            Request::Ping.to_body(),
+            Request::Submit(JobSpec::new(ModelRef::dlx1_bug(1))).to_body(),
+            Request::Batch(vec![
+                JobSpec::new(ModelRef::dlx1_correct()),
+                JobSpec::new(ModelRef::dlx1_bug(0)),
+            ])
+            .to_body(),
+            Request::Stats(StatsFormat::Json).to_body(),
+            Request::Proof(Fingerprint(0xabcdef)).to_body(),
+            "ok\nverdict correct\ncex-true a".to_owned(),
+            "ok\nproof-bytes 4\n\n1 0\n".to_owned(),
+            "err boom".to_owned(),
+            "busy queue full".to_owned(),
+        ];
+        for body in &bodies {
+            let mut frame = Vec::new();
+            write_frame(&mut frame, body).unwrap();
+            corpus.push(frame);
+        }
+
+        let mut rng = SmallRng::seed_from_u64(0xF422_0007);
+        for _round in 0..4000 {
+            let mut bytes = corpus[rng.gen_range(0..corpus.len())].clone();
+            // One to four random mutations: flip a byte, insert garbage,
+            // delete a byte, or truncate the tail.
+            for _ in 0..rng.gen_range(1..5) {
+                if bytes.is_empty() {
+                    break;
+                }
+                let at = rng.gen_range(0..bytes.len());
+                match rng.gen_range(0..4) {
+                    0 => bytes[at] = rng.next_u64() as u8,
+                    1 => bytes.insert(at, rng.next_u64() as u8),
+                    2 => {
+                        bytes.remove(at);
+                    }
+                    _ => bytes.truncate(at),
+                }
+            }
+            // The parsers must reject or accept cleanly — no panic, no
+            // unbounded allocation, regardless of what the bytes became.
+            let mut reader = BufReader::new(bytes.as_slice());
+            for _frame in 0..4 {
+                match read_frame(&mut reader) {
+                    Ok(Some(body)) => {
+                        let _ = Request::parse_body(&body);
+                        let _ = Response::parse_body(&body);
+                    }
+                    Ok(None) | Err(_) => break,
+                }
+            }
+        }
+    }
+
+    #[test]
     fn responses_parse_fields_and_payload() {
         let response = Response::parse_body("ok\nverdict correct\ncex-true a\ncex-true b").unwrap();
         assert_eq!(response.field("verdict"), Some("correct"));
@@ -406,5 +503,9 @@ mod tests {
         assert_eq!(with_payload.payload.as_deref(), Some("1 0\n"));
 
         assert_eq!(Response::parse_body("err boom"), Err("boom".to_owned()));
+        assert_eq!(
+            Response::parse_body("busy queue full"),
+            Err("busy: queue full".to_owned())
+        );
     }
 }

@@ -9,7 +9,7 @@
 use crate::proto::{
     batch_response, read_frame, stats_response, submit_response, write_frame, Request,
 };
-use crate::service::{JobTicket, ServeHandle};
+use crate::service::{JobTicket, ServeError, ServeHandle};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -184,13 +184,34 @@ fn dispatch(
             ))
         }
         Request::Submit(spec) => {
-            let ticket = handle.submit(spec).map_err(|e| e.to_string())?;
+            // Overload is a first-class `busy` status (not `err`): clients
+            // back off and retry instead of treating it as a failure.
+            let ticket = match handle.submit(spec) {
+                Ok(ticket) => ticket,
+                Err(ServeError::Busy(reason)) => return Ok(format!("busy {reason}")),
+                Err(e) => return Err(e.to_string()),
+            };
             let fingerprint = ticket.fingerprint();
             let result = ticket.wait();
             Ok(submit_response(fingerprint, &result))
         }
         Request::Batch(specs) => {
-            let tickets: Vec<JobTicket> = handle.submit_batch(specs).map_err(|e| e.to_string())?;
+            // The per-client quota caps how many jobs one connection puts in
+            // flight at once; a batch is the only way a single (serial)
+            // connection creates concurrent jobs.
+            let quota = handle.per_client_quota();
+            if quota > 0 && specs.len() > quota {
+                handle.note_quota_rejection();
+                return Ok(format!(
+                    "busy per-client quota is {quota} jobs in flight, batch has {}",
+                    specs.len()
+                ));
+            }
+            let tickets: Vec<JobTicket> = match handle.submit_batch(specs) {
+                Ok(tickets) => tickets,
+                Err(ServeError::Busy(reason)) => return Ok(format!("busy {reason}")),
+                Err(e) => return Err(e.to_string()),
+            };
             let results: Vec<_> = tickets
                 .iter()
                 .map(|t| (t.fingerprint(), t.wait()))

@@ -36,8 +36,11 @@
 
 use crate::cache::{CacheStats, CachedVerdict, VerdictCache};
 use crate::job::{BackendChoice, JobSpec, ParseJobError, SolveMode};
+use crate::persist;
 use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -69,6 +72,24 @@ pub struct ServiceConfig {
     /// When set, monolithic uncertified jobs use this engine instead of the
     /// back end named in their spec.
     pub engine_override: Option<EngineOverride>,
+    /// When set, every decided verdict is appended to a crash-safe
+    /// [`velv_store::Store`] in this directory *before* the response is
+    /// delivered, and startup replays the log to warm the verdict cache.
+    pub store_dir: Option<PathBuf>,
+    /// Durability point of store appends (`always` by default: a delivered
+    /// verdict survives power loss).
+    pub store_fsync: velv_store::FsyncPolicy,
+    /// Failpoints instance threaded into the store (fault-injection tests).
+    pub store_failpoints: Option<Arc<velv_store::Failpoints>>,
+    /// Bound on jobs waiting in the queue.  When the queue is full, a new
+    /// submission sheds the lowest-priority queued job if it outranks it
+    /// (the victim resolves as `unknown` with a busy reason), and is
+    /// otherwise rejected with [`ServeError::Busy`].  `None` = unbounded.
+    pub max_queue_depth: Option<usize>,
+    /// Cap on the jobs one client (one connection) may have in flight at
+    /// once — enforced by the TCP front end on batch submissions, the only
+    /// way a single connection creates concurrent jobs.  `0` = unlimited.
+    pub per_client_quota: usize,
 }
 
 impl Default for ServiceConfig {
@@ -82,6 +103,11 @@ impl Default for ServiceConfig {
             cache_shards: 8,
             default_timeout: None,
             engine_override: None,
+            store_dir: None,
+            store_fsync: velv_store::FsyncPolicy::Always,
+            store_failpoints: None,
+            max_queue_depth: None,
+            per_client_quota: 0,
         }
     }
 }
@@ -107,6 +133,11 @@ pub enum ServeError {
     ShutDown,
     /// The job specification is invalid (bad model reference, ...).
     InvalidJob(ParseJobError),
+    /// The service is overloaded: the queue is full and the submission does
+    /// not outrank any queued job.  Retry later; nothing was scheduled.
+    Busy(String),
+    /// The verdict store could not be opened or replayed at startup.
+    Store(String),
 }
 
 impl fmt::Display for ServeError {
@@ -114,6 +145,8 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::ShutDown => write!(f, "the service has been shut down"),
             ServeError::InvalidJob(e) => write!(f, "invalid job: {e}"),
+            ServeError::Busy(reason) => write!(f, "busy: {reason}"),
+            ServeError::Store(e) => write!(f, "verdict store failed: {e}"),
         }
     }
 }
@@ -187,6 +220,12 @@ impl JobState {
 
     fn set_status(&self, status: JobStatus) {
         self.slot.lock().expect("job slot lock").status = status;
+    }
+
+    /// Whether a result has already been delivered (a queued job in this
+    /// state was shed by admission control; workers skip it).
+    fn is_resolved(&self) -> bool {
+        self.slot.lock().expect("job slot lock").result.is_some()
     }
 
     fn resolve(&self, result: JobResult) {
@@ -334,6 +373,21 @@ impl WorkItem {
             WorkItem::Batch(jobs) => jobs.len() as u64,
         }
     }
+
+    fn states(&self) -> Vec<Arc<JobState>> {
+        match self {
+            WorkItem::Single(job) => vec![Arc::clone(&job.state)],
+            WorkItem::Batch(jobs) => jobs.iter().map(|j| Arc::clone(&j.state)).collect(),
+        }
+    }
+
+    /// Jobs of this item that still owe a result (not shed while queued).
+    fn unresolved_count(&self) -> u64 {
+        match self {
+            WorkItem::Single(job) => u64::from(!job.state.is_resolved()),
+            WorkItem::Batch(jobs) => jobs.iter().filter(|j| !j.state.is_resolved()).count() as u64,
+        }
+    }
 }
 
 struct QueuedItem {
@@ -382,6 +436,14 @@ struct Counters {
     unknown: velv_obs::Counter,
     cancelled: velv_obs::Counter,
     proofs_kept: velv_obs::Counter,
+    shed: velv_obs::Counter,
+    busy_rejections: velv_obs::Counter,
+    quota_rejections: velv_obs::Counter,
+    worker_panics: velv_obs::Counter,
+    persisted: velv_obs::Counter,
+    persist_errors: velv_obs::Counter,
+    replayed: velv_obs::Counter,
+    replay_skipped: velv_obs::Counter,
     queued: velv_obs::Gauge,
     running: velv_obs::Gauge,
     workers: velv_obs::Gauge,
@@ -448,6 +510,38 @@ impl Counters {
             proofs_kept: registry.counter(
                 "velv_serve_proofs_kept_total",
                 "DRAT proof artifacts stored in the cache.",
+            ),
+            shed: registry.counter(
+                "velv_serve_jobs_shed_total",
+                "Queued jobs shed under overload in favour of higher-priority work.",
+            ),
+            busy_rejections: registry.counter(
+                "velv_serve_busy_rejections_total",
+                "Submissions rejected as busy (queue full, no lower-priority victim).",
+            ),
+            quota_rejections: registry.counter(
+                "velv_serve_quota_rejections_total",
+                "Submissions rejected by the per-client in-flight quota.",
+            ),
+            worker_panics: registry.counter(
+                "velv_serve_worker_panics_total",
+                "Worker panics contained by the pool (the job resolves as unknown).",
+            ),
+            persisted: registry.counter(
+                "velv_serve_verdicts_persisted_total",
+                "Decided verdicts appended to the crash-safe store.",
+            ),
+            persist_errors: registry.counter(
+                "velv_serve_persist_errors_total",
+                "Store appends that failed (the verdict was still delivered).",
+            ),
+            replayed: registry.counter(
+                "velv_serve_warm_boot_replayed_total",
+                "Verdicts replayed from the store into the cache at startup.",
+            ),
+            replay_skipped: registry.counter(
+                "velv_serve_warm_boot_skipped_total",
+                "Store records skipped at startup (undecodable or undecided).",
             ),
             queued: registry.gauge(
                 "velv_serve_jobs_queued",
@@ -518,6 +612,18 @@ pub struct ServiceStats {
     pub cancelled: u64,
     /// DRAT proof artifacts stored in the cache.
     pub proofs_kept: u64,
+    /// Queued jobs shed under overload in favour of higher-priority work.
+    pub shed: u64,
+    /// Submissions rejected as busy (queue full, no lower-priority victim).
+    pub busy_rejections: u64,
+    /// Submissions rejected by the per-client in-flight quota.
+    pub quota_rejections: u64,
+    /// Worker panics contained by the pool.
+    pub worker_panics: u64,
+    /// Decided verdicts appended to the crash-safe store.
+    pub persisted: u64,
+    /// Verdicts replayed from the store into the cache at startup.
+    pub replayed: u64,
     /// Jobs currently waiting in the queue.
     pub queued: u64,
     /// Jobs currently being worked on.
@@ -547,6 +653,12 @@ impl ServiceStats {
             ("unknown", self.unknown),
             ("cancelled", self.cancelled),
             ("proofs-kept", self.proofs_kept),
+            ("shed", self.shed),
+            ("busy-rejections", self.busy_rejections),
+            ("quota-rejections", self.quota_rejections),
+            ("worker-panics", self.worker_panics),
+            ("persisted", self.persisted),
+            ("replayed", self.replayed),
             ("queued", self.queued),
             ("running", self.running),
             ("solve-micros", self.solve_time.as_micros() as u64),
@@ -566,6 +678,11 @@ impl ServiceStats {
 struct QueueState {
     heap: BinaryHeap<QueuedItem>,
     seq: u64,
+    /// Unresolved jobs sitting in the heap — the quantity bounded by
+    /// [`ServiceConfig::max_queue_depth`].  Shed jobs stay in the heap
+    /// (a [`BinaryHeap`] has no removal) but leave this count; workers
+    /// skip them on pop.
+    depth: u64,
 }
 
 struct Inner {
@@ -574,6 +691,11 @@ struct Inner {
     work: Condvar,
     in_flight: Mutex<HashMap<u128, Arc<JobState>>>,
     cache: VerdictCache,
+    /// The crash-safe verdict store, when configured: decided verdicts are
+    /// appended before delivery, and startup replayed it into the cache.
+    store: Option<velv_store::Store>,
+    /// The startup recovery report of the store, when configured.
+    recovery: Option<velv_store::RecoveryReport>,
     /// The per-service metric registry: every counter/gauge/histogram of
     /// this instance, including the cache's lookup counters.  Per-service
     /// (not global) so concurrent instances do not mix their numbers.
@@ -599,6 +721,12 @@ impl Inner {
             unknown: c.unknown.get(),
             cancelled: c.cancelled.get(),
             proofs_kept: c.proofs_kept.get(),
+            shed: c.shed.get(),
+            busy_rejections: c.busy_rejections.get(),
+            quota_rejections: c.quota_rejections.get(),
+            worker_panics: c.worker_panics.get(),
+            persisted: c.persisted.get(),
+            replayed: c.replayed.get(),
             queued: c.queued.get().max(0) as u64,
             running: c.running.get().max(0) as u64,
             solve_time: Duration::from_micros(c.solve_micros.get()),
@@ -629,6 +757,7 @@ impl Inner {
         let mut queue = self.queue.lock().expect("queue lock");
         let seq = queue.seq;
         queue.seq += 1;
+        queue.depth += jobs;
         queue.heap.push(QueuedItem {
             priority: item.priority(),
             seq,
@@ -639,6 +768,100 @@ impl Inner {
         self.work.notify_one();
     }
 
+    /// Resolves a queued job as shed: the waiters get an `unknown` verdict
+    /// with a busy reason, never a hang.  Called under the queue lock (lock
+    /// order queue → in-flight → slot is taken nowhere in reverse).
+    fn shed_state(&self, state: &Arc<JobState>) {
+        self.counters.shed.inc();
+        self.counters.unknown.inc();
+        self.counters.completed.inc();
+        let wall = state.submitted.elapsed();
+        self.counters.wall_micros.add(wall.as_micros() as u64);
+        self.counters
+            .job_wall_micros
+            .observe(wall.as_micros() as u64);
+        self.remove_in_flight(state);
+        state.resolve(JobResult {
+            name: state.name.clone(),
+            verdict: Verdict::Unknown("busy: shed under overload".to_owned()),
+            from_cache: false,
+            deduplicated: false,
+            wall,
+            solve_time: Duration::ZERO,
+            certificate: None,
+        });
+    }
+
+    /// Enqueues under the admission bound.  When the queue is full the
+    /// lowest-priority queued entry is shed — but only if the incoming item
+    /// strictly outranks it; otherwise the incoming item itself is rejected
+    /// and handed back for the caller to fail as busy.
+    fn push_bounded(&self, item: WorkItem) -> Result<(), WorkItem> {
+        let Some(max) = self.config.max_queue_depth else {
+            self.push(item);
+            return Ok(());
+        };
+        let jobs = item.job_count();
+        let mut queue = self.queue.lock().expect("queue lock");
+        while queue.depth + jobs > max as u64 {
+            // The minimum under the heap order is the lowest-priority,
+            // youngest entry — the natural shed victim.
+            let victim = queue
+                .heap
+                .iter()
+                .filter(|q| q.item.unresolved_count() > 0)
+                .min_by(|a, b| a.cmp(b))
+                .map(|q| (q.priority, q.item.states()));
+            match victim {
+                Some((priority, states)) if priority < item.priority() => {
+                    let mut freed = 0u64;
+                    for state in &states {
+                        if !state.is_resolved() {
+                            self.shed_state(state);
+                            freed += 1;
+                        }
+                    }
+                    queue.depth -= freed;
+                    self.counters.queued.sub(freed as i64);
+                }
+                _ => {
+                    drop(queue);
+                    return Err(item);
+                }
+            }
+        }
+        let seq = queue.seq;
+        queue.seq += 1;
+        queue.depth += jobs;
+        queue.heap.push(QueuedItem {
+            priority: item.priority(),
+            seq,
+            item,
+        });
+        drop(queue);
+        self.counters.queued.add(jobs as i64);
+        self.work.notify_one();
+        Ok(())
+    }
+
+    /// Fails a fresh admission as busy: the in-flight entry is retired and
+    /// the ticket (if kept) resolves instead of hanging.
+    fn reject_busy(&self, state: &Arc<JobState>, reason: &str) {
+        self.counters.busy_rejections.inc();
+        self.counters.unknown.inc();
+        self.counters.completed.inc();
+        self.remove_in_flight(state);
+        state.resolve(JobResult {
+            name: state.name.clone(),
+            verdict: Verdict::Unknown(format!("busy: {reason}")),
+            from_cache: false,
+            deduplicated: false,
+            wall: state.submitted.elapsed(),
+            solve_time: Duration::ZERO,
+            certificate: None,
+        });
+    }
+
     /// Blocks until work is available; `None` on shutdown.
     fn pop(&self) -> Option<WorkItem> {
         let mut queue = self.queue.lock().expect("queue lock");
@@ -647,7 +870,13 @@ impl Inner {
                 return None;
             }
             if let Some(queued) = queue.heap.pop() {
-                self.counters.queued.sub(queued.item.job_count() as i64);
+                let live = queued.item.unresolved_count();
+                queue.depth -= live;
+                self.counters.queued.sub(live as i64);
+                if live == 0 {
+                    // Every job of this entry was shed while it queued.
+                    continue;
+                }
                 return Some(queued.item);
             }
             queue = self.work.wait(queue).expect("queue lock");
@@ -681,16 +910,26 @@ impl Inner {
             if proof.is_some() {
                 self.counters.proofs_kept.inc();
             }
-            self.cache.insert(
-                job.state.fingerprint,
-                CachedVerdict {
-                    verdict: verdict.clone(),
-                    certificate: certificate.clone(),
-                    proof_drat: proof,
-                    solve_time,
-                    translation_stats,
-                },
-            );
+            let entry = CachedVerdict {
+                verdict: verdict.clone(),
+                certificate: certificate.clone(),
+                proof_drat: proof,
+                solve_time,
+                translation_stats,
+            };
+            // Durability point: the verdict reaches the store (under the
+            // configured fsync policy) before any subscriber sees it, so a
+            // response on the wire implies a recoverable record.  An append
+            // failure is counted and the verdict still delivered — losing
+            // durability must not lose the result.
+            if let Some(store) = &self.store {
+                let (payload, sidecar) = persist::encode(&entry);
+                match store.append(job.state.fingerprint.0, &payload, sidecar.as_deref()) {
+                    Ok(_) => self.counters.persisted.inc(),
+                    Err(_) => self.counters.persist_errors.inc(),
+                }
+            }
+            self.cache.insert(job.state.fingerprint, entry);
         }
         self.remove_in_flight(&job.state);
         let wall = job.state.submitted.elapsed();
@@ -773,11 +1012,44 @@ fn worker_loop(inner: Arc<Inner>) {
     inner.counters.workers.add(1);
     while let Some(item) = inner.pop() {
         let jobs = item.job_count();
+        let states = item.states();
         inner.counters.running.add(jobs as i64);
         inner.counters.workers_busy.add(1);
-        match item {
-            WorkItem::Single(job) => run_single(&inner, &job),
-            WorkItem::Batch(entries) => run_batch(&inner, entries),
+        // Panic containment: a panicking translation or solver run must not
+        // take the worker thread (and eventually the pool) down.  The unwind
+        // is caught, the affected jobs resolve as `unknown` (never cached,
+        // never persisted), and the worker returns to the queue.
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            if let Some(velv_store::FailAction::Panic) =
+                velv_store::failpoint::global().hit("serve.worker.run")
+            {
+                panic!("failpoint serve.worker.run: injected worker panic");
+            }
+            match item {
+                WorkItem::Single(job) => run_single(&inner, &job),
+                WorkItem::Batch(entries) => run_batch(&inner, entries),
+            }
+        }));
+        if outcome.is_err() {
+            inner.counters.worker_panics.inc();
+            for state in &states {
+                inner.remove_in_flight(state);
+                if !state.is_resolved() {
+                    inner.counters.unknown.inc();
+                    inner.counters.completed.inc();
+                    state.resolve(JobResult {
+                        name: state.name.clone(),
+                        verdict: Verdict::Unknown(
+                            "worker panicked while running this job".to_owned(),
+                        ),
+                        from_cache: false,
+                        deduplicated: false,
+                        wall: state.submitted.elapsed(),
+                        solve_time: Duration::ZERO,
+                        certificate: None,
+                    });
+                }
+            }
         }
         inner.counters.workers_busy.sub(1);
         inner.counters.running.sub(jobs as i64);
@@ -796,6 +1068,11 @@ fn job_budget(job: &SingleJob) -> Budget {
 }
 
 fn run_single(inner: &Inner, job: &SingleJob) {
+    if job.state.is_resolved() {
+        // Shed by admission control while it queued; the waiters already
+        // have their busy verdict.
+        return;
+    }
     let _job_span = velv_obs::span_fields("serve.job", &[("job", job.state.name.as_str().into())]);
     if velv_obs::enabled() {
         velv_obs::event(
@@ -977,7 +1254,9 @@ fn run_single(inner: &Inner, job: &SingleJob) {
 fn run_batch(inner: &Inner, entries: Vec<SingleJob>) {
     let mut alive = Vec::new();
     for job in entries {
-        if job.state.cancel.is_cancelled() {
+        if job.state.is_resolved() {
+            // Shed while queued; nothing left to deliver.
+        } else if job.state.cancel.is_cancelled() {
             job.state.set_status(JobStatus::Running);
             inner.finish_cancelled(&job);
         } else {
@@ -1153,19 +1432,68 @@ impl Drop for WorkerSet {
 
 impl ServeHandle {
     /// Starts a service instance with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configured verdict store cannot be opened; use
+    /// [`ServeHandle::try_start`] to handle that case.
     pub fn start(config: ServiceConfig) -> ServeHandle {
+        Self::try_start(config).expect("service start failed")
+    }
+
+    /// Starts a service instance, opening and replaying the verdict store
+    /// when one is configured: every decided verdict recovered from the log
+    /// warms the cache, so a restarted service answers repeated submissions
+    /// without re-solving.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`ServeError::Store`] when the store directory cannot be
+    /// opened or scanned.
+    pub fn try_start(config: ServiceConfig) -> Result<ServeHandle, ServeError> {
         let workers = config.workers.max(1);
         let registry = velv_obs::Registry::new();
+        let cache = VerdictCache::with_registry(config.cache_bytes, config.cache_shards, &registry);
+        let counters = Counters::new(&registry);
+        let mut store = None;
+        let mut recovery = None;
+        if let Some(dir) = &config.store_dir {
+            let mut store_config = velv_store::StoreConfig::new(dir);
+            store_config.fsync = config.store_fsync;
+            store_config.failpoints = config.store_failpoints.clone();
+            store_config.registry = Some(registry.clone());
+            let (opened, report) = velv_store::Store::open(store_config)
+                .map_err(|e| ServeError::Store(e.to_string()))?;
+            // Warm boot: replay the live records (in append order, so a
+            // later record for the same fingerprint wins) into the cache.
+            let records = opened
+                .live_records()
+                .map_err(|e| ServeError::Store(e.to_string()))?;
+            for record in records {
+                match persist::decode(&record.payload, record.sidecar) {
+                    Ok(entry) if !matches!(entry.verdict, Verdict::Unknown(_)) => {
+                        cache.insert(Fingerprint(record.key), entry);
+                        counters.replayed.inc();
+                    }
+                    _ => counters.replay_skipped.inc(),
+                }
+            }
+            store = Some(opened);
+            recovery = Some(report);
+        }
         let inner = Arc::new(Inner {
-            cache: VerdictCache::with_registry(config.cache_bytes, config.cache_shards, &registry),
+            cache,
             config,
             queue: Mutex::new(QueueState {
                 heap: BinaryHeap::new(),
                 seq: 0,
+                depth: 0,
             }),
             work: Condvar::new(),
             in_flight: Mutex::new(HashMap::new()),
-            counters: Counters::new(&registry),
+            store,
+            recovery,
+            counters,
             registry,
             shutdown: AtomicBool::new(false),
         });
@@ -1179,13 +1507,13 @@ impl ServeHandle {
                     .expect("spawning a service worker succeeds"),
             );
         }
-        ServeHandle {
+        Ok(ServeHandle {
             workers: Arc::new(WorkerSet {
                 inner: Arc::clone(&inner),
                 handles: Mutex::new(handles),
             }),
             inner,
-        }
+        })
     }
 
     /// Builds the problem, fingerprints it, and admits the job through the
@@ -1264,10 +1592,15 @@ impl ServeHandle {
     pub fn submit(&self, spec: JobSpec) -> Result<JobTicket, ServeError> {
         match self.admit(spec)? {
             Admission::Ticket(ticket) => Ok(ticket),
-            Admission::Fresh(ticket, job) => {
-                self.inner.push(WorkItem::Single(job));
-                Ok(ticket)
-            }
+            Admission::Fresh(ticket, job) => match self.inner.push_bounded(WorkItem::Single(job)) {
+                Ok(()) => Ok(ticket),
+                Err(item) => {
+                    for state in item.states() {
+                        self.inner.reject_busy(&state, "queue full");
+                    }
+                    Err(ServeError::Busy("queue full".to_owned()))
+                }
+            },
         }
     }
 
@@ -1337,19 +1670,29 @@ impl ServeHandle {
                 );
                 groups.entry(key).or_default().push(*job);
             } else {
-                self.inner.push(WorkItem::Single(job));
+                self.push_or_busy(WorkItem::Single(job));
             }
         }
         for (_, mut group) in groups {
             if group.len() == 1 {
-                self.inner
-                    .push(WorkItem::Single(Box::new(group.pop().expect("one job"))));
+                self.push_or_busy(WorkItem::Single(Box::new(group.pop().expect("one job"))));
             } else {
                 self.inner.counters.batch_groups.inc();
-                self.inner.push(WorkItem::Batch(group));
+                self.push_or_busy(WorkItem::Batch(group));
             }
         }
         Ok(tickets)
+    }
+
+    /// Enqueues under the admission bound; an overloaded rejection resolves
+    /// every affected ticket as busy instead of failing the whole batch call
+    /// (tickets for the rejected entries were already handed out).
+    fn push_or_busy(&self, item: WorkItem) {
+        if let Err(item) = self.inner.push_bounded(item) {
+            for state in item.states() {
+                self.inner.reject_busy(&state, "queue full");
+            }
+        }
     }
 
     /// Current statistics.
@@ -1374,6 +1717,24 @@ impl ServeHandle {
     /// wire command to hand out stored DRAT artifacts).
     pub fn cached(&self, fingerprint: Fingerprint) -> Option<Arc<CachedVerdict>> {
         self.inner.cache.get(fingerprint)
+    }
+
+    /// The startup recovery report of the verdict store, when one is
+    /// configured: records scanned, live verdicts, torn-tail bytes truncated.
+    pub fn store_recovery(&self) -> Option<&velv_store::RecoveryReport> {
+        self.inner.recovery.as_ref()
+    }
+
+    /// The configured per-client in-flight quota (0 = unlimited); enforced
+    /// by the TCP front end.
+    pub fn per_client_quota(&self) -> usize {
+        self.inner.config.per_client_quota
+    }
+
+    /// Counts a submission rejected by the per-client quota (called by the
+    /// front end, which is where client identity exists).
+    pub fn note_quota_rejection(&self) {
+        self.inner.counters.quota_rejections.inc();
     }
 
     /// Whether [`ServeHandle::shutdown`] has been called (or the last handle

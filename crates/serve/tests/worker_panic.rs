@@ -1,0 +1,50 @@
+//! Worker-panic containment, in its own process: the test arms the
+//! process-global `serve.worker.run` failpoint, which any concurrently
+//! running job would consume — integration test binaries run one per
+//! process, so isolating the file isolates the failpoint.
+
+use velv_serve::{JobSpec, ModelRef, ServeHandle, ServiceConfig};
+use velv_store::{failpoint, FailAction};
+
+#[test]
+fn a_panicking_worker_yields_an_error_verdict_and_the_pool_keeps_serving() {
+    let service = ServeHandle::start(ServiceConfig::default().with_workers(2));
+
+    // The next job a worker picks up panics mid-run (one-shot trigger).
+    failpoint::global().arm("serve.worker.run", 0, FailAction::Panic);
+    let poisoned = service
+        .submit(JobSpec::new(ModelRef::dlx1_correct()))
+        .expect("accepted")
+        .wait();
+    match &poisoned.verdict {
+        velv_core::Verdict::Unknown(reason) => {
+            assert!(reason.contains("panicked"), "{reason}");
+        }
+        other => panic!("a panicked job must resolve unknown, got {other:?}"),
+    }
+    let stats = service.stats();
+    assert_eq!(stats.worker_panics, 1);
+    assert_eq!(stats.persisted, 0, "panic verdicts are never persisted");
+
+    // The panic took neither the worker pool nor the cache integrity with
+    // it: the identical resubmission runs fresh (nothing was cached) and
+    // decides correctly on the same workers.
+    let retry = service
+        .submit(JobSpec::new(ModelRef::dlx1_correct()))
+        .expect("accepted")
+        .wait();
+    assert!(retry.verdict.is_correct(), "{:?}", retry.verdict);
+    assert!(!retry.from_cache, "the panic left nothing in the cache");
+    let stats = service.stats();
+    assert_eq!(stats.worker_panics, 1, "the trigger was one-shot");
+    assert_eq!(stats.fresh_solves, 1);
+    assert_eq!(stats.cache_hits, 0);
+
+    // And the cache works again after the incident.
+    let warm = service
+        .submit(JobSpec::new(ModelRef::dlx1_correct()))
+        .expect("accepted")
+        .wait();
+    assert!(warm.from_cache);
+    service.shutdown();
+}

@@ -1,0 +1,290 @@
+//! A deterministic failpoint facility for fault-injection testing.
+//!
+//! A *failpoint* is a named site in library code (`store.append.body`,
+//! `serve.job.run`, `proto.write.frame`, ...) that consults an armed trigger
+//! before doing its work.  Tests arm triggers — "on the 3rd hit of
+//! `store.append.body`, perform a short write of 7 bytes and fail" — and the
+//! library misbehaves *exactly there*, deterministically, so crash recovery,
+//! panic containment and client retry paths can be exercised without real
+//! crashes, real disks or real packet loss.
+//!
+//! Two scopes are provided:
+//!
+//! * **Instance-scoped** [`Failpoints`] sets, owned by the component under
+//!   test (e.g. each [`Store`](crate::Store) carries its own via
+//!   [`StoreConfig::failpoints`](crate::StoreConfig)), so concurrently
+//!   running tests never interfere;
+//! * the **process-global** set ([`global`]) for sites without a natural
+//!   owner (wire-protocol frames, service worker loops).
+//!
+//! The disarmed fast path is one relaxed atomic load — the facility is
+//! compiled in unconditionally (tests, benches *and* production) precisely
+//! because a fault-injection path that only exists in test builds rots.
+//!
+//! Triggers are **deterministic**: a trigger fires on an exact hit index of
+//! its site, armed either explicitly ([`Failpoints::arm`]) or derived from a
+//! seed ([`Failpoints::arm_seeded`], the driver of the seeded torture
+//! suites).  Equal seeds arm equal plans.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// What an armed failpoint does when it fires.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailAction {
+    /// Return a simulated IO error (`ErrorKind::Other`, "failpoint").
+    Error,
+    /// Write only the first `n` bytes of the buffer, then fail — a torn
+    /// write, as left by a crash or a full disk mid-`write`.
+    ShortWrite(usize),
+    /// Panic with a recognizable message (worker-panic containment tests).
+    Panic,
+    /// Sleep for the duration, then proceed normally (slow disk / slow peer).
+    Delay(Duration),
+    /// Silently skip the operation while reporting success — a dropped wire
+    /// frame.
+    Drop,
+}
+
+struct Site {
+    /// Hits left before the trigger fires (0 = fire on the next hit).
+    after_hits: u64,
+    action: FailAction,
+    /// Disarm after firing once.
+    one_shot: bool,
+}
+
+/// A set of named failpoint sites with armed triggers.
+///
+/// Cheap when disarmed (one relaxed atomic load per [`Failpoints::hit`]);
+/// sites are consulted by name only while at least one trigger is armed.
+pub struct Failpoints {
+    armed: AtomicBool,
+    sites: Mutex<HashMap<String, Site>>,
+}
+
+impl Failpoints {
+    /// An empty, disarmed set.
+    pub fn new() -> Failpoints {
+        Failpoints {
+            armed: AtomicBool::new(false),
+            sites: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Arms `site` to perform `action` after `after_hits` passing hits (0 =
+    /// the very next hit), once; the trigger disarms after firing.
+    pub fn arm(&self, site: &str, after_hits: u64, action: FailAction) {
+        let mut sites = self.sites.lock().expect("failpoint site lock");
+        sites.insert(
+            site.to_owned(),
+            Site {
+                after_hits,
+                action,
+                one_shot: true,
+            },
+        );
+        self.armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Arms `site` to perform `action` on *every* hit from `after_hits` on.
+    pub fn arm_persistent(&self, site: &str, after_hits: u64, action: FailAction) {
+        let mut sites = self.sites.lock().expect("failpoint site lock");
+        sites.insert(
+            site.to_owned(),
+            Site {
+                after_hits,
+                action,
+                one_shot: false,
+            },
+        );
+        self.armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Derives a one-shot trigger for one of `sites` from `seed`: the site,
+    /// the hit index (below `max_hits`) and the action are all deterministic
+    /// functions of the seed, so a failing torture cycle can be replayed by
+    /// its seed alone.  Returns the `(site, hit, action)` chosen.
+    pub fn arm_seeded(
+        &self,
+        seed: u64,
+        sites: &[&str],
+        max_hits: u64,
+    ) -> (String, u64, FailAction) {
+        assert!(!sites.is_empty(), "arm_seeded needs at least one site");
+        let mut state = seed;
+        let mut next = move || -> u64 {
+            // SplitMix64 — matches `velv_sat::rng::SmallRng` so seeds printed
+            // by one harness replay in the other.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let site = sites[(next() % sites.len() as u64) as usize];
+        let hit = next() % max_hits.max(1);
+        let action = match next() % 3 {
+            0 => FailAction::Error,
+            1 => FailAction::ShortWrite((next() % 24) as usize),
+            _ => FailAction::ShortWrite(0),
+        };
+        self.arm(site, hit, action.clone());
+        (site.to_owned(), hit, action)
+    }
+
+    /// Disarms one site.
+    pub fn clear(&self, site: &str) {
+        let mut sites = self.sites.lock().expect("failpoint site lock");
+        sites.remove(site);
+        if sites.is_empty() {
+            self.armed.store(false, Ordering::SeqCst);
+        }
+    }
+
+    /// Disarms every site.
+    pub fn clear_all(&self) {
+        self.sites.lock().expect("failpoint site lock").clear();
+        self.armed.store(false, Ordering::SeqCst);
+    }
+
+    /// Consults `site`: `None` to proceed normally, `Some(action)` when an
+    /// armed trigger fires.  [`FailAction::Delay`] is performed here (the
+    /// call sleeps and returns `None`); the other actions are returned for
+    /// the call site to enact, since only it knows what a short write or a
+    /// dropped frame means locally.
+    pub fn hit(&self, site: &str) -> Option<FailAction> {
+        if !self.armed.load(Ordering::Relaxed) {
+            return None;
+        }
+        let fired = {
+            let mut sites = self.sites.lock().expect("failpoint site lock");
+            match sites.get_mut(site) {
+                None => None,
+                Some(entry) => {
+                    if entry.after_hits > 0 {
+                        entry.after_hits -= 1;
+                        None
+                    } else {
+                        let action = entry.action.clone();
+                        if entry.one_shot {
+                            sites.remove(site);
+                            if sites.is_empty() {
+                                self.armed.store(false, Ordering::SeqCst);
+                            }
+                        }
+                        Some(action)
+                    }
+                }
+            }
+        };
+        match fired {
+            Some(FailAction::Delay(duration)) => {
+                std::thread::sleep(duration);
+                None
+            }
+            other => other,
+        }
+    }
+
+    /// [`Failpoints::hit`] specialized for IO sites: performs
+    /// [`FailAction::Error`] and [`FailAction::Panic`] directly, returns
+    /// `Ok(Some(n))` for a short write of `n` bytes and `Ok(None)` to
+    /// proceed.  [`FailAction::Drop`] maps to a short write of 0 bytes that
+    /// *succeeds* — the bytes vanish without an error, as on a lying disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns the simulated IO error of a fired [`FailAction::Error`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when a fired trigger is [`FailAction::Panic`].
+    pub fn hit_io(&self, site: &str) -> std::io::Result<Option<usize>> {
+        match self.hit(site) {
+            None => Ok(None),
+            Some(FailAction::Error) => Err(std::io::Error::other(format!(
+                "failpoint {site}: injected IO error"
+            ))),
+            Some(FailAction::ShortWrite(n)) => Ok(Some(n)),
+            Some(FailAction::Drop) => Ok(Some(0)),
+            Some(FailAction::Panic) => panic!("failpoint {site}: injected panic"),
+            Some(FailAction::Delay(_)) => Ok(None),
+        }
+    }
+}
+
+impl Default for Failpoints {
+    fn default() -> Self {
+        Failpoints::new()
+    }
+}
+
+/// The process-global failpoint set, for sites without a natural owner
+/// (wire frames, service worker loops).  Tests sharing it must arm disjoint
+/// sites or serialize.
+pub fn global() -> &'static Failpoints {
+    static GLOBAL: OnceLock<Failpoints> = OnceLock::new();
+    GLOBAL.get_or_init(Failpoints::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_sites_pass_through() {
+        let fp = Failpoints::new();
+        assert_eq!(fp.hit("anything"), None);
+        assert!(fp.hit_io("anything").unwrap().is_none());
+    }
+
+    #[test]
+    fn one_shot_fires_on_the_exact_hit_then_disarms() {
+        let fp = Failpoints::new();
+        fp.arm("site", 2, FailAction::Error);
+        assert_eq!(fp.hit("site"), None);
+        assert_eq!(fp.hit("site"), None);
+        assert_eq!(fp.hit("site"), Some(FailAction::Error));
+        assert_eq!(fp.hit("site"), None, "one-shot triggers disarm");
+        assert!(!fp.armed.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn persistent_triggers_keep_firing() {
+        let fp = Failpoints::new();
+        fp.arm_persistent("site", 1, FailAction::ShortWrite(3));
+        assert_eq!(fp.hit("site"), None);
+        assert_eq!(fp.hit("site"), Some(FailAction::ShortWrite(3)));
+        assert_eq!(fp.hit("site"), Some(FailAction::ShortWrite(3)));
+        fp.clear("site");
+        assert_eq!(fp.hit("site"), None);
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let a = Failpoints::new();
+        let b = Failpoints::new();
+        let sites = ["x", "y", "z"];
+        let plan_a = a.arm_seeded(42, &sites, 100);
+        let plan_b = b.arm_seeded(42, &sites, 100);
+        assert_eq!(plan_a, plan_b);
+        let plan_c = Failpoints::new().arm_seeded(43, &sites, 100);
+        // Different seeds *may* collide on one field, never on the test's
+        // purpose: the plan is a pure function of the seed.
+        assert_eq!(Failpoints::new().arm_seeded(43, &sites, 100), plan_c);
+    }
+
+    #[test]
+    fn io_helper_maps_actions() {
+        let fp = Failpoints::new();
+        fp.arm("e", 0, FailAction::Error);
+        assert!(fp.hit_io("e").is_err());
+        fp.arm("s", 0, FailAction::ShortWrite(5));
+        assert_eq!(fp.hit_io("s").unwrap(), Some(5));
+        fp.arm("d", 0, FailAction::Drop);
+        assert_eq!(fp.hit_io("d").unwrap(), Some(0));
+    }
+}

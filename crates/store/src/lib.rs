@@ -1,0 +1,56 @@
+//! `velv_store` — a crash-safe persistent record store for verification
+//! verdicts, plus the fault-injection facility used to prove it.
+//!
+//! The serving layer (`velv_serve`) keys every decided verdict by the
+//! 128-bit structural fingerprint of its problem; this crate persists those
+//! `(key, payload, artifact)` triples across process death:
+//!
+//! * [`Store`]: an append-only record log with length-prefixed,
+//!   CRC-32-checksummed entries and an in-memory index rebuilt on open by a
+//!   recovery scan that truncates torn tails and corrupt suffixes (see the
+//!   [`log`] module docs for the on-disk format and crash contract);
+//! * [`FsyncPolicy`]: the durability dial — `always` (an acked append
+//!   survives power loss), `every-n` (bounded loss window), `os` (page
+//!   cache decides);
+//! * sidecar spill: large artifacts (DRAT proofs) live in per-record
+//!   sidecar files referenced from log records, written before the record
+//!   that points at them, with missing sidecars degrading reads instead of
+//!   failing them;
+//! * [`Store::compact`]: rewrites live records into a fresh log swapped in
+//!   by rename, reaping superseded entries and orphaned sidecars;
+//! * [`failpoint`]: deterministic, seed-replayable fault injection (short
+//!   writes, IO errors, delays, dropped frames, panics) at named sites —
+//!   the engine of the crash-torture suites here and the wire/worker fault
+//!   tests in `velv_serve`.
+//!
+//! The crate depends only on `velv_obs` (metrics) and the standard library.
+//!
+//! # Example
+//!
+//! ```
+//! use velv_store::{Store, StoreConfig};
+//!
+//! let dir = std::env::temp_dir().join(format!("velv_store_doc_{}", std::process::id()));
+//! let (store, report) = Store::open(StoreConfig::new(&dir)).unwrap();
+//! store.append(0xfeed_u128, b"verdict bytes", Some(b"proof bytes")).unwrap();
+//! assert_eq!(report.truncated_bytes, 0);
+//!
+//! // Reopen (as after a crash): the record survives.
+//! drop(store);
+//! let (store, _) = Store::open(StoreConfig::new(&dir)).unwrap();
+//! let record = store.get(0xfeed_u128).unwrap().unwrap();
+//! assert_eq!(record.payload, b"verdict bytes");
+//! assert_eq!(record.sidecar.as_deref(), Some(b"proof bytes".as_slice()));
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod crc;
+pub mod failpoint;
+pub mod log;
+
+pub use crc::crc32;
+pub use failpoint::{FailAction, Failpoints};
+pub use log::{CompactionReport, FsyncPolicy, Record, RecoveryReport, Store, StoreConfig};

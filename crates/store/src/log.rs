@@ -1,0 +1,946 @@
+//! The crash-safe append-only record log and its recovery scan.
+//!
+//! # On-disk format
+//!
+//! A store is a directory:
+//!
+//! ```text
+//! <dir>/
+//!   verdicts.log        the record log
+//!   artifacts/          sidecar files for large payload attachments
+//!     <seq:016x>.bin
+//! ```
+//!
+//! The log is a sequence of length-prefixed, CRC-checksummed records:
+//!
+//! ```text
+//! record  := [len: u32 LE] [crc: u32 LE] [body: len bytes]
+//! body    := [key: u128 LE] [seq: u64 LE] [flags: u8] [payload...]
+//! flags   := bit 0: a sidecar file artifacts/<seq>.bin exists
+//! ```
+//!
+//! `crc` covers exactly `body`.  Records are never updated in place; a
+//! re-append of the same key supersedes earlier records (last write wins),
+//! and [`Store::compact`] rewrites only the live ones.
+//!
+//! # Recovery
+//!
+//! [`Store::open`] scans the log sequentially, rebuilding the in-memory
+//! index.  The scan stops at the first sign of corruption — a short header,
+//! an implausible length, a short body, or a CRC mismatch — and truncates
+//! the file there: everything before the bad record is kept, everything from
+//! it on is discarded and counted in the [`RecoveryReport`].  This is the
+//! crash contract of an append-only log: a torn tail is expected after
+//! power loss and repairs to the longest checksummed prefix.
+//!
+//! # Durability
+//!
+//! [`FsyncPolicy`] picks the durability point: `Always` fsyncs after every
+//! append (an acked record survives kill -9 and power loss), `EveryN(n)`
+//! bounds loss to the last `n` appends, `Os` leaves flushing to the page
+//! cache (crash-consistent but not crash-durable).
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::crc::crc32;
+use crate::failpoint::{FailAction, Failpoints};
+
+/// Log file name inside the store directory.
+const LOG_FILE: &str = "verdicts.log";
+/// Sidecar directory name inside the store directory.
+const ARTIFACT_DIR: &str = "artifacts";
+/// Bytes of record header: `len` + `crc`.
+const HEADER_BYTES: usize = 8;
+/// Bytes of body preamble: key + seq + flags.
+const BODY_PREAMBLE: usize = 16 + 8 + 1;
+/// Upper bound on a single record body; longer length prefixes are treated
+/// as corruption by the recovery scan (and rejected at append time).
+const MAX_RECORD_BYTES: usize = 64 << 20;
+/// `flags` bit: record has a sidecar file.
+const FLAG_SIDECAR: u8 = 1;
+
+/// When appended records are pushed to stable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every append: an acked append is durable.
+    Always,
+    /// `fdatasync` every `n` appends: bounds loss to the last `n` acks.
+    EveryN(u64),
+    /// Never fsync explicitly; the OS page cache decides.  Crash-consistent
+    /// (recovery still yields a valid prefix) but not crash-durable.
+    Os,
+}
+
+impl FsyncPolicy {
+    /// Parses `always`, `os` or `every-<n>` (e.g. `every-64`).
+    pub fn parse(s: &str) -> Result<FsyncPolicy, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "os" => Ok(FsyncPolicy::Os),
+            other => match other.strip_prefix("every-") {
+                Some(n) => n
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .map(FsyncPolicy::EveryN)
+                    .ok_or_else(|| format!("bad fsync interval `{n}`")),
+                None => Err(format!(
+                    "unknown fsync policy `{other}` (want always, every-<n> or os)"
+                )),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsyncPolicy::Always => write!(f, "always"),
+            FsyncPolicy::EveryN(n) => write!(f, "every-{n}"),
+            FsyncPolicy::Os => write!(f, "os"),
+        }
+    }
+}
+
+/// Configuration for [`Store::open`].
+#[derive(Clone)]
+pub struct StoreConfig {
+    /// The store directory; created (with parents) if missing.
+    pub dir: PathBuf,
+    /// The durability policy.
+    pub fsync: FsyncPolicy,
+    /// Failpoint set consulted by store IO sites (see [`crate::failpoint`]).
+    /// `None` means the sites are never armed.
+    pub failpoints: Option<Arc<Failpoints>>,
+    /// Registry for the store's `velv_store_*` metrics; `None` uses
+    /// detached (unexported) cells.
+    pub registry: Option<velv_obs::Registry>,
+}
+
+impl StoreConfig {
+    /// A config with the given directory, `fsync=always`, no failpoints and
+    /// detached metrics.
+    pub fn new(dir: impl Into<PathBuf>) -> StoreConfig {
+        StoreConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Always,
+            failpoints: None,
+            registry: None,
+        }
+    }
+}
+
+/// What the recovery scan found on open.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Valid records scanned (including ones later superseded).
+    pub records: u64,
+    /// Distinct live keys in the rebuilt index.
+    pub live: u64,
+    /// Bytes discarded by truncating at the first bad record (0 on a clean
+    /// log).
+    pub truncated_bytes: u64,
+    /// Log size after recovery, in bytes.
+    pub log_bytes: u64,
+    /// Wall time of the scan.
+    pub scan_time: Duration,
+}
+
+/// What a [`Store::compact`] pass did.
+#[derive(Clone, Debug, Default)]
+pub struct CompactionReport {
+    /// Live records rewritten into the fresh log.
+    pub live: u64,
+    /// Bytes reclaimed from the log file (old size minus new size).
+    pub reclaimed_bytes: u64,
+    /// Orphaned sidecar files removed.
+    pub removed_sidecars: u64,
+}
+
+/// One live record read back from the store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Record {
+    /// The 128-bit key (problem fingerprint in `velv_serve`).
+    pub key: u128,
+    /// The append sequence number, unique per record for the life of the
+    /// store directory.
+    pub seq: u64,
+    /// The inline payload.
+    pub payload: Vec<u8>,
+    /// The sidecar contents, if the record had one and its file is intact.
+    /// `None` either because no sidecar was written or because the file is
+    /// missing/damaged — the latter is counted in
+    /// `velv_store_sidecar_missing_total`.
+    pub sidecar: Option<Vec<u8>>,
+}
+
+#[derive(Clone, Copy)]
+struct IndexEntry {
+    offset: u64,
+    body_len: u32,
+    seq: u64,
+    sidecar: bool,
+}
+
+#[derive(Clone)]
+struct Metrics {
+    appends: velv_obs::Counter,
+    fsyncs: velv_obs::Counter,
+    append_errors: velv_obs::Counter,
+    recovered_records: velv_obs::Counter,
+    truncated_bytes: velv_obs::Counter,
+    sidecar_missing: velv_obs::Counter,
+    compactions: velv_obs::Counter,
+    live_records: velv_obs::Gauge,
+    log_bytes: velv_obs::Gauge,
+}
+
+impl Metrics {
+    fn new(registry: Option<&velv_obs::Registry>) -> Metrics {
+        match registry {
+            Some(r) => Metrics {
+                appends: r.counter("velv_store_appends_total", "Records appended."),
+                fsyncs: r.counter("velv_store_fsyncs_total", "Explicit fsync calls."),
+                append_errors: r.counter(
+                    "velv_store_append_errors_total",
+                    "Appends failed by IO errors (store poisoned until reopen).",
+                ),
+                recovered_records: r.counter(
+                    "velv_store_recovered_records_total",
+                    "Valid records scanned during recovery.",
+                ),
+                truncated_bytes: r.counter(
+                    "velv_store_truncated_bytes_total",
+                    "Bytes discarded by torn-tail truncation during recovery.",
+                ),
+                sidecar_missing: r.counter(
+                    "velv_store_sidecar_missing_total",
+                    "Records whose sidecar file was missing or damaged at read.",
+                ),
+                compactions: r.counter("velv_store_compactions_total", "Compaction passes."),
+                live_records: r.gauge("velv_store_live_records", "Distinct live keys."),
+                log_bytes: r.gauge("velv_store_log_bytes", "Log file size in bytes."),
+            },
+            None => Metrics {
+                appends: velv_obs::Counter::detached(),
+                fsyncs: velv_obs::Counter::detached(),
+                append_errors: velv_obs::Counter::detached(),
+                recovered_records: velv_obs::Counter::detached(),
+                truncated_bytes: velv_obs::Counter::detached(),
+                sidecar_missing: velv_obs::Counter::detached(),
+                compactions: velv_obs::Counter::detached(),
+                live_records: velv_obs::Gauge::detached(),
+                log_bytes: velv_obs::Gauge::detached(),
+            },
+        }
+    }
+}
+
+struct StoreInner {
+    file: File,
+    /// Offset one past the last valid record: where the next append lands.
+    tail: u64,
+    next_seq: u64,
+    index: HashMap<u128, IndexEntry>,
+    appends_since_sync: u64,
+    /// Set by a failed append: the log may have a torn tail the in-memory
+    /// state does not reflect, so every later mutation is refused until the
+    /// store is reopened (whose recovery scan repairs the tail).
+    poisoned: Option<String>,
+}
+
+/// A crash-safe persistent record store; see the [module docs](self) for the
+/// format and recovery contract.
+///
+/// All methods take `&self`; the store is internally synchronized and can be
+/// shared across threads behind an `Arc`.
+pub struct Store {
+    dir: PathBuf,
+    fsync: FsyncPolicy,
+    failpoints: Option<Arc<Failpoints>>,
+    metrics: Metrics,
+    inner: Mutex<StoreInner>,
+}
+
+impl Store {
+    /// Opens (creating if absent) the store at `config.dir`, running the
+    /// recovery scan to rebuild the index and repair any torn tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns any IO error creating the directory, opening the log, or
+    /// truncating a damaged tail.  Corrupt *records* are not errors — they
+    /// are truncated away and counted in the [`RecoveryReport`].
+    pub fn open(config: StoreConfig) -> io::Result<(Store, RecoveryReport)> {
+        fs::create_dir_all(&config.dir)?;
+        fs::create_dir_all(config.dir.join(ARTIFACT_DIR))?;
+        let log_path = config.dir.join(LOG_FILE);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&log_path)?;
+
+        let metrics = Metrics::new(config.registry.as_ref());
+        let started = Instant::now();
+        let (index, tail, next_seq, records, truncated) = scan_log(&mut file)?;
+        if truncated > 0 {
+            file.set_len(tail)?;
+            file.sync_data()?;
+        }
+        let report = RecoveryReport {
+            records,
+            live: index.len() as u64,
+            truncated_bytes: truncated,
+            log_bytes: tail,
+            scan_time: started.elapsed(),
+        };
+        metrics.recovered_records.add(records);
+        metrics.truncated_bytes.add(truncated);
+        metrics.live_records.set(index.len() as i64);
+        metrics.log_bytes.set(tail as i64);
+
+        let store = Store {
+            dir: config.dir,
+            fsync: config.fsync,
+            failpoints: config.failpoints,
+            metrics,
+            inner: Mutex::new(StoreInner {
+                file,
+                tail,
+                next_seq,
+                index,
+                appends_since_sync: 0,
+                poisoned: None,
+            }),
+        };
+        Ok((store, report))
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The active fsync policy.
+    pub fn fsync_policy(&self) -> FsyncPolicy {
+        self.fsync
+    }
+
+    /// Number of distinct live keys.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("store lock").index.len()
+    }
+
+    /// True when no live keys exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current log file size in bytes.
+    pub fn log_bytes(&self) -> u64 {
+        self.inner.lock().expect("store lock").tail
+    }
+
+    /// True when `key` has a live record.
+    pub fn contains(&self, key: u128) -> bool {
+        self.inner
+            .lock()
+            .expect("store lock")
+            .index
+            .contains_key(&key)
+    }
+
+    fn fail_hit(&self, site: &str) -> Option<FailAction> {
+        self.failpoints.as_ref().and_then(|fp| fp.hit(site))
+    }
+
+    /// Writes `buf` at the current position of `file`, honoring a fired
+    /// failpoint at `site`: `Error` writes nothing, `ShortWrite(n)` writes
+    /// the first `n` bytes — both then fail, leaving a torn tail exactly as
+    /// a crash would.  `Drop` reports success without writing (a lying
+    /// disk); `Panic` panics.
+    fn write_site(&self, file: &mut File, site: &str, buf: &[u8]) -> io::Result<()> {
+        match self.fail_hit(site) {
+            None | Some(FailAction::Delay(_)) => file.write_all(buf),
+            Some(FailAction::Error) => Err(io::Error::other(format!(
+                "failpoint {site}: injected IO error"
+            ))),
+            Some(FailAction::ShortWrite(n)) => {
+                let n = n.min(buf.len());
+                file.write_all(&buf[..n])?;
+                Err(io::Error::other(format!(
+                    "failpoint {site}: short write ({n} of {} bytes)",
+                    buf.len()
+                )))
+            }
+            Some(FailAction::Drop) => Ok(()),
+            Some(FailAction::Panic) => panic!("failpoint {site}: injected panic"),
+        }
+    }
+
+    fn sync_site(&self, file: &File, site: &str) -> io::Result<()> {
+        match self.fail_hit(site) {
+            None | Some(FailAction::Delay(_)) | Some(FailAction::Drop) => {
+                self.metrics.fsyncs.inc();
+                file.sync_data()
+            }
+            Some(FailAction::Error) => Err(io::Error::other(format!(
+                "failpoint {site}: injected IO error"
+            ))),
+            Some(FailAction::ShortWrite(_)) => Err(io::Error::other(format!(
+                "failpoint {site}: injected fsync failure"
+            ))),
+            Some(FailAction::Panic) => panic!("failpoint {site}: injected panic"),
+        }
+    }
+
+    fn sidecar_path(&self, seq: u64) -> PathBuf {
+        self.dir.join(ARTIFACT_DIR).join(format!("{seq:016x}.bin"))
+    }
+
+    /// Appends a record for `key`, superseding any earlier record with the
+    /// same key, and returns its sequence number.  `sidecar` bytes are
+    /// spilled to a sidecar file written (and, under `fsync=always`,
+    /// synced) *before* the log record that references it, so a recovered
+    /// record's sidecar is present unless the crash tore the sidecar write
+    /// itself — in which case reads degrade to `sidecar: None` rather than
+    /// fail.
+    ///
+    /// Once the configured fsync policy's durability point has passed, the
+    /// record survives process kill and power loss.
+    ///
+    /// # Errors
+    ///
+    /// Any IO error (real or injected) poisons the store: the log may hold
+    /// a torn tail that the in-memory index does not reflect, so all later
+    /// appends fail until the store is reopened and recovery repairs the
+    /// tail.  The in-memory index never advertises a record whose write
+    /// failed.
+    pub fn append(&self, key: u128, payload: &[u8], sidecar: Option<&[u8]>) -> io::Result<u64> {
+        if payload.len() + BODY_PREAMBLE > MAX_RECORD_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("payload of {} bytes exceeds record cap", payload.len()),
+            ));
+        }
+        let mut inner = self.inner.lock().expect("store lock");
+        if let Some(why) = &inner.poisoned {
+            return Err(io::Error::other(format!(
+                "store poisoned by earlier append failure ({why}); reopen to recover"
+            )));
+        }
+        let seq = inner.next_seq;
+        let result = self.append_locked(&mut inner, key, seq, payload, sidecar);
+        match result {
+            Ok(()) => Ok(seq),
+            Err(err) => {
+                inner.poisoned = Some(err.to_string());
+                self.metrics.append_errors.inc();
+                Err(err)
+            }
+        }
+    }
+
+    fn append_locked(
+        &self,
+        inner: &mut StoreInner,
+        key: u128,
+        seq: u64,
+        payload: &[u8],
+        sidecar: Option<&[u8]>,
+    ) -> io::Result<()> {
+        // Sidecar first: a crash between the two writes orphans a file
+        // (harmless, reaped by compaction) instead of dangling a reference.
+        if let Some(bytes) = sidecar {
+            let path = self.sidecar_path(seq);
+            let mut side = File::create(&path)?;
+            self.write_site(&mut side, "store.append.sidecar", bytes)?;
+            if self.fsync == FsyncPolicy::Always {
+                self.sync_site(&side, "store.append.sidecar.fsync")?;
+            }
+        }
+
+        let mut body = Vec::with_capacity(BODY_PREAMBLE + payload.len());
+        body.extend_from_slice(&key.to_le_bytes());
+        body.extend_from_slice(&seq.to_le_bytes());
+        body.push(if sidecar.is_some() { FLAG_SIDECAR } else { 0 });
+        body.extend_from_slice(payload);
+
+        let mut record = Vec::with_capacity(HEADER_BYTES + body.len());
+        record.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        record.extend_from_slice(&crc32(&body).to_le_bytes());
+        record.extend_from_slice(&body);
+
+        let tail = inner.tail;
+        inner.file.seek(SeekFrom::Start(tail))?;
+        // Borrow the file out of `inner` for the failpoint-aware write.
+        let mut file = &inner.file;
+        match self.fail_hit("store.append.body") {
+            None | Some(FailAction::Delay(_)) => file.write_all(&record)?,
+            Some(FailAction::Error) => {
+                return Err(io::Error::other(
+                    "failpoint store.append.body: injected IO error",
+                ))
+            }
+            Some(FailAction::ShortWrite(n)) => {
+                let n = n.min(record.len());
+                file.write_all(&record[..n])?;
+                return Err(io::Error::other(format!(
+                    "failpoint store.append.body: short write ({n} of {} bytes)",
+                    record.len()
+                )));
+            }
+            Some(FailAction::Drop) => {}
+            Some(FailAction::Panic) => panic!("failpoint store.append.body: injected panic"),
+        }
+
+        let should_sync = match self.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => inner.appends_since_sync + 1 >= n,
+            FsyncPolicy::Os => false,
+        };
+        if should_sync {
+            self.sync_site(&inner.file, "store.append.fsync")?;
+            inner.appends_since_sync = 0;
+        } else {
+            inner.appends_since_sync += 1;
+        }
+
+        inner.tail = tail + record.len() as u64;
+        inner.next_seq = seq + 1;
+        inner.index.insert(
+            key,
+            IndexEntry {
+                offset: tail,
+                body_len: body.len() as u32,
+                seq,
+                sidecar: sidecar.is_some(),
+            },
+        );
+        self.metrics.appends.inc();
+        self.metrics.live_records.set(inner.index.len() as i64);
+        self.metrics.log_bytes.set(inner.tail as i64);
+        Ok(())
+    }
+
+    /// Forces an fsync of the log regardless of policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `fdatasync` error, if any.
+    pub fn sync(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("store lock");
+        self.metrics.fsyncs.inc();
+        inner.file.sync_data()?;
+        inner.appends_since_sync = 0;
+        Ok(())
+    }
+
+    /// Reads the live record for `key`, or `None` if absent.  A referenced
+    /// sidecar that is missing or damaged degrades the record to
+    /// `sidecar: None` (counted in `velv_store_sidecar_missing_total`)
+    /// rather than failing the read.
+    ///
+    /// # Errors
+    ///
+    /// Returns an IO error only for log-file read failures or an
+    /// index/log mismatch (which indicates external interference).
+    pub fn get(&self, key: u128) -> io::Result<Option<Record>> {
+        let mut inner = self.inner.lock().expect("store lock");
+        let entry = match inner.index.get(&key) {
+            Some(entry) => *entry,
+            None => return Ok(None),
+        };
+        let record = self.read_entry(&mut inner, entry)?;
+        Ok(Some(record))
+    }
+
+    fn read_entry(&self, inner: &mut StoreInner, entry: IndexEntry) -> io::Result<Record> {
+        inner.file.seek(SeekFrom::Start(entry.offset))?;
+        let mut framed = vec![0u8; HEADER_BYTES + entry.body_len as usize];
+        inner.file.read_exact(&mut framed)?;
+        let body = &framed[HEADER_BYTES..];
+        let stored_crc = u32::from_le_bytes(framed[4..8].try_into().expect("crc slice"));
+        if crc32(body) != stored_crc {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "record CRC mismatch on read (log modified externally?)",
+            ));
+        }
+        let key = u128::from_le_bytes(body[..16].try_into().expect("key slice"));
+        let seq = u64::from_le_bytes(body[16..24].try_into().expect("seq slice"));
+        let payload = body[BODY_PREAMBLE..].to_vec();
+        let sidecar = if entry.sidecar {
+            match fs::read(self.sidecar_path(seq)) {
+                Ok(bytes) => Some(bytes),
+                Err(_) => {
+                    self.metrics.sidecar_missing.inc();
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Record {
+            key,
+            seq,
+            payload,
+            sidecar,
+        })
+    }
+
+    /// Reads every live record, ordered by sequence number (append order) —
+    /// the warm-boot replay path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first log-file read failure, if any.
+    pub fn live_records(&self) -> io::Result<Vec<Record>> {
+        let mut inner = self.inner.lock().expect("store lock");
+        let mut entries: Vec<IndexEntry> = inner.index.values().copied().collect();
+        entries.sort_by_key(|e| e.seq);
+        let mut records = Vec::with_capacity(entries.len());
+        for entry in entries {
+            records.push(self.read_entry(&mut inner, entry)?);
+        }
+        Ok(records)
+    }
+
+    /// Rewrites the live records into a fresh log (atomically swapped in by
+    /// rename), dropping superseded records and reaping orphaned sidecar
+    /// files.  Readers and writers are blocked for the duration.
+    ///
+    /// # Errors
+    ///
+    /// Any IO error; the original log is untouched unless the final rename
+    /// succeeded, so a failed compaction never loses records.
+    pub fn compact(&self) -> io::Result<CompactionReport> {
+        let mut inner = self.inner.lock().expect("store lock");
+        if let Some(why) = &inner.poisoned {
+            return Err(io::Error::other(format!(
+                "store poisoned by earlier append failure ({why}); reopen to recover"
+            )));
+        }
+        let old_bytes = inner.tail;
+        let mut entries: Vec<IndexEntry> = inner.index.values().copied().collect();
+        entries.sort_by_key(|e| e.seq);
+
+        let tmp_path = self.dir.join(format!("{LOG_FILE}.compact"));
+        let mut tmp = File::create(&tmp_path)?;
+        let mut new_index: HashMap<u128, IndexEntry> = HashMap::with_capacity(entries.len());
+        let mut offset = 0u64;
+        for entry in &entries {
+            inner.file.seek(SeekFrom::Start(entry.offset))?;
+            let mut framed = vec![0u8; HEADER_BYTES + entry.body_len as usize];
+            inner.file.read_exact(&mut framed)?;
+            tmp.write_all(&framed)?;
+            let key = u128::from_le_bytes(
+                framed[HEADER_BYTES..HEADER_BYTES + 16]
+                    .try_into()
+                    .expect("key slice"),
+            );
+            new_index.insert(key, IndexEntry { offset, ..*entry });
+            offset += framed.len() as u64;
+        }
+        tmp.sync_all()?;
+        drop(tmp);
+        fs::rename(&tmp_path, self.dir.join(LOG_FILE))?;
+        sync_dir(&self.dir);
+
+        inner.file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(self.dir.join(LOG_FILE))?;
+        inner.tail = offset;
+        inner.index = new_index;
+        inner.appends_since_sync = 0;
+
+        // Reap sidecars whose record is gone.
+        let live_seqs: std::collections::HashSet<u64> =
+            inner.index.values().map(|e| e.seq).collect();
+        let mut removed = 0u64;
+        if let Ok(dir) = fs::read_dir(self.dir.join(ARTIFACT_DIR)) {
+            for file in dir.flatten() {
+                let name = file.file_name();
+                let name = name.to_string_lossy();
+                let seq = name
+                    .strip_suffix(".bin")
+                    .and_then(|hex| u64::from_str_radix(hex, 16).ok());
+                if let Some(seq) = seq {
+                    if !live_seqs.contains(&seq) && fs::remove_file(file.path()).is_ok() {
+                        removed += 1;
+                    }
+                }
+            }
+        }
+
+        self.metrics.compactions.inc();
+        self.metrics.log_bytes.set(inner.tail as i64);
+        Ok(CompactionReport {
+            live: inner.index.len() as u64,
+            reclaimed_bytes: old_bytes.saturating_sub(offset),
+            removed_sidecars: removed,
+        })
+    }
+}
+
+/// Fsync a directory so a rename within it is durable; best-effort (some
+/// filesystems refuse directory fsync).
+fn sync_dir(dir: &Path) {
+    if let Ok(handle) = File::open(dir) {
+        let _ = handle.sync_all();
+    }
+}
+
+type ScanResult = (HashMap<u128, IndexEntry>, u64, u64, u64, u64);
+
+/// Sequentially scans the log, returning `(index, tail, next_seq, records,
+/// truncated_bytes)`.  Stops at the first corrupt record; `tail` is the
+/// offset of the longest valid prefix.
+fn scan_log(file: &mut File) -> io::Result<ScanResult> {
+    let file_len = file.seek(SeekFrom::End(0))?;
+    file.seek(SeekFrom::Start(0))?;
+    let mut reader = io::BufReader::with_capacity(1 << 20, file);
+    let mut index: HashMap<u128, IndexEntry> = HashMap::new();
+    let mut offset = 0u64;
+    let mut records = 0u64;
+    let mut next_seq = 0u64;
+    let mut header = [0u8; HEADER_BYTES];
+    let mut body: Vec<u8> = Vec::new();
+    loop {
+        if file_len - offset < HEADER_BYTES as u64 {
+            break; // clean EOF or torn header
+        }
+        reader.read_exact(&mut header)?;
+        let len = u32::from_le_bytes(header[..4].try_into().expect("len slice")) as usize;
+        let stored_crc = u32::from_le_bytes(header[4..8].try_into().expect("crc slice"));
+        if !(BODY_PREAMBLE..=MAX_RECORD_BYTES).contains(&len) {
+            break; // implausible length: corruption
+        }
+        if file_len - offset - (HEADER_BYTES as u64) < len as u64 {
+            break; // torn body
+        }
+        body.resize(len, 0);
+        reader.read_exact(&mut body)?;
+        if crc32(&body) != stored_crc {
+            break; // corrupt record
+        }
+        let key = u128::from_le_bytes(body[..16].try_into().expect("key slice"));
+        let seq = u64::from_le_bytes(body[16..24].try_into().expect("seq slice"));
+        let flags = body[24];
+        index.insert(
+            key,
+            IndexEntry {
+                offset,
+                body_len: len as u32,
+                seq,
+                sidecar: flags & FLAG_SIDECAR != 0,
+            },
+        );
+        records += 1;
+        next_seq = next_seq.max(seq + 1);
+        offset += (HEADER_BYTES + len) as u64;
+    }
+    Ok((index, offset, next_seq, records, file_len - offset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("velv_store_test_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_and_last_write_wins() {
+        let dir = temp_dir("roundtrip");
+        let (store, report) = Store::open(StoreConfig::new(&dir)).unwrap();
+        assert_eq!(report.records, 0);
+        store.append(1, b"one", None).unwrap();
+        store.append(2, b"two", None).unwrap();
+        store.append(1, b"one-v2", None).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(1).unwrap().unwrap().payload, b"one-v2");
+        assert_eq!(store.get(2).unwrap().unwrap().payload, b"two");
+        assert_eq!(store.get(3).unwrap(), None);
+        drop(store);
+
+        let (store, report) = Store::open(StoreConfig::new(&dir)).unwrap();
+        assert_eq!(report.records, 3);
+        assert_eq!(report.live, 2);
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(store.get(1).unwrap().unwrap().payload, b"one-v2");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_reopen() {
+        let dir = temp_dir("torn");
+        let (store, _) = Store::open(StoreConfig::new(&dir)).unwrap();
+        store.append(1, b"kept", None).unwrap();
+        let good_len = store.log_bytes();
+        drop(store);
+
+        // Simulate a crash mid-append: half a record at the tail.
+        let log = dir.join(LOG_FILE);
+        let mut file = OpenOptions::new().append(true).open(&log).unwrap();
+        file.write_all(&[0x20, 0, 0, 0, 0xde, 0xad, 0xbe]).unwrap();
+        drop(file);
+
+        let (store, report) = Store::open(StoreConfig::new(&dir)).unwrap();
+        assert_eq!(report.records, 1);
+        assert_eq!(report.truncated_bytes, 7);
+        assert_eq!(fs::metadata(&log).unwrap().len(), good_len);
+        assert_eq!(store.get(1).unwrap().unwrap().payload, b"kept");
+        // The store is appendable again after repair.
+        store.append(2, b"after", None).unwrap();
+        drop(store);
+        let (_, report) = Store::open(StoreConfig::new(&dir)).unwrap();
+        assert_eq!(report.records, 2);
+        assert_eq!(report.truncated_bytes, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_record_truncates_everything_after() {
+        let dir = temp_dir("corrupt");
+        let (store, _) = Store::open(StoreConfig::new(&dir)).unwrap();
+        store.append(1, b"first", None).unwrap();
+        let first_len = store.log_bytes();
+        store.append(2, b"second", None).unwrap();
+        store.append(3, b"third", None).unwrap();
+        drop(store);
+
+        // Flip one payload byte of the second record.
+        let log = dir.join(LOG_FILE);
+        let mut bytes = fs::read(&log).unwrap();
+        let victim = first_len as usize + HEADER_BYTES + BODY_PREAMBLE;
+        bytes[victim] ^= 0xFF;
+        fs::write(&log, &bytes).unwrap();
+
+        let (store, report) = Store::open(StoreConfig::new(&dir)).unwrap();
+        assert_eq!(report.records, 1);
+        assert_eq!(report.live, 1);
+        assert!(report.truncated_bytes > 0);
+        assert!(store.contains(1));
+        assert!(!store.contains(2));
+        assert!(!store.contains(3));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sidecar_roundtrip_and_degrade() {
+        let dir = temp_dir("sidecar");
+        let (store, _) = Store::open(StoreConfig::new(&dir)).unwrap();
+        let proof = vec![0xAB; 4096];
+        let seq = store.append(7, b"verdict", Some(&proof)).unwrap();
+        let record = store.get(7).unwrap().unwrap();
+        assert_eq!(record.sidecar.as_deref(), Some(proof.as_slice()));
+        drop(store);
+
+        let (store, _) = Store::open(StoreConfig::new(&dir)).unwrap();
+        assert_eq!(
+            store.get(7).unwrap().unwrap().sidecar.as_deref(),
+            Some(proof.as_slice())
+        );
+        // Losing the sidecar degrades the record, not the read.
+        fs::remove_file(dir.join(ARTIFACT_DIR).join(format!("{seq:016x}.bin"))).unwrap();
+        let record = store.get(7).unwrap().unwrap();
+        assert_eq!(record.payload, b"verdict");
+        assert_eq!(record.sidecar, None);
+        assert_eq!(store.metrics.sidecar_missing.get(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_append_poisons_until_reopen() {
+        let dir = temp_dir("poison");
+        let fp = Arc::new(Failpoints::new());
+        let mut config = StoreConfig::new(&dir);
+        config.failpoints = Some(fp.clone());
+        let (store, _) = Store::open(config).unwrap();
+        store.append(1, b"good", None).unwrap();
+        fp.arm("store.append.body", 0, FailAction::ShortWrite(5));
+        assert!(store.append(2, b"torn", None).is_err());
+        let err = store.append(3, b"refused", None).unwrap_err();
+        assert!(err.to_string().contains("poisoned"), "{err}");
+        assert!(!store.contains(2), "failed append must not be advertised");
+        drop(store);
+
+        let (store, report) = Store::open(StoreConfig::new(&dir)).unwrap();
+        assert_eq!(report.records, 1);
+        assert_eq!(report.truncated_bytes, 5);
+        assert!(store.contains(1));
+        store.append(3, b"works again", None).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_drops_superseded_records_and_orphan_sidecars() {
+        let dir = temp_dir("compact");
+        let (store, _) = Store::open(StoreConfig::new(&dir)).unwrap();
+        for round in 0..10u8 {
+            for key in 0..5u128 {
+                store.append(key, &[round; 32], Some(&[round; 64])).unwrap();
+            }
+        }
+        let before = store.log_bytes();
+        let report = store.compact().unwrap();
+        assert_eq!(report.live, 5);
+        assert!(report.reclaimed_bytes > 0);
+        assert_eq!(report.removed_sidecars, 45);
+        assert!(store.log_bytes() < before);
+        for key in 0..5u128 {
+            let record = store.get(key).unwrap().unwrap();
+            assert_eq!(record.payload, [9u8; 32]);
+            assert_eq!(record.sidecar.as_deref(), Some([9u8; 64].as_slice()));
+        }
+        // Post-compaction appends and reopen both still work.
+        store.append(99, b"fresh", None).unwrap();
+        drop(store);
+        let (store, report) = Store::open(StoreConfig::new(&dir)).unwrap();
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(report.live, 6);
+        assert_eq!(store.get(99).unwrap().unwrap().payload, b"fresh");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn live_records_replay_in_append_order() {
+        let dir = temp_dir("replay");
+        let (store, _) = Store::open(StoreConfig::new(&dir)).unwrap();
+        store.append(5, b"a", None).unwrap();
+        store.append(6, b"b", None).unwrap();
+        store.append(5, b"c", None).unwrap();
+        let records = store.live_records().unwrap();
+        assert_eq!(
+            records
+                .iter()
+                .map(|r| (r.key, r.payload.clone()))
+                .collect::<Vec<_>>(),
+            vec![(6, b"b".to_vec()), (5, b"c".to_vec())]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_policy_parses() {
+        assert_eq!(FsyncPolicy::parse("always"), Ok(FsyncPolicy::Always));
+        assert_eq!(FsyncPolicy::parse("os"), Ok(FsyncPolicy::Os));
+        assert_eq!(FsyncPolicy::parse("every-64"), Ok(FsyncPolicy::EveryN(64)));
+        assert!(FsyncPolicy::parse("every-0").is_err());
+        assert!(FsyncPolicy::parse("sometimes").is_err());
+        assert_eq!(FsyncPolicy::EveryN(8).to_string(), "every-8");
+    }
+}

@@ -1,0 +1,120 @@
+//! Model-based test: a seeded stream of random store operations (append,
+//! overwrite, get, compact, sync, reopen) checked op-for-op against an
+//! in-memory reference map.  With no faults injected, the store must behave
+//! exactly like `HashMap<u128, (payload, sidecar)>` with persistence.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use velv_sat::rng::SmallRng;
+use velv_store::{FsyncPolicy, Store, StoreConfig};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("velv_store_model_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+type Reference = HashMap<u128, (Vec<u8>, Option<Vec<u8>>)>;
+
+fn check_agreement(store: &Store, reference: &Reference, context: &str) {
+    assert_eq!(store.len(), reference.len(), "{context}: size mismatch");
+    for (key, (payload, sidecar)) in reference {
+        let record = store
+            .get(*key)
+            .unwrap_or_else(|e| panic!("{context}: read of {key:#x} failed: {e}"))
+            .unwrap_or_else(|| panic!("{context}: {key:#x} missing"));
+        assert_eq!(&record.payload, payload, "{context}: payload of {key:#x}");
+        assert_eq!(
+            record.sidecar.as_ref(),
+            sidecar.as_ref(),
+            "{context}: sidecar of {key:#x}"
+        );
+    }
+}
+
+#[test]
+fn store_matches_reference_map_across_ops_and_reopens() {
+    for seed in [11u64, 2024, 0xFACE] {
+        let dir = temp_dir(&format!("s{seed}"));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut reference: Reference = HashMap::new();
+
+        let open = |fsync: FsyncPolicy| {
+            let mut config = StoreConfig::new(&dir);
+            config.fsync = fsync;
+            Store::open(config).expect("open")
+        };
+        let (mut store, _) = open(FsyncPolicy::EveryN(4));
+
+        for op in 0..400u32 {
+            let context = format!("seed {seed} op {op}");
+            match rng.gen_range(0..100) {
+                // Append (fresh or overwriting) — the dominant operation.
+                0..=59 => {
+                    let key = rng.gen_range(0..40) as u128;
+                    let payload: Vec<u8> = (0..rng.gen_range(0..64))
+                        .map(|_| rng.next_u64() as u8)
+                        .collect();
+                    let sidecar = if rng.gen_bool(0.25) {
+                        Some(
+                            (0..rng.gen_range(1..512))
+                                .map(|_| rng.next_u64() as u8)
+                                .collect::<Vec<u8>>(),
+                        )
+                    } else {
+                        None
+                    };
+                    store.append(key, &payload, sidecar.as_deref()).unwrap();
+                    reference.insert(key, (payload, sidecar));
+                }
+                // Point read of a (maybe absent) key.
+                60..=79 => {
+                    let key = rng.gen_range(0..50) as u128;
+                    let got = store.get(key).unwrap();
+                    match reference.get(&key) {
+                        None => assert!(got.is_none(), "{context}: phantom {key:#x}"),
+                        Some((payload, sidecar)) => {
+                            let record = got.unwrap_or_else(|| panic!("{context}: lost {key:#x}"));
+                            assert_eq!(&record.payload, payload, "{context}");
+                            assert_eq!(record.sidecar.as_ref(), sidecar.as_ref(), "{context}");
+                        }
+                    }
+                }
+                // Compact.
+                80..=86 => {
+                    let report = store.compact().unwrap();
+                    assert_eq!(report.live as usize, reference.len(), "{context}");
+                    check_agreement(&store, &reference, &context);
+                }
+                // Forced sync.
+                87..=89 => store.sync().unwrap(),
+                // Reopen (graceful restart) under a random fsync policy.
+                _ => {
+                    store.sync().unwrap();
+                    drop(store);
+                    let fsync = match rng.gen_range(0..3) {
+                        0 => FsyncPolicy::Always,
+                        1 => FsyncPolicy::EveryN(rng.gen_range(1..16) as u64),
+                        _ => FsyncPolicy::Os,
+                    };
+                    let (reopened, report) = open(fsync);
+                    assert_eq!(report.truncated_bytes, 0, "{context}: clean log torn");
+                    store = reopened;
+                    check_agreement(&store, &reference, &context);
+                }
+            }
+        }
+
+        check_agreement(&store, &reference, &format!("seed {seed} final"));
+        // Full replay agrees with the reference as well.
+        let records = store.live_records().unwrap();
+        assert_eq!(records.len(), reference.len());
+        for record in records {
+            let (payload, sidecar) = &reference[&record.key];
+            assert_eq!(&record.payload, payload);
+            assert_eq!(record.sidecar.as_ref(), sidecar.as_ref());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Kill -9 durability smoke: start velvd with a verdict store, decide a small
+# catalog, kill the daemon hard (no graceful shutdown, no flush), restart it
+# on the same directory, and require every verdict to come back from the
+# replayed cache with zero re-solves.  Exercises the real binaries and the
+# real wire protocol — the in-process equivalent lives in
+# crates/serve/tests/robustness.rs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+addr="127.0.0.1:7977"
+dir="$(mktemp -d)"
+pid=""
+trap 'kill -9 "$pid" 2>/dev/null || true; rm -rf "$dir"' EXIT
+
+velvd=target/release/velvd
+velvc=target/release/velvc
+if [[ ! -x $velvd || ! -x $velvc ]]; then
+    cargo build --release -p velv_serve --bins
+fi
+
+models=(dlx1:correct dlx1:bug:0 dlx1:bug:1 dlx1:bug:2)
+
+wait_for_ping() {
+    for _ in $(seq 1 100); do
+        if "$velvc" --addr "$addr" ping >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "FAIL: velvd did not come up on $addr" >&2
+    exit 1
+}
+
+# First life: every decided verdict is fsynced before the reply hits the wire.
+"$velvd" --addr "$addr" --store "$dir/store" --fsync always &
+pid=$!
+wait_for_ping
+for model in "${models[@]}"; do
+    "$velvc" --addr "$addr" submit "model=$model"
+done
+
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+
+# Second life, same store directory: the log replays into the cache on boot.
+"$velvd" --addr "$addr" --store "$dir/store" --fsync always &
+pid=$!
+wait_for_ping
+
+for model in "${models[@]}"; do
+    out="$("$velvc" --addr "$addr" submit "model=$model")"
+    echo "$out"
+    if ! grep -q "cache hit" <<<"$out"; then
+        echo "FAIL: $model was not served from the replayed cache" >&2
+        exit 1
+    fi
+done
+
+stats="$("$velvc" --addr "$addr" stats)"
+replayed="$(awk '$1 == "velv_serve_warm_boot_replayed_total" {print $2}' <<<"$stats")"
+fresh="$(awk '$1 == "velv_serve_fresh_solves_total" {print $2}' <<<"$stats")"
+if [[ "$replayed" != "${#models[@]}" ]]; then
+    echo "FAIL: expected ${#models[@]} replayed verdicts, got ${replayed:-none}" >&2
+    exit 1
+fi
+if [[ "$fresh" != "0" ]]; then
+    echo "FAIL: the warm boot re-solved $fresh jobs" >&2
+    exit 1
+fi
+
+"$velvc" --addr "$addr" shutdown
+wait "$pid" 2>/dev/null || true
+pid=""
+echo "crash-restart smoke: OK (${#models[@]} verdicts survived kill -9, zero re-solves)"

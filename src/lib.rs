@@ -17,7 +17,11 @@
 //!   sinks, solver progress heartbeats and the offline trace checker,
 //! * [`velv_serve`] — the serving layer: a concurrent verification service
 //!   with a fingerprint-keyed verdict cache, in-flight deduplication, batch
-//!   scheduling, and the `velvd`/`velvc` TCP wire protocol.
+//!   scheduling, and the `velvd`/`velvc` TCP wire protocol,
+//! * [`velv_store`] — the crash-safe persistent verdict store behind
+//!   `velvd --store`: an append-only checksummed record log with recovery
+//!   scan, sidecar artifact spill, compaction, and the deterministic
+//!   failpoint facility driving the fault-injection suites.
 //!
 //! # Quickstart
 //!
@@ -43,6 +47,7 @@ pub use velv_obs;
 pub use velv_proof;
 pub use velv_sat;
 pub use velv_serve;
+pub use velv_store;
 
 /// The most commonly used items, for `use velv::prelude::*`.
 pub mod prelude {

@@ -1,0 +1,191 @@
+//! `benchguard` — a perf-regression gate over `BENCH_serve.json` files.
+//!
+//! Compares the serving-throughput sweeps of a freshly measured
+//! `BENCH_serve.json` against a committed baseline and fails (exit 1) when
+//! any shared sweep's `jobs_per_sec` falls below `min-ratio` of the
+//! baseline.  The ratio is deliberately generous by default (`0.10`): CI
+//! machines vary wildly, so the gate catches order-of-magnitude collapses
+//! (a lock left held, a busy-wait, an accidental serialization), not noise.
+//!
+//! ```text
+//! benchguard --baseline BENCH_serve.json --current /tmp/BENCH_serve.json [--min-ratio R]
+//! ```
+//!
+//! The parser is a purpose-built scan for this one schema (the workspace is
+//! dependency-free): it finds the `"sweeps"` array and pulls `label` and
+//! `jobs_per_sec` out of each `{...}` element.
+
+/// One throughput sweep row: label plus measured rate.
+#[derive(Debug, PartialEq)]
+struct Sweep {
+    label: String,
+    jobs_per_sec: f64,
+}
+
+/// Extracts the string value following `"key":` in `object`, or `None`.
+fn string_field(object: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\"");
+    let after = &object[object.find(&needle)? + needle.len()..];
+    let after = after.trim_start().strip_prefix(':')?.trim_start();
+    let rest = after.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_owned())
+}
+
+/// Extracts the numeric value following `"key":` in `object`, or `None`.
+fn number_field(object: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let after = &object[object.find(&needle)? + needle.len()..];
+    let after = after.trim_start().strip_prefix(':')?.trim_start();
+    let end = after
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(after.len());
+    after[..end].parse().ok()
+}
+
+/// Pulls the `sweeps` rows out of a `BENCH_serve.json` document.
+fn parse_sweeps(text: &str) -> Result<Vec<Sweep>, String> {
+    let start = text
+        .find("\"sweeps\"")
+        .ok_or_else(|| "no \"sweeps\" array".to_owned())?;
+    let after = &text[start..];
+    let open = after
+        .find('[')
+        .ok_or_else(|| "\"sweeps\" is not an array".to_owned())?;
+    let close = after[open..]
+        .find(']')
+        .ok_or_else(|| "unterminated \"sweeps\" array".to_owned())?;
+    let body = &after[open + 1..open + close];
+    let mut sweeps = Vec::new();
+    let mut rest = body;
+    while let Some(obj_start) = rest.find('{') {
+        let obj_end = rest[obj_start..]
+            .find('}')
+            .ok_or_else(|| "unterminated sweep object".to_owned())?;
+        let object = &rest[obj_start..obj_start + obj_end + 1];
+        let label = string_field(object, "label")
+            .ok_or_else(|| format!("sweep without label: {object}"))?;
+        let jobs_per_sec = number_field(object, "jobs_per_sec")
+            .ok_or_else(|| format!("sweep without jobs_per_sec: {object}"))?;
+        sweeps.push(Sweep {
+            label,
+            jobs_per_sec,
+        });
+        rest = &rest[obj_start + obj_end + 1..];
+    }
+    if sweeps.is_empty() {
+        return Err("empty \"sweeps\" array".to_owned());
+    }
+    Ok(sweeps)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: benchguard --baseline BENCH_serve.json --current BENCH_serve.json [--min-ratio R]"
+    );
+    std::process::exit(2);
+}
+
+fn load_sweeps(path: &str) -> Vec<Sweep> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("benchguard: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse_sweeps(&text).unwrap_or_else(|e| {
+        eprintln!("benchguard: {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path = None;
+    let mut current_path = None;
+    let mut min_ratio = 0.10f64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = || iter.next().cloned().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--baseline" => baseline_path = Some(value()),
+            "--current" => current_path = Some(value()),
+            "--min-ratio" => match value().parse::<f64>() {
+                Ok(r) if r > 0.0 && r <= 1.0 => min_ratio = r,
+                _ => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    let (Some(baseline_path), Some(current_path)) = (baseline_path, current_path) else {
+        usage();
+    };
+
+    let baseline = load_sweeps(&baseline_path);
+    let current = load_sweeps(&current_path);
+    let mut failed = false;
+    let mut compared = 0;
+    for base in &baseline {
+        // Smoke runs may carry fewer sweeps than a full baseline; gate only
+        // on the labels both files measured.
+        let Some(cur) = current.iter().find(|s| s.label == base.label) else {
+            println!(
+                "benchguard: {:<16} baseline {:>10.2} jobs/s, not measured in current run (skipped)",
+                base.label, base.jobs_per_sec
+            );
+            continue;
+        };
+        compared += 1;
+        let floor = base.jobs_per_sec * min_ratio;
+        let verdict = if cur.jobs_per_sec >= floor {
+            "ok"
+        } else {
+            failed = true;
+            "REGRESSION"
+        };
+        println!(
+            "benchguard: {:<16} baseline {:>10.2} jobs/s, current {:>10.2} jobs/s, floor {:>10.2} ({verdict})",
+            base.label, base.jobs_per_sec, cur.jobs_per_sec, floor
+        );
+    }
+    if compared == 0 {
+        eprintln!("benchguard: no sweep label is shared between baseline and current");
+        std::process::exit(2);
+    }
+    if failed {
+        eprintln!(
+            "benchguard: serving throughput regressed below {min_ratio} of the committed baseline"
+        );
+        std::process::exit(1);
+    }
+    println!("benchguard: {compared} sweep(s) within bounds");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+      "harness": "satbench-serve",
+      "sweeps": [
+        {"label": "cold-batch", "jobs": 13, "seconds": 0.1, "jobs_per_sec": 88.46},
+        {"label": "warm-batch", "jobs": 13, "seconds": 0.01, "jobs_per_sec": 1435.21}
+      ],
+      "persist": [{"label": "not-a-sweep", "records_per_sec": 1.0}]
+    }"#;
+
+    #[test]
+    fn sweeps_parse_labels_and_rates() {
+        let sweeps = parse_sweeps(DOC).expect("parses");
+        assert_eq!(sweeps.len(), 2, "the persist array is not scanned");
+        assert_eq!(sweeps[0].label, "cold-batch");
+        assert!((sweeps[0].jobs_per_sec - 88.46).abs() < 1e-9);
+        assert_eq!(sweeps[1].label, "warm-batch");
+        assert!((sweeps[1].jobs_per_sec - 1435.21).abs() < 1e-9);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(parse_sweeps("{}").is_err());
+        assert!(parse_sweeps("{\"sweeps\": []}").is_err());
+        assert!(parse_sweeps("{\"sweeps\": [{\"label\": \"x\"}]}").is_err());
+    }
+}

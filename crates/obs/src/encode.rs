@@ -220,16 +220,39 @@ fn parse_label_block(block: &str) -> Result<Vec<String>, String> {
         if !rest.starts_with('"') {
             return Err(format!("label value of `{key}` is not quoted"));
         }
-        // Scan the quoted value, honouring backslash escapes.
+        // Scan the quoted value.  Only `\\`, `\"` and `\n` are legal escapes
+        // in the exposition format, and control characters must arrive
+        // escaped — a raw newline or tab in a label value is exactly the
+        // corruption an unescaped renderer produces.
         let mut end = None;
         let bytes = rest.as_bytes();
         let mut i = 1;
         while i < bytes.len() {
             match bytes[i] {
-                b'\\' => i += 2,
+                b'\\' => {
+                    match bytes.get(i + 1) {
+                        Some(b'\\') | Some(b'"') | Some(b'n') => {}
+                        Some(other) => {
+                            return Err(format!(
+                                "unknown escape `\\{}` in label value of `{key}`",
+                                *other as char
+                            ));
+                        }
+                        None => {
+                            return Err(format!("dangling escape in label value of `{key}`"));
+                        }
+                    }
+                    i += 2;
+                }
                 b'"' => {
                     end = Some(i);
                     break;
+                }
+                c if c.is_ascii_control() && c != b'\t' => {
+                    return Err(format!(
+                        "raw control character 0x{c:02x} in label value of `{key}` \
+                         (must be escaped)"
+                    ));
                 }
                 _ => i += 1,
             }
@@ -397,6 +420,41 @@ mod tests {
             "unterminated label"
         );
         assert!(validate_prometheus_text("# TYPE x counter\nx notanumber").is_err());
+    }
+
+    #[test]
+    fn newline_label_values_are_escaped_and_validate() {
+        // A label value containing a newline (or quote/backslash) must
+        // render as escaped exposition text the validator accepts...
+        let registry = Registry::new();
+        registry
+            .counter_with(
+                "evil_total",
+                &[("reason", "line one\nline two \"q\" \\x")],
+                "Evil.",
+            )
+            .inc();
+        let text = registry.snapshot().prometheus_text();
+        validate_prometheus_text(&text).unwrap();
+        assert!(text.contains("\\n"), "newline escaped: {text}");
+        assert!(!text.contains("line one\nline"), "no raw newline: {text}");
+
+        // ...while hand-built text with the corruption an unescaped renderer
+        // would emit is rejected: raw control characters and unknown escapes.
+        let raw_cr = "# TYPE x counter\nx{a=\"b\rc\"} 1";
+        assert!(validate_prometheus_text(raw_cr).is_err(), "raw CR");
+        let bad_escape = "# TYPE x counter\nx{a=\"b\\qc\"} 1";
+        assert!(
+            validate_prometheus_text(bad_escape).is_err(),
+            "unknown escape"
+        );
+        let dangling = "# TYPE x counter\nx{a=\"b\\";
+        assert!(
+            validate_prometheus_text(dangling).is_err(),
+            "dangling escape"
+        );
+        let good = "# TYPE x counter\nx{a=\"b\\nc\"} 1";
+        assert!(validate_prometheus_text(good).is_ok(), "escaped newline");
     }
 
     #[test]

@@ -18,7 +18,16 @@
 //! * **Trace checking** ([`tracecheck`]): a small flat-JSON parser and
 //!   [`check_trace`] validator asserting a trace is well-formed JSONL with
 //!   balanced span open/close records — used by `satbench --trace`, CI, and
-//!   `velvc trace <file>`.
+//!   `velvc trace <file>`.  [`check_traces`] extends the check to several
+//!   per-process files, resolving cross-process parentage through
+//!   `trace=`/`remote_parent=` span fields.
+//! * **Flight recorder** ([`flight`]): a fixed-size lock-light ring of the
+//!   most recent trace records, armed by long-running services so a worker
+//!   panic or shed storm can be dumped post mortem (`FLIGHT-<ts>.jsonl`)
+//!   even when no sink is installed.
+//! * **Mergeable latency histogram** ([`LogHistogram`]): log-bucketed
+//!   micros-to-minutes buckets whose merge is element-wise addition, for
+//!   pooling percentile estimates across shards, threads or trace files.
 //!
 //! # Metric naming scheme
 //!
@@ -43,6 +52,8 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod flight;
+pub mod hist;
 pub mod metrics;
 pub mod trace;
 pub mod tracecheck;
@@ -50,6 +61,7 @@ pub mod tracecheck;
 mod encode;
 
 pub use encode::validate_prometheus_text;
+pub use hist::{log_bucket_bounds, LogHistogram};
 pub use metrics::{
     global, Counter, Gauge, Histogram, HistogramSnapshot, MetricSample, MetricValue, Registry,
     Snapshot,
@@ -58,7 +70,9 @@ pub use trace::{
     current_span_id, enabled, event, flush, install_sink, span, span_child_of, span_fields,
     uninstall_sink, FieldValue, JsonlFileSink, MemorySink, SpanGuard, TraceSink,
 };
-pub use tracecheck::{check_trace, parse_trace_line, TraceRecord, TraceSummary};
+pub use tracecheck::{
+    check_trace, check_traces, parse_trace_line, MergedTraceSummary, TraceRecord, TraceSummary,
+};
 
 /// Escapes a string for embedding in a JSON string literal (no surrounding
 /// quotes).  Shared by the exposition encoders and the tracer.

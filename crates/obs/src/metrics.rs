@@ -164,6 +164,42 @@ pub struct HistogramSnapshot {
     pub count: u64,
 }
 
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) of the observed
+    /// distribution by linear interpolation inside the bucket containing the
+    /// target rank (Prometheus `histogram_quantile` semantics).  Values in
+    /// the `+Inf` overflow bucket are attributed to the last finite bound —
+    /// the estimate is clamped, never extrapolated.  Returns `0.0` for an
+    /// empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 || self.bounds.is_empty() {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cumulative = 0u64;
+        for (index, &bucket_count) in self.counts.iter().enumerate() {
+            let previous = cumulative;
+            cumulative += bucket_count;
+            if (cumulative as f64) < rank || bucket_count == 0 {
+                continue;
+            }
+            if index >= self.bounds.len() {
+                // Overflow bucket: clamp to the last finite bound.
+                return self.bounds[self.bounds.len() - 1] as f64;
+            }
+            let upper = self.bounds[index] as f64;
+            let lower = if index == 0 {
+                0.0
+            } else {
+                self.bounds[index - 1] as f64
+            };
+            let within = (rank - previous as f64) / bucket_count as f64;
+            return lower + within.clamp(0.0, 1.0) * (upper - lower);
+        }
+        self.bounds[self.bounds.len() - 1] as f64
+    }
+}
+
 /// The value of one metric in a [`Snapshot`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum MetricValue {

@@ -1,10 +1,13 @@
 //! The span/event tracer: JSONL records buffered per thread, drained to a
 //! pluggable sink.
 //!
-//! With no sink installed ([`enabled`] is false) every call site collapses
-//! to one relaxed atomic load — spans return a no-op guard, events return
-//! immediately.  Install a sink ([`install_sink`]) to turn tracing on
-//! process-wide.
+//! With no sink installed and the flight recorder disarmed ([`enabled`] is
+//! false) every call site collapses to one relaxed atomic load — spans
+//! return a no-op guard, events return immediately.  Install a sink
+//! ([`install_sink`]) or arm the flight recorder ([`crate::flight::arm`])
+//! to turn record production on process-wide; records reach the sink only
+//! while one is installed, and reach the flight ring only while it is
+//! armed.
 //!
 //! Records are flat JSON objects, one per line:
 //!
@@ -29,8 +32,18 @@ use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::time::Instant;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
+static SINK_ACTIVE: AtomicBool = AtomicBool::new(false);
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Recomputes the [`enabled`] gate: records are produced while a sink is
+/// installed *or* the flight recorder is armed ([`crate::flight::arm`]).
+pub(crate) fn refresh_enabled() {
+    ENABLED.store(
+        SINK_ACTIVE.load(Ordering::SeqCst) || crate::flight::armed(),
+        Ordering::SeqCst,
+    );
+}
 
 /// How many buffered lines a thread accumulates before draining to the sink.
 const FLUSH_THRESHOLD: usize = 128;
@@ -177,6 +190,11 @@ fn drain_buffer(buffer: &SharedBuffer) {
 }
 
 fn emit(line: String) {
+    crate::flight::record(&line);
+    if !SINK_ACTIVE.load(Ordering::Relaxed) {
+        // Flight-only mode: the ring has the record; skip the sink buffers.
+        return;
+    }
     // `try_with`: a record emitted while this thread's TLS is already being
     // torn down is silently dropped instead of panicking.
     let _ = THREAD.try_with(|thread| {
@@ -191,7 +209,8 @@ fn emit(line: String) {
     });
 }
 
-/// Whether a trace sink is installed.  One relaxed load; the gate every
+/// Whether trace records are being produced — a sink is installed or the
+/// flight recorder is armed.  One relaxed load; the gate every
 /// instrumentation site checks first.
 #[inline]
 pub fn enabled() -> bool {
@@ -203,13 +222,16 @@ pub fn enabled() -> bool {
 pub fn install_sink(sink: Arc<dyn TraceSink>) {
     flush();
     *sink_slot().lock().expect("trace sink lock") = Some(sink);
-    ENABLED.store(true, Ordering::SeqCst);
+    SINK_ACTIVE.store(true, Ordering::SeqCst);
+    refresh_enabled();
 }
 
-/// Turns tracing off, drains every thread buffer into the sink, flushes it,
-/// and uninstalls it.
+/// Stops feeding the sink, drains every thread buffer into it, flushes it,
+/// and uninstalls it.  Tracing stays on if the flight recorder is armed
+/// (records then go to the ring only).
 pub fn uninstall_sink() {
-    ENABLED.store(false, Ordering::SeqCst);
+    SINK_ACTIVE.store(false, Ordering::SeqCst);
+    refresh_enabled();
     flush();
     *sink_slot().lock().expect("trace sink lock") = None;
 }

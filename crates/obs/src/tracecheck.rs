@@ -248,6 +248,102 @@ pub fn check_trace(text: &str) -> Result<TraceSummary, String> {
     Ok(summary)
 }
 
+/// Aggregate outcome of [`check_traces`] over several per-process files.
+#[derive(Clone, Debug, Default)]
+pub struct MergedTraceSummary {
+    /// Number of input files.
+    pub files: usize,
+    /// Per-file summaries summed field-wise.
+    pub totals: TraceSummary,
+    /// Distinct 64-bit trace ids seen on `trace=`-tagged spans.
+    pub traces: usize,
+    /// Spans carrying both `trace` and `remote_parent` — cross-process
+    /// parent/child links.
+    pub remote_links: usize,
+    /// Remote links whose `(trace, remote_parent)` resolves to no
+    /// `trace`-tagged span in any input file: the child claims a parent
+    /// nobody recorded.
+    pub orphaned: usize,
+    /// All span durations (`dur_us` of every `span_close`) pooled across
+    /// the files — one [`LogHistogram`](crate::LogHistogram) per file,
+    /// merged.
+    pub durations: crate::LogHistogram,
+}
+
+/// Validates several JSONL trace files captured by *different processes* as
+/// one distributed trace.
+///
+/// Each file must pass [`check_trace`] on its own.  Span ids are per-process
+/// counters, so cross-file parentage cannot use the `parent` field; instead
+/// a process that continues a remote trace tags its spans with `trace=<id>`
+/// and `remote_parent=<span>`, and this check resolves every such link
+/// against the `trace`-tagged spans of the other files (same-file resolution
+/// also counts — ids are unique within a process).  Timestamps are
+/// process-local and deliberately not compared.
+///
+/// Input is `(label, jsonl-text)` pairs; the label names the file in error
+/// messages.
+///
+/// # Errors
+///
+/// Returns the first per-file validation error, prefixed with the label.
+pub fn check_traces(files: &[(&str, &str)]) -> Result<MergedTraceSummary, String> {
+    use std::collections::HashSet;
+    let mut summary = MergedTraceSummary {
+        files: files.len(),
+        ..MergedTraceSummary::default()
+    };
+    // (file index, trace id, span id) of every trace-tagged span_open.
+    let mut tagged: HashSet<(usize, u64, u64)> = HashSet::new();
+    // (file index, trace id, remote parent span id) of every remote link.
+    let mut links: Vec<(usize, u64, u64)> = Vec::new();
+    let mut trace_ids: HashSet<u64> = HashSet::new();
+    for (index, (label, text)) in files.iter().enumerate() {
+        let file = check_trace(text).map_err(|e| format!("{label}: {e}"))?;
+        summary.totals.records += file.records;
+        summary.totals.spans_opened += file.spans_opened;
+        summary.totals.spans_closed += file.spans_closed;
+        summary.totals.events += file.events;
+        summary.totals.unclosed += file.unclosed;
+        let mut durations = crate::LogHistogram::new();
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            // check_trace already proved every line parses.
+            let record = parse_trace_line(line).map_err(|e| format!("{label}: {e}"))?;
+            match record.kind() {
+                "span_open" => {
+                    let (Some(id), Some(trace)) = (record.get_u64("id"), record.get_u64("trace"))
+                    else {
+                        continue;
+                    };
+                    trace_ids.insert(trace);
+                    tagged.insert((index, trace, id));
+                    if let Some(remote) = record.get_u64("remote_parent") {
+                        summary.remote_links += 1;
+                        links.push((index, trace, remote));
+                    }
+                }
+                "span_close" => {
+                    if let Some(dur) = record.get_u64("dur_us") {
+                        durations.observe(dur);
+                    }
+                }
+                _ => {}
+            }
+        }
+        summary.durations.merge(&durations);
+    }
+    summary.traces = trace_ids.len();
+    for (file, trace, remote) in links {
+        let resolved = tagged.contains(&(file, trace, remote))
+            || (0..files.len())
+                .any(|other| other != file && tagged.contains(&(other, trace, remote)));
+        if !resolved {
+            summary.orphaned += 1;
+        }
+    }
+    Ok(summary)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,6 +389,50 @@ mod tests {
         assert_eq!(summary.spans_closed, 2);
         assert_eq!(summary.events, 1);
         assert_eq!(summary.unclosed, 0);
+    }
+
+    #[test]
+    fn merged_cross_process_links_resolve_by_trace_id() {
+        // Client process: root span 1 tagged with trace 77.
+        let client = concat!(
+            "{\"type\":\"span_open\",\"id\":1,\"parent\":0,\"name\":\"velvc.submit\",\"trace\":77}\n",
+            "{\"type\":\"span_close\",\"id\":1,\"name\":\"velvc.submit\",\"dur_us\":120}\n",
+        );
+        // Server process: its own id 1 (ids collide across processes), but
+        // the remote_parent resolves via (trace, span) in the client file.
+        let server = concat!(
+            "{\"type\":\"span_open\",\"id\":1,\"parent\":0,\"name\":\"serve.job\",\"trace\":77,\"remote_parent\":1}\n",
+            "{\"type\":\"span_close\",\"id\":1,\"name\":\"serve.job\",\"dur_us\":80}\n",
+        );
+        let merged = check_traces(&[("client", client), ("server", server)]).unwrap();
+        assert_eq!(merged.files, 2);
+        assert_eq!(merged.totals.spans_opened, 2);
+        assert_eq!(merged.totals.unclosed, 0);
+        assert_eq!(merged.traces, 1);
+        assert_eq!(merged.remote_links, 1);
+        assert_eq!(merged.orphaned, 0);
+        assert_eq!(merged.durations.count(), 2);
+    }
+
+    #[test]
+    fn merged_check_reports_orphaned_remote_parents() {
+        let client = concat!(
+            "{\"type\":\"span_open\",\"id\":1,\"name\":\"velvc.submit\",\"trace\":77}\n",
+            "{\"type\":\"span_close\",\"id\":1,\"name\":\"velvc.submit\"}\n",
+        );
+        // Wrong trace id: the link cannot resolve anywhere.
+        let server = concat!(
+            "{\"type\":\"span_open\",\"id\":5,\"name\":\"serve.job\",\"trace\":78,\"remote_parent\":1}\n",
+            "{\"type\":\"span_close\",\"id\":5,\"name\":\"serve.job\"}\n",
+        );
+        let merged = check_traces(&[("client", client), ("server", server)]).unwrap();
+        assert_eq!(merged.remote_links, 1);
+        assert_eq!(merged.orphaned, 1);
+        assert_eq!(merged.traces, 2);
+
+        // A malformed member file fails the whole merge, naming the file.
+        let err = check_traces(&[("client", client), ("bad", "not json")]).unwrap_err();
+        assert!(err.starts_with("bad:"), "{err}");
     }
 
     #[test]

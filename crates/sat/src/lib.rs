@@ -67,7 +67,7 @@ pub mod dpll;
 pub mod generators;
 pub mod incremental;
 pub mod local_search;
-mod obs;
+pub mod obs;
 pub mod portfolio;
 pub mod preprocess;
 pub mod presets;
@@ -78,6 +78,7 @@ pub mod solver;
 
 pub use cnf::{Clause, CnfFormula, Lit, Var};
 pub use incremental::IncrementalSolver;
+pub use obs::{install_progress_cell, ProgressCell, ProgressGuard, ProgressSnapshot};
 pub use portfolio::{EngineReport, PortfolioHandle, PortfolioReport, PortfolioSolver};
 pub use proof::{ProofWriter, SharedProof};
 pub use race::{race, race_with_token, RaceOutcome, RaceRun};

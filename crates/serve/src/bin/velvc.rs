@@ -6,25 +6,38 @@
 //! velvc [FLAGS] batch LINE [LINE...]    # one quoted job line per entry
 //! velvc [FLAGS] stats [--prom|--json]
 //! velvc [FLAGS] status
+//! velvc [FLAGS] top [--once] [--interval-ms N]
+//! velvc [FLAGS] watch FINGERPRINT
+//! velvc [FLAGS] flight                  # dump the server's flight ring
 //! velvc [FLAGS] proof FINGERPRINT
 //! velvc [FLAGS] shutdown
-//! velvc trace FILE.jsonl                # offline: check a trace capture
+//! velvc trace FILE.jsonl [FILE...]      # offline: check trace captures
 //!
 //! FLAGS: [--addr HOST:PORT] [--timeout MS] [--retries N] [--backoff-ms MS]
+//!        [--trace FILE.jsonl]
 //! ```
+//!
+//! With `--trace FILE` the client records its own spans to `FILE` and mints
+//! a 64-bit trace id: `submit` and `batch` open a root span tagged
+//! `trace=<id>` and propagate the context over the wire, so the server's
+//! `serve.job` span is recorded as a child of the client's root span.
+//! `velvc trace server.jsonl client.jsonl` then validates the two captures
+//! as one distributed trace.
 //!
 //! Exit codes distinguish failure classes for scripting: `0` success, `1`
 //! server error, `2` usage, `3` server busy, `4` timeout, `5` connection
 //! failure, `6` protocol violation.
 
-use velv_serve::proto::Request;
-use velv_serve::{ClientConfig, ClientError, JobSpec, ServeClient, StatsFormat};
+use velv_serve::proto::{Request, Response};
+use velv_serve::{ClientConfig, ClientError, JobSpec, ServeClient, StatsFormat, TraceContext};
 
 fn usage() -> ! {
     eprintln!(
         "usage: velvc [--addr HOST:PORT] [--timeout MS] [--retries N] [--backoff-ms MS] \
-         <ping|submit KEY=VALUE...|batch LINE...|stats [--prom|--json]|status|proof FP|shutdown> \
-         | velvc trace FILE.jsonl"
+         [--trace FILE.jsonl] \
+         <ping|submit KEY=VALUE...|batch LINE...|stats [--prom|--json]|status\
+         |top [--once] [--interval-ms N]|watch FP|flight|proof FP|shutdown> \
+         | velvc trace FILE.jsonl [FILE...]"
     );
     std::process::exit(2);
 }
@@ -51,10 +64,171 @@ fn fail_client(error: ClientError) -> ! {
     std::process::exit(code);
 }
 
+/// Mints a process-unique 64-bit trace id: wall-clock nanos folded with the
+/// pid, never zero.
+fn mint_trace_id() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    (nanos ^ u64::from(std::process::id()).rotate_left(32)).max(1)
+}
+
+/// Splits a `status` job row into `(fingerprint, key=value pairs)`.
+fn parse_job_row(row: &str) -> (String, Vec<(String, String)>) {
+    let mut parts = row.split_whitespace();
+    let fingerprint = parts.next().unwrap_or("").to_owned();
+    let pairs = parts
+        .filter_map(|token| token.split_once('='))
+        .map(|(k, v)| (k.to_owned(), v.to_owned()))
+        .collect();
+    (fingerprint, pairs)
+}
+
+/// Renders one `status` response as a `top`-style table.
+fn render_top(response: &Response) -> String {
+    let field = |key: &str| response.field(key).unwrap_or("?");
+    let mut out = format!(
+        "velvd  workers {}  queued {}  running {}  shut-down {}\n",
+        field("workers"),
+        field("queued"),
+        field("running"),
+        field("shut-down"),
+    );
+    let rows = response.all("job");
+    if rows.is_empty() {
+        out.push_str("(no jobs in flight)\n");
+        return out;
+    }
+    out.push_str(&format!(
+        "{:<12} {:<20} {:<6} {:>10} {:>10} {:>10} {:>8} {:>8} {:>6} {:>8}\n",
+        "FINGERPRINT",
+        "NAME",
+        "CLASS",
+        "ELAPSED-MS",
+        "BUDGET-MS",
+        "CONFLICTS",
+        "CONF/S",
+        "RESTARTS",
+        "TRAIL",
+        "LEARNTS"
+    ));
+    for row in rows {
+        let (fingerprint, pairs) = parse_job_row(row);
+        let get = |key: &str| {
+            pairs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.as_str())
+                .unwrap_or("-")
+        };
+        let short = &fingerprint[..fingerprint.len().min(12)];
+        out.push_str(&format!(
+            "{:<12} {:<20} {:<6} {:>10} {:>10} {:>10} {:>8} {:>8} {:>6} {:>8}\n",
+            short,
+            get("name"),
+            get("class"),
+            get("elapsed-ms"),
+            get("budget-ms"),
+            get("conflicts"),
+            get("conflicts-per-sec"),
+            get("restarts"),
+            get("trail"),
+            get("learnts"),
+        ));
+    }
+    out
+}
+
+/// The offline `trace` command: one file gets the per-file summary, several
+/// files are validated as one distributed trace (non-zero exit on unclosed
+/// or orphaned spans, so scripts can gate on it).
+fn run_trace_check(paths: &[String]) -> ! {
+    let mut contents = Vec::new();
+    for path in paths {
+        match std::fs::read_to_string(path) {
+            Ok(text) => contents.push((path.as_str(), text)),
+            Err(e) => fail(format!("cannot read {path}: {e}")),
+        }
+    }
+    if let [(_, text)] = contents.as_slice() {
+        match velv_obs::tracecheck::check_trace(text) {
+            Ok(summary) => {
+                println!("records       {}", summary.records);
+                println!("spans opened  {}", summary.spans_opened);
+                println!("spans closed  {}", summary.spans_closed);
+                println!("events        {}", summary.events);
+                println!("unclosed      {}", summary.unclosed);
+                std::process::exit(0);
+            }
+            Err(e) => fail(format!("malformed trace: {e}")),
+        }
+    }
+    let files: Vec<(&str, &str)> = contents
+        .iter()
+        .map(|(path, text)| (*path, text.as_str()))
+        .collect();
+    match velv_obs::check_traces(&files) {
+        Ok(merged) => {
+            println!("files         {}", merged.files);
+            println!("records       {}", merged.totals.records);
+            println!("spans opened  {}", merged.totals.spans_opened);
+            println!("spans closed  {}", merged.totals.spans_closed);
+            println!("events        {}", merged.totals.events);
+            println!("unclosed      {}", merged.totals.unclosed);
+            println!("traces        {}", merged.traces);
+            println!("remote links  {}", merged.remote_links);
+            println!("orphaned      {}", merged.orphaned);
+            let durations = merged.durations.snapshot();
+            if durations.count > 0 {
+                for (label, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+                    println!("span dur {label}  {:.0}us", durations.quantile(q));
+                }
+            }
+            if merged.totals.unclosed > 0 || merged.orphaned > 0 {
+                eprintln!(
+                    "velvc: merged trace has {} unclosed and {} orphaned spans",
+                    merged.totals.unclosed, merged.orphaned
+                );
+                std::process::exit(1);
+            }
+            std::process::exit(0);
+        }
+        Err(e) => fail(format!("malformed distributed trace: {e}")),
+    }
+}
+
+fn print_submit_reply(reply: &velv_serve::SubmitReply) {
+    println!(
+        "{}: {}{} ({}, wall {:?}, solve {:?})",
+        reply.name,
+        reply.verdict,
+        reply
+            .reason
+            .as_ref()
+            .map(|r| format!(" [{r}]"))
+            .unwrap_or_default(),
+        if reply.cached {
+            "cache hit"
+        } else if reply.deduplicated {
+            "deduplicated"
+        } else {
+            "fresh solve"
+        },
+        reply.wall,
+        reply.solve_time,
+    );
+    println!("fingerprint {}", reply.fingerprint);
+    for name in &reply.cex_true {
+        println!("cex-true {name}");
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = "127.0.0.1:7911".to_owned();
     let mut config = ClientConfig::default();
+    let mut trace_file: Option<String> = None;
     loop {
         let take_value = |args: &mut Vec<String>| {
             if args.len() < 2 {
@@ -66,6 +240,7 @@ fn main() {
         };
         match args.first().map(String::as_str) {
             Some("--addr") => addr = take_value(&mut args),
+            Some("--trace") => trace_file = Some(take_value(&mut args)),
             Some("--timeout") => match take_value(&mut args).parse::<u64>() {
                 Ok(ms) => config.timeout = Some(std::time::Duration::from_millis(ms)),
                 Err(_) => usage(),
@@ -86,27 +261,23 @@ fn main() {
     };
     let rest = &args[1..];
 
-    // `trace` is offline — it checks a JSONL capture without a server.
+    // `trace` is offline — it checks JSONL captures without a server.
     if command == "trace" {
-        let Some(path) = rest.first() else {
+        if rest.is_empty() {
             usage();
-        };
-        let text = match std::fs::read_to_string(path) {
-            Ok(text) => text,
-            Err(e) => fail(format!("cannot read {path}: {e}")),
-        };
-        match velv_obs::tracecheck::check_trace(&text) {
-            Ok(summary) => {
-                println!("records       {}", summary.records);
-                println!("spans opened  {}", summary.spans_opened);
-                println!("spans closed  {}", summary.spans_closed);
-                println!("events        {}", summary.events);
-                println!("unclosed      {}", summary.unclosed);
-            }
-            Err(e) => fail(format!("malformed trace: {e}")),
         }
-        return;
+        run_trace_check(rest);
     }
+
+    // With `--trace FILE` the client records its own spans; submit/batch
+    // mint a trace id and propagate the context to the server.
+    let trace_context = trace_file.as_ref().map(|path| {
+        match velv_obs::JsonlFileSink::create(path) {
+            Ok(sink) => velv_obs::install_sink(std::sync::Arc::new(sink)),
+            Err(e) => fail(format!("cannot create trace file {path}: {e}")),
+        }
+        mint_trace_id()
+    });
 
     let mut client = match ServeClient::connect_with(addr.as_str(), config) {
         Ok(client) => client,
@@ -130,32 +301,32 @@ fn main() {
                 Ok(spec) => spec,
                 Err(e) => fail(e),
             };
-            match client.submit(spec) {
-                Ok(reply) => {
-                    println!(
-                        "{}: {}{} ({}, wall {:?}, solve {:?})",
-                        reply.name,
-                        reply.verdict,
-                        reply
-                            .reason
-                            .as_ref()
-                            .map(|r| format!(" [{r}]"))
-                            .unwrap_or_default(),
-                        if reply.cached {
-                            "cache hit"
-                        } else if reply.deduplicated {
-                            "deduplicated"
-                        } else {
-                            "fresh solve"
-                        },
-                        reply.wall,
-                        reply.solve_time,
-                    );
-                    println!("fingerprint {}", reply.fingerprint);
-                    for name in &reply.cex_true {
-                        println!("cex-true {name}");
+            let outcome = {
+                // The root span closes before the sink is flushed below, so
+                // the capture always balances when the submission succeeds.
+                let (root, context) = match trace_context {
+                    Some(trace_id) => {
+                        let root = velv_obs::span_fields(
+                            "velvc.submit",
+                            &[("trace", velv_obs::FieldValue::U64(trace_id))],
+                        );
+                        let context = TraceContext {
+                            trace_id,
+                            parent_span: root.id(),
+                        };
+                        (Some(root), Some(context))
                     }
-                }
+                    None => (None, None),
+                };
+                let outcome = client.submit_traced(spec, context);
+                drop(root);
+                outcome
+            };
+            if trace_context.is_some() {
+                velv_obs::uninstall_sink();
+            }
+            match outcome {
+                Ok(reply) => print_submit_reply(&reply),
                 Err(e) => fail_client(e),
             }
         }
@@ -170,7 +341,29 @@ fn main() {
                     Err(e) => fail(e),
                 }
             }
-            match client.batch(specs) {
+            let outcome = {
+                let (root, context) = match trace_context {
+                    Some(trace_id) => {
+                        let root = velv_obs::span_fields(
+                            "velvc.batch",
+                            &[("trace", velv_obs::FieldValue::U64(trace_id))],
+                        );
+                        let context = TraceContext {
+                            trace_id,
+                            parent_span: root.id(),
+                        };
+                        (Some(root), Some(context))
+                    }
+                    None => (None, None),
+                };
+                let outcome = client.batch_traced(specs, context);
+                drop(root);
+                outcome
+            };
+            if trace_context.is_some() {
+                velv_obs::uninstall_sink();
+            }
+            match outcome {
                 Ok(response) => {
                     for job in response.all("job") {
                         println!("{job}");
@@ -202,6 +395,82 @@ fn main() {
             Ok(response) => {
                 for (key, value) in &response.fields {
                     println!("{key:<10} {value}");
+                }
+            }
+            Err(e) => fail_client(e),
+        },
+        "top" => {
+            let mut once = false;
+            let mut interval = std::time::Duration::from_millis(1000);
+            let mut iter = rest.iter();
+            while let Some(flag) = iter.next() {
+                match flag.as_str() {
+                    "--once" => once = true,
+                    "--interval-ms" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                        Some(ms) => interval = std::time::Duration::from_millis(ms.max(100)),
+                        None => usage(),
+                    },
+                    _ => usage(),
+                }
+            }
+            loop {
+                let response = match client.status() {
+                    Ok(response) => response,
+                    Err(e) => fail_client(e),
+                };
+                if once {
+                    print!("{}", render_top(&response));
+                } else {
+                    // Clear the screen and repaint, `top`-style.
+                    print!("\x1b[2J\x1b[H{}", render_top(&response));
+                    use std::io::Write as _;
+                    let _ = std::io::stdout().flush();
+                }
+                if once || response.field("shut-down") == Some("1") {
+                    break;
+                }
+                std::thread::sleep(interval);
+            }
+        }
+        "watch" => {
+            let Some(prefix) = rest.first() else {
+                usage();
+            };
+            let mut seen = false;
+            loop {
+                let response = match client.status() {
+                    Ok(response) => response,
+                    Err(e) => fail_client(e),
+                };
+                let row = response
+                    .all("job")
+                    .into_iter()
+                    .map(String::from)
+                    .find(|row| parse_job_row(row).0.starts_with(prefix.as_str()));
+                match row {
+                    Some(row) => {
+                        seen = true;
+                        println!("{row}");
+                    }
+                    None if seen => {
+                        println!("{prefix}: no longer in flight (finished)");
+                        break;
+                    }
+                    None => {
+                        println!("{prefix}: not in flight (already finished or never submitted)");
+                        break;
+                    }
+                }
+                if response.field("shut-down") == Some("1") {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(500));
+            }
+        }
+        "flight" => match client.flight() {
+            Ok(lines) => {
+                for line in lines {
+                    println!("{line}");
                 }
             }
             Err(e) => fail_client(e),

@@ -11,10 +11,15 @@
 //! boot — a `kill -9` mid-burst loses no answered verdict, and the restarted
 //! daemon serves repeats from cache without re-solving.
 //!
+//! The flight recorder is always armed while the service runs; with
+//! `--flight-record DIR` its post-mortem dumps (worker panic, store append
+//! failure, shed storm, graceful shutdown) land in `DIR` as
+//! `FLIGHT-<ts>.jsonl` files instead of the working directory.
+//!
 //! ```text
 //! velvd [--addr HOST:PORT] [--workers N] [--cache-mb M] [--default-timeout-ms T]
 //!       [--store DIR] [--fsync always|os|every-N] [--max-queue N] [--client-quota N]
-//!       [--trace FILE.jsonl]
+//!       [--trace FILE.jsonl] [--flight-record DIR] [--slo-target-ms T]
 //! ```
 
 use std::sync::Arc;
@@ -25,7 +30,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: velvd [--addr HOST:PORT] [--workers N] [--cache-mb M] [--default-timeout-ms T] \
          [--store DIR] [--fsync always|os|every-N] [--max-queue N] [--client-quota N] \
-         [--trace FILE.jsonl]"
+         [--trace FILE.jsonl] [--flight-record DIR] [--slo-target-ms T]"
     );
     std::process::exit(2);
 }
@@ -35,12 +40,18 @@ fn main() {
     let mut addr = "127.0.0.1:7911".to_owned();
     let mut config = ServiceConfig::default();
     let mut trace_path: Option<String> = None;
+    let mut flight_dir: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let mut value = || iter.next().cloned().unwrap_or_else(|| usage());
         match arg.as_str() {
             "--addr" => addr = value(),
             "--trace" => trace_path = Some(value()),
+            "--flight-record" => flight_dir = Some(value()),
+            "--slo-target-ms" => match value().parse::<u64>() {
+                Ok(ms) => config.slo_target = Duration::from_millis(ms),
+                Err(_) => usage(),
+            },
             "--workers" => match value().parse() {
                 Ok(n) => config.workers = n,
                 Err(_) => usage(),
@@ -82,6 +93,15 @@ fn main() {
             }
         }
         println!("velvd: tracing to {path}");
+    }
+
+    if let Some(dir) = &flight_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("velvd: cannot create flight-record dir {dir}: {e}");
+            std::process::exit(1);
+        }
+        velv_obs::flight::set_dump_dir(Some(std::path::Path::new(dir)));
+        println!("velvd: flight dumps land in {dir}");
     }
 
     let workers = config.workers;

@@ -10,7 +10,7 @@
 //! does not stampede a recovering server in lockstep.
 
 use crate::job::JobSpec;
-use crate::proto::{read_frame, write_frame, Request, Response, StatsFormat};
+use crate::proto::{read_frame, write_frame, Request, Response, StatsFormat, TraceContext};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -250,7 +250,22 @@ impl ServeClient {
     ///
     /// See [`ServeClient::request`].
     pub fn submit(&mut self, spec: JobSpec) -> Result<SubmitReply, ClientError> {
-        let response = self.request(&Request::Submit(spec))?;
+        self.submit_traced(spec, None)
+    }
+
+    /// Submits one job with the client's trace context attached, so the
+    /// server parents its `serve.job` span under the client's root span in a
+    /// merged multi-process trace.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeClient::request`].
+    pub fn submit_traced(
+        &mut self,
+        spec: JobSpec,
+        trace: Option<TraceContext>,
+    ) -> Result<SubmitReply, ClientError> {
+        let response = self.request(&Request::Submit { spec, trace })?;
         let micros = |key: &str| {
             response
                 .field(key)
@@ -281,7 +296,46 @@ impl ServeClient {
     ///
     /// See [`ServeClient::request`].
     pub fn batch(&mut self, specs: Vec<JobSpec>) -> Result<Response, ClientError> {
-        self.request(&Request::Batch(specs))
+        self.batch_traced(specs, None)
+    }
+
+    /// Submits a batch with the client's trace context attached (see
+    /// [`ServeClient::submit_traced`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeClient::request`].
+    pub fn batch_traced(
+        &mut self,
+        specs: Vec<JobSpec>,
+        trace: Option<TraceContext>,
+    ) -> Result<Response, ClientError> {
+        self.request(&Request::Batch { specs, trace })
+    }
+
+    /// Fetches the scheduler gauges plus the live per-job progress rows
+    /// (one `job` field per in-flight job).
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeClient::request`].
+    pub fn status(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::Status)
+    }
+
+    /// Snapshots the server's flight-recorder ring: the most recent trace
+    /// records as JSONL lines, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeClient::request`]; also fails when the server omits the
+    /// payload of a non-empty snapshot.
+    pub fn flight(&mut self) -> Result<Vec<String>, ClientError> {
+        let response = self.request(&Request::Flight)?;
+        Ok(response
+            .payload
+            .map(|payload| payload.lines().map(str::to_owned).collect())
+            .unwrap_or_default())
     }
 
     /// Fetches the service metric registry as flat `(key, value)` pairs.

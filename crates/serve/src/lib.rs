@@ -60,8 +60,9 @@ pub mod service;
 pub use cache::{CacheStats, CachedVerdict, VerdictCache};
 pub use client::{ClientConfig, ClientError, ServeClient, SubmitReply};
 pub use job::{BackendChoice, DlxVariant, JobSpec, ModelRef, ParseJobError, SolveMode};
-pub use proto::StatsFormat;
+pub use proto::{StatsFormat, TraceContext};
 pub use server::{serve, ServerControl};
 pub use service::{
-    JobResult, JobStatus, JobTicket, ServeError, ServeHandle, ServiceConfig, ServiceStats,
+    priority_class, JobResult, JobStatus, JobTicket, ProgressRow, ServeError, ServeHandle,
+    ServiceConfig, ServiceStats,
 };

@@ -18,17 +18,26 @@
 //! | command | body lines | response fields |
 //! |---|---|---|
 //! | `ping` | — | `pong 1` |
-//! | `submit` | one [`JobSpec`] wire line | verdict fields (below) |
-//! | `batch` | one [`JobSpec`] wire line per entry | `count N`, then one `job i ...` line per entry |
+//! | `submit` | optional `trace <id> <span>` line, then one [`JobSpec`] wire line | verdict fields (below) |
+//! | `batch` | optional `trace <id> <span>` line, then one [`JobSpec`] wire line per entry | `count N`, then one `job i ...` line per entry |
 //! | `stats` | optional format line: `prom` or `json` | one `key value` line per metric (flat), or the encoded registry snapshot as payload |
-//! | `status` | — | `workers`, `queued`, `running`, `shut-down` |
+//! | `status` | — | `workers`, `queued`, `running`, `shut-down`, then one `job <fingerprint> ...` line per in-flight job |
 //! | `proof` | one fingerprint (32 hex digits) | `proof-bytes N`, blank line, DRAT text |
+//! | `flight` | — | `lines N`, blank line, flight-recorder JSONL snapshot |
 //! | `shutdown` | — | `bye 1` |
 //!
 //! `submit` verdict fields: `name`, `fingerprint`, `verdict`
 //! (`correct`/`buggy`/`unknown`), `reason` (unknown only), `cached`, `dedup`
 //! (0/1), `wall-us`, `solve-us`, and one `cex-true <variable>` line per true
 //! primary variable of a counterexample.
+//!
+//! The `trace` line carries the client's [`TraceContext`] — its 64-bit trace
+//! id and the span id of its root span, both as decimal — so the server can
+//! parent its `serve.job` span under the client's span across the process
+//! boundary (the span is tagged with `trace=`/`remote_parent=` fields that
+//! [`velv_obs::check_traces`] resolves when merging the two JSONL files).
+//! The context is scheduling metadata, never part of the job's identity: a
+//! deduplicated submission keeps the trace of the *first* submitter.
 //!
 //! The protocol is deliberately human-readable: `printf '26\nsubmit\nmodel=dlx1:correct' | nc host 7911`
 //! is a valid client.
@@ -123,21 +132,76 @@ pub enum StatsFormat {
     Json,
 }
 
+/// A client's trace context, carried on `submit`/`batch` frames so the
+/// server's spans become children of the client's root span in a merged
+/// multi-process trace.  See the [module docs](self) for the wire form.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The 64-bit id naming the distributed trace.
+    pub trace_id: u64,
+    /// The span id (in the *client's* process) the server should parent
+    /// under.
+    pub parent_span: u64,
+}
+
+impl TraceContext {
+    /// The `trace <id> <span>` wire line.
+    pub fn to_wire(&self) -> String {
+        format!("trace {} {}", self.trace_id, self.parent_span)
+    }
+
+    /// Parses a `trace <id> <span>` line; `None` when `line` is not a trace
+    /// line, `Some(Err)` when it is one but malformed.
+    pub fn parse_wire(line: &str) -> Option<Result<TraceContext, String>> {
+        let rest = line.strip_prefix("trace ")?;
+        let mut parts = rest.split_whitespace();
+        let parse = |token: Option<&str>| {
+            token
+                .and_then(|t| t.parse::<u64>().ok())
+                .ok_or_else(|| format!("malformed trace line `{line}`"))
+        };
+        let context = (|| {
+            let trace_id = parse(parts.next())?;
+            let parent_span = parse(parts.next())?;
+            if parts.next().is_some() {
+                return Err(format!("trailing fields in trace line `{line}`"));
+            }
+            Ok(TraceContext {
+                trace_id,
+                parent_span,
+            })
+        })();
+        Some(context)
+    }
+}
+
 /// A parsed request.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// Liveness probe.
     Ping,
     /// Submit one job and wait for its verdict.
-    Submit(JobSpec),
+    Submit {
+        /// The job.
+        spec: JobSpec,
+        /// The client's trace context, if it is tracing.
+        trace: Option<TraceContext>,
+    },
     /// Submit a batch and wait for every verdict.
-    Batch(Vec<JobSpec>),
+    Batch {
+        /// The jobs, in response order.
+        specs: Vec<JobSpec>,
+        /// The client's trace context, if it is tracing.
+        trace: Option<TraceContext>,
+    },
     /// Service metric registry snapshot in the requested encoding.
     Stats(StatsFormat),
-    /// Scheduler gauges.
+    /// Scheduler gauges plus per-job progress rows.
     Status,
     /// Retrieve the cached DRAT artifact of a fingerprint.
     Proof(Fingerprint),
+    /// Snapshot the flight recorder ring.
+    Flight,
     /// Stop the server.
     Shutdown,
 }
@@ -147,9 +211,22 @@ impl Request {
     pub fn to_body(&self) -> String {
         match self {
             Request::Ping => "ping".to_owned(),
-            Request::Submit(spec) => format!("submit\n{}", spec.to_wire()),
-            Request::Batch(specs) => {
+            Request::Submit { spec, trace } => {
+                let mut body = "submit".to_owned();
+                if let Some(context) = trace {
+                    body.push('\n');
+                    body.push_str(&context.to_wire());
+                }
+                body.push('\n');
+                body.push_str(&spec.to_wire());
+                body
+            }
+            Request::Batch { specs, trace } => {
                 let mut body = "batch".to_owned();
+                if let Some(context) = trace {
+                    body.push('\n');
+                    body.push_str(&context.to_wire());
+                }
                 for spec in specs {
                     body.push('\n');
                     body.push_str(&spec.to_wire());
@@ -161,6 +238,7 @@ impl Request {
             Request::Stats(StatsFormat::Json) => "stats\njson".to_owned(),
             Request::Status => "status".to_owned(),
             Request::Proof(fp) => format!("proof\n{fp}"),
+            Request::Flight => "flight".to_owned(),
             Request::Shutdown => "shutdown".to_owned(),
         }
     }
@@ -183,25 +261,38 @@ impl Request {
                 other => Err(format!("unknown stats format `{other}`")),
             },
             "status" => Ok(Request::Status),
+            "flight" => Ok(Request::Flight),
             "shutdown" => Ok(Request::Shutdown),
             "submit" => {
-                let line = lines.next().ok_or("submit needs a job line")?;
-                JobSpec::parse_wire(line)
-                    .map(Request::Submit)
-                    .map_err(|e| e.to_string())
+                let mut line = lines.next().ok_or("submit needs a job line")?;
+                let mut trace = None;
+                if let Some(parsed) = TraceContext::parse_wire(line) {
+                    trace = Some(parsed?);
+                    line = lines.next().ok_or("submit needs a job line")?;
+                }
+                let spec = JobSpec::parse_wire(line).map_err(|e| e.to_string())?;
+                Ok(Request::Submit { spec, trace })
             }
             "batch" => {
+                let mut trace = None;
                 let mut specs = Vec::new();
+                let mut first = true;
                 for line in lines {
                     if line.trim().is_empty() {
                         continue;
+                    }
+                    if std::mem::take(&mut first) {
+                        if let Some(parsed) = TraceContext::parse_wire(line) {
+                            trace = Some(parsed?);
+                            continue;
+                        }
                     }
                     specs.push(JobSpec::parse_wire(line).map_err(|e| e.to_string())?);
                 }
                 if specs.is_empty() {
                     return Err("batch needs at least one job line".to_owned());
                 }
-                Ok(Request::Batch(specs))
+                Ok(Request::Batch { specs, trace })
             }
             "proof" => {
                 let hex = lines.next().ok_or("proof needs a fingerprint")?.trim();
@@ -265,6 +356,15 @@ pub fn batch_response(results: &[(Fingerprint, JobResult)]) -> String {
             result.wall.as_micros(),
         ));
     }
+    body
+}
+
+/// Renders the `flight` response body: the ring snapshot as the payload,
+/// oldest record first, with a `lines` field so clients can sanity-check.
+pub fn flight_response(lines: &[String]) -> String {
+    let mut body = format!("ok\nlines {}\n", lines.len());
+    body.push('\n');
+    body.push_str(&lines.join("\n"));
     body
 }
 
@@ -399,12 +499,33 @@ mod tests {
             Request::Stats(StatsFormat::Prometheus),
             Request::Stats(StatsFormat::Json),
             Request::Status,
+            Request::Flight,
             Request::Shutdown,
-            Request::Submit(JobSpec::new(ModelRef::dlx1_bug(1))),
-            Request::Batch(vec![
-                JobSpec::new(ModelRef::dlx1_correct()),
-                JobSpec::new(ModelRef::dlx1_bug(0)),
-            ]),
+            Request::Submit {
+                spec: JobSpec::new(ModelRef::dlx1_bug(1)),
+                trace: None,
+            },
+            Request::Submit {
+                spec: JobSpec::new(ModelRef::dlx1_bug(1)),
+                trace: Some(TraceContext {
+                    trace_id: 0xDEAD_BEEF_CAFE,
+                    parent_span: 42,
+                }),
+            },
+            Request::Batch {
+                specs: vec![
+                    JobSpec::new(ModelRef::dlx1_correct()),
+                    JobSpec::new(ModelRef::dlx1_bug(0)),
+                ],
+                trace: None,
+            },
+            Request::Batch {
+                specs: vec![JobSpec::new(ModelRef::dlx1_correct())],
+                trace: Some(TraceContext {
+                    trace_id: 7,
+                    parent_span: 1,
+                }),
+            },
             Request::Proof(Fingerprint(0xabcdef)),
         ];
         for request in requests {
@@ -414,8 +535,42 @@ mod tests {
         assert!(Request::parse_body("frobnicate").is_err());
         assert!(Request::parse_body("stats\nxml").is_err());
         assert!(Request::parse_body("submit").is_err());
+        assert!(Request::parse_body("submit\ntrace 1 2").is_err());
+        assert!(Request::parse_body("submit\ntrace 1\nmodel=dlx1:correct").is_err());
+        assert!(Request::parse_body("submit\ntrace 1 2 3\nmodel=dlx1:correct").is_err());
         assert!(Request::parse_body("batch\n\n").is_err());
+        assert!(Request::parse_body("batch\ntrace 5 6").is_err());
         assert!(Request::parse_body("proof\nzz").is_err());
+    }
+
+    #[test]
+    fn trace_lines_parse_and_reject() {
+        let context = TraceContext {
+            trace_id: 99,
+            parent_span: 3,
+        };
+        assert_eq!(context.to_wire(), "trace 99 3");
+        assert_eq!(TraceContext::parse_wire("trace 99 3"), Some(Ok(context)));
+        assert_eq!(TraceContext::parse_wire("model=dlx1:correct"), None);
+        assert!(TraceContext::parse_wire("trace nine 3").unwrap().is_err());
+        assert!(TraceContext::parse_wire("trace 9").unwrap().is_err());
+        assert!(TraceContext::parse_wire("trace 9 3 1").unwrap().is_err());
+    }
+
+    #[test]
+    fn flight_responses_carry_the_ring_as_payload() {
+        let lines = vec![
+            "{\"type\":\"event\",\"name\":\"a\"}".to_owned(),
+            "{\"type\":\"event\",\"name\":\"b\"}".to_owned(),
+        ];
+        let body = flight_response(&lines);
+        let response = Response::parse_body(&body).unwrap();
+        assert_eq!(response.field("lines"), Some("2"));
+        let payload = response.payload.unwrap();
+        assert_eq!(payload.lines().count(), 2);
+
+        let empty = Response::parse_body(&flight_response(&[])).unwrap();
+        assert_eq!(empty.field("lines"), Some("0"));
     }
 
     #[test]
@@ -439,13 +594,29 @@ mod tests {
         let mut corpus: Vec<Vec<u8>> = Vec::new();
         let bodies = [
             Request::Ping.to_body(),
-            Request::Submit(JobSpec::new(ModelRef::dlx1_bug(1))).to_body(),
-            Request::Batch(vec![
-                JobSpec::new(ModelRef::dlx1_correct()),
-                JobSpec::new(ModelRef::dlx1_bug(0)),
-            ])
+            Request::Submit {
+                spec: JobSpec::new(ModelRef::dlx1_bug(1)),
+                trace: None,
+            }
+            .to_body(),
+            Request::Submit {
+                spec: JobSpec::new(ModelRef::dlx1_bug(1)),
+                trace: Some(TraceContext {
+                    trace_id: 0xF422,
+                    parent_span: 9,
+                }),
+            }
+            .to_body(),
+            Request::Batch {
+                specs: vec![
+                    JobSpec::new(ModelRef::dlx1_correct()),
+                    JobSpec::new(ModelRef::dlx1_bug(0)),
+                ],
+                trace: None,
+            }
             .to_body(),
             Request::Stats(StatsFormat::Json).to_body(),
+            Request::Flight.to_body(),
             Request::Proof(Fingerprint(0xabcdef)).to_body(),
             "ok\nverdict correct\ncex-true a".to_owned(),
             "ok\nproof-bytes 4\n\n1 0\n".to_owned(),

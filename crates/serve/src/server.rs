@@ -7,7 +7,8 @@
 //! whatever is in flight), and joins every connection thread.
 
 use crate::proto::{
-    batch_response, read_frame, stats_response, submit_response, write_frame, Request,
+    batch_response, flight_response, read_frame, stats_response, submit_response, write_frame,
+    Request,
 };
 use crate::service::{JobTicket, ServeError, ServeHandle};
 use std::io::{self, BufReader};
@@ -176,17 +177,41 @@ fn dispatch(
         Request::Stats(format) => Ok(stats_response(&handle.registry_snapshot(), format)),
         Request::Status => {
             let stats = handle.stats();
-            Ok(format!(
-                "ok\nqueued {}\nrunning {}\nshut-down {}",
+            let mut body = format!(
+                "ok\nworkers {}\nqueued {}\nrunning {}\nshut-down {}",
+                handle.workers(),
                 stats.queued,
                 stats.running,
                 u8::from(handle.is_shut_down()),
-            ))
+            );
+            for row in handle.progress_rows() {
+                let progress = &row.progress;
+                body.push_str(&format!(
+                    "\njob {} name={} class={} elapsed-ms={} budget-ms={} conflicts={} \
+                     conflicts-per-sec={} restarts={} trail={} level={} learnts={} beats={}",
+                    row.fingerprint,
+                    row.name.replace(' ', "_"),
+                    row.class,
+                    row.elapsed.as_millis(),
+                    row.budget
+                        .map(|b| b.as_millis().to_string())
+                        .unwrap_or_else(|| "-".to_owned()),
+                    progress.conflicts,
+                    progress.conflicts_per_sec,
+                    progress.restarts,
+                    progress.trail_depth,
+                    progress.decision_level,
+                    progress.learnt_db,
+                    progress.heartbeats,
+                ));
+            }
+            Ok(body)
         }
-        Request::Submit(spec) => {
+        Request::Flight => Ok(flight_response(&velv_obs::flight::snapshot())),
+        Request::Submit { spec, trace } => {
             // Overload is a first-class `busy` status (not `err`): clients
             // back off and retry instead of treating it as a failure.
-            let ticket = match handle.submit(spec) {
+            let ticket = match handle.submit_traced(spec, trace) {
                 Ok(ticket) => ticket,
                 Err(ServeError::Busy(reason)) => return Ok(format!("busy {reason}")),
                 Err(e) => return Err(e.to_string()),
@@ -195,7 +220,7 @@ fn dispatch(
             let result = ticket.wait();
             Ok(submit_response(fingerprint, &result))
         }
-        Request::Batch(specs) => {
+        Request::Batch { specs, trace } => {
             // The per-client quota caps how many jobs one connection puts in
             // flight at once; a batch is the only way a single (serial)
             // connection creates concurrent jobs.
@@ -207,7 +232,7 @@ fn dispatch(
                     specs.len()
                 ));
             }
-            let tickets: Vec<JobTicket> = match handle.submit_batch(specs) {
+            let tickets: Vec<JobTicket> = match handle.submit_batch_traced(specs, trace) {
                 Ok(tickets) => tickets,
                 Err(ServeError::Busy(reason)) => return Ok(format!("busy {reason}")),
                 Err(e) => return Err(e.to_string()),

@@ -37,6 +37,7 @@
 use crate::cache::{CacheStats, CachedVerdict, VerdictCache};
 use crate::job::{BackendChoice, JobSpec, ParseJobError, SolveMode};
 use crate::persist;
+use crate::proto::TraceContext;
 use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 use std::panic::AssertUnwindSafe;
@@ -90,6 +91,11 @@ pub struct ServiceConfig {
     /// once — enforced by the TCP front end on batch submissions, the only
     /// way a single connection creates concurrent jobs.  `0` = unlimited.
     pub per_client_quota: usize,
+    /// Service-level objective on submission-to-result latency: a completed
+    /// job whose wall time is within this target counts toward attainment.
+    /// The target, the attainment and the burn (both in permille) are
+    /// exported as gauges through the registry.
+    pub slo_target: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -108,6 +114,7 @@ impl Default for ServiceConfig {
             store_failpoints: None,
             max_queue_depth: None,
             per_client_quota: 0,
+            slo_target: Duration::from_secs(1),
         }
     }
 }
@@ -123,6 +130,24 @@ impl ServiceConfig {
     pub fn with_cache_bytes(mut self, bytes: usize) -> Self {
         self.cache_bytes = bytes;
         self
+    }
+
+    /// Sets the latency SLO target.
+    pub fn with_slo_target(mut self, target: Duration) -> Self {
+        self.slo_target = target;
+        self
+    }
+}
+
+/// The scheduling class of a priority value — the `class` label of the
+/// per-class latency histograms and the class column of the live progress
+/// rows.  Positive priorities are `high`, zero is `normal`, negative is
+/// `low`.
+pub fn priority_class(priority: i32) -> &'static str {
+    match priority.cmp(&0) {
+        std::cmp::Ordering::Greater => "high",
+        std::cmp::Ordering::Equal => "normal",
+        std::cmp::Ordering::Less => "low",
     }
 }
 
@@ -195,6 +220,9 @@ struct JobSlot {
 struct JobState {
     fingerprint: Fingerprint,
     name: String,
+    /// Scheduling priority of the originating spec — the class label of the
+    /// per-class latency histograms.
+    priority: i32,
     submitted: Instant,
     cancel: CancelToken,
     waiters: AtomicU64,
@@ -203,10 +231,11 @@ struct JobState {
 }
 
 impl JobState {
-    fn new(fingerprint: Fingerprint, name: String) -> Self {
+    fn new(fingerprint: Fingerprint, name: String, priority: i32) -> Self {
         JobState {
             fingerprint,
             name,
+            priority,
             submitted: Instant::now(),
             cancel: CancelToken::new(),
             waiters: AtomicU64::new(0),
@@ -351,6 +380,10 @@ struct SingleJob {
     problem: VerificationProblem,
     deadline: Option<Instant>,
     state: Arc<JobState>,
+    /// The submitting client's trace context: the worker's `serve.job` span
+    /// is tagged with it so a merged multi-process trace parents the span
+    /// under the client's root span.
+    trace: Option<TraceContext>,
 }
 
 enum WorkItem {
@@ -419,6 +452,55 @@ impl Ord for QueuedItem {
 /// Upper bucket bounds of the per-job wall-time histogram: 1ms to 60s.
 const JOB_WALL_BOUNDS: &[u64] = &[1_000, 10_000, 100_000, 1_000_000, 10_000_000, 60_000_000];
 
+/// One histogram family labelled by scheduling class (`high`/`normal`/`low`),
+/// registered with the fine log-bucketed bounds so class percentiles stay
+/// meaningful from microseconds to minutes.
+struct ClassHistograms {
+    high: velv_obs::Histogram,
+    normal: velv_obs::Histogram,
+    low: velv_obs::Histogram,
+}
+
+impl ClassHistograms {
+    fn new(registry: &velv_obs::Registry, name: &str, help: &str) -> ClassHistograms {
+        let bounds = velv_obs::log_bucket_bounds();
+        let labelled =
+            |class: &str| registry.histogram_with(name, &[("class", class)], help, bounds);
+        ClassHistograms {
+            high: labelled("high"),
+            normal: labelled("normal"),
+            low: labelled("low"),
+        }
+    }
+
+    fn for_priority(&self, priority: i32) -> &velv_obs::Histogram {
+        match priority_class(priority) {
+            "high" => &self.high,
+            "low" => &self.low,
+            _ => &self.normal,
+        }
+    }
+
+    fn observe(&self, priority: i32, value: u64) {
+        self.for_priority(priority).observe(value);
+    }
+
+    /// The three class snapshots pooled into one (identical bounds by
+    /// construction) — the overall distribution the percentile gauges are
+    /// derived from.
+    fn merged_snapshot(&self) -> velv_obs::HistogramSnapshot {
+        let mut merged = self.high.snapshot();
+        for other in [self.normal.snapshot(), self.low.snapshot()] {
+            for (count, extra) in merged.counts.iter_mut().zip(&other.counts) {
+                *count += extra;
+            }
+            merged.count += other.count;
+            merged.sum += other.sum;
+        }
+        merged
+    }
+}
+
 /// The service's metric handles, registered on the per-service
 /// [`Registry`](velv_obs::Registry) — the registry snapshot *is* the wire
 /// `stats` payload, so every counter below is automatically served.
@@ -451,6 +533,16 @@ struct Counters {
     solve_micros: velv_obs::Counter,
     wall_micros: velv_obs::Counter,
     job_wall_micros: velv_obs::Histogram,
+    queue_wait: ClassHistograms,
+    job_wall_class: ClassHistograms,
+    job_wall_p50: velv_obs::Gauge,
+    job_wall_p95: velv_obs::Gauge,
+    job_wall_p99: velv_obs::Gauge,
+    slo_within: velv_obs::Counter,
+    slo_missed: velv_obs::Counter,
+    slo_target_micros: velv_obs::Gauge,
+    slo_attainment_permille: velv_obs::Gauge,
+    slo_burn_permille: velv_obs::Gauge,
     cache_entries: velv_obs::Gauge,
     cache_bytes: velv_obs::Gauge,
     cache_capacity_bytes: velv_obs::Gauge,
@@ -565,6 +657,48 @@ impl Counters {
                 "velv_serve_job_wall_micros",
                 "Submission-to-result latency per completed job, in microseconds.",
                 JOB_WALL_BOUNDS,
+            ),
+            queue_wait: ClassHistograms::new(
+                registry,
+                "velv_serve_queue_wait_micros",
+                "Queue wait (submission to dequeue) per job, in microseconds.",
+            ),
+            job_wall_class: ClassHistograms::new(
+                registry,
+                "velv_serve_job_wall_class_micros",
+                "Submission-to-result latency per completed job by scheduling class, in microseconds.",
+            ),
+            job_wall_p50: registry.gauge(
+                "velv_serve_job_wall_p50_micros",
+                "Estimated median submission-to-result latency, in microseconds.",
+            ),
+            job_wall_p95: registry.gauge(
+                "velv_serve_job_wall_p95_micros",
+                "Estimated 95th-percentile submission-to-result latency, in microseconds.",
+            ),
+            job_wall_p99: registry.gauge(
+                "velv_serve_job_wall_p99_micros",
+                "Estimated 99th-percentile submission-to-result latency, in microseconds.",
+            ),
+            slo_within: registry.counter(
+                "velv_serve_slo_within_total",
+                "Completed jobs whose wall time met the latency SLO target.",
+            ),
+            slo_missed: registry.counter(
+                "velv_serve_slo_missed_total",
+                "Completed jobs whose wall time exceeded the latency SLO target.",
+            ),
+            slo_target_micros: registry.gauge(
+                "velv_serve_slo_target_micros",
+                "Configured latency SLO target, in microseconds.",
+            ),
+            slo_attainment_permille: registry.gauge(
+                "velv_serve_slo_attainment_permille",
+                "Share of completed jobs meeting the SLO target, in permille.",
+            ),
+            slo_burn_permille: registry.gauge(
+                "velv_serve_slo_burn_permille",
+                "Share of completed jobs missing the SLO target, in permille.",
             ),
             cache_entries: registry.gauge(
                 "velv_serve_cache_entries",
@@ -685,11 +819,47 @@ struct QueueState {
     depth: u64,
 }
 
+/// A live progress-table entry: one job a worker is currently running, with
+/// the heartbeat-fed [`velv_sat::ProgressCell`] it reports into.
+struct ProgressEntry {
+    name: String,
+    priority: i32,
+    started: Instant,
+    deadline: Option<Instant>,
+    cell: Arc<velv_sat::ProgressCell>,
+}
+
+/// One row of the live per-job progress table — the payload of the `status`
+/// wire verb's `job` lines and of `velvc top`/`velvc watch`.
+#[derive(Clone, Debug)]
+pub struct ProgressRow {
+    /// The job's structural fingerprint.
+    pub fingerprint: Fingerprint,
+    /// The design name.
+    pub name: String,
+    /// Scheduling class (`high`/`normal`/`low`).
+    pub class: &'static str,
+    /// Time since submission.
+    pub elapsed: Duration,
+    /// Total wall budget (submission to deadline), when the job has one.
+    pub budget: Option<Duration>,
+    /// The latest solver heartbeat figures (all zero before the first
+    /// heartbeat, and for back ends that do not heartbeat).
+    pub progress: velv_sat::ProgressSnapshot,
+}
+
 struct Inner {
     config: ServiceConfig,
     queue: Mutex<QueueState>,
     work: Condvar,
     in_flight: Mutex<HashMap<u128, Arc<JobState>>>,
+    /// Jobs currently on a worker, keyed by fingerprint; feeds the `status`
+    /// progress rows.
+    progress: Mutex<HashMap<u128, ProgressEntry>>,
+    /// Rate limiter of storm-triggered flight dumps (shed storms, store
+    /// append failures) — at most one dump per window, so a sustained storm
+    /// cannot turn into an I/O storm.
+    flight_last_dump: Mutex<Option<Instant>>,
     cache: VerdictCache,
     /// The crash-safe verdict store, when configured: decided verdicts are
     /// appended before delivery, and startup replayed it into the cache.
@@ -735,8 +905,9 @@ impl Inner {
         }
     }
 
-    /// Refreshes the snapshot-time gauges (cache residency) from their
-    /// sources; call before snapshotting the registry.
+    /// Refreshes the snapshot-time gauges (cache residency, latency
+    /// percentiles, SLO attainment) from their sources; call before
+    /// snapshotting the registry.
     fn refresh_gauges(&self) {
         let cache = self.cache.stats();
         self.counters.cache_entries.set(cache.entries as i64);
@@ -744,6 +915,71 @@ impl Inner {
         self.counters
             .cache_capacity_bytes
             .set(cache.capacity_bytes as i64);
+        let wall = self.counters.job_wall_class.merged_snapshot();
+        self.counters.job_wall_p50.set(wall.quantile(0.50) as i64);
+        self.counters.job_wall_p95.set(wall.quantile(0.95) as i64);
+        self.counters.job_wall_p99.set(wall.quantile(0.99) as i64);
+        self.counters
+            .slo_target_micros
+            .set(self.config.slo_target.as_micros() as i64);
+        let within = self.counters.slo_within.get();
+        let missed = self.counters.slo_missed.get();
+        let attainment = match within + missed {
+            0 => 1000, // No completed jobs: the SLO is vacuously met.
+            total => (within * 1000 / total) as i64,
+        };
+        self.counters.slo_attainment_permille.set(attainment);
+        self.counters.slo_burn_permille.set(1000 - attainment);
+    }
+
+    /// Accounts a completed job's wall time: totals, the unlabelled and the
+    /// class-labelled latency histograms, and the SLO counters.
+    fn note_job_wall(&self, priority: i32, wall: Duration) {
+        let micros = wall.as_micros() as u64;
+        self.counters.wall_micros.add(micros);
+        self.counters.job_wall_micros.observe(micros);
+        self.counters.job_wall_class.observe(priority, micros);
+        if wall <= self.config.slo_target {
+            self.counters.slo_within.inc();
+        } else {
+            self.counters.slo_missed.inc();
+        }
+    }
+
+    /// Dumps the flight recorder for a storm-class trigger, at most once per
+    /// 30-second window (worker panics dump unconditionally — those are
+    /// singular events, not storms).
+    fn flight_dump_rate_limited(&self, reason: &str) {
+        {
+            let mut last = self.flight_last_dump.lock().expect("flight dump lock");
+            let now = Instant::now();
+            if last.is_some_and(|t| now.duration_since(t) < Duration::from_secs(30)) {
+                return;
+            }
+            *last = Some(now);
+        }
+        let _ = velv_obs::flight::dump(reason);
+    }
+
+    /// The live progress rows, longest-running job first.
+    fn progress_rows(&self) -> Vec<ProgressRow> {
+        let table = self.progress.lock().expect("progress table lock");
+        let mut rows: Vec<ProgressRow> = table
+            .iter()
+            .map(|(key, entry)| ProgressRow {
+                fingerprint: Fingerprint(*key),
+                name: entry.name.clone(),
+                class: priority_class(entry.priority),
+                elapsed: entry.started.elapsed(),
+                budget: entry
+                    .deadline
+                    .map(|d| d.saturating_duration_since(entry.started)),
+                progress: entry.cell.snapshot(),
+            })
+            .collect();
+        drop(table);
+        rows.sort_by_key(|row| std::cmp::Reverse(row.elapsed));
+        rows
     }
 
     /// A point-in-time snapshot of the service registry, gauges refreshed.
@@ -776,10 +1012,7 @@ impl Inner {
         self.counters.unknown.inc();
         self.counters.completed.inc();
         let wall = state.submitted.elapsed();
-        self.counters.wall_micros.add(wall.as_micros() as u64);
-        self.counters
-            .job_wall_micros
-            .observe(wall.as_micros() as u64);
+        self.note_job_wall(state.priority, wall);
         self.remove_in_flight(state);
         state.resolve(JobResult {
             name: state.name.clone(),
@@ -802,6 +1035,7 @@ impl Inner {
             return Ok(());
         };
         let jobs = item.job_count();
+        let mut shed_any = false;
         let mut queue = self.queue.lock().expect("queue lock");
         while queue.depth + jobs > max as u64 {
             // The minimum under the heap order is the lowest-priority,
@@ -823,9 +1057,13 @@ impl Inner {
                     }
                     queue.depth -= freed;
                     self.counters.queued.sub(freed as i64);
+                    shed_any = true;
                 }
                 _ => {
                     drop(queue);
+                    if shed_any {
+                        self.flight_dump_rate_limited("shed-storm");
+                    }
                     return Err(item);
                 }
             }
@@ -839,6 +1077,9 @@ impl Inner {
             item,
         });
         drop(queue);
+        if shed_any {
+            self.flight_dump_rate_limited("shed-storm");
+        }
         self.counters.queued.add(jobs as i64);
         self.work.notify_one();
         Ok(())
@@ -926,7 +1167,11 @@ impl Inner {
                 let (payload, sidecar) = persist::encode(&entry);
                 match store.append(job.state.fingerprint.0, &payload, sidecar.as_deref()) {
                     Ok(_) => self.counters.persisted.inc(),
-                    Err(_) => self.counters.persist_errors.inc(),
+                    Err(_) => {
+                        self.counters.persist_errors.inc();
+                        // Durability just degraded: preserve the evidence.
+                        self.flight_dump_rate_limited("store-append-failure");
+                    }
                 }
             }
             self.cache.insert(job.state.fingerprint, entry);
@@ -945,10 +1190,7 @@ impl Inner {
         self.counters
             .solve_micros
             .add(solve_time.as_micros() as u64);
-        self.counters.wall_micros.add(wall.as_micros() as u64);
-        self.counters
-            .job_wall_micros
-            .observe(wall.as_micros() as u64);
+        self.note_job_wall(job.state.priority, wall);
         job.state.resolve(JobResult {
             name: job.state.name.clone(),
             verdict,
@@ -1019,19 +1261,16 @@ fn worker_loop(inner: Arc<Inner>) {
         // take the worker thread (and eventually the pool) down.  The unwind
         // is caught, the affected jobs resolve as `unknown` (never cached,
         // never persisted), and the worker returns to the queue.
-        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            if let Some(velv_store::FailAction::Panic) =
-                velv_store::failpoint::global().hit("serve.worker.run")
-            {
-                panic!("failpoint serve.worker.run: injected worker panic");
-            }
-            match item {
-                WorkItem::Single(job) => run_single(&inner, &job),
-                WorkItem::Batch(entries) => run_batch(&inner, entries),
-            }
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| match item {
+            WorkItem::Single(job) => run_single(&inner, &job),
+            WorkItem::Batch(entries) => run_batch(&inner, entries),
         }));
         if outcome.is_err() {
             inner.counters.worker_panics.inc();
+            // Dump the flight ring *before* resolving the victims: once a
+            // waiter observes the panic verdict, the post-mortem containing
+            // the panicking job's spans is already on disk.
+            let _ = velv_obs::flight::dump("worker-panic");
             for state in &states {
                 inner.remove_in_flight(state);
                 if !state.is_resolved() {
@@ -1057,6 +1296,75 @@ fn worker_loop(inner: Arc<Inner>) {
     inner.counters.workers.sub(1);
 }
 
+/// Registers jobs in the live progress table for the duration of a worker
+/// run; removal on drop keeps the table clean across panics (the guard drops
+/// during the unwind caught by [`worker_loop`]).
+struct ProgressTableGuard<'a> {
+    inner: &'a Inner,
+    keys: Vec<u128>,
+}
+
+impl<'a> ProgressTableGuard<'a> {
+    fn insert(
+        inner: &'a Inner,
+        jobs: &[&SingleJob],
+        cell: &Arc<velv_sat::ProgressCell>,
+    ) -> ProgressTableGuard<'a> {
+        let mut table = inner.progress.lock().expect("progress table lock");
+        let mut keys = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            table.insert(
+                job.state.fingerprint.0,
+                ProgressEntry {
+                    name: job.state.name.clone(),
+                    priority: job.spec.priority,
+                    started: job.state.submitted,
+                    deadline: job.deadline,
+                    cell: Arc::clone(cell),
+                },
+            );
+            keys.push(job.state.fingerprint.0);
+        }
+        ProgressTableGuard { inner, keys }
+    }
+}
+
+impl Drop for ProgressTableGuard<'_> {
+    fn drop(&mut self) {
+        let mut table = self.inner.progress.lock().expect("progress table lock");
+        for key in &self.keys {
+            table.remove(key);
+        }
+    }
+}
+
+/// The `serve.worker.run` failpoint, hit once per work item *after* the
+/// `serve.job` span has opened, so an injected panic leaves the job's spans
+/// in the flight ring for the post-mortem dump.
+fn hit_worker_run_failpoint() {
+    if let Some(velv_store::FailAction::Panic) =
+        velv_store::failpoint::global().hit("serve.worker.run")
+    {
+        panic!("failpoint serve.worker.run: injected worker panic");
+    }
+}
+
+/// The `serve.job` span fields: the job (or batch) identity plus, when the
+/// submitter sent a [`TraceContext`], the `trace`/`remote_parent` tags that
+/// let [`velv_obs::check_traces`] parent this span under the client's root
+/// span in a merged multi-process trace.
+fn job_span_fields<'a>(
+    identity: (&'a str, velv_obs::FieldValue),
+    trace: Option<&TraceContext>,
+) -> Vec<(&'a str, velv_obs::FieldValue)> {
+    let mut fields = vec![identity];
+    if let Some(context) = trace {
+        fields.push(("trace", context.trace_id.into()));
+        fields.push(("remote_parent", context.parent_span.into()));
+    }
+    fields
+}
+
 fn job_budget(job: &SingleJob) -> Budget {
     Budget {
         max_conflicts: job.spec.max_conflicts,
@@ -1073,16 +1381,22 @@ fn run_single(inner: &Inner, job: &SingleJob) {
         // have their busy verdict.
         return;
     }
-    let _job_span = velv_obs::span_fields("serve.job", &[("job", job.state.name.as_str().into())]);
+    let _job_span = velv_obs::span_fields(
+        "serve.job",
+        &job_span_fields(("job", job.state.name.as_str().into()), job.trace.as_ref()),
+    );
+    let queued = job.state.submitted.elapsed();
+    inner
+        .counters
+        .queue_wait
+        .observe(job.spec.priority, queued.as_micros() as u64);
     if velv_obs::enabled() {
         velv_obs::event(
             "serve.dequeue",
-            &[(
-                "queued_us",
-                (job.state.submitted.elapsed().as_micros() as u64).into(),
-            )],
+            &[("queued_us", (queued.as_micros() as u64).into())],
         );
     }
+    hit_worker_run_failpoint();
     job.state.set_status(JobStatus::Running);
     if job.state.cancel.is_cancelled() {
         inner.finish_cancelled(job);
@@ -1112,6 +1426,12 @@ fn run_single(inner: &Inner, job: &SingleJob) {
     let verifier = Verifier::new(job.spec.options.clone());
     let budget = job_budget(job);
     inner.counters.translations.inc();
+
+    // Live introspection: the solver's heartbeats flow into this cell, which
+    // the `status` progress rows read concurrently.
+    let progress = Arc::new(velv_sat::ProgressCell::new());
+    let _table = ProgressTableGuard::insert(inner, &[job], &progress);
+    let _cell = velv_sat::install_progress_cell(Arc::clone(&progress));
 
     let (verdict, certificate, proof, stats) = match job.spec.mode {
         SolveMode::Decomposed { max_obligations } => {
@@ -1261,6 +1581,10 @@ fn run_batch(inner: &Inner, entries: Vec<SingleJob>) {
             inner.finish_cancelled(&job);
         } else {
             job.state.set_status(JobStatus::Running);
+            inner.counters.queue_wait.observe(
+                job.spec.priority,
+                job.state.submitted.elapsed().as_micros() as u64,
+            );
             alive.push(job);
         }
     }
@@ -1268,12 +1592,26 @@ fn run_batch(inner: &Inner, entries: Vec<SingleJob>) {
         return;
     }
     // The group shares options/backend/certified by construction
-    // (`ServeHandle::submit_batch` groups on exactly those fields).
-    let _job_span = velv_obs::span_fields("serve.job", &[("batch", alive.len().into())]);
+    // (`ServeHandle::submit_batch` groups on exactly those fields); any
+    // entry's trace context stands in for the group's.
+    let trace = alive.iter().find_map(|j| j.trace);
+    let _job_span = velv_obs::span_fields(
+        "serve.job",
+        &job_span_fields(("batch", (alive.len() as u64).into()), trace.as_ref()),
+    );
+    hit_worker_run_failpoint();
     let spec = alive[0].spec.clone();
     let verifier = Verifier::new(spec.options.clone());
     let started = Instant::now();
     inner.counters.translations.inc();
+
+    // One shared progress cell for the whole group: the session solves the
+    // entries sequentially on this thread, so the rows of a batch show the
+    // session's combined progress.
+    let progress = Arc::new(velv_sat::ProgressCell::new());
+    let job_refs: Vec<&SingleJob> = alive.iter().collect();
+    let _table = ProgressTableGuard::insert(inner, &job_refs, &progress);
+    let _cell = velv_sat::install_progress_cell(Arc::clone(&progress));
     let problems: Vec<&VerificationProblem> = alive.iter().map(|j| &j.problem).collect();
     let shared = {
         let _span = velv_obs::span("serve.translate");
@@ -1373,7 +1711,8 @@ struct WorkerSet {
 
 impl WorkerSet {
     fn shutdown(&self) {
-        if !self.inner.shutdown.swap(true, Ordering::SeqCst) && velv_obs::enabled() {
+        let first = !self.inner.shutdown.swap(true, Ordering::SeqCst);
+        if first && velv_obs::enabled() {
             velv_obs::event("serve.shutdown", &[]);
         }
         // Stop whatever is being worked on right now.
@@ -1419,8 +1758,14 @@ impl WorkerSet {
         }
         // The workers are joined and the queue is drained: push whatever
         // trace records are still sitting in per-thread buffers to the sink
-        // so a graceful shutdown never loses the tail of the trace.
+        // so a graceful shutdown never loses the tail of the trace, and
+        // leave one final flight dump (on the first shutdown only — the
+        // teardown paths all funnel through here) as the parting
+        // post-mortem.
         velv_obs::flush();
+        if first {
+            let _ = velv_obs::flight::dump("shutdown");
+        }
     }
 }
 
@@ -1451,6 +1796,10 @@ impl ServeHandle {
     /// Fails with [`ServeError::Store`] when the store directory cannot be
     /// opened or scanned.
     pub fn try_start(config: ServiceConfig) -> Result<ServeHandle, ServeError> {
+        // The flight recorder is always on while a service runs: spans and
+        // events land in the in-memory ring even with no trace sink
+        // installed, so a panic or storm can dump the last moments.
+        velv_obs::flight::arm();
         let workers = config.workers.max(1);
         let registry = velv_obs::Registry::new();
         let cache = VerdictCache::with_registry(config.cache_bytes, config.cache_shards, &registry);
@@ -1491,6 +1840,8 @@ impl ServeHandle {
             }),
             work: Condvar::new(),
             in_flight: Mutex::new(HashMap::new()),
+            progress: Mutex::new(HashMap::new()),
+            flight_last_dump: Mutex::new(None),
             store,
             recovery,
             counters,
@@ -1521,7 +1872,7 @@ impl ServeHandle {
     /// happen under the in-flight lock, pairing with the worker's
     /// cache-insert-then-retire ordering, so a finishing twin is found in one
     /// of the two no matter how the submission races it.
-    fn admit(&self, spec: JobSpec) -> Result<Admission, ServeError> {
+    fn admit(&self, spec: JobSpec, trace: Option<TraceContext>) -> Result<Admission, ServeError> {
         if self.inner.shutdown.load(Ordering::SeqCst) {
             return Err(ServeError::ShutDown);
         }
@@ -1536,7 +1887,11 @@ impl ServeHandle {
         if let Some(hit) = self.inner.cache.get(fingerprint) {
             drop(in_flight);
             self.inner.counters.cache_hits.inc();
-            let state = Arc::new(JobState::new(fingerprint, problem.name.clone()));
+            let state = Arc::new(JobState::new(
+                fingerprint,
+                problem.name.clone(),
+                spec.priority,
+            ));
             state.resolve(JobResult {
                 name: problem.name,
                 verdict: hit.verdict.clone(),
@@ -1561,7 +1916,11 @@ impl ServeHandle {
                 return Ok(Admission::Ticket(ticket));
             }
         }
-        let state = Arc::new(JobState::new(fingerprint, problem.name.clone()));
+        let state = Arc::new(JobState::new(
+            fingerprint,
+            problem.name.clone(),
+            spec.priority,
+        ));
         let ticket = JobTicket::subscribe(&state, false);
         let mut in_flight = in_flight;
         in_flight.insert(fingerprint.0, Arc::clone(&state));
@@ -1579,6 +1938,7 @@ impl ServeHandle {
                 problem,
                 deadline,
                 state,
+                trace,
             }),
         ))
     }
@@ -1590,7 +1950,25 @@ impl ServeHandle {
     /// Fails when the service is shut down or the spec is invalid; never
     /// blocks on the solvers (that is what the returned ticket is for).
     pub fn submit(&self, spec: JobSpec) -> Result<JobTicket, ServeError> {
-        match self.admit(spec)? {
+        self.submit_traced(spec, None)
+    }
+
+    /// [`ServeHandle::submit`] with the submitting client's [`TraceContext`]
+    /// attached: the worker's `serve.job` span is tagged so a merged
+    /// multi-process trace parents it under the client's root span.  The
+    /// context is scheduling metadata only — it never enters the job's
+    /// fingerprint, and a deduplicated submission keeps the first
+    /// submitter's context.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeHandle::submit`].
+    pub fn submit_traced(
+        &self,
+        spec: JobSpec,
+        trace: Option<TraceContext>,
+    ) -> Result<JobTicket, ServeError> {
+        match self.admit(spec, trace)? {
             Admission::Ticket(ticket) => Ok(ticket),
             Admission::Fresh(ticket, job) => match self.inner.push_bounded(WorkItem::Single(job)) {
                 Ok(()) => Ok(ticket),
@@ -1618,12 +1996,27 @@ impl ServeHandle {
     /// Fails atomically (no work scheduled) when the service is shut down or
     /// any spec is invalid.
     pub fn submit_batch(&self, specs: Vec<JobSpec>) -> Result<Vec<JobTicket>, ServeError> {
+        self.submit_batch_traced(specs, None)
+    }
+
+    /// [`ServeHandle::submit_batch`] with the submitting client's
+    /// [`TraceContext`] attached to every fresh entry (see
+    /// [`ServeHandle::submit_traced`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeHandle::submit_batch`].
+    pub fn submit_batch_traced(
+        &self,
+        specs: Vec<JobSpec>,
+        trace: Option<TraceContext>,
+    ) -> Result<Vec<JobTicket>, ServeError> {
         let count = specs.len() as u64;
         let mut tickets = Vec::with_capacity(specs.len());
         let mut fresh: Vec<Box<SingleJob>> = Vec::new();
         let mut admissions = Vec::with_capacity(specs.len());
         for spec in specs {
-            match self.admit(spec) {
+            match self.admit(spec, trace) {
                 Ok(admission) => admissions.push(admission),
                 Err(e) => {
                     // Atomic failure: retire every fresh job admitted so
@@ -1698,6 +2091,17 @@ impl ServeHandle {
     /// Current statistics.
     pub fn stats(&self) -> ServiceStats {
         self.inner.stats()
+    }
+
+    /// The live per-job progress rows (jobs currently on a worker), fed by
+    /// the solvers' heartbeats; longest-running first.
+    pub fn progress_rows(&self) -> Vec<ProgressRow> {
+        self.inner.progress_rows()
+    }
+
+    /// The configured worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.inner.config.workers.max(1)
     }
 
     /// The service's metric registry (counters, gauges, histograms of this

@@ -126,9 +126,10 @@ fn protocol_errors_are_reported_not_fatal() {
     let mut client = ServeClient::connect(addr).expect("connect");
     // Unknown command: the server answers `err ...` and keeps the
     // connection alive.
-    let err = client.request(&Request::Submit(
-        JobSpec::parse_wire("model=dlx1:bug:9999").unwrap(),
-    ));
+    let err = client.request(&Request::Submit {
+        spec: JobSpec::parse_wire("model=dlx1:bug:9999").unwrap(),
+        trace: None,
+    });
     assert!(err.is_err());
     client.ping().expect("the connection survived the error");
     client.shutdown().expect("shutdown");
@@ -156,6 +157,78 @@ fn every_registered_metric_reaches_the_wire() {
             wire_keys.contains(key.as_str()),
             "registered metric `{key}` is missing from the wire stats payload"
         );
+    }
+    // The class-labelled latency series reach the wire explicitly: one
+    // completed normal-priority job must show up under class="normal".
+    for family in [
+        "velv_serve_queue_wait_micros",
+        "velv_serve_job_wall_class_micros",
+    ] {
+        let key = format!("{family}_count{{class=\"normal\"}}");
+        let count = response
+            .fields
+            .iter()
+            .find(|(k, _)| *k == key)
+            .and_then(|(_, v)| v.parse::<u64>().ok());
+        assert_eq!(count, Some(1), "labelled series `{key}` reaches the wire");
+    }
+    // The derived percentile gauges are non-zero once a job completed.
+    for gauge in [
+        "velv_serve_job_wall_p50_micros",
+        "velv_serve_job_wall_p95_micros",
+        "velv_serve_job_wall_p99_micros",
+    ] {
+        let value = response
+            .fields
+            .iter()
+            .find(|(k, _)| k == gauge)
+            .and_then(|(_, v)| v.parse::<u64>().ok())
+            .unwrap_or_else(|| panic!("gauge `{gauge}` missing from the wire stats"));
+        assert!(value > 0, "`{gauge}` is non-zero after a completed job");
+    }
+    // The SLO block is exported: target, attainment and burn are consistent.
+    let field = |key: &str| {
+        response
+            .fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.parse::<i64>().ok())
+            .unwrap_or_else(|| panic!("`{key}` missing from the wire stats"))
+    };
+    assert!(field("velv_serve_slo_target_micros") > 0);
+    let attainment = field("velv_serve_slo_attainment_permille");
+    let burn = field("velv_serve_slo_burn_permille");
+    assert_eq!(
+        attainment + burn,
+        1000,
+        "attainment and burn are permille complements"
+    );
+    client.shutdown().expect("shutdown");
+    control.wait();
+}
+
+#[test]
+fn status_and_flight_verbs_report_live_state() {
+    let (control, addr, _handle) = start_server(2);
+    let mut client = ServeClient::connect(addr).expect("connect");
+    client
+        .submit(JobSpec::parse_wire("model=dlx1:bug:3").unwrap())
+        .expect("submit succeeds");
+
+    let status = client.status().expect("status");
+    assert_eq!(status.field("workers"), Some("2"));
+    assert_eq!(status.field("shut-down"), Some("0"));
+    assert!(status.field("queued").is_some());
+    assert!(status.field("running").is_some());
+
+    // The service armed the flight recorder at start, so the just-finished
+    // job's spans are in the ring even though no trace sink is installed.
+    let lines = client.flight().expect("flight snapshot");
+    assert!(!lines.is_empty(), "the flight ring captured the job");
+    let joined = lines.join("\n");
+    assert!(joined.contains("\"serve.job\""), "{joined}");
+    for line in &lines {
+        velv_obs::parse_trace_line(line).expect("flight lines are valid flat JSON");
     }
     client.shutdown().expect("shutdown");
     control.wait();

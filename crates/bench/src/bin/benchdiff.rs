@@ -1,0 +1,327 @@
+//! `benchdiff` — regression attribution between two `BENCH_cdcl.json` files.
+//!
+//! Compares a baseline and a current benchmark file row by row (keyed by
+//! `(instance, preset)`), ranks the deltas by significance, and for the rows
+//! that moved names the per-run registry counters that moved with them — so
+//! a throughput regression points at *which* engine counter changed, not
+//! just that the wall clock did.
+//!
+//! ```text
+//! benchdiff BASELINE.json CURRENT.json [--threshold PCT] [--out PATH]
+//! ```
+//!
+//! A row is *significant* when its time or conflicts-per-second moved by
+//! more than the threshold (default 5%), or its result label changed.  Rows
+//! present in only one file are reported as added/removed.  The tool is
+//! informational: it always exits 0 on a successful comparison (CI uploads
+//! its output as an artifact rather than gating on it), and exits nonzero
+//! only when an input cannot be read or parsed.
+
+use std::collections::BTreeMap;
+use velv_bench::json::{self, Json};
+
+/// One benchmark row, as read from a `runs` array entry.
+#[derive(Clone, Debug)]
+struct Row {
+    result: String,
+    time_s: f64,
+    conflicts: f64,
+    conflicts_per_sec: f64,
+    propagations_per_sec: f64,
+    metrics: BTreeMap<String, f64>,
+}
+
+/// The comparison of one `(instance, preset)` row across the two files.
+struct Delta {
+    key: String,
+    baseline: Row,
+    current: Row,
+    /// Largest relative movement across time and throughput, in [0, inf).
+    significance: f64,
+    result_changed: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: benchdiff BASELINE.json CURRENT.json [--threshold PCT] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> BTreeMap<String, Row> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("benchdiff: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let doc = json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("benchdiff: cannot parse {path}: {e}");
+        std::process::exit(1);
+    });
+    let runs = doc.get("runs").and_then(Json::as_array).unwrap_or_else(|| {
+        eprintln!("benchdiff: {path} has no `runs` array (is it a BENCH_cdcl file?)");
+        std::process::exit(1);
+    });
+    let mut rows = BTreeMap::new();
+    for run in runs {
+        let field = |name: &str| run.get(name).and_then(Json::as_f64).unwrap_or(0.0);
+        let text_field = |name: &str| {
+            run.get(name)
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_owned()
+        };
+        let metrics = run
+            .get("metrics")
+            .and_then(Json::as_object)
+            .map(|map| {
+                map.iter()
+                    .filter_map(|(k, v)| v.as_f64().map(|v| (k.clone(), v)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let key = format!("{} [{}]", text_field("instance"), text_field("preset"));
+        rows.insert(
+            key,
+            Row {
+                result: text_field("result"),
+                time_s: field("time_s"),
+                conflicts: field("conflicts"),
+                conflicts_per_sec: field("conflicts_per_sec"),
+                propagations_per_sec: field("propagations_per_sec"),
+                metrics,
+            },
+        );
+    }
+    rows
+}
+
+/// Relative movement of `current` against `baseline`, signed; 0 when the
+/// baseline is 0 (nothing meaningful to divide by).
+fn rel(baseline: f64, current: f64) -> f64 {
+    if baseline.abs() < 1e-12 {
+        0.0
+    } else {
+        (current - baseline) / baseline
+    }
+}
+
+fn percent(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}
+
+/// The registry counters of a row that moved by more than `threshold`,
+/// ranked by relative movement, largest first.
+fn moved_counters(baseline: &Row, current: &Row, threshold: f64) -> Vec<(String, f64, f64, f64)> {
+    let mut moved = Vec::new();
+    let keys: std::collections::BTreeSet<&String> = baseline
+        .metrics
+        .keys()
+        .chain(current.metrics.keys())
+        .collect();
+    for key in keys {
+        let old = baseline.metrics.get(key).copied().unwrap_or(0.0);
+        let new = current.metrics.get(key).copied().unwrap_or(0.0);
+        let movement = if old.abs() < 1e-12 && new.abs() < 1e-12 {
+            0.0
+        } else if old.abs() < 1e-12 {
+            f64::INFINITY // appeared
+        } else {
+            rel(old, new).abs()
+        };
+        if movement > threshold {
+            moved.push((key.clone(), old, new, movement));
+        }
+    }
+    moved.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap_or(std::cmp::Ordering::Equal));
+    moved
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = Vec::new();
+    let mut threshold = 0.05;
+    let mut out_path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--threshold" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(pct) if pct >= 0.0 => threshold = pct / 100.0,
+                _ => usage(),
+            },
+            "--out" => match iter.next() {
+                Some(path) => out_path = Some(path.clone()),
+                None => usage(),
+            },
+            _ if arg.starts_with("--") => usage(),
+            _ => positional.push(arg.clone()),
+        }
+    }
+    let [baseline_path, current_path] = positional.as_slice() else {
+        usage();
+    };
+
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+
+    let mut deltas = Vec::new();
+    let mut added = Vec::new();
+    let mut removed = Vec::new();
+    for (key, row) in &current {
+        match baseline.get(key) {
+            None => added.push(key.clone()),
+            Some(base) => {
+                let significance = [
+                    rel(base.time_s, row.time_s).abs(),
+                    rel(base.conflicts_per_sec, row.conflicts_per_sec).abs(),
+                    rel(base.propagations_per_sec, row.propagations_per_sec).abs(),
+                ]
+                .into_iter()
+                .fold(0.0, f64::max);
+                deltas.push(Delta {
+                    key: key.clone(),
+                    baseline: base.clone(),
+                    current: row.clone(),
+                    significance,
+                    result_changed: base.result != row.result,
+                });
+            }
+        }
+    }
+    for key in baseline.keys() {
+        if !current.contains_key(key) {
+            removed.push(key.clone());
+        }
+    }
+
+    // Result flips first (a verdict change dwarfs any throughput delta),
+    // then by relative movement.
+    deltas.sort_by(|a, b| {
+        b.result_changed.cmp(&a.result_changed).then(
+            b.significance
+                .partial_cmp(&a.significance)
+                .unwrap_or(std::cmp::Ordering::Equal),
+        )
+    });
+
+    println!("benchdiff: {baseline_path} -> {current_path}");
+    println!(
+        "{} common rows, {} added, {} removed, threshold {:.1}%",
+        deltas.len(),
+        added.len(),
+        removed.len(),
+        threshold * 100.0
+    );
+    let mut report = String::new();
+    report.push_str("{\n");
+    report.push_str(&format!(
+        "  \"baseline\": \"{baseline_path}\",\n  \"current\": \"{current_path}\",\n"
+    ));
+    report.push_str(&format!("  \"threshold\": {threshold},\n"));
+    report.push_str("  \"deltas\": [\n");
+    let mut significant = 0usize;
+    let mut emitted = 0usize;
+    for delta in &deltas {
+        let flagged = delta.result_changed || delta.significance > threshold;
+        if !flagged {
+            continue;
+        }
+        significant += 1;
+        let time = rel(delta.baseline.time_s, delta.current.time_s);
+        let confl = rel(
+            delta.baseline.conflicts_per_sec,
+            delta.current.conflicts_per_sec,
+        );
+        let marker = if delta.result_changed {
+            " RESULT CHANGED"
+        } else if time > 0.0 {
+            " slower"
+        } else {
+            " faster"
+        };
+        println!(
+            "  {:<44} time {} confl/s {}{}",
+            delta.key,
+            percent(time),
+            percent(confl),
+            marker
+        );
+        if delta.result_changed {
+            println!(
+                "    result: {} -> {}",
+                delta.baseline.result, delta.current.result
+            );
+        }
+        if delta.baseline.conflicts != delta.current.conflicts {
+            // A changed conflict count means the search trajectory itself
+            // moved, not just the machine's speed.
+            println!(
+                "    conflicts: {:.0} -> {:.0} (trajectory changed)",
+                delta.baseline.conflicts, delta.current.conflicts
+            );
+        }
+        let moved = moved_counters(&delta.baseline, &delta.current, threshold);
+        for (name, old, new, _) in moved.iter().take(4) {
+            println!("    counter {name}: {old:.0} -> {new:.0}");
+        }
+        if moved.len() > 4 {
+            println!("    ... and {} more moved counters", moved.len() - 4);
+        }
+        if emitted > 0 {
+            report.push_str(",\n");
+        }
+        emitted += 1;
+        let counters: Vec<String> = moved
+            .iter()
+            .take(8)
+            .map(|(name, old, new, _)| {
+                format!(
+                    "{{\"name\": \"{}\", \"baseline\": {old}, \"current\": {new}}}",
+                    name.replace('\\', "\\\\").replace('"', "\\\"")
+                )
+            })
+            .collect();
+        report.push_str(&format!(
+            "    {{\"row\": \"{}\", \"result_changed\": {}, \"time_rel\": {:.4}, \
+             \"conflicts_per_sec_rel\": {:.4}, \"moved_counters\": [{}]}}",
+            delta.key.replace('\\', "\\\\").replace('"', "\\\""),
+            delta.result_changed,
+            time,
+            confl,
+            counters.join(", ")
+        ));
+    }
+    if emitted > 0 {
+        report.push('\n');
+    }
+    report.push_str("  ],\n");
+    report.push_str(&format!(
+        "  \"added\": [{}],\n",
+        added
+            .iter()
+            .map(|k| format!("\"{k}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    report.push_str(&format!(
+        "  \"removed\": [{}]\n}}\n",
+        removed
+            .iter()
+            .map(|k| format!("\"{k}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    if significant == 0 {
+        println!("  no row moved beyond the threshold");
+    }
+    for key in &added {
+        println!("  added   {key}");
+    }
+    for key in &removed {
+        println!("  removed {key}");
+    }
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, report) {
+            eprintln!("benchdiff: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+}

@@ -43,13 +43,16 @@
 //! rows land in the `persist` array of `BENCH_serve.json`.
 //!
 //! Usage: `satbench [--smoke] [--out PATH] [--serve-out PATH]
-//! [--only cdcl|serve|persist] [--trace PATH]`.
+//! [--only cdcl|serve|persist] [--trace PATH] [--profile DIR]`.
 //! `--smoke` shrinks every instance so the whole run takes well under a
 //! second — CI uses it to keep the harness from rotting without paying for a
 //! real measurement.  `--only serve` regenerates `BENCH_serve.json` without
 //! re-measuring the solver suites.  `--trace` records every span and event of
 //! the run to a JSONL file and self-checks the capture with the trace checker
-//! before exiting.
+//! before exiting.  `--profile DIR` writes one `SolveProfile` JSONL artifact
+//! per (preset, instance) run of the CDCL suite to `DIR` — decimated
+//! time-series, restart markers and span-derived phase trees — and aborts if
+//! any artifact fails to reparse.
 //!
 //! Each preset-suite row of `BENCH_cdcl.json` also carries a `metrics`
 //! object: the per-run delta of the global `velv_obs` metric registry, so
@@ -69,6 +72,84 @@ struct Instance {
     cnf: CnfFormula,
 }
 
+/// Per-solve profiling context of a `--profile DIR` run: the artifact
+/// directory and the installed process [`velv_obs::ProfileSink`].
+struct Profiler {
+    dir: std::path::PathBuf,
+    sink: std::sync::Arc<velv_obs::ProfileSink>,
+}
+
+impl Profiler {
+    /// Builds, writes and self-reparses the `SolveProfile` of one measured
+    /// run.  A profile that does not round-trip is a harness bug, so it
+    /// aborts the whole benchmark (CI runs `--smoke --profile` exactly for
+    /// this check).
+    fn write(
+        &self,
+        preset: &str,
+        instance: &str,
+        result: &str,
+        time_s: f64,
+        stats: &velv_sat::SolverStats,
+        recorder: &velv_obs::SharedSolveRecorder,
+    ) -> velv_obs::SolveProfile {
+        // Drain this thread's trace buffer so the sink has seen every span
+        // of the run before the tree is extracted.
+        velv_obs::flush();
+        let phases = self.sink.take_roots();
+        let profile = {
+            let rec = recorder.lock().expect("bench recorder lock");
+            velv_obs::SolveProfile {
+                instance: instance.to_owned(),
+                solver: preset.to_owned(),
+                result: result.to_owned(),
+                wall_us: (time_s * 1e6) as u64,
+                stride: rec.stride(),
+                offered: rec.offered(),
+                conflicts: stats.conflicts,
+                propagations: stats.propagations,
+                decisions: stats.decisions,
+                restarts: stats.restarts,
+                samples: rec.series(),
+                markers: rec.markers().to_vec(),
+                phases,
+            }
+        };
+        let text = profile.to_jsonl();
+        let sanitize = |s: &str| -> String {
+            s.chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+                        c
+                    } else {
+                        '-'
+                    }
+                })
+                .collect()
+        };
+        let path = self.dir.join(format!(
+            "{}--{}.profile.jsonl",
+            sanitize(preset),
+            sanitize(instance)
+        ));
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("satbench: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        let reread = std::fs::read_to_string(&path).unwrap_or_default();
+        match velv_obs::SolveProfile::parse(&reread) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                eprintln!(
+                    "satbench: profile artifact {} does not reparse: {e}",
+                    path.display()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 /// Measured outcome of one (preset, instance) run.
 struct Measurement {
     preset: &'static str,
@@ -84,24 +165,67 @@ struct Measurement {
     metrics: Vec<(String, u64)>,
 }
 
-/// The counters of the global registry that grew between two snapshots, as
-/// `(flat key, delta)` pairs — the per-run metric attribution of a benchmark
-/// row.
+/// The per-run metric attribution of a benchmark row, as `(flat key, value)`
+/// pairs.  Counters (and histogram count/sum fields) are cumulative, so they
+/// are attributed as *growth* over the `before` snapshot; gauges are levels,
+/// not counters — differencing them against the previous run's final reading
+/// produced garbage (a solve whose learnt DB ended *smaller* than the last
+/// run's simply vanished from the row), so a gauge is reported as its
+/// absolute end-of-run reading whenever the run moved it.
 fn registry_delta(before: &velv_obs::Snapshot, after: &velv_obs::Snapshot) -> Vec<(String, u64)> {
-    let old: std::collections::HashMap<String, u64> = before
-        .flat_fields()
-        .into_iter()
-        .filter_map(|(k, v)| v.parse::<u64>().ok().map(|v| (k, v)))
+    use velv_obs::MetricValue;
+    let old: std::collections::HashMap<String, &MetricValue> = before
+        .metrics
+        .iter()
+        .map(|m| (m.full_name().replace(' ', "_"), &m.value))
         .collect();
-    after
-        .flat_fields()
-        .into_iter()
-        .filter_map(|(key, value)| {
-            let now = value.parse::<u64>().ok()?;
-            let grew = now.saturating_sub(old.get(&key).copied().unwrap_or(0));
-            (grew > 0).then_some((key, grew))
-        })
-        .collect()
+    let mut deltas = Vec::new();
+    for sample in &after.metrics {
+        let key = sample.full_name().replace(' ', "_");
+        match &sample.value {
+            MetricValue::Counter(now) => {
+                let prev = match old.get(&key) {
+                    Some(MetricValue::Counter(v)) => *v,
+                    _ => 0,
+                };
+                let grew = now.saturating_sub(prev);
+                if grew > 0 {
+                    deltas.push((key, grew));
+                }
+            }
+            MetricValue::Gauge(now) => {
+                let prev = match old.get(&key) {
+                    Some(MetricValue::Gauge(v)) => Some(*v),
+                    _ => None,
+                };
+                if prev != Some(*now) {
+                    if let Ok(level) = u64::try_from(*now) {
+                        deltas.push((key, level));
+                    }
+                }
+            }
+            MetricValue::Histogram(h) => {
+                let (prev_count, prev_sum) = match old.get(&key) {
+                    Some(MetricValue::Histogram(p)) => (p.count, p.sum),
+                    _ => (0, 0),
+                };
+                let count = h.count.saturating_sub(prev_count);
+                let sum = h.sum.saturating_sub(prev_sum);
+                if count > 0 {
+                    // Same key shape as `Snapshot::flat_fields`: the suffix
+                    // goes on the name, before the labels.
+                    let suffixed = |suffix: &str| {
+                        let mut renamed = sample.clone();
+                        renamed.name = format!("{}{suffix}", sample.name);
+                        renamed.full_name().replace(' ', "_")
+                    };
+                    deltas.push((suffixed("_count"), count));
+                    deltas.push((suffixed("_sum"), sum));
+                }
+            }
+        }
+    }
+    deltas
 }
 
 /// Seeded random 3-SAT at clause/variable ratio 4.26 (the phase transition).
@@ -156,7 +280,7 @@ fn suite(smoke: bool) -> Vec<Instance> {
     instances
 }
 
-fn run(instances: &[Instance], smoke: bool) -> Vec<Measurement> {
+fn run(instances: &[Instance], smoke: bool, profiler: Option<&Profiler>) -> Vec<Measurement> {
     let budget = if smoke {
         Budget::step_limit(20_000)
     } else {
@@ -177,10 +301,14 @@ fn run(instances: &[Instance], smoke: bool) -> Vec<Measurement> {
     for instance in instances {
         for (name, build) in presets {
             let mut solver = build();
+            let recorder = profiler.map(|_| velv_obs::shared_recorder());
+            let _recorder_guard = recorder.clone().map(velv_sat::install_solve_recorder);
             let before = velv_obs::global().snapshot();
+            let bench_span = profiler.map(|_| velv_obs::span("bench.solve"));
             let start = Instant::now();
             let result = solver.solve_with_budget(&instance.cnf, budget.clone());
             let time = start.elapsed().as_secs_f64();
+            drop(bench_span);
             let metrics = registry_delta(&before, &velv_obs::global().snapshot());
             let stats = solver.stats();
             let result = match result {
@@ -188,6 +316,21 @@ fn run(instances: &[Instance], smoke: bool) -> Vec<Measurement> {
                 SatResult::Unsat => "unsat",
                 SatResult::Unknown(_) => "unknown",
             };
+            if let (Some(profiler), Some(recorder)) = (profiler, &recorder) {
+                let profile = profiler.write(name, &instance.name, result, time, &stats, recorder);
+                let phase = profile
+                    .phases
+                    .first()
+                    .map(|root| format!("{} {:.0}ms", root.name, root.total_us as f64 / 1e3))
+                    .unwrap_or_else(|| "no spans".to_owned());
+                println!(
+                    "  profile {}/{}: {} samples (stride {}), {phase}",
+                    name,
+                    instance.name,
+                    profile.samples.len(),
+                    profile.stride
+                );
+            }
             measurements.push(Measurement {
                 preset: name,
                 instance: instance.name.clone(),
@@ -825,15 +968,39 @@ fn main() {
         }
     }
 
-    if let Some(path) = &trace_path {
-        match velv_obs::JsonlFileSink::create(path) {
-            Ok(sink) => velv_obs::install_sink(std::sync::Arc::new(sink)),
+    // Sink wiring: `--trace` alone installs the JSONL file sink as before;
+    // `--profile` installs a `ProfileSink` (teeing to the file sink when both
+    // are given) so per-solve phase trees can be extracted without replaying
+    // the trace.
+    let file_sink = trace_path
+        .as_ref()
+        .map(|path| match velv_obs::JsonlFileSink::create(path) {
+            Ok(sink) => {
+                println!("satbench: tracing to {path}");
+                std::sync::Arc::new(sink)
+            }
             Err(e) => {
                 eprintln!("satbench: cannot create trace file {path}: {e}");
                 std::process::exit(1);
             }
+        });
+    let profiler = flag_value("--profile").map(|dir| {
+        let dir = std::path::PathBuf::from(dir);
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("satbench: cannot create profile dir {}: {e}", dir.display());
+            std::process::exit(1);
         }
-        println!("satbench: tracing to {path}");
+        let sink = std::sync::Arc::new(match &file_sink {
+            Some(inner) => velv_obs::ProfileSink::with_inner(inner.clone()),
+            None => velv_obs::ProfileSink::new(),
+        });
+        println!("satbench: writing solve profiles to {}", dir.display());
+        Profiler { dir, sink }
+    });
+    match (&profiler, &file_sink) {
+        (Some(profiler), _) => velv_obs::install_sink(profiler.sink.clone()),
+        (None, Some(sink)) => velv_obs::install_sink(sink.clone()),
+        (None, None) => {}
     }
 
     if run_cdcl_suites {
@@ -843,7 +1010,7 @@ fn main() {
             instances.len(),
             if smoke { " (smoke)" } else { "" }
         );
-        let mut measurements = run(&instances, smoke);
+        let mut measurements = run(&instances, smoke, profiler.as_ref());
         run_decomposition(&mut measurements, smoke);
         run_transitivity(&mut measurements, smoke);
         run_certify(&mut measurements, smoke);
@@ -926,8 +1093,10 @@ fn main() {
     // Drain the tracer and self-check the capture: the harness is a single
     // process whose worker threads have all exited, so every span must have
     // closed and reached the file.
-    if let Some(path) = &trace_path {
+    if profiler.is_some() || trace_path.is_some() {
         velv_obs::uninstall_sink();
+    }
+    if let Some(path) = &trace_path {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("satbench: cannot read back trace file {path}: {e}");
             std::process::exit(1);

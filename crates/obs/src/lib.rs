@@ -25,6 +25,10 @@
 //!   most recent trace records, armed by long-running services so a worker
 //!   panic or shed storm can be dumped post mortem (`FLIGHT-<ts>.jsonl`)
 //!   even when no sink is installed.
+//! * **Solve profiler** ([`profile`]): a bounded decimating time-series
+//!   recorder ([`SolveRecorder`]) fed by solver heartbeats, a span-folding
+//!   phase-time sink ([`ProfileSink`]), and the per-solve [`SolveProfile`]
+//!   JSONL artifact combining both.
 //! * **Mergeable latency histogram** ([`LogHistogram`]): log-bucketed
 //!   micros-to-minutes buckets whose merge is element-wise addition, for
 //!   pooling percentile estimates across shards, threads or trace files.
@@ -55,6 +59,7 @@
 pub mod flight;
 pub mod hist;
 pub mod metrics;
+pub mod profile;
 pub mod trace;
 pub mod tracecheck;
 
@@ -65,6 +70,10 @@ pub use hist::{log_bucket_bounds, LogHistogram};
 pub use metrics::{
     global, Counter, Gauge, Histogram, HistogramSnapshot, MetricSample, MetricValue, Registry,
     Snapshot,
+};
+pub use profile::{
+    shared_recorder, PhaseNode, ProfileSink, SharedSolveRecorder, SolveMarker, SolveProfile,
+    SolveRecorder, SolveSample,
 };
 pub use trace::{
     current_span_id, enabled, event, flush, install_sink, span, span_child_of, span_fields,

@@ -134,6 +134,30 @@ impl Histogram {
         self.core.count.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Folds a pre-bucketed batch of observations into the histogram in one
+    /// pass: `counts[i]` observations land in bucket `i` (the layout of
+    /// [`HistogramSnapshot::counts`]: `bounds.len() + 1` cells, overflow
+    /// last), `sum` is the sum of the underlying values.  This lets a hot
+    /// loop accumulate into plain local counters and publish at heartbeat
+    /// granularity instead of paying one atomic RMW per observation.
+    pub fn observe_bucketed(&self, counts: &[u64], sum: u64) {
+        debug_assert_eq!(counts.len(), self.core.buckets.len());
+        let last = self.core.buckets.len() - 1;
+        let mut total = 0u64;
+        for (index, &n) in counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            self.core.buckets[index.min(last)].fetch_add(n, Ordering::Relaxed);
+            total += n;
+        }
+        if total == 0 {
+            return;
+        }
+        self.core.sum.fetch_add(sum, Ordering::Relaxed);
+        self.core.count.fetch_add(total, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the histogram state.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {

@@ -1295,9 +1295,12 @@ impl Engine {
     /// unsatisfiable outright).  Step budgets are counted relative to this
     /// call, so a persistent engine can be re-solved with fresh limits.
     pub(crate) fn search(&mut self, assumptions: &[Lit], budget: Budget) -> SatResult {
+        let start_stats = self.stats;
+        self.obs.begin_solve(&start_stats);
         let result = self.search_inner(assumptions, budget);
         let stats = self.stats;
-        self.obs.flush(&stats, self.num_learnts);
+        let trail_depth = self.trail.len();
+        self.obs.end_solve(&stats, trail_depth, self.num_learnts);
         result
     }
 
@@ -1325,6 +1328,8 @@ impl Engine {
             if let Some(conflict) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_since_restart += 1;
+                let conflict_level = self.decision_level() as usize;
+                self.obs.note_conflict(conflict_level);
                 if self.decision_level() == 0 {
                     self.unsat = true;
                     self.proof_log_empty();

@@ -78,7 +78,10 @@ pub mod solver;
 
 pub use cnf::{Clause, CnfFormula, Lit, Var};
 pub use incremental::IncrementalSolver;
-pub use obs::{install_progress_cell, ProgressCell, ProgressGuard, ProgressSnapshot};
+pub use obs::{
+    current_solve_recorder, install_progress_cell, install_solve_recorder, ProgressCell,
+    ProgressGuard, ProgressSnapshot, SolveRecorderGuard,
+};
 pub use portfolio::{EngineReport, PortfolioHandle, PortfolioReport, PortfolioSolver};
 pub use proof::{ProofWriter, SharedProof};
 pub use race::{race, race_with_token, RaceOutcome, RaceRun};

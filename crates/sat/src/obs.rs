@@ -18,6 +18,13 @@
 //! the solving thread ([`install_progress_cell`]); every heartbeat then
 //! also stores its figures into the cell's atomics, readable from any
 //! thread without locks.
+//!
+//! A host that wants a *solve profile* (how the search evolved over time)
+//! installs a shared [`velv_obs::SolveRecorder`] the same way
+//! ([`install_solve_recorder`]); every heartbeat then offers the recorder a
+//! [`velv_obs::SolveSample`], and the end of each `search` call closes the
+//! series with the true final counters — including budget-exceeded and
+//! cancelled exits, which never reach a heartbeat boundary.
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -131,18 +138,59 @@ fn current_progress_cell() -> Option<Arc<ProgressCell>> {
         .flatten()
 }
 
+thread_local! {
+    static RECORDER: RefCell<Option<velv_obs::SharedSolveRecorder>> = const { RefCell::new(None) };
+}
+
+/// Routes the heartbeat samples of solvers run *on this thread* into
+/// `recorder` until the returned guard drops (drop restores the previous
+/// recorder, so installs nest).  The portfolio backend re-installs the
+/// current recorder on each member thread, so racing members feed one shared
+/// time-series, told apart by their preset label.
+#[must_use = "samples flow only while the guard is alive"]
+pub fn install_solve_recorder(recorder: velv_obs::SharedSolveRecorder) -> SolveRecorderGuard {
+    let previous = RECORDER
+        .try_with(|slot| slot.borrow_mut().replace(recorder))
+        .ok()
+        .flatten();
+    SolveRecorderGuard { previous }
+}
+
+/// Uninstalls the recorder of [`install_solve_recorder`] on drop.
+pub struct SolveRecorderGuard {
+    previous: Option<velv_obs::SharedSolveRecorder>,
+}
+
+impl Drop for SolveRecorderGuard {
+    fn drop(&mut self) {
+        let previous = self.previous.take();
+        let _ = RECORDER.try_with(|slot| *slot.borrow_mut() = previous);
+    }
+}
+
+/// The solve recorder installed on this thread, if any — hosts that move
+/// work across threads (the portfolio race, the serve worker pool) capture
+/// it here and re-install it on the destination thread.
+pub fn current_solve_recorder() -> Option<velv_obs::SharedSolveRecorder> {
+    RECORDER
+        .try_with(|slot| slot.borrow().clone())
+        .ok()
+        .flatten()
+}
+
 /// Conflicts between two heartbeats (must be `2^k - 1`; the check is a
 /// bitmask on the global conflict count, piggybacked on the conflict branch
 /// next to the budget poll).
 pub(crate) const HEARTBEAT_MASK: u64 = 1023;
 
-/// Upper bucket bounds for the decision-level histogram sampled at each
-/// heartbeat.
+/// Upper bucket bounds for the decision-level histogram, fed by the
+/// per-conflict accumulator.
 const LEVEL_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096];
 
 /// Per-engine observability state: global-registry handles labelled by
 /// preset, plus the last-published [`SolverStats`] for delta flushing.
 pub(crate) struct EngineObs {
+    preset: String,
     conflicts: Counter,
     decisions: Counter,
     propagations: Counter,
@@ -152,9 +200,20 @@ pub(crate) struct EngineObs {
     /// Stats as of the last flush; only the increment since then is added to
     /// the registry counters.
     last: SolverStats,
-    /// Timestamp and conflict count of the previous heartbeat, for the
-    /// conflicts/s figure in the heartbeat event.
-    last_beat: Option<(Instant, u64)>,
+    /// Timestamp and cumulative conflict/propagation counts at the previous
+    /// heartbeat, for the rate figures.
+    last_beat: Option<(Instant, u64, u64)>,
+    /// Decision level of every conflict since the last publish, accumulated
+    /// as plain local bucket counts (one array write per conflict) and
+    /// published in bulk at heartbeats — so the histogram's `count` tracks
+    /// the *conflict* count, not the heartbeat count.
+    level_buckets: [u64; LEVEL_BOUNDS.len() + 1],
+    level_sum: u64,
+    level_count: u64,
+    /// The solve recorder captured from this thread at `begin_solve`.
+    recorder: Option<velv_obs::SharedSolveRecorder>,
+    /// Restart count already marked into the recorder.
+    marked_restarts: u64,
 }
 
 impl EngineObs {
@@ -192,11 +251,144 @@ impl EngineObs {
             decision_levels: registry.histogram_with(
                 "velv_sat_decision_level",
                 labels,
-                "Decision level sampled at each heartbeat.",
+                "Decision level at each conflict (accumulated locally, published at heartbeats).",
                 LEVEL_BOUNDS,
             ),
+            preset: preset.to_string(),
             last: SolverStats::default(),
             last_beat: None,
+            level_buckets: [0; LEVEL_BOUNDS.len() + 1],
+            level_sum: 0,
+            level_count: 0,
+            recorder: None,
+            marked_restarts: 0,
+        }
+    }
+
+    /// Accumulates the decision level of one conflict into the local bucket
+    /// array — the hot-loop half of the histogram (no atomics, no branches
+    /// beyond the bucket search).
+    #[inline]
+    pub(crate) fn note_conflict(&mut self, decision_level: usize) {
+        let v = decision_level as u64;
+        let index = LEVEL_BOUNDS.partition_point(|&bound| bound < v);
+        self.level_buckets[index] += 1;
+        self.level_sum += v;
+        self.level_count += 1;
+    }
+
+    /// Publishes the accumulated per-conflict decision levels in bulk and
+    /// returns their mean (0.0 for an empty window).
+    fn publish_levels(&mut self) -> f64 {
+        if self.level_count == 0 {
+            return 0.0;
+        }
+        let mean = self.level_sum as f64 / self.level_count as f64;
+        self.decision_levels
+            .observe_bucketed(&self.level_buckets, self.level_sum);
+        self.level_buckets = [0; LEVEL_BOUNDS.len() + 1];
+        self.level_sum = 0;
+        self.level_count = 0;
+        mean
+    }
+
+    /// Marks the start of one `search` call: captures the solve recorder
+    /// installed on this thread (if any) and resets the rate window.
+    pub(crate) fn begin_solve(&mut self, stats: &SolverStats) {
+        self.recorder = current_solve_recorder();
+        self.last_beat = None;
+        self.marked_restarts = stats.restarts;
+        if let Some(recorder) = &self.recorder {
+            if let Ok(mut rec) = recorder.lock() {
+                rec.mark("solve", &self.preset);
+            }
+        }
+    }
+
+    /// Marks the end of one `search` call: publishes the remaining level
+    /// window, offers a final time-series sample (so aborted runs — budget
+    /// exceeded, cancellation — still close their series with the true final
+    /// counters), and flushes the counter deltas.
+    pub(crate) fn end_solve(
+        &mut self,
+        stats: &SolverStats,
+        trail_depth: usize,
+        num_learnts: usize,
+    ) {
+        let mean_level = self.publish_levels();
+        if let Some(recorder) = self.recorder.take() {
+            let (rate, prop_rate) = self.window_rates(stats);
+            if let Ok(mut rec) = recorder.lock() {
+                self.mark_restarts(&mut rec, stats);
+                let sample = self.build_sample(
+                    &rec,
+                    stats,
+                    trail_depth,
+                    num_learnts,
+                    rate,
+                    prop_rate,
+                    mean_level,
+                );
+                rec.offer(sample);
+            }
+        }
+        self.flush(stats, num_learnts);
+        self.last_beat = None;
+    }
+
+    /// Conflict and propagation rates over the window since the previous
+    /// heartbeat; restarts the window at the current instant.
+    fn window_rates(&mut self, stats: &SolverStats) -> (f64, f64) {
+        let now = Instant::now();
+        let rates = match self.last_beat {
+            Some((then, conflicts, propagations)) => {
+                let dt = now.duration_since(then).as_secs_f64();
+                if dt > 0.0 {
+                    (
+                        stats.conflicts.saturating_sub(conflicts) as f64 / dt,
+                        stats.propagations.saturating_sub(propagations) as f64 / dt,
+                    )
+                } else {
+                    (0.0, 0.0)
+                }
+            }
+            None => (0.0, 0.0),
+        };
+        self.last_beat = Some((now, stats.conflicts, stats.propagations));
+        rates
+    }
+
+    fn mark_restarts(&mut self, rec: &mut velv_obs::SolveRecorder, stats: &SolverStats) {
+        if stats.restarts > self.marked_restarts {
+            let delta = stats.restarts - self.marked_restarts;
+            rec.mark("restart", &delta.to_string());
+            self.marked_restarts = stats.restarts;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_sample(
+        &self,
+        rec: &velv_obs::SolveRecorder,
+        stats: &SolverStats,
+        trail_depth: usize,
+        num_learnts: usize,
+        rate: f64,
+        prop_rate: f64,
+        mean_level: f64,
+    ) -> velv_obs::SolveSample {
+        velv_obs::SolveSample {
+            t_us: rec.now_us(),
+            label: self.preset.clone(),
+            conflicts: stats.conflicts,
+            propagations: stats.propagations,
+            decisions: stats.decisions,
+            restarts: stats.restarts,
+            trail_depth: trail_depth as u64,
+            learnt_db: num_learnts as u64,
+            conflicts_per_sec: rate,
+            propagations_per_sec: prop_rate,
+            mean_decision_level: mean_level,
         }
     }
 
@@ -215,10 +407,11 @@ impl EngineObs {
         self.last = *stats;
     }
 
-    /// Periodic probe from the search loop: flushes counter deltas, samples
-    /// the decision level, and — when a trace subscriber is installed —
-    /// emits a `solver.heartbeat` event with the instantaneous conflict
-    /// rate.
+    /// Periodic probe from the search loop: publishes the per-conflict
+    /// decision-level window, flushes counter deltas, feeds the solve
+    /// recorder a time-series sample, and — when a trace subscriber is
+    /// installed — emits a `solver.heartbeat` event with the instantaneous
+    /// conflict rate.
     pub(crate) fn heartbeat(
         &mut self,
         stats: &SolverStats,
@@ -226,28 +419,31 @@ impl EngineObs {
         decision_level: usize,
         num_learnts: usize,
     ) {
-        self.decision_levels.observe(decision_level as u64);
+        let mean_level = self.publish_levels();
         self.flush(stats, num_learnts);
         let cell = current_progress_cell();
-        if !velv_obs::enabled() && cell.is_none() {
+        if !velv_obs::enabled() && cell.is_none() && self.recorder.is_none() {
             // Skip the `Instant::now` when nobody is listening; the next
             // listened-to heartbeat restarts the rate window.
             self.last_beat = None;
             return;
         }
-        let now = Instant::now();
-        let rate = match self.last_beat {
-            Some((then, conflicts)) => {
-                let dt = now.duration_since(then).as_secs_f64();
-                if dt > 0.0 {
-                    (stats.conflicts - conflicts) as f64 / dt
-                } else {
-                    0.0
-                }
+        let (rate, prop_rate) = self.window_rates(stats);
+        if let Some(recorder) = self.recorder.clone() {
+            if let Ok(mut rec) = recorder.lock() {
+                self.mark_restarts(&mut rec, stats);
+                let sample = self.build_sample(
+                    &rec,
+                    stats,
+                    trail_depth,
+                    num_learnts,
+                    rate,
+                    prop_rate,
+                    mean_level,
+                );
+                rec.offer(sample);
             }
-            None => 0.0,
-        };
-        self.last_beat = Some((now, stats.conflicts));
+        }
         if let Some(cell) = cell {
             cell.update(stats, rate, trail_depth, decision_level, num_learnts);
         }

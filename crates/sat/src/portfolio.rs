@@ -316,12 +316,18 @@ impl Solver for PortfolioSolver {
             ],
         );
         let members = &self.members;
+        // Thread-locals do not cross the member spawn: capture the caller's
+        // solve recorder here and re-install it inside each member thread, so
+        // racing engines feed one shared time-series (samples are told apart
+        // by their preset label).
+        let recorder = crate::obs::current_solve_recorder();
         let outcome = race_with_token(
             &thread_names,
             budget,
             MEMBER_STACK_SIZE,
             token,
             |index, member_budget| {
+                let _recorder_guard = recorder.clone().map(crate::obs::install_solve_recorder);
                 let mut solver = (members[index].factory)();
                 let result = solver.solve_with_budget(cnf, member_budget);
                 (result, solver.stats())

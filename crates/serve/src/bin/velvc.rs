@@ -10,6 +10,7 @@
 //! velvc [FLAGS] watch FINGERPRINT
 //! velvc [FLAGS] flight                  # dump the server's flight ring
 //! velvc [FLAGS] proof FINGERPRINT
+//! velvc [FLAGS] profile FINGERPRINT [--raw]
 //! velvc [FLAGS] shutdown
 //! velvc trace FILE.jsonl [FILE...]      # offline: check trace captures
 //!
@@ -36,7 +37,7 @@ fn usage() -> ! {
         "usage: velvc [--addr HOST:PORT] [--timeout MS] [--retries N] [--backoff-ms MS] \
          [--trace FILE.jsonl] \
          <ping|submit KEY=VALUE...|batch LINE...|stats [--prom|--json]|status\
-         |top [--once] [--interval-ms N]|watch FP|flight|proof FP|shutdown> \
+         |top [--once] [--interval-ms N]|watch FP|flight|proof FP|profile FP [--raw]|shutdown> \
          | velvc trace FILE.jsonl [FILE...]"
     );
     std::process::exit(2);
@@ -481,6 +482,30 @@ fn main() {
             };
             match client.proof(fingerprint) {
                 Ok(text) => print!("{text}"),
+                Err(e) => fail_client(e),
+            }
+        }
+        "profile" => {
+            let Some(fingerprint) = rest.first() else {
+                usage();
+            };
+            let raw = rest.iter().any(|a| a == "--raw");
+            match client.profile(fingerprint) {
+                Ok(text) => {
+                    if raw {
+                        print!("{text}");
+                    } else {
+                        match velv_obs::SolveProfile::parse(&text) {
+                            Ok(profile) => print!("{}", profile.render_text()),
+                            // Unparseable profiles (e.g. a newer server) still
+                            // dump raw so the bytes are never unreachable.
+                            Err(e) => {
+                                eprintln!("warning: could not parse profile ({e}); raw dump:");
+                                print!("{text}");
+                            }
+                        }
+                    }
+                }
                 Err(e) => fail_client(e),
             }
         }

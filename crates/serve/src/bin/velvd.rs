@@ -84,16 +84,24 @@ fn main() {
         }
     }
 
-    if let Some(path) = &trace_path {
-        match velv_obs::JsonlFileSink::create(path) {
-            Ok(sink) => velv_obs::install_sink(Arc::new(sink)),
+    // The profile sink is always armed: it folds each job's spans into the
+    // phase tree served by `velvc profile`.  With `--trace` it tees every
+    // line on to the JSONL file sink.
+    let profile_sink = if let Some(path) = &trace_path {
+        let file_sink = match velv_obs::JsonlFileSink::create(path) {
+            Ok(sink) => sink,
             Err(e) => {
                 eprintln!("velvd: cannot create trace file {path}: {e}");
                 std::process::exit(1);
             }
-        }
+        };
         println!("velvd: tracing to {path}");
-    }
+        Arc::new(velv_obs::ProfileSink::with_inner(Arc::new(file_sink)))
+    } else {
+        Arc::new(velv_obs::ProfileSink::new())
+    };
+    velv_obs::install_sink(profile_sink.clone());
+    config.profile_sink = Some(profile_sink);
 
     if let Some(dir) = &flight_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
@@ -134,9 +142,7 @@ fn main() {
 
     // Graceful shutdown: drain every per-thread trace buffer into the sink
     // before logging the final snapshot, so the capture keeps its tail.
-    if trace_path.is_some() {
-        velv_obs::uninstall_sink();
-    }
+    velv_obs::uninstall_sink();
     let snapshot = handle.registry_snapshot();
     println!("velvd: shut down; final registry snapshot:");
     for (key, value) in snapshot.flat_fields() {

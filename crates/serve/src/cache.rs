@@ -43,6 +43,10 @@ pub struct CachedVerdict {
     pub solve_time: Duration,
     /// Translation statistics of the original run.
     pub translation_stats: Option<TranslationStats>,
+    /// The serialized [`velv_obs::SolveProfile`] (JSONL) of the original
+    /// run, when the service was profiling — served by the `profile` wire
+    /// verb.
+    pub profile: Option<Arc<String>>,
 }
 
 impl CachedVerdict {
@@ -59,6 +63,9 @@ impl CachedVerdict {
         }
         if let Some(proof) = &self.proof_drat {
             bytes += proof.len();
+        }
+        if let Some(profile) = &self.profile {
+            bytes += profile.len();
         }
         if self.certificate.is_some() {
             bytes += 128;
@@ -362,6 +369,7 @@ mod tests {
             proof_drat: Some(Arc::new(vec![b'0'; padding])),
             solve_time: Duration::from_millis(1),
             translation_stats: None,
+            profile: None,
         }
     }
 

@@ -380,6 +380,20 @@ impl ServeClient {
             .ok_or_else(|| ClientError::Protocol("proof response had no payload".to_owned()))
     }
 
+    /// Fetches the cached solve profile (JSONL) for a fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Fails when nothing (or no profile) is cached under the fingerprint.
+    pub fn profile(&mut self, fingerprint_hex: &str) -> Result<String, ClientError> {
+        let fingerprint = velv_eufm::Fingerprint::from_hex(fingerprint_hex)
+            .ok_or_else(|| ClientError::Server(format!("bad fingerprint `{fingerprint_hex}`")))?;
+        let response = self.request(&Request::Profile(fingerprint))?;
+        response
+            .payload
+            .ok_or_else(|| ClientError::Protocol("profile response had no payload".to_owned()))
+    }
+
     /// Asks the server to shut down.
     ///
     /// # Errors

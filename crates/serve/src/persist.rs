@@ -157,6 +157,10 @@ pub fn encode(entry: &CachedVerdict) -> (Vec<u8>, Option<Vec<u8>>) {
             ));
         }
     }
+    if let Some(profile) = &entry.profile {
+        body.push_str("\nprofile ");
+        body.push_str(&esc(profile));
+    }
     let sidecar = entry.proof_drat.as_ref().map(|p| p.as_ref().clone());
     (body.into_bytes(), sidecar)
 }
@@ -180,6 +184,7 @@ pub fn decode(payload: &[u8], sidecar: Option<Vec<u8>>) -> Result<CachedVerdict,
     let mut solve_time = Duration::ZERO;
     let mut translation_stats: Option<TranslationStats> = None;
     let mut certificate: Option<Certificate> = None;
+    let mut profile: Option<Arc<String>> = None;
 
     for line in lines {
         let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
@@ -256,6 +261,7 @@ pub fn decode(payload: &[u8], sidecar: Option<Vec<u8>>) -> Result<CachedVerdict,
                     other => return Err(format!("unknown certificate kind `{other}`")),
                 });
             }
+            "profile" => profile = Some(Arc::new(unesc(rest))),
             // Forward-compatible: unknown keys within a known version are
             // ignored so a patch release can add fields without a bump.
             _ => {}
@@ -273,6 +279,7 @@ pub fn decode(payload: &[u8], sidecar: Option<Vec<u8>>) -> Result<CachedVerdict,
         proof_drat: sidecar.map(Arc::new),
         solve_time,
         translation_stats,
+        profile,
     })
 }
 
@@ -303,6 +310,7 @@ mod tests {
                 eufm_equations: 9,
                 uf_applications: 7,
             }),
+            profile: None,
         };
         let back = roundtrip(entry.clone());
         assert_eq!(back.verdict, entry.verdict);
@@ -336,6 +344,7 @@ mod tests {
             proof_drat: None,
             solve_time: Duration::ZERO,
             translation_stats: None,
+            profile: None,
         };
         let back = roundtrip(entry);
         match back.verdict {
@@ -366,6 +375,7 @@ mod tests {
                 proof_drat: None,
                 solve_time: Duration::from_micros(1),
                 translation_stats: None,
+                profile: None,
             };
             match roundtrip(entry).certificate {
                 Some(Certificate::Unsat(p)) => {
@@ -393,6 +403,34 @@ mod tests {
     }
 
     #[test]
+    fn profile_artifact_roundtrips() {
+        // A representative SolveProfile serialization: JSONL with quotes and
+        // newlines, exactly what the `%`-escaping must carry intact.
+        let jsonl = velv_obs::SolveProfile {
+            instance: "2xDLX-CC 100%".to_owned(),
+            solver: "chaff".to_owned(),
+            result: "unsat".to_owned(),
+            wall_us: 42,
+            stride: 1,
+            offered: 1,
+            ..velv_obs::SolveProfile::default()
+        }
+        .to_jsonl();
+        let entry = CachedVerdict {
+            verdict: Verdict::Correct,
+            certificate: None,
+            proof_drat: None,
+            solve_time: Duration::from_micros(42),
+            translation_stats: None,
+            profile: Some(Arc::new(jsonl.clone())),
+        };
+        let back = roundtrip(entry);
+        let stored = back.profile.expect("profile survives the store");
+        assert_eq!(*stored, jsonl);
+        velv_obs::SolveProfile::parse(&stored).expect("stored profile stays parseable");
+    }
+
+    #[test]
     fn missing_sidecar_degrades_to_no_proof() {
         let entry = CachedVerdict {
             verdict: Verdict::Correct,
@@ -400,6 +438,7 @@ mod tests {
             proof_drat: Some(Arc::new(b"proof".to_vec())),
             solve_time: Duration::ZERO,
             translation_stats: None,
+            profile: None,
         };
         let (payload, _sidecar) = encode(&entry);
         let back = decode(&payload, None).unwrap();

@@ -23,6 +23,7 @@
 //! | `stats` | optional format line: `prom` or `json` | one `key value` line per metric (flat), or the encoded registry snapshot as payload |
 //! | `status` | — | `workers`, `queued`, `running`, `shut-down`, then one `job <fingerprint> ...` line per in-flight job |
 //! | `proof` | one fingerprint (32 hex digits) | `proof-bytes N`, blank line, DRAT text |
+//! | `profile` | one fingerprint (32 hex digits) | `profile-bytes N`, blank line, [`velv_obs::SolveProfile`] JSONL |
 //! | `flight` | — | `lines N`, blank line, flight-recorder JSONL snapshot |
 //! | `shutdown` | — | `bye 1` |
 //!
@@ -200,6 +201,8 @@ pub enum Request {
     Status,
     /// Retrieve the cached DRAT artifact of a fingerprint.
     Proof(Fingerprint),
+    /// Retrieve the cached solve profile of a fingerprint.
+    Profile(Fingerprint),
     /// Snapshot the flight recorder ring.
     Flight,
     /// Stop the server.
@@ -238,6 +241,7 @@ impl Request {
             Request::Stats(StatsFormat::Json) => "stats\njson".to_owned(),
             Request::Status => "status".to_owned(),
             Request::Proof(fp) => format!("proof\n{fp}"),
+            Request::Profile(fp) => format!("profile\n{fp}"),
             Request::Flight => "flight".to_owned(),
             Request::Shutdown => "shutdown".to_owned(),
         }
@@ -298,6 +302,12 @@ impl Request {
                 let hex = lines.next().ok_or("proof needs a fingerprint")?.trim();
                 Fingerprint::from_hex(hex)
                     .map(Request::Proof)
+                    .ok_or_else(|| format!("bad fingerprint `{hex}`"))
+            }
+            "profile" => {
+                let hex = lines.next().ok_or("profile needs a fingerprint")?.trim();
+                Fingerprint::from_hex(hex)
+                    .map(Request::Profile)
                     .ok_or_else(|| format!("bad fingerprint `{hex}`"))
             }
             other => Err(format!("unknown command `{other}`")),
@@ -527,6 +537,7 @@ mod tests {
                 }),
             },
             Request::Proof(Fingerprint(0xabcdef)),
+            Request::Profile(Fingerprint(0xabcdef)),
         ];
         for request in requests {
             let body = request.to_body();
@@ -541,6 +552,8 @@ mod tests {
         assert!(Request::parse_body("batch\n\n").is_err());
         assert!(Request::parse_body("batch\ntrace 5 6").is_err());
         assert!(Request::parse_body("proof\nzz").is_err());
+        assert!(Request::parse_body("profile\nzz").is_err());
+        assert!(Request::parse_body("profile").is_err());
     }
 
     #[test]
@@ -618,8 +631,10 @@ mod tests {
             Request::Stats(StatsFormat::Json).to_body(),
             Request::Flight.to_body(),
             Request::Proof(Fingerprint(0xabcdef)).to_body(),
+            Request::Profile(Fingerprint(0xabcdef)).to_body(),
             "ok\nverdict correct\ncex-true a".to_owned(),
             "ok\nproof-bytes 4\n\n1 0\n".to_owned(),
+            "ok\nprofile-bytes 4\n\n{}\n".to_owned(),
             "err boom".to_owned(),
             "busy queue full".to_owned(),
         ];

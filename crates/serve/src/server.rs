@@ -254,6 +254,20 @@ fn dispatch(
             let text = String::from_utf8_lossy(proof);
             Ok(format!("ok\nproof-bytes {}\n\n{}", proof.len(), text))
         }
+        Request::Profile(fingerprint) => {
+            let entry = handle
+                .cached(fingerprint)
+                .ok_or_else(|| format!("no cached entry for {fingerprint}"))?;
+            let profile = entry
+                .profile
+                .as_ref()
+                .ok_or_else(|| format!("no profile recorded for {fingerprint}"))?;
+            Ok(format!(
+                "ok\nprofile-bytes {}\n\n{}",
+                profile.len(),
+                profile
+            ))
+        }
         Request::Shutdown => {
             stop.store(true, Ordering::SeqCst);
             Ok("ok\nbye 1".to_owned())

@@ -96,6 +96,13 @@ pub struct ServiceConfig {
     /// The target, the attainment and the burn (both in permille) are
     /// exported as gauges through the registry.
     pub slo_target: Duration,
+    /// When set, every fresh single-job solve is profiled: a solve recorder
+    /// rides the solver's heartbeats, this sink (which the host must also
+    /// install as the process trace sink, teeing into any file sink) folds
+    /// the job's spans into a phase tree, and the combined
+    /// [`velv_obs::SolveProfile`] is cached and persisted next to the
+    /// verdict, served by the `profile` wire verb.
+    pub profile_sink: Option<Arc<velv_obs::ProfileSink>>,
 }
 
 impl Default for ServiceConfig {
@@ -115,6 +122,7 @@ impl Default for ServiceConfig {
             max_queue_depth: None,
             per_client_quota: 0,
             slo_target: Duration::from_secs(1),
+            profile_sink: None,
         }
     }
 }
@@ -135,6 +143,13 @@ impl ServiceConfig {
     /// Sets the latency SLO target.
     pub fn with_slo_target(mut self, target: Duration) -> Self {
         self.slo_target = target;
+        self
+    }
+
+    /// Enables per-job solve profiling through `sink` (which the host must
+    /// also install as the process trace sink).
+    pub fn with_profile_sink(mut self, sink: Arc<velv_obs::ProfileSink>) -> Self {
+        self.profile_sink = Some(sink);
         self
     }
 }
@@ -1137,6 +1152,7 @@ impl Inner {
     /// *before* leaving the in-flight table so late submitters always find
     /// one of the two), retire the in-flight entry, resolve every subscriber
     /// and bump the counters.
+    #[allow(clippy::too_many_arguments)]
     fn finish_fresh(
         &self,
         job: &SingleJob,
@@ -1145,6 +1161,7 @@ impl Inner {
         proof: Option<Arc<Vec<u8>>>,
         solve_time: Duration,
         translation_stats: Option<TranslationStats>,
+        profile: Option<Arc<String>>,
     ) {
         let decided = !matches!(verdict, Verdict::Unknown(_));
         if decided {
@@ -1157,6 +1174,7 @@ impl Inner {
                 proof_drat: proof,
                 solve_time,
                 translation_stats,
+                profile,
             };
             // Durability point: the verdict reaches the store (under the
             // configured fsync policy) before any subscriber sees it, so a
@@ -1209,6 +1227,7 @@ impl Inner {
             None,
             None,
             Duration::ZERO,
+            None,
             None,
         );
     }
@@ -1385,6 +1404,7 @@ fn run_single(inner: &Inner, job: &SingleJob) {
         "serve.job",
         &job_span_fields(("job", job.state.name.as_str().into()), job.trace.as_ref()),
     );
+    let job_started = Instant::now();
     let queued = job.state.submitted.elapsed();
     inner
         .counters
@@ -1432,6 +1452,15 @@ fn run_single(inner: &Inner, job: &SingleJob) {
     let progress = Arc::new(velv_sat::ProgressCell::new());
     let _table = ProgressTableGuard::insert(inner, &[job], &progress);
     let _cell = velv_sat::install_progress_cell(Arc::clone(&progress));
+
+    // Solve profiling: the recorder rides the same heartbeats; the profile
+    // sink folds this job's spans into a phase tree once the solve is done.
+    let recorder = inner
+        .config
+        .profile_sink
+        .as_ref()
+        .map(|_| velv_obs::shared_recorder());
+    let _recorder_guard = recorder.clone().map(velv_sat::install_solve_recorder);
 
     let (verdict, certificate, proof, stats) = match job.spec.mode {
         SolveMode::Decomposed { max_obligations } => {
@@ -1567,8 +1596,69 @@ fn run_single(inner: &Inner, job: &SingleJob) {
             }
         }
     };
+    let profile = build_job_profile(inner, job, &verdict, _job_span.id(), job_started, recorder);
     let _respond_span = velv_obs::span("serve.respond");
-    inner.finish_fresh(job, verdict, certificate, proof, started.elapsed(), stats);
+    inner.finish_fresh(
+        job,
+        verdict,
+        certificate,
+        proof,
+        started.elapsed(),
+        stats,
+        profile,
+    );
+}
+
+/// Assembles the [`velv_obs::SolveProfile`] of a fresh single-job solve:
+/// the recorder's time-series plus the phase tree folded out of the job's
+/// spans.  Runs after the translate/solve spans have closed but while the
+/// `serve.job` span is still open, so the job wall is passed in explicitly;
+/// the respond phase (microseconds of bookkeeping) is deliberately outside
+/// the profiled window.
+fn build_job_profile(
+    inner: &Inner,
+    job: &SingleJob,
+    verdict: &Verdict,
+    job_span_id: u64,
+    job_started: Instant,
+    recorder: Option<velv_obs::SharedSolveRecorder>,
+) -> Option<Arc<String>> {
+    let sink = inner.config.profile_sink.as_ref()?;
+    let recorder = recorder?;
+    // The translate thread already drained its trace buffer on exit; flush
+    // the remaining per-thread buffers so the sink holds every span of this
+    // job before the tree is folded.
+    velv_obs::flush();
+    let wall_us = job_started.elapsed().as_micros() as u64;
+    let phases = sink
+        .take_tree(job_span_id, Some(wall_us))
+        .map(|tree| vec![tree])
+        .unwrap_or_default();
+    let rec = recorder.lock().ok()?;
+    let series = rec.series();
+    let final_sample = series.last();
+    let profile = velv_obs::SolveProfile {
+        instance: job.state.name.clone(),
+        solver: final_sample
+            .map(|s| s.label.clone())
+            .unwrap_or_else(|| format!("{:?}", job.spec.backend)),
+        result: match verdict {
+            Verdict::Correct => "correct".to_owned(),
+            Verdict::Buggy(_) => "buggy".to_owned(),
+            Verdict::Unknown(reason) => format!("unknown: {reason}"),
+        },
+        wall_us,
+        stride: rec.stride(),
+        offered: rec.offered(),
+        conflicts: final_sample.map(|s| s.conflicts).unwrap_or(0),
+        propagations: final_sample.map(|s| s.propagations).unwrap_or(0),
+        decisions: final_sample.map(|s| s.decisions).unwrap_or(0),
+        restarts: final_sample.map(|s| s.restarts).unwrap_or(0),
+        markers: rec.markers().to_vec(),
+        samples: series,
+        phases,
+    };
+    Some(Arc::new(profile.to_jsonl()))
 }
 
 fn run_batch(inner: &Inner, entries: Vec<SingleJob>) {
@@ -1670,7 +1760,18 @@ fn run_batch(inner: &Inner, entries: Vec<SingleJob>) {
     let _respond_span = velv_obs::span("serve.respond");
     let share = started.elapsed() / alive.len() as u32;
     for (job, (verdict, certificate)) in alive.iter().zip(verdicts) {
-        inner.finish_fresh(job, verdict, certificate, None, share, Some(shared.stats));
+        inner.finish_fresh(
+            job,
+            verdict,
+            certificate,
+            None,
+            share,
+            Some(shared.stats),
+            // Batch jobs share one incremental session; per-job attribution
+            // of its time-series would be fiction, so batches are not
+            // profiled.
+            None,
+        );
     }
 }
 

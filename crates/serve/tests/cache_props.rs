@@ -59,6 +59,7 @@ fn entry_of(bytes: usize) -> CachedVerdict {
         proof_drat: None,
         solve_time: Duration::from_millis(1),
         translation_stats: None,
+        profile: None,
     };
     let overhead = base.approx_bytes();
     assert!(

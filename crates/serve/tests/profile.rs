@@ -1,0 +1,139 @@
+//! Service-side solve profiling: a profile-sink-equipped service must cache
+//! a parseable [`velv_obs::SolveProfile`] next to each decided verdict, with
+//! a phase tree whose children account for the job wall time, and the
+//! artifact must survive the crash-safe store round trip.
+//!
+//! These tests install the process trace sink, so they live in their own
+//! integration-test binary (test binaries share the sink slot).
+
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use velv_obs::{ProfileSink, SolveProfile};
+use velv_serve::{JobSpec, ModelRef, ServeHandle, ServiceConfig};
+
+/// The process-wide trace sink slot is shared: tests that install a sink
+/// must not overlap.
+fn sink_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// One service with the profile sink armed, exactly as `velvd` wires it.
+fn profiled_service(configure: impl FnOnce(&mut ServiceConfig)) -> (ServeHandle, Arc<ProfileSink>) {
+    let sink = Arc::new(ProfileSink::new());
+    velv_obs::install_sink(sink.clone());
+    let mut config = ServiceConfig::default()
+        .with_workers(2)
+        .with_profile_sink(sink.clone());
+    configure(&mut config);
+    (ServeHandle::start(config), sink)
+}
+
+fn fetch_profile(service: &ServeHandle, spec: JobSpec) -> SolveProfile {
+    let ticket = service.submit(spec).expect("accepted");
+    let result = ticket.wait();
+    assert!(
+        !matches!(result.verdict, velv_core::Verdict::Unknown(_)),
+        "profiled test jobs must decide: {:?}",
+        result.verdict
+    );
+    let entry = service
+        .cached(ticket.fingerprint())
+        .expect("decided verdicts are cached");
+    let jsonl = entry.profile.as_ref().expect("profile recorded");
+    SolveProfile::parse(jsonl).expect("cached profile parses")
+}
+
+#[test]
+fn single_jobs_cache_a_parseable_profile_with_phase_attribution() {
+    let _lock = sink_lock();
+    let (service, _sink) = profiled_service(|_| {});
+
+    let profile = fetch_profile(&service, JobSpec::new(ModelRef::dlx1_correct()));
+    assert_eq!(profile.result, "correct");
+    assert!(!profile.instance.is_empty());
+    assert!(
+        !profile.samples.is_empty(),
+        "end-of-solve flush guarantees at least one sample"
+    );
+    let last = profile.samples.last().unwrap();
+    assert_eq!(last.conflicts, profile.conflicts);
+    assert!(
+        profile.conflicts > 0,
+        "dlx1 is not solved without conflicts"
+    );
+    assert!(
+        profile.markers.iter().any(|m| m.kind == "solve"),
+        "begin_solve marks the engine entry"
+    );
+
+    // Phase attribution: one root (the serve.job span), its children
+    // (translate + solve) accounting for most of the job wall.
+    assert_eq!(profile.phases.len(), 1, "{:?}", profile.phases);
+    let root = &profile.phases[0];
+    assert_eq!(root.name, "serve.job");
+    assert!(root.total_us > 0);
+    assert!(!root.children.is_empty(), "translate/solve spans folded in");
+    assert!(
+        root.children_total_us() <= root.total_us,
+        "children cannot exceed the measured wall"
+    );
+    let names: Vec<&str> = root.children.iter().map(|c| c.name.as_str()).collect();
+    assert!(
+        names.iter().any(|n| n.contains("solve")),
+        "a solve phase is attributed: {names:?}"
+    );
+
+    // A second distinct job must get its own tree, not residue of the first.
+    let second = fetch_profile(&service, JobSpec::new(ModelRef::dlx1_bug(0)));
+    assert_eq!(second.result, "buggy");
+    assert_eq!(second.phases.len(), 1);
+
+    service.shutdown();
+    velv_obs::uninstall_sink();
+}
+
+#[test]
+fn profiles_survive_the_store_round_trip() {
+    let _lock = sink_lock();
+    let dir = std::env::temp_dir().join(format!("velv-profile-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let fingerprint;
+    let original;
+    {
+        let (service, _sink) = profiled_service(|config| {
+            config.store_dir = Some(dir.clone());
+        });
+        let ticket = service
+            .submit(JobSpec::new(ModelRef::dlx1_correct()))
+            .expect("accepted");
+        ticket.wait();
+        fingerprint = ticket.fingerprint();
+        original = service
+            .cached(fingerprint)
+            .expect("cached")
+            .profile
+            .as_ref()
+            .expect("profile recorded")
+            .to_string();
+        service.shutdown();
+        velv_obs::uninstall_sink();
+    }
+
+    // A restarted service replays the store into its cache: the profile must
+    // come back byte-identical and still parse.
+    let mut config = ServiceConfig::default().with_workers(1);
+    config.store_dir = Some(dir.clone());
+    let service = ServeHandle::start(config);
+    let entry = service
+        .cached(fingerprint)
+        .expect("replayed from the store");
+    let replayed = entry.profile.as_ref().expect("profile survived the store");
+    assert_eq!(replayed.as_str(), original);
+    SolveProfile::parse(replayed).expect("replayed profile parses");
+    service.shutdown();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -10,8 +10,9 @@
 //! benchdiff BASELINE.json CURRENT.json [--threshold PCT] [--out PATH]
 //! ```
 //!
-//! A row is *significant* when its time or conflicts-per-second moved by
-//! more than the threshold (default 5%), or its result label changed.  Rows
+//! A row is *significant* when its time, conflicts-per-second or peak heap
+//! bytes moved by more than the threshold (default 5%), or its result label
+//! changed — a memory regression ranks exactly like a throughput regression.  Rows
 //! present in only one file are reported as added/removed.  The tool is
 //! informational: it always exits 0 on a successful comparison (CI uploads
 //! its output as an artifact rather than gating on it), and exits nonzero
@@ -28,6 +29,7 @@ struct Row {
     conflicts: f64,
     conflicts_per_sec: f64,
     propagations_per_sec: f64,
+    peak_heap_bytes: f64,
     metrics: BTreeMap<String, f64>,
 }
 
@@ -86,6 +88,7 @@ fn load(path: &str) -> BTreeMap<String, Row> {
                 conflicts: field("conflicts"),
                 conflicts_per_sec: field("conflicts_per_sec"),
                 propagations_per_sec: field("propagations_per_sec"),
+                peak_heap_bytes: field("peak_heap_bytes"),
                 metrics,
             },
         );
@@ -172,6 +175,7 @@ fn main() {
                     rel(base.time_s, row.time_s).abs(),
                     rel(base.conflicts_per_sec, row.conflicts_per_sec).abs(),
                     rel(base.propagations_per_sec, row.propagations_per_sec).abs(),
+                    rel(base.peak_heap_bytes, row.peak_heap_bytes).abs(),
                 ]
                 .into_iter()
                 .fold(0.0, f64::max);
@@ -229,20 +233,37 @@ fn main() {
             delta.baseline.conflicts_per_sec,
             delta.current.conflicts_per_sec,
         );
+        let heap = rel(
+            delta.baseline.peak_heap_bytes,
+            delta.current.peak_heap_bytes,
+        );
         let marker = if delta.result_changed {
             " RESULT CHANGED"
+        } else if heap.abs() > threshold && heap.abs() >= time.abs() {
+            if heap > 0.0 {
+                " more memory"
+            } else {
+                " less memory"
+            }
         } else if time > 0.0 {
             " slower"
         } else {
             " faster"
         };
         println!(
-            "  {:<44} time {} confl/s {}{}",
+            "  {:<44} time {} confl/s {} heap {}{}",
             delta.key,
             percent(time),
             percent(confl),
+            percent(heap),
             marker
         );
+        if heap.abs() > threshold {
+            println!(
+                "    peak heap: {:.0} -> {:.0} bytes",
+                delta.baseline.peak_heap_bytes, delta.current.peak_heap_bytes
+            );
+        }
         if delta.result_changed {
             println!(
                 "    result: {} -> {}",
@@ -280,11 +301,13 @@ fn main() {
             .collect();
         report.push_str(&format!(
             "    {{\"row\": \"{}\", \"result_changed\": {}, \"time_rel\": {:.4}, \
-             \"conflicts_per_sec_rel\": {:.4}, \"moved_counters\": [{}]}}",
+             \"conflicts_per_sec_rel\": {:.4}, \"peak_heap_rel\": {:.4}, \
+             \"moved_counters\": [{}]}}",
             delta.key.replace('\\', "\\\\").replace('"', "\\\""),
             delta.result_changed,
             time,
             confl,
+            heap,
             counters.join(", ")
         ));
     }

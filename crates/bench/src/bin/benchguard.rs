@@ -1,19 +1,29 @@
-//! `benchguard` — a perf-regression gate over `BENCH_serve.json` files.
+//! `benchguard` — a perf-regression gate over committed benchmark files.
 //!
-//! Compares the serving-throughput sweeps of a freshly measured
-//! `BENCH_serve.json` against a committed baseline and fails (exit 1) when
-//! any shared sweep's `jobs_per_sec` falls below `min-ratio` of the
-//! baseline.  The ratio is deliberately generous by default (`0.10`): CI
-//! machines vary wildly, so the gate catches order-of-magnitude collapses
-//! (a lock left held, a busy-wait, an accidental serialization), not noise.
+//! Two independent gates, each armed by its flag pair:
+//!
+//! * **Serving throughput** (`--baseline`/`--current`, `BENCH_serve.json`):
+//!   fails (exit 1) when any shared sweep's `jobs_per_sec` falls below
+//!   `min-ratio` of the baseline.  The ratio is deliberately generous by
+//!   default (`0.10`): CI machines vary wildly, so the gate catches
+//!   order-of-magnitude collapses (a lock left held, a busy-wait, an
+//!   accidental serialization), not noise.
+//! * **Peak heap** (`--cdcl-baseline`/`--cdcl-current`, `BENCH_cdcl.json`):
+//!   fails when any shared `(instance, preset)` row's `peak_heap_bytes`
+//!   exceeds `max-heap-ratio` (default `1.2`) of the committed baseline.
+//!   Heap peaks are near-deterministic — unlike wall clock, a 20% ceiling is
+//!   tight enough to catch a leaked arena or an unbounded learnt DB without
+//!   flaking on machine speed.  Baseline rows with a zero or missing peak
+//!   (older files) are skipped.
 //!
 //! ```text
-//! benchguard --baseline BENCH_serve.json --current /tmp/BENCH_serve.json [--min-ratio R]
+//! benchguard [--baseline BENCH_serve.json --current /tmp/BENCH_serve.json [--min-ratio R]]
+//!            [--cdcl-baseline BENCH_cdcl.json --cdcl-current /tmp/BENCH_cdcl.json [--max-heap-ratio R]]
 //! ```
 //!
-//! The parser is a purpose-built scan for this one schema (the workspace is
-//! dependency-free): it finds the `"sweeps"` array and pulls `label` and
-//! `jobs_per_sec` out of each `{...}` element.
+//! The parser is a purpose-built scan for these two schemas (the workspace
+//! is dependency-free): it finds the `"sweeps"` (or `"runs"`) array and
+//! pulls the gated fields out of each element.
 
 /// One throughput sweep row: label plus measured rate.
 #[derive(Debug, PartialEq)]
@@ -79,9 +89,72 @@ fn parse_sweeps(text: &str) -> Result<Vec<Sweep>, String> {
     Ok(sweeps)
 }
 
+/// One CDCL benchmark row: `(instance, preset)` key plus its peak heap bytes.
+#[derive(Debug, PartialEq)]
+struct HeapRow {
+    key: String,
+    peak_heap_bytes: f64,
+}
+
+/// Pulls `(instance, preset, peak_heap_bytes)` rows out of a
+/// `BENCH_cdcl.json` document.  Run objects nest a `metrics` object, so the
+/// scan tracks brace depth instead of cutting at the first `}`.
+fn parse_heap_rows(text: &str) -> Result<Vec<HeapRow>, String> {
+    let start = text
+        .find("\"runs\"")
+        .ok_or_else(|| "no \"runs\" array".to_owned())?;
+    let after = &text[start..];
+    let open = after
+        .find('[')
+        .ok_or_else(|| "\"runs\" is not an array".to_owned())?;
+    let mut rows = Vec::new();
+    let mut depth = 0usize;
+    let mut object_start = 0usize;
+    let mut closed = false;
+    for (i, c) in after[open..].char_indices() {
+        match c {
+            '{' => {
+                if depth == 0 {
+                    object_start = i;
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| "unbalanced braces in \"runs\"".to_owned())?;
+                if depth == 0 {
+                    let object = &after[open + object_start..open + i + 1];
+                    let instance = string_field(object, "instance")
+                        .ok_or_else(|| format!("run without instance: {object}"))?;
+                    let preset = string_field(object, "preset")
+                        .ok_or_else(|| format!("run without preset: {object}"))?;
+                    rows.push(HeapRow {
+                        key: format!("{instance} [{preset}]"),
+                        peak_heap_bytes: number_field(object, "peak_heap_bytes").unwrap_or(0.0),
+                    });
+                }
+            }
+            ']' if depth == 0 => {
+                closed = true;
+                break;
+            }
+            _ => {}
+        }
+    }
+    if !closed {
+        return Err("unterminated \"runs\" array".to_owned());
+    }
+    if rows.is_empty() {
+        return Err("empty \"runs\" array".to_owned());
+    }
+    Ok(rows)
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: benchguard --baseline BENCH_serve.json --current BENCH_serve.json [--min-ratio R]"
+        "usage: benchguard [--baseline BENCH_serve.json --current BENCH_serve.json [--min-ratio R]] \
+         [--cdcl-baseline BENCH_cdcl.json --cdcl-current BENCH_cdcl.json [--max-heap-ratio R]]"
     );
     std::process::exit(2);
 }
@@ -97,30 +170,21 @@ fn load_sweeps(path: &str) -> Vec<Sweep> {
     })
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut baseline_path = None;
-    let mut current_path = None;
-    let mut min_ratio = 0.10f64;
-    let mut iter = args.iter();
-    while let Some(arg) = iter.next() {
-        let mut value = || iter.next().cloned().unwrap_or_else(|| usage());
-        match arg.as_str() {
-            "--baseline" => baseline_path = Some(value()),
-            "--current" => current_path = Some(value()),
-            "--min-ratio" => match value().parse::<f64>() {
-                Ok(r) if r > 0.0 && r <= 1.0 => min_ratio = r,
-                _ => usage(),
-            },
-            _ => usage(),
-        }
-    }
-    let (Some(baseline_path), Some(current_path)) = (baseline_path, current_path) else {
-        usage();
-    };
+fn load_heap_rows(path: &str) -> Vec<HeapRow> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("benchguard: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse_heap_rows(&text).unwrap_or_else(|e| {
+        eprintln!("benchguard: {path}: {e}");
+        std::process::exit(2);
+    })
+}
 
-    let baseline = load_sweeps(&baseline_path);
-    let current = load_sweeps(&current_path);
+/// The serving-throughput gate; returns `true` on regression.
+fn gate_sweeps(baseline_path: &str, current_path: &str, min_ratio: f64) -> bool {
+    let baseline = load_sweeps(baseline_path);
+    let current = load_sweeps(current_path);
     let mut failed = false;
     let mut compared = 0;
     for base in &baseline {
@@ -154,9 +218,105 @@ fn main() {
         eprintln!(
             "benchguard: serving throughput regressed below {min_ratio} of the committed baseline"
         );
+    } else {
+        println!("benchguard: {compared} sweep(s) within bounds");
+    }
+    failed
+}
+
+/// The peak-heap gate; returns `true` on regression.
+fn gate_heap(baseline_path: &str, current_path: &str, max_ratio: f64) -> bool {
+    let baseline = load_heap_rows(baseline_path);
+    let current = load_heap_rows(current_path);
+    let mut failed = false;
+    let mut compared = 0;
+    for base in &baseline {
+        if base.peak_heap_bytes <= 0.0 {
+            continue; // older baseline without memory columns
+        }
+        // Smoke runs cover fewer instances than a full baseline; gate only
+        // on the rows both files measured.
+        let Some(cur) = current.iter().find(|r| r.key == base.key) else {
+            continue;
+        };
+        compared += 1;
+        let ceiling = base.peak_heap_bytes * max_ratio;
+        let verdict = if cur.peak_heap_bytes <= ceiling {
+            "ok"
+        } else {
+            failed = true;
+            "HEAP REGRESSION"
+        };
+        println!(
+            "benchguard: {:<44} baseline {:>12.0} B, current {:>12.0} B, ceiling {:>12.0} ({verdict})",
+            base.key, base.peak_heap_bytes, cur.peak_heap_bytes, ceiling
+        );
+    }
+    if compared == 0 {
+        eprintln!("benchguard: no heap-measured row is shared between baseline and current");
+        std::process::exit(2);
+    }
+    if failed {
+        eprintln!(
+            "benchguard: peak heap exceeded {max_ratio}x of the committed baseline on some row"
+        );
+    } else {
+        println!("benchguard: {compared} heap row(s) within the {max_ratio}x ceiling");
+    }
+    failed
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path = None;
+    let mut current_path = None;
+    let mut min_ratio = 0.10f64;
+    let mut cdcl_baseline_path = None;
+    let mut cdcl_current_path = None;
+    let mut max_heap_ratio = 1.2f64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = || iter.next().cloned().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--baseline" => baseline_path = Some(value()),
+            "--current" => current_path = Some(value()),
+            "--min-ratio" => match value().parse::<f64>() {
+                Ok(r) if r > 0.0 && r <= 1.0 => min_ratio = r,
+                _ => usage(),
+            },
+            "--cdcl-baseline" => cdcl_baseline_path = Some(value()),
+            "--cdcl-current" => cdcl_current_path = Some(value()),
+            "--max-heap-ratio" => match value().parse::<f64>() {
+                Ok(r) if r >= 1.0 => max_heap_ratio = r,
+                _ => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    let serve_pair = match (baseline_path, current_path) {
+        (Some(b), Some(c)) => Some((b, c)),
+        (None, None) => None,
+        _ => usage(),
+    };
+    let cdcl_pair = match (cdcl_baseline_path, cdcl_current_path) {
+        (Some(b), Some(c)) => Some((b, c)),
+        (None, None) => None,
+        _ => usage(),
+    };
+    if serve_pair.is_none() && cdcl_pair.is_none() {
+        usage();
+    }
+
+    let mut failed = false;
+    if let Some((baseline, current)) = &serve_pair {
+        failed |= gate_sweeps(baseline, current, min_ratio);
+    }
+    if let Some((baseline, current)) = &cdcl_pair {
+        failed |= gate_heap(baseline, current, max_heap_ratio);
+    }
+    if failed {
         std::process::exit(1);
     }
-    println!("benchguard: {compared} sweep(s) within bounds");
 }
 
 #[cfg(test)]
@@ -187,5 +347,35 @@ mod tests {
         assert!(parse_sweeps("{}").is_err());
         assert!(parse_sweeps("{\"sweeps\": []}").is_err());
         assert!(parse_sweeps("{\"sweeps\": [{\"label\": \"x\"}]}").is_err());
+    }
+
+    const CDCL_DOC: &str = r#"{
+      "harness": "satbench",
+      "runs": [
+        {"preset": "chaff", "instance": "php-7-6", "peak_heap_bytes": 123456,
+         "metrics": {"velv_sat_conflicts": 42, "mem_scope_alloc_bytes_sat.arena": 9000}},
+        {"preset": "grasp", "instance": "php-7-6", "time_s": 0.5}
+      ]
+    }"#;
+
+    #[test]
+    fn heap_rows_survive_the_nested_metrics_object() {
+        let rows = parse_heap_rows(CDCL_DOC).expect("parses");
+        assert_eq!(rows.len(), 2, "the nested metrics braces are not rows");
+        assert_eq!(rows[0].key, "php-7-6 [chaff]");
+        assert!((rows[0].peak_heap_bytes - 123456.0).abs() < 1e-9);
+        assert_eq!(rows[1].key, "php-7-6 [grasp]");
+        assert_eq!(
+            rows[1].peak_heap_bytes, 0.0,
+            "a missing peak reads as zero and is skipped by the gate"
+        );
+    }
+
+    #[test]
+    fn malformed_cdcl_documents_are_rejected() {
+        assert!(parse_heap_rows("{}").is_err());
+        assert!(parse_heap_rows("{\"runs\": []}").is_err());
+        assert!(parse_heap_rows("{\"runs\": [{\"preset\": \"chaff\"}]}").is_err());
+        assert!(parse_heap_rows("{\"runs\": [{\"preset\": \"x\", \"instance\": \"y\"}").is_err());
     }
 }

@@ -60,6 +60,12 @@
 
 use std::time::{Duration, Instant};
 use velv_core::{TranslationOptions, Verdict, Verifier};
+
+/// The harness counts its own heap: every committed row carries the peak
+/// heap bytes of its measured region and the per-scope allocation deltas, so
+/// memory regressions are gated alongside throughput regressions.
+#[global_allocator]
+static ALLOC: velv_obs::CountingAlloc = velv_obs::CountingAlloc;
 use velv_models::dlx::{bug_catalog, Dlx, DlxConfig, DlxSpecification};
 use velv_models::ooo::{Ooo, OooSpecification};
 use velv_sat::cdcl::{CdclConfig, CdclSolver};
@@ -161,8 +167,48 @@ struct Measurement {
     decisions: u64,
     conflicts_per_sec: f64,
     propagations_per_sec: f64,
+    /// Peak heap bytes of the measured region (the counting allocator's
+    /// high-water mark after a [`HeapMeter::start`] reset).
+    peak_heap_bytes: u64,
     /// Per-run delta of the global metric registry (counters that grew).
     metrics: Vec<(String, u64)>,
+}
+
+/// Brackets one measured region with the counting allocator: `start` resets
+/// the heap high-water marks, `finish` reads the region's peak and the
+/// per-scope allocation growth.  The peak is never zero — `reset_peaks`
+/// clamps the mark to the bytes already live, and the harness itself is on
+/// the counted allocator.
+struct HeapMeter {
+    before: velv_obs::MemSnapshot,
+}
+
+impl HeapMeter {
+    fn start() -> Self {
+        velv_obs::mem::reset_peaks();
+        HeapMeter {
+            before: velv_obs::mem::snapshot(),
+        }
+    }
+
+    /// Returns `(peak heap bytes, per-scope allocation deltas)`; the deltas
+    /// ride in the row's `metrics` object so `benchdiff` ranks scope-level
+    /// memory movement exactly like any moved counter.
+    fn finish(self) -> (u64, Vec<(String, u64)>) {
+        let after = velv_obs::mem::snapshot();
+        let peak = after.peak_bytes.max(0) as u64;
+        let scopes = self
+            .before
+            .scopes
+            .iter()
+            .zip(after.scopes.iter())
+            .filter_map(|(before, after)| {
+                let grew = after.total_bytes.saturating_sub(before.total_bytes);
+                (grew > 0).then(|| (format!("mem_scope_alloc_bytes_{}", after.name), grew))
+            })
+            .collect();
+        (peak, scopes)
+    }
 }
 
 /// The per-run metric attribution of a benchmark row, as `(flat key, value)`
@@ -304,12 +350,15 @@ fn run(instances: &[Instance], smoke: bool, profiler: Option<&Profiler>) -> Vec<
             let recorder = profiler.map(|_| velv_obs::shared_recorder());
             let _recorder_guard = recorder.clone().map(velv_sat::install_solve_recorder);
             let before = velv_obs::global().snapshot();
+            let meter = HeapMeter::start();
             let bench_span = profiler.map(|_| velv_obs::span("bench.solve"));
             let start = Instant::now();
             let result = solver.solve_with_budget(&instance.cnf, budget.clone());
             let time = start.elapsed().as_secs_f64();
             drop(bench_span);
-            let metrics = registry_delta(&before, &velv_obs::global().snapshot());
+            let (peak_heap_bytes, scope_deltas) = meter.finish();
+            let mut metrics = registry_delta(&before, &velv_obs::global().snapshot());
+            metrics.extend(scope_deltas);
             let stats = solver.stats();
             let result = match result {
                 SatResult::Sat(_) => "sat",
@@ -341,6 +390,7 @@ fn run(instances: &[Instance], smoke: bool, profiler: Option<&Profiler>) -> Vec<
                 decisions: stats.decisions,
                 conflicts_per_sec: stats.conflicts as f64 / time.max(1e-9),
                 propagations_per_sec: stats.propagations as f64 / time.max(1e-9),
+                peak_heap_bytes,
                 metrics,
             });
         }
@@ -375,6 +425,7 @@ fn run_decomposition(measurements: &mut Vec<Measurement>, smoke: bool) {
         let spec = DlxSpecification::new(config);
         let problem = verifier.build_problem(&Dlx::correct(config), &spec);
 
+        let meter = HeapMeter::start();
         let start = Instant::now();
         let translations = verifier.translate_obligations(&problem, max_obligations);
         let mut conflicts = 0;
@@ -391,6 +442,7 @@ fn run_decomposition(measurements: &mut Vec<Measurement>, smoke: bool) {
             decisions += stats.decisions;
         }
         let time = start.elapsed().as_secs_f64();
+        let (peak_heap_bytes, scope_deltas) = meter.finish();
         measurements.push(Measurement {
             preset: "chaff-per-obligation",
             instance: format!("decompose-{}", config.name()),
@@ -401,15 +453,18 @@ fn run_decomposition(measurements: &mut Vec<Measurement>, smoke: bool) {
             decisions,
             conflicts_per_sec: conflicts as f64 / time.max(1e-9),
             propagations_per_sec: propagations as f64 / time.max(1e-9),
-            metrics: Vec::new(),
+            peak_heap_bytes,
+            metrics: scope_deltas,
         });
 
+        let meter = HeapMeter::start();
         let start = Instant::now();
         let shared = verifier.translate_obligations_shared(&problem, max_obligations);
         let mut solver =
             velv_sat::IncrementalSolver::with_formula(CdclConfig::chaff(), &shared.cnf);
         let (overall, _, _) = verifier.check_shared_with(&shared, &mut solver, Budget::unlimited());
         let time = start.elapsed().as_secs_f64();
+        let (peak_heap_bytes, scope_deltas) = meter.finish();
         assert_eq!(
             overall.is_correct(),
             monolithic_ok,
@@ -427,7 +482,8 @@ fn run_decomposition(measurements: &mut Vec<Measurement>, smoke: bool) {
             decisions: stats.decisions,
             conflicts_per_sec: stats.conflicts as f64 / time.max(1e-9),
             propagations_per_sec: stats.propagations as f64 / time.max(1e-9),
-            metrics: Vec::new(),
+            peak_heap_bytes,
+            metrics: scope_deltas,
         });
     }
 }
@@ -493,11 +549,13 @@ fn transitivity_pair(
     implementation: &dyn velv_hdl::Processor,
     spec: &dyn velv_hdl::Processor,
 ) {
+    let meter = HeapMeter::start();
     let start = Instant::now();
     let eager_translation = eager.translate(implementation, spec);
     let mut solver = CdclSolver::chaff();
     let eager_verdict = eager.check(&eager_translation, &mut solver, Budget::unlimited());
     let time = start.elapsed().as_secs_f64();
+    let (peak_heap_bytes, scope_deltas) = meter.finish();
     let stats = solver.stats();
     measurements.push(Measurement {
         preset: "chaff-eager-transitivity",
@@ -509,9 +567,11 @@ fn transitivity_pair(
         decisions: stats.decisions,
         conflicts_per_sec: stats.conflicts as f64 / time.max(1e-9),
         propagations_per_sec: stats.propagations as f64 / time.max(1e-9),
-        metrics: Vec::new(),
+        peak_heap_bytes,
+        metrics: scope_deltas,
     });
 
+    let meter = HeapMeter::start();
     let start = Instant::now();
     let lazy_translation = lazy.translate(implementation, spec);
     let mut incremental =
@@ -522,6 +582,7 @@ fn transitivity_pair(
         Budget::unlimited(),
     );
     let time = start.elapsed().as_secs_f64();
+    let (peak_heap_bytes, scope_deltas) = meter.finish();
     assert_eq!(
         eager_verdict.is_correct(),
         lazy_verdict.is_correct(),
@@ -538,7 +599,8 @@ fn transitivity_pair(
         decisions: stats.decisions,
         conflicts_per_sec: stats.conflicts as f64 / time.max(1e-9),
         propagations_per_sec: stats.propagations as f64 / time.max(1e-9),
-        metrics: Vec::new(),
+        peak_heap_bytes,
+        metrics: scope_deltas,
     });
 }
 
@@ -559,9 +621,11 @@ fn run_certify(measurements: &mut Vec<Measurement>, smoke: bool) {
         let instance = format!("certify-{}", config.name());
 
         let mut plain = CdclSolver::chaff();
+        let meter = HeapMeter::start();
         let start = Instant::now();
         let plain_result = plain.solve_with_budget(&translation.cnf, Budget::unlimited());
         let plain_time = start.elapsed().as_secs_f64();
+        let (peak_heap_bytes, scope_deltas) = meter.finish();
         assert!(plain_result.is_unsat(), "{instance}: correct design");
         let stats = plain.stats();
         measurements.push(Measurement {
@@ -574,17 +638,20 @@ fn run_certify(measurements: &mut Vec<Measurement>, smoke: bool) {
             decisions: stats.decisions,
             conflicts_per_sec: stats.conflicts as f64 / plain_time.max(1e-9),
             propagations_per_sec: stats.propagations as f64 / plain_time.max(1e-9),
-            metrics: Vec::new(),
+            peak_heap_bytes,
+            metrics: scope_deltas,
         });
 
         // Through the `Solver` trait hook, as a backend-agnostic caller would.
         let mut logging = CdclSolver::chaff();
         let shared = velv_sat::SharedProof::new();
+        let meter = HeapMeter::start();
         let start = Instant::now();
         let logged_result = logging
             .solve_with_proof(&translation.cnf, &[], Budget::unlimited(), &shared)
             .expect("the CDCL presets produce proofs");
         let logging_time = start.elapsed().as_secs_f64();
+        let (peak_heap_bytes, scope_deltas) = meter.finish();
         assert!(logged_result.is_unsat(), "{instance}");
         let proof = shared.take();
         let stats = logging.stats();
@@ -598,16 +665,19 @@ fn run_certify(measurements: &mut Vec<Measurement>, smoke: bool) {
             decisions: stats.decisions,
             conflicts_per_sec: stats.conflicts as f64 / logging_time.max(1e-9),
             propagations_per_sec: stats.propagations as f64 / logging_time.max(1e-9),
-            metrics: Vec::new(),
+            peak_heap_bytes,
+            metrics: scope_deltas,
         });
 
         let clauses = velv_sat::dimacs::cnf_to_dimacs_i32(&translation.cnf);
         let steps = proof.len() as u64;
+        let meter = HeapMeter::start();
         let start = Instant::now();
         let report =
             velv_proof::check_proof(&clauses, &proof, &velv_proof::CheckOptions::default())
                 .unwrap_or_else(|e| panic!("{instance}: proof rejected: {e}"));
         let check_time = start.elapsed().as_secs_f64();
+        let (peak_heap_bytes, scope_deltas) = meter.finish();
         assert!(report.derived_empty, "{instance}");
         measurements.push(Measurement {
             preset: "drat-checker",
@@ -619,7 +689,8 @@ fn run_certify(measurements: &mut Vec<Measurement>, smoke: bool) {
             decisions: 0,
             conflicts_per_sec: steps as f64 / check_time.max(1e-9),
             propagations_per_sec: 0.0,
-            metrics: Vec::new(),
+            peak_heap_bytes,
+            metrics: scope_deltas,
         });
     }
 }
@@ -924,7 +995,8 @@ fn write_json(path: &str, measurements: &[Measurement], smoke: bool) -> std::io:
         out.push_str(&format!(
             "    {{\"preset\": \"{}\", \"instance\": \"{}\", \"result\": \"{}\", \
              \"time_s\": {:.6}, \"conflicts\": {}, \"propagations\": {}, \
-             \"decisions\": {}, \"conflicts_per_sec\": {:.1}, \"propagations_per_sec\": {:.1}{}}}{}\n",
+             \"decisions\": {}, \"conflicts_per_sec\": {:.1}, \"propagations_per_sec\": {:.1}, \
+             \"peak_heap_bytes\": {}{}}}{}\n",
             json_escape(m.preset),
             json_escape(&m.instance),
             m.result,
@@ -934,6 +1006,7 @@ fn write_json(path: &str, measurements: &[Measurement], smoke: bool) -> std::io:
             m.decisions,
             m.conflicts_per_sec,
             m.propagations_per_sec,
+            m.peak_heap_bytes,
             metrics,
             if i + 1 < measurements.len() { "," } else { "" }
         ));
@@ -1015,18 +1088,19 @@ fn main() {
         run_transitivity(&mut measurements, smoke);
         run_certify(&mut measurements, smoke);
         println!(
-            "{:<28} {:<8} {:>8} {:>10} {:>12} {:>14}",
-            "instance", "preset", "result", "time (s)", "confl/s", "props/s"
+            "{:<28} {:<8} {:>8} {:>10} {:>12} {:>14} {:>10}",
+            "instance", "preset", "result", "time (s)", "confl/s", "props/s", "peak-kb"
         );
         for m in &measurements {
             println!(
-                "{:<28} {:<8} {:>8} {:>10.3} {:>12.0} {:>14.0}",
+                "{:<28} {:<8} {:>8} {:>10.3} {:>12.0} {:>14.0} {:>10}",
                 m.instance,
                 m.preset,
                 m.result,
                 m.time_s,
                 m.conflicts_per_sec,
-                m.propagations_per_sec
+                m.propagations_per_sec,
+                m.peak_heap_bytes >> 10,
             );
         }
         match write_json(&out_path, &measurements, smoke) {

@@ -32,6 +32,11 @@
 //! * **Mergeable latency histogram** ([`LogHistogram`]): log-bucketed
 //!   micros-to-minutes buckets whose merge is element-wise addition, for
 //!   pooling percentile estimates across shards, threads or trace files.
+//! * **Memory observability** ([`mem`]): a counting `#[global_allocator]`
+//!   wrapper ([`CountingAlloc`]) maintaining live/peak/total heap bytes,
+//!   thread-local RAII scope tags ([`MemScope`]) attributing allocation
+//!   deltas to a fixed subsystem registry, the [`MemFootprint`] trait for
+//!   deep measured byte counts of hot structures, and peak-RSS watermarks.
 //!
 //! # Metric naming scheme
 //!
@@ -58,6 +63,7 @@
 
 pub mod flight;
 pub mod hist;
+pub mod mem;
 pub mod metrics;
 pub mod profile;
 pub mod trace;
@@ -67,6 +73,7 @@ mod encode;
 
 pub use encode::validate_prometheus_text;
 pub use hist::{log_bucket_bounds, LogHistogram};
+pub use mem::{CountingAlloc, MemFootprint, MemScope, MemSnapshot};
 pub use metrics::{
     global, Counter, Gauge, Histogram, HistogramSnapshot, MetricSample, MetricValue, Registry,
     Snapshot,

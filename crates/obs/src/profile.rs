@@ -45,6 +45,12 @@ pub struct SolveSample {
     pub trail_depth: u64,
     /// Learnt-clause database size at this point (a gauge).
     pub learnt_db: u64,
+    /// Clause-arena bytes held at this point (a gauge; 0 when the engine
+    /// does not report memory).
+    pub arena_bytes: u64,
+    /// Learnt-clause database bytes held at this point (a gauge; 0 when the
+    /// engine does not report memory).
+    pub learnt_bytes: u64,
     /// Conflicts per second over the window ending here.
     pub conflicts_per_sec: f64,
     /// Propagations per second over the window ending here.
@@ -369,13 +375,15 @@ impl SolveProfile {
             ));
             crate::json_escape_into(&mut out, &sample.label);
             out.push_str(&format!(
-                "\",\"conflicts\":{},\"propagations\":{},\"decisions\":{},\"restarts\":{},\"trail_depth\":{},\"learnt_db\":{}",
+                "\",\"conflicts\":{},\"propagations\":{},\"decisions\":{},\"restarts\":{},\"trail_depth\":{},\"learnt_db\":{},\"arena_bytes\":{},\"learnt_bytes\":{}",
                 sample.conflicts,
                 sample.propagations,
                 sample.decisions,
                 sample.restarts,
                 sample.trail_depth,
                 sample.learnt_db,
+                sample.arena_bytes,
+                sample.learnt_bytes,
             ));
             push_f64(&mut out, "conflicts_per_sec", sample.conflicts_per_sec);
             push_f64(
@@ -462,6 +470,10 @@ impl SolveProfile {
                         restarts: want_u64("restarts")?,
                         trail_depth: want_u64("trail_depth")?,
                         learnt_db: want_u64("learnt_db")?,
+                        // Optional with default: profiles recorded before
+                        // memory observability landed must keep parsing.
+                        arena_bytes: record.get_u64("arena_bytes").unwrap_or(0),
+                        learnt_bytes: record.get_u64("learnt_bytes").unwrap_or(0),
                         conflicts_per_sec: get_f64("conflicts_per_sec"),
                         propagations_per_sec: get_f64("propagations_per_sec"),
                         mean_decision_level: get_f64("mean_decision_level"),
@@ -531,17 +543,18 @@ impl SolveProfile {
         }
         if !self.samples.is_empty() {
             out.push_str(
-                "        t_ms     conflicts    confl/s      props/s  trail  learnt  mean_lvl  label\n",
+                "        t_ms     conflicts    confl/s      props/s  trail  learnt  arena_kb  mean_lvl  label\n",
             );
             for s in &self.samples {
                 out.push_str(&format!(
-                    "{:>12.3} {:>13} {:>10.0} {:>12.0} {:>6} {:>7} {:>9.2}  {}\n",
+                    "{:>12.3} {:>13} {:>10.0} {:>12.0} {:>6} {:>7} {:>9} {:>9.2}  {}\n",
                     s.t_us as f64 / 1000.0,
                     s.conflicts,
                     s.conflicts_per_sec,
                     s.propagations_per_sec,
                     s.trail_depth,
                     s.learnt_db,
+                    s.arena_bytes / 1024,
                     s.mean_decision_level,
                     s.label
                 ));
@@ -831,6 +844,8 @@ mod tests {
             restarts: conflicts / 100,
             trail_depth: 42,
             learnt_db: conflicts / 2,
+            arena_bytes: conflicts * 40,
+            learnt_bytes: conflicts * 24,
             conflicts_per_sec: 1000.0,
             propagations_per_sec: 7000.0,
             mean_decision_level: 9.5,

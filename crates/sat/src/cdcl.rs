@@ -356,6 +356,11 @@ impl ClauseArena {
         self.data[c as usize + 1] = activity.to_bits();
     }
 
+    /// Words currently in use (live clauses plus garbage).
+    fn len_words(&self) -> usize {
+        self.data.len()
+    }
+
     /// Moves the clause into `to` (once; later calls return the forward
     /// reference stashed in the old header).
     fn reloc(&mut self, c: ClauseRef, to: &mut ClauseArena) -> ClauseRef {
@@ -370,6 +375,15 @@ impl ClauseArena {
         self.data[c as usize] |= FLAG_RELOCATED;
         self.data[c as usize + 1] = nref;
         nref
+    }
+}
+
+impl velv_obs::MemFootprint for ClauseArena {
+    /// The arena's heap bytes: the full backing capacity (slack included —
+    /// that memory is held either way), measured from the arena's own
+    /// bookkeeping.
+    fn measured_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<u32>()
     }
 }
 
@@ -542,6 +556,7 @@ pub(crate) struct Engine {
 
 impl Engine {
     pub(crate) fn new(cnf: &CnfFormula, config: CdclConfig) -> Self {
+        let _mem_scope = velv_obs::MemScope::enter("sat.arena");
         let num_vars = cnf.num_vars();
         let seed = config.seed;
         let use_heap = !config.static_order;
@@ -606,6 +621,7 @@ impl Engine {
         if n <= self.num_vars {
             return;
         }
+        let _mem_scope = velv_obs::MemScope::enter("sat.arena");
         self.watches.resize_with(2 * n, Vec::new);
         self.vals.resize(n, VAL_UNDEF);
         self.level.resize(n, 0);
@@ -625,6 +641,36 @@ impl Engine {
     /// Number of variables currently known to the engine.
     pub(crate) fn num_vars(&self) -> usize {
         self.num_vars
+    }
+
+    /// The engine's memory figures, measured from its own bookkeeping: arena
+    /// occupancy and fragmentation in words, plus measured byte counts for
+    /// the arena, the watch lists and the learnt database.  Cheap enough for
+    /// heartbeat cadence (one walk of the watch-list spines and the learnt
+    /// references per call).
+    fn arena_figures(&self) -> crate::obs::ArenaFigures {
+        use velv_obs::MemFootprint as _;
+        let watches_bytes = self.watches.capacity() * std::mem::size_of::<Vec<Watcher>>()
+            + self
+                .watches
+                .iter()
+                .map(|w| w.capacity() * std::mem::size_of::<Watcher>())
+                .sum::<usize>();
+        let learnt_words: usize = self
+            .learnt_refs
+            .iter()
+            .filter(|&&c| !self.arena.is_deleted(c))
+            .map(|&c| HEADER_WORDS + self.arena.len(c))
+            .sum();
+        let learnt_bytes = learnt_words * std::mem::size_of::<u32>()
+            + self.learnt_refs.capacity() * std::mem::size_of::<ClauseRef>();
+        crate::obs::ArenaFigures {
+            len_words: self.arena.len_words() as u64,
+            wasted_words: self.arena.wasted as u64,
+            arena_bytes: self.arena.measured_bytes() as u64,
+            watches_bytes: watches_bytes as u64,
+            learnt_bytes: learnt_bytes as u64,
+        }
     }
 
     /// Whether a root-level conflict has proven the formula unsatisfiable.
@@ -1006,6 +1052,7 @@ impl Engine {
             self.enqueue(lit, UNDEF_CLAUSE);
             return;
         }
+        let _mem_scope = velv_obs::MemScope::enter("sat.learnts");
         let cref = self.arena.alloc(&self.learnt_buf, true);
         self.arena.set_activity(cref, self.cla_inc);
         let asserting = self.learnt_buf[0];
@@ -1190,6 +1237,7 @@ impl Engine {
     /// Every live clause has exactly two watchers, so walking the watch lists
     /// relocates all of them; later references reuse the forward pointer.
     fn collect_garbage(&mut self) {
+        let _mem_scope = velv_obs::MemScope::enter("sat.arena");
         let mut to = ClauseArena::with_capacity(self.arena.data.len() - self.arena.wasted);
         for widx in 0..self.watches.len() {
             let mut kept = 0;
@@ -1215,6 +1263,10 @@ impl Engine {
         Self::compact_refs(&mut self.learnt_refs, &mut self.arena, &mut to);
         Self::compact_refs(&mut self.oversize, &mut self.arena, &mut to);
         self.arena = to;
+        // The fragmentation gauges must follow the compaction immediately,
+        // not at the next heartbeat: a monitoring poll between GC and the
+        // next heartbeat would otherwise show stale waste.
+        self.obs.publish_arena(&self.arena_figures());
     }
 
     /// Drops dead references and relocates the live ones into `to`.
@@ -1300,7 +1352,9 @@ impl Engine {
         let result = self.search_inner(assumptions, budget);
         let stats = self.stats;
         let trail_depth = self.trail.len();
-        self.obs.end_solve(&stats, trail_depth, self.num_learnts);
+        let mem = self.arena_figures();
+        self.obs
+            .end_solve(&stats, trail_depth, self.num_learnts, &mem);
         result
     }
 
@@ -1356,8 +1410,9 @@ impl Engine {
                     let stats = self.stats;
                     let trail_depth = self.trail.len();
                     let decision_level = self.decision_level() as usize;
+                    let mem = self.arena_figures();
                     self.obs
-                        .heartbeat(&stats, trail_depth, decision_level, self.num_learnts);
+                        .heartbeat(&stats, trail_depth, decision_level, self.num_learnts, &mem);
                 }
                 if self.config.db_reduction {
                     self.reduce_db();
@@ -1443,6 +1498,61 @@ mod tests {
     }
 
     use crate::generators::pigeonhole;
+
+    #[test]
+    fn copying_gc_drops_wasted_to_zero_and_the_gauge_follows() {
+        // A unique preset name keys a private gauge family on the global
+        // registry, so parallel tests cannot disturb the readings.
+        let mut config = CdclConfig::chaff();
+        config.name = "gc-gauge-test".to_owned();
+        let cnf = cnf_of(&[&[1, 2], &[2, 3], &[3, 4]]);
+        let mut engine = Engine::new(&cnf, config);
+
+        // Manufacture fragmentation: allocate unattached clauses straight
+        // into the arena and delete them all.
+        let extra: Vec<ClauseRef> = (0..64)
+            .map(|_| engine.arena.alloc(&[lit(1), lit(2), lit(3)], true))
+            .collect();
+        for cref in extra {
+            engine.arena.delete(cref);
+        }
+        assert!(engine.arena.wasted > 0);
+        engine.obs.publish_arena(&engine.arena_figures());
+
+        let labels: &[(&str, &str)] = &[("preset", "gc-gauge-test")];
+        let snapshot = velv_obs::global().snapshot();
+        let wasted = snapshot
+            .get("velv_sat_arena_wasted_words", labels)
+            .expect("wasted gauge registered");
+        assert_eq!(
+            wasted.value.as_u64(),
+            Some(engine.arena.wasted as u64),
+            "gauge tracks live fragmentation"
+        );
+
+        engine.collect_garbage();
+        assert_eq!(engine.arena.wasted, 0, "copying GC leaves no waste");
+
+        // `collect_garbage` republished the gauges itself — no heartbeat
+        // needed for the registry to follow the compaction.
+        let snapshot = velv_obs::global().snapshot();
+        let wasted = snapshot
+            .get("velv_sat_arena_wasted_words", labels)
+            .expect("wasted gauge registered");
+        assert_eq!(wasted.value.as_u64(), Some(0));
+        let len = snapshot
+            .get("velv_sat_arena_len_words", labels)
+            .expect("len gauge registered");
+        assert_eq!(len.value.as_u64(), Some(engine.arena.len_words() as u64));
+        let bytes = snapshot
+            .get("velv_sat_arena_bytes", labels)
+            .expect("arena bytes gauge registered");
+        use velv_obs::MemFootprint as _;
+        assert_eq!(
+            bytes.value.as_u64(),
+            Some(engine.arena.measured_bytes() as u64)
+        );
+    }
 
     #[test]
     fn trivially_sat_and_unsat() {

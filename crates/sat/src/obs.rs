@@ -187,6 +187,24 @@ pub(crate) const HEARTBEAT_MASK: u64 = 1023;
 /// per-conflict accumulator.
 const LEVEL_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096];
 
+/// Memory figures of one engine, computed from the engine's own bookkeeping
+/// ([`velv_obs::MemFootprint`]) at heartbeat boundaries — cheap walks of
+/// capacities, not allocator traffic.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct ArenaFigures {
+    /// Words in the clause arena (live + dead).
+    pub len_words: u64,
+    /// Words occupied by deleted clauses awaiting garbage collection.
+    pub wasted_words: u64,
+    /// Measured bytes of the clause arena (capacity, including slack).
+    pub arena_bytes: u64,
+    /// Measured bytes of the watch lists.
+    pub watches_bytes: u64,
+    /// Measured bytes of the learnt-clause database (arena words of live
+    /// learnt clauses plus the reference vector).
+    pub learnt_bytes: u64,
+}
+
 /// Per-engine observability state: global-registry handles labelled by
 /// preset, plus the last-published [`SolverStats`] for delta flushing.
 pub(crate) struct EngineObs {
@@ -196,6 +214,11 @@ pub(crate) struct EngineObs {
     propagations: Counter,
     restarts: Counter,
     learnt_db: Gauge,
+    arena_len_words: Gauge,
+    arena_wasted_words: Gauge,
+    arena_bytes: Gauge,
+    watches_bytes: Gauge,
+    learnt_bytes: Gauge,
     decision_levels: Histogram,
     /// Stats as of the last flush; only the increment since then is added to
     /// the registry counters.
@@ -247,6 +270,31 @@ impl EngineObs {
                 "velv_sat_learnt_db_size",
                 labels,
                 "Live learned clauses currently kept.",
+            ),
+            arena_len_words: registry.gauge_with(
+                "velv_sat_arena_len_words",
+                labels,
+                "Clause-arena words in use (live clauses plus garbage).",
+            ),
+            arena_wasted_words: registry.gauge_with(
+                "velv_sat_arena_wasted_words",
+                labels,
+                "Clause-arena words occupied by deleted clauses (fragmentation).",
+            ),
+            arena_bytes: registry.gauge_with(
+                "velv_sat_arena_bytes",
+                labels,
+                "Measured clause-arena bytes, including capacity slack.",
+            ),
+            watches_bytes: registry.gauge_with(
+                "velv_sat_watches_bytes",
+                labels,
+                "Measured watch-list bytes.",
+            ),
+            learnt_bytes: registry.gauge_with(
+                "velv_sat_learnt_bytes",
+                labels,
+                "Measured learnt-database bytes (live learnt clause words plus references).",
             ),
             decision_levels: registry.histogram_with(
                 "velv_sat_decision_level",
@@ -314,6 +362,7 @@ impl EngineObs {
         stats: &SolverStats,
         trail_depth: usize,
         num_learnts: usize,
+        mem: &ArenaFigures,
     ) {
         let mean_level = self.publish_levels();
         if let Some(recorder) = self.recorder.take() {
@@ -325,6 +374,7 @@ impl EngineObs {
                     stats,
                     trail_depth,
                     num_learnts,
+                    mem,
                     rate,
                     prop_rate,
                     mean_level,
@@ -333,6 +383,7 @@ impl EngineObs {
             }
         }
         self.flush(stats, num_learnts);
+        self.publish_arena(mem);
         self.last_beat = None;
     }
 
@@ -373,6 +424,7 @@ impl EngineObs {
         stats: &SolverStats,
         trail_depth: usize,
         num_learnts: usize,
+        mem: &ArenaFigures,
         rate: f64,
         prop_rate: f64,
         mean_level: f64,
@@ -386,10 +438,24 @@ impl EngineObs {
             restarts: stats.restarts,
             trail_depth: trail_depth as u64,
             learnt_db: num_learnts as u64,
+            arena_bytes: mem.arena_bytes,
+            learnt_bytes: mem.learnt_bytes,
             conflicts_per_sec: rate,
             propagations_per_sec: prop_rate,
             mean_decision_level: mean_level,
         }
+    }
+
+    /// Publishes the engine's memory figures: arena occupancy/fragmentation
+    /// and the measured byte gauges.  Called at heartbeats, the end of every
+    /// `search`, and directly after a copying garbage collection (so the
+    /// fragmentation gauge follows the compaction immediately).
+    pub(crate) fn publish_arena(&self, mem: &ArenaFigures) {
+        self.arena_len_words.set(mem.len_words as i64);
+        self.arena_wasted_words.set(mem.wasted_words as i64);
+        self.arena_bytes.set(mem.arena_bytes as i64);
+        self.watches_bytes.set(mem.watches_bytes as i64);
+        self.learnt_bytes.set(mem.learnt_bytes as i64);
     }
 
     /// Publishes the increment of `stats` over the last flush to the
@@ -418,9 +484,11 @@ impl EngineObs {
         trail_depth: usize,
         decision_level: usize,
         num_learnts: usize,
+        mem: &ArenaFigures,
     ) {
         let mean_level = self.publish_levels();
         self.flush(stats, num_learnts);
+        self.publish_arena(mem);
         let cell = current_progress_cell();
         if !velv_obs::enabled() && cell.is_none() && self.recorder.is_none() {
             // Skip the `Instant::now` when nobody is listening; the next
@@ -437,6 +505,7 @@ impl EngineObs {
                     stats,
                     trail_depth,
                     num_learnts,
+                    mem,
                     rate,
                     prop_rate,
                     mean_level,
@@ -459,6 +528,7 @@ impl EngineObs {
                 ("trail_depth", (trail_depth as u64).into()),
                 ("decision_level", (decision_level as u64).into()),
                 ("learnt_db", (num_learnts as u64).into()),
+                ("arena_bytes", mem.arena_bytes.into()),
             ],
         );
     }

@@ -9,6 +9,7 @@
 //! velvc [FLAGS] top [--once] [--interval-ms N]
 //! velvc [FLAGS] watch FINGERPRINT
 //! velvc [FLAGS] flight                  # dump the server's flight ring
+//! velvc [FLAGS] mem                     # heap usage, per-scope attribution
 //! velvc [FLAGS] proof FINGERPRINT
 //! velvc [FLAGS] profile FINGERPRINT [--raw]
 //! velvc [FLAGS] shutdown
@@ -37,7 +38,8 @@ fn usage() -> ! {
         "usage: velvc [--addr HOST:PORT] [--timeout MS] [--retries N] [--backoff-ms MS] \
          [--trace FILE.jsonl] \
          <ping|submit KEY=VALUE...|batch LINE...|stats [--prom|--json]|status\
-         |top [--once] [--interval-ms N]|watch FP|flight|proof FP|profile FP [--raw]|shutdown> \
+         |top [--once] [--interval-ms N]|watch FP|flight|mem|proof FP|profile FP [--raw]\
+         |shutdown> \
          | velvc trace FILE.jsonl [FILE...]"
     );
     std::process::exit(2);
@@ -137,6 +139,60 @@ fn render_top(response: &Response) -> String {
             get("trail"),
             get("learnts"),
         ));
+    }
+    out
+}
+
+/// Renders one `mem` response: allocator headline numbers, then a per-scope
+/// attribution table and the deep-measured structure footprints.
+fn render_mem(response: &Response) -> String {
+    let mut out = String::new();
+    for key in [
+        "live-bytes",
+        "peak-bytes",
+        "total-bytes",
+        "allocations",
+        "frees",
+        "peak-rss-bytes",
+        "pressure-level",
+        "mem-limit-bytes",
+    ] {
+        out.push_str(&format!(
+            "{key:<18} {}\n",
+            response.field(key).unwrap_or("?")
+        ));
+    }
+    let scopes = response.all("scope");
+    if !scopes.is_empty() {
+        out.push_str(&format!(
+            "\n{:<14} {:>14} {:>14} {:>14}\n",
+            "SCOPE", "LIVE", "PEAK", "TOTAL"
+        ));
+        for row in scopes {
+            let mut parts = row.split_whitespace();
+            let name = parts.next().unwrap_or("?");
+            let get = |prefix: &str, parts: &mut std::str::SplitWhitespace| {
+                parts
+                    .next()
+                    .and_then(|token| token.strip_prefix(prefix))
+                    .unwrap_or("?")
+                    .to_owned()
+            };
+            let live = get("live=", &mut parts);
+            let peak = get("peak=", &mut parts);
+            let total = get("total=", &mut parts);
+            out.push_str(&format!("{name:<14} {live:>14} {peak:>14} {total:>14}\n"));
+        }
+    }
+    let measured = response.all("measured");
+    if !measured.is_empty() {
+        out.push_str(&format!("\n{:<14} {:>14}\n", "MEASURED", "BYTES"));
+        for row in measured {
+            let mut parts = row.split_whitespace();
+            let name = parts.next().unwrap_or("?");
+            let bytes = parts.next().unwrap_or("?");
+            out.push_str(&format!("{name:<14} {bytes:>14}\n"));
+        }
     }
     out
 }
@@ -468,6 +524,10 @@ fn main() {
                 std::thread::sleep(std::time::Duration::from_millis(500));
             }
         }
+        "mem" => match client.mem() {
+            Ok(response) => print!("{}", render_mem(&response)),
+            Err(e) => fail_client(e),
+        },
         "flight" => match client.flight() {
             Ok(lines) => {
                 for line in lines {

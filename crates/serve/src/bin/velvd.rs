@@ -16,21 +16,34 @@
 //! failure, shed storm, graceful shutdown) land in `DIR` as
 //! `FLIGHT-<ts>.jsonl` files instead of the working directory.
 //!
+//! With `--mem-limit BYTES` the daemon watches its own heap (the counting
+//! allocator is installed as the global allocator) and degrades in stages as
+//! live bytes approach the limit: at 60% it shrinks the verdict cache, at 80%
+//! it sheds the lower-priority half of the queue, at 95% it refuses fresh
+//! submissions with `busy`.  Cache hits and dedup joins keep being served at
+//! every stage.
+//!
 //! ```text
 //! velvd [--addr HOST:PORT] [--workers N] [--cache-mb M] [--default-timeout-ms T]
 //!       [--store DIR] [--fsync always|os|every-N] [--max-queue N] [--client-quota N]
 //!       [--trace FILE.jsonl] [--flight-record DIR] [--slo-target-ms T]
+//!       [--mem-limit BYTES]
 //! ```
 
 use std::sync::Arc;
 use std::time::Duration;
 use velv_serve::{serve, ServeHandle, ServiceConfig};
 
+/// Every allocation the daemon makes is counted: this is what `velvc mem`
+/// reports and what `--mem-limit` compares live bytes against.
+#[global_allocator]
+static ALLOC: velv_obs::CountingAlloc = velv_obs::CountingAlloc;
+
 fn usage() -> ! {
     eprintln!(
         "usage: velvd [--addr HOST:PORT] [--workers N] [--cache-mb M] [--default-timeout-ms T] \
          [--store DIR] [--fsync always|os|every-N] [--max-queue N] [--client-quota N] \
-         [--trace FILE.jsonl] [--flight-record DIR] [--slo-target-ms T]"
+         [--trace FILE.jsonl] [--flight-record DIR] [--slo-target-ms T] [--mem-limit BYTES]"
     );
     std::process::exit(2);
 }
@@ -79,6 +92,10 @@ fn main() {
             "--client-quota" => match value().parse::<usize>() {
                 Ok(n) => config.per_client_quota = n,
                 Err(_) => usage(),
+            },
+            "--mem-limit" => match value().parse::<u64>() {
+                Ok(bytes) if bytes > 0 => config.mem_limit = Some(bytes),
+                _ => usage(),
             },
             _ => usage(),
         }

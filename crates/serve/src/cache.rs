@@ -20,11 +20,29 @@
 //!   insertion evicts from the back until the shard fits its budget.
 
 use std::collections::HashMap;
+use std::mem::size_of;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use velv_core::{Certificate, TranslationStats, Verdict};
 use velv_eufm::Fingerprint;
-use velv_obs::{Counter, Registry};
+use velv_obs::{Counter, MemFootprint, Registry};
+
+/// Heap cost of an `Arc<T>` control block (strong + weak counts), charged
+/// once per `Arc` allocation an entry owns.
+const ARC_HEADER: usize = 2 * size_of::<usize>();
+
+/// Estimated per-entry share of a `BTreeMap<String, bool>` node (key header,
+/// value, node-internal slack).
+const BTREE_ENTRY: usize = 48;
+
+/// Estimated cost of one occupied shard hash-map slot: key, node index and
+/// control byte, rounded up for load-factor slack.
+const MAP_SLOT: usize = size_of::<u128>() + size_of::<usize>() + 8;
+
+/// Flat charge for a resident [`Certificate`]: the variant payloads are
+/// fixed-size counters plus a short reason string.
+const CERT_BYTES: usize = 128;
 
 /// A cached, decided verdict and its artifacts.
 ///
@@ -50,27 +68,63 @@ pub struct CachedVerdict {
 }
 
 impl CachedVerdict {
-    /// Approximate heap footprint, used for the cache's byte accounting.
+    /// Approximate heap footprint of a *resident* entry, used for the cache's
+    /// byte accounting: the value struct, the `Arc` control block the shard
+    /// wraps it in, the intrusive LRU node and hash-map slot pointing at it,
+    /// plus every owned artifact with its own allocation header.  Kept within
+    /// 2× of [`MemFootprint::measured_bytes`] (see the property test in
+    /// `tests/cache_props.rs`); the difference is that the estimate charges
+    /// lengths where the measure charges capacities.
     pub fn approx_bytes(&self) -> usize {
-        let mut bytes = 256; // fixed-size fields, node overhead, map slot
-        if let Verdict::Buggy(cex) = &self.verdict {
-            for (name, _) in cex.iter() {
-                bytes += name.len() + 48; // BTreeMap entry overhead
+        let mut bytes = size_of::<CachedVerdict>() + ARC_HEADER + size_of::<Node>() + MAP_SLOT;
+        bytes += self.artifact_bytes(false);
+        bytes
+    }
+
+    /// Bytes of the owned, heap-allocated artifacts: counterexample entries,
+    /// reason strings, proof and profile buffers.  `deep` charges buffer
+    /// capacities (what the allocator really holds); otherwise lengths.
+    fn artifact_bytes(&self, deep: bool) -> usize {
+        let mut bytes = 0;
+        match &self.verdict {
+            Verdict::Buggy(cex) => {
+                for (name, _) in cex.iter() {
+                    bytes += name.len() + BTREE_ENTRY;
+                }
             }
-        }
-        if let Verdict::Unknown(reason) = &self.verdict {
-            bytes += reason.len();
+            Verdict::Unknown(reason) => {
+                bytes += if deep {
+                    reason.capacity()
+                } else {
+                    reason.len()
+                };
+            }
+            Verdict::Correct => {}
         }
         if let Some(proof) = &self.proof_drat {
-            bytes += proof.len();
+            bytes += ARC_HEADER + size_of::<Vec<u8>>();
+            bytes += if deep { proof.capacity() } else { proof.len() };
         }
         if let Some(profile) = &self.profile {
-            bytes += profile.len();
+            bytes += ARC_HEADER + size_of::<String>();
+            bytes += if deep {
+                profile.capacity()
+            } else {
+                profile.len()
+            };
         }
         if self.certificate.is_some() {
-            bytes += 128;
+            bytes += CERT_BYTES;
         }
         bytes
+    }
+}
+
+impl MemFootprint for CachedVerdict {
+    /// Deep heap bytes of the value itself (without the cache's node/slot
+    /// overhead, which [`VerdictCache`]'s impl accounts structurally).
+    fn measured_bytes(&self) -> usize {
+        size_of::<CachedVerdict>() + self.artifact_bytes(true)
     }
 }
 
@@ -227,7 +281,10 @@ impl Shard {
 /// The sharded, byte-bounded LRU verdict cache (see the module docs).
 pub struct VerdictCache {
     shards: Box<[Mutex<Shard>]>,
-    shard_capacity: usize,
+    /// Per-shard byte budget.  Atomic so the service's memory-pressure ladder
+    /// can shrink and restore the budget on a live cache
+    /// ([`VerdictCache::set_capacity`]).
+    shard_capacity: AtomicUsize,
     hits: Counter,
     misses: Counter,
     insertions: Counter,
@@ -255,7 +312,7 @@ impl VerdictCache {
             (0..shard_count).map(|_| Mutex::new(Shard::new())).collect();
         VerdictCache {
             shards: shards.into_boxed_slice(),
-            shard_capacity,
+            shard_capacity: AtomicUsize::new(shard_capacity),
             hits: registry.counter(
                 "velv_serve_cache_lookup_hits_total",
                 "Verdict-cache lookups that found an entry.",
@@ -308,19 +365,44 @@ impl VerdictCache {
     /// the shard budget is refused rather than flushing the whole shard.
     pub fn insert(&self, key: Fingerprint, value: CachedVerdict) {
         let bytes = value.approx_bytes();
-        if bytes > self.shard_capacity {
+        let shard_capacity = self.shard_capacity.load(Ordering::Relaxed);
+        if bytes > shard_capacity {
             self.oversize.inc();
             return;
         }
         let mut shard = self.shard(key).lock().expect("cache shard lock");
         shard.insert(key.0, Arc::new(value), bytes);
         self.insertions.inc();
-        while shard.bytes > self.shard_capacity {
+        while shard.bytes > shard_capacity {
             if !shard.evict_one() {
                 break;
             }
             self.evictions.inc();
         }
+    }
+
+    /// Re-budgets the cache to `capacity_bytes` total, immediately evicting
+    /// LRU entries from every shard that now exceeds its share.  Growing the
+    /// budget back later does not resurrect evicted entries — the service's
+    /// memory-pressure ladder uses this to trade hit ratio for headroom and
+    /// restore the configured budget once pressure clears.
+    pub fn set_capacity(&self, capacity_bytes: usize) {
+        let per_shard = (capacity_bytes / self.shards.len()).max(1);
+        self.shard_capacity.store(per_shard, Ordering::Relaxed);
+        for shard in self.shards.iter() {
+            let mut shard = shard.lock().expect("cache shard lock");
+            while shard.bytes > per_shard {
+                if !shard.evict_one() {
+                    break;
+                }
+                self.evictions.inc();
+            }
+        }
+    }
+
+    /// The current total byte budget across all shards.
+    pub fn capacity_bytes(&self) -> usize {
+        self.shard_capacity.load(Ordering::Relaxed) * self.shards.len()
     }
 
     /// Current statistics snapshot.
@@ -335,7 +417,7 @@ impl VerdictCache {
         CacheStats {
             entries,
             bytes,
-            capacity_bytes: (self.shard_capacity * self.shards.len()) as u64,
+            capacity_bytes: self.capacity_bytes() as u64,
             hits: self.hits.get(),
             misses: self.misses.get(),
             insertions: self.insertions.get(),
@@ -355,6 +437,27 @@ impl VerdictCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+impl MemFootprint for VerdictCache {
+    /// Deep measured bytes: shard map/slab/free-list capacities plus every
+    /// resident value behind its `Arc`.  Always at least the accounted
+    /// [`CacheStats::bytes`] figure, since the accounting charges occupied
+    /// slots and buffer lengths where this walks reserved capacities.
+    fn measured_bytes(&self) -> usize {
+        let mut bytes = size_of::<VerdictCache>();
+        for shard in self.shards.iter() {
+            let shard = shard.lock().expect("cache shard lock");
+            bytes += size_of::<Mutex<Shard>>();
+            bytes += shard.map.capacity() * MAP_SLOT;
+            bytes += shard.nodes.capacity() * size_of::<Node>();
+            bytes += shard.free.capacity() * size_of::<usize>();
+            for &index in shard.map.values() {
+                bytes += ARC_HEADER + shard.nodes[index].value.measured_bytes();
+            }
+        }
+        bytes
     }
 }
 
@@ -380,7 +483,10 @@ mod tests {
 
     #[test]
     fn hit_refreshes_recency() {
-        let cache = VerdictCache::new(3 * 600, 1);
+        // Budget exactly three entries, derived from the real accounting so
+        // the test is immune to base-overhead changes.
+        let unit = verdict_of_bytes(300).approx_bytes();
+        let cache = VerdictCache::new(3 * unit, 1);
         cache.insert(fp(1), verdict_of_bytes(300));
         cache.insert(fp(2), verdict_of_bytes(300));
         cache.insert(fp(3), verdict_of_bytes(300));
@@ -396,13 +502,14 @@ mod tests {
 
     #[test]
     fn byte_pressure_evicts_multiple_entries() {
-        let cache = VerdictCache::new(2000, 1);
+        let small = verdict_of_bytes(200).approx_bytes();
+        let cache = VerdictCache::new(5 * small, 1);
         for i in 0..4 {
             cache.insert(fp(i), verdict_of_bytes(200));
         }
         assert_eq!(cache.len(), 4);
         // One large entry displaces several small ones.
-        cache.insert(fp(99), verdict_of_bytes(1500));
+        cache.insert(fp(99), verdict_of_bytes(200 + 3 * small));
         let stats = cache.stats();
         assert!(stats.bytes <= stats.capacity_bytes);
         assert!(cache.get(fp(99)).is_some());
@@ -429,6 +536,51 @@ mod tests {
         assert!(after > before);
         cache.insert(fp(5), verdict_of_bytes(100));
         assert_eq!(cache.stats().bytes, before);
+    }
+
+    #[test]
+    fn set_capacity_evicts_down_then_restores_the_budget() {
+        let unit = verdict_of_bytes(300).approx_bytes();
+        let cache = VerdictCache::new(8 * unit, 1);
+        for i in 0..6 {
+            cache.insert(fp(i), verdict_of_bytes(300));
+        }
+        assert_eq!(cache.len(), 6);
+        // Shrink to two entries' worth: four LRU entries must go at once.
+        cache.set_capacity(2 * unit);
+        let stats = cache.stats();
+        assert_eq!(stats.capacity_bytes, 2 * unit as u64);
+        assert!(stats.bytes <= stats.capacity_bytes);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(fp(4)).is_some(), "MRU entries survive the shrink");
+        assert!(cache.get(fp(5)).is_some());
+        assert!(cache.get(fp(0)).is_none(), "LRU entries are evicted");
+        // Entries larger than the shrunken shard budget are refused...
+        cache.insert(fp(50), verdict_of_bytes(300 + 2 * unit));
+        assert_eq!(cache.stats().oversize, 1);
+        // ...until the budget is restored.
+        cache.set_capacity(8 * unit);
+        assert_eq!(cache.capacity_bytes(), 8 * unit);
+        cache.insert(fp(50), verdict_of_bytes(300 + 2 * unit));
+        assert!(cache.get(fp(50)).is_some());
+    }
+
+    #[test]
+    fn measured_footprint_covers_the_accounted_bytes() {
+        let cache = VerdictCache::new(1 << 20, 4);
+        for i in 0..32 {
+            cache.insert(fp(i), verdict_of_bytes(100 + 37 * i as usize));
+        }
+        let stats = cache.stats();
+        assert!(stats.bytes > 0);
+        // The deep walk charges reserved capacities where the accounting
+        // charges occupied lengths, so measured dominates accounted.
+        assert!(
+            cache.measured_bytes() as u64 >= stats.bytes,
+            "measured {} fell below accounted {}",
+            cache.measured_bytes(),
+            stats.bytes
+        );
     }
 
     #[test]

@@ -338,6 +338,17 @@ impl ServeClient {
             .unwrap_or_default())
     }
 
+    /// Fetches the server's memory snapshot: the raw `key value` and
+    /// repeated `scope`/`measured` lines of the `mem` wire verb (see
+    /// [`crate::proto::mem_response`] for the field set).
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeClient::request`].
+    pub fn mem(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::Mem)
+    }
+
     /// Fetches the service metric registry as flat `(key, value)` pairs.
     ///
     /// # Errors

@@ -25,6 +25,7 @@
 //! | `proof` | one fingerprint (32 hex digits) | `proof-bytes N`, blank line, DRAT text |
 //! | `profile` | one fingerprint (32 hex digits) | `profile-bytes N`, blank line, [`velv_obs::SolveProfile`] JSONL |
 //! | `flight` | — | `lines N`, blank line, flight-recorder JSONL snapshot |
+//! | `mem` | — | `live-bytes`, `peak-bytes`, `total-bytes`, `allocations`, `frees`, `peak-rss-bytes`, `pressure-level`, `mem-limit-bytes`, one `scope <name> live=N peak=N total=N` line per allocation scope, one `measured <name> N` line per deep-measured structure |
 //! | `shutdown` | — | `bye 1` |
 //!
 //! `submit` verdict fields: `name`, `fingerprint`, `verdict`
@@ -205,6 +206,9 @@ pub enum Request {
     Profile(Fingerprint),
     /// Snapshot the flight recorder ring.
     Flight,
+    /// Memory snapshot: allocator globals, per-scope attribution, measured
+    /// footprints and the pressure level.
+    Mem,
     /// Stop the server.
     Shutdown,
 }
@@ -243,6 +247,7 @@ impl Request {
             Request::Proof(fp) => format!("proof\n{fp}"),
             Request::Profile(fp) => format!("profile\n{fp}"),
             Request::Flight => "flight".to_owned(),
+            Request::Mem => "mem".to_owned(),
             Request::Shutdown => "shutdown".to_owned(),
         }
     }
@@ -266,6 +271,7 @@ impl Request {
             },
             "status" => Ok(Request::Status),
             "flight" => Ok(Request::Flight),
+            "mem" => Ok(Request::Mem),
             "shutdown" => Ok(Request::Shutdown),
             "submit" => {
                 let mut line = lines.next().ok_or("submit needs a job line")?;
@@ -375,6 +381,40 @@ pub fn flight_response(lines: &[String]) -> String {
     let mut body = format!("ok\nlines {}\n", lines.len());
     body.push('\n');
     body.push_str(&lines.join("\n"));
+    body
+}
+
+/// Renders the `mem` response body: the allocator's global figures, the
+/// pressure state, one `scope` line per allocation scope, and one `measured`
+/// line per deep-measured structure (the cross-check against the scope
+/// attribution).  All figures are zero when the host did not install
+/// [`velv_obs::CountingAlloc`].
+pub fn mem_response(
+    snapshot: &velv_obs::MemSnapshot,
+    pressure_level: u64,
+    mem_limit: Option<u64>,
+    measured: &[(&str, u64)],
+) -> String {
+    let mut body = format!(
+        "ok\nlive-bytes {}\npeak-bytes {}\ntotal-bytes {}\nallocations {}\nfrees {}\npeak-rss-bytes {}\npressure-level {}\nmem-limit-bytes {}",
+        snapshot.live_bytes,
+        snapshot.peak_bytes,
+        snapshot.total_bytes,
+        snapshot.allocations,
+        snapshot.frees,
+        snapshot.peak_rss_bytes,
+        pressure_level,
+        mem_limit.unwrap_or(0),
+    );
+    for scope in &snapshot.scopes {
+        body.push_str(&format!(
+            "\nscope {} live={} peak={} total={}",
+            scope.name, scope.live_bytes, scope.peak_bytes, scope.total_bytes
+        ));
+    }
+    for (name, bytes) in measured {
+        body.push_str(&format!("\nmeasured {name} {bytes}"));
+    }
     body
 }
 
@@ -538,6 +578,7 @@ mod tests {
             },
             Request::Proof(Fingerprint(0xabcdef)),
             Request::Profile(Fingerprint(0xabcdef)),
+            Request::Mem,
         ];
         for request in requests {
             let body = request.to_body();
@@ -676,6 +717,26 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn mem_responses_carry_scopes_and_measured_rows() {
+        let snapshot = velv_obs::mem::snapshot();
+        let body = mem_response(&snapshot, 2, Some(1 << 20), &[("serve.cache", 4096)]);
+        let response = Response::parse_body(&body).unwrap();
+        assert!(response.field("live-bytes").is_some());
+        assert_eq!(response.field("pressure-level"), Some("2"));
+        assert_eq!(response.field("mem-limit-bytes"), Some("1048576"));
+        assert_eq!(
+            response.all("scope").len(),
+            velv_obs::mem::SCOPE_NAMES.len(),
+            "one scope line per registered scope"
+        );
+        assert_eq!(response.all("measured"), vec!["serve.cache 4096"]);
+        // Without a limit the field reads zero rather than vanishing.
+        let unlimited = mem_response(&snapshot, 0, None, &[]);
+        let response = Response::parse_body(&unlimited).unwrap();
+        assert_eq!(response.field("mem-limit-bytes"), Some("0"));
     }
 
     #[test]

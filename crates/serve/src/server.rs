@@ -7,8 +7,8 @@
 //! whatever is in flight), and joins every connection thread.
 
 use crate::proto::{
-    batch_response, flight_response, read_frame, stats_response, submit_response, write_frame,
-    Request,
+    batch_response, flight_response, mem_response, read_frame, stats_response, submit_response,
+    write_frame, Request,
 };
 use crate::service::{JobTicket, ServeError, ServeHandle};
 use std::io::{self, BufReader};
@@ -208,6 +208,12 @@ fn dispatch(
             Ok(body)
         }
         Request::Flight => Ok(flight_response(&velv_obs::flight::snapshot())),
+        Request::Mem => Ok(mem_response(
+            &velv_obs::mem::snapshot(),
+            handle.mem_pressure_level(),
+            handle.mem_limit(),
+            &handle.measured_footprints(),
+        )),
         Request::Submit { spec, trace } => {
             // Overload is a first-class `busy` status (not `err`): clients
             // back off and retry instead of treating it as a failure.

@@ -103,6 +103,15 @@ pub struct ServiceConfig {
     /// [`velv_obs::SolveProfile`] is cached and persisted next to the
     /// verdict, served by the `profile` wire verb.
     pub profile_sink: Option<Arc<velv_obs::ProfileSink>>,
+    /// Live-heap ceiling in bytes (measured by the counting allocator, so it
+    /// only engages when the host installed [`velv_obs::CountingAlloc`] —
+    /// `velvd --mem-limit`).  Approaching the ceiling trips staged
+    /// degradation: at 60% the verdict cache shrinks to a quarter of its
+    /// budget, at 80% the lower-priority half of the queue is shed, at 95%
+    /// fresh submissions are refused as busy (cache hits and dedup joins are
+    /// still served).  The first trip dumps the flight recorder.  `None`
+    /// disables the ladder.
+    pub mem_limit: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -123,6 +132,7 @@ impl Default for ServiceConfig {
             per_client_quota: 0,
             slo_target: Duration::from_secs(1),
             profile_sink: None,
+            mem_limit: None,
         }
     }
 }
@@ -151,6 +161,33 @@ impl ServiceConfig {
     pub fn with_profile_sink(mut self, sink: Arc<velv_obs::ProfileSink>) -> Self {
         self.profile_sink = Some(sink);
         self
+    }
+
+    /// Sets the live-heap ceiling that arms the memory-pressure ladder.
+    pub fn with_mem_limit(mut self, bytes: u64) -> Self {
+        self.mem_limit = Some(bytes);
+        self
+    }
+}
+
+/// Maps live heap bytes to a memory-pressure level under `limit`: 0 below
+/// 60% of the ceiling, 1 (shrink the verdict cache) at 60%, 2 (shed queued
+/// work) at 80%, 3 (refuse fresh submissions) at 95%.  Pure so the ladder's
+/// thresholds are unit-testable without an allocator or a service.
+pub fn pressure_level(live_bytes: u64, limit: u64) -> u64 {
+    if limit == 0 {
+        return 0;
+    }
+    let live = live_bytes as u128 * 100;
+    let limit = limit as u128;
+    if live >= limit * 95 {
+        3
+    } else if live >= limit * 80 {
+        2
+    } else if live >= limit * 60 {
+        1
+    } else {
+        0
     }
 }
 
@@ -561,6 +598,19 @@ struct Counters {
     cache_entries: velv_obs::Gauge,
     cache_bytes: velv_obs::Gauge,
     cache_capacity_bytes: velv_obs::Gauge,
+    mem_live_bytes: velv_obs::Gauge,
+    mem_peak_bytes: velv_obs::Gauge,
+    mem_rss_peak_bytes: velv_obs::Gauge,
+    mem_limit_bytes: velv_obs::Gauge,
+    mem_pressure_level: velv_obs::Gauge,
+    mem_pressure_trips: velv_obs::Counter,
+    mem_pressure_rejections: velv_obs::Counter,
+    /// Per-scope `(live, peak)` gauges, aligned with
+    /// [`velv_obs::mem::SCOPE_NAMES`].
+    mem_scopes: Vec<(velv_obs::Gauge, velv_obs::Gauge)>,
+    mem_measured_cache_bytes: velv_obs::Gauge,
+    mem_measured_queue_bytes: velv_obs::Gauge,
+    mem_measured_store_index_bytes: velv_obs::Gauge,
 }
 
 impl Counters {
@@ -727,6 +777,63 @@ impl Counters {
                 "velv_serve_cache_capacity_bytes",
                 "Verdict-cache total byte budget.",
             ),
+            mem_live_bytes: registry.gauge(
+                "velv_mem_live_bytes",
+                "Live heap bytes reported by the counting allocator (0 when not installed).",
+            ),
+            mem_peak_bytes: registry.gauge(
+                "velv_mem_peak_bytes",
+                "High-water mark of live heap bytes since process start (or the last reset).",
+            ),
+            mem_rss_peak_bytes: registry.gauge(
+                "velv_mem_rss_peak_bytes",
+                "Peak resident-set size of the process (VmHWM), in bytes.",
+            ),
+            mem_limit_bytes: registry.gauge(
+                "velv_mem_limit_bytes",
+                "Configured live-heap ceiling arming the pressure ladder (0 = disabled).",
+            ),
+            mem_pressure_level: registry.gauge(
+                "velv_mem_pressure_level",
+                "Memory-pressure level: 0 none, 1 cache shrunk, 2 queue shed, 3 refusing fresh work.",
+            ),
+            mem_pressure_trips: registry.counter(
+                "velv_mem_pressure_trips_total",
+                "Transitions from no memory pressure to any pressure level.",
+            ),
+            mem_pressure_rejections: registry.counter(
+                "velv_mem_pressure_rejections_total",
+                "Fresh submissions refused as busy at pressure level 3.",
+            ),
+            mem_scopes: velv_obs::mem::SCOPE_NAMES
+                .iter()
+                .map(|scope| {
+                    (
+                        registry.gauge_with(
+                            "velv_mem_scope_live_bytes",
+                            &[("scope", scope)],
+                            "Live heap bytes attributed to an allocation scope.",
+                        ),
+                        registry.gauge_with(
+                            "velv_mem_scope_peak_bytes",
+                            &[("scope", scope)],
+                            "High-water mark of live heap bytes attributed to an allocation scope.",
+                        ),
+                    )
+                })
+                .collect(),
+            mem_measured_cache_bytes: registry.gauge(
+                "velv_mem_measured_cache_bytes",
+                "Deep measured footprint of the verdict cache (shard tables plus resident values).",
+            ),
+            mem_measured_queue_bytes: registry.gauge(
+                "velv_mem_measured_queue_bytes",
+                "Deep measured footprint of the job queue heap.",
+            ),
+            mem_measured_store_index_bytes: registry.gauge(
+                "velv_mem_measured_store_index_bytes",
+                "Deep measured footprint of the verdict store's in-memory key index.",
+            ),
         }
     }
 }
@@ -834,6 +941,24 @@ struct QueueState {
     depth: u64,
 }
 
+impl velv_obs::MemFootprint for QueueState {
+    /// Deep measured bytes of the queue: heap slots (occupied and reserved)
+    /// plus the boxed job state each entry owns.  Job *contents* (problems,
+    /// specs) are charged at struct size — the dominant queue cost is the
+    /// per-entry state, not deep problem ASTs.
+    fn measured_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<QueueState>()
+            + self.heap.capacity() * std::mem::size_of::<QueuedItem>();
+        for queued in self.heap.iter() {
+            bytes += match &queued.item {
+                WorkItem::Single(_) => std::mem::size_of::<SingleJob>(),
+                WorkItem::Batch(jobs) => jobs.capacity() * std::mem::size_of::<SingleJob>(),
+            };
+        }
+        bytes
+    }
+}
+
 /// A live progress-table entry: one job a worker is currently running, with
 /// the heartbeat-fed [`velv_sat::ProgressCell`] it reports into.
 struct ProgressEntry {
@@ -886,6 +1011,9 @@ struct Inner {
     /// (not global) so concurrent instances do not mix their numbers.
     registry: velv_obs::Registry,
     counters: Counters,
+    /// Current memory-pressure level (see [`pressure_level`]); written by
+    /// [`Inner::update_pressure`], read lock-free at admission.
+    mem_pressure: AtomicU64,
     shutdown: AtomicBool,
 }
 
@@ -945,6 +1073,43 @@ impl Inner {
         };
         self.counters.slo_attainment_permille.set(attainment);
         self.counters.slo_burn_permille.set(1000 - attainment);
+        self.refresh_mem_gauges();
+    }
+
+    /// Publishes the allocator's snapshot (global and per-scope live/peak),
+    /// the deep measured footprints of the hot structures, and re-evaluates
+    /// the pressure ladder.  The measured gauges cross-check the allocator's
+    /// scope attribution: `velv_mem_measured_cache_bytes` and
+    /// `velv_mem_scope_live_bytes{scope="serve.cache"}` should track each
+    /// other.
+    fn refresh_mem_gauges(&self) {
+        use velv_obs::MemFootprint;
+        let mem = velv_obs::mem::snapshot();
+        self.counters.mem_live_bytes.set(mem.live_bytes);
+        self.counters.mem_peak_bytes.set(mem.peak_bytes);
+        self.counters
+            .mem_rss_peak_bytes
+            .set(mem.peak_rss_bytes.min(i64::MAX as u64) as i64);
+        self.counters
+            .mem_limit_bytes
+            .set(self.config.mem_limit.unwrap_or(0).min(i64::MAX as u64) as i64);
+        for (scope, (live, peak)) in mem.scopes.iter().zip(&self.counters.mem_scopes) {
+            live.set(scope.live_bytes);
+            peak.set(scope.peak_bytes);
+        }
+        self.counters
+            .mem_measured_cache_bytes
+            .set(self.cache.measured_bytes() as i64);
+        let queue_bytes = self.queue.lock().expect("queue lock").measured_bytes();
+        self.counters
+            .mem_measured_queue_bytes
+            .set(queue_bytes as i64);
+        if let Some(store) = &self.store {
+            self.counters
+                .mem_measured_store_index_bytes
+                .set(store.measured_bytes() as i64);
+        }
+        self.update_pressure();
     }
 
     /// Accounts a completed job's wall time: totals, the unlabelled and the
@@ -974,6 +1139,79 @@ impl Inner {
             *last = Some(now);
         }
         let _ = velv_obs::flight::dump(reason);
+    }
+
+    /// Re-evaluates the memory-pressure ladder against the allocator's live
+    /// reading and applies stage transitions (shrink the cache, shed queued
+    /// work, arm submission refusal); returns the current level.  Called at
+    /// submission admission and at snapshot time.  Must not be invoked while
+    /// holding the queue or in-flight lock — stage 2 takes both.
+    fn update_pressure(&self) -> u64 {
+        let Some(limit) = self.config.mem_limit else {
+            return 0;
+        };
+        let live = velv_obs::mem::live_bytes().max(0) as u64;
+        let level = pressure_level(live, limit);
+        let prev = self.mem_pressure.swap(level, Ordering::Relaxed);
+        if level == prev {
+            return level;
+        }
+        self.counters.mem_pressure_level.set(level as i64);
+        if velv_obs::enabled() {
+            velv_obs::event(
+                "serve.mem_pressure",
+                &[("level", level.into()), ("live_bytes", live.into())],
+            );
+        }
+        if prev == 0 && level > 0 {
+            self.counters.mem_pressure_trips.inc();
+            // First trip: preserve the moments leading into pressure.
+            self.flight_dump_rate_limited("mem-pressure");
+        }
+        if level >= 1 && prev == 0 {
+            // Stage 1: trade hit ratio for headroom.
+            self.cache
+                .set_capacity((self.config.cache_bytes / 4).max(1));
+        } else if level == 0 {
+            self.cache.set_capacity(self.config.cache_bytes.max(1));
+        }
+        if level >= 2 && prev < 2 {
+            self.shed_queued_for_memory();
+        }
+        level
+    }
+
+    /// Stage-2 degradation: sheds the lower-priority half of the queued jobs
+    /// (their waiters resolve as busy) so queued work stops holding memory
+    /// the ceiling no longer affords.  Victim order matches overload
+    /// shedding: lowest priority first, youngest first within a priority.
+    fn shed_queued_for_memory(&self) {
+        let mut queue = self.queue.lock().expect("queue lock");
+        if queue.depth == 0 {
+            return;
+        }
+        let target = queue.depth / 2;
+        let mut victims: Vec<(i32, u64, Vec<Arc<JobState>>)> = queue
+            .heap
+            .iter()
+            .filter(|q| q.item.unresolved_count() > 0)
+            .map(|q| (q.priority, q.seq, q.item.states()))
+            .collect();
+        victims.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+        let mut freed = 0u64;
+        'outer: for (_, _, states) in &victims {
+            for state in states {
+                if queue.depth - freed <= target {
+                    break 'outer;
+                }
+                if !state.is_resolved() {
+                    self.shed_state(state);
+                    freed += 1;
+                }
+            }
+        }
+        queue.depth -= freed;
+        self.counters.queued.sub(freed as i64);
     }
 
     /// The live progress rows, longest-running job first.
@@ -1182,6 +1420,7 @@ impl Inner {
             // failure is counted and the verdict still delivered — losing
             // durability must not lose the result.
             if let Some(store) = &self.store {
+                let _mem_scope = velv_obs::MemScope::enter("store.log");
                 let (payload, sidecar) = persist::encode(&entry);
                 match store.append(job.state.fingerprint.0, &payload, sidecar.as_deref()) {
                     Ok(_) => self.counters.persisted.inc(),
@@ -1192,6 +1431,7 @@ impl Inner {
                     }
                 }
             }
+            let _mem_scope = velv_obs::MemScope::enter("serve.cache");
             self.cache.insert(job.state.fingerprint, entry);
         }
         self.remove_in_flight(&job.state);
@@ -1467,6 +1707,7 @@ fn run_single(inner: &Inner, job: &SingleJob) {
             let problem = &job.problem;
             let shared = {
                 let _span = velv_obs::span("serve.translate");
+                let _mem_scope = velv_obs::MemScope::enter("eufm");
                 verifier.translate_obligations_shared(problem, max_obligations)
             };
             inner.counters.fresh_solves.inc();
@@ -1496,6 +1737,7 @@ fn run_single(inner: &Inner, job: &SingleJob) {
         SolveMode::Monolithic => {
             let translation = {
                 let _span = velv_obs::span("serve.translate");
+                let _mem_scope = velv_obs::MemScope::enter("eufm");
                 verifier.translate_problem(&job.problem)
             };
             let stats = translation.stats;
@@ -1539,6 +1781,7 @@ fn run_single(inner: &Inner, job: &SingleJob) {
                             ) {
                                 Some(result) => {
                                     let proof = if result.is_unsat() {
+                                        let _mem_scope = velv_obs::MemScope::enter("proof");
                                         let text = velv_sat::dimacs::to_drat_text_string(
                                             &shared_proof.take(),
                                         );
@@ -1908,6 +2151,7 @@ impl ServeHandle {
         let mut store = None;
         let mut recovery = None;
         if let Some(dir) = &config.store_dir {
+            let _mem_scope = velv_obs::MemScope::enter("store.log");
             let mut store_config = velv_store::StoreConfig::new(dir);
             store_config.fsync = config.store_fsync;
             store_config.failpoints = config.store_failpoints.clone();
@@ -1922,6 +2166,7 @@ impl ServeHandle {
             for record in records {
                 match persist::decode(&record.payload, record.sidecar) {
                     Ok(entry) if !matches!(entry.verdict, Verdict::Unknown(_)) => {
+                        let _mem_scope = velv_obs::MemScope::enter("serve.cache");
                         cache.insert(Fingerprint(record.key), entry);
                         counters.replayed.inc();
                     }
@@ -1947,6 +2192,7 @@ impl ServeHandle {
             recovery,
             counters,
             registry,
+            mem_pressure: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         });
         let mut handles = Vec::with_capacity(workers);
@@ -1978,6 +2224,9 @@ impl ServeHandle {
             return Err(ServeError::ShutDown);
         }
         self.inner.counters.submitted.inc();
+        // Evaluated before the in-flight lock (stage 2 takes the queue and
+        // in-flight locks); the level is consulted again lock-free below.
+        let pressure = self.inner.update_pressure();
         let (implementation, specification) = spec.model.build().map_err(ServeError::InvalidJob)?;
         let verifier = Verifier::new(spec.options.clone());
         let problem = verifier.build_problem(implementation.as_ref(), specification.as_ref());
@@ -2016,6 +2265,15 @@ impl ServeHandle {
                 self.inner.counters.dedup_joins.inc();
                 return Ok(Admission::Ticket(ticket));
             }
+        }
+        // Stage-3 degradation: refuse *fresh* work while the heap sits at
+        // the ceiling.  Cache hits and dedup joins above are still served —
+        // they add no solver state and answering them sheds client retries.
+        if pressure >= 3 {
+            drop(in_flight);
+            self.inner.counters.mem_pressure_rejections.inc();
+            self.inner.counters.busy_rejections.inc();
+            return Err(ServeError::Busy("memory pressure".to_owned()));
         }
         let state = Arc::new(JobState::new(
             fingerprint,
@@ -2236,6 +2494,39 @@ impl ServeHandle {
         self.inner.config.per_client_quota
     }
 
+    /// Re-evaluates and returns the current memory-pressure level (see
+    /// [`pressure_level`]); 0 when no [`ServiceConfig::mem_limit`] is set.
+    pub fn mem_pressure_level(&self) -> u64 {
+        self.inner.update_pressure()
+    }
+
+    /// The configured live-heap ceiling, if any.
+    pub fn mem_limit(&self) -> Option<u64> {
+        self.inner.config.mem_limit
+    }
+
+    /// Deep measured footprints of the service's hot structures, `(name,
+    /// bytes)` — the cross-check against the allocator's per-scope
+    /// attribution, served by the `mem` wire verb.
+    pub fn measured_footprints(&self) -> Vec<(&'static str, u64)> {
+        use velv_obs::MemFootprint;
+        let mut rows = vec![
+            ("serve.cache", self.inner.cache.measured_bytes() as u64),
+            (
+                "serve.queue",
+                self.inner
+                    .queue
+                    .lock()
+                    .expect("queue lock")
+                    .measured_bytes() as u64,
+            ),
+        ];
+        if let Some(store) = &self.inner.store {
+            rows.push(("store.index", store.measured_bytes() as u64));
+        }
+        rows
+    }
+
     /// Counts a submission rejected by the per-client quota (called by the
     /// front end, which is where client identity exists).
     pub fn note_quota_rejection(&self) {
@@ -2253,5 +2544,37 @@ impl ServeHandle {
     /// last handle does the same.
     pub fn shutdown(&self) {
         self.workers.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::pressure_level;
+
+    #[test]
+    fn pressure_ladder_thresholds() {
+        let limit = 1_000_000;
+        assert_eq!(pressure_level(0, limit), 0);
+        assert_eq!(pressure_level(599_999, limit), 0);
+        assert_eq!(pressure_level(600_000, limit), 1);
+        assert_eq!(pressure_level(799_999, limit), 1);
+        assert_eq!(pressure_level(800_000, limit), 2);
+        assert_eq!(pressure_level(949_999, limit), 2);
+        assert_eq!(pressure_level(950_000, limit), 3);
+        assert_eq!(pressure_level(limit, limit), 3);
+        assert_eq!(pressure_level(limit * 10, limit), 3);
+    }
+
+    #[test]
+    fn pressure_without_a_limit_is_never_raised() {
+        assert_eq!(pressure_level(u64::MAX, 0), 0);
+    }
+
+    #[test]
+    fn pressure_thresholds_do_not_overflow_small_or_huge_limits() {
+        assert_eq!(pressure_level(1, 1), 3);
+        assert_eq!(pressure_level(0, 1), 0);
+        assert_eq!(pressure_level(u64::MAX, u64::MAX), 3);
+        assert_eq!(pressure_level(u64::MAX / 2, u64::MAX), 0);
     }
 }

@@ -3,10 +3,12 @@
 //! with the same semantics (move-to-front on hit, insert at front, evict from
 //! the back while over the byte budget, refuse oversize entries).
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
-use velv_core::Verdict;
+use velv_core::{Certificate, Counterexample, Verdict};
 use velv_eufm::Fingerprint;
+use velv_obs::MemFootprint;
 use velv_sat::rng::SmallRng;
 use velv_serve::{CachedVerdict, VerdictCache};
 
@@ -53,10 +55,13 @@ impl ReferenceLru {
 }
 
 fn entry_of(bytes: usize) -> CachedVerdict {
+    // Overhead of an entry with an *empty* proof: the accounting charges the
+    // proof's Arc and Vec headers even at length zero, so padding the proof
+    // by `bytes - overhead` yields an entry of exactly `bytes`.
     let base = CachedVerdict {
         verdict: Verdict::Correct,
         certificate: None,
-        proof_drat: None,
+        proof_drat: Some(Arc::new(Vec::new())),
         solve_time: Duration::from_millis(1),
         translation_stats: None,
         profile: None,
@@ -70,6 +75,20 @@ fn entry_of(bytes: usize) -> CachedVerdict {
         proof_drat: Some(Arc::new(vec![b'p'; bytes - overhead])),
         ..base
     }
+}
+
+/// The fixed accounting overhead of a padded entry — sizes fed to
+/// [`entry_of`] must stay at or above this floor.
+fn entry_overhead() -> usize {
+    CachedVerdict {
+        verdict: Verdict::Correct,
+        certificate: None,
+        proof_drat: Some(Arc::new(Vec::new())),
+        solve_time: Duration::from_millis(1),
+        translation_stats: None,
+        profile: None,
+    }
+    .approx_bytes()
 }
 
 #[test]
@@ -93,7 +112,7 @@ fn randomized_workload_matches_the_reference_model() {
                 let bytes = match rng.gen_range(0..10) {
                     0 => capacity + 1, // refused
                     1..=2 => capacity / 2,
-                    _ => 300 + rng.gen_range(0..300),
+                    _ => entry_overhead() + rng.gen_range(0..300),
                 };
                 cache.insert(Fingerprint(key), entry_of(bytes));
                 reference.insert(key, bytes);
@@ -126,6 +145,53 @@ fn randomized_workload_matches_the_reference_model() {
     }
 }
 
+/// The ISSUE-level reconciliation property: across randomized verdicts —
+/// every verdict shape, optional proof/profile/certificate artifacts of
+/// random sizes — the cheap accounting estimate stays within 2× of the deep
+/// measured footprint in both directions.
+#[test]
+fn approx_bytes_within_2x_of_measured_for_random_verdicts() {
+    let mut rng = SmallRng::seed_from_u64(0x2BAD_FEED);
+    for case in 0..500 {
+        let verdict = match rng.gen_range(0..3) {
+            0 => Verdict::Correct,
+            1 => {
+                let mut assignments = BTreeMap::new();
+                for v in 0..rng.gen_range(0..40) {
+                    let name = format!("e!s{case}v{v}={}", rng.gen_range(0..1000));
+                    assignments.insert(name, rng.gen_bool(0.5));
+                }
+                Verdict::Buggy(Counterexample::from_assignments(assignments))
+            }
+            _ => Verdict::Unknown("t".repeat(rng.gen_range(0..200))),
+        };
+        let entry = CachedVerdict {
+            verdict,
+            certificate: rng
+                .gen_bool(0.3)
+                .then(|| Certificate::Unchecked("model validation disabled".to_owned())),
+            proof_drat: rng
+                .gen_bool(0.5)
+                .then(|| Arc::new(vec![b'd'; rng.gen_range(0..4096)])),
+            solve_time: Duration::from_millis(rng.gen_range(0..50) as u64),
+            translation_stats: None,
+            profile: rng
+                .gen_bool(0.4)
+                .then(|| Arc::new("p".repeat(rng.gen_range(0..2048)))),
+        };
+        let approx = entry.approx_bytes();
+        let measured = entry.measured_bytes();
+        assert!(
+            approx <= 2 * measured,
+            "case {case}: estimate {approx} exceeds 2x measured {measured}"
+        );
+        assert!(
+            measured <= 2 * approx,
+            "case {case}: measured {measured} exceeds 2x estimate {approx}"
+        );
+    }
+}
+
 #[test]
 fn sharded_cache_partitions_consistently() {
     // With several shards the per-key behaviour is still exact LRU within a
@@ -133,7 +199,7 @@ fn sharded_cache_partitions_consistently() {
     // fits comfortably and correct byte totals.
     let cache = VerdictCache::new(1 << 20, 8);
     for i in 0..200u128 {
-        cache.insert(Fingerprint(i * 7919 + 1), entry_of(400));
+        cache.insert(Fingerprint(i * 7919 + 1), entry_of(entry_overhead() + 200));
     }
     let stats = cache.stats();
     assert_eq!(stats.entries, 200);

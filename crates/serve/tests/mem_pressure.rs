@@ -1,0 +1,105 @@
+//! End-to-end memory-pressure test: a service populated through a verdict
+//! store is restarted under an absurdly small `mem_limit`, and the staged
+//! degradation must hold — warm cache hits keep being served, fresh
+//! submissions are refused `busy`, and the pressure gauges/trip counters
+//! record the episode.
+
+use velv_core::Verdict;
+use velv_serve::{JobSpec, ModelRef, ServeError, ServeHandle, ServiceConfig};
+
+/// The pressure ladder only engages when the counting allocator is
+/// installed — live bytes read 0 otherwise and every level computes to 0.
+#[global_allocator]
+static ALLOC: velv_obs::CountingAlloc = velv_obs::CountingAlloc;
+
+#[test]
+fn pressure_serves_cache_hits_but_refuses_fresh_work() {
+    let base = std::env::temp_dir().join(format!("velv_mem_pressure_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    // Phase 1: decide a small catalog with a store attached, no limit.
+    let config = || {
+        let mut config = ServiceConfig::default().with_workers(2);
+        config.store_dir = Some(base.clone());
+        config
+    };
+    let service = ServeHandle::try_start(config()).expect("start with a store");
+    for spec in [
+        JobSpec::new(ModelRef::dlx1_correct()),
+        JobSpec::new(ModelRef::dlx1_bug(0)),
+    ] {
+        let result = service.submit(spec).expect("accepted").wait();
+        assert!(
+            !matches!(result.verdict, Verdict::Unknown(_)),
+            "{} came back undecided",
+            result.name
+        );
+    }
+    service.shutdown();
+    drop(service);
+
+    // Phase 2: restart on the same store with a 1-byte limit — the process
+    // heap is always past 95% of it, so the service sits at stage 3.
+    let service = ServeHandle::try_start(config().with_mem_limit(1)).expect("warm restart");
+    assert_eq!(
+        service.mem_pressure_level(),
+        3,
+        "a 1-byte limit pins the ladder at stage 3"
+    );
+    assert_eq!(service.mem_limit(), Some(1));
+
+    // Warm repeats are replayed from the store into the cache and must be
+    // served even at stage 3.
+    for spec in [
+        JobSpec::new(ModelRef::dlx1_correct()),
+        JobSpec::new(ModelRef::dlx1_bug(0)),
+    ] {
+        let result = service.submit(spec).expect("cache hits bypass refusal");
+        let result = result.wait();
+        assert!(result.from_cache, "{} must come from cache", result.name);
+    }
+
+    // A fingerprint the store has never seen is fresh work: refused busy.
+    match service.submit(JobSpec::new(ModelRef::dlx1_bug(1))) {
+        Err(ServeError::Busy(reason)) => {
+            assert!(
+                reason.contains("memory"),
+                "busy reason names the cause: {reason}"
+            )
+        }
+        Err(other) => panic!("fresh work at stage 3 must be refused busy, got {other}"),
+        Ok(_) => panic!("fresh work at stage 3 must be refused busy, got a ticket"),
+    }
+
+    // The episode is visible in the registry: the level gauge sits at 3,
+    // the trip counter recorded the 0 -> 3 transition, and at least one
+    // refusal was counted.
+    let fields: std::collections::HashMap<String, String> = service
+        .registry_snapshot()
+        .flat_fields()
+        .into_iter()
+        .collect();
+    assert_eq!(
+        fields.get("velv_mem_pressure_level").map(String::as_str),
+        Some("3")
+    );
+    let counter = |name: &str| -> u64 {
+        fields
+            .get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_default()
+    };
+    assert!(counter("velv_mem_pressure_trips_total") >= 1);
+    assert!(counter("velv_mem_pressure_rejections_total") >= 1);
+
+    // Deep-measured footprints cover the cache, the queue and (with a store
+    // attached) the index.
+    let measured = service.measured_footprints();
+    let names: Vec<&str> = measured.iter().map(|(name, _)| *name).collect();
+    assert!(names.contains(&"serve.cache"), "measured: {names:?}");
+    assert!(names.contains(&"serve.queue"), "measured: {names:?}");
+    assert!(names.contains(&"store.index"), "measured: {names:?}");
+
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&base);
+}

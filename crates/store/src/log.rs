@@ -691,6 +691,17 @@ impl Store {
     }
 }
 
+impl velv_obs::MemFootprint for Store {
+    /// Deep measured bytes of the store's in-memory side — the key index
+    /// (occupied and reserved slots); the log itself lives on disk.
+    fn measured_bytes(&self) -> usize {
+        let inner = self.inner.lock().expect("store lock");
+        std::mem::size_of::<Store>()
+            + inner.index.capacity()
+                * (std::mem::size_of::<u128>() + std::mem::size_of::<IndexEntry>() + 8)
+    }
+}
+
 /// Fsync a directory so a rename within it is durable; best-effort (some
 /// filesystems refuse directory fsync).
 fn sync_dir(dir: &Path) {

@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Memory-pressure smoke: populate a velvd store, restart the daemon under a
+# tiny --mem-limit, and require the staged degradation to hold over the real
+# wire — warm repeats still answered from the replayed cache, fresh work
+# refused busy, the `mem` verb reporting a pinned pressure level, and live
+# bytes staying flat across repeated stats polls (no leak while shedding).
+# The in-process equivalent lives in crates/serve/tests/mem_pressure.rs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+addr="127.0.0.1:7978"
+dir="$(mktemp -d)"
+pid=""
+trap 'kill -9 "$pid" 2>/dev/null || true; rm -rf "$dir"' EXIT
+
+velvd=target/release/velvd
+velvc=target/release/velvc
+if [[ ! -x $velvd || ! -x $velvc ]]; then
+    cargo build --release -p velv_serve --bins
+fi
+
+models=(dlx1:correct dlx1:bug:0 dlx1:bug:1)
+
+wait_for_ping() {
+    for _ in $(seq 1 100); do
+        if "$velvc" --addr "$addr" ping >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "FAIL: velvd did not come up on $addr" >&2
+    exit 1
+}
+
+# First life: decide the catalog with a store attached, no memory limit.
+"$velvd" --addr "$addr" --store "$dir/store" --fsync always &
+pid=$!
+wait_for_ping
+for model in "${models[@]}"; do
+    "$velvc" --addr "$addr" submit "model=$model"
+done
+"$velvc" --addr "$addr" shutdown
+wait "$pid" 2>/dev/null || true
+
+# Second life, same store, 1-byte limit: the heap is always past 95% of it,
+# so the daemon boots straight into stage 3.
+"$velvd" --addr "$addr" --store "$dir/store" --fsync always --mem-limit 1 &
+pid=$!
+wait_for_ping
+
+# Warm repeats must keep being served from the replayed cache at stage 3.
+for model in "${models[@]}"; do
+    out="$("$velvc" --addr "$addr" submit "model=$model")"
+    echo "$out"
+    if ! grep -q "cache hit" <<<"$out"; then
+        echo "FAIL: $model was not served from the replayed cache under pressure" >&2
+        exit 1
+    fi
+done
+
+# Fresh work (a fingerprint the store never saw) must be refused busy
+# (velvc exit code 3).
+if "$velvc" --addr "$addr" submit "model=dlx1:bug:2" >/dev/null 2>&1; then
+    echo "FAIL: fresh work was accepted at stage 3" >&2
+    exit 1
+elif [[ $? -ne 3 ]]; then
+    echo "FAIL: fresh work failed with the wrong exit code (want 3 = busy)" >&2
+    exit 1
+fi
+
+# The mem verb reports the episode: pressure pinned at 3, the configured
+# limit echoed back, non-zero live bytes and per-scope rows present.
+mem="$("$velvc" --addr "$addr" mem)"
+echo "$mem"
+level="$(awk '$1 == "pressure-level" {print $2}' <<<"$mem")"
+limit="$(awk '$1 == "mem-limit-bytes" {print $2}' <<<"$mem")"
+live="$(awk '$1 == "live-bytes" {print $2}' <<<"$mem")"
+if [[ "$level" != "3" ]]; then
+    echo "FAIL: expected pressure level 3, got ${level:-none}" >&2
+    exit 1
+fi
+if [[ "$limit" != "1" ]]; then
+    echo "FAIL: expected mem-limit-bytes 1, got ${limit:-none}" >&2
+    exit 1
+fi
+if [[ -z "$live" || "$live" -le 0 ]]; then
+    echo "FAIL: live-bytes should be positive, got ${live:-none}" >&2
+    exit 1
+fi
+if ! grep -q "^serve.cache" <<<"$mem"; then
+    echo "FAIL: the mem dump has no serve.cache scope row" >&2
+    exit 1
+fi
+
+# Live bytes stay flat while the daemon sheds: three polls separated by warm
+# sweeps may wobble (allocator churn) but must not climb more than 10%.
+first_live="$live"
+for _ in 1 2; do
+    for model in "${models[@]}"; do
+        "$velvc" --addr "$addr" submit "model=$model" >/dev/null
+    done
+    live="$("$velvc" --addr "$addr" mem | awk '$1 == "live-bytes" {print $2}')"
+done
+ceiling=$((first_live + first_live / 10))
+if [[ "$live" -gt "$ceiling" ]]; then
+    echo "FAIL: live bytes climbed under pressure: $first_live -> $live (ceiling $ceiling)" >&2
+    exit 1
+fi
+
+"$velvc" --addr "$addr" shutdown
+wait "$pid" 2>/dev/null || true
+pid=""
+echo "mem smoke: OK (cache hits served, fresh work refused, live $first_live -> $live bytes)"
